@@ -1,0 +1,99 @@
+// Microbenchmarks for the linear-algebra substrate, including the
+// design-choice ablation DESIGN.md calls out: Algorithm 2's incremental
+// null-space update vs a full QR recompute per appended equation.
+#include <benchmark/benchmark.h>
+
+#include "ntom/linalg/nullspace.hpp"
+#include "ntom/linalg/qr.hpp"
+#include "ntom/linalg/solve.hpp"
+#include "ntom/util/rng.hpp"
+
+namespace {
+
+ntom::matrix random_binary_matrix(std::size_t rows, std::size_t cols,
+                                  double density, std::uint64_t seed) {
+  ntom::rng rand(seed);
+  ntom::matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = rand.bernoulli(density) ? 1.0 : 0.0;
+    }
+  }
+  return m;
+}
+
+std::vector<double> random_binary_row(std::size_t cols, double density,
+                                      ntom::rng& rand) {
+  std::vector<double> row(cols, 0.0);
+  for (auto& x : row) x = rand.bernoulli(density) ? 1.0 : 0.0;
+  return row;
+}
+
+void bm_qr_factorize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ntom::matrix a = random_binary_matrix(n, n, 0.1, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ntom::qr_factorize(a));
+  }
+}
+BENCHMARK(bm_qr_factorize)->Arg(32)->Arg(64)->Arg(128);
+
+void bm_null_space_basis(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ntom::matrix a = random_binary_matrix(n / 2, n, 0.1, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ntom::null_space_basis(a));
+  }
+}
+BENCHMARK(bm_null_space_basis)->Arg(32)->Arg(64)->Arg(128);
+
+/// Algorithm 2: append `k` rank-increasing rows, updating N incrementally.
+void bm_nullspace_incremental(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 16;
+  const ntom::matrix a = random_binary_matrix(n / 2, n, 0.1, 7);
+  for (auto _ : state) {
+    ntom::rng rand(11);
+    ntom::matrix nsp = ntom::null_space_basis(a);
+    for (std::size_t i = 0; i < k && nsp.cols() > 0; ++i) {
+      const auto row = random_binary_row(n, 0.1, rand);
+      nsp = ntom::null_space_update(nsp, row);
+    }
+    benchmark::DoNotOptimize(nsp);
+  }
+}
+BENCHMARK(bm_nullspace_incremental)->Arg(64)->Arg(128);
+
+/// Baseline: recompute the null space from scratch per appended row.
+void bm_nullspace_recompute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 16;
+  const ntom::matrix base = random_binary_matrix(n / 2, n, 0.1, 7);
+  for (auto _ : state) {
+    ntom::rng rand(11);
+    ntom::matrix a = base;
+    ntom::matrix nsp = ntom::null_space_basis(a);
+    for (std::size_t i = 0; i < k && nsp.cols() > 0; ++i) {
+      a.append_row(random_binary_row(n, 0.1, rand));
+      nsp = ntom::null_space_basis(a);
+    }
+    benchmark::DoNotOptimize(nsp);
+  }
+}
+BENCHMARK(bm_nullspace_recompute)->Arg(64)->Arg(128);
+
+void bm_least_squares(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ntom::matrix a = random_binary_matrix(2 * n, n, 0.1, 7);
+  ntom::rng rand(13);
+  std::vector<double> b(2 * n);
+  for (auto& x : b) x = -rand.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ntom::solve_least_squares(a, b));
+  }
+}
+BENCHMARK(bm_least_squares)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Microbenchmarks for the measurement simulator: interval sampling and
+// whole-experiment throughput (the simulator dominates wall-clock at
+// paper scale — 1500 paths x 1000 intervals x 200 packets).
+#include <benchmark/benchmark.h>
+
+#include "ntom/sim/packet_sim.hpp"
+#include "ntom/sim/scenario.hpp"
+#include "ntom/topogen/brite.hpp"
+
+namespace {
+
+void bm_sample_interval(benchmark::State& state) {
+  ntom::topogen::brite_params params;
+  params.seed = 3;
+  const auto topo = ntom::topogen::generate_brite(params);
+  ntom::scenario_params sp;
+  sp.seed = 5;
+  const auto model = ntom::make_scenario(
+      topo, ntom::scenario_kind::random_congestion, sp);
+  ntom::link_state_sampler sampler(topo, model, 17);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_interval(t++));
+  }
+}
+BENCHMARK(bm_sample_interval);
+
+void bm_run_experiment(benchmark::State& state) {
+  ntom::topogen::brite_params params;
+  params.seed = 3;
+  const auto topo = ntom::topogen::generate_brite(params);
+  ntom::scenario_params sp;
+  sp.seed = 5;
+  const auto model = ntom::make_scenario(
+      topo, ntom::scenario_kind::random_congestion, sp);
+  ntom::sim_params sim;
+  sim.intervals = static_cast<std::size_t>(state.range(0));
+  sim.packets_per_path = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ntom::run_experiment(topo, model, sim));
+  }
+}
+BENCHMARK(bm_run_experiment)->Arg(50)->Arg(200);
+
+void bm_run_experiment_oracle(benchmark::State& state) {
+  ntom::topogen::brite_params params;
+  params.seed = 3;
+  const auto topo = ntom::topogen::generate_brite(params);
+  ntom::scenario_params sp;
+  sp.seed = 5;
+  const auto model = ntom::make_scenario(
+      topo, ntom::scenario_kind::random_congestion, sp);
+  ntom::sim_params sim;
+  sim.intervals = static_cast<std::size_t>(state.range(0));
+  sim.oracle_monitor = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ntom::run_experiment(topo, model, sim));
+  }
+}
+BENCHMARK(bm_run_experiment_oracle)->Arg(50)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// Why per-interval Boolean Inference misleads under non-stationary
+// events — the paper's flooding-attack example (§3.1).
+//
+// A normally quiet link comes under attack for a short window: it is
+// severely congested for ~8% of the experiment. Bayesian inference
+// scores solutions by their long-run probability, so during the attack
+// window it keeps preferring the "usual suspects" and misses the
+// attacked link. Probability Computation, asked a question at the right
+// time scale ("how often was this link congested?"), nails the 8%.
+//
+// Run: ./examples/failure_localization [--seed S]
+#include <cstdio>
+
+#include "ntom/exp/metrics.hpp"
+#include "ntom/infer/bayes_independence.hpp"
+#include "ntom/sim/packet_sim.hpp"
+#include "ntom/sim/scenario.hpp"
+#include "ntom/sim/truth.hpp"
+#include "ntom/tomo/correlation_complete.hpp"
+#include "ntom/topogen/brite.hpp"
+#include "ntom/util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ntom;
+  const flags opts(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 7));
+
+  topogen::brite_params tp;
+  tp.seed = seed;
+  const topology topo = topogen::generate_brite(tp);
+  std::printf("Topology: %s\n", topo.describe().c_str());
+
+  // The paper's mechanism needs a plausible alternative suspect: pick a
+  // victim v and a habitually-congested decoy d such that every path
+  // through v also crosses d. During the attack window, "path
+  // congested" is then explained more cheaply by the decoy — the MAP
+  // step never needs the victim.
+  link_id victim = 0;
+  link_id decoy = 0;
+  bool found = false;
+  for (link_id v = 0; v < topo.num_links() && !found; ++v) {
+    if (!topo.covered_links().test(v) || topo.link(v).router_links.empty()) {
+      continue;
+    }
+    for (link_id d = 0; d < topo.num_links() && !found; ++d) {
+      if (d == v || !topo.covered_links().test(d) ||
+          topo.link(d).router_links.empty()) {
+        continue;
+      }
+      // Proper subset: the victim stays identifiable (some path crosses
+      // the decoy but not the victim), yet every victim path can be
+      // "explained away" by the decoy.
+      // Different correlation sets keep the victim's marginal
+      // identifiable (within one AS, a link whose every path crosses
+      // the decoy never gets its own unknown).
+      if (topo.link(v).as_number != topo.link(d).as_number &&
+          topo.paths_through(v).is_subset_of(topo.paths_through(d)) &&
+          topo.paths_through(v).count() >= 2 &&
+          topo.paths_through(v).count() < topo.paths_through(d).count()) {
+        victim = v;
+        decoy = d;
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    std::printf("no (victim, decoy) pair on this topology/seed\n");
+    return 1;
+  }
+  const router_link_id victim_driver = topo.link(victim).router_links.front();
+  const router_link_id decoy_driver = topo.link(decoy).router_links.front();
+
+  const std::size_t intervals = 600;
+  congestion_model model;
+  model.phase_length = 50;
+  // 12 phases: the decoy is habitually congested throughout; the victim
+  // is severely congested only in phase 6 (the attack window).
+  model.phase_q.assign(
+      12, std::vector<double>(topo.num_router_links(), 0.0));
+  for (auto& phase : model.phase_q) phase[decoy_driver] = 0.35;
+  model.phase_q[6][victim_driver] = 0.95;
+  model.congestable_links = bitvec(topo.num_links());
+  model.congestable_links.set(victim);
+  model.congestable_links.set(decoy);
+
+  sim_params sim;
+  sim.intervals = intervals;
+  sim.packets_per_path = 500;  // keep probing noise below the story.
+  sim.seed = seed + 2;
+  const experiment_data data = run_experiment(topo, model, sim);
+  const ground_truth truth(topo, model, intervals);
+
+  // --- Boolean Inference (Bayesian-Independence), per interval.
+  const bayes_independence_inferencer inferencer(topo, data);
+  std::size_t attack_intervals = 0;
+  std::size_t detected = 0;
+  for (std::size_t t = 300; t < 350; ++t) {  // the attack window.
+    if (!data.congested_links_by_interval[t].test(victim)) continue;
+    ++attack_intervals;
+    const bitvec inferred =
+        inferencer.infer(data.congested_paths_by_interval[t]);
+    if (inferred.test(victim)) ++detected;
+  }
+
+  // --- Probability Computation (Correlation-complete), once.
+  const auto result = compute_correlation_complete(topo, data);
+  const auto estimate = result.estimates.link_congestion(victim);
+  const double actual = truth.link_congestion_probability(victim);
+
+  std::printf("\nVictim link %u (attacked in intervals [300,350)):\n", victim);
+  std::printf("  truly congested in %zu attack intervals\n", attack_intervals);
+  std::printf("  Boolean Inference flagged it in %zu of those (%.0f%%)\n",
+              detected,
+              attack_intervals
+                  ? 100.0 * static_cast<double>(detected) /
+                        static_cast<double>(attack_intervals)
+                  : 0.0);
+  if (estimate) {
+    std::printf("  Probability Computation: P(congested) true %.3f, "
+                "estimated %.3f\n",
+                actual, *estimate);
+  } else {
+    std::printf("  Probability Computation: P(congested) true %.3f, "
+                "not identifiable on this topology\n",
+                actual);
+  }
+  std::printf(
+      "\nThe Bayesian MAP step weights candidate solutions by long-run\n"
+      "frequency, so a rare-but-violent event is systematically\n"
+      "under-reported; the frequency question is answered correctly.\n");
+  return 0;
+}

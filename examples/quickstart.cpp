@@ -1,0 +1,106 @@
+// Quickstart: the paper's Fig. 1 toy topology end to end.
+//
+//   1. Build the 4-link / 3-path topology (Case 1: correlation sets
+//      {e1}, {e2,e3}, {e4}).
+//   2. Drive congestion: e1 lightly congested, e2 & e3 perfectly
+//      correlated (they share a router-level link).
+//   3. Simulate T intervals of probing.
+//   4. Run Correlation-complete Probability Computation and compare the
+//      estimates against the analytic truth.
+//   5. Repeat on Case 2 ({e1,e4}, {e2,e3}) to see Identifiability++
+//      fail: the algorithm *reports* the affected subsets as
+//      non-identifiable instead of guessing.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "ntom/corr/correlation.hpp"
+#include "ntom/sim/packet_sim.hpp"
+#include "ntom/sim/truth.hpp"
+#include "ntom/tomo/correlation_complete.hpp"
+#include "ntom/topogen/toy.hpp"
+
+namespace {
+
+/// Congestion model for the toy substrate: router link 0 drives e1
+/// (probability 0.3); shared router link 4 drives e2+e3 jointly
+/// (probability 0.2) — a perfectly correlated pair; e4 stays good.
+ntom::congestion_model toy_model(const ntom::topology& topo) {
+  ntom::congestion_model model;
+  model.phase_q.assign(1, std::vector<double>(topo.num_router_links(), 0.0));
+  model.phase_q[0][0] = 0.3;  // e1's private router link.
+  model.phase_q[0][4] = 0.2;  // shared by e2 and e3.
+  model.congestable_links = ntom::bitvec(topo.num_links());
+  model.congestable_links.set(ntom::topogen::toy_e1);
+  model.congestable_links.set(ntom::topogen::toy_e2);
+  model.congestable_links.set(ntom::topogen::toy_e3);
+  return model;
+}
+
+void run_case(ntom::topogen::toy_case which, const char* title) {
+  using namespace ntom;
+  std::printf("=== %s ===\n", title);
+
+  const topology topo = topogen::make_toy(which);
+  const congestion_model model = toy_model(topo);
+
+  sim_params sim;
+  sim.intervals = 2000;
+  sim.packets_per_path = 500;
+  sim.seed = 123;
+  const experiment_data data = run_experiment(topo, model, sim);
+
+  const auto result = compute_correlation_complete(topo, data);
+  const ground_truth truth(topo, model, sim.intervals);
+
+  std::printf("equations used: %zu (seed %zu + added %zu), rank %zu\n",
+              result.equations_used, result.seed_equations,
+              result.added_equations, result.system_rank);
+
+  const char* names[] = {"e1", "e2", "e3", "e4"};
+  for (link_id e = 0; e < topo.num_links(); ++e) {
+    const auto estimate = result.estimates.link_congestion(e);
+    const double actual = truth.link_congestion_probability(e);
+    if (estimate) {
+      std::printf("  P(%s congested): true %.3f  estimated %.3f\n", names[e],
+                  actual, *estimate);
+    } else {
+      std::printf("  P(%s congested): true %.3f  NOT IDENTIFIABLE\n",
+                  names[e], actual);
+    }
+  }
+
+  // The correlated pair {e2, e3}: its joint probability is what the
+  // Independence assumption cannot express.
+  bitvec pair(topo.num_links());
+  pair.set(topogen::toy_e2);
+  pair.set(topogen::toy_e3);
+  const auto joint = result.estimates.set_congestion(pair);
+  const double joint_true = truth.set_congestion_probability(pair);
+  const double indep_prediction =
+      truth.link_congestion_probability(topogen::toy_e2) *
+      truth.link_congestion_probability(topogen::toy_e3);
+  if (joint) {
+    std::printf("  P(e2 AND e3 congested): true %.3f  estimated %.3f"
+                "  (independence would predict %.3f)\n",
+                joint_true, *joint, indep_prediction);
+  } else {
+    std::printf("  P(e2 AND e3 congested): true %.3f  NOT IDENTIFIABLE\n",
+                joint_true);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  run_case(ntom::topogen::toy_case::case1,
+           "Case 1: C* = {{e1},{e2,e3},{e4}} (Identifiability++ holds)");
+  run_case(ntom::topogen::toy_case::case2,
+           "Case 2: C* = {{e1,e4},{e2,e3}} (Identifiability++ fails)");
+  std::printf(
+      "In Case 2 the sets {e1,e4} and {e2,e3} are traversed by the same\n"
+      "paths, so their probabilities cannot be told apart from path\n"
+      "observations; Correlation-complete flags them instead of guessing.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "ntom/analysis/correlation_groups.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace ntom {
+
+namespace {
+
+/// Union-find over link ids.
+class disjoint_sets {
+ public:
+  explicit disjoint_sets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<correlation_group> find_correlation_groups(
+    const topology& t, const probability_estimates& estimates,
+    const correlation_group_params& params) {
+  disjoint_sets sets(t.num_links());
+  std::map<link_id, double> excess_of;
+
+  for (as_id a = 0; a < t.num_ases(); ++a) {
+    bitvec members = t.links_in_as(a);
+    members &= estimates.potentially_congested();
+    const auto ids = members.to_indices();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      for (std::size_t j = i + 1; j < ids.size(); ++j) {
+        const auto ei = static_cast<link_id>(ids[i]);
+        const auto ej = static_cast<link_id>(ids[j]);
+        const auto pi = estimates.link_congestion(ei);
+        const auto pj = estimates.link_congestion(ej);
+        if (!pi || !pj) continue;
+        bitvec pair(t.num_links());
+        pair.set(ei);
+        pair.set(ej);
+        const auto joint = estimates.set_congestion(pair);
+        if (!joint || *joint < params.min_joint_probability) continue;
+        const double independent = *pi * *pj;
+        if (*joint <= params.excess_factor * independent) continue;
+        sets.unite(ei, ej);
+        const double excess =
+            independent > 0.0 ? *joint / independent - 1.0 : 1.0;
+        excess_of[ei] = std::max(excess_of[ei], excess);
+        excess_of[ej] = std::max(excess_of[ej], excess);
+      }
+    }
+  }
+
+  // Materialize components of size >= 2.
+  std::map<std::size_t, correlation_group> by_root;
+  for (const auto& [e, excess] : excess_of) {
+    auto& group = by_root[sets.find(e)];
+    group.as_number = t.link(e).as_number;
+    group.links.push_back(e);
+    group.max_excess = std::max(group.max_excess, excess);
+  }
+  std::vector<correlation_group> groups;
+  for (auto& [_, group] : by_root) {
+    if (group.links.size() < 2) continue;
+    std::sort(group.links.begin(), group.links.end());
+    groups.push_back(std::move(group));
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const correlation_group& x, const correlation_group& y) {
+              if (x.as_number != y.as_number) return x.as_number < y.as_number;
+              return x.links.front() < y.links.front();
+            });
+  return groups;
+}
+
+}  // namespace ntom

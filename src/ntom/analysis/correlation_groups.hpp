@@ -1,0 +1,40 @@
+// Discovery of actually-correlated link groups from subset estimates —
+// the Fig. 4(d) application ("knowing these probabilities reveals which
+// links within each peer are actually correlated; this can be useful
+// for computing 'disjoint' paths").
+//
+// Two links of one correlation set are *observed correlated* when their
+// estimated joint congestion probability exceeds the independence
+// prediction by a configurable factor. Groups are the connected
+// components of that relation.
+#pragma once
+
+#include <vector>
+
+#include "ntom/graph/topology.hpp"
+#include "ntom/tomo/estimates.hpp"
+
+namespace ntom {
+
+struct correlation_group {
+  as_id as_number = 0;
+  std::vector<link_id> links;       ///< size >= 2, sorted.
+  double max_excess = 0.0;          ///< max joint / independent ratio - 1.
+};
+
+struct correlation_group_params {
+  /// Joint must exceed independence by this factor to count.
+  double excess_factor = 1.5;
+  /// Ignore pairs whose joint congestion probability is below this
+  /// (noise floor).
+  double min_joint_probability = 0.02;
+};
+
+/// Finds observed-correlated groups among the potentially congested
+/// links. Only pairs with identifiable joint and singleton estimates
+/// participate. Sorted by AS, then first link id.
+[[nodiscard]] std::vector<correlation_group> find_correlation_groups(
+    const topology& t, const probability_estimates& estimates,
+    const correlation_group_params& params = {});
+
+}  // namespace ntom

@@ -1,0 +1,105 @@
+#include "ntom/analysis/peer_report.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ntom {
+
+std::vector<peer_summary> build_peer_report(
+    const topology& t, const probability_estimates& estimates) {
+  const link_estimates links = estimates.to_link_estimates();
+  std::vector<peer_summary> report;
+  for (as_id a = 1; a < t.num_ases(); ++a) {
+    peer_summary row;
+    row.peer = a;
+    bitvec in_as = t.links_in_as(a);
+    in_as &= t.covered_links();
+    in_as.for_each([&](std::size_t e) {
+      ++row.monitored_links;
+      if (links.estimated[e]) ++row.estimated_links;
+      row.mean_congestion += links.congestion[e];
+      row.worst_congestion = std::max(row.worst_congestion, links.congestion[e]);
+    });
+    if (row.monitored_links == 0) continue;
+    row.mean_congestion /= static_cast<double>(row.monitored_links);
+    report.push_back(row);
+  }
+  std::stable_sort(report.begin(), report.end(),
+                   [](const peer_summary& x, const peer_summary& y) {
+                     return x.worst_congestion > y.worst_congestion;
+                   });
+  return report;
+}
+
+experiment_data slice_experiment(const experiment_data& data,
+                                 std::size_t begin, std::size_t end) {
+  assert(begin <= end && end <= data.intervals);
+  experiment_data out;
+  out.intervals = end - begin;
+
+  out.path_good_intervals.reserve(data.path_good_intervals.size());
+  for (const auto& good : data.path_good_intervals) {
+    bitvec sliced(out.intervals);
+    for (std::size_t t = begin; t < end; ++t) {
+      if (good.test(t)) sliced.set(t - begin);
+    }
+    out.path_good_intervals.push_back(std::move(sliced));
+  }
+  out.congested_paths_by_interval.assign(
+      data.congested_paths_by_interval.begin() +
+          static_cast<std::ptrdiff_t>(begin),
+      data.congested_paths_by_interval.begin() +
+          static_cast<std::ptrdiff_t>(end));
+  out.congested_links_by_interval.assign(
+      data.congested_links_by_interval.begin() +
+          static_cast<std::ptrdiff_t>(begin),
+      data.congested_links_by_interval.begin() +
+          static_cast<std::ptrdiff_t>(end));
+
+  const std::size_t num_paths = data.path_good_intervals.size();
+  out.always_good_paths = bitvec(num_paths);
+  for (std::size_t p = 0; p < num_paths; ++p) {
+    if (out.path_good_intervals[p].count() == out.intervals) {
+      out.always_good_paths.set(p);
+    }
+  }
+  const std::size_t num_links =
+      data.congested_links_by_interval.empty()
+          ? 0
+          : data.congested_links_by_interval.front().size();
+  out.ever_congested_links = bitvec(num_links);
+  for (const auto& congested : out.congested_links_by_interval) {
+    out.ever_congested_links |= congested;
+  }
+  return out;
+}
+
+std::vector<double> peer_congestion_trend(
+    const topology& t, const experiment_data& data, as_id peer,
+    std::size_t windows, const correlation_complete_params& params) {
+  assert(windows > 0);
+  std::vector<double> trend;
+  trend.reserve(windows);
+  const std::size_t width = data.intervals / windows;
+  for (std::size_t w = 0; w < windows; ++w) {
+    const std::size_t begin = w * width;
+    const std::size_t end =
+        (w + 1 == windows) ? data.intervals : begin + width;
+    const experiment_data window = slice_experiment(data, begin, end);
+    const auto result = compute_correlation_complete(t, window, params);
+    const link_estimates links = result.estimates.to_link_estimates();
+
+    double mean = 0.0;
+    std::size_t count = 0;
+    bitvec in_as = t.links_in_as(peer);
+    in_as &= t.covered_links();
+    in_as.for_each([&](std::size_t e) {
+      mean += links.congestion[e];
+      ++count;
+    });
+    trend.push_back(count ? mean / static_cast<double>(count) : 0.0);
+  }
+  return trend;
+}
+
+}  // namespace ntom

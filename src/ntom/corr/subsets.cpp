@@ -1,0 +1,82 @@
+#include "ntom/corr/subsets.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace ntom {
+
+std::size_t subset_catalog::find(const bitvec& subset) const {
+  const auto it = index_.find(subset);
+  return it == index_.end() ? npos : it->second;
+}
+
+std::size_t subset_catalog::singleton_of(link_id e) const {
+  const auto it = singleton_by_link_.find(e);
+  return it == singleton_by_link_.end() ? npos : it->second;
+}
+
+subset_catalog subset_catalog::build(const topology& t, const bitvec& potcong,
+                                     const subset_limits& limits) {
+  subset_catalog catalog;
+
+  for (as_id a = 0; a < t.num_ases(); ++a) {
+    bitvec members = t.links_in_as(a);
+    members &= potcong;
+    if (members.empty()) continue;
+
+    // Base family: per-path intersections with this correlation set.
+    std::unordered_set<bitvec, bitvec_hash> family;
+    std::deque<bitvec> worklist;
+    for (path_id p = 0; p < t.num_paths(); ++p) {
+      if (family.size() >= limits.max_subsets_per_as) break;
+      bitvec s = t.get_path(p).link_set();
+      s &= members;
+      if (s.empty() || s.count() > limits.max_subset_size) continue;
+      if (family.insert(s).second) worklist.push_back(s);
+    }
+
+    // Union closure, capped. Processing order is deterministic (deque of
+    // insertion order; unions appended as discovered).
+    std::vector<bitvec> closed(family.begin(), family.end());
+    while (!worklist.empty() && family.size() < limits.max_subsets_per_as) {
+      const bitvec current = worklist.front();
+      worklist.pop_front();
+      const std::size_t snapshot = closed.size();
+      for (std::size_t i = 0; i < snapshot; ++i) {
+        bitvec u = current;
+        u |= closed[i];
+        if (u.count() > limits.max_subset_size) continue;
+        if (family.insert(u).second) {
+          closed.push_back(u);
+          worklist.push_back(u);
+          if (family.size() >= limits.max_subsets_per_as) break;
+        }
+      }
+    }
+
+    // Deterministic order: size, then link indices lexicographically.
+    std::vector<bitvec> ordered(family.begin(), family.end());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const bitvec& x, const bitvec& y) {
+                const auto cx = x.count();
+                const auto cy = y.count();
+                if (cx != cy) return cx < cy;
+                return x.to_indices() < y.to_indices();
+              });
+
+    for (auto& s : ordered) {
+      if (s.count() == 1) {
+        const link_id e = static_cast<link_id>(s.to_indices().front());
+        catalog.singleton_by_link_[e] = catalog.subsets_.size();
+        catalog.singletons_.push_back(catalog.subsets_.size());
+      }
+      catalog.index_.emplace(s, catalog.subsets_.size());
+      catalog.subset_as_.push_back(a);
+      catalog.subsets_.push_back(std::move(s));
+    }
+  }
+  return catalog;
+}
+
+}  // namespace ntom

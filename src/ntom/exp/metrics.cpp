@@ -1,0 +1,76 @@
+#include "ntom/exp/metrics.hpp"
+
+namespace ntom {
+
+void inference_scorer::add_interval(const bitvec& inferred,
+                                    const bitvec& truly_congested) {
+  const std::size_t truth_count = truly_congested.count();
+  if (truth_count > 0) {
+    bitvec hit = inferred;
+    hit &= truly_congested;
+    detection_sum_ +=
+        static_cast<double>(hit.count()) / static_cast<double>(truth_count);
+    ++detection_count_;
+  }
+  const std::size_t inferred_count = inferred.count();
+  if (inferred_count > 0) {
+    bitvec wrong = inferred;
+    wrong.subtract(truly_congested);
+    fp_sum_ += static_cast<double>(wrong.count()) /
+               static_cast<double>(inferred_count);
+    ++fp_count_;
+  }
+}
+
+inference_metrics inference_scorer::result() const {
+  inference_metrics m;
+  m.intervals_scored = detection_count_;
+  if (detection_count_ > 0) {
+    m.detection_rate = detection_sum_ / static_cast<double>(detection_count_);
+  }
+  if (fp_count_ > 0) {
+    m.false_positive_rate = fp_sum_ / static_cast<double>(fp_count_);
+  }
+  return m;
+}
+
+std::vector<double> link_absolute_errors(const topology& t,
+                                         const ground_truth& truth,
+                                         const link_estimates& est,
+                                         const bitvec& potcong) {
+  std::vector<double> errors;
+  errors.reserve(potcong.count());
+  potcong.for_each([&](std::size_t e) {
+    const double actual =
+        truth.link_congestion_probability(static_cast<link_id>(e));
+    errors.push_back(std::abs(actual - est.congestion[e]));
+  });
+  (void)t;
+  return errors;
+}
+
+std::vector<double> subset_absolute_errors(const topology& t,
+                                           const ground_truth& truth,
+                                           const probability_estimates& est,
+                                           std::size_t min_size) {
+  std::vector<double> errors;
+  for (std::size_t i = 0; i < est.num_subsets(); ++i) {
+    const bitvec& subset = est.catalog().subset(i);
+    if (subset.count() < min_size) continue;
+    const auto estimated = est.set_congestion(subset);
+    if (!estimated) continue;  // not identifiable: no estimate to score.
+    const double actual = truth.set_congestion_probability(subset);
+    errors.push_back(std::abs(actual - *estimated));
+  }
+  (void)t;
+  return errors;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace ntom

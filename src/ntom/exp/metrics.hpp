@@ -1,0 +1,58 @@
+// Scoring: the paper's evaluation metrics.
+//
+// Fig. 3 metrics (§3.2): per interval, detection rate = fraction of the
+// truly congested links the algorithm identified; false-positive rate =
+// fraction of the links the algorithm flagged that were not congested.
+// Both are averaged over the intervals where they are defined (a
+// detection rate needs >= 1 truly congested link; an FP rate needs >= 1
+// flagged link).
+//
+// Fig. 4 metrics (§5.4): absolute error between the true (analytic)
+// congestion probability and the estimate, over all potentially
+// congested links; Fig. 4(d) extends this to correlation subsets.
+#pragma once
+
+#include <vector>
+
+#include "ntom/sim/truth.hpp"
+#include "ntom/tomo/estimates.hpp"
+
+namespace ntom {
+
+struct inference_metrics {
+  double detection_rate = 0.0;
+  double false_positive_rate = 0.0;
+  std::size_t intervals_scored = 0;
+};
+
+/// Accumulates Fig. 3 metrics interval by interval.
+class inference_scorer {
+ public:
+  void add_interval(const bitvec& inferred, const bitvec& truly_congested);
+  [[nodiscard]] inference_metrics result() const;
+
+ private:
+  double detection_sum_ = 0.0;
+  std::size_t detection_count_ = 0;
+  double fp_sum_ = 0.0;
+  std::size_t fp_count_ = 0;
+};
+
+/// |estimate - truth| per potentially congested link (Fig. 4(a)-(c)).
+/// Links the algorithm could not estimate contribute their fallback
+/// value (to_link_estimates already encodes the policy).
+[[nodiscard]] std::vector<double> link_absolute_errors(
+    const topology& t, const ground_truth& truth, const link_estimates& est,
+    const bitvec& potcong);
+
+/// |estimate - truth| of P(all links in E congested) for the
+/// identifiable catalog subsets with at least `min_size` links
+/// (Fig. 4(d) uses the multi-link subsets).
+[[nodiscard]] std::vector<double> subset_absolute_errors(
+    const topology& t, const ground_truth& truth,
+    const probability_estimates& est, std::size_t min_size = 2);
+
+/// Mean of a sample; 0 for empty input.
+[[nodiscard]] double mean_of(const std::vector<double>& xs);
+
+}  // namespace ntom

@@ -1,0 +1,32 @@
+// Fixed-width console tables for the figure-reproduction binaries.
+// Keeps the bench output diff-able: one row per figure bar/series point.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ntom {
+
+/// Column-aligned plain-text table. Widths adapt to the content.
+class table_printer {
+ public:
+  explicit table_printer(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: label + formatted doubles (fixed, 4 decimals).
+  void add_row(const std::string& label, const std::vector<double>& values);
+
+  /// Renders with a header underline to the stream.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double as fixed with `decimals` places.
+[[nodiscard]] std::string format_fixed(double value, int decimals = 4);
+
+}  // namespace ntom

@@ -1,0 +1,39 @@
+#include "ntom/exp/runner.hpp"
+
+namespace ntom {
+
+void run_config::reconcile() {
+  if (scenario_opts.nonstationary && scenario_opts.phase_length > 0) {
+    const std::size_t needed =
+        (sim.intervals + scenario_opts.phase_length - 1) /
+        scenario_opts.phase_length;
+    scenario_opts.num_phases = std::max<std::size_t>(needed, 1);
+  }
+}
+
+run_artifacts prepare_run(run_config config) {
+  config.reconcile();
+  run_artifacts run;
+  run.topo = config.topo == topology_kind::brite
+                 ? topogen::generate_brite(config.brite)
+                 : topogen::generate_sparse(config.sparse);
+  run.model = make_scenario(run.topo, config.scenario, config.scenario_opts);
+  run.data = run_experiment(run.topo, run.model, config.sim);
+  return run;
+}
+
+inference_metrics score_inference(const run_artifacts& run,
+                                  const infer_fn& infer) {
+  inference_scorer scorer;
+  for (std::size_t t = 0; t < run.data.intervals; ++t) {
+    const bitvec inferred = infer(run.data.congested_paths_by_interval[t]);
+    scorer.add_interval(inferred, run.data.congested_links_by_interval[t]);
+  }
+  return scorer.result();
+}
+
+const char* topology_kind_name(topology_kind k) noexcept {
+  return k == topology_kind::brite ? "Brite" : "Sparse";
+}
+
+}  // namespace ntom

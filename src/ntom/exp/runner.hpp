@@ -1,0 +1,55 @@
+// End-to-end experiment orchestration used by benches and examples:
+// build topology -> build scenario -> simulate -> estimate -> score.
+//
+// One `run_config` corresponds to one bar/point of Fig. 3 or Fig. 4.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ntom/exp/metrics.hpp"
+#include "ntom/sim/packet_sim.hpp"
+#include "ntom/sim/scenario.hpp"
+#include "ntom/topogen/brite.hpp"
+#include "ntom/topogen/sparse.hpp"
+
+namespace ntom {
+
+enum class topology_kind { brite, sparse };
+
+struct run_config {
+  topology_kind topo = topology_kind::brite;
+  topogen::brite_params brite;     ///< used when topo == brite.
+  topogen::sparse_params sparse;   ///< used when topo == sparse.
+  scenario_kind scenario = scenario_kind::random_congestion;
+  scenario_params scenario_opts;
+  sim_params sim;
+
+  /// Ensures the scenario pre-draws enough phases for T intervals.
+  void reconcile();
+};
+
+/// One simulated experiment with everything downstream needs.
+struct run_artifacts {
+  topology topo;
+  congestion_model model;
+  experiment_data data;
+
+  [[nodiscard]] ground_truth make_truth() const {
+    return ground_truth(topo, model, data.intervals);
+  }
+};
+
+/// Builds the topology, the scenario, and runs the packet simulation.
+[[nodiscard]] run_artifacts prepare_run(run_config config);
+
+/// Scores a per-interval inference function over every interval of an
+/// experiment (Fig. 3 columns).
+using infer_fn = std::function<bitvec(const bitvec& congested_paths)>;
+[[nodiscard]] inference_metrics score_inference(const run_artifacts& run,
+                                                const infer_fn& infer);
+
+[[nodiscard]] const char* topology_kind_name(topology_kind k) noexcept;
+
+}  // namespace ntom

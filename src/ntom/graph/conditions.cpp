@@ -1,0 +1,80 @@
+#include "ntom/graph/conditions.hpp"
+
+#include <unordered_map>
+
+namespace ntom {
+
+identifiability_report check_identifiability(const topology& t) {
+  identifiability_report report;
+  // Bucket links by the hash of their path coverage; compare within
+  // buckets only, so the check is ~linear for distinct coverages.
+  std::unordered_map<std::size_t, std::vector<link_id>> buckets;
+  for (link_id e = 0; e < t.num_links(); ++e) {
+    if (!t.covered_links().test(e)) continue;
+    buckets[t.paths_through(e).hash()].push_back(e);
+  }
+  for (const auto& [_, bucket] : buckets) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      for (std::size_t j = i + 1; j < bucket.size(); ++j) {
+        if (t.paths_through(bucket[i]) == t.paths_through(bucket[j])) {
+          report.holds = false;
+          report.violating_pairs.emplace_back(bucket[i], bucket[j]);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+bool paths_well_formed(const topology& t) {
+  for (path_id p = 0; p < t.num_paths(); ++p) {
+    const auto& links = t.get_path(p).links();
+    if (links.empty()) return false;
+    // Loop-freedom: the bit-set size must equal the sequence length.
+    if (t.get_path(p).link_set().count() != links.size()) return false;
+    for (const link_id e : links) {
+      if (e >= t.num_links()) return false;
+    }
+  }
+  return true;
+}
+
+sparsity_report measure_sparsity(const topology& t) {
+  sparsity_report report;
+  report.covered_links = t.covered_links().count();
+
+  double paths_per_link = 0.0;
+  t.covered_links().for_each(
+      [&](std::size_t e) { paths_per_link += static_cast<double>(t.paths_through(static_cast<link_id>(e)).count()); });
+  if (report.covered_links > 0) {
+    report.mean_paths_per_link =
+        paths_per_link / static_cast<double>(report.covered_links);
+  }
+
+  double links_per_path = 0.0;
+  for (path_id p = 0; p < t.num_paths(); ++p) {
+    links_per_path += static_cast<double>(t.get_path(p).length());
+  }
+  if (t.num_paths() > 0) {
+    report.mean_links_per_path =
+        links_per_path / static_cast<double>(t.num_paths());
+  }
+
+  std::size_t overlapping = 0;
+  std::size_t pairs = 0;
+  for (path_id a = 0; a < t.num_paths(); ++a) {
+    for (path_id b = a + 1; b < t.num_paths(); ++b) {
+      ++pairs;
+      if (t.get_path(a).link_set().intersects(t.get_path(b).link_set())) {
+        ++overlapping;
+      }
+    }
+  }
+  if (pairs > 0) {
+    report.path_overlap_fraction =
+        static_cast<double>(overlapping) / static_cast<double>(pairs);
+  }
+  return report;
+}
+
+}  // namespace ntom

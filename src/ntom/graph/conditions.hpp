@@ -1,0 +1,44 @@
+// The paper's testable conditions (§2).
+//
+// Condition 1 (Identifiability): no two links are traversed by exactly
+// the same set of paths. Condition 2 (Identifiability++) extends this to
+// correlation subsets and is checked in ntom/corr (it needs the subset
+// enumeration). Both are *conditions*, not assumptions: they are
+// decidable from E* and P* alone.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ntom/graph/topology.hpp"
+
+namespace ntom {
+
+/// Result of the Identifiability check (Condition 1).
+struct identifiability_report {
+  bool holds = true;
+  /// Pairs of distinct links with identical path coverage (witnesses).
+  std::vector<std::pair<link_id, link_id>> violating_pairs;
+};
+
+/// Checks Condition 1 over all covered links. Links that no path
+/// traverses are ignored (they are unobservable regardless).
+[[nodiscard]] identifiability_report check_identifiability(const topology& t);
+
+/// True if every path is loop-free and uses only valid link ids
+/// (sanity check for generators; path construction already asserts).
+[[nodiscard]] bool paths_well_formed(const topology& t);
+
+/// Path-intersection statistics used to characterize how "sparse" a
+/// topology is (§3.2 attributes Inference failures to sparsity: few
+/// paths criss-cross, so the equation system has low rank).
+struct sparsity_report {
+  double mean_paths_per_link = 0.0;   ///< avg |Paths({e})| over covered links.
+  double mean_links_per_path = 0.0;   ///< avg path length.
+  double path_overlap_fraction = 0.0; ///< fraction of path pairs sharing >= 1 link.
+  std::size_t covered_links = 0;      ///< links on at least one path.
+};
+
+[[nodiscard]] sparsity_report measure_sparsity(const topology& t);
+
+}  // namespace ntom

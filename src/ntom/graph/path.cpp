@@ -1,0 +1,16 @@
+#include "ntom/graph/path.hpp"
+
+#include <cassert>
+
+namespace ntom {
+
+path::path(std::vector<link_id> links, std::size_t universe)
+    : links_(std::move(links)), link_set_(universe) {
+  for (const link_id e : links_) {
+    assert(e < universe);
+    assert(!link_set_.test(e) && "paths must be loop-free (link repeats)");
+    link_set_.set(e);
+  }
+}
+
+}  // namespace ntom

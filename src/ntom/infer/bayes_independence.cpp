@@ -1,0 +1,16 @@
+#include "ntom/infer/bayes_independence.hpp"
+
+namespace ntom {
+
+bayes_independence_inferencer::bayes_independence_inferencer(
+    const topology& t, const experiment_data& data,
+    const independence_params& params)
+    : topo_(&t), step1_(compute_independence(t, data, params)) {}
+
+bitvec bayes_independence_inferencer::infer(
+    const bitvec& congested_paths) const {
+  const interval_observation obs = make_observation(*topo_, congested_paths);
+  return map_independent(*topo_, obs, step1_.links.congestion);
+}
+
+}  // namespace ntom

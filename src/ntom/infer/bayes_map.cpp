@@ -1,0 +1,239 @@
+#include "ntom/infer/bayes_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "ntom/corr/joint.hpp"
+
+namespace ntom {
+
+namespace {
+
+double clamp_probability(double p) {
+  return std::clamp(p, map_probability_floor, 1.0 - map_probability_floor);
+}
+
+/// log P of one correlation set's state under correlation-aware scoring:
+/// S_a congested, (cand_a \ S_a) good. nullopt if the joint estimates
+/// cannot express it (not identifiable / catalog miss / too large).
+std::optional<double> as_state_log_probability(
+    const probability_estimates& est, const bitvec& congested,
+    const bitvec& good_candidates) {
+  // Inclusion-exclusion is exponential in |congested|; stay small.
+  if (congested.count() > 12) return std::nullopt;
+  const auto p = exact_state_probability(
+      congested, good_candidates,
+      [&](const bitvec& b) { return est.subset_good(b); });
+  if (!p) return std::nullopt;
+  return std::log(clamp_probability(*p));
+}
+
+}  // namespace
+
+bitvec map_independent(const topology& t, const interval_observation& obs,
+                       const std::vector<double>& congestion_prob) {
+  bitvec solution(t.num_links());
+
+  // Links more likely congested than not are always included: they
+  // raise the solution probability regardless of coverage.
+  obs.candidate_links.for_each([&](std::size_t e) {
+    if (clamp_probability(congestion_prob[e]) > 0.5) solution.set(e);
+  });
+
+  bitvec uncovered = obs.congested_paths;
+  solution.for_each(
+      [&](std::size_t e) { uncovered.subtract(t.paths_through(static_cast<link_id>(e))); });
+
+  // Greedy weighted set cover: cost of flipping e from good to
+  // congested is log((1-p)/p) > 0; maximize coverage per unit cost.
+  while (!uncovered.empty()) {
+    link_id best = 0;
+    double best_ratio = -1.0;
+    obs.candidate_links.for_each([&](std::size_t le) {
+      const auto e = static_cast<link_id>(le);
+      if (solution.test(e)) return;
+      bitvec covered = t.paths_through(e);
+      covered &= uncovered;
+      const std::size_t cover = covered.count();
+      if (cover == 0) return;
+      const double p = clamp_probability(congestion_prob[e]);
+      const double cost = std::log((1.0 - p) / p);  // > 0 since p <= 0.5.
+      const double ratio = static_cast<double>(cover) / std::max(cost, 1e-12);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = e;
+      }
+    });
+    if (best_ratio < 0.0) break;  // leftover paths cannot be explained.
+    solution.set(best);
+    uncovered.subtract(t.paths_through(best));
+  }
+  return solution;
+}
+
+bitvec map_correlated(const topology& t, const interval_observation& obs,
+                      const probability_estimates& estimates) {
+  // Marginals for the fallback path (non-identifiable joints).
+  const link_estimates marginals = estimates.to_link_estimates();
+
+  // Per-AS candidate sets.
+  std::vector<bitvec> cand_by_as(t.num_ases(), bitvec(t.num_links()));
+  obs.candidate_links.for_each([&](std::size_t e) {
+    cand_by_as[t.link(static_cast<link_id>(e)).as_number].set(e);
+  });
+
+  // Candidate moves: single links, plus whole correlation subsets of
+  // candidate links. Group moves are essential: for a strongly
+  // correlated pair, flipping one member alone can have probability ~0
+  // while flipping the pair together is cheap (the paper's {e2,e3}).
+  struct move {
+    bitvec links;  ///< links to flip congested (within one AS).
+    as_id as = 0;
+  };
+  std::vector<move> moves;
+  obs.candidate_links.for_each([&](std::size_t le) {
+    const auto e = static_cast<link_id>(le);
+    bitvec single(t.num_links());
+    single.set(e);
+    moves.push_back({std::move(single), t.link(e).as_number});
+  });
+  const subset_catalog& catalog = estimates.catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const bitvec& subset = catalog.subset(i);
+    if (subset.count() < 2) continue;
+    if (!subset.is_subset_of(cand_by_as[catalog.subset_as(i)])) continue;
+    moves.push_back({subset, catalog.subset_as(i)});
+  }
+
+  bitvec solution(t.num_links());
+
+  // Score delta of flipping `m.links` to congested, evaluated within
+  // the move's correlation set only (other sets are unaffected —
+  // independence across sets).
+  auto delta_of = [&](const move& m) -> double {
+    bitvec congested_before = solution;
+    congested_before &= cand_by_as[m.as];
+    bitvec congested_after = congested_before;
+    congested_after |= m.links;
+    if (congested_after == congested_before) return 0.0;  // no-op.
+    bitvec good_before = cand_by_as[m.as];
+    good_before.subtract(congested_before);
+    bitvec good_after = cand_by_as[m.as];
+    good_after.subtract(congested_after);
+
+    const auto before =
+        as_state_log_probability(estimates, congested_before, good_before);
+    const auto after =
+        as_state_log_probability(estimates, congested_after, good_after);
+    if (before && after) return *after - *before;
+
+    // Fallback: marginal scoring for the newly flipped links. A link
+    // whose probability is itself a fallback guess (not estimated by
+    // the system) is capped at 1/2 so it can never flip "for free" —
+    // it may still be chosen when needed to cover a congested path.
+    bitvec flipped = m.links;
+    flipped.subtract(congested_before);
+    double delta = 0.0;
+    flipped.for_each([&](std::size_t e) {
+      double p = clamp_probability(marginals.congestion[e]);
+      if (!marginals.estimated[e]) p = std::min(p, 0.5);
+      delta += std::log(p) - std::log(1.0 - p);
+    });
+    return delta;
+  };
+
+  auto is_noop = [&](const move& m) { return m.links.is_subset_of(solution); };
+
+  // Phase 1: moves that increase the probability by themselves (e.g.
+  // completing a strongly correlated group). Iterate to a fixpoint.
+  auto absorb_positive_moves = [&](bitvec* uncovered) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const move& m : moves) {
+        if (is_noop(m)) continue;
+        // Small positive threshold: with noisy estimates a spurious
+        // hair-positive delta must not flood the solution.
+        if (delta_of(m) > 0.1) {
+          solution |= m.links;
+          if (uncovered) {
+            m.links.for_each([&](std::size_t e) {
+              uncovered->subtract(t.paths_through(static_cast<link_id>(e)));
+            });
+          }
+          changed = true;
+        }
+      }
+    }
+  };
+  absorb_positive_moves(nullptr);
+
+  bitvec uncovered = obs.congested_paths;
+  solution.for_each([&](std::size_t e) {
+    uncovered.subtract(t.paths_through(static_cast<link_id>(e)));
+  });
+
+  // Phase 2: cover the remaining congested paths, cheapest (in log-
+  // probability loss) coverage per covered path first.
+  while (!uncovered.empty()) {
+    const move* best = nullptr;
+    double best_ratio = -1.0;
+    for (const move& m : moves) {
+      if (is_noop(m)) continue;
+      bitvec covered(t.num_paths());
+      m.links.for_each([&](std::size_t e) {
+        covered |= t.paths_through(static_cast<link_id>(e));
+      });
+      covered &= uncovered;
+      const std::size_t cover = covered.count();
+      if (cover == 0) continue;
+      const double cost = std::max(-delta_of(m), 1e-12);
+      const double ratio = static_cast<double>(cover) / cost;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = &m;
+      }
+    }
+    if (best == nullptr) break;  // leftover paths cannot be explained.
+    solution |= best->links;
+    best->links.for_each([&](std::size_t e) {
+      uncovered.subtract(t.paths_through(static_cast<link_id>(e)));
+    });
+    // A flipped group may make further moves free.
+    absorb_positive_moves(&uncovered);
+  }
+  return solution;
+}
+
+bitvec map_exact_independent(const topology& t, const interval_observation& obs,
+                             const std::vector<double>& congestion_prob,
+                             std::size_t max_candidates) {
+  const std::vector<std::size_t> cand = obs.candidate_links.to_indices();
+  bitvec best(t.num_links());
+  if (cand.size() > max_candidates) return best;
+
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << cand.size());
+       ++mask) {
+    bitvec sol(t.num_links());
+    double score = 0.0;
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      const double p = clamp_probability(congestion_prob[cand[i]]);
+      if (mask & (std::uint64_t{1} << i)) {
+        sol.set(cand[i]);
+        score += std::log(p);
+      } else {
+        score += std::log(1.0 - p);
+      }
+    }
+    if (score > best_score && explains_observation(t, obs, sol)) {
+      best_score = score;
+      best = sol;
+    }
+  }
+  return best;
+}
+
+}  // namespace ntom

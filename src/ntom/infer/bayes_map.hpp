@@ -1,0 +1,48 @@
+// Probabilistic Inference — step 2 of the Bayesian algorithms (§2, §3.1).
+//
+// Given per-link (or per-subset) probabilities from Probability
+// Computation, pick the explanation of the interval's observation that
+// occurred with the highest probability (MLE over consistent solutions).
+// The exact problem is NP-complete [11]; like CLINK we use a greedy
+// approximation:
+//
+//  * independence scoring: a solution S has
+//      log P = Σ_{e∈S} log p_e + Σ_{e∈candidates\S} log (1 - p_e);
+//    links with p_e > 1/2 always help, the rest are chosen by a
+//    weighted-set-cover greedy with weight log((1-p_e)/p_e).
+//
+//  * correlation scoring: within each correlation set the state
+//    probability comes from the joint estimates (inclusion-exclusion);
+//    the greedy evaluates the true score delta of adding a link.
+//    Indistinguishable solutions (Identifiability++ violations) tie and
+//    are broken arbitrarily — the paper's "picks at random".
+#pragma once
+
+#include "ntom/infer/observation.hpp"
+#include "ntom/tomo/estimates.hpp"
+
+namespace ntom {
+
+/// Numerical floor for log-probabilities (p clamped to [floor, 1-floor]).
+inline constexpr double map_probability_floor = 1e-6;
+
+/// Greedy MAP under link independence. `congestion_prob[e]` = P(X_e=1).
+[[nodiscard]] bitvec map_independent(const topology& t,
+                                     const interval_observation& obs,
+                                     const std::vector<double>& congestion_prob);
+
+/// Greedy MAP with correlation-aware scoring backed by subset estimates.
+/// Falls back to marginal scoring for links whose joint probabilities
+/// are not identifiable.
+[[nodiscard]] bitvec map_correlated(const topology& t,
+                                    const interval_observation& obs,
+                                    const probability_estimates& estimates);
+
+/// Exact (exponential) MAP by enumerating subsets of the candidate
+/// links, for testing on tiny instances. `max_candidates` guards
+/// against misuse.
+[[nodiscard]] bitvec map_exact_independent(
+    const topology& t, const interval_observation& obs,
+    const std::vector<double>& congestion_prob, std::size_t max_candidates = 20);
+
+}  // namespace ntom

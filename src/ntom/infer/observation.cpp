@@ -1,0 +1,33 @@
+#include "ntom/infer/observation.hpp"
+
+namespace ntom {
+
+interval_observation make_observation(const topology& t,
+                                      const bitvec& congested_paths) {
+  interval_observation obs;
+  obs.congested_paths = congested_paths;
+
+  obs.good_paths = bitvec(t.num_paths());
+  for (path_id p = 0; p < t.num_paths(); ++p) {
+    if (!congested_paths.test(p)) obs.good_paths.set(p);
+  }
+
+  obs.good_links = t.links_of_paths(obs.good_paths);
+  obs.candidate_links = t.links_of_paths(obs.congested_paths);
+  obs.candidate_links.subtract(obs.good_links);
+  return obs;
+}
+
+bool explains_observation(const topology& t, const interval_observation& obs,
+                          const bitvec& solution) {
+  if (!solution.is_subset_of(obs.candidate_links)) return false;
+  bool all_covered = true;
+  obs.congested_paths.for_each([&](std::size_t p) {
+    if (!t.get_path(static_cast<path_id>(p)).link_set().intersects(solution)) {
+      all_covered = false;
+    }
+  });
+  return all_covered;
+}
+
+}  // namespace ntom

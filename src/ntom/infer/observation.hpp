@@ -1,0 +1,33 @@
+// Per-interval observation pre-processing shared by all Boolean
+// Inference algorithms.
+//
+// From one interval's congested-path set, Separability already pins
+// down a lot: every link on a good path is good; the congested links
+// must come from the remaining "candidate" links; and every congested
+// path must contain at least one inferred congested link (otherwise the
+// solution could not have produced the observation).
+#pragma once
+
+#include "ntom/graph/topology.hpp"
+#include "ntom/util/bitvec.hpp"
+
+namespace ntom {
+
+struct interval_observation {
+  bitvec congested_paths;  ///< observed congested paths (over paths).
+  bitvec good_paths;       ///< the other monitored paths.
+  bitvec good_links;       ///< links on >= 1 good path: good by Separability.
+  bitvec candidate_links;  ///< links on congested paths and no good path.
+};
+
+/// Builds the observation for one interval.
+[[nodiscard]] interval_observation make_observation(
+    const topology& t, const bitvec& congested_paths);
+
+/// True if `solution` explains the observation: it covers every
+/// congested path and uses only candidate links.
+[[nodiscard]] bool explains_observation(const topology& t,
+                                        const interval_observation& obs,
+                                        const bitvec& solution);
+
+}  // namespace ntom

@@ -1,0 +1,30 @@
+#include "ntom/infer/sparsity.hpp"
+
+namespace ntom {
+
+bitvec infer_sparsity(const topology& t, const interval_observation& obs) {
+  bitvec solution(t.num_links());
+  bitvec uncovered = obs.congested_paths;
+
+  while (!uncovered.empty()) {
+    link_id best = 0;
+    std::size_t best_cover = 0;
+    obs.candidate_links.for_each([&](std::size_t le) {
+      const auto e = static_cast<link_id>(le);
+      if (solution.test(e)) return;
+      bitvec covered = t.paths_through(e);
+      covered &= uncovered;
+      const std::size_t cover = covered.count();
+      if (cover > best_cover) {  // strict: ties go to the lowest id.
+        best_cover = cover;
+        best = e;
+      }
+    });
+    if (best_cover == 0) break;  // remaining paths cannot be explained.
+    solution.set(best);
+    uncovered.subtract(t.paths_through(best));
+  }
+  return solution;
+}
+
+}  // namespace ntom

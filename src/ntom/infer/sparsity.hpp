@@ -1,0 +1,22 @@
+// Sparsity (the paper's name for Tomo [6], Duffield's SCFS [8] adapted
+// to mesh networks).
+//
+// Under the Homogeneity assumption — all links equally likely to be
+// congested — the most parsimonious explanation is best: greedily pick
+// the candidate link that covers the most still-unexplained congested
+// paths until all are explained. The paper's §3.1 failure mode follows
+// directly: when congestion sits at the network edge, a core link shared
+// by many congested paths looks "better" than the several edge links
+// that actually caused the observation.
+#pragma once
+
+#include "ntom/infer/observation.hpp"
+
+namespace ntom {
+
+/// Infers the congested link set for one interval. Deterministic:
+/// ties are broken toward the lower link id.
+[[nodiscard]] bitvec infer_sparsity(const topology& t,
+                                    const interval_observation& obs);
+
+}  // namespace ntom

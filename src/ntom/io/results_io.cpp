@@ -1,0 +1,38 @@
+#include "ntom/io/results_io.hpp"
+
+#include <ostream>
+
+namespace ntom {
+
+void export_link_estimates_csv(const topology& t,
+                               const probability_estimates& est,
+                               std::ostream& out) {
+  out << "link,as,edge,potentially_congested,estimated,congestion_probability\n";
+  const link_estimates links = est.to_link_estimates();
+  for (link_id e = 0; e < t.num_links(); ++e) {
+    const bool potcong = est.potentially_congested().test(e);
+    out << e << ',' << t.link(e).as_number << ',' << (t.link(e).edge ? 1 : 0)
+        << ',' << (potcong ? 1 : 0) << ',' << (links.estimated[e] ? 1 : 0)
+        << ',' << links.congestion[e] << '\n';
+  }
+}
+
+void export_subset_estimates_csv(const topology& t,
+                                 const probability_estimates& est,
+                                 std::ostream& out) {
+  (void)t;
+  out << "subset,as,size,identifiable,good_probability,congestion_probability\n";
+  for (std::size_t i = 0; i < est.num_subsets(); ++i) {
+    const bitvec& subset = est.catalog().subset(i);
+    out << '"' << subset.to_string() << '"' << ','
+        << est.catalog().subset_as(i) << ',' << subset.count() << ','
+        << (est.identifiable(i) ? 1 : 0) << ',' << est.good_probability(i)
+        << ',';
+    if (const auto congested = est.set_congestion(subset)) {
+      out << *congested;
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace ntom

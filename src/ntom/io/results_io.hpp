@@ -1,0 +1,24 @@
+// Export of Probability Computation results for downstream tooling
+// (spreadsheets, dashboards): per-link CSV and per-subset CSV.
+#pragma once
+
+#include <iosfwd>
+
+#include "ntom/graph/topology.hpp"
+#include "ntom/tomo/estimates.hpp"
+
+namespace ntom {
+
+/// CSV: link,as,edge,potentially_congested,estimated,congestion_probability
+void export_link_estimates_csv(const topology& t,
+                               const probability_estimates& est,
+                               std::ostream& out);
+
+/// CSV: subset,as,size,identifiable,good_probability,congestion_probability
+/// One row per catalog subset; congestion_probability is empty when the
+/// inclusion-exclusion inputs are unavailable.
+void export_subset_estimates_csv(const topology& t,
+                                 const probability_estimates& est,
+                                 std::ostream& out);
+
+}  // namespace ntom

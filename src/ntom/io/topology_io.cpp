@@ -1,0 +1,129 @@
+#include "ntom/io/topology_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ntom {
+
+namespace {
+constexpr const char* magic = "ntom-topology";
+constexpr int format_version = 1;
+}  // namespace
+
+void save_topology(const topology& t, std::ostream& out) {
+  out << magic << ' ' << format_version << '\n';
+  out << "router_links " << t.num_router_links() << '\n';
+  for (link_id e = 0; e < t.num_links(); ++e) {
+    const link_info& info = t.link(e);
+    out << "link " << info.as_number << ' ' << (info.edge ? 1 : 0);
+    for (const router_link_id r : info.router_links) out << ' ' << r;
+    out << '\n';
+  }
+  for (path_id p = 0; p < t.num_paths(); ++p) {
+    out << "path";
+    for (const link_id e : t.get_path(p).links()) out << ' ' << e;
+    out << '\n';
+  }
+}
+
+void save_topology_file(const topology& t, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_topology: cannot open " + path);
+  save_topology(t, out);
+}
+
+topology load_topology(std::istream& in) {
+  std::string word;
+  int version = 0;
+  if (!(in >> word >> version) || word != magic) {
+    throw std::runtime_error("load_topology: bad magic");
+  }
+  if (version != format_version) {
+    throw std::runtime_error("load_topology: unsupported version");
+  }
+  std::size_t router_links = 0;
+  if (!(in >> word >> router_links) || word != "router_links") {
+    throw std::runtime_error("load_topology: missing router_links");
+  }
+
+  topology t(router_links);
+  std::string line;
+  std::getline(in, line);  // consume end of header line.
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    ss >> word;
+    if (word == "link") {
+      link_info info;
+      int edge = 0;
+      if (!(ss >> info.as_number >> edge)) {
+        throw std::runtime_error("load_topology: malformed link line");
+      }
+      info.edge = edge != 0;
+      router_link_id r = 0;
+      while (ss >> r) {
+        if (r >= router_links) {
+          throw std::runtime_error("load_topology: router link out of range");
+        }
+        info.router_links.push_back(r);
+      }
+      t.add_link(std::move(info));
+    } else if (word == "path") {
+      std::vector<link_id> links;
+      link_id e = 0;
+      while (ss >> e) {
+        if (e >= t.num_links()) {
+          throw std::runtime_error("load_topology: path references unknown link");
+        }
+        links.push_back(e);
+      }
+      if (links.empty()) {
+        throw std::runtime_error("load_topology: empty path");
+      }
+      t.add_path(std::move(links));
+    } else {
+      throw std::runtime_error("load_topology: unknown record '" + word + "'");
+    }
+  }
+  t.finalize();
+  return t;
+}
+
+topology load_topology_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_topology: cannot open " + path);
+  return load_topology(in);
+}
+
+void export_dot(const topology& t, std::ostream& out) {
+  out << "graph ntom {\n  node [shape=circle];\n";
+  for (as_id a = 0; a < t.num_ases(); ++a) {
+    const std::size_t links = t.links_in_as(a).count();
+    if (links == 0) continue;
+    out << "  as" << a << " [label=\"AS" << a << "\\n" << links
+        << " links\"];\n";
+  }
+  // AS adjacency: consecutive links on a path connect their ASes.
+  std::map<std::pair<as_id, as_id>, std::size_t> adjacency;
+  for (path_id p = 0; p < t.num_paths(); ++p) {
+    const auto& links = t.get_path(p).links();
+    for (std::size_t i = 0; i + 1 < links.size(); ++i) {
+      as_id x = t.link(links[i]).as_number;
+      as_id y = t.link(links[i + 1]).as_number;
+      if (x == y) continue;
+      if (x > y) std::swap(x, y);
+      ++adjacency[{x, y}];
+    }
+  }
+  for (const auto& [pair, count] : adjacency) {
+    out << "  as" << pair.first << " -- as" << pair.second << " [label=\""
+        << count << "\"];\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace ntom

@@ -1,0 +1,40 @@
+// Topology persistence and visualization exports.
+//
+// The text format is line-oriented and versioned so monitored views can
+// be captured once (from real traceroute processing) and replayed
+// across experiments:
+//
+//   ntom-topology 1
+//   router_links <N>
+//   link <as> <edge 0|1> <router_link...>   (one per AS-level link)
+//   path <link...>                           (one per monitored path)
+//
+// DOT export renders the AS-level structure for inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ntom/graph/topology.hpp"
+
+namespace ntom {
+
+/// Writes the topology in the ntom text format.
+void save_topology(const topology& t, std::ostream& out);
+
+/// Convenience: save to a file path; throws std::runtime_error on I/O
+/// failure.
+void save_topology_file(const topology& t, const std::string& path);
+
+/// Parses a topology from the text format; throws std::runtime_error on
+/// malformed input. The returned topology is finalized.
+[[nodiscard]] topology load_topology(std::istream& in);
+
+[[nodiscard]] topology load_topology_file(const std::string& path);
+
+/// Graphviz DOT of the AS-level view: one node per AS (sized by link
+/// count), one edge per pair of ASes connected by some monitored path
+/// hop. Link ids are listed in the tooltip-ish edge label.
+void export_dot(const topology& t, std::ostream& out);
+
+}  // namespace ntom

@@ -1,0 +1,95 @@
+#include "ntom/linalg/nullspace.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ntom {
+
+double row_nullspace_product(const std::vector<double>& r,
+                             const matrix& n) noexcept {
+  assert(r.size() == n.rows());
+  double best = 0.0;
+  for (std::size_t j = 0; j < n.cols(); ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n.rows(); ++i) s += r[i] * n(i, j);
+    best = std::max(best, std::abs(s));
+  }
+  return best;
+}
+
+bool row_increases_rank(const std::vector<double>& r, const matrix& n,
+                        double tol) noexcept {
+  if (n.cols() == 0) return false;
+  return row_nullspace_product(r, n) > tol;
+}
+
+matrix null_space_update(matrix n, const std::vector<double>& r, double tol) {
+  assert(r.size() == n.rows());
+  const std::size_t rows = n.rows();
+  const std::size_t p = n.cols();
+  if (p == 0) return n;
+
+  // r . N per column; pick the pivot with the largest magnitude.
+  std::vector<double> rn(p, 0.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) s += r[i] * n(i, j);
+    rn[j] = s;
+  }
+  std::size_t pivot = 0;
+  for (std::size_t j = 1; j < p; ++j) {
+    if (std::abs(rn[j]) > std::abs(rn[pivot])) pivot = j;
+  }
+  if (std::abs(rn[pivot]) <= tol) return n;  // r adds no rank; N unchanged.
+
+  n.swap_columns(0, pivot);
+  std::swap(rn[0], rn[pivot]);
+
+  // N' columns: N_j - N_1 * (r.N_j) / (r.N_1), for j = 2..p.
+  matrix updated(rows, p - 1);
+  const double inv = 1.0 / rn[0];
+  for (std::size_t j = 1; j < p; ++j) {
+    const double scale = rn[j] * inv;
+    for (std::size_t i = 0; i < rows; ++i) {
+      updated(i, j - 1) = n(i, j) - scale * n(i, 0);
+    }
+  }
+
+  // Re-normalize columns to keep the basis well-scaled across many updates.
+  for (std::size_t j = 0; j < updated.cols(); ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) norm += updated(i, j) * updated(i, j);
+    norm = std::sqrt(norm);
+    if (norm > tol) {
+      for (std::size_t i = 0; i < rows; ++i) updated(i, j) /= norm;
+    }
+  }
+  return updated;
+}
+
+std::vector<std::size_t> row_hamming_weights(const matrix& n, double tol) {
+  std::vector<std::size_t> weights(n.rows(), 0);
+  for (std::size_t i = 0; i < n.rows(); ++i) {
+    std::size_t w = 0;
+    for (std::size_t j = 0; j < n.cols(); ++j) {
+      if (std::abs(n(i, j)) > tol) ++w;
+    }
+    weights[i] = w;
+  }
+  return weights;
+}
+
+std::vector<bool> identifiable_coordinates(const matrix& n, double tol) {
+  std::vector<bool> out(n.rows(), true);
+  for (std::size_t i = 0; i < n.rows(); ++i) {
+    for (std::size_t j = 0; j < n.cols(); ++j) {
+      if (std::abs(n(i, j)) > tol) {
+        out[i] = false;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ntom

@@ -1,0 +1,132 @@
+#include "ntom/linalg/qr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ntom {
+
+qr_decomposition qr_factorize(const matrix& a, double rel_tol) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  qr_decomposition out;
+  out.q = matrix::identity(m);
+  out.r = a;
+  out.perm.resize(n);
+  for (std::size_t j = 0; j < n; ++j) out.perm[j] = j;
+
+  // Squared column norms of the trailing submatrix, used for pivoting.
+  std::vector<double> col_norm2(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) col_norm2[j] += out.r(i, j) * out.r(i, j);
+  }
+
+  const std::size_t steps = std::min(m, n);
+  for (std::size_t k = 0; k < steps; ++k) {
+    // Pivot: bring the largest remaining column to position k.
+    std::size_t pivot = k;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      if (col_norm2[j] > col_norm2[pivot]) pivot = j;
+    }
+    if (pivot != k) {
+      out.r.swap_columns(k, pivot);
+      std::swap(col_norm2[k], col_norm2[pivot]);
+      std::swap(out.perm[k], out.perm[pivot]);
+    }
+
+    // Householder vector for column k below the diagonal.
+    double norm_x = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm_x += out.r(i, k) * out.r(i, k);
+    norm_x = std::sqrt(norm_x);
+    if (norm_x == 0.0) continue;
+
+    const double alpha = out.r(k, k) >= 0.0 ? -norm_x : norm_x;
+    std::vector<double> v(m - k, 0.0);
+    v[0] = out.r(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = out.r(i, k);
+    double vnorm2 = 0.0;
+    for (const double x : v) vnorm2 += x * x;
+    if (vnorm2 == 0.0) continue;
+
+    // Apply H = I - 2 v v^T / (v^T v) to R (columns k..n) ...
+    for (std::size_t j = k; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += v[i - k] * out.r(i, j);
+      s = 2.0 * s / vnorm2;
+      for (std::size_t i = k; i < m; ++i) out.r(i, j) -= s * v[i - k];
+    }
+    // ... and accumulate into Q (Q <- Q H, acting on columns k..m of Q).
+    for (std::size_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (std::size_t j = k; j < m; ++j) s += out.q(i, j) * v[j - k];
+      s = 2.0 * s / vnorm2;
+      for (std::size_t j = k; j < m; ++j) out.q(i, j) -= s * v[j - k];
+    }
+
+    // Exact zeros below the diagonal and updated trailing norms.
+    out.r(k, k) = alpha;
+    for (std::size_t i = k + 1; i < m; ++i) out.r(i, k) = 0.0;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      col_norm2[j] -= out.r(k, j) * out.r(k, j);
+      if (col_norm2[j] < 0.0) col_norm2[j] = 0.0;
+    }
+  }
+
+  double max_diag = 0.0;
+  for (std::size_t k = 0; k < steps; ++k) {
+    max_diag = std::max(max_diag, std::abs(out.r(k, k)));
+  }
+  out.tolerance = rel_tol * std::max(max_diag, 1.0);
+  out.rank = 0;
+  for (std::size_t k = 0; k < steps; ++k) {
+    if (std::abs(out.r(k, k)) > out.tolerance) ++out.rank;
+  }
+  return out;
+}
+
+std::size_t matrix_rank(const matrix& a, double rel_tol) {
+  if (a.empty()) return 0;
+  return qr_factorize(a, rel_tol).rank;
+}
+
+matrix null_space_basis(const matrix& a, double rel_tol) {
+  const std::size_t n = a.cols();
+  if (a.rows() == 0) return matrix::identity(n);
+
+  const qr_decomposition f = qr_factorize(a, rel_tol);
+  const std::size_t r = f.rank;
+  const std::size_t k = n - r;
+  matrix basis(n, k);
+  if (k == 0) return basis;
+
+  // For each free column j (pivoted index r+j), back-substitute
+  // R11 * y1 = -R12[:, j] and scatter through the permutation.
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<double> y(n, 0.0);
+    y[r + j] = 1.0;
+    for (std::size_t i = r; i-- > 0;) {
+      double s = f.r(i, r + j);
+      for (std::size_t c = i + 1; c < r; ++c) s += f.r(i, c) * y[c];
+      y[i] = -s / f.r(i, i);
+    }
+    for (std::size_t c = 0; c < n; ++c) basis(f.perm[c], j) = y[c];
+  }
+
+  // Modified Gram-Schmidt for a well-conditioned basis.
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t prev = 0; prev < j; ++prev) {
+      double proj = 0.0;
+      for (std::size_t i = 0; i < n; ++i) proj += basis(i, j) * basis(i, prev);
+      for (std::size_t i = 0; i < n; ++i) basis(i, j) -= proj * basis(i, prev);
+    }
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) norm += basis(i, j) * basis(i, j);
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) basis(i, j) /= norm;
+    }
+  }
+  return basis;
+}
+
+}  // namespace ntom

@@ -1,0 +1,41 @@
+// Householder QR factorization with column pivoting.
+//
+// This single factorization powers everything the tomography core needs:
+// numerical rank, an orthonormal null-space basis (the N matrix of
+// Algorithm 1), and least-squares / minimum-norm solves of the log-domain
+// equation systems.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ntom/linalg/matrix.hpp"
+
+namespace ntom {
+
+/// Result of a column-pivoted Householder QR of an m x n matrix A:
+/// A * P = Q * R with Q (m x m) orthogonal, R (m x n) upper triangular,
+/// and P a column permutation that moves the largest remaining column
+/// first at each step (rank-revealing).
+struct qr_decomposition {
+  matrix q;                      ///< m x m orthogonal factor.
+  matrix r;                      ///< m x n upper-triangular factor.
+  std::vector<std::size_t> perm; ///< perm[j] = original column of pivoted col j.
+  std::size_t rank = 0;          ///< numerical rank at the given tolerance.
+  double tolerance = 0.0;        ///< absolute diagonal threshold used.
+};
+
+/// Factorizes A. `rel_tol` scales the rank threshold relative to the
+/// largest diagonal of R (default suits well-scaled 0/1 systems).
+[[nodiscard]] qr_decomposition qr_factorize(const matrix& a,
+                                            double rel_tol = 1e-10);
+
+/// Numerical rank of A (shorthand for qr_factorize(a).rank).
+[[nodiscard]] std::size_t matrix_rank(const matrix& a, double rel_tol = 1e-10);
+
+/// Orthonormal basis of the null space of A, returned as an n x k matrix
+/// whose columns satisfy A * col ~ 0. k = n - rank(A); k == 0 yields an
+/// n x 0 matrix.
+[[nodiscard]] matrix null_space_basis(const matrix& a, double rel_tol = 1e-10);
+
+}  // namespace ntom

@@ -1,0 +1,85 @@
+#include "ntom/linalg/solve.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "ntom/linalg/nullspace.hpp"
+#include "ntom/linalg/qr.hpp"
+
+namespace ntom {
+
+std::vector<double> solve_upper_triangular(const matrix& r,
+                                           const std::vector<double>& b) {
+  assert(r.rows() == r.cols() && b.size() == r.rows());
+  const std::size_t n = r.rows();
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= r(i, j) * x[j];
+    assert(r(i, i) != 0.0);
+    x[i] = s / r(i, i);
+  }
+  return x;
+}
+
+lstsq_result solve_least_squares(const matrix& a, const std::vector<double>& b,
+                                 double rel_tol) {
+  assert(b.size() == a.rows());
+  const std::size_t n = a.cols();
+  lstsq_result out;
+  out.x.assign(n, 0.0);
+  out.identifiable.assign(n, false);
+  if (a.empty()) {
+    out.residual_norm = norm2(b);
+    return out;
+  }
+
+  const qr_decomposition f = qr_factorize(a, rel_tol);
+  const std::size_t k = f.rank;
+  out.rank = k;
+
+  // c = Q^T b; solve R11 y1 = c1 with free coordinates zero (basic
+  // solution in the pivoted ordering).
+  std::vector<double> c(a.rows(), 0.0);
+  for (std::size_t j = 0; j < a.rows(); ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) s += f.q(i, j) * b[i];
+    c[j] = s;
+  }
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = k; i-- > 0;) {
+    double s = c[i];
+    for (std::size_t j = i + 1; j < k; ++j) s -= f.r(i, j) * y[j];
+    y[i] = s / f.r(i, i);
+  }
+  for (std::size_t j = 0; j < n; ++j) out.x[f.perm[j]] = y[j];
+
+  // Project away any null-space component -> minimum-norm solution, and
+  // flag which coordinates the measurements actually determine.
+  const matrix nsp = null_space_basis(a, rel_tol);
+  if (nsp.cols() > 0) {
+    // x <- x - N (N^T x); N has orthonormal columns.
+    std::vector<double> coeff(nsp.cols(), 0.0);
+    for (std::size_t j = 0; j < nsp.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i) s += nsp(i, j) * out.x[i];
+      coeff[j] = s;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < nsp.cols(); ++j) s += nsp(i, j) * coeff[j];
+      out.x[i] -= s;
+    }
+  }
+  out.identifiable = identifiable_coordinates(nsp);
+
+  const std::vector<double> ax = a.multiply(out.x);
+  double res = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    res += (ax[i] - b[i]) * (ax[i] - b[i]);
+  }
+  out.residual_norm = std::sqrt(res);
+  return out;
+}
+
+}  // namespace ntom

@@ -1,0 +1,36 @@
+// Linear solvers on top of the QR factorization.
+//
+// The tomographic systems are A x = b with A a 0/1 incidence-style
+// matrix (possibly rank-deficient) and b measured log-probabilities.
+// We need the minimum-norm least-squares solution plus per-coordinate
+// identifiability so callers can distinguish "estimated" from
+// "undetermined by the measurements".
+#pragma once
+
+#include <vector>
+
+#include "ntom/linalg/matrix.hpp"
+
+namespace ntom {
+
+/// Solution of a (possibly rank-deficient) least-squares problem.
+struct lstsq_result {
+  std::vector<double> x;          ///< minimum-norm least-squares solution.
+  std::size_t rank = 0;           ///< numerical rank of A.
+  double residual_norm = 0.0;     ///< ||A x - b||_2.
+  std::vector<bool> identifiable; ///< per-coordinate: determined by A?
+};
+
+/// Minimum-norm least-squares solve of A x = b via column-pivoted QR on A
+/// (complete orthogonal decomposition for the rank-deficient case).
+/// Requires b.size() == a.rows().
+[[nodiscard]] lstsq_result solve_least_squares(const matrix& a,
+                                               const std::vector<double>& b,
+                                               double rel_tol = 1e-10);
+
+/// Solves upper-triangular R x = b by back substitution. R must be
+/// square with nonzero diagonal.
+[[nodiscard]] std::vector<double> solve_upper_triangular(
+    const matrix& r, const std::vector<double>& b);
+
+}  // namespace ntom

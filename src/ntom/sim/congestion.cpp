@@ -1,0 +1,36 @@
+#include "ntom/sim/congestion.hpp"
+
+#include <cassert>
+
+namespace ntom {
+
+link_state_sampler::link_state_sampler(const topology& t,
+                                       const congestion_model& model,
+                                       std::uint64_t seed)
+    : topo_(t), model_(model), rand_(seed) {
+  assert(!model.phase_q.empty());
+  const std::size_t n = model.phase_q.front().size();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const auto& q : model.phase_q) {
+      if (q[r] > 0.0) {
+        active_router_links_.push_back(r);
+        break;
+      }
+    }
+  }
+}
+
+bitvec link_state_sampler::sample_interval(std::size_t t) {
+  const auto& q = model_.phase_q[model_.phase_of_interval(t)];
+  bitvec congested(topo_.num_links());
+  for (const std::size_t r : active_router_links_) {
+    if (q[r] <= 0.0 || !rand_.bernoulli(q[r])) continue;
+    for (const link_id e :
+         topo_.links_on_router_link(static_cast<router_link_id>(r))) {
+      congested.set(e);
+    }
+  }
+  return congested;
+}
+
+}  // namespace ntom

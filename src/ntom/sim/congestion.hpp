@@ -1,0 +1,68 @@
+// Congestion model: who can be congested, with what probability, and
+// how links co-congest.
+//
+// Congestion is driven at the router level (§3.2): each router-level
+// link r has a per-phase probability q_r of being congested in an
+// interval; an AS-level link is congested iff at least one of its
+// underlying router-level links is. AS-level links that share a
+// router-level link are therefore positively correlated — the paper's
+// correlation mechanism ("if a router-level link becomes congested,
+// then all the AS-level links that share this router-level link become
+// congested at the same time"). Non-stationary scenarios use multiple
+// phases: the probability vector changes every `phase_length` intervals.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ntom/graph/topology.hpp"
+#include "ntom/util/bitvec.hpp"
+#include "ntom/util/rng.hpp"
+
+namespace ntom {
+
+/// Per-phase router-link congestion probabilities plus bookkeeping.
+struct congestion_model {
+  /// phase_q[k][r] = P(router link r congested) during phase k.
+  /// At least one phase; stationary models have exactly one.
+  std::vector<std::vector<double>> phase_q;
+
+  /// Intervals per phase; the model cycles through phases in order.
+  std::size_t phase_length = static_cast<std::size_t>(-1);
+
+  /// AS-level links with a non-zero congestion probability in >= 1 phase.
+  bitvec congestable_links;
+
+  [[nodiscard]] std::size_t num_phases() const noexcept {
+    return phase_q.size();
+  }
+
+  /// Phase active during interval t (clamped to the last phase).
+  [[nodiscard]] std::size_t phase_of_interval(std::size_t t) const noexcept {
+    if (phase_q.size() <= 1 || phase_length == 0) return 0;
+    const std::size_t k = t / phase_length;
+    return k < phase_q.size() ? k : phase_q.size() - 1;
+  }
+};
+
+/// Draws per-interval link states from a congestion model.
+class link_state_sampler {
+ public:
+  link_state_sampler(const topology& t, const congestion_model& model,
+                     std::uint64_t seed);
+
+  /// Samples the AS-level congestion state for interval t: router links
+  /// are drawn independently Bernoulli(q_r), then ORed per AS link.
+  /// Call with increasing t for the documented stream semantics
+  /// (the draw sequence, not t itself, advances the generator).
+  [[nodiscard]] bitvec sample_interval(std::size_t t);
+
+ private:
+  const topology& topo_;
+  const congestion_model& model_;
+  rng rand_;
+  std::vector<std::size_t> active_router_links_;  ///< q_r > 0 in some phase.
+};
+
+}  // namespace ntom

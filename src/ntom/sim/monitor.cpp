@@ -1,0 +1,36 @@
+#include "ntom/sim/monitor.hpp"
+
+#include <cmath>
+
+namespace ntom {
+
+std::size_t path_observations::count_all_good(const bitvec& path_set) const {
+  bool first = true;
+  bitvec acc;
+  path_set.for_each([&](std::size_t p) {
+    if (first) {
+      acc = data_->path_good_intervals[p];
+      first = false;
+    } else {
+      acc &= data_->path_good_intervals[p];
+    }
+  });
+  if (first) return data_->intervals;  // empty set: vacuously all good.
+  return acc.count();
+}
+
+double path_observations::empirical_all_good(const bitvec& path_set) const {
+  if (data_->intervals == 0) return 0.0;
+  return static_cast<double>(count_all_good(path_set)) /
+         static_cast<double>(data_->intervals);
+}
+
+std::optional<double> path_observations::log_empirical_all_good(
+    const bitvec& path_set) const {
+  const std::size_t count = count_all_good(path_set);
+  if (count == 0) return std::nullopt;
+  return std::log(static_cast<double>(count) /
+                  static_cast<double>(data_->intervals));
+}
+
+}  // namespace ntom

@@ -1,0 +1,44 @@
+// Empirical path-set statistics over a finished experiment.
+//
+// Probability Computation's measured quantities are of the form
+// P(∩_{p∈P} Y_p = 0): the fraction of intervals in which ALL paths of a
+// set were good (the left-hand side of Eq. 1). With per-path interval
+// bit-sets this is one AND + popcount per path.
+#pragma once
+
+#include <optional>
+
+#include "ntom/sim/packet_sim.hpp"
+
+namespace ntom {
+
+/// Read-side view over experiment_data; does not own it.
+class path_observations {
+ public:
+  explicit path_observations(const experiment_data& data) : data_(&data) {}
+
+  [[nodiscard]] std::size_t intervals() const noexcept {
+    return data_->intervals;
+  }
+
+  /// Number of intervals where every path in `path_set` was good.
+  [[nodiscard]] std::size_t count_all_good(const bitvec& path_set) const;
+
+  /// Empirical P(all paths in `path_set` good) = count / T.
+  [[nodiscard]] double empirical_all_good(const bitvec& path_set) const;
+
+  /// log of the empirical probability; nullopt when the count is 0
+  /// (no finite logarithm — Eq. 1 cannot use this path set).
+  [[nodiscard]] std::optional<double> log_empirical_all_good(
+      const bitvec& path_set) const;
+
+  /// Paths that were good in every interval.
+  [[nodiscard]] const bitvec& always_good_paths() const noexcept {
+    return data_->always_good_paths;
+  }
+
+ private:
+  const experiment_data* data_;
+};
+
+}  // namespace ntom

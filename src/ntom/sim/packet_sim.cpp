@@ -1,0 +1,75 @@
+#include "ntom/sim/packet_sim.hpp"
+
+#include <cassert>
+
+namespace ntom {
+
+experiment_data run_experiment(const topology& t, const congestion_model& model,
+                               const sim_params& params) {
+  assert(t.finalized());
+  rng rand(params.seed);
+  link_state_sampler sampler(t, model, rand.next_u64());
+  rng loss_rand = rand.split();
+  rng packet_rand = rand.split();
+
+  experiment_data data;
+  data.intervals = params.intervals;
+  data.path_good_intervals.assign(t.num_paths(), bitvec(params.intervals));
+  data.congested_paths_by_interval.assign(params.intervals,
+                                          bitvec(t.num_paths()));
+  data.congested_links_by_interval.reserve(params.intervals);
+  data.ever_congested_links = bitvec(t.num_links());
+
+  std::vector<double> link_loss(t.num_links(), 0.0);
+
+  for (std::size_t interval = 0; interval < params.intervals; ++interval) {
+    const bitvec congested = sampler.sample_interval(interval);
+    data.ever_congested_links |= congested;
+
+    // Loss rates are drawn only for links on monitored paths; others
+    // never carry probes.
+    if (!params.oracle_monitor) {
+      t.covered_links().for_each([&](std::size_t e) {
+        link_loss[e] = sample_link_loss(loss_rand, congested.test(e),
+                                        params.loss_threshold);
+      });
+    }
+
+    for (path_id p = 0; p < t.num_paths(); ++p) {
+      const path& pth = t.get_path(p);
+      bool path_congested;
+      if (params.oracle_monitor) {
+        // Separability made exact: congested iff some link is.
+        path_congested = pth.link_set().intersects(congested);
+      } else {
+        double survive = 1.0;
+        for (const link_id e : pth.links()) survive *= 1.0 - link_loss[e];
+        const std::size_t delivered =
+            packet_rand.binomial(params.packets_per_path, survive);
+        const double observed_loss =
+            1.0 - static_cast<double>(delivered) /
+                      static_cast<double>(params.packets_per_path);
+        path_congested =
+            observed_loss >
+            params.threshold_margin *
+                path_congestion_threshold(pth.length(), params.loss_threshold);
+      }
+      if (path_congested) {
+        data.congested_paths_by_interval[interval].set(p);
+      } else {
+        data.path_good_intervals[p].set(interval);
+      }
+    }
+    data.congested_links_by_interval.push_back(congested);
+  }
+
+  data.always_good_paths = bitvec(t.num_paths());
+  for (path_id p = 0; p < t.num_paths(); ++p) {
+    if (data.path_good_intervals[p].count() == params.intervals) {
+      data.always_good_paths.set(p);
+    }
+  }
+  return data;
+}
+
+}  // namespace ntom

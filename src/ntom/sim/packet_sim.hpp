@@ -1,0 +1,61 @@
+// The measurement experiment: T intervals of per-path probing (§2, §3.2).
+//
+// Each interval: draw link states from the congestion model, assign each
+// link a loss rate from the loss model, push `packets_per_path` probes
+// down every path with independent per-link drops, and classify each
+// path good/congested against the 1-(1-f)^d threshold. The E2E
+// Monitoring assumption can be made exact with `oracle_monitor`, which
+// classifies a path congested iff one of its links is (useful to
+// separate algorithmic error from probing noise).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ntom/sim/congestion.hpp"
+#include "ntom/sim/loss_model.hpp"
+
+namespace ntom {
+
+struct sim_params {
+  std::size_t intervals = 1000;        ///< T; the paper averages over 1000.
+  std::size_t packets_per_path = 200;  ///< probes per path per interval.
+  double loss_threshold = default_loss_threshold;  ///< f.
+
+  /// Operational margin on the path threshold: a path is declared
+  /// congested when observed loss exceeds margin * (1-(1-f)^d). Good
+  /// links draw loss up to f, so with finite probes a margin of 1 would
+  /// misclassify short all-good paths regularly; congested links draw
+  /// loss in (f, 1], so a modest margin costs almost no detection.
+  double threshold_margin = 1.3;
+
+  bool oracle_monitor = false;  ///< skip probing; use true path status.
+  std::uint64_t seed = 7;
+};
+
+/// Everything an estimator or a scorer may need from one experiment.
+struct experiment_data {
+  std::size_t intervals = 0;
+
+  /// Per path: bit t set iff the path was observed GOOD in interval t.
+  std::vector<bitvec> path_good_intervals;
+
+  /// Per interval: observed congested paths (bit-set over paths).
+  std::vector<bitvec> congested_paths_by_interval;
+
+  /// Per interval: true congested links (ground truth, for scoring only).
+  std::vector<bitvec> congested_links_by_interval;
+
+  /// Paths observed good in every interval.
+  bitvec always_good_paths;
+
+  /// Links truly congested in at least one interval.
+  bitvec ever_congested_links;
+};
+
+/// Runs the full experiment. Deterministic in params.seed.
+[[nodiscard]] experiment_data run_experiment(const topology& t,
+                                             const congestion_model& model,
+                                             const sim_params& params);
+
+}  // namespace ntom

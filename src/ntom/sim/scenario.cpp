@@ -1,0 +1,150 @@
+#include "ntom/sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "ntom/util/log.hpp"
+
+namespace ntom {
+
+namespace {
+
+/// Picks one driver router link per chosen AS link, uniformly among the
+/// link's underlying router links.
+std::vector<router_link_id> drivers_for_links(const topology& t,
+                                              const std::vector<link_id>& links,
+                                              rng& rand) {
+  std::vector<router_link_id> drivers;
+  drivers.reserve(links.size());
+  for (const link_id e : links) {
+    const auto& rl = t.link(e).router_links;
+    if (rl.empty()) continue;  // degenerate; link can never be congested.
+    drivers.push_back(rl[rand.uniform_index(rl.size())]);
+  }
+  return drivers;
+}
+
+std::vector<link_id> pool_to_vector(const bitvec& pool) {
+  std::vector<link_id> out;
+  out.reserve(pool.count());
+  pool.for_each([&](std::size_t e) { out.push_back(static_cast<link_id>(e)); });
+  return out;
+}
+
+}  // namespace
+
+const char* scenario_name(scenario_kind kind) noexcept {
+  switch (kind) {
+    case scenario_kind::random_congestion:
+      return "Random Congestion";
+    case scenario_kind::concentrated_congestion:
+      return "Concentrated Congestion";
+    case scenario_kind::no_independence:
+      return "No Independence";
+  }
+  return "?";
+}
+
+congestion_model make_scenario(const topology& t, scenario_kind kind,
+                               const scenario_params& params) {
+  rng rand(params.seed);
+  const std::size_t covered = t.covered_links().count();
+  const auto target = static_cast<std::size_t>(std::llround(
+      params.congestable_fraction * static_cast<double>(covered)));
+
+  std::unordered_set<router_link_id> driver_set;
+
+  switch (kind) {
+    case scenario_kind::random_congestion: {
+      auto pool = pool_to_vector(t.covered_links());
+      rand.shuffle(pool);
+      pool.resize(std::min(pool.size(), std::max<std::size_t>(target, 1)));
+      for (const auto r : drivers_for_links(t, pool, rand)) driver_set.insert(r);
+      break;
+    }
+    case scenario_kind::concentrated_congestion: {
+      // Congestion at the destination edge (the source ISP's own
+      // access segments in AS 0 are excluded). Congested edges are
+      // picked AS by AS — whole neighbourhoods congest together, as in
+      // the paper's toy example where e2 and e3 saturate every path
+      // through the core link e1 and make it the (wrong) parsimonious
+      // explanation.
+      std::vector<std::vector<link_id>> edges_by_as(t.num_ases());
+      t.covered_links().for_each([&](std::size_t le) {
+        const auto e = static_cast<link_id>(le);
+        const auto& info = t.link(e);
+        if (info.edge && info.as_number != 0) {
+          edges_by_as[info.as_number].push_back(e);
+        }
+      });
+      // Busiest edge neighbourhoods first (ties broken by AS id).
+      std::vector<as_id> as_order;
+      for (as_id a = 0; a < t.num_ases(); ++a) {
+        if (!edges_by_as[a].empty()) as_order.push_back(a);
+      }
+      std::stable_sort(as_order.begin(), as_order.end(),
+                       [&](as_id x, as_id y) {
+                         return edges_by_as[x].size() > edges_by_as[y].size();
+                       });
+      std::vector<link_id> pool;
+      for (const as_id a : as_order) {
+        if (pool.size() >= std::max<std::size_t>(target, 1)) break;
+        for (const link_id e : edges_by_as[a]) pool.push_back(e);
+      }
+      if (pool.empty()) {
+        NTOM_WARN << "concentrated scenario: no destination edge links";
+      }
+      pool.resize(std::min(pool.size(), std::max<std::size_t>(target, 1)));
+      for (const auto r : drivers_for_links(t, pool, rand)) driver_set.insert(r);
+      break;
+    }
+    case scenario_kind::no_independence: {
+      // Drive congestion only through router links shared by >= 2
+      // AS-level links, so every congestable link co-congests with
+      // at least one other.
+      std::vector<router_link_id> shared;
+      for (router_link_id r = 0; r < t.num_router_links(); ++r) {
+        std::size_t covered_users = 0;
+        for (const link_id e : t.links_on_router_link(r)) {
+          if (t.covered_links().test(e)) ++covered_users;
+        }
+        if (covered_users >= 2) shared.push_back(r);
+      }
+      rand.shuffle(shared);
+      bitvec marked(t.num_links());
+      for (const auto r : shared) {
+        if (marked.count() >= std::max<std::size_t>(target, 2)) break;
+        driver_set.insert(r);
+        for (const link_id e : t.links_on_router_link(r)) marked.set(e);
+      }
+      if (marked.count() < 2) {
+        NTOM_WARN << "no-independence scenario: topology has no shared "
+                     "router links; model will be empty";
+      }
+      break;
+    }
+  }
+
+  congestion_model model;
+  const std::size_t phases =
+      params.nonstationary ? std::max<std::size_t>(params.num_phases, 1) : 1;
+  model.phase_length = params.nonstationary
+                           ? params.phase_length
+                           : static_cast<std::size_t>(-1);
+  model.phase_q.assign(phases, std::vector<double>(t.num_router_links(), 0.0));
+  for (auto& q : model.phase_q) {
+    for (const auto r : driver_set) q[r] = rand.uniform();
+  }
+
+  model.congestable_links = bitvec(t.num_links());
+  for (const auto r : driver_set) {
+    for (const link_id e : t.links_on_router_link(r)) {
+      model.congestable_links.set(e);
+    }
+  }
+  return model;
+}
+
+}  // namespace ntom

@@ -1,0 +1,49 @@
+// The paper's congestion scenarios (§3.2, §5.4) as congestion-model
+// builders.
+//
+//   Random Congestion      — 10% of covered links congestable, chosen at
+//                            random, probabilities U(0,1).
+//   Concentrated Congestion— the congestable links sit at the network
+//                            edge (links adjacent to end-hosts).
+//   No Independence        — every congestable link is correlated with
+//                            at least one other (they share driver
+//                            router-level links).
+//   No Stationarity        — probabilities are redrawn every few
+//                            intervals (layered on any base scenario).
+//
+// The "Sparse Topology" scenario of Fig. 3 is Random Congestion applied
+// to a Sparse topology — a topology choice, not a model choice.
+#pragma once
+
+#include <cstdint>
+
+#include "ntom/sim/congestion.hpp"
+
+namespace ntom {
+
+enum class scenario_kind {
+  random_congestion,
+  concentrated_congestion,
+  no_independence,
+};
+
+struct scenario_params {
+  double congestable_fraction = 0.10;  ///< the paper's 10%.
+  bool nonstationary = false;          ///< redraw probabilities per phase.
+  std::size_t phase_length = 50;       ///< intervals per phase ("every few
+                                       ///  time intervals").
+  std::size_t num_phases = 1;          ///< phases to pre-draw when
+                                       ///  nonstationary (cover T/phase_length).
+  std::uint64_t seed = 11;
+};
+
+/// Builds a congestion model for the scenario on the given topology.
+/// Deterministic in params.seed.
+[[nodiscard]] congestion_model make_scenario(const topology& t,
+                                             scenario_kind kind,
+                                             const scenario_params& params);
+
+/// Human-readable scenario name (figure labels).
+[[nodiscard]] const char* scenario_name(scenario_kind kind) noexcept;
+
+}  // namespace ntom

@@ -1,0 +1,64 @@
+#include "ntom/tomo/correlation_complete.hpp"
+
+#include <cmath>
+
+#include "ntom/corr/correlation.hpp"
+#include "ntom/linalg/solve.hpp"
+
+namespace ntom {
+
+correlation_complete_result compute_correlation_complete(
+    const topology& t, const experiment_data& data,
+    const correlation_complete_params& params) {
+  const path_observations obs(data);
+  const bitvec potcong =
+      potentially_congested_links(t, obs.always_good_paths());
+  subset_catalog catalog = subset_catalog::build(t, potcong, params.limits);
+
+  // Algorithm 1, restricted to path sets with a usable measured log
+  // (enough all-good observations for a stable estimate).
+  const std::size_t min_count = std::max<std::size_t>(params.min_all_good_count, 1);
+  const pathset_selection selection = select_path_sets(
+      t, catalog, potcong, params.selection,
+      [&](const bitvec& pset) { return obs.count_all_good(pset) >= min_count; });
+
+  // Assemble and solve the log-domain system. Rows are weighted by
+  // sqrt(count): var(log p̂) ≈ (1-p)/(T p) shrinks with the all-good
+  // count, so well-observed equations should dominate the fit (weights
+  // rescale rows; the row space — hence identifiability — is
+  // unchanged).
+  equation_builder builder(t, catalog, potcong);
+  matrix a;
+  std::vector<double> b;
+  for (std::size_t i = 0; i < selection.path_sets.size(); ++i) {
+    const auto logp = obs.log_empirical_all_good(selection.path_sets[i]);
+    if (!logp) continue;  // guarded by the predicate; defensive.
+    const double weight = std::sqrt(
+        static_cast<double>(obs.count_all_good(selection.path_sets[i])));
+    std::vector<double> row = builder.dense_row(selection.rows[i]);
+    for (double& x : row) x *= weight;
+    a.append_row(row);
+    b.push_back(*logp * weight);
+  }
+
+  correlation_complete_result result{
+      probability_estimates(t, std::move(catalog), potcong)};
+  result.equations_used = b.size();
+  result.seed_equations = selection.seed_equations;
+  result.added_equations = selection.added_equations;
+  if (b.empty()) return result;
+
+  const lstsq_result solution = solve_least_squares(a, b);
+  result.system_rank = solution.rank;
+  result.residual_norm = solution.residual_norm;
+
+  for (std::size_t i = 0; i < solution.x.size(); ++i) {
+    // x_i = log g(E_i); identifiability per the solved system's null
+    // space (authoritative over Algorithm 1's incrementally-updated N).
+    result.estimates.set_good_probability(i, std::exp(solution.x[i]),
+                                          solution.identifiable[i]);
+  }
+  return result;
+}
+
+}  // namespace ntom

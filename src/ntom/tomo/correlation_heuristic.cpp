@@ -1,0 +1,96 @@
+#include "ntom/tomo/correlation_heuristic.hpp"
+
+#include <cmath>
+
+#include "ntom/corr/correlation.hpp"
+#include "ntom/linalg/solve.hpp"
+#include "ntom/tomo/equations.hpp"
+
+namespace ntom {
+
+correlation_heuristic_result compute_correlation_heuristic(
+    const topology& t, const experiment_data& data,
+    const correlation_heuristic_params& params) {
+  const path_observations obs(data);
+  const bitvec potcong =
+      potentially_congested_links(t, obs.always_good_paths());
+  subset_catalog catalog = subset_catalog::build(t, potcong, params.limits);
+  equation_builder builder(t, catalog, potcong);
+
+  matrix a;
+  std::vector<double> b;
+  auto add_equation = [&](const bitvec& path_set) {
+    const auto row = builder.row(path_set);
+    if (!row || row->empty()) return;
+    const auto logp = obs.log_empirical_all_good(path_set);
+    if (!logp) return;
+    // sqrt(count) weighting, as in correlation_complete.cpp.
+    const double weight =
+        std::sqrt(static_cast<double>(obs.count_all_good(path_set)));
+    std::vector<double> dense = builder.dense_row(*row);
+    for (double& x : dense) x *= weight;
+    a.append_row(dense);
+    b.push_back(*logp * weight);
+  };
+
+  // Equation flood: all singles, then intersecting pairs and triples in
+  // deterministic order until the caps.
+  for (path_id p = 0; p < t.num_paths(); ++p) {
+    bitvec single(t.num_paths());
+    single.set(p);
+    add_equation(single);
+  }
+  std::size_t pairs = 0;
+  for (path_id p = 0; p < t.num_paths() && pairs < params.max_pair_equations;
+       ++p) {
+    for (path_id q = p + 1;
+         q < t.num_paths() && pairs < params.max_pair_equations; ++q) {
+      if (!t.get_path(p).link_set().intersects(t.get_path(q).link_set())) {
+        continue;
+      }
+      bitvec pair(t.num_paths());
+      pair.set(p);
+      pair.set(q);
+      add_equation(pair);
+      ++pairs;
+    }
+  }
+  std::size_t triples = 0;
+  for (path_id p = 0;
+       p < t.num_paths() && triples < params.max_triple_equations; ++p) {
+    for (path_id q = p + 1;
+         q < t.num_paths() && triples < params.max_triple_equations; ++q) {
+      if (!t.get_path(p).link_set().intersects(t.get_path(q).link_set())) {
+        continue;
+      }
+      for (path_id s = q + 1;
+           s < t.num_paths() && triples < params.max_triple_equations; ++s) {
+        if (!t.get_path(s).link_set().intersects(t.get_path(p).link_set()) &&
+            !t.get_path(s).link_set().intersects(t.get_path(q).link_set())) {
+          continue;
+        }
+        bitvec triple(t.num_paths());
+        triple.set(p);
+        triple.set(q);
+        triple.set(s);
+        add_equation(triple);
+        ++triples;
+      }
+    }
+  }
+
+  correlation_heuristic_result result{
+      probability_estimates(t, std::move(catalog), potcong)};
+  result.equations_used = b.size();
+  if (b.empty()) return result;
+
+  const lstsq_result solution = solve_least_squares(a, b);
+  result.system_rank = solution.rank;
+  for (std::size_t i = 0; i < solution.x.size(); ++i) {
+    result.estimates.set_good_probability(i, std::exp(solution.x[i]),
+                                          solution.identifiable[i]);
+  }
+  return result;
+}
+
+}  // namespace ntom

@@ -1,0 +1,35 @@
+// Correlation-heuristic: the earlier approach of Ghita et al. [9]
+// ("Network Tomography on Correlated Links", IMC 2010), the paper's
+// second Fig. 4 baseline.
+//
+// Like Correlation-complete it assumes Correlation Sets, but instead of
+// selecting a minimal equation set it floods the solver with every
+// available small path-set equation (singles, pairs, triples of
+// intersecting paths). Each equation's right-hand side is a noisy
+// empirical log-probability, so the redundant system "introduces more
+// noise when solving" (§5.4) — visibly worse on Sparse topologies where
+// only a few noisy, barely-overlapping equations exist per unknown.
+#pragma once
+
+#include "ntom/sim/monitor.hpp"
+#include "ntom/tomo/estimates.hpp"
+
+namespace ntom {
+
+struct correlation_heuristic_params {
+  subset_limits limits;  ///< same catalog caps as Correlation-complete.
+  std::size_t max_pair_equations = 4000;
+  std::size_t max_triple_equations = 2000;
+};
+
+struct correlation_heuristic_result {
+  probability_estimates estimates;
+  std::size_t equations_used = 0;
+  std::size_t system_rank = 0;
+};
+
+[[nodiscard]] correlation_heuristic_result compute_correlation_heuristic(
+    const topology& t, const experiment_data& data,
+    const correlation_heuristic_params& params = {});
+
+}  // namespace ntom

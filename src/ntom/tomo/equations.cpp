@@ -1,0 +1,50 @@
+#include "ntom/tomo/equations.hpp"
+
+#include <algorithm>
+
+namespace ntom {
+
+equation_builder::equation_builder(const topology& t,
+                                   const subset_catalog& catalog,
+                                   const bitvec& potcong)
+    : topo_(&t), catalog_(&catalog), potcong_(potcong) {}
+
+std::optional<std::vector<std::size_t>> equation_builder::row(
+    const bitvec& path_set) const {
+  bitvec links = topo_->links_of_paths(path_set);
+  links &= potcong_;
+
+  // Group the touched links by correlation set (= AS); only the ASes
+  // actually present are visited (rows are built in hot loops).
+  std::vector<std::pair<as_id, bitvec>> by_as;
+  links.for_each([&](std::size_t le) {
+    const as_id a = topo_->link(static_cast<link_id>(le)).as_number;
+    for (auto& [seen_as, s] : by_as) {
+      if (seen_as == a) {
+        s.set(le);
+        return;
+      }
+    }
+    by_as.emplace_back(a, bitvec(topo_->num_links()));
+    by_as.back().second.set(le);
+  });
+
+  std::vector<std::size_t> sparse;
+  sparse.reserve(by_as.size());
+  for (const auto& [a, s] : by_as) {
+    const std::size_t idx = catalog_->find(s);
+    if (idx == subset_catalog::npos) return std::nullopt;
+    sparse.push_back(idx);
+  }
+  std::sort(sparse.begin(), sparse.end());
+  return sparse;
+}
+
+std::vector<double> equation_builder::dense_row(
+    const std::vector<std::size_t>& sparse) const {
+  std::vector<double> dense(catalog_->size(), 0.0);
+  for (const std::size_t i : sparse) dense[i] = 1.0;
+  return dense;
+}
+
+}  // namespace ntom

@@ -1,0 +1,44 @@
+// Eq. 1 in row form (§5.1, §5.2).
+//
+// For a path set P, Separability gives
+//   P(∩_{p∈P} Y_p = 0) = Π_{C∈C*} P(∩_{e ∈ Links(P)∩C} X_e = 0),
+// which is linear in the logs: one unknown log g(Links(P)∩C) per
+// intersected correlation set. Row(P, Ê) marks those unknowns with a 1.
+// A row is expressible only if every intersection is in the enumerated
+// catalog (size caps can exclude large unions — the paper's resource
+// knob); inexpressible path sets are skipped by Algorithm 1.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ntom/corr/subsets.hpp"
+#include "ntom/graph/topology.hpp"
+#include "ntom/util/bitvec.hpp"
+
+namespace ntom {
+
+/// Builds Eq. 1 rows against a fixed catalog Ê.
+class equation_builder {
+ public:
+  equation_builder(const topology& t, const subset_catalog& catalog,
+                   const bitvec& potcong);
+
+  /// Sparse Row(P, Ê): ascending catalog indices of the unknowns
+  /// appearing in the equation for `path_set`. nullopt when some
+  /// intersection Links(P) ∩ C is not in the catalog. An empty result
+  /// means the path set touches no potentially congested link.
+  [[nodiscard]] std::optional<std::vector<std::size_t>> row(
+      const bitvec& path_set) const;
+
+  /// Dense 0/1 vector of length catalog.size() for a sparse row.
+  [[nodiscard]] std::vector<double> dense_row(
+      const std::vector<std::size_t>& sparse) const;
+
+ private:
+  const topology* topo_;
+  const subset_catalog* catalog_;
+  bitvec potcong_;
+};
+
+}  // namespace ntom

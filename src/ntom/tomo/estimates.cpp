@@ -1,0 +1,116 @@
+#include "ntom/tomo/estimates.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ntom/corr/joint.hpp"
+
+namespace ntom {
+
+probability_estimates::probability_estimates(const topology& t,
+                                             subset_catalog catalog,
+                                             bitvec potcong)
+    : topo_(&t),
+      catalog_(std::move(catalog)),
+      potcong_(std::move(potcong)),
+      good_prob_(catalog_.size(), 1.0),
+      identifiable_(catalog_.size(), false) {}
+
+void probability_estimates::set_good_probability(std::size_t i, double value,
+                                                 bool identifiable) {
+  good_prob_[i] = std::clamp(value, 0.0, 1.0);
+  identifiable_[i] = identifiable;
+}
+
+std::optional<double> probability_estimates::subset_good(
+    const bitvec& links) const {
+  bitvec trimmed = links;
+  trimmed &= potcong_;  // always-good links are good w.p. 1.
+  if (trimmed.empty()) return 1.0;
+  const std::size_t i = catalog_.find(trimmed);
+  if (i == subset_catalog::npos || !identifiable_[i]) return std::nullopt;
+  return good_prob_[i];
+}
+
+std::optional<double> probability_estimates::link_congestion(link_id e) const {
+  if (!potcong_.test(e)) return 0.0;
+  const std::size_t i = catalog_.singleton_of(e);
+  if (i == subset_catalog::npos || !identifiable_[i]) return std::nullopt;
+  return 1.0 - good_prob_[i];
+}
+
+std::optional<double> probability_estimates::set_congestion(
+    const bitvec& links) const {
+  // A set containing an always-good covered link can never be all
+  // congested. (Uncovered links are unknowable; treat them as outside
+  // the potentially congested family too.)
+  bitvec trimmed = links;
+  trimmed &= potcong_;
+  if (trimmed.count() != links.count()) return 0.0;
+  if (trimmed.empty()) return 1.0;
+
+  // Independence across correlation sets: multiply per-AS factors.
+  double product = 1.0;
+  for (as_id a = 0; a < topo_->num_ases(); ++a) {
+    bitvec in_as = trimmed;
+    in_as &= topo_->links_in_as(a);
+    if (in_as.empty()) continue;
+    const auto factor = ntom::set_congestion_probability(
+        in_as, [&](const bitvec& b) { return subset_good(b); });
+    if (!factor) return std::nullopt;
+    product *= *factor;
+  }
+  return product;
+}
+
+link_estimates probability_estimates::to_link_estimates() const {
+  link_estimates out;
+  out.congestion.assign(topo_->num_links(), 0.0);
+  out.estimated.assign(topo_->num_links(), false);
+
+  potcong_.for_each([&](std::size_t le) {
+    const auto e = static_cast<link_id>(le);
+    const auto direct = link_congestion(e);
+    if (direct) {
+      out.congestion[e] = *direct;
+      out.estimated[e] = true;
+      return;
+    }
+    // First fallback: the minimum-norm least-squares value stored for
+    // the singleton. The solver spreads the undetermined log-mass
+    // evenly across indistinguishable coordinates — the same split a
+    // per-link least-squares (Independence) applies — so it is the
+    // best unbiased guess available; it is merely not *guaranteed*.
+    const std::size_t singleton = catalog_.singleton_of(e);
+    if (singleton != subset_catalog::npos) {
+      out.congestion[e] = 1.0 - good_prob_[singleton];
+      return;
+    }
+    // Last resort ({e} not even expressible): geometric split of the
+    // smallest identifiable subset containing e.
+    std::size_t best = subset_catalog::npos;
+    std::size_t best_size = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < catalog_.size(); ++i) {
+      if (!identifiable_[i] || !catalog_.subset(i).test(e)) continue;
+      const std::size_t size = catalog_.subset(i).count();
+      if (size < best_size) {
+        best = i;
+        best_size = size;
+      }
+    }
+    if (best == subset_catalog::npos) return;  // no information at all.
+    const double share =
+        std::pow(good_prob_[best], 1.0 / static_cast<double>(best_size));
+    out.congestion[e] = 1.0 - share;
+  });
+  return out;
+}
+
+double probability_estimates::identifiable_fraction() const noexcept {
+  if (identifiable_.empty()) return 0.0;
+  std::size_t count = 0;
+  for (const bool b : identifiable_) count += b ? 1 : 0;
+  return static_cast<double>(count) / static_cast<double>(identifiable_.size());
+}
+
+}  // namespace ntom

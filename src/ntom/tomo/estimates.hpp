@@ -1,0 +1,84 @@
+// Results of Probability Computation.
+//
+// The estimators produce P(all links in E good) for the enumerated
+// correlation subsets, with per-subset identifiability flags (when
+// Identifiability++ fails, some subsets are undetermined — the paper's
+// Case 2). This container answers the derived queries consumers need:
+// per-link congestion probabilities (Fig. 4(a)-(c)), congestion
+// probabilities of arbitrary sets (Fig. 4(d)), and exact-state
+// probabilities for Bayesian Inference.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ntom/corr/subsets.hpp"
+#include "ntom/graph/topology.hpp"
+#include "ntom/util/bitvec.hpp"
+
+namespace ntom {
+
+/// Per-link outputs all three algorithms can emit (for Fig. 4 metrics).
+struct link_estimates {
+  std::vector<double> congestion;  ///< per link; 0 for non-potentially-congested.
+  std::vector<bool> estimated;     ///< false = not determined by the system.
+};
+
+/// Subset-level "all good" probabilities tied to a subset catalog.
+class probability_estimates {
+ public:
+  probability_estimates(const topology& t, subset_catalog catalog,
+                        bitvec potcong);
+
+  [[nodiscard]] const subset_catalog& catalog() const noexcept {
+    return catalog_;
+  }
+  [[nodiscard]] const bitvec& potentially_congested() const noexcept {
+    return potcong_;
+  }
+
+  /// Sets the estimate for catalog subset i (clamped to [0,1]).
+  void set_good_probability(std::size_t i, double value, bool identifiable);
+
+  /// g(E) = P(all links in E good). Always-good links are dropped from E
+  /// first (they are good w.p. 1); E empty after dropping yields 1.
+  /// nullopt if the remaining subset is not identifiable / not cataloged.
+  [[nodiscard]] std::optional<double> subset_good(const bitvec& links) const;
+
+  /// P(X_e = 1) = 1 - g({e}); 0 for links that are not potentially
+  /// congested; nullopt when {e} is not identifiable.
+  [[nodiscard]] std::optional<double> link_congestion(link_id e) const;
+
+  /// P(all links in `links` congested): independence across correlation
+  /// sets (Assumption 5), inclusion-exclusion within each set. Contains
+  /// an always-good link -> 0. nullopt if some needed g is unavailable.
+  [[nodiscard]] std::optional<double> set_congestion(const bitvec& links) const;
+
+  /// Per-link view for the Fig. 4 metrics. Unidentifiable singletons
+  /// fall back to the smallest identifiable subset containing the link:
+  /// the estimate is the midpoint of the sandwich
+  /// set_congestion(E) <= P(X_e=1) <= 1 - g(E); `estimated` stays false.
+  [[nodiscard]] link_estimates to_link_estimates() const;
+
+  /// Fraction of catalog subsets flagged identifiable.
+  [[nodiscard]] double identifiable_fraction() const noexcept;
+
+  [[nodiscard]] std::size_t num_subsets() const noexcept {
+    return catalog_.size();
+  }
+  [[nodiscard]] bool identifiable(std::size_t i) const noexcept {
+    return identifiable_[i];
+  }
+  [[nodiscard]] double good_probability(std::size_t i) const noexcept {
+    return good_prob_[i];
+  }
+
+ private:
+  const topology* topo_;
+  subset_catalog catalog_;
+  bitvec potcong_;
+  std::vector<double> good_prob_;
+  std::vector<bool> identifiable_;
+};
+
+}  // namespace ntom

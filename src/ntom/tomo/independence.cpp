@@ -1,0 +1,89 @@
+#include "ntom/tomo/independence.hpp"
+
+#include <cmath>
+
+#include "ntom/corr/correlation.hpp"
+#include "ntom/linalg/solve.hpp"
+
+namespace ntom {
+
+independence_result compute_independence(const topology& t,
+                                         const experiment_data& data,
+                                         const independence_params& params) {
+  const path_observations obs(data);
+  const bitvec potcong =
+      potentially_congested_links(t, obs.always_good_paths());
+
+  // Column map: potentially congested links only (others are good w.p. 1
+  // and would only add zero columns).
+  std::vector<std::size_t> col_of_link(t.num_links(),
+                                       static_cast<std::size_t>(-1));
+  std::vector<link_id> link_of_col;
+  potcong.for_each([&](std::size_t e) {
+    col_of_link[e] = link_of_col.size();
+    link_of_col.push_back(static_cast<link_id>(e));
+  });
+  const std::size_t n = link_of_col.size();
+
+  matrix a;
+  std::vector<double> b;
+  auto add_equation = [&](const bitvec& path_set) {
+    const auto logp = obs.log_empirical_all_good(path_set);
+    if (!logp) return;
+    bitvec links = t.links_of_paths(path_set);
+    links &= potcong;
+    if (links.empty()) return;
+    // sqrt(count) weighting: same variance argument as in
+    // correlation_complete.cpp.
+    const double weight =
+        std::sqrt(static_cast<double>(obs.count_all_good(path_set)));
+    std::vector<double> row(n, 0.0);
+    links.for_each([&](std::size_t e) { row[col_of_link[e]] = weight; });
+    a.append_row(row);
+    b.push_back(*logp * weight);
+  };
+
+  // Single paths.
+  for (path_id p = 0; p < t.num_paths(); ++p) {
+    bitvec single(t.num_paths());
+    single.set(p);
+    add_equation(single);
+  }
+  // Pairs of intersecting paths, in deterministic order, capped.
+  std::size_t pairs = 0;
+  for (path_id p = 0; p < t.num_paths() && pairs < params.max_pair_equations;
+       ++p) {
+    for (path_id q = p + 1;
+         q < t.num_paths() && pairs < params.max_pair_equations; ++q) {
+      if (!t.get_path(p).link_set().intersects(t.get_path(q).link_set())) {
+        continue;
+      }
+      bitvec pair(t.num_paths());
+      pair.set(p);
+      pair.set(q);
+      add_equation(pair);
+      ++pairs;
+    }
+  }
+
+  independence_result result;
+  result.links.congestion.assign(t.num_links(), 0.0);
+  result.links.estimated.assign(t.num_links(), false);
+  result.log_good.assign(t.num_links(), 0.0);
+  result.equations_used = b.size();
+  if (b.empty()) return result;
+
+  const lstsq_result solution = solve_least_squares(a, b);
+  result.system_rank = solution.rank;
+  for (std::size_t c = 0; c < n; ++c) {
+    const link_id e = link_of_col[c];
+    // x_c = log P(X_e = 0); clamp to a valid log-probability.
+    const double log_good = std::min(solution.x[c], 0.0);
+    result.log_good[e] = log_good;
+    result.links.congestion[e] = 1.0 - std::exp(log_good);
+    result.links.estimated[e] = solution.identifiable[c];
+  }
+  return result;
+}
+
+}  // namespace ntom

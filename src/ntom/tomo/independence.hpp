@@ -1,0 +1,38 @@
+// Independence: the Probability Computation step of CLINK [11]
+// (the paper's "Independence" baseline in Fig. 4 and step 1 of
+// Bayesian-Independence in Fig. 3).
+//
+// Assumes all links are independent (Assumption 4), so the unknowns are
+// per-link log-good-probabilities and Eq. 1 degenerates to
+//   log P(∩ Y_p = 0) = Σ_{e ∈ Links(P)} log P(X_e = 0).
+// Equations come from single paths and pairs of intersecting paths
+// (Fig. 2(a)); the system is solved by least squares. When links are in
+// fact correlated, the factorization is simply wrong — the source of
+// this baseline's error in the No-Independence scenarios.
+#pragma once
+
+#include "ntom/sim/monitor.hpp"
+#include "ntom/tomo/estimates.hpp"
+
+namespace ntom {
+
+struct independence_params {
+  /// Cap on pair-of-paths equations (all single paths are always used).
+  std::size_t max_pair_equations = 6000;
+};
+
+struct independence_result {
+  link_estimates links;
+  std::size_t equations_used = 0;
+  std::size_t system_rank = 0;
+
+  /// log P(X_e = 0) per link (for Bayesian-Independence's MAP step);
+  /// 0 for links outside the potentially congested set.
+  std::vector<double> log_good;
+};
+
+[[nodiscard]] independence_result compute_independence(
+    const topology& t, const experiment_data& data,
+    const independence_params& params = {});
+
+}  // namespace ntom

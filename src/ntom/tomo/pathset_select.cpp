@@ -1,0 +1,151 @@
+#include "ntom/tomo/pathset_select.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "ntom/corr/correlation.hpp"
+#include "ntom/linalg/nullspace.hpp"
+#include "ntom/linalg/qr.hpp"
+
+namespace ntom {
+
+namespace {
+
+/// Masks 1..2^k-1 ordered by popcount then value, cached per k: small
+/// path sets are tried first (they have larger empirical counts, hence
+/// usable logs).
+const std::vector<std::uint32_t>& masks_by_popcount(std::size_t k) {
+  static std::vector<std::vector<std::uint32_t>> cache(32);
+  auto& masks = cache[k];
+  if (masks.empty() && k > 0) {
+    masks.resize((std::uint32_t{1} << k) - 1);
+    std::iota(masks.begin(), masks.end(), 1u);
+    std::stable_sort(masks.begin(), masks.end(),
+                     [](std::uint32_t a, std::uint32_t b) {
+                       return __builtin_popcount(a) < __builtin_popcount(b);
+                     });
+  }
+  return masks;
+}
+
+}  // namespace
+
+pathset_selection select_path_sets(const topology& t,
+                                   const subset_catalog& catalog,
+                                   const bitvec& potcong,
+                                   const pathset_selection_params& params,
+                                   const pathset_predicate& usable) {
+  equation_builder builder(t, catalog, potcong);
+  pathset_selection out;
+  const std::size_t n1 = catalog.size();
+
+  // Candidate paths for subset i: Paths(E) \ Paths(Ē) (lines 2-3).
+  // Precomputed once — the augmentation loop revisits subsets often.
+  std::vector<bitvec> candidates(n1);
+  std::vector<std::vector<std::size_t>> candidate_indices(n1);
+  for (std::size_t i = 0; i < n1; ++i) {
+    const bitvec& e = catalog.subset(i);
+    bitvec paths = t.paths_of_links(e);
+    const bitvec complement =
+        subset_complement(t, e, catalog.subset_as(i), potcong);
+    paths.subtract(t.paths_of_links(complement));
+    candidate_indices[i] = paths.to_indices();
+    if (candidate_indices[i].size() > params.max_subset_paths) {
+      candidate_indices[i].resize(params.max_subset_paths);
+    }
+    candidates[i] = std::move(paths);
+  }
+  auto candidate_paths = [&](std::size_t i) -> const bitvec& {
+    return candidates[i];
+  };
+
+  std::unordered_set<bitvec, bitvec_hash> rejected;  // unusable/known rows.
+  std::unordered_set<bitvec, bitvec_hash> accepted;
+
+  auto try_accept = [&](const bitvec& pset)
+      -> std::optional<std::vector<std::size_t>> {
+    if (pset.empty() || accepted.count(pset) || rejected.count(pset)) {
+      return std::nullopt;
+    }
+    if (usable && !usable(pset)) {
+      rejected.insert(pset);
+      return std::nullopt;
+    }
+    auto row = builder.row(pset);
+    if (!row || row->empty()) {
+      rejected.insert(pset);
+      return std::nullopt;
+    }
+    return row;
+  };
+
+  // ---- Step 1: seed equations, one per correlation subset.
+  matrix system;
+  for (std::size_t i = 0; i < n1; ++i) {
+    const bitvec pset = candidate_paths(i);
+    auto row = try_accept(pset);
+    if (!row) continue;
+    accepted.insert(pset);
+    out.path_sets.push_back(pset);
+    out.rows.push_back(*row);
+    system.append_row(builder.dense_row(*row));
+  }
+  out.seed_equations = out.path_sets.size();
+
+  // ---- Step 2: initial null space.
+  matrix nsp = system.rows() == 0 ? matrix::identity(n1)
+                                  : null_space_basis(system);
+
+  // ---- Step 3: augmentation guided by the null space.
+  while (nsp.cols() > 0) {
+    bool found = false;
+
+    std::vector<std::size_t> order(n1);
+    std::iota(order.begin(), order.end(), 0);
+    const std::vector<std::size_t> weights = row_hamming_weights(nsp);
+    if (params.sort_by_hamming_weight) {
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return weights[a] > weights[b];
+                       });
+    }
+
+    for (const std::size_t i : order) {
+      if (weights[i] == 0) continue;  // subset already determined.
+      const std::vector<std::size_t>& paths = candidate_indices[i];
+      if (paths.empty()) continue;
+
+      const auto& masks = masks_by_popcount(paths.size());
+      const std::size_t limit =
+          std::min<std::size_t>(masks.size(), params.max_candidates_per_subset);
+      for (std::size_t m = 0; m < limit && !found; ++m) {
+        bitvec pset(t.num_paths());
+        for (std::size_t b = 0; b < paths.size(); ++b) {
+          if (masks[m] & (1u << b)) pset.set(paths[b]);
+        }
+        auto row = try_accept(pset);
+        if (!row) continue;
+        const std::vector<double> dense = builder.dense_row(*row);
+        if (row_increases_rank(dense, nsp, params.rank_tolerance)) {
+          accepted.insert(pset);
+          out.path_sets.push_back(pset);
+          out.rows.push_back(*row);
+          ++out.added_equations;
+          nsp = null_space_update(nsp, dense, params.rank_tolerance);
+          found = true;
+        } else {
+          rejected.insert(pset);
+        }
+      }
+      if (found) break;
+    }
+    if (!found) break;  // r = 0 in the paper's termination condition.
+  }
+
+  out.null_space = std::move(nsp);
+  out.identifiable = identifiable_coordinates(out.null_space);
+  return out;
+}
+
+}  // namespace ntom

@@ -1,0 +1,158 @@
+#include "ntom/topogen/brite.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "ntom/topogen/project.hpp"
+#include "ntom/util/rng.hpp"
+
+namespace ntom::topogen {
+
+namespace {
+
+/// Barabási–Albert AS adjacency: each new AS attaches to `m` distinct
+/// existing ASes chosen proportionally to degree.
+std::vector<std::pair<as_id, as_id>> build_as_graph(std::size_t num_ases,
+                                                    std::size_t m, rng& rand) {
+  std::vector<std::pair<as_id, as_id>> edges;
+  std::vector<std::size_t> degree(num_ases, 0);
+  // Attachment pool: each vertex appears once per unit of degree.
+  std::vector<as_id> pool;
+
+  const std::size_t seed_count = std::max<std::size_t>(m + 1, 2);
+  for (as_id a = 1; a < seed_count && a < num_ases; ++a) {
+    edges.emplace_back(a - 1, a);
+    degree[a - 1]++;
+    degree[a]++;
+    pool.push_back(a - 1);
+    pool.push_back(a);
+  }
+  for (as_id a = static_cast<as_id>(seed_count); a < num_ases; ++a) {
+    std::vector<as_id> targets;
+    std::size_t attempts = 0;
+    while (targets.size() < m && attempts < 64) {
+      ++attempts;
+      const as_id candidate = pool[rand.uniform_index(pool.size())];
+      if (candidate != a &&
+          std::find(targets.begin(), targets.end(), candidate) == targets.end()) {
+        targets.push_back(candidate);
+      }
+    }
+    for (const as_id target : targets) {
+      edges.emplace_back(a, target);
+      degree[a]++;
+      degree[target]++;
+      pool.push_back(a);
+      pool.push_back(target);
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+topology generate_brite(const brite_params& params) {
+  rng rand(params.seed);
+  const std::size_t num_ases = params.num_ases;
+  const std::size_t rpa = params.routers_per_as;
+  assert(num_ases >= 2 && rpa >= 1);
+
+  router_network net;
+  // Routers: AS a owns vertices [a*rpa, (a+1)*rpa).
+  for (std::size_t a = 0; a < num_ases; ++a) {
+    for (std::size_t r = 0; r < rpa; ++r) {
+      net.graph.add_vertex();
+      net.router_as.push_back(static_cast<as_id>(a));
+      net.is_host.push_back(false);
+    }
+  }
+  auto router_of = [&](std::size_t a, std::size_t r) {
+    return static_cast<std::uint32_t>(a * rpa + r);
+  };
+
+  // Intra-AS: random spanning tree plus extra random edges.
+  for (std::size_t a = 0; a < num_ases; ++a) {
+    for (std::size_t r = 1; r < rpa; ++r) {
+      const std::size_t parent = rand.uniform_index(r);
+      net.graph.add_bidirectional_edge(router_of(a, r), router_of(a, parent));
+    }
+    const auto extra = static_cast<std::size_t>(
+        params.intra_extra_edge_frac * static_cast<double>(rpa));
+    for (std::size_t k = 0; k < extra; ++k) {
+      const std::uint32_t u = router_of(a, rand.uniform_index(rpa));
+      const std::uint32_t v = router_of(a, rand.uniform_index(rpa));
+      if (u != v && !net.graph.has_edge(u, v)) {
+        net.graph.add_bidirectional_edge(u, v);
+      }
+    }
+  }
+
+  // Inter-AS: one router link per AS adjacency, between random border
+  // routers of the two ASes.
+  for (const auto& [a, b] : build_as_graph(num_ases, params.as_attach_degree, rand)) {
+    const std::uint32_t u = router_of(a, rand.uniform_index(rpa));
+    const std::uint32_t v = router_of(b, rand.uniform_index(rpa));
+    net.graph.add_bidirectional_edge(u, v);
+  }
+
+  // Measurement endpoints: vantage points inside AS 0, destinations
+  // spread over the other ASes. BRITE proper has no end-host vertices,
+  // so by default endpoints are routers themselves (marking their
+  // adjacent segments as edge links); optionally leaf host vertices
+  // are attached instead.
+  std::vector<std::uint32_t> vantage;
+  std::vector<std::uint32_t> destinations;
+  if (params.router_endpoints) {
+    for (std::size_t i = 0; i < params.num_vantage_hosts; ++i) {
+      const std::uint32_t r = router_of(0, rand.uniform_index(rpa));
+      net.is_host[r] = true;  // endpoint: flags adjacent segments edge.
+      vantage.push_back(r);
+    }
+    for (std::size_t i = 0; i < params.num_destination_hosts; ++i) {
+      const std::size_t a = 1 + rand.uniform_index(num_ases - 1);
+      const std::uint32_t r = router_of(a, rand.uniform_index(rpa));
+      net.is_host[r] = true;
+      destinations.push_back(r);
+    }
+  } else {
+    for (std::size_t i = 0; i < params.num_vantage_hosts; ++i) {
+      const std::uint32_t host = net.graph.add_vertex();
+      net.router_as.push_back(0);
+      net.is_host.push_back(true);
+      net.graph.add_bidirectional_edge(host,
+                                       router_of(0, rand.uniform_index(rpa)));
+      vantage.push_back(host);
+    }
+    for (std::size_t i = 0; i < params.num_destination_hosts; ++i) {
+      const std::size_t a = 1 + rand.uniform_index(num_ases - 1);
+      const std::uint32_t host = net.graph.add_vertex();
+      net.router_as.push_back(static_cast<as_id>(a));
+      net.is_host.push_back(true);
+      net.graph.add_bidirectional_edge(host,
+                                       router_of(a, rand.uniform_index(rpa)));
+      destinations.push_back(host);
+    }
+  }
+
+  // Monitored paths: BFS routes for (vantage, destination) pairs
+  // sampled without replacement (duplicate traceroutes carry no
+  // information and would distort the sparsity statistics).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(vantage.size() * destinations.size());
+  for (const auto src : vantage) {
+    for (const auto dst : destinations) pairs.emplace_back(src, dst);
+  }
+  rand.shuffle(pairs);
+
+  std::vector<std::vector<std::uint32_t>> router_paths;
+  for (const auto& [src, dst] : pairs) {
+    if (router_paths.size() >= params.num_paths) break;
+    auto route = net.graph.shortest_path_random(src, dst, rand);
+    if (route && !route->empty()) router_paths.push_back(std::move(*route));
+  }
+
+  return project_to_as_level(net, router_paths);
+}
+
+}  // namespace ntom::topogen

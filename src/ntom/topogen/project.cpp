@@ -1,0 +1,134 @@
+#include "ntom/topogen/project.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+namespace ntom::topogen {
+
+namespace {
+
+// Key of an intra-domain AS-level link: (AS, entry router, exit router).
+using intra_key = std::tuple<as_id, std::uint32_t, std::uint32_t>;
+
+struct link_builder {
+  link_info info;
+  link_id id = 0;
+};
+
+}  // namespace
+
+topology project_to_as_level(
+    const router_network& net,
+    const std::vector<std::vector<std::uint32_t>>& router_paths) {
+  const digraph& g = net.graph;
+
+  // Stable maps from segment keys to AS-level link ids; built in one
+  // pass, then materialized into the topology in id order.
+  std::map<intra_key, std::size_t> intra_ids;
+  std::map<std::uint32_t, std::size_t> inter_ids;  // keyed by router edge id.
+  std::vector<link_builder> builders;
+  std::vector<std::vector<std::size_t>> as_paths;  // builder indices per path.
+
+  auto intra_link = [&](as_id a, std::uint32_t entry, std::uint32_t exit,
+                        const std::vector<std::uint32_t>& segment_edges,
+                        bool touches_host) -> std::size_t {
+    const intra_key key{a, entry, exit};
+    const auto it = intra_ids.find(key);
+    if (it != intra_ids.end()) {
+      // Merge: union the router links (different runs may route the same
+      // border pair differently only if the substrate changed; unioning
+      // keeps correlation structure conservative and deterministic).
+      auto& rl = builders[it->second].info.router_links;
+      for (const auto e : segment_edges) {
+        if (std::find(rl.begin(), rl.end(), e) == rl.end()) rl.push_back(e);
+      }
+      builders[it->second].info.edge |= touches_host;
+      return it->second;
+    }
+    link_builder b;
+    b.info.as_number = a;
+    b.info.router_links.assign(segment_edges.begin(), segment_edges.end());
+    b.info.edge = touches_host;
+    builders.push_back(std::move(b));
+    intra_ids.emplace(key, builders.size() - 1);
+    return builders.size() - 1;
+  };
+
+  auto inter_link = [&](std::uint32_t router_edge, as_id downstream) -> std::size_t {
+    const auto it = inter_ids.find(router_edge);
+    if (it != inter_ids.end()) return it->second;
+    link_builder b;
+    b.info.as_number = downstream;
+    b.info.router_links = {router_edge};
+    b.info.edge = false;
+    builders.push_back(std::move(b));
+    inter_ids.emplace(router_edge, builders.size() - 1);
+    return builders.size() - 1;
+  };
+
+  for (const auto& rpath : router_paths) {
+    if (rpath.empty()) continue;
+    std::vector<std::size_t> as_seq;
+
+    // Walk the router path, splitting into intra-AS runs and
+    // inter-domain crossings.
+    std::vector<std::uint32_t> segment;    // router edges of current run.
+    std::uint32_t segment_entry = g.edge(rpath.front()).from;
+    bool segment_touches_host = net.is_host[segment_entry];
+    as_id segment_as = net.router_as[segment_entry];
+
+    auto flush_segment = [&](std::uint32_t exit_router) {
+      if (segment.empty()) return;
+      as_seq.push_back(intra_link(segment_as, segment_entry, exit_router,
+                                  segment, segment_touches_host));
+      segment.clear();
+    };
+
+    for (const std::uint32_t eid : rpath) {
+      const auto& e = g.edge(eid);
+      const as_id from_as = net.router_as[e.from];
+      const as_id to_as = net.router_as[e.to];
+      if (from_as == to_as) {
+        segment.push_back(eid);
+        segment_touches_host =
+            segment_touches_host || net.is_host[e.from] || net.is_host[e.to];
+      } else {
+        // Crossing: close the current intra run at the border router,
+        // then emit the inter-domain link (owned by the downstream AS).
+        flush_segment(e.from);
+        as_seq.push_back(inter_link(eid, to_as));
+        segment_entry = e.to;
+        segment_as = to_as;
+        segment_touches_host = net.is_host[e.to];
+      }
+    }
+    flush_segment(g.edge(rpath.back()).to);
+
+    // Drop accidental duplicates (a simple router path cannot revisit a
+    // border pair, so this only defends against degenerate inputs).
+    std::vector<std::size_t> dedup;
+    for (const std::size_t b : as_seq) {
+      if (std::find(dedup.begin(), dedup.end(), b) == dedup.end()) {
+        dedup.push_back(b);
+      }
+    }
+    as_paths.push_back(std::move(dedup));
+  }
+
+  topology t(g.edge_count());
+  for (auto& b : builders) {
+    b.id = t.add_link(std::move(b.info));
+  }
+  for (const auto& seq : as_paths) {
+    std::vector<link_id> links;
+    links.reserve(seq.size());
+    for (const std::size_t b : seq) links.push_back(builders[b].id);
+    t.add_path(std::move(links));
+  }
+  t.finalize();
+  return t;
+}
+
+}  // namespace ntom::topogen

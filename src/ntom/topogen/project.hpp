@@ -1,0 +1,39 @@
+// Router-level to AS-level projection shared by the topology generators.
+//
+// The paper's operator builds the monitored topology from traceroutes:
+// a router-level graph is collected, each router is mapped to an AS, and
+// the AS-level graph has one edge per inter-domain link and one edge per
+// intra-domain path between border routers of the same AS (§3.2). This
+// module performs exactly that projection: given a router-level digraph,
+// a router->AS map, and a set of router-level paths, it emits a
+// `topology` whose AS-level links remember the router-level links they
+// ride on — which is what induces link correlations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ntom/graph/digraph.hpp"
+#include "ntom/graph/topology.hpp"
+
+namespace ntom::topogen {
+
+/// A router-level network: the substrate the generators route over.
+struct router_network {
+  digraph graph;                      ///< router-level (directed) graph.
+  std::vector<as_id> router_as;       ///< AS of each router vertex.
+  std::vector<bool> is_host;          ///< true for end-host vertices.
+};
+
+/// Projects router-level paths (sequences of router edge ids) onto the
+/// AS level. Intra-domain segments between the same border-router pair
+/// of the same AS are merged into a single AS-level link (their router
+/// links are unioned); every inter-domain crossing is its own link,
+/// assigned to the downstream AS. Links whose segment touches an
+/// end-host attachment are flagged `edge`. Empty router paths are
+/// skipped. The returned topology is finalized.
+[[nodiscard]] topology project_to_as_level(
+    const router_network& net,
+    const std::vector<std::vector<std::uint32_t>>& router_paths);
+
+}  // namespace ntom::topogen

@@ -1,0 +1,120 @@
+#include "ntom/topogen/sparse.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "ntom/topogen/project.hpp"
+#include "ntom/util/rng.hpp"
+
+namespace ntom::topogen {
+
+topology generate_sparse(const sparse_params& params) {
+  rng rand(params.seed);
+  const std::size_t rpa = params.routers_per_as;
+  assert(rpa >= 1);
+
+  // AS numbering: 0 = source ISP, [1, 1+peers) = peers,
+  // [1+peers, 1+peers+mid) = mid-tier, rest = stubs.
+  const std::size_t first_peer = 1;
+  const std::size_t first_mid = first_peer + params.num_peers;
+  const std::size_t first_stub = first_mid + params.num_mid;
+  const std::size_t num_ases = first_stub + params.num_stubs;
+
+  router_network net;
+  for (std::size_t a = 0; a < num_ases; ++a) {
+    for (std::size_t r = 0; r < rpa; ++r) {
+      net.graph.add_vertex();
+      net.router_as.push_back(static_cast<as_id>(a));
+      net.is_host.push_back(false);
+    }
+  }
+  auto router_of = [&](std::size_t a, std::size_t r) {
+    return static_cast<std::uint32_t>(a * rpa + r);
+  };
+
+  // Intra-AS: chain plus one random chord (sparse internals).
+  for (std::size_t a = 0; a < num_ases; ++a) {
+    for (std::size_t r = 1; r < rpa; ++r) {
+      net.graph.add_bidirectional_edge(router_of(a, r), router_of(a, r - 1));
+    }
+    if (rpa > 2 && rand.bernoulli(0.5)) {
+      const std::uint32_t u = router_of(a, rand.uniform_index(rpa));
+      const std::uint32_t v = router_of(a, rand.uniform_index(rpa));
+      if (u != v && !net.graph.has_edge(u, v)) {
+        net.graph.add_bidirectional_edge(u, v);
+      }
+    }
+  }
+
+  auto connect_ases = [&](std::size_t a, std::size_t b) {
+    net.graph.add_bidirectional_edge(router_of(a, rand.uniform_index(rpa)),
+                                     router_of(b, rand.uniform_index(rpa)));
+  };
+
+  // Hierarchy: source -> every peer (with parallel peering points, as
+  // Tier-1s peer at several exchange locations); each mid AS picks one
+  // upstream peer; each stub picks one upstream mid.
+  for (std::size_t p = 0; p < params.num_peers; ++p) {
+    for (std::size_t k = 0; k < std::max<std::size_t>(params.peering_points, 1);
+         ++k) {
+      connect_ases(0, first_peer + p);
+    }
+  }
+  for (std::size_t m = 0; m < params.num_mid; ++m) {
+    connect_ases(first_peer + rand.uniform_index(params.num_peers),
+                 first_mid + m);
+    if (rand.bernoulli(params.cross_link_prob) && params.num_mid > 1) {
+      const std::size_t other = first_mid + rand.uniform_index(params.num_mid);
+      if (other != first_mid + m) connect_ases(first_mid + m, other);
+    }
+  }
+  for (std::size_t s = 0; s < params.num_stubs; ++s) {
+    connect_ases(first_mid + rand.uniform_index(params.num_mid),
+                 first_stub + s);
+  }
+
+  // Vantage hosts in the source AS; one destination host per stub.
+  std::vector<std::uint32_t> vantage;
+  for (std::size_t i = 0; i < params.num_vantage_hosts; ++i) {
+    const std::uint32_t host = net.graph.add_vertex();
+    net.router_as.push_back(0);
+    net.is_host.push_back(true);
+    net.graph.add_bidirectional_edge(host, router_of(0, rand.uniform_index(rpa)));
+    vantage.push_back(host);
+  }
+  std::vector<std::uint32_t> destinations;
+  destinations.reserve(params.num_stubs);
+  for (std::size_t s = 0; s < params.num_stubs; ++s) {
+    const std::uint32_t host = net.graph.add_vertex();
+    net.router_as.push_back(static_cast<as_id>(first_stub + s));
+    net.is_host.push_back(true);
+    net.graph.add_bidirectional_edge(
+        host, router_of(first_stub + s, rand.uniform_index(rpa)));
+    destinations.push_back(host);
+  }
+
+  // Traceroutes: (vantage, stub) pairs without replacement; a fraction
+  // is discarded as "incomplete" (the paper's operators lost most
+  // traces). Sampling without replacement keeps the surviving view
+  // scattered — the low-intersection regime of real Sparse topologies.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(vantage.size() * destinations.size());
+  for (const auto src : vantage) {
+    for (const auto dst : destinations) pairs.emplace_back(src, dst);
+  }
+  rand.shuffle(pairs);
+
+  std::vector<std::vector<std::uint32_t>> router_paths;
+  std::size_t attempted = 0;
+  for (const auto& [src, dst] : pairs) {
+    if (attempted >= params.num_paths) break;
+    ++attempted;
+    if (!rand.bernoulli(params.keep_fraction)) continue;
+    auto route = net.graph.shortest_path_random(src, dst, rand);
+    if (route && !route->empty()) router_paths.push_back(std::move(*route));
+  }
+
+  return project_to_as_level(net, router_paths);
+}
+
+}  // namespace ntom::topogen

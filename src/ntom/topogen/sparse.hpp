@@ -1,0 +1,48 @@
+// Sparse (traceroute-derived) topology generator (§3.2, "Sparse
+// topologies").
+//
+// The paper's Sparse topologies came from an operator tracerouting from
+// a few vantage points inside the source ISP toward many Internet hosts
+// and discarding incomplete traces. The surviving view is a sparse,
+// tree-ish AS-level graph where few paths intersect — which lowers the
+// rank of the tomographic equation system and is what breaks Boolean
+// Inference. We reproduce that regime: a hierarchical AS structure
+// (source AS -> a few peers -> mid-tier -> stubs), one route per
+// destination, and a configurable discard fraction standing in for
+// incomplete traceroutes.
+#pragma once
+
+#include <cstdint>
+
+#include "ntom/graph/topology.hpp"
+
+namespace ntom::topogen {
+
+/// Defaults keep tests fast; `paper_scale()` approximates the paper's
+/// ~2000-link, 1500-path Sparse topology.
+struct sparse_params {
+  std::size_t num_peers = 6;        ///< Tier-1 peers of the source AS.
+  std::size_t num_mid = 40;         ///< mid-tier transit ASes.
+  std::size_t num_stubs = 200;      ///< destination (stub) ASes.
+  std::size_t routers_per_as = 4;
+  std::size_t num_vantage_hosts = 2;
+  std::size_t peering_points = 2;   ///< parallel (source, peer) links.
+  double cross_link_prob = 0.08;    ///< extra non-tree AS adjacencies.
+  double keep_fraction = 0.6;       ///< traceroutes that survive discard.
+  std::size_t num_paths = 300;      ///< attempted traceroutes.
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] static sparse_params paper_scale() {
+    sparse_params p;
+    p.num_peers = 6;
+    p.num_mid = 60;
+    p.num_stubs = 700;
+    p.num_paths = 2500;  // ~1500 survive the discard.
+    return p;
+  }
+};
+
+/// Generates a finalized topology. Deterministic in `params.seed`.
+[[nodiscard]] topology generate_sparse(const sparse_params& params);
+
+}  // namespace ntom::topogen

@@ -1,0 +1,32 @@
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom::topogen {
+
+topology make_toy(toy_case which) {
+  // Router links 0..3 are private to e1..e4; 4 and 5 are shared by the
+  // correlated groups ({e2,e3} always; {e1,e4} only in Case 2).
+  const std::size_t router_links = 6;
+  topology t(router_links);
+
+  if (which == toy_case::case1) {
+    // Correlation sets (one per AS): {e1} | {e2, e3} | {e4}.
+    t.add_link({.as_number = 0, .router_links = {0}, .edge = true});      // e1
+    t.add_link({.as_number = 1, .router_links = {1, 4}, .edge = true});   // e2
+    t.add_link({.as_number = 1, .router_links = {2, 4}, .edge = true});   // e3
+    t.add_link({.as_number = 2, .router_links = {3}, .edge = true});      // e4
+  } else {
+    // Correlation sets: {e1, e4} | {e2, e3}.
+    t.add_link({.as_number = 0, .router_links = {0, 5}, .edge = true});   // e1
+    t.add_link({.as_number = 1, .router_links = {1, 4}, .edge = true});   // e2
+    t.add_link({.as_number = 1, .router_links = {2, 4}, .edge = true});   // e3
+    t.add_link({.as_number = 0, .router_links = {3, 5}, .edge = true});   // e4
+  }
+
+  t.add_path({toy_e1, toy_e2});  // p1
+  t.add_path({toy_e1, toy_e3});  // p2
+  t.add_path({toy_e3, toy_e4});  // p3
+  t.finalize();
+  return t;
+}
+
+}  // namespace ntom::topogen

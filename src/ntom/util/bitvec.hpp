@@ -1,0 +1,94 @@
+// Dynamic bit vector used throughout ntom for link sets and path sets.
+//
+// The tomography algorithms manipulate sets of links/paths constantly
+// (coverage functions, path-set unions, row formation); a packed bit
+// vector keeps those operations O(n/64) and allocation-light.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ntom {
+
+/// Fixed-universe bit set; the universe size is chosen at construction.
+class bitvec {
+ public:
+  bitvec() = default;
+
+  /// All-zero bit vector over a universe of `size` elements.
+  explicit bitvec(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return count() == 0; }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept;
+  void set(std::size_t i) noexcept;
+  void reset(std::size_t i) noexcept;
+  void clear() noexcept;
+
+  /// In-place set algebra. All operands must share the universe size.
+  bitvec& operator|=(const bitvec& other) noexcept;
+  bitvec& operator&=(const bitvec& other) noexcept;
+  bitvec& operator^=(const bitvec& other) noexcept;
+  /// Removes from this set every element of `other` (set difference).
+  bitvec& subtract(const bitvec& other) noexcept;
+
+  [[nodiscard]] friend bitvec operator|(bitvec a, const bitvec& b) {
+    a |= b;
+    return a;
+  }
+  [[nodiscard]] friend bitvec operator&(bitvec a, const bitvec& b) {
+    a &= b;
+    return a;
+  }
+
+  [[nodiscard]] bool operator==(const bitvec& other) const noexcept;
+
+  /// True if this set and `other` share at least one element.
+  [[nodiscard]] bool intersects(const bitvec& other) const noexcept;
+
+  /// True if every element of this set is also in `other`.
+  [[nodiscard]] bool is_subset_of(const bitvec& other) const noexcept;
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<std::size_t> to_indices() const;
+
+  /// Builds a bitvec over universe `size` from the given indices.
+  [[nodiscard]] static bitvec from_indices(
+      std::size_t size, const std::vector<std::size_t>& indices);
+
+  /// Calls `fn(index)` for every set bit, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// "{1,4,7}" — for diagnostics and test failure messages.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Hash usable as key in unordered containers.
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct bitvec_hash {
+  std::size_t operator()(const bitvec& b) const noexcept { return b.hash(); }
+};
+
+}  // namespace ntom

@@ -1,0 +1,51 @@
+#include "ntom/util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ntom {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+csv_writer::csv_writer(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("csv_writer: cannot open " + path);
+}
+
+void csv_writer::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void csv_writer::write_header(const std::vector<std::string>& names) {
+  write_row(names);
+}
+
+void csv_writer::write_row(const std::string& label,
+                           const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.push_back(label);
+  for (const double v : values) {
+    std::ostringstream ss;
+    ss.precision(6);
+    ss << v;
+    fields.push_back(ss.str());
+  }
+  write_row(fields);
+}
+
+}  // namespace ntom

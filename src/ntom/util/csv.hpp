@@ -1,0 +1,34 @@
+// Minimal CSV writer used by bench binaries to dump figure series
+// alongside the human-readable tables they print.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ntom {
+
+/// Writes rows of comma-separated values with proper quoting.
+/// The file is flushed and closed on destruction (RAII).
+class csv_writer {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit csv_writer(const std::string& path);
+
+  /// Writes one row; fields containing commas/quotes/newlines are quoted.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: header then rows of doubles with a label column.
+  void write_header(const std::vector<std::string>& names);
+
+  /// Formats doubles with 6 significant digits.
+  void write_row(const std::string& label, const std::vector<double>& values);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Escapes a single CSV field (exposed for tests).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace ntom

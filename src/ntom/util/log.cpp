@@ -1,0 +1,34 @@
+#include "ntom/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ntom {
+
+namespace {
+std::atomic<log_level> g_level{log_level::warn};
+
+const char* level_name(log_level level) noexcept {
+  switch (level) {
+    case log_level::debug:
+      return "DEBUG";
+    case log_level::info:
+      return "INFO";
+    case log_level::warn:
+      return "WARN";
+    case log_level::error:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(log_level level) noexcept { g_level.store(level); }
+log_level get_log_level() noexcept { return g_level.load(); }
+
+void log_message(log_level level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace ntom

@@ -1,0 +1,110 @@
+#include "ntom/util/rng.hpp"
+
+#include <cmath>
+
+namespace ntom {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+rng::rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::size_t rng::uniform_index(std::size_t n) noexcept {
+  // Rejection-free multiply-shift (Lemire); bias is negligible for the
+  // n values used here (<< 2^32), but we use 128-bit math anyway.
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>(next_u64()) * static_cast<unsigned __int128>(n);
+  return static_cast<std::size_t>(m >> 64);
+}
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(
+                  uniform_index(static_cast<std::size_t>(span)));
+}
+
+bool rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::size_t rng::binomial(std::size_t n, double p) noexcept {
+  if (p <= 0.0 || n == 0) return 0;
+  if (p >= 1.0) return n;
+  const double mean = static_cast<double>(n) * p;
+  const double var = mean * (1.0 - p);
+  if (n > 256 && var > 16.0) {
+    const double draw = mean + std::sqrt(var) * normal();
+    if (draw <= 0.0) return 0;
+    if (draw >= static_cast<double>(n)) return n;
+    return static_cast<std::size_t>(std::llround(draw));
+  }
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += bernoulli(p) ? 1 : 0;
+  return count;
+}
+
+double rng::normal() noexcept {
+  // Box-Muller; we discard the second variate for simplicity.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+rng rng::split() noexcept { return rng{next_u64()}; }
+
+std::vector<std::size_t> rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  // Partial Fisher-Yates over an index vector.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  if (k > n) k = n;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + uniform_index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace ntom

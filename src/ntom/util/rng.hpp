@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component in ntom draws from an explicitly-seeded
+// `rng` instance, so whole experiments are reproducible from a single
+// 64-bit seed. The generator is xoshiro256++ (Blackman & Vigna), seeded
+// through splitmix64; both are small, fast, and well understood.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ntom {
+
+/// Scrambles a 64-bit value into a well-mixed 64-bit value.
+/// Used for seeding and for deriving independent child seeds.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ pseudo-random generator with convenience distributions.
+///
+/// Not thread-safe; create one instance per thread / per experiment arm.
+class rng {
+ public:
+  /// Seeds the generator; equal seeds produce equal streams.
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Raw 64 uniformly random bits.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::size_t uniform_index(std::size_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// True with probability p (p outside [0,1] is clamped).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Binomially distributed count of successes among n Bernoulli(p) trials.
+  /// Uses per-trial sampling for small n and a normal approximation for
+  /// large n*p(1-p); exact enough for packet-loss simulation.
+  [[nodiscard]] std::size_t binomial(std::size_t n, double p) noexcept;
+
+  /// Standard normal via Box-Muller.
+  [[nodiscard]] double normal() noexcept;
+
+  /// Derives an independent child generator (e.g., per experiment arm).
+  [[nodiscard]] rng split() noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n). Requires k <= n.
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+      std::size_t n, std::size_t k);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ntom

@@ -1,0 +1,66 @@
+#include "ntom/util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ntom {
+
+void running_stats::add(double x) noexcept {
+  ++n_;
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double running_stats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double running_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+empirical_cdf::empirical_cdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double empirical_cdf::at(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double empirical_cdf::quantile(double q) const noexcept {
+  assert(!sorted_.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[rank == 0 ? 0 : rank - 1];
+}
+
+double mean_absolute_error(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+std::vector<double> absolute_errors(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::abs(a[i] - b[i]);
+  return out;
+}
+
+}  // namespace ntom

@@ -1,0 +1,90 @@
+#include "ntom/analysis/correlation_groups.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntom/sim/packet_sim.hpp"
+#include "ntom/tomo/correlation_complete.hpp"
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom {
+namespace {
+
+using namespace topogen;
+
+probability_estimates hand_estimates(
+    const topology& t,
+    std::vector<std::pair<std::vector<link_id>, double>> values) {
+  bitvec potcong(t.num_links());
+  for (link_id e = 0; e < t.num_links(); ++e) potcong.set(e);
+  subset_catalog catalog = subset_catalog::build(t, potcong);
+  probability_estimates est(t, std::move(catalog), potcong);
+  for (const auto& [links, good] : values) {
+    bitvec b(t.num_links());
+    for (const auto e : links) b.set(e);
+    est.set_good_probability(est.catalog().find(b), good, true);
+  }
+  return est;
+}
+
+TEST(CorrelationGroupsTest, DetectsCorrelatedPair) {
+  const topology t = make_toy(toy_case::case1);
+  // e2,e3 perfectly correlated: joint congestion 0.3 vs 0.09 predicted.
+  const auto est = hand_estimates(t, {{{toy_e1}, 0.9},
+                                      {{toy_e2}, 0.7},
+                                      {{toy_e3}, 0.7},
+                                      {{toy_e2, toy_e3}, 0.7},
+                                      {{toy_e4}, 1.0}});
+  const auto groups = find_correlation_groups(t, est);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].as_number, 1u);
+  EXPECT_EQ(groups[0].links, (std::vector<link_id>{toy_e2, toy_e3}));
+  EXPECT_GT(groups[0].max_excess, 1.0);  // 0.3/0.09 - 1 > 1.
+}
+
+TEST(CorrelationGroupsTest, IndependentLinksFormNoGroup) {
+  const topology t = make_toy(toy_case::case1);
+  // Independent: g(e2,e3) = g(e2) g(e3).
+  const auto est = hand_estimates(t, {{{toy_e2}, 0.7},
+                                      {{toy_e3}, 0.7},
+                                      {{toy_e2, toy_e3}, 0.49}});
+  EXPECT_TRUE(find_correlation_groups(t, est).empty());
+}
+
+TEST(CorrelationGroupsTest, NoiseFloorSuppressesTinyJoints) {
+  const topology t = make_toy(toy_case::case1);
+  // Strong relative excess but negligible absolute joint (0.005).
+  const auto est = hand_estimates(t, {{{toy_e2}, 0.99},
+                                      {{toy_e3}, 0.99},
+                                      {{toy_e2, toy_e3}, 0.985}});
+  EXPECT_TRUE(find_correlation_groups(t, est).empty());
+}
+
+TEST(CorrelationGroupsTest, UnidentifiableJointsAreSkipped) {
+  const topology t = make_toy(toy_case::case1);
+  // Joint left unidentifiable: pair cannot participate.
+  const auto est = hand_estimates(t, {{{toy_e2}, 0.7}, {{toy_e3}, 0.7}});
+  EXPECT_TRUE(find_correlation_groups(t, est).empty());
+}
+
+TEST(CorrelationGroupsTest, EndToEndRecoversDrivenGroup) {
+  // Full pipeline: shared-driver pair must surface as a group.
+  const topology t = make_toy(toy_case::case1);
+  congestion_model model;
+  model.phase_q.assign(1, std::vector<double>(t.num_router_links(), 0.0));
+  model.phase_q[0][4] = 0.35;  // shared driver of e2, e3.
+  model.phase_q[0][0] = 0.25;  // independent e1.
+  model.congestable_links = bitvec(t.num_links());
+
+  sim_params sim;
+  sim.intervals = 3000;
+  sim.oracle_monitor = true;
+  const auto data = run_experiment(t, model, sim);
+  const auto result = compute_correlation_complete(t, data);
+  const auto groups = find_correlation_groups(t, result.estimates);
+
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].links, (std::vector<link_id>{toy_e2, toy_e3}));
+}
+
+}  // namespace
+}  // namespace ntom

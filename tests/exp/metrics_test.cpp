@@ -1,0 +1,119 @@
+#include "ntom/exp/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom {
+namespace {
+
+bitvec links(std::size_t universe, std::initializer_list<std::size_t> ids) {
+  bitvec b(universe);
+  for (const auto i : ids) b.set(i);
+  return b;
+}
+
+TEST(InferenceScorerTest, PerfectInference) {
+  inference_scorer scorer;
+  scorer.add_interval(links(4, {0, 2}), links(4, {0, 2}));
+  const auto m = scorer.result();
+  EXPECT_DOUBLE_EQ(m.detection_rate, 1.0);
+  EXPECT_DOUBLE_EQ(m.false_positive_rate, 0.0);
+  EXPECT_EQ(m.intervals_scored, 1u);
+}
+
+TEST(InferenceScorerTest, PartialDetection) {
+  inference_scorer scorer;
+  // Truth {0,1,2}; inferred {0,3}: detection 1/3, FP 1/2.
+  scorer.add_interval(links(4, {0, 3}), links(4, {0, 1, 2}));
+  const auto m = scorer.result();
+  EXPECT_NEAR(m.detection_rate, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.false_positive_rate, 0.5, 1e-12);
+}
+
+TEST(InferenceScorerTest, IntervalsWithoutCongestionSkipDetection) {
+  inference_scorer scorer;
+  scorer.add_interval(links(4, {}), links(4, {}));  // nothing to score.
+  scorer.add_interval(links(4, {1}), links(4, {1}));
+  const auto m = scorer.result();
+  EXPECT_EQ(m.intervals_scored, 1u);
+  EXPECT_DOUBLE_EQ(m.detection_rate, 1.0);
+}
+
+TEST(InferenceScorerTest, EmptyInferenceSkipsFalsePositiveTerm) {
+  inference_scorer scorer;
+  // Truth has congestion but the algorithm stays silent: detection 0,
+  // FP undefined for that interval.
+  scorer.add_interval(links(4, {}), links(4, {0}));
+  scorer.add_interval(links(4, {1}), links(4, {0}));  // FP 1/1.
+  const auto m = scorer.result();
+  EXPECT_DOUBLE_EQ(m.detection_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.false_positive_rate, 1.0);
+}
+
+TEST(InferenceScorerTest, AveragesAcrossIntervals) {
+  inference_scorer scorer;
+  scorer.add_interval(links(4, {0}), links(4, {0}));        // det 1.
+  scorer.add_interval(links(4, {1}), links(4, {0, 1}));     // det 0.5.
+  const auto m = scorer.result();
+  EXPECT_NEAR(m.detection_rate, 0.75, 1e-12);
+}
+
+TEST(MeanOfTest, Basics) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+}
+
+TEST(LinkErrorsTest, ComputedOverPotcongOnly) {
+  using namespace topogen;
+  const topology t = make_toy(toy_case::case1);
+  congestion_model model;
+  model.phase_q.assign(1, std::vector<double>(t.num_router_links(), 0.0));
+  model.phase_q[0][0] = 0.4;  // e1.
+  const ground_truth truth(t, model, 100);
+
+  link_estimates est;
+  est.congestion.assign(t.num_links(), 0.0);
+  est.estimated.assign(t.num_links(), true);
+  est.congestion[toy_e1] = 0.3;
+
+  bitvec potcong(t.num_links());
+  potcong.set(toy_e1);
+  potcong.set(toy_e2);
+  const auto errors = link_absolute_errors(t, truth, est, potcong);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_NEAR(errors[0], 0.1, 1e-12);  // e1: |0.4 - 0.3|.
+  EXPECT_NEAR(errors[1], 0.0, 1e-12);  // e2: both 0.
+}
+
+TEST(SubsetErrorsTest, OnlyIdentifiableMultiLinkSubsets) {
+  using namespace topogen;
+  const topology t = make_toy(toy_case::case1);
+  congestion_model model;
+  model.phase_q.assign(1, std::vector<double>(t.num_router_links(), 0.0));
+  model.phase_q[0][4] = 0.25;  // e2,e3 perfectly correlated.
+  const ground_truth truth(t, model, 100);
+
+  bitvec potcong(t.num_links());
+  for (link_id e = 0; e < 4; ++e) potcong.set(e);
+  subset_catalog catalog = subset_catalog::build(t, potcong);
+  probability_estimates est(t, std::move(catalog), potcong);
+  // Only {e2,e3} identifiable with g = 0.75; singletons of e2,e3 too.
+  auto set_g = [&](std::initializer_list<link_id> ls, double g) {
+    bitvec b(t.num_links());
+    for (const auto e : ls) b.set(e);
+    est.set_good_probability(est.catalog().find(b), g, true);
+  };
+  set_g({toy_e2}, 0.75);
+  set_g({toy_e3}, 0.75);
+  set_g({toy_e2, toy_e3}, 0.75);
+
+  const auto errors = subset_absolute_errors(t, truth, est, 2);
+  // Exactly one multi-link subset is identifiable: {e2,e3}.
+  ASSERT_EQ(errors.size(), 1u);
+  // Estimated P(both congested) = 1 - 2*0.75 + 0.75 = 0.25 = truth.
+  EXPECT_NEAR(errors[0], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ntom

@@ -1,0 +1,52 @@
+#include "ntom/exp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ntom {
+namespace {
+
+TEST(FormatFixedTest, Decimals) {
+  EXPECT_EQ(format_fixed(0.5), "0.5000");
+  EXPECT_EQ(format_fixed(0.123456, 2), "0.12");
+  EXPECT_EQ(format_fixed(-1.0, 1), "-1.0");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  table_printer table({"A", "LongHeader"});
+  table.add_row({"x", "1"});
+  table.add_row({"yyyy", "2"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // Header present, underline present, rows present.
+  EXPECT_NE(text.find("A"), std::string::npos);
+  EXPECT_NE(text.find("LongHeader"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_NE(text.find("yyyy"), std::string::npos);
+  // Each line has the same structure: 4 lines total.
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(TablePrinterTest, DoubleRowsFormatted) {
+  table_printer table({"Scenario", "x", "y"});
+  table.add_row("test", {0.25, 0.5});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("0.2500"), std::string::npos);
+  EXPECT_NE(out.str().find("0.5000"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  table_printer table({"A", "B", "C"});
+  table.add_row({"only"});
+  std::ostringstream out;
+  table.print(out);  // must not crash; missing cells are empty.
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntom

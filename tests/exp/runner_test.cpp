@@ -1,0 +1,94 @@
+#include "ntom/exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntom {
+namespace {
+
+run_config small_config() {
+  run_config c;
+  c.brite.num_ases = 10;
+  c.brite.num_destination_hosts = 30;
+  c.brite.num_paths = 50;
+  c.brite.seed = 3;
+  c.sparse.seed = 3;
+  c.sim.intervals = 40;
+  c.sim.packets_per_path = 50;
+  c.scenario_opts.seed = 4;
+  return c;
+}
+
+TEST(RunnerTest, PreparesBriteRun) {
+  run_config c = small_config();
+  const auto run = prepare_run(c);
+  EXPECT_GT(run.topo.num_links(), 0u);
+  EXPECT_EQ(run.data.intervals, 40u);
+  EXPECT_FALSE(run.model.phase_q.empty());
+}
+
+TEST(RunnerTest, PreparesSparseRun) {
+  run_config c = small_config();
+  c.topo = topology_kind::sparse;
+  const auto run = prepare_run(c);
+  EXPECT_GT(run.topo.num_links(), 0u);
+  EXPECT_GT(run.topo.num_ases(), 5u);
+}
+
+TEST(RunnerTest, ReconcileComputesPhases) {
+  run_config c = small_config();
+  c.scenario_opts.nonstationary = true;
+  c.scenario_opts.phase_length = 7;
+  c.sim.intervals = 40;
+  c.reconcile();
+  EXPECT_EQ(c.scenario_opts.num_phases, 6u);  // ceil(40/7).
+}
+
+TEST(RunnerTest, NonStationaryRunHasPhases) {
+  run_config c = small_config();
+  c.scenario_opts.nonstationary = true;
+  c.scenario_opts.phase_length = 10;
+  const auto run = prepare_run(c);
+  EXPECT_EQ(run.model.num_phases(), 4u);
+}
+
+TEST(RunnerTest, MakeTruthUsesExperimentLength) {
+  run_config c = small_config();
+  const auto run = prepare_run(c);
+  const ground_truth truth = run.make_truth();
+  // All congestable links have probability in (0, 1].
+  run.model.congestable_links.for_each([&](std::size_t e) {
+    const double p = truth.link_congestion_probability(static_cast<link_id>(e));
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  });
+}
+
+TEST(RunnerTest, ScoreInferencePerfectOracle) {
+  run_config c = small_config();
+  const auto run = prepare_run(c);
+  // A cheating "inferencer" that returns the truth scores perfectly.
+  std::size_t i = 0;
+  const auto metrics = score_inference(run, [&](const bitvec&) {
+    return run.data.congested_links_by_interval[i++];
+  });
+  EXPECT_DOUBLE_EQ(metrics.detection_rate, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.false_positive_rate, 0.0);
+}
+
+TEST(RunnerTest, TopologyKindNames) {
+  EXPECT_STREQ(topology_kind_name(topology_kind::brite), "Brite");
+  EXPECT_STREQ(topology_kind_name(topology_kind::sparse), "Sparse");
+}
+
+TEST(RunnerTest, DeterministicAcrossCalls) {
+  const auto a = prepare_run(small_config());
+  const auto b = prepare_run(small_config());
+  EXPECT_EQ(a.topo.num_links(), b.topo.num_links());
+  for (std::size_t i = 0; i < a.data.intervals; ++i) {
+    EXPECT_EQ(a.data.congested_links_by_interval[i],
+              b.data.congested_links_by_interval[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ntom

@@ -1,0 +1,85 @@
+#include "ntom/graph/conditions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntom/topogen/brite.hpp"
+#include "ntom/topogen/sparse.hpp"
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom {
+namespace {
+
+TEST(IdentifiabilityTest, ToyTopologySatisfiesCondition1) {
+  // In Fig. 1 all four links have distinct path coverages.
+  const topology t = topogen::make_toy(topogen::toy_case::case1);
+  const auto report = check_identifiability(t);
+  EXPECT_TRUE(report.holds);
+  EXPECT_TRUE(report.violating_pairs.empty());
+}
+
+TEST(IdentifiabilityTest, DetectsIndistinguishableLinks) {
+  // Two links in series on a single path share the same coverage.
+  topology t(2);
+  t.add_link({.as_number = 0, .router_links = {0}, .edge = false});
+  t.add_link({.as_number = 0, .router_links = {1}, .edge = false});
+  t.add_path({0, 1});
+  t.finalize();
+  const auto report = check_identifiability(t);
+  EXPECT_FALSE(report.holds);
+  ASSERT_EQ(report.violating_pairs.size(), 1u);
+  EXPECT_EQ(report.violating_pairs[0].first, 0u);
+  EXPECT_EQ(report.violating_pairs[0].second, 1u);
+}
+
+TEST(IdentifiabilityTest, UncoveredLinksIgnored) {
+  topology t(3);
+  t.add_link({.as_number = 0, .router_links = {0}, .edge = false});
+  t.add_link({.as_number = 0, .router_links = {1}, .edge = false});  // uncovered
+  t.add_link({.as_number = 0, .router_links = {2}, .edge = false});  // uncovered
+  t.add_path({0});
+  t.finalize();
+  // The two uncovered links have identical (empty) coverage but are not
+  // violations — they are unobservable.
+  EXPECT_TRUE(check_identifiability(t).holds);
+}
+
+TEST(WellFormedTest, ToyPathsAreWellFormed) {
+  EXPECT_TRUE(paths_well_formed(topogen::make_toy(topogen::toy_case::case1)));
+}
+
+TEST(SparsityReportTest, ToyStatistics) {
+  const topology t = topogen::make_toy(topogen::toy_case::case1);
+  const auto report = measure_sparsity(t);
+  EXPECT_EQ(report.covered_links, 4u);
+  // Paths per link: e1:2, e2:1, e3:2, e4:1 -> mean 1.5.
+  EXPECT_DOUBLE_EQ(report.mean_paths_per_link, 1.5);
+  EXPECT_DOUBLE_EQ(report.mean_links_per_path, 2.0);
+  // Overlapping pairs: (p1,p2) via e1, (p2,p3) via e3; (p1,p3) disjoint.
+  EXPECT_NEAR(report.path_overlap_fraction, 2.0 / 3.0, 1e-12);
+}
+
+TEST(SparsityReportTest, SparseTopologyIsSparserThanBrite) {
+  // The property the whole §3.2 "Sparse Topology" scenario rests on:
+  // traceroute-derived views have far less path criss-crossing per link
+  // than the dense Brite-like graphs (the system-rank driver). The raw
+  // pairwise overlap fraction is dominated by the shared near-source
+  // trunk — real traceroute sets share first hops too — so the
+  // per-link coverage is the honest metric.
+  topogen::brite_params bp;
+  bp.seed = 5;
+  topogen::sparse_params sp;
+  sp.seed = 5;
+  const auto brite = topogen::generate_brite(bp);
+  const auto sparse = topogen::generate_sparse(sp);
+  const auto brite_report = measure_sparsity(brite);
+  const auto sparse_report = measure_sparsity(sparse);
+  EXPECT_LT(sparse_report.mean_paths_per_link,
+            0.7 * brite_report.mean_paths_per_link);
+  // Sparse paths are longer (hierarchy depth) — more unknowns per
+  // equation, another rank killer.
+  EXPECT_GT(sparse_report.mean_links_per_path,
+            brite_report.mean_links_per_path);
+}
+
+}  // namespace
+}  // namespace ntom

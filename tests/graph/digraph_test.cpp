@@ -1,0 +1,126 @@
+#include "ntom/graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntom {
+namespace {
+
+TEST(DigraphTest, AddVerticesAndEdges) {
+  digraph g(3);
+  EXPECT_EQ(g.vertex_count(), 3u);
+  const auto e0 = g.add_edge(0, 1);
+  const auto e1 = g.add_edge(1, 2);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.edge(e0).from, 0u);
+  EXPECT_EQ(g.edge(e0).to, 1u);
+  EXPECT_EQ(g.edge(e1).to, 2u);
+}
+
+TEST(DigraphTest, AddVertexGrows) {
+  digraph g;
+  EXPECT_EQ(g.add_vertex(), 0u);
+  EXPECT_EQ(g.add_vertex(), 1u);
+  EXPECT_EQ(g.vertex_count(), 2u);
+}
+
+TEST(DigraphTest, BidirectionalEdgeIds) {
+  digraph g(2);
+  const auto forward = g.add_bidirectional_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.edge(forward).from, 0u);
+  EXPECT_EQ(g.edge(forward + 1).from, 1u);  // reverse edge is next id.
+}
+
+TEST(DigraphTest, HasEdgeIsDirectional) {
+  digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(DigraphTest, OutEdgesAndDegree) {
+  digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  EXPECT_EQ(g.out_edges(0)[1].to, 2u);
+}
+
+TEST(DigraphTest, ShortestPathTrivial) {
+  digraph g(2);
+  const auto path = g.shortest_path(0, 0);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->empty());
+}
+
+TEST(DigraphTest, ShortestPathLine) {
+  digraph g(4);
+  const auto e01 = g.add_edge(0, 1);
+  const auto e12 = g.add_edge(1, 2);
+  const auto e23 = g.add_edge(2, 3);
+  const auto path = g.shortest_path(0, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<std::uint32_t>{e01, e12, e23}));
+}
+
+TEST(DigraphTest, ShortestPathPrefersFewerHops) {
+  digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto direct = g.add_edge(0, 3);
+  const auto path = g.shortest_path(0, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<std::uint32_t>{direct}));
+}
+
+TEST(DigraphTest, ShortestPathUnreachable) {
+  digraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.shortest_path(0, 2).has_value());
+  // Directionality matters.
+  EXPECT_FALSE(g.shortest_path(1, 0).has_value());
+}
+
+TEST(DigraphTest, ReachableFrom) {
+  digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto reach = g.reachable_from(0);
+  EXPECT_TRUE(reach[0]);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_TRUE(reach[2]);
+  EXPECT_FALSE(reach[3]);
+}
+
+TEST(DigraphTest, EdgePathVertices) {
+  digraph g(3);
+  const auto e01 = g.add_edge(0, 1);
+  const auto e12 = g.add_edge(1, 2);
+  const auto vertices = edge_path_vertices(g, {e01, e12});
+  EXPECT_EQ(vertices, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_TRUE(edge_path_vertices(g, {}).empty());
+}
+
+TEST(DigraphTest, ShortestPathEdgesAreConsistent) {
+  // The returned edge ids must chain: to(e_i) == from(e_{i+1}).
+  digraph g(6);
+  g.add_bidirectional_edge(0, 1);
+  g.add_bidirectional_edge(1, 2);
+  g.add_bidirectional_edge(2, 5);
+  g.add_bidirectional_edge(0, 3);
+  g.add_bidirectional_edge(3, 4);
+  g.add_bidirectional_edge(4, 5);
+  const auto path = g.shortest_path(0, 5);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 3u);
+  for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+    EXPECT_EQ(g.edge((*path)[i]).to, g.edge((*path)[i + 1]).from);
+  }
+  EXPECT_EQ(g.edge(path->front()).from, 0u);
+  EXPECT_EQ(g.edge(path->back()).to, 5u);
+}
+
+}  // namespace
+}  // namespace ntom

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "ntom/exp/metrics.hpp"
+#include "ntom/infer/bayes_correlation.hpp"
+#include "ntom/infer/bayes_independence.hpp"
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom {
+namespace {
+
+using namespace topogen;
+
+congestion_model toy_model(const topology& t,
+                           std::vector<std::pair<std::size_t, double>> qs) {
+  congestion_model m;
+  m.phase_q.assign(1, std::vector<double>(t.num_router_links(), 0.0));
+  m.congestable_links = bitvec(t.num_links());
+  for (const auto& [r, q] : qs) m.phase_q[0][r] = q;
+  return m;
+}
+
+inference_metrics score(const topology& t, const experiment_data& data,
+                        const std::function<bitvec(const bitvec&)>& infer) {
+  inference_scorer scorer;
+  for (std::size_t i = 0; i < data.intervals; ++i) {
+    scorer.add_interval(infer(data.congested_paths_by_interval[i]),
+                        data.congested_links_by_interval[i]);
+  }
+  return scorer.result();
+}
+
+TEST(BayesIndependenceTest, AccurateOnIndependentLinks) {
+  const topology t = make_toy(toy_case::case1);
+  const auto model = toy_model(t, {{0, 0.3}, {3, 0.2}});
+  sim_params sim;
+  sim.intervals = 1500;
+  sim.oracle_monitor = true;
+  const auto data = run_experiment(t, model, sim);
+
+  const bayes_independence_inferencer inferencer(t, data);
+  const auto metrics =
+      score(t, data, [&](const bitvec& c) { return inferencer.infer(c); });
+  EXPECT_GT(metrics.detection_rate, 0.95);
+  EXPECT_LT(metrics.false_positive_rate, 0.05);
+}
+
+TEST(BayesIndependenceTest, DegradesUnderPerfectCorrelation) {
+  // §3.1: e2,e3 perfectly correlated plus an independent e1 that also
+  // appears on both of e2's paths... the Independence step mis-splits
+  // joints and the MAP step picks wrong solutions regularly.
+  const topology t = make_toy(toy_case::case1);
+  const auto model = toy_model(t, {{4, 0.3}, {0, 0.25}});
+  sim_params sim;
+  sim.intervals = 2000;
+  sim.oracle_monitor = true;
+  const auto data = run_experiment(t, model, sim);
+
+  const bayes_independence_inferencer indep(t, data);
+  const bayes_correlation_inferencer corr(t, data);
+  const auto indep_m =
+      score(t, data, [&](const bitvec& c) { return indep.infer(c); });
+  const auto corr_m =
+      score(t, data, [&](const bitvec& c) { return corr.infer(c); });
+
+  // The correlation-aware algorithm should dominate under correlation.
+  EXPECT_GE(corr_m.detection_rate, indep_m.detection_rate - 0.02);
+  EXPECT_LE(corr_m.false_positive_rate, indep_m.false_positive_rate + 0.02);
+}
+
+TEST(BayesCorrelationTest, AccurateOnCorrelatedToy) {
+  const topology t = make_toy(toy_case::case1);
+  const auto model = toy_model(t, {{4, 0.3}});
+  sim_params sim;
+  sim.intervals = 1500;
+  sim.oracle_monitor = true;
+  const auto data = run_experiment(t, model, sim);
+
+  const bayes_correlation_inferencer inferencer(t, data);
+  const auto metrics =
+      score(t, data, [&](const bitvec& c) { return inferencer.infer(c); });
+  EXPECT_GT(metrics.detection_rate, 0.9);
+  EXPECT_LT(metrics.false_positive_rate, 0.1);
+}
+
+TEST(BayesInferencersTest, SolutionsExplainObservations) {
+  const topology t = make_toy(toy_case::case1);
+  const auto model = toy_model(t, {{0, 0.3}, {4, 0.25}});
+  sim_params sim;
+  sim.intervals = 300;
+  sim.oracle_monitor = true;
+  const auto data = run_experiment(t, model, sim);
+
+  const bayes_independence_inferencer indep(t, data);
+  const bayes_correlation_inferencer corr(t, data);
+  for (std::size_t i = 0; i < data.intervals; ++i) {
+    const auto& congested = data.congested_paths_by_interval[i];
+    const auto obs = make_observation(t, congested);
+    EXPECT_TRUE(explains_observation(t, obs, indep.infer(congested)));
+    EXPECT_TRUE(explains_observation(t, obs, corr.infer(congested)));
+  }
+}
+
+TEST(BayesInferencersTest, Step1Accessible) {
+  const topology t = make_toy(toy_case::case1);
+  const auto model = toy_model(t, {{0, 0.3}});
+  sim_params sim;
+  sim.intervals = 500;
+  sim.oracle_monitor = true;
+  const auto data = run_experiment(t, model, sim);
+  const bayes_independence_inferencer indep(t, data);
+  EXPECT_GT(indep.step1().equations_used, 0u);
+  const bayes_correlation_inferencer corr(t, data);
+  EXPECT_GT(corr.step1().equations_used, 0u);
+}
+
+}  // namespace
+}  // namespace ntom

@@ -1,0 +1,77 @@
+#include "ntom/infer/observation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom {
+namespace {
+
+using namespace topogen;
+
+bitvec paths(const topology& t, std::initializer_list<path_id> ids) {
+  bitvec b(t.num_paths());
+  for (const auto p : ids) b.set(p);
+  return b;
+}
+
+TEST(ObservationTest, AllPathsCongested) {
+  const topology t = make_toy(toy_case::case1);
+  const auto obs = make_observation(t, paths(t, {toy_p1, toy_p2, toy_p3}));
+  EXPECT_TRUE(obs.good_paths.empty());
+  EXPECT_TRUE(obs.good_links.empty());
+  EXPECT_EQ(obs.candidate_links.count(), 4u);
+}
+
+TEST(ObservationTest, GoodPathsClearTheirLinks) {
+  const topology t = make_toy(toy_case::case1);
+  // p1 congested, p2 and p3 good -> e1, e3, e4 known good; only e2
+  // can explain p1.
+  const auto obs = make_observation(t, paths(t, {toy_p1}));
+  EXPECT_EQ(obs.good_links.to_indices(),
+            (std::vector<std::size_t>{toy_e1, toy_e3, toy_e4}));
+  EXPECT_EQ(obs.candidate_links.to_indices(),
+            (std::vector<std::size_t>{toy_e2}));
+}
+
+TEST(ObservationTest, NothingCongested) {
+  const topology t = make_toy(toy_case::case1);
+  const auto obs = make_observation(t, bitvec(t.num_paths()));
+  EXPECT_TRUE(obs.candidate_links.empty());
+  EXPECT_EQ(obs.good_links.count(), 4u);
+}
+
+TEST(ObservationTest, ExplainsObservationAcceptsValidSolution) {
+  const topology t = make_toy(toy_case::case1);
+  const auto obs = make_observation(t, paths(t, {toy_p1, toy_p2, toy_p3}));
+  bitvec sol(t.num_links());
+  sol.set(toy_e1);
+  sol.set(toy_e3);
+  EXPECT_TRUE(explains_observation(t, obs, sol));
+}
+
+TEST(ObservationTest, ExplainsObservationRejectsUncovered) {
+  const topology t = make_toy(toy_case::case1);
+  const auto obs = make_observation(t, paths(t, {toy_p1, toy_p2, toy_p3}));
+  bitvec sol(t.num_links());
+  sol.set(toy_e1);  // covers p1, p2 but not p3.
+  EXPECT_FALSE(explains_observation(t, obs, sol));
+}
+
+TEST(ObservationTest, ExplainsObservationRejectsGoodLinks) {
+  const topology t = make_toy(toy_case::case1);
+  // p2 good: e1, e3 known good.
+  const auto obs = make_observation(t, paths(t, {toy_p1, toy_p3}));
+  bitvec sol(t.num_links());
+  sol.set(toy_e1);  // on a good path -> not a candidate.
+  sol.set(toy_e4);
+  EXPECT_FALSE(explains_observation(t, obs, sol));
+
+  bitvec valid(t.num_links());
+  valid.set(toy_e2);
+  valid.set(toy_e4);
+  EXPECT_TRUE(explains_observation(t, obs, valid));
+}
+
+}  // namespace
+}  // namespace ntom

@@ -1,0 +1,86 @@
+#include "ntom/io/results_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom {
+namespace {
+
+using namespace topogen;
+
+probability_estimates make_estimates(const topology& t) {
+  bitvec potcong(t.num_links());
+  for (link_id e = 0; e < t.num_links(); ++e) potcong.set(e);
+  subset_catalog catalog = subset_catalog::build(t, potcong);
+  probability_estimates est(t, std::move(catalog), potcong);
+  bitvec e1(t.num_links());
+  e1.set(toy_e1);
+  est.set_good_probability(est.catalog().find(e1), 0.7, true);
+  return est;
+}
+
+TEST(ResultsIoTest, LinkCsvShape) {
+  const topology t = make_toy(toy_case::case1);
+  const auto est = make_estimates(t);
+  std::stringstream out;
+  export_link_estimates_csv(t, est, out);
+  std::string line;
+  std::getline(out, line);
+  EXPECT_EQ(line,
+            "link,as,edge,potentially_congested,estimated,"
+            "congestion_probability");
+  std::size_t rows = 0;
+  while (std::getline(out, line)) ++rows;
+  EXPECT_EQ(rows, t.num_links());
+}
+
+TEST(ResultsIoTest, LinkCsvValues) {
+  const topology t = make_toy(toy_case::case1);
+  const auto est = make_estimates(t);
+  std::stringstream out;
+  export_link_estimates_csv(t, est, out);
+  const std::string text = out.str();
+  // e1 (link 0, AS 0): estimated, P = 0.3.
+  EXPECT_NE(text.find("0,0,1,1,1,0.3"), std::string::npos);
+}
+
+TEST(ResultsIoTest, SubsetCsvShape) {
+  const topology t = make_toy(toy_case::case1);
+  const auto est = make_estimates(t);
+  std::stringstream out;
+  export_subset_estimates_csv(t, est, out);
+  std::string line;
+  std::getline(out, line);
+  EXPECT_EQ(line,
+            "subset,as,size,identifiable,good_probability,"
+            "congestion_probability");
+  std::size_t rows = 0;
+  bool found_pair = false;
+  while (std::getline(out, line)) {
+    ++rows;
+    if (line.find("\"{1,2}\"") != std::string::npos) found_pair = true;
+  }
+  EXPECT_EQ(rows, est.num_subsets());
+  EXPECT_TRUE(found_pair);  // the {e2,e3} subset.
+}
+
+TEST(ResultsIoTest, UnidentifiableSubsetHasEmptyCongestion) {
+  const topology t = make_toy(toy_case::case1);
+  const auto est = make_estimates(t);
+  std::stringstream out;
+  export_subset_estimates_csv(t, est, out);
+  std::string line;
+  std::getline(out, line);  // header.
+  bool saw_trailing_empty = false;
+  while (std::getline(out, line)) {
+    if (!line.empty() && line.back() == ',') saw_trailing_empty = true;
+  }
+  // At least one subset (unidentifiable) has no congestion estimate.
+  EXPECT_TRUE(saw_trailing_empty);
+}
+
+}  // namespace
+}  // namespace ntom

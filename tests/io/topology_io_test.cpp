@@ -1,0 +1,105 @@
+#include "ntom/io/topology_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ntom/topogen/brite.hpp"
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom {
+namespace {
+
+void expect_topologies_equal(const topology& a, const topology& b) {
+  ASSERT_EQ(a.num_links(), b.num_links());
+  ASSERT_EQ(a.num_paths(), b.num_paths());
+  ASSERT_EQ(a.num_router_links(), b.num_router_links());
+  ASSERT_EQ(a.num_ases(), b.num_ases());
+  for (link_id e = 0; e < a.num_links(); ++e) {
+    EXPECT_EQ(a.link(e).as_number, b.link(e).as_number);
+    EXPECT_EQ(a.link(e).edge, b.link(e).edge);
+    EXPECT_EQ(a.link(e).router_links, b.link(e).router_links);
+  }
+  for (path_id p = 0; p < a.num_paths(); ++p) {
+    EXPECT_EQ(a.get_path(p).links(), b.get_path(p).links());
+  }
+}
+
+TEST(TopologyIoTest, ToyRoundTrip) {
+  const topology original = topogen::make_toy(topogen::toy_case::case1);
+  std::stringstream buffer;
+  save_topology(original, buffer);
+  const topology loaded = load_topology(buffer);
+  expect_topologies_equal(original, loaded);
+}
+
+TEST(TopologyIoTest, BriteRoundTrip) {
+  topogen::brite_params p;
+  p.seed = 13;
+  const topology original = topogen::generate_brite(p);
+  std::stringstream buffer;
+  save_topology(original, buffer);
+  const topology loaded = load_topology(buffer);
+  expect_topologies_equal(original, loaded);
+}
+
+TEST(TopologyIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ntom_topo_test.txt";
+  const topology original = topogen::make_toy(topogen::toy_case::case2);
+  save_topology_file(original, path);
+  const topology loaded = load_topology_file(path);
+  expect_topologies_equal(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(TopologyIoTest, RejectsBadMagic) {
+  std::stringstream buffer("not-a-topology 1\n");
+  EXPECT_THROW(load_topology(buffer), std::runtime_error);
+}
+
+TEST(TopologyIoTest, RejectsWrongVersion) {
+  std::stringstream buffer("ntom-topology 999\nrouter_links 0\n");
+  EXPECT_THROW(load_topology(buffer), std::runtime_error);
+}
+
+TEST(TopologyIoTest, RejectsOutOfRangeRouterLink) {
+  std::stringstream buffer("ntom-topology 1\nrouter_links 2\nlink 0 0 5\n");
+  EXPECT_THROW(load_topology(buffer), std::runtime_error);
+}
+
+TEST(TopologyIoTest, RejectsPathWithUnknownLink) {
+  std::stringstream buffer(
+      "ntom-topology 1\nrouter_links 1\nlink 0 0 0\npath 0 7\n");
+  EXPECT_THROW(load_topology(buffer), std::runtime_error);
+}
+
+TEST(TopologyIoTest, RejectsEmptyPath) {
+  std::stringstream buffer(
+      "ntom-topology 1\nrouter_links 1\nlink 0 0 0\npath\n");
+  EXPECT_THROW(load_topology(buffer), std::runtime_error);
+}
+
+TEST(TopologyIoTest, RejectsUnknownRecord) {
+  std::stringstream buffer("ntom-topology 1\nrouter_links 1\nbogus 1 2\n");
+  EXPECT_THROW(load_topology(buffer), std::runtime_error);
+}
+
+TEST(TopologyIoTest, CannotOpenMissingFile) {
+  EXPECT_THROW(load_topology_file("/nonexistent/nope.txt"),
+               std::runtime_error);
+}
+
+TEST(DotExportTest, ContainsAsNodesAndEdges) {
+  const topology t = topogen::make_toy(topogen::toy_case::case1);
+  std::stringstream out;
+  export_dot(t, out);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("graph ntom {"), std::string::npos);
+  EXPECT_NE(dot.find("as0"), std::string::npos);
+  EXPECT_NE(dot.find("as1"), std::string::npos);
+  EXPECT_NE(dot.find("--"), std::string::npos);
+  EXPECT_NE(dot.rfind("}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntom

@@ -1,0 +1,125 @@
+#include "ntom/linalg/nullspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntom/linalg/qr.hpp"
+#include "ntom/util/rng.hpp"
+
+namespace ntom {
+namespace {
+
+matrix random_binary(std::size_t rows, std::size_t cols, rng& r,
+                     double density = 0.3) {
+  matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m(i, j) = r.bernoulli(density) ? 1.0 : 0.0;
+    }
+  }
+  return m;
+}
+
+TEST(RowNullspaceProductTest, DetectsRankIncrease) {
+  // System: x0 + x1 = b. Null space spans (1,-1)/sqrt(2).
+  const matrix a{{1, 1}};
+  const matrix n = null_space_basis(a);
+  ASSERT_EQ(n.cols(), 1u);
+
+  // Row (1, 1) again: no rank increase.
+  EXPECT_FALSE(row_increases_rank({1.0, 1.0}, n));
+  // Row (1, 0): increases rank.
+  EXPECT_TRUE(row_increases_rank({1.0, 0.0}, n));
+}
+
+TEST(RowNullspaceProductTest, EmptyNullSpaceNeverIncreases) {
+  const matrix a = matrix::identity(3);
+  const matrix n = null_space_basis(a);
+  EXPECT_EQ(n.cols(), 0u);
+  EXPECT_FALSE(row_increases_rank({1.0, 2.0, 3.0}, n));
+}
+
+TEST(NullSpaceUpdateTest, ShrinksDimensionByOne) {
+  const matrix a{{1, 1, 0}};
+  matrix n = null_space_basis(a);
+  ASSERT_EQ(n.cols(), 2u);
+  n = null_space_update(n, {0.0, 0.0, 1.0});
+  EXPECT_EQ(n.cols(), 1u);
+  // Remaining basis is orthogonal to both constraints.
+  const auto x = n.get_col(0);
+  EXPECT_NEAR(x[0] + x[1], 0.0, 1e-9);
+  EXPECT_NEAR(x[2], 0.0, 1e-9);
+}
+
+TEST(NullSpaceUpdateTest, NoOpWhenRowAddsNoRank) {
+  const matrix a{{1, 1, 0}};
+  const matrix n = null_space_basis(a);
+  const matrix updated = null_space_update(n, {2.0, 2.0, 0.0});
+  EXPECT_EQ(updated.cols(), n.cols());
+}
+
+TEST(RowHammingWeightsTest, CountsNonZeros) {
+  matrix n{{0.5, 0.0}, {0.0, 0.0}, {0.1, -0.2}};
+  const auto w = row_hamming_weights(n);
+  EXPECT_EQ(w, (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(IdentifiableCoordinatesTest, ZeroRowsAreIdentifiable) {
+  matrix n{{0.0, 0.0}, {1e-3, 0.0}, {0.0, 0.0}};
+  const auto id = identifiable_coordinates(n);
+  EXPECT_TRUE(id[0]);
+  EXPECT_FALSE(id[1]);
+  EXPECT_TRUE(id[2]);
+}
+
+TEST(IdentifiableCoordinatesTest, EmptyNullSpaceAllIdentifiable) {
+  matrix n(4, 0);
+  const auto id = identifiable_coordinates(n);
+  for (const bool b : id) EXPECT_TRUE(b);
+}
+
+// The central property: Algorithm 2's incremental update spans the same
+// space as a from-scratch null-space computation after appending rows.
+class NullSpaceUpdatePropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NullSpaceUpdatePropertyTest, MatchesRecomputedNullSpace) {
+  rng r(GetParam());
+  const std::size_t cols = 4 + r.uniform_index(16);
+  const std::size_t initial_rows = 1 + r.uniform_index(cols);
+  matrix a = random_binary(initial_rows, cols, r);
+  matrix n = null_space_basis(a);
+
+  for (int step = 0; step < 8; ++step) {
+    // Random new row; sometimes dependent, sometimes not.
+    std::vector<double> row(cols, 0.0);
+    for (auto& x : row) x = r.bernoulli(0.3) ? 1.0 : 0.0;
+
+    const bool increases = row_increases_rank(row, n, 1e-9);
+    const std::size_t rank_before = matrix_rank(a);
+    a.append_row(row);
+    const std::size_t rank_after = matrix_rank(a);
+    EXPECT_EQ(increases, rank_after > rank_before)
+        << "row_increases_rank disagrees with QR rank";
+
+    n = null_space_update(n, row, 1e-9);
+    const matrix reference = null_space_basis(a);
+    ASSERT_EQ(n.cols(), reference.cols()) << "dimension drift at step " << step;
+
+    // Same subspace: every incremental basis vector must be killed by A
+    // (A x = 0) — this pins the span without comparing bases directly.
+    for (std::size_t j = 0; j < n.cols(); ++j) {
+      const auto x = n.get_col(j);
+      const double scale = norm2(x);
+      ASSERT_GT(scale, 1e-12);
+      const auto ax = a.multiply(x);
+      EXPECT_LT(norm2(ax) / scale, 1e-6)
+          << "incremental basis escaped the true null space";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, NullSpaceUpdatePropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace ntom

@@ -1,0 +1,156 @@
+#include "ntom/linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ntom/util/rng.hpp"
+
+namespace ntom {
+namespace {
+
+matrix random_matrix(std::size_t rows, std::size_t cols, rng& r,
+                     double density = 1.0) {
+  matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (r.bernoulli(density)) m(i, j) = r.uniform(-3, 3);
+    }
+  }
+  return m;
+}
+
+/// Applies the column permutation to A and compares with Q*R.
+void expect_factorization_valid(const matrix& a, const qr_decomposition& f,
+                                double tol = 1e-9) {
+  const matrix qr = f.q.multiply(f.r);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(qr(i, j), a(i, f.perm[j]), tol)
+          << "mismatch at (" << i << "," << j << ")";
+    }
+  }
+  // Q orthogonal: Q^T Q = I.
+  const matrix qtq = f.q.transposed().multiply(f.q);
+  for (std::size_t i = 0; i < qtq.rows(); ++i) {
+    for (std::size_t j = 0; j < qtq.cols(); ++j) {
+      EXPECT_NEAR(qtq(i, j), i == j ? 1.0 : 0.0, tol);
+    }
+  }
+  // R upper triangular.
+  for (std::size_t i = 0; i < f.r.rows(); ++i) {
+    for (std::size_t j = 0; j < std::min(i, f.r.cols()); ++j) {
+      EXPECT_NEAR(f.r(i, j), 0.0, tol);
+    }
+  }
+}
+
+TEST(QrTest, IdentityFactorization) {
+  const matrix eye = matrix::identity(4);
+  const auto f = qr_factorize(eye);
+  EXPECT_EQ(f.rank, 4u);
+  expect_factorization_valid(eye, f);
+}
+
+TEST(QrTest, KnownRankDeficientMatrix) {
+  // Row 3 = row 1 + row 2.
+  const matrix a{{1, 0, 1}, {0, 1, 1}, {1, 1, 2}};
+  const auto f = qr_factorize(a);
+  EXPECT_EQ(f.rank, 2u);
+  expect_factorization_valid(a, f);
+}
+
+TEST(QrTest, ZeroMatrixHasRankZero) {
+  const matrix a(3, 3);
+  EXPECT_EQ(matrix_rank(a), 0u);
+}
+
+TEST(QrTest, TallAndWideMatrices) {
+  rng r(1);
+  const matrix tall = random_matrix(8, 3, r);
+  const matrix wide = random_matrix(3, 8, r);
+  EXPECT_EQ(matrix_rank(tall), 3u);
+  EXPECT_EQ(matrix_rank(wide), 3u);
+  expect_factorization_valid(tall, qr_factorize(tall));
+  expect_factorization_valid(wide, qr_factorize(wide));
+}
+
+TEST(QrTest, RankOfOuterProduct) {
+  // u v^T always has rank 1.
+  matrix a(5, 4);
+  const double u[5] = {1, -2, 0.5, 3, 1};
+  const double v[4] = {2, 1, -1, 0.25};
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = u[i] * v[j];
+  }
+  EXPECT_EQ(matrix_rank(a), 1u);
+}
+
+TEST(NullSpaceTest, FullRankHasEmptyNullSpace) {
+  rng r(2);
+  const matrix a = random_matrix(6, 4, r);
+  EXPECT_EQ(null_space_basis(a).cols(), 0u);
+}
+
+TEST(NullSpaceTest, ZeroRowsGiveIdentityNullSpace) {
+  const matrix a(0, 0);
+  // Degenerate: no constraints at all over an empty space.
+  EXPECT_EQ(null_space_basis(a).cols(), 0u);
+}
+
+TEST(NullSpaceTest, KnownNullVector) {
+  // A x = 0 for x = (1, 1, -1): columns c0 + c1 = c2.
+  const matrix a{{1, 0, 1}, {0, 1, 1}};
+  const matrix n = null_space_basis(a);
+  ASSERT_EQ(n.cols(), 1u);
+  // The basis vector must be parallel to (1, 1, -1)/sqrt(3).
+  const double scale = n(0, 0);
+  EXPECT_NEAR(n(1, 0), scale, 1e-9);
+  EXPECT_NEAR(n(2, 0), -scale, 1e-9);
+  EXPECT_NEAR(std::abs(scale), 1.0 / std::sqrt(3.0), 1e-9);
+}
+
+// Property sweep over random (possibly rank-deficient) matrices.
+class QrPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QrPropertyTest, FactorizationAndNullSpaceInvariants) {
+  rng r(GetParam());
+  const std::size_t rows = 1 + r.uniform_index(20);
+  const std::size_t cols = 1 + r.uniform_index(20);
+  // Low-density 0/1 matrices resemble the tomographic systems and are
+  // often rank-deficient.
+  matrix a(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      a(i, j) = r.bernoulli(0.25) ? 1.0 : 0.0;
+    }
+  }
+
+  const auto f = qr_factorize(a);
+  expect_factorization_valid(a, f, 1e-8);
+  EXPECT_LE(f.rank, std::min(rows, cols));
+
+  const matrix n = null_space_basis(a);
+  EXPECT_EQ(n.cols(), cols - f.rank);
+
+  // Every null-space column satisfies A x ~ 0 and has unit norm.
+  for (std::size_t j = 0; j < n.cols(); ++j) {
+    const auto x = n.get_col(j);
+    EXPECT_NEAR(norm2(x), 1.0, 1e-8);
+    const auto ax = a.multiply(x);
+    EXPECT_LT(norm2(ax), 1e-7);
+  }
+
+  // Null-space columns are orthonormal.
+  for (std::size_t i = 0; i < n.cols(); ++i) {
+    for (std::size_t j = i + 1; j < n.cols(); ++j) {
+      EXPECT_NEAR(dot(n.get_col(i), n.get_col(j)), 0.0, 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, QrPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace ntom

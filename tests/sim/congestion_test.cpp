@@ -1,0 +1,125 @@
+#include "ntom/sim/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom {
+namespace {
+
+using namespace topogen;
+
+congestion_model single_phase_model(const topology& t,
+                                    std::vector<std::pair<std::size_t, double>> qs) {
+  congestion_model m;
+  m.phase_q.assign(1, std::vector<double>(t.num_router_links(), 0.0));
+  m.congestable_links = bitvec(t.num_links());
+  for (const auto& [r, q] : qs) m.phase_q[0][r] = q;
+  return m;
+}
+
+TEST(CongestionModelTest, PhaseOfIntervalStationary) {
+  const topology t = make_toy(toy_case::case1);
+  const auto m = single_phase_model(t, {{0, 0.5}});
+  EXPECT_EQ(m.phase_of_interval(0), 0u);
+  EXPECT_EQ(m.phase_of_interval(1000000), 0u);
+}
+
+TEST(CongestionModelTest, PhaseOfIntervalMultiPhase) {
+  congestion_model m;
+  m.phase_q.assign(3, {});
+  m.phase_length = 10;
+  EXPECT_EQ(m.phase_of_interval(0), 0u);
+  EXPECT_EQ(m.phase_of_interval(9), 0u);
+  EXPECT_EQ(m.phase_of_interval(10), 1u);
+  EXPECT_EQ(m.phase_of_interval(29), 2u);
+  EXPECT_EQ(m.phase_of_interval(999), 2u);  // clamped to last phase.
+}
+
+TEST(SamplerTest, ZeroProbabilityNeverCongests) {
+  const topology t = make_toy(toy_case::case1);
+  const auto m = single_phase_model(t, {});
+  link_state_sampler sampler(t, m, 5);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(sampler.sample_interval(i).empty());
+  }
+}
+
+TEST(SamplerTest, ProbabilityOneAlwaysCongests) {
+  const topology t = make_toy(toy_case::case1);
+  // Router link 0 drives e1 only.
+  const auto m = single_phase_model(t, {{0, 1.0}});
+  link_state_sampler sampler(t, m, 5);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const bitvec state = sampler.sample_interval(i);
+    EXPECT_TRUE(state.test(toy_e1));
+    EXPECT_EQ(state.count(), 1u);
+  }
+}
+
+TEST(SamplerTest, SharedRouterLinkCongestsBothUsers) {
+  const topology t = make_toy(toy_case::case1);
+  // Router link 4 is shared by e2 and e3 in Case 1.
+  const auto m = single_phase_model(t, {{4, 1.0}});
+  link_state_sampler sampler(t, m, 5);
+  const bitvec state = sampler.sample_interval(0);
+  EXPECT_TRUE(state.test(toy_e2));
+  EXPECT_TRUE(state.test(toy_e3));
+  EXPECT_FALSE(state.test(toy_e1));
+}
+
+TEST(SamplerTest, FrequencyMatchesProbability) {
+  const topology t = make_toy(toy_case::case1);
+  const auto m = single_phase_model(t, {{0, 0.3}});
+  link_state_sampler sampler(t, m, 7);
+  std::size_t congested = 0;
+  const std::size_t trials = 20000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    congested += sampler.sample_interval(i).test(toy_e1) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(congested) / trials, 0.3, 0.01);
+}
+
+TEST(SamplerTest, PerfectCorrelationOfSharedLinks) {
+  const topology t = make_toy(toy_case::case1);
+  const auto m = single_phase_model(t, {{4, 0.4}});
+  link_state_sampler sampler(t, m, 11);
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const bitvec state = sampler.sample_interval(i);
+    EXPECT_EQ(state.test(toy_e2), state.test(toy_e3))
+        << "shared router link must congest e2 and e3 together";
+  }
+}
+
+TEST(SamplerTest, DeterministicInSeed) {
+  const topology t = make_toy(toy_case::case1);
+  const auto m = single_phase_model(t, {{0, 0.5}, {4, 0.5}});
+  link_state_sampler a(t, m, 99), b(t, m, 99);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.sample_interval(i), b.sample_interval(i));
+  }
+}
+
+TEST(SamplerTest, PhaseSwitchChangesIntensity) {
+  const topology t = make_toy(toy_case::case1);
+  congestion_model m;
+  m.phase_q.assign(2, std::vector<double>(t.num_router_links(), 0.0));
+  m.phase_q[0][0] = 0.05;
+  m.phase_q[1][0] = 0.95;
+  m.phase_length = 1000;
+  m.congestable_links = bitvec(t.num_links());
+
+  link_state_sampler sampler(t, m, 13);
+  std::size_t early = 0, late = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    early += sampler.sample_interval(i).test(toy_e1);
+  }
+  for (std::size_t i = 1000; i < 2000; ++i) {
+    late += sampler.sample_interval(i).test(toy_e1);
+  }
+  EXPECT_LT(early, 120u);
+  EXPECT_GT(late, 880u);
+}
+
+}  // namespace
+}  // namespace ntom

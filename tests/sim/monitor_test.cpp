@@ -1,0 +1,97 @@
+#include "ntom/sim/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ntom {
+namespace {
+
+/// Hand-built experiment data: 3 paths over 4 intervals.
+/// good matrix (path x interval):
+///   p0: 1 1 0 1
+///   p1: 1 0 0 1
+///   p2: 1 1 1 1   (always good)
+experiment_data make_data() {
+  experiment_data data;
+  data.intervals = 4;
+  data.path_good_intervals.assign(3, bitvec(4));
+  auto& g = data.path_good_intervals;
+  g[0].set(0); g[0].set(1); g[0].set(3);
+  g[1].set(0); g[1].set(3);
+  g[2].set(0); g[2].set(1); g[2].set(2); g[2].set(3);
+  data.always_good_paths = bitvec(3);
+  data.always_good_paths.set(2);
+  return data;
+}
+
+TEST(PathObservationsTest, SinglePathCounts) {
+  const auto data = make_data();
+  const path_observations obs(data);
+  bitvec p0(3);
+  p0.set(0);
+  EXPECT_EQ(obs.count_all_good(p0), 3u);
+  EXPECT_DOUBLE_EQ(obs.empirical_all_good(p0), 0.75);
+}
+
+TEST(PathObservationsTest, JointCounts) {
+  const auto data = make_data();
+  const path_observations obs(data);
+  bitvec p01(3);
+  p01.set(0);
+  p01.set(1);
+  // Both good in intervals 0 and 3.
+  EXPECT_EQ(obs.count_all_good(p01), 2u);
+  EXPECT_DOUBLE_EQ(obs.empirical_all_good(p01), 0.5);
+}
+
+TEST(PathObservationsTest, EmptySetVacuouslyGood) {
+  const auto data = make_data();
+  const path_observations obs(data);
+  EXPECT_EQ(obs.count_all_good(bitvec(3)), 4u);
+  EXPECT_DOUBLE_EQ(obs.empirical_all_good(bitvec(3)), 1.0);
+}
+
+TEST(PathObservationsTest, LogOfPositiveCount) {
+  const auto data = make_data();
+  const path_observations obs(data);
+  bitvec p1(3);
+  p1.set(1);
+  const auto logp = obs.log_empirical_all_good(p1);
+  ASSERT_TRUE(logp.has_value());
+  EXPECT_NEAR(*logp, std::log(0.5), 1e-12);
+}
+
+TEST(PathObservationsTest, LogOfZeroCountIsNullopt) {
+  experiment_data data;
+  data.intervals = 4;
+  data.path_good_intervals.assign(1, bitvec(4));  // never good.
+  const path_observations obs(data);
+  bitvec p0(1);
+  p0.set(0);
+  EXPECT_FALSE(obs.log_empirical_all_good(p0).has_value());
+}
+
+TEST(PathObservationsTest, AlwaysGoodPassthrough) {
+  const auto data = make_data();
+  const path_observations obs(data);
+  EXPECT_TRUE(obs.always_good_paths().test(2));
+  EXPECT_FALSE(obs.always_good_paths().test(0));
+}
+
+TEST(PathObservationsTest, JointIsMonotoneInSetSize) {
+  // Adding paths can only reduce the all-good count.
+  const auto data = make_data();
+  const path_observations obs(data);
+  bitvec acc(3);
+  std::size_t prev = obs.count_all_good(acc);
+  for (path_id p = 0; p < 3; ++p) {
+    acc.set(p);
+    const std::size_t cur = obs.count_all_good(acc);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace ntom

@@ -1,0 +1,152 @@
+#include "ntom/sim/packet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom {
+namespace {
+
+using namespace topogen;
+
+congestion_model model_with(const topology& t,
+                            std::vector<std::pair<std::size_t, double>> qs) {
+  congestion_model m;
+  m.phase_q.assign(1, std::vector<double>(t.num_router_links(), 0.0));
+  m.congestable_links = bitvec(t.num_links());
+  for (const auto& [r, q] : qs) m.phase_q[0][r] = q;
+  return m;
+}
+
+TEST(PacketSimTest, ShapesAreConsistent) {
+  const topology t = make_toy(toy_case::case1);
+  const auto m = model_with(t, {{0, 0.3}});
+  sim_params sim;
+  sim.intervals = 50;
+  const auto data = run_experiment(t, m, sim);
+  EXPECT_EQ(data.intervals, 50u);
+  EXPECT_EQ(data.path_good_intervals.size(), t.num_paths());
+  EXPECT_EQ(data.congested_paths_by_interval.size(), 50u);
+  EXPECT_EQ(data.congested_links_by_interval.size(), 50u);
+  for (const auto& b : data.path_good_intervals) EXPECT_EQ(b.size(), 50u);
+}
+
+TEST(PacketSimTest, NoCongestionMostlyGoodObservations) {
+  const topology t = make_toy(toy_case::case1);
+  const auto m = model_with(t, {});
+  sim_params sim;
+  sim.intervals = 100;
+  sim.packets_per_path = 500;
+  const auto data = run_experiment(t, m, sim);
+  // E2E monitoring has false positives (the paper's §2 caveat): a good
+  // short path whose links draw loss near f can cross the threshold
+  // under probing noise. The margin keeps this rare but not zero.
+  std::size_t good = 0;
+  for (path_id p = 0; p < t.num_paths(); ++p) {
+    good += data.path_good_intervals[p].count();
+  }
+  EXPECT_GE(good, 97 * t.num_paths());  // >= 97% of path-intervals.
+  EXPECT_TRUE(data.ever_congested_links.empty());  // truth is clean.
+}
+
+TEST(PacketSimTest, NoCongestionOracleAllGood) {
+  const topology t = make_toy(toy_case::case1);
+  const auto m = model_with(t, {});
+  sim_params sim;
+  sim.intervals = 100;
+  sim.oracle_monitor = true;
+  const auto data = run_experiment(t, m, sim);
+  EXPECT_EQ(data.always_good_paths.count(), t.num_paths());
+}
+
+TEST(PacketSimTest, OracleMonitorMatchesLinkStates) {
+  const topology t = make_toy(toy_case::case1);
+  const auto m = model_with(t, {{0, 0.5}});  // drives e1 = paths p1, p2.
+  sim_params sim;
+  sim.intervals = 200;
+  sim.oracle_monitor = true;
+  const auto data = run_experiment(t, m, sim);
+  for (std::size_t i = 0; i < data.intervals; ++i) {
+    const bool e1_congested = data.congested_links_by_interval[i].test(toy_e1);
+    EXPECT_EQ(data.congested_paths_by_interval[i].test(toy_p1), e1_congested);
+    EXPECT_EQ(data.congested_paths_by_interval[i].test(toy_p2), e1_congested);
+    EXPECT_FALSE(data.congested_paths_by_interval[i].test(toy_p3));
+  }
+}
+
+TEST(PacketSimTest, PathGoodBitsComplementCongestedBits) {
+  const topology t = make_toy(toy_case::case1);
+  const auto m = model_with(t, {{0, 0.4}, {4, 0.3}});
+  sim_params sim;
+  sim.intervals = 120;
+  const auto data = run_experiment(t, m, sim);
+  for (std::size_t i = 0; i < data.intervals; ++i) {
+    for (path_id p = 0; p < t.num_paths(); ++p) {
+      EXPECT_NE(data.path_good_intervals[p].test(i),
+                data.congested_paths_by_interval[i].test(p));
+    }
+  }
+}
+
+TEST(PacketSimTest, EverCongestedTracksTruth) {
+  const topology t = make_toy(toy_case::case1);
+  const auto m = model_with(t, {{0, 0.5}});
+  sim_params sim;
+  sim.intervals = 200;
+  const auto data = run_experiment(t, m, sim);
+  EXPECT_TRUE(data.ever_congested_links.test(toy_e1));
+  EXPECT_FALSE(data.ever_congested_links.test(toy_e2));
+  EXPECT_FALSE(data.ever_congested_links.test(toy_e4));
+}
+
+TEST(PacketSimTest, DeterministicInSeed) {
+  const topology t = make_toy(toy_case::case1);
+  const auto m = model_with(t, {{0, 0.4}, {4, 0.2}});
+  sim_params sim;
+  sim.intervals = 80;
+  sim.seed = 31;
+  const auto a = run_experiment(t, m, sim);
+  const auto b = run_experiment(t, m, sim);
+  for (std::size_t i = 0; i < sim.intervals; ++i) {
+    EXPECT_EQ(a.congested_paths_by_interval[i], b.congested_paths_by_interval[i]);
+    EXPECT_EQ(a.congested_links_by_interval[i], b.congested_links_by_interval[i]);
+  }
+}
+
+TEST(PacketSimTest, ProbingDetectsSevereCongestion) {
+  const topology t = make_toy(toy_case::case1);
+  const auto m = model_with(t, {{0, 1.0}});  // e1 always congested.
+  sim_params sim;
+  sim.intervals = 300;
+  sim.packets_per_path = 300;
+  const auto data = run_experiment(t, m, sim);
+  // Paths through e1 should be observed congested in the vast majority
+  // of intervals (loss is drawn U(0.01,1), mostly well above threshold).
+  std::size_t congested_p1 = 0;
+  for (std::size_t i = 0; i < data.intervals; ++i) {
+    congested_p1 += data.congested_paths_by_interval[i].test(toy_p1);
+  }
+  EXPECT_GT(congested_p1, 250u);
+}
+
+TEST(PacketSimTest, PathObservationFrequencyTracksLinkProbability) {
+  const topology t = make_toy(toy_case::case1);
+  const double q = 0.35;
+  const auto m = model_with(t, {{3, q}});  // e4 -> path p3 only.
+  sim_params sim;
+  sim.intervals = 3000;
+  sim.packets_per_path = 400;
+  const auto data = run_experiment(t, m, sim);
+  std::size_t congested_p3 = 0;
+  for (std::size_t i = 0; i < data.intervals; ++i) {
+    congested_p3 += data.congested_paths_by_interval[i].test(toy_p3);
+  }
+  const double freq = static_cast<double>(congested_p3) /
+                      static_cast<double>(data.intervals);
+  // Probing noise: loss drawn just above f may evade the f^d threshold,
+  // so allow a modest band around q.
+  EXPECT_NEAR(freq, q, 0.06);
+}
+
+}  // namespace
+}  // namespace ntom

@@ -1,0 +1,133 @@
+#include "ntom/sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntom/topogen/brite.hpp"
+
+namespace ntom {
+namespace {
+
+topology test_topology() {
+  topogen::brite_params p;
+  p.seed = 17;
+  return topogen::generate_brite(p);
+}
+
+TEST(ScenarioTest, RandomCongestionTargetsRoughlyTenPercent) {
+  const topology t = test_topology();
+  scenario_params sp;
+  sp.seed = 3;
+  const auto model = make_scenario(t, scenario_kind::random_congestion, sp);
+  const double covered = static_cast<double>(t.covered_links().count());
+  const double congestable = static_cast<double>(model.congestable_links.count());
+  // Driver sharing can pull in a few extra links; stay in a loose band.
+  EXPECT_GT(congestable, 0.05 * covered);
+  EXPECT_LT(congestable, 0.30 * covered);
+}
+
+TEST(ScenarioTest, StationaryModelsHaveOnePhase) {
+  const topology t = test_topology();
+  scenario_params sp;
+  sp.seed = 3;
+  const auto model = make_scenario(t, scenario_kind::random_congestion, sp);
+  EXPECT_EQ(model.num_phases(), 1u);
+}
+
+TEST(ScenarioTest, ConcentratedPicksEdgeLinks) {
+  const topology t = test_topology();
+  scenario_params sp;
+  sp.seed = 3;
+  const auto model =
+      make_scenario(t, scenario_kind::concentrated_congestion, sp);
+  // Every directly-driven link must be an edge link; links dragged in
+  // via shared router links may not be, so check the drivers' targets:
+  // at least 80% of congestable links are edge links.
+  std::size_t edge = 0;
+  model.congestable_links.for_each([&](std::size_t e) {
+    if (t.link(static_cast<link_id>(e)).edge) ++edge;
+  });
+  EXPECT_GE(edge * 5, model.congestable_links.count() * 4);
+}
+
+TEST(ScenarioTest, NoIndependenceEveryLinkHasPartner) {
+  const topology t = test_topology();
+  scenario_params sp;
+  sp.seed = 3;
+  const auto model = make_scenario(t, scenario_kind::no_independence, sp);
+  ASSERT_GE(model.congestable_links.count(), 2u);
+
+  // Every congestable link shares a driver router link with another
+  // congestable link (the defining property of the scenario).
+  const auto& q = model.phase_q[0];
+  model.congestable_links.for_each([&](std::size_t le) {
+    const auto e = static_cast<link_id>(le);
+    bool has_partner = false;
+    for (const router_link_id r : t.link(e).router_links) {
+      if (q[r] <= 0.0) continue;
+      for (const link_id other : t.links_on_router_link(r)) {
+        if (other != e) has_partner = true;
+      }
+    }
+    EXPECT_TRUE(has_partner) << "link " << e << " has no correlated partner";
+  });
+}
+
+TEST(ScenarioTest, NonStationaryDrawsDistinctPhases) {
+  const topology t = test_topology();
+  scenario_params sp;
+  sp.seed = 3;
+  sp.nonstationary = true;
+  sp.num_phases = 4;
+  sp.phase_length = 25;
+  const auto model = make_scenario(t, scenario_kind::random_congestion, sp);
+  EXPECT_EQ(model.num_phases(), 4u);
+  EXPECT_EQ(model.phase_length, 25u);
+
+  // Same driver set across phases, different values.
+  bool any_differ = false;
+  for (std::size_t r = 0; r < model.phase_q[0].size(); ++r) {
+    EXPECT_EQ(model.phase_q[0][r] > 0.0, model.phase_q[1][r] > 0.0)
+        << "driver set must not change across phases";
+    if (model.phase_q[0][r] != model.phase_q[1][r]) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(ScenarioTest, DeterministicInSeed) {
+  const topology t = test_topology();
+  scenario_params sp;
+  sp.seed = 5;
+  const auto a = make_scenario(t, scenario_kind::no_independence, sp);
+  const auto b = make_scenario(t, scenario_kind::no_independence, sp);
+  EXPECT_EQ(a.phase_q, b.phase_q);
+  EXPECT_EQ(a.congestable_links, b.congestable_links);
+}
+
+TEST(ScenarioTest, NamesAreHuman) {
+  EXPECT_STREQ(scenario_name(scenario_kind::random_congestion),
+               "Random Congestion");
+  EXPECT_STREQ(scenario_name(scenario_kind::concentrated_congestion),
+               "Concentrated Congestion");
+  EXPECT_STREQ(scenario_name(scenario_kind::no_independence),
+               "No Independence");
+}
+
+TEST(ScenarioTest, ProbabilitiesAreValid) {
+  const topology t = test_topology();
+  for (const auto kind :
+       {scenario_kind::random_congestion, scenario_kind::concentrated_congestion,
+        scenario_kind::no_independence}) {
+    scenario_params sp;
+    sp.seed = 11;
+    const auto model = make_scenario(t, kind, sp);
+    for (const auto& phase : model.phase_q) {
+      for (const double q : phase) {
+        EXPECT_GE(q, 0.0);
+        EXPECT_LE(q, 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ntom

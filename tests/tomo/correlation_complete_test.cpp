@@ -1,0 +1,184 @@
+#include "ntom/tomo/correlation_complete.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntom/sim/truth.hpp"
+#include "ntom/topogen/brite.hpp"
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom {
+namespace {
+
+using namespace topogen;
+
+congestion_model toy_model(const topology& t,
+                           std::vector<std::pair<std::size_t, double>> qs) {
+  congestion_model m;
+  m.phase_q.assign(1, std::vector<double>(t.num_router_links(), 0.0));
+  m.congestable_links = bitvec(t.num_links());
+  for (const auto& [r, q] : qs) m.phase_q[0][r] = q;
+  return m;
+}
+
+TEST(CorrelationCompleteTest, RecoversIndependentLinkProbabilities) {
+  const topology t = make_toy(toy_case::case1);
+  const auto model = toy_model(t, {{0, 0.3}, {3, 0.15}});
+  sim_params sim;
+  sim.intervals = 4000;
+  sim.oracle_monitor = true;  // isolate estimation from probing noise.
+  const auto data = run_experiment(t, model, sim);
+  const auto result = compute_correlation_complete(t, data);
+  const ground_truth truth(t, model, sim.intervals);
+
+  for (const link_id e : {toy_e1, toy_e4}) {
+    const auto est = result.estimates.link_congestion(e);
+    ASSERT_TRUE(est.has_value()) << "link " << e;
+    EXPECT_NEAR(*est, truth.link_congestion_probability(e), 0.03);
+  }
+}
+
+TEST(CorrelationCompleteTest, RecoversCorrelatedPairJoint) {
+  // The paper's core claim: joints of correlated links are computed
+  // correctly, where Independence would factorize wrongly.
+  const topology t = make_toy(toy_case::case1);
+  const auto model = toy_model(t, {{4, 0.25}});  // e2,e3 perfectly corr.
+  sim_params sim;
+  sim.intervals = 5000;
+  sim.oracle_monitor = true;
+  const auto data = run_experiment(t, model, sim);
+  const auto result = compute_correlation_complete(t, data);
+  const ground_truth truth(t, model, sim.intervals);
+
+  bitvec pair(t.num_links());
+  pair.set(toy_e2);
+  pair.set(toy_e3);
+  const auto joint_good = result.estimates.subset_good(pair);
+  ASSERT_TRUE(joint_good.has_value());
+  EXPECT_NEAR(*joint_good, truth.good_probability(pair), 0.03);
+
+  const auto joint_congested = result.estimates.set_congestion(pair);
+  ASSERT_TRUE(joint_congested.has_value());
+  EXPECT_NEAR(*joint_congested, 0.25, 0.04);
+}
+
+TEST(CorrelationCompleteTest, Case2ReportsUnidentifiable) {
+  const topology t = make_toy(toy_case::case2);
+  const auto model = toy_model(t, {{4, 0.25}, {5, 0.1}});
+  sim_params sim;
+  sim.intervals = 2000;
+  sim.oracle_monitor = true;
+  const auto data = run_experiment(t, model, sim);
+  const auto result = compute_correlation_complete(t, data);
+
+  bitvec e14(t.num_links()), e23(t.num_links());
+  e14.set(toy_e1);
+  e14.set(toy_e4);
+  e23.set(toy_e2);
+  e23.set(toy_e3);
+  EXPECT_FALSE(result.estimates.subset_good(e14).has_value());
+  EXPECT_FALSE(result.estimates.subset_good(e23).has_value());
+  EXPECT_LT(result.estimates.identifiable_fraction(), 1.0);
+}
+
+TEST(CorrelationCompleteTest, AlwaysGoodLinksGetZero) {
+  const topology t = make_toy(toy_case::case1);
+  const auto model = toy_model(t, {{0, 0.4}});  // only e1 congestable.
+  sim_params sim;
+  sim.intervals = 1500;
+  sim.oracle_monitor = true;
+  const auto data = run_experiment(t, model, sim);
+  const auto result = compute_correlation_complete(t, data);
+
+  // e4 is on p3 which is always good -> not potentially congested.
+  const auto est = result.estimates.link_congestion(toy_e4);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(*est, 0.0);
+}
+
+TEST(CorrelationCompleteTest, NonStationaryTimeAverage) {
+  // §4: the estimate is the fraction of time congested; correct even
+  // when probabilities change mid-experiment.
+  const topology t = make_toy(toy_case::case1);
+  congestion_model model;
+  model.phase_q.assign(2, std::vector<double>(t.num_router_links(), 0.0));
+  model.phase_q[0][0] = 0.1;
+  model.phase_q[1][0] = 0.7;
+  model.phase_length = 2000;
+  model.congestable_links = bitvec(t.num_links());
+
+  sim_params sim;
+  sim.intervals = 4000;
+  sim.oracle_monitor = true;
+  const auto data = run_experiment(t, model, sim);
+  const auto result = compute_correlation_complete(t, data);
+
+  const auto est = result.estimates.link_congestion(toy_e1);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(*est, 0.4, 0.04);  // the time average of 0.1 and 0.7.
+}
+
+TEST(CorrelationCompleteTest, WorksUnderProbingNoise) {
+  const topology t = make_toy(toy_case::case1);
+  const auto model = toy_model(t, {{0, 0.3}});
+  sim_params sim;
+  sim.intervals = 4000;
+  sim.packets_per_path = 400;
+  const auto data = run_experiment(t, model, sim);
+  const auto result = compute_correlation_complete(t, data);
+  const auto est = result.estimates.link_congestion(toy_e1);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(*est, 0.3, 0.06);
+}
+
+TEST(CorrelationCompleteTest, BriteEndToEndAccuracy) {
+  topogen::brite_params p;
+  p.seed = 31;
+  const topology t = topogen::generate_brite(p);
+  congestion_model model;
+  model.phase_q.assign(1, std::vector<double>(t.num_router_links(), 0.0));
+  model.congestable_links = bitvec(t.num_links());
+  // Drive a handful of links with known probabilities.
+  rng r(5);
+  std::size_t driven = 0;
+  for (link_id e = 0; e < t.num_links() && driven < 12; ++e) {
+    if (!t.covered_links().test(e) || t.link(e).router_links.empty()) continue;
+    model.phase_q[0][t.link(e).router_links.front()] = r.uniform(0.05, 0.6);
+    ++driven;
+  }
+
+  sim_params sim;
+  sim.intervals = 3000;
+  sim.oracle_monitor = true;
+  const auto data = run_experiment(t, model, sim);
+  const auto result = compute_correlation_complete(t, data);
+  const ground_truth truth(t, model, sim.intervals);
+
+  // Estimated links should be close to truth on average.
+  double err_sum = 0.0;
+  std::size_t count = 0;
+  for (link_id e = 0; e < t.num_links(); ++e) {
+    const auto est = result.estimates.link_congestion(e);
+    if (!est) continue;
+    err_sum += std::abs(*est - truth.link_congestion_probability(e));
+    ++count;
+  }
+  ASSERT_GT(count, 0u);
+  EXPECT_LT(err_sum / static_cast<double>(count), 0.05);
+}
+
+TEST(CorrelationCompleteTest, EquationCountsReported) {
+  const topology t = make_toy(toy_case::case1);
+  const auto model = toy_model(t, {{0, 0.3}, {4, 0.2}});
+  sim_params sim;
+  sim.intervals = 1000;
+  sim.oracle_monitor = true;
+  const auto data = run_experiment(t, model, sim);
+  const auto result = compute_correlation_complete(t, data);
+  EXPECT_GT(result.equations_used, 0u);
+  EXPECT_EQ(result.equations_used,
+            result.seed_equations + result.added_equations);
+  EXPECT_GT(result.system_rank, 0u);
+}
+
+}  // namespace
+}  // namespace ntom

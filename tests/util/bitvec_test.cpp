@@ -1,0 +1,164 @@
+#include "ntom/util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntom/util/rng.hpp"
+
+namespace ntom {
+namespace {
+
+TEST(BitvecTest, StartsEmpty) {
+  bitvec b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BitvecTest, SetTestReset) {
+  bitvec b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(BitvecTest, ClearRemovesAll) {
+  bitvec b(65);
+  b.set(10);
+  b.set(64);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(BitvecTest, UnionIntersectionXor) {
+  bitvec a(10), b(10);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  EXPECT_EQ((a | b).to_indices(), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ((a & b).to_indices(), (std::vector<std::size_t>{2}));
+  bitvec x = a;
+  x ^= b;
+  EXPECT_EQ(x.to_indices(), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(BitvecTest, Subtract) {
+  bitvec a(10), b(10);
+  a.set(1);
+  a.set(2);
+  a.set(3);
+  b.set(2);
+  a.subtract(b);
+  EXPECT_EQ(a.to_indices(), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(BitvecTest, EqualityIncludesSize) {
+  bitvec a(10), b(10), c(11);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  a.set(5);
+  EXPECT_FALSE(a == b);
+  b.set(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitvecTest, Intersects) {
+  bitvec a(128), b(128);
+  a.set(100);
+  b.set(101);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(100);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(BitvecTest, SubsetRelation) {
+  bitvec a(20), b(20);
+  a.set(3);
+  b.set(3);
+  b.set(4);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+  bitvec empty(20);
+  EXPECT_TRUE(empty.is_subset_of(a));
+}
+
+TEST(BitvecTest, FromIndicesRoundTrip) {
+  const std::vector<std::size_t> idx{0, 7, 63, 64, 99};
+  const bitvec b = bitvec::from_indices(100, idx);
+  EXPECT_EQ(b.to_indices(), idx);
+}
+
+TEST(BitvecTest, ForEachVisitsAscending) {
+  bitvec b(200);
+  b.set(199);
+  b.set(0);
+  b.set(64);
+  std::vector<std::size_t> seen;
+  b.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 64, 199}));
+}
+
+TEST(BitvecTest, ToStringFormat) {
+  bitvec b(10);
+  EXPECT_EQ(b.to_string(), "{}");
+  b.set(1);
+  b.set(4);
+  EXPECT_EQ(b.to_string(), "{1,4}");
+}
+
+TEST(BitvecTest, HashDistinguishesContentAndSize) {
+  bitvec a(64), b(64), c(65);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+  a.set(13);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+// Property sweep: random sets obey the algebra identities.
+class BitvecPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitvecPropertyTest, SetAlgebraIdentities) {
+  rng r(GetParam());
+  const std::size_t n = 1 + r.uniform_index(300);
+  bitvec a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (r.bernoulli(0.3)) a.set(i);
+    if (r.bernoulli(0.3)) b.set(i);
+  }
+
+  // |A ∪ B| + |A ∩ B| == |A| + |B|.
+  EXPECT_EQ((a | b).count() + (a & b).count(), a.count() + b.count());
+
+  // (A \ B) ∩ B == ∅ and (A \ B) ∪ (A ∩ B) == A.
+  bitvec diff = a;
+  diff.subtract(b);
+  EXPECT_FALSE(diff.intersects(b));
+  EXPECT_EQ((diff | (a & b)), a);
+
+  // A ⊆ A ∪ B; A ∩ B ⊆ A.
+  EXPECT_TRUE(a.is_subset_of(a | b));
+  EXPECT_TRUE((a & b).is_subset_of(a));
+
+  // intersects consistent with intersection count.
+  EXPECT_EQ(a.intersects(b), (a & b).count() > 0);
+
+  // Round-trip through indices.
+  EXPECT_EQ(bitvec::from_indices(n, a.to_indices()), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BitvecPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace ntom

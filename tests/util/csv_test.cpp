@@ -1,0 +1,55 @@
+#include "ntom/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ntom {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CsvEscapeTest, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscapeTest, CommaTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuotesAreDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, NewlineTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriterTest, WritesRowsAndHeader) {
+  const std::string path = ::testing::TempDir() + "/ntom_csv_test.csv";
+  {
+    csv_writer w(path);
+    w.write_header({"name", "x", "y"});
+    w.write_row({"plain", "1", "2"});
+    w.write_row("labeled", {0.5, 1.25});
+  }
+  const std::string content = read_file(path);
+  EXPECT_EQ(content, "name,x,y\nplain,1,2\nlabeled,0.5,1.25\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(csv_writer("/nonexistent_dir_xyz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ntom

@@ -1,0 +1,74 @@
+#include "ntom/util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntom {
+namespace {
+
+flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const auto f = make({"--scale=paper", "--seed=99"});
+  EXPECT_EQ(f.get_string("scale", "small"), "paper");
+  EXPECT_EQ(f.get_int("seed", 0), 99);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  const auto f = make({"--seed", "17"});
+  EXPECT_EQ(f.get_int("seed", 0), 17);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  const auto f = make({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_TRUE(f.has("verbose"));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const auto f = make({});
+  EXPECT_EQ(f.get_string("scale", "small"), "small");
+  EXPECT_EQ(f.get_int("seed", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("frac", 0.1), 0.1);
+  EXPECT_FALSE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.has("anything"));
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  const auto f = make({"--frac=0.25"});
+  EXPECT_DOUBLE_EQ(f.get_double("frac", 0.0), 0.25);
+}
+
+TEST(FlagsTest, BoolRecognizesSpellings) {
+  EXPECT_TRUE(make({"--a=true"}).get_bool("a", false));
+  EXPECT_TRUE(make({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(make({"--a=yes"}).get_bool("a", false));
+  EXPECT_FALSE(make({"--a=false"}).get_bool("a", true));
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  const auto f = make({"input.txt", "--seed=1", "output.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "output.txt");
+}
+
+TEST(FlagsTest, NamesListsSeenFlags) {
+  const auto f = make({"--b=2", "--a=1"});
+  const auto names = f.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // std::map orders keys.
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(FlagsTest, BareFlagFollowedByFlag) {
+  const auto f = make({"--verbose", "--seed=3"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_EQ(f.get_int("seed", 0), 3);
+}
+
+}  // namespace
+}  // namespace ntom

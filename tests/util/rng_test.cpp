@@ -1,0 +1,175 @@
+#include "ntom/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ntom {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(0.25, 0.75);
+    EXPECT_GE(x, 0.25);
+    EXPECT_LT(x, 0.75);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  rng r(3);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_index(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = r.uniform_int(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= x == -3;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  rng r(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  rng r(13);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  rng r(17);
+  EXPECT_EQ(r.binomial(100, 0.0), 0u);
+  EXPECT_EQ(r.binomial(100, 1.0), 100u);
+  EXPECT_EQ(r.binomial(0, 0.5), 0u);
+}
+
+TEST(RngTest, BinomialMeanSmallN) {
+  rng r(19);
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(r.binomial(50, 0.2));
+  EXPECT_NEAR(sum / trials, 10.0, 0.2);
+}
+
+TEST(RngTest, BinomialMeanLargeNUsesNormalApprox) {
+  rng r(23);
+  double sum = 0.0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    const auto x = r.binomial(10000, 0.4);
+    EXPECT_LE(x, 10000u);
+    sum += static_cast<double>(x);
+  }
+  EXPECT_NEAR(sum / trials, 4000.0, 15.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  rng r(29);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  rng a(31);
+  rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  rng r(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  r.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  rng r(41);
+  const auto sample = r.sample_without_replacement(100, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto i : sample) EXPECT_LT(i, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  rng r(43);
+  const auto sample = r.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, SampleWithoutReplacementClampsOversizedK) {
+  rng r(47);
+  const auto sample = r.sample_without_replacement(3, 10);
+  EXPECT_EQ(sample.size(), 3u);
+}
+
+TEST(RngTest, SplitMix64KnownSequenceIsStable) {
+  std::uint64_t s1 = 0, s2 = 0;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+}  // namespace
+}  // namespace ntom
