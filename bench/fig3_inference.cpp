@@ -7,73 +7,87 @@
 //   Sparse Topology (Sparse + random congestion)
 //
 // 10% of links have a non-zero congestion probability (§3.2).
-// Run with --scale=paper for the paper's dimensions (slower); default
-// is a reduced-scale configuration with the same qualitative shape.
-// --csv=<path> additionally dumps the series.
+// Runs on the batched experiment engine: scenarios (x --replicas seed
+// replications) fan out across --threads workers with per-run seeds
+// derived from --seed and the run index, so results are independent of
+// the thread count. Run with --scale=paper for the paper's dimensions
+// (slower); default is a reduced-scale configuration with the same
+// qualitative shape. --csv=<path> dumps the per-run series,
+// --summary-csv=<path> the aggregated mean/stddev/percentiles.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "ntom/exp/batch.hpp"
+#include "ntom/exp/evals.hpp"
 #include "ntom/exp/report.hpp"
 #include "ntom/exp/runner.hpp"
-#include "ntom/infer/bayes_correlation.hpp"
-#include "ntom/infer/bayes_independence.hpp"
-#include "ntom/infer/sparsity.hpp"
-#include "ntom/util/csv.hpp"
 #include "ntom/util/flags.hpp"
+#include "ntom/util/thread_pool.hpp"
 
 namespace {
 
-struct scenario_row {
-  std::string label;
-  ntom::run_config config;
-};
-
-std::vector<scenario_row> make_rows(bool paper_scale, std::uint64_t seed,
-                                    std::size_t intervals) {
+std::vector<ntom::run_spec> make_specs(bool paper_scale, std::size_t intervals,
+                                       std::size_t replicas) {
   using namespace ntom;
   run_config base;
   base.brite = paper_scale ? topogen::brite_params::paper_scale()
                            : topogen::brite_params{};
   base.sparse = paper_scale ? topogen::sparse_params::paper_scale()
                             : topogen::sparse_params{};
-  base.brite.seed = seed;
-  base.sparse.seed = seed + 1;
-  base.scenario_opts.seed = seed + 2;
-  base.sim.seed = seed + 3;
   base.sim.intervals = intervals;
 
-  std::vector<scenario_row> rows;
+  std::vector<run_spec> scenarios;
   {
     run_config c = base;
     c.scenario = scenario_kind::random_congestion;
-    rows.push_back({"Random Congestion", c});
+    scenarios.push_back({"Random Congestion", c});
   }
   {
     run_config c = base;
     c.scenario = scenario_kind::concentrated_congestion;
-    rows.push_back({"Concentrated Congestion", c});
+    scenarios.push_back({"Concentrated Congestion", c});
   }
   {
     run_config c = base;
     c.scenario = scenario_kind::no_independence;
-    rows.push_back({"No Independence", c});
+    scenarios.push_back({"No Independence", c});
   }
   {
     run_config c = base;
     c.scenario = scenario_kind::no_independence;
     c.scenario_opts.nonstationary = true;
-    rows.push_back({"No Stationarity", c});
+    scenarios.push_back({"No Stationarity", c});
   }
   {
     run_config c = base;
     c.topo = topology_kind::sparse;
     c.scenario = scenario_kind::random_congestion;
-    rows.push_back({"Sparse Topology", c});
+    scenarios.push_back({"Sparse Topology", c});
   }
-  return rows;
+
+  // Replicas repeat each scenario label. All arms of one replica share
+  // a seed_group, so the algorithms are compared on the same topology
+  // within a replica (as in the paper); each replica draws a new one.
+  std::vector<run_spec> specs;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    for (run_spec s : scenarios) {
+      s.seed_group = r;
+      specs.push_back(std::move(s));
+    }
+  }
+  return specs;
+}
+
+std::vector<ntom::measurement> evaluate(const ntom::run_config& config,
+                                        const ntom::run_artifacts& run) {
+  using namespace ntom;
+  std::fprintf(stderr, "[fig3] %s%s/%s: %s\n", scenario_name(config.scenario),
+               config.scenario_opts.nonstationary ? " (nonstationary)" : "",
+               topology_kind_name(config.topo), run.topo.describe().c_str());
+  return boolean_inference_eval(config, run);
 }
 
 }  // namespace
@@ -85,60 +99,53 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
   const auto intervals = static_cast<std::size_t>(
       opts.get_int("intervals", paper_scale ? 1000 : 300));
+  const auto replicas =
+      static_cast<std::size_t>(opts.get_int("replicas", 1));
+  const auto threads = static_cast<std::size_t>(opts.get_int("threads", 0));
+
+  batch_params params;
+  params.threads = threads;
+  params.base_seed = seed;
+  const std::vector<run_spec> specs =
+      make_specs(paper_scale, intervals, replicas);
 
   std::cout << "Fig. 3 — Boolean Inference accuracy "
             << "(scale=" << (paper_scale ? "paper" : "small")
-            << ", T=" << intervals << ", seed=" << seed << ")\n\n";
+            << ", T=" << intervals << ", seed=" << seed
+            << ", replicas=" << replicas
+            << ", threads=" << thread_pool::resolve_threads(threads) << ")\n\n";
 
-  table_printer detection(
-      {"Scenario", "Sparsity", "Bayes-Indep", "Bayes-Corr"});
-  table_printer false_pos(
-      {"Scenario", "Sparsity", "Bayes-Indep", "Bayes-Corr"});
-  std::optional<csv_writer> csv;
-  if (opts.has("csv")) {
-    csv.emplace(opts.get_string("csv", "fig3.csv"));
-    csv->write_header({"scenario", "algorithm", "detection_rate",
-                       "false_positive_rate"});
-  }
+  const batch_report report = run_batch(specs, evaluate, params);
 
-  for (auto& [label, config] : make_rows(paper_scale, seed, intervals)) {
-    const run_artifacts run = prepare_run(config);
-    std::fprintf(stderr, "[fig3] %s: %s\n", label.c_str(),
-                 run.topo.describe().c_str());
-
-    const inference_metrics sparsity_m =
-        score_inference(run, [&](const bitvec& congested) {
-          return infer_sparsity(run.topo,
-                                make_observation(run.topo, congested));
-        });
-
-    const bayes_independence_inferencer indep(run.topo, run.data);
-    const inference_metrics indep_m = score_inference(
-        run, [&](const bitvec& congested) { return indep.infer(congested); });
-
-    const bayes_correlation_inferencer corr(run.topo, run.data);
-    const inference_metrics corr_m = score_inference(
-        run, [&](const bitvec& congested) { return corr.infer(congested); });
-
-    detection.add_row(label, {sparsity_m.detection_rate,
-                              indep_m.detection_rate, corr_m.detection_rate});
-    false_pos.add_row(label,
-                      {sparsity_m.false_positive_rate,
-                       indep_m.false_positive_rate,
-                       corr_m.false_positive_rate});
-    if (csv) {
-      csv->write_row(label + "/Sparsity",
-                     {sparsity_m.detection_rate, sparsity_m.false_positive_rate});
-      csv->write_row(label + "/Bayesian-Independence",
-                     {indep_m.detection_rate, indep_m.false_positive_rate});
-      csv->write_row(label + "/Bayesian-Correlation",
-                     {corr_m.detection_rate, corr_m.false_positive_rate});
+  const std::vector<std::string> algorithms = {"Sparsity", "Bayes-Indep",
+                                               "Bayes-Corr"};
+  table_printer detection({"Scenario", "Sparsity", "Bayes-Indep",
+                           "Bayes-Corr"});
+  table_printer false_pos({"Scenario", "Sparsity", "Bayes-Indep",
+                           "Bayes-Corr"});
+  std::vector<std::string> seen;
+  for (const run_result& run : report.runs()) {
+    if (std::find(seen.begin(), seen.end(), run.label) != seen.end()) continue;
+    seen.push_back(run.label);
+    std::vector<double> det_row, fp_row;
+    for (const std::string& algo : algorithms) {
+      det_row.push_back(report.mean_of(run.label, algo, "detection_rate"));
+      fp_row.push_back(report.mean_of(run.label, algo, "false_positive_rate"));
     }
+    detection.add_row(run.label, det_row);
+    false_pos.add_row(run.label, fp_row);
   }
 
   std::cout << "(a) Detection Rate\n";
   detection.print(std::cout);
   std::cout << "\n(b) False Positive Rate\n";
   false_pos.print(std::cout);
+  std::printf("\n%zu runs in %.2fs wall clock\n", report.runs().size(),
+              report.total_seconds);
+
+  if (opts.has("csv")) report.write_runs_csv(opts.get_string("csv", "fig3.csv"));
+  if (opts.has("summary-csv")) {
+    report.write_summary_csv(opts.get_string("summary-csv", "fig3_summary.csv"));
+  }
   return 0;
 }

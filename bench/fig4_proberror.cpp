@@ -5,20 +5,24 @@
 // (4a) and Sparse (4b) topologies. Per §5.4, the No-Stationarity
 // behaviour is layered on top of every scenario (probabilities change
 // every few intervals); pass --stationary to disable that layer.
+//
+// Runs on the batched experiment engine: the 2 topologies x 3 scenarios
+// grid (x --replicas) fans out across --threads workers with per-run
+// seeds derived from --seed and the run index.
 #include <cstdio>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "ntom/corr/correlation.hpp"
+#include "ntom/exp/batch.hpp"
 #include "ntom/exp/report.hpp"
 #include "ntom/exp/runner.hpp"
 #include "ntom/tomo/correlation_complete.hpp"
 #include "ntom/tomo/correlation_heuristic.hpp"
 #include "ntom/tomo/independence.hpp"
-#include "ntom/corr/correlation.hpp"
-#include "ntom/util/csv.hpp"
 #include "ntom/util/flags.hpp"
+#include "ntom/util/thread_pool.hpp"
 
 namespace {
 
@@ -26,6 +30,70 @@ struct arm {
   std::string label;
   ntom::scenario_kind kind;
 };
+
+const std::vector<arm>& arms() {
+  static const std::vector<arm> all = {
+      {"Random Congestion", ntom::scenario_kind::random_congestion},
+      {"Concentrated Congestion", ntom::scenario_kind::concentrated_congestion},
+      {"No Independence", ntom::scenario_kind::no_independence},
+  };
+  return all;
+}
+
+std::vector<ntom::run_spec> make_specs(bool paper_scale, bool stationary,
+                                       std::size_t intervals,
+                                       std::size_t replicas) {
+  using namespace ntom;
+  std::vector<run_spec> specs;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    for (const topology_kind topo :
+         {topology_kind::brite, topology_kind::sparse}) {
+      for (const auto& [label, kind] : arms()) {
+        run_config config;
+        config.topo = topo;
+        config.brite = paper_scale ? topogen::brite_params::paper_scale()
+                                   : topogen::brite_params{};
+        config.sparse = paper_scale ? topogen::sparse_params::paper_scale()
+                                    : topogen::sparse_params{};
+        config.scenario = kind;
+        config.scenario_opts.nonstationary = !stationary;
+        config.sim.intervals = intervals;
+        run_spec spec{std::string(topology_kind_name(topo)) + "/" + label,
+                      config};
+        spec.seed_group = r;  // same topology across arms of a replica.
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  return specs;
+}
+
+std::vector<ntom::measurement> evaluate(const ntom::run_config& config,
+                                        const ntom::run_artifacts& run) {
+  using namespace ntom;
+  const ground_truth truth = run.make_truth();
+  const path_observations obs(run.data);
+  const bitvec potcong =
+      potentially_congested_links(run.topo, obs.always_good_paths());
+  std::fprintf(stderr, "[fig4ab] %s/%s: %s, potcong=%zu\n",
+               topology_kind_name(config.topo), scenario_name(config.scenario),
+               run.topo.describe().c_str(), potcong.count());
+
+  const auto indep = compute_independence(run.topo, run.data);
+  const auto heur = compute_correlation_heuristic(run.topo, run.data);
+  const auto complete = compute_correlation_complete(run.topo, run.data);
+
+  return {
+      {"Independence", "mean_abs_error",
+       mean_of(link_absolute_errors(run.topo, truth, indep.links, potcong))},
+      {"Corr-heuristic", "mean_abs_error",
+       mean_of(link_absolute_errors(
+           run.topo, truth, heur.estimates.to_link_estimates(), potcong))},
+      {"Corr-complete", "mean_abs_error",
+       mean_of(link_absolute_errors(
+           run.topo, truth, complete.estimates.to_link_estimates(), potcong))},
+  };
+}
 
 }  // namespace
 
@@ -37,73 +105,53 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
   const auto intervals = static_cast<std::size_t>(
       opts.get_int("intervals", paper_scale ? 1000 : 300));
+  const auto replicas =
+      static_cast<std::size_t>(opts.get_int("replicas", 1));
+  const auto threads = static_cast<std::size_t>(opts.get_int("threads", 0));
 
   std::cout << "Fig. 4(a)/(b) — Probability Computation error "
             << "(scale=" << (paper_scale ? "paper" : "small")
             << ", T=" << intervals << ", seed=" << seed
-            << (stationary ? ", stationary" : ", non-stationary") << ")\n\n";
+            << (stationary ? ", stationary" : ", non-stationary")
+            << ", replicas=" << replicas
+            << ", threads=" << thread_pool::resolve_threads(threads) << ")\n\n";
 
-  const std::vector<arm> arms = {
-      {"Random Congestion", scenario_kind::random_congestion},
-      {"Concentrated Congestion", scenario_kind::concentrated_congestion},
-      {"No Independence", scenario_kind::no_independence},
-  };
+  batch_params params;
+  params.threads = threads;
+  params.base_seed = seed;
+  const batch_report report =
+      run_batch(make_specs(paper_scale, stationary, intervals, replicas),
+                evaluate, params);
 
-  std::optional<csv_writer> csv;
-  if (opts.has("csv")) {
-    csv.emplace(opts.get_string("csv", "fig4ab.csv"));
-    csv->write_header({"topology/scenario", "independence",
-                       "correlation_heuristic", "correlation_complete"});
-  }
-
-  for (const topology_kind topo : {topology_kind::brite, topology_kind::sparse}) {
-    table_printer table({"Scenario", "Independence", "Corr-heuristic",
-                         "Corr-complete"});
-    for (const auto& [label, kind] : arms) {
-      run_config config;
-      config.topo = topo;
-      config.brite = paper_scale ? topogen::brite_params::paper_scale()
-                                 : topogen::brite_params{};
-      config.sparse = paper_scale ? topogen::sparse_params::paper_scale()
-                                  : topogen::sparse_params{};
-      config.brite.seed = seed;
-      config.sparse.seed = seed + 1;
-      config.scenario = kind;
-      config.scenario_opts.seed = seed + 2;
-      config.scenario_opts.nonstationary = !stationary;
-      config.sim.intervals = intervals;
-      config.sim.seed = seed + 3;
-
-      const run_artifacts run = prepare_run(config);
-      const ground_truth truth = run.make_truth();
-      const path_observations obs(run.data);
-      const bitvec potcong =
-          potentially_congested_links(run.topo, obs.always_good_paths());
-      std::fprintf(stderr, "[fig4ab] %s/%s: %s, potcong=%zu\n",
-                   topology_kind_name(topo), label.c_str(),
-                   run.topo.describe().c_str(), potcong.count());
-
-      const auto indep = compute_independence(run.topo, run.data);
-      const auto heur = compute_correlation_heuristic(run.topo, run.data);
-      const auto complete = compute_correlation_complete(run.topo, run.data);
-
-      const double err_indep = mean_of(
-          link_absolute_errors(run.topo, truth, indep.links, potcong));
-      const double err_heur = mean_of(link_absolute_errors(
-          run.topo, truth, heur.estimates.to_link_estimates(), potcong));
-      const double err_complete = mean_of(link_absolute_errors(
-          run.topo, truth, complete.estimates.to_link_estimates(), potcong));
-
-      table.add_row(label, {err_indep, err_heur, err_complete});
-      if (csv) {
-        csv->write_row(std::string(topology_kind_name(topo)) + "/" + label,
-                       {err_indep, err_heur, err_complete});
+  const std::vector<std::string> estimators = {"Independence", "Corr-heuristic",
+                                               "Corr-complete"};
+  for (const topology_kind topo :
+       {topology_kind::brite, topology_kind::sparse}) {
+    table_printer table(
+        {"Scenario", "Independence", "Corr-heuristic", "Corr-complete"});
+    for (const auto& [label, kind] : arms()) {
+      const std::string full =
+          std::string(topology_kind_name(topo)) + "/" + label;
+      std::vector<double> row;
+      for (const std::string& est : estimators) {
+        row.push_back(report.mean_of(full, est, "mean_abs_error"));
       }
+      table.add_row(label, row);
     }
     std::cout << (topo == topology_kind::brite
                       ? "(a) Mean absolute error — Brite topologies\n"
                       : "\n(b) Mean absolute error — Sparse topologies\n");
     table.print(std::cout);
+  }
+  std::printf("\n%zu runs in %.2fs wall clock\n", report.runs().size(),
+              report.total_seconds);
+
+  if (opts.has("csv")) {
+    report.write_runs_csv(opts.get_string("csv", "fig4ab.csv"));
+  }
+  if (opts.has("summary-csv")) {
+    report.write_summary_csv(
+        opts.get_string("summary-csv", "fig4ab_summary.csv"));
   }
   return 0;
 }

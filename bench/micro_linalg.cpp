@@ -3,9 +3,13 @@
 // null-space update vs a full QR recompute per appended equation.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "ntom/linalg/nullspace.hpp"
 #include "ntom/linalg/qr.hpp"
 #include "ntom/linalg/solve.hpp"
+#include "ntom/linalg/sparse.hpp"
 #include "ntom/util/rng.hpp"
 
 namespace {
@@ -93,6 +97,80 @@ void bm_least_squares(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_least_squares)->Arg(32)->Arg(64)->Arg(128);
+
+/// Micro assertion: abort loudly if a benchmarked equivalence breaks —
+/// a benchmark that silently measures a wrong result is worthless.
+void micro_assert(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "micro assertion failed: %s\n", what);
+    std::abort();
+  }
+}
+
+/// Weighted 0/1 rows in CSR form, as the equation builders emit them.
+ntom::sparse_matrix random_sparse_system(std::size_t rows, std::size_t cols,
+                                         double density, std::uint64_t seed) {
+  ntom::rng rand(seed);
+  ntom::sparse_matrix m(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::size_t> idx;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rand.bernoulli(density)) idx.push_back(c);
+    }
+    m.append_row(idx, rand.uniform(0.5, 2.0));
+  }
+  return m;
+}
+
+/// Sparse-row least squares (the hot path after the CSR rewiring);
+/// asserts the sparse and dense solves agree bit-for-bit.
+void bm_least_squares_sparse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ntom::sparse_matrix a = random_sparse_system(2 * n, n, 0.1, 7);
+  ntom::rng rand(13);
+  std::vector<double> b(2 * n);
+  for (auto& x : b) x = -rand.uniform();
+
+  micro_assert(ntom::solve_least_squares(a, b).x ==
+                   ntom::solve_least_squares(a.to_dense(), b).x,
+               "sparse lstsq != dense lstsq");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ntom::solve_least_squares(a, b));
+  }
+}
+BENCHMARK(bm_least_squares_sparse)->Arg(32)->Arg(64)->Arg(128);
+
+/// Algorithm 1's inner test on sparse 0/1 candidate rows vs the old
+/// dense staging; asserts both encodings agree before measuring.
+void bm_nullspace_sparse_row_test(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ntom::matrix a = random_binary_matrix(n / 2, n, 0.1, 7);
+  const ntom::matrix nsp = ntom::null_space_basis(a);
+
+  ntom::rng rand(11);
+  std::vector<std::vector<std::size_t>> rows;
+  for (std::size_t r = 0; r < 64; ++r) {
+    std::vector<std::size_t> idx;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (rand.bernoulli(0.1)) idx.push_back(c);
+    }
+    rows.push_back(std::move(idx));
+  }
+  for (const auto& idx : rows) {
+    std::vector<double> dense(n, 0.0);
+    for (const std::size_t c : idx) dense[c] = 1.0;
+    micro_assert(ntom::row_nullspace_product(idx, nsp) ==
+                     ntom::row_nullspace_product(dense, nsp),
+                 "sparse row product != dense row product");
+  }
+
+  for (auto _ : state) {
+    for (const auto& idx : rows) {
+      benchmark::DoNotOptimize(ntom::row_increases_rank(idx, nsp));
+    }
+  }
+}
+BENCHMARK(bm_nullspace_sparse_row_test)->Arg(64)->Arg(128);
 
 }  // namespace
 

@@ -1,0 +1,201 @@
+// Scenario sweep driver on the parallel batched experiment engine.
+//
+// Builds the cross product topology x scenario x replica, fans the runs
+// across a thread pool, and prints aggregated detection / false-positive
+// rates (mean +/- stddev over replicas). Per-run seeds derive from
+// --seed and the run index, so the sweep is reproducible bit-for-bit at
+// any thread count — pass --check-determinism to prove it on the spot
+// (runs the sweep serially, re-runs it with --threads workers, compares
+// every aggregate exactly, and reports the parallel speedup).
+//
+//   sweep_cli --topos=brite,sparse --scenarios=random,concentrated
+//             --replicas=4 --threads=8 --summary-csv=sweep.csv
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ntom/exp/batch.hpp"
+#include "ntom/exp/evals.hpp"
+#include "ntom/exp/report.hpp"
+#include "ntom/exp/runner.hpp"
+#include "ntom/util/flags.hpp"
+#include "ntom/util/thread_pool.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream in(list);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+struct scenario_choice {
+  std::string name;
+  ntom::scenario_kind kind;
+  bool nonstationary;
+};
+
+std::vector<scenario_choice> parse_scenarios(const std::string& list) {
+  using ntom::scenario_kind;
+  std::vector<scenario_choice> out;
+  for (const std::string& name : split_csv(list)) {
+    if (name == "random") {
+      out.push_back({name, scenario_kind::random_congestion, false});
+    } else if (name == "concentrated") {
+      out.push_back({name, scenario_kind::concentrated_congestion, false});
+    } else if (name == "noindep") {
+      out.push_back({name, scenario_kind::no_independence, false});
+    } else if (name == "nostat") {
+      out.push_back({name, scenario_kind::no_independence, true});
+    } else {
+      std::fprintf(stderr,
+                   "unknown scenario '%s' (want random, concentrated, "
+                   "noindep, nostat)\n",
+                   name.c_str());
+      std::exit(2);
+    }
+  }
+  return out;
+}
+
+std::vector<ntom::topology_kind> parse_topos(const std::string& list) {
+  std::vector<ntom::topology_kind> out;
+  for (const std::string& name : split_csv(list)) {
+    if (name == "brite") {
+      out.push_back(ntom::topology_kind::brite);
+    } else if (name == "sparse") {
+      out.push_back(ntom::topology_kind::sparse);
+    } else {
+      std::fprintf(stderr, "unknown topology '%s' (want brite, sparse)\n",
+                   name.c_str());
+      std::exit(2);
+    }
+  }
+  return out;
+}
+
+bool summaries_identical(const std::vector<ntom::metric_summary>& a,
+                         const std::vector<ntom::metric_summary>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label != b[i].label || a[i].series != b[i].series ||
+        a[i].metric != b[i].metric || a[i].runs != b[i].runs ||
+        a[i].mean != b[i].mean || a[i].stddev != b[i].stddev ||
+        a[i].min != b[i].min || a[i].max != b[i].max ||
+        a[i].p50 != b[i].p50 || a[i].p90 != b[i].p90) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ntom;
+  const flags opts(argc, argv);
+  const bool paper_scale = opts.get_string("scale", "small") == "paper";
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  const auto intervals = static_cast<std::size_t>(
+      opts.get_int("intervals", paper_scale ? 1000 : 150));
+  const auto replicas = static_cast<std::size_t>(opts.get_int("replicas", 2));
+  const auto threads = static_cast<std::size_t>(opts.get_int("threads", 0));
+  const bool check = opts.get_bool("check-determinism", false);
+
+  const auto topos = parse_topos(opts.get_string("topos", "brite,sparse"));
+  const auto scenarios = parse_scenarios(
+      opts.get_string("scenarios", "random,concentrated,noindep,nostat"));
+
+  std::vector<run_spec> specs;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    for (const topology_kind topo : topos) {
+      for (const scenario_choice& s : scenarios) {
+        run_config config;
+        config.topo = topo;
+        config.brite = paper_scale ? topogen::brite_params::paper_scale()
+                                   : topogen::brite_params{};
+        config.sparse = paper_scale ? topogen::sparse_params::paper_scale()
+                                    : topogen::sparse_params{};
+        config.scenario = s.kind;
+        config.scenario_opts.nonstationary = s.nonstationary;
+        config.sim.intervals = intervals;
+        run_spec spec{std::string(topology_kind_name(topo)) + "/" + s.name,
+                      config};
+        spec.seed_group = r;  // same topology across arms of a replica.
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+
+  const std::size_t workers = thread_pool::resolve_threads(threads);
+  std::cout << "Scenario sweep — " << specs.size() << " runs (" << topos.size()
+            << " topologies x " << scenarios.size() << " scenarios x "
+            << replicas << " replicas), T=" << intervals << ", seed=" << seed
+            << ", threads=" << workers << "\n\n";
+
+  batch_params params;
+  params.threads = threads;
+  params.base_seed = seed;
+  const batch_report report = run_batch(specs, boolean_inference_eval, params);
+
+  const std::vector<metric_summary> cells = report.summarize();
+  table_printer table({"Topology/Scenario", "Algorithm", "DR mean", "DR sd",
+                       "FP mean", "FP sd"});
+  for (const metric_summary& s : cells) {
+    if (s.metric != "detection_rate") continue;
+    double fp_mean = 0.0;
+    double fp_sd = 0.0;
+    for (const metric_summary& f : cells) {
+      if (f.label == s.label && f.series == s.series &&
+          f.metric == "false_positive_rate") {
+        fp_mean = f.mean;
+        fp_sd = f.stddev;
+      }
+    }
+    table.add_row({s.label, s.series, format_fixed(s.mean),
+                   format_fixed(s.stddev), format_fixed(fp_mean),
+                   format_fixed(fp_sd)});
+  }
+  table.print(std::cout);
+  std::printf("\n%zu runs in %.2fs wall clock (%.2fs/run average)\n",
+              report.runs().size(), report.total_seconds,
+              report.runs().empty()
+                  ? 0.0
+                  : report.total_seconds /
+                        static_cast<double>(report.runs().size()));
+
+  if (opts.has("csv")) {
+    report.write_runs_csv(opts.get_string("csv", "sweep.csv"));
+  }
+  if (opts.has("summary-csv")) {
+    report.write_summary_csv(
+        opts.get_string("summary-csv", "sweep_summary.csv"));
+  }
+
+  if (check) {
+    std::cout << "\nDeterminism check: re-running serially...\n";
+    batch_params serial = params;
+    serial.threads = 1;
+    const batch_report serial_report =
+        run_batch(specs, boolean_inference_eval, serial);
+    const bool identical =
+        summaries_identical(cells, serial_report.summarize());
+    std::printf(
+        "aggregates %s; serial %.2fs vs parallel %.2fs (speedup %.2fx "
+        "at %zu threads)\n",
+        identical ? "BIT-IDENTICAL" : "DIFFER (BUG)",
+        serial_report.total_seconds, report.total_seconds,
+        report.total_seconds > 0.0
+            ? serial_report.total_seconds / report.total_seconds
+            : 0.0,
+        workers);
+    if (!identical) return 1;
+  }
+  return 0;
+}

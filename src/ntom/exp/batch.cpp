@@ -1,0 +1,188 @@
+#include "ntom/exp/batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+
+#include "ntom/util/csv.hpp"
+#include "ntom/util/rng.hpp"
+#include "ntom/util/stats.hpp"
+#include "ntom/util/thread_pool.hpp"
+
+namespace ntom {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double seconds_since(clock::time_point start) {
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+run_result execute_one(const run_spec& spec, std::size_t index,
+                       const batch_eval_fn& eval, const batch_params& params) {
+  const clock::time_point start = clock::now();
+  const std::size_t topo_group =
+      spec.seed_group == run_spec::npos ? index : spec.seed_group;
+  run_config config = params.derive_seeds
+                          ? derive_run_seeds(spec.config, params.base_seed,
+                                             index, topo_group)
+                          : spec.config;
+  const run_artifacts run = prepare_run(config);
+  run_result result;
+  result.index = index;
+  result.label = spec.label;
+  result.measurements = eval(config, run);
+  result.seconds = seconds_since(start);
+  return result;
+}
+
+}  // namespace
+
+run_config derive_run_seeds(run_config config, std::uint64_t base_seed,
+                            std::size_t index, std::size_t topo_group) {
+  // Decorrelate streams: offset the splitmix64 state by a golden-ratio
+  // multiple of (key + 1) so adjacent keys land far apart, and salt
+  // the run stream so it never collides with the topology stream even
+  // when topo_group == index.
+  constexpr std::uint64_t golden = 0x9e3779b97f4a7c15ULL;
+  constexpr std::uint64_t run_salt = 0xd1b54a32d192ed03ULL;
+  std::uint64_t topo_state =
+      base_seed + golden * (static_cast<std::uint64_t>(topo_group) + 1);
+  config.brite.seed = splitmix64(topo_state);
+  config.sparse.seed = splitmix64(topo_state);
+  std::uint64_t run_state = (base_seed ^ run_salt) +
+                            golden * (static_cast<std::uint64_t>(index) + 1);
+  config.scenario_opts.seed = splitmix64(run_state);
+  config.sim.seed = splitmix64(run_state);
+  return config;
+}
+
+run_config derive_run_seeds(run_config config, std::uint64_t base_seed,
+                            std::size_t index) {
+  return derive_run_seeds(std::move(config), base_seed, index, index);
+}
+
+void batch_report::add(run_result result) {
+  const auto at = std::upper_bound(
+      runs_.begin(), runs_.end(), result.index,
+      [](std::size_t index, const run_result& r) { return index < r.index; });
+  runs_.insert(at, std::move(result));
+}
+
+std::vector<metric_summary> batch_report::summarize() const {
+  // Cell order = first appearance over index-sorted runs: deterministic
+  // regardless of which thread finished first.
+  std::vector<metric_summary> out;
+  std::vector<std::vector<double>> samples;
+  auto cell_of = [&](const std::string& label, const std::string& series,
+                     const std::string& metric) -> std::size_t {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].label == label && out[i].series == series &&
+          out[i].metric == metric) {
+        return i;
+      }
+    }
+    out.push_back({label, series, metric, 0, 0, 0, 0, 0, 0, 0});
+    samples.emplace_back();
+    return out.size() - 1;
+  };
+
+  for (const run_result& run : runs_) {
+    for (const measurement& m : run.measurements) {
+      samples[cell_of(run.label, m.series, m.metric)].push_back(m.value);
+    }
+  }
+
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    running_stats stats;
+    for (const double x : samples[i]) stats.add(x);
+    out[i].runs = stats.count();
+    out[i].mean = stats.mean();
+    out[i].stddev = stats.stddev();
+    out[i].min = stats.min();
+    out[i].max = stats.max();
+    if (!samples[i].empty()) {
+      const empirical_cdf cdf(samples[i]);
+      out[i].p50 = cdf.quantile(0.5);
+      out[i].p90 = cdf.quantile(0.9);
+    }
+  }
+  return out;
+}
+
+double batch_report::mean_of(const std::string& label,
+                             const std::string& series,
+                             const std::string& metric) const {
+  running_stats stats;
+  for (const run_result& run : runs_) {
+    if (run.label != label) continue;
+    for (const measurement& m : run.measurements) {
+      if (m.series == series && m.metric == metric) stats.add(m.value);
+    }
+  }
+  return stats.mean();
+}
+
+void batch_report::write_runs_csv(const std::string& path) const {
+  csv_writer csv(path);
+  csv.write_header({"run", "label", "series", "metric", "value", "seconds"});
+  for (const run_result& run : runs_) {
+    for (const measurement& m : run.measurements) {
+      csv.write_row({std::to_string(run.index), run.label, m.series, m.metric,
+                     std::to_string(m.value), std::to_string(run.seconds)});
+    }
+  }
+}
+
+void batch_report::write_summary_csv(const std::string& path) const {
+  csv_writer csv(path);
+  csv.write_header({"label", "series", "metric", "runs", "mean", "stddev",
+                    "min", "max", "p50", "p90"});
+  for (const metric_summary& s : summarize()) {
+    csv.write_row({s.label, s.series, s.metric, std::to_string(s.runs),
+                   std::to_string(s.mean), std::to_string(s.stddev),
+                   std::to_string(s.min), std::to_string(s.max),
+                   std::to_string(s.p50), std::to_string(s.p90)});
+  }
+}
+
+batch_report run_batch(const std::vector<run_spec>& specs,
+                       const batch_eval_fn& eval, const batch_params& params) {
+  const clock::time_point start = clock::now();
+  batch_report report;
+
+  const std::size_t threads = thread_pool::resolve_threads(params.threads);
+  if (threads <= 1 || specs.size() <= 1) {
+    // Serial fast path: no pool, identical results by construction.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      report.add(execute_one(specs[i], i, eval, params));
+    }
+    report.total_seconds = seconds_since(start);
+    return report;
+  }
+
+  std::vector<std::future<run_result>> futures;
+  futures.reserve(specs.size());
+  {
+    thread_pool pool(threads);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      futures.push_back(pool.submit(
+          [&specs, i, &eval, &params] {
+            return execute_one(specs[i], i, eval, params);
+          }));
+    }
+    // Collect in submission order; report.add re-sorts by index anyway.
+    for (std::future<run_result>& f : futures) report.add(f.get());
+  }
+  report.total_seconds = seconds_since(start);
+  return report;
+}
+
+std::vector<measurement> inference_measurements(
+    const std::string& series, const inference_metrics& metrics) {
+  return {{series, "detection_rate", metrics.detection_rate},
+          {series, "false_positive_rate", metrics.false_positive_rate}};
+}
+
+}  // namespace ntom

@@ -1,0 +1,32 @@
+#include "ntom/exp/evals.hpp"
+
+#include "ntom/infer/bayes_correlation.hpp"
+#include "ntom/infer/bayes_independence.hpp"
+#include "ntom/infer/sparsity.hpp"
+
+namespace ntom {
+
+std::vector<measurement> boolean_inference_eval(const run_config&,
+                                                const run_artifacts& run) {
+  const inference_metrics sparsity_m =
+      score_inference(run, [&](const bitvec& congested) {
+        return infer_sparsity(run.topo, make_observation(run.topo, congested));
+      });
+
+  const bayes_independence_inferencer indep(run.topo, run.data);
+  const inference_metrics indep_m = score_inference(
+      run, [&](const bitvec& congested) { return indep.infer(congested); });
+
+  const bayes_correlation_inferencer corr(run.topo, run.data);
+  const inference_metrics corr_m = score_inference(
+      run, [&](const bitvec& congested) { return corr.infer(congested); });
+
+  std::vector<measurement> out = inference_measurements("Sparsity", sparsity_m);
+  const auto indep_rows = inference_measurements("Bayes-Indep", indep_m);
+  const auto corr_rows = inference_measurements("Bayes-Corr", corr_m);
+  out.insert(out.end(), indep_rows.begin(), indep_rows.end());
+  out.insert(out.end(), corr_rows.begin(), corr_rows.end());
+  return out;
+}
+
+}  // namespace ntom

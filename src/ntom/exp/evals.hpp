@@ -1,0 +1,18 @@
+// Canned batch evaluators shared by the figure benches and sweep CLI.
+#pragma once
+
+#include <vector>
+
+#include "ntom/exp/batch.hpp"
+
+namespace ntom {
+
+/// Fig. 3 evaluator: runs the three Boolean Inference algorithms
+/// (Sparsity, Bayesian-Independence, Bayesian-Correlation) on a
+/// prepared run and returns their detection / false-positive rates as
+/// series "Sparsity", "Bayes-Indep", "Bayes-Corr". Matches the
+/// batch_eval_fn signature.
+[[nodiscard]] std::vector<measurement> boolean_inference_eval(
+    const run_config& config, const run_artifacts& run);
+
+}  // namespace ntom

@@ -5,37 +5,84 @@
 
 namespace ntom {
 
-double row_nullspace_product(const std::vector<double>& r,
-                             const matrix& n) noexcept {
+namespace {
+
+/// r . N per column, r given densely.
+std::vector<double> column_products(const std::vector<double>& r,
+                                    const matrix& n) {
   assert(r.size() == n.rows());
-  double best = 0.0;
+  std::vector<double> rn(n.cols(), 0.0);
   for (std::size_t j = 0; j < n.cols(); ++j) {
     double s = 0.0;
     for (std::size_t i = 0; i < n.rows(); ++i) s += r[i] * n(i, j);
-    best = std::max(best, std::abs(s));
+    rn[j] = s;
   }
+  return rn;
+}
+
+/// r . N per column for a 0/1 row with ones at `row_indices`: each
+/// product is a sum of nnz entries of N instead of a length-n dot.
+std::vector<double> column_products(const std::vector<std::size_t>& row_indices,
+                                    const matrix& n) {
+  std::vector<double> rn(n.cols(), 0.0);
+  for (const std::size_t i : row_indices) {
+    assert(i < n.rows());
+    const double* row = n.row_ptr(i);
+    for (std::size_t j = 0; j < n.cols(); ++j) rn[j] += row[j];
+  }
+  return rn;
+}
+
+double max_abs_of(const std::vector<double>& xs) noexcept {
+  double best = 0.0;
+  for (const double x : xs) best = std::max(best, std::abs(x));
   return best;
 }
 
+matrix apply_null_space_update(matrix n, std::vector<double> rn, double tol);
+
+}  // namespace
+
+double row_nullspace_product(const std::vector<double>& r,
+                             const matrix& n) {
+  return max_abs_of(column_products(r, n));
+}
+
+double row_nullspace_product(const std::vector<std::size_t>& row_indices,
+                             const matrix& n) {
+  return max_abs_of(column_products(row_indices, n));
+}
+
 bool row_increases_rank(const std::vector<double>& r, const matrix& n,
-                        double tol) noexcept {
+                        double tol) {
   if (n.cols() == 0) return false;
   return row_nullspace_product(r, n) > tol;
 }
 
+bool row_increases_rank(const std::vector<std::size_t>& row_indices,
+                        const matrix& n, double tol) {
+  if (n.cols() == 0) return false;
+  return row_nullspace_product(row_indices, n) > tol;
+}
+
 matrix null_space_update(matrix n, const std::vector<double>& r, double tol) {
   assert(r.size() == n.rows());
+  return apply_null_space_update(std::move(n), column_products(r, n), tol);
+}
+
+matrix null_space_update(matrix n, const std::vector<std::size_t>& row_indices,
+                         double tol) {
+  return apply_null_space_update(std::move(n),
+                                 column_products(row_indices, n), tol);
+}
+
+namespace {
+
+matrix apply_null_space_update(matrix n, std::vector<double> rn, double tol) {
   const std::size_t rows = n.rows();
   const std::size_t p = n.cols();
   if (p == 0) return n;
 
-  // r . N per column; pick the pivot with the largest magnitude.
-  std::vector<double> rn(p, 0.0);
-  for (std::size_t j = 0; j < p; ++j) {
-    double s = 0.0;
-    for (std::size_t i = 0; i < rows; ++i) s += r[i] * n(i, j);
-    rn[j] = s;
-  }
   std::size_t pivot = 0;
   for (std::size_t j = 1; j < p; ++j) {
     if (std::abs(rn[j]) > std::abs(rn[pivot])) pivot = j;
@@ -66,6 +113,8 @@ matrix null_space_update(matrix n, const std::vector<double>& r, double tol) {
   }
   return updated;
 }
+
+}  // namespace
 
 std::vector<std::size_t> row_hamming_weights(const matrix& n, double tol) {
   std::vector<std::size_t> weights(n.rows(), 0);

@@ -19,13 +19,23 @@ namespace ntom {
 /// ||r x N||_inf: the largest |r . column of N|. Algorithm 1's test —
 /// the row r increases the system rank iff this is (numerically) > 0.
 [[nodiscard]] double row_nullspace_product(const std::vector<double>& r,
-                                           const matrix& n) noexcept;
+                                           const matrix& n);
 
 /// True if appending row r to the system would increase its rank,
 /// given N spans the system's null space.
 [[nodiscard]] bool row_increases_rank(const std::vector<double>& r,
-                                      const matrix& n,
-                                      double tol = 1e-9) noexcept;
+                                      const matrix& n, double tol = 1e-9);
+
+/// Sparse 0/1 row: ||r x N||_inf where r has ones exactly at
+/// `row_indices`. O(nnz * cols) — Algorithm 1 calls this per candidate
+/// path set, so the dense O(n1 * cols) form is off the hot path.
+[[nodiscard]] double row_nullspace_product(
+    const std::vector<std::size_t>& row_indices, const matrix& n);
+
+/// Sparse 0/1 row counterpart of row_increases_rank.
+[[nodiscard]] bool row_increases_rank(
+    const std::vector<std::size_t>& row_indices, const matrix& n,
+    double tol = 1e-9);
 
 /// Algorithm 2 (NullSpaceUpdate): returns a basis of
 /// { x in span(N) : r . x = 0 }, i.e. the null space after appending
@@ -34,6 +44,10 @@ namespace ntom {
 /// front before applying the paper's projection formula.
 [[nodiscard]] matrix null_space_update(matrix n, const std::vector<double>& r,
                                        double tol = 1e-9);
+
+/// Sparse 0/1 row counterpart of null_space_update.
+[[nodiscard]] matrix null_space_update(
+    matrix n, const std::vector<std::size_t>& row_indices, double tol = 1e-9);
 
 /// Hamming weight per row of N: the count of entries with |x| > tol.
 /// Algorithm 1 sorts candidate correlation subsets by this weight

@@ -82,4 +82,9 @@ lstsq_result solve_least_squares(const matrix& a, const std::vector<double>& b,
   return out;
 }
 
+lstsq_result solve_least_squares(const sparse_matrix& a,
+                                 const std::vector<double>& b, double rel_tol) {
+  return solve_least_squares(a.to_dense(), b, rel_tol);
+}
+
 }  // namespace ntom

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ntom/linalg/matrix.hpp"
+#include "ntom/linalg/sparse.hpp"
 
 namespace ntom {
 
@@ -25,6 +26,14 @@ struct lstsq_result {
 /// (complete orthogonal decomposition for the rank-deficient case).
 /// Requires b.size() == a.rows().
 [[nodiscard]] lstsq_result solve_least_squares(const matrix& a,
+                                               const std::vector<double>& b,
+                                               double rel_tol = 1e-10);
+
+/// Sparse-row entry point: the equation builders assemble CSR systems
+/// (one weighted 0/1 row per path set) and never materialize dense rows;
+/// the dense image is staged once here for the QR. Results are
+/// bit-identical to the dense overload on the same system.
+[[nodiscard]] lstsq_result solve_least_squares(const sparse_matrix& a,
                                                const std::vector<double>& b,
                                                double rel_tol = 1e-10);
 

@@ -27,17 +27,14 @@ correlation_complete_result compute_correlation_complete(
   // count, so well-observed equations should dominate the fit (weights
   // rescale rows; the row space — hence identifiability — is
   // unchanged).
-  equation_builder builder(t, catalog, potcong);
-  matrix a;
+  sparse_matrix a(catalog.size());
   std::vector<double> b;
   for (std::size_t i = 0; i < selection.path_sets.size(); ++i) {
     const auto logp = obs.log_empirical_all_good(selection.path_sets[i]);
     if (!logp) continue;  // guarded by the predicate; defensive.
     const double weight = std::sqrt(
         static_cast<double>(obs.count_all_good(selection.path_sets[i])));
-    std::vector<double> row = builder.dense_row(selection.rows[i]);
-    for (double& x : row) x *= weight;
-    a.append_row(row);
+    a.append_row(selection.rows[i], weight);
     b.push_back(*logp * weight);
   }
 

@@ -17,7 +17,7 @@ correlation_heuristic_result compute_correlation_heuristic(
   subset_catalog catalog = subset_catalog::build(t, potcong, params.limits);
   equation_builder builder(t, catalog, potcong);
 
-  matrix a;
+  sparse_matrix a(catalog.size());
   std::vector<double> b;
   auto add_equation = [&](const bitvec& path_set) {
     const auto row = builder.row(path_set);
@@ -27,9 +27,7 @@ correlation_heuristic_result compute_correlation_heuristic(
     // sqrt(count) weighting, as in correlation_complete.cpp.
     const double weight =
         std::sqrt(static_cast<double>(obs.count_all_good(path_set)));
-    std::vector<double> dense = builder.dense_row(*row);
-    for (double& x : dense) x *= weight;
-    a.append_row(dense);
+    a.append_row(*row, weight);
     b.push_back(*logp * weight);
   };
 

@@ -7,32 +7,43 @@ namespace ntom {
 equation_builder::equation_builder(const topology& t,
                                    const subset_catalog& catalog,
                                    const bitvec& potcong)
-    : topo_(&t), catalog_(&catalog), potcong_(potcong) {}
+    : topo_(&t),
+      catalog_(&catalog),
+      potcong_(potcong),
+      slot_of_as_(t.num_ases(), static_cast<std::size_t>(-1)) {}
 
 std::optional<std::vector<std::size_t>> equation_builder::row(
     const bitvec& path_set) const {
   bitvec links = topo_->links_of_paths(path_set);
   links &= potcong_;
 
-  // Group the touched links by correlation set (= AS); only the ASes
-  // actually present are visited (rows are built in hot loops).
-  std::vector<std::pair<as_id, bitvec>> by_as;
+  // Group the touched links by correlation set (= AS) in one pass: the
+  // persistent per-AS slot table replaces the former per-link linear
+  // scan over the groups seen so far (O(k^2) across k touched ASes).
+  // Only the slots touched by this row are reset afterwards.
+  constexpr std::size_t unseen = static_cast<std::size_t>(-1);
+  std::size_t num_groups = 0;
   links.for_each([&](std::size_t le) {
     const as_id a = topo_->link(static_cast<link_id>(le)).as_number;
-    for (auto& [seen_as, s] : by_as) {
-      if (seen_as == a) {
-        s.set(le);
-        return;
+    if (slot_of_as_[a] == unseen) {
+      slot_of_as_[a] = num_groups;
+      touched_as_.push_back(a);
+      if (num_groups == groups_.size()) {
+        groups_.emplace_back(topo_->num_links());
+      } else {
+        groups_[num_groups].clear();
       }
+      ++num_groups;
     }
-    by_as.emplace_back(a, bitvec(topo_->num_links()));
-    by_as.back().second.set(le);
+    groups_[slot_of_as_[a]].set(le);
   });
+  for (const as_id a : touched_as_) slot_of_as_[a] = unseen;
+  touched_as_.clear();
 
   std::vector<std::size_t> sparse;
-  sparse.reserve(by_as.size());
-  for (const auto& [a, s] : by_as) {
-    const std::size_t idx = catalog_->find(s);
+  sparse.reserve(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const std::size_t idx = catalog_->find(groups_[g]);
     if (idx == subset_catalog::npos) return std::nullopt;
     sparse.push_back(idx);
   }

@@ -19,6 +19,9 @@
 namespace ntom {
 
 /// Builds Eq. 1 rows against a fixed catalog Ê.
+///
+/// Not thread-safe: row() reuses internal scratch buffers. The batch
+/// engine constructs one builder per run (= per worker), never shared.
 class equation_builder {
  public:
   equation_builder(const topology& t, const subset_catalog& catalog,
@@ -39,6 +42,13 @@ class equation_builder {
   const topology* topo_;
   const subset_catalog* catalog_;
   bitvec potcong_;
+
+  /// Scratch for row(): slot_of_as_[a] = group index of AS a in the
+  /// row being built (npos between calls); touched_as_ lists the ASes
+  /// to reset. Avoids an O(num_ases) clear per row.
+  mutable std::vector<std::size_t> slot_of_as_;
+  mutable std::vector<as_id> touched_as_;
+  mutable std::vector<bitvec> groups_;
 };
 
 }  // namespace ntom

@@ -25,7 +25,7 @@ independence_result compute_independence(const topology& t,
   });
   const std::size_t n = link_of_col.size();
 
-  matrix a;
+  sparse_matrix a(n);
   std::vector<double> b;
   auto add_equation = [&](const bitvec& path_set) {
     const auto logp = obs.log_empirical_all_good(path_set);
@@ -37,9 +37,9 @@ independence_result compute_independence(const topology& t,
     // correlation_complete.cpp.
     const double weight =
         std::sqrt(static_cast<double>(obs.count_all_good(path_set)));
-    std::vector<double> row(n, 0.0);
-    links.for_each([&](std::size_t e) { row[col_of_link[e]] = weight; });
-    a.append_row(row);
+    std::vector<std::size_t> cols;
+    links.for_each([&](std::size_t e) { cols.push_back(col_of_link[e]); });
+    a.append_row(cols, weight);
     b.push_back(*logp * weight);
   };
 

@@ -1,12 +1,14 @@
 #include "ntom/tomo/pathset_select.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
 #include <unordered_set>
 
 #include "ntom/corr/correlation.hpp"
 #include "ntom/linalg/nullspace.hpp"
 #include "ntom/linalg/qr.hpp"
+#include "ntom/linalg/sparse.hpp"
 
 namespace ntom {
 
@@ -14,9 +16,13 @@ namespace {
 
 /// Masks 1..2^k-1 ordered by popcount then value, cached per k: small
 /// path sets are tried first (they have larger empirical counts, hence
-/// usable logs).
+/// usable logs). The batch engine runs Algorithm 1 on worker threads
+/// concurrently, so the lazy fill is serialized; the filled vectors are
+/// immutable afterwards.
 const std::vector<std::uint32_t>& masks_by_popcount(std::size_t k) {
+  static std::mutex mutex;
   static std::vector<std::vector<std::uint32_t>> cache(32);
+  std::lock_guard<std::mutex> lock(mutex);
   auto& masks = cache[k];
   if (masks.empty() && k > 0) {
     masks.resize((std::uint32_t{1} << k) - 1);
@@ -80,8 +86,10 @@ pathset_selection select_path_sets(const topology& t,
     return row;
   };
 
-  // ---- Step 1: seed equations, one per correlation subset.
-  matrix system;
+  // ---- Step 1: seed equations, one per correlation subset. Rows stay
+  // sparse (catalog indices); the only dense image is the one the
+  // initial null-space QR needs.
+  sparse_matrix system(n1);
   for (std::size_t i = 0; i < n1; ++i) {
     const bitvec pset = candidate_paths(i);
     auto row = try_accept(pset);
@@ -89,13 +97,13 @@ pathset_selection select_path_sets(const topology& t,
     accepted.insert(pset);
     out.path_sets.push_back(pset);
     out.rows.push_back(*row);
-    system.append_row(builder.dense_row(*row));
+    system.append_row(*row);
   }
   out.seed_equations = out.path_sets.size();
 
   // ---- Step 2: initial null space.
   matrix nsp = system.rows() == 0 ? matrix::identity(n1)
-                                  : null_space_basis(system);
+                                  : null_space_basis(system.to_dense());
 
   // ---- Step 3: augmentation guided by the null space.
   while (nsp.cols() > 0) {
@@ -126,13 +134,12 @@ pathset_selection select_path_sets(const topology& t,
         }
         auto row = try_accept(pset);
         if (!row) continue;
-        const std::vector<double> dense = builder.dense_row(*row);
-        if (row_increases_rank(dense, nsp, params.rank_tolerance)) {
+        if (row_increases_rank(*row, nsp, params.rank_tolerance)) {
           accepted.insert(pset);
           out.path_sets.push_back(pset);
           out.rows.push_back(*row);
           ++out.added_equations;
-          nsp = null_space_update(nsp, dense, params.rank_tolerance);
+          nsp = null_space_update(nsp, *row, params.rank_tolerance);
           found = true;
         } else {
           rejected.insert(pset);

@@ -26,23 +26,23 @@ TEST(RowNullspaceProductTest, DetectsRankIncrease) {
   ASSERT_EQ(n.cols(), 1u);
 
   // Row (1, 1) again: no rank increase.
-  EXPECT_FALSE(row_increases_rank({1.0, 1.0}, n));
+  EXPECT_FALSE(row_increases_rank(std::vector<double>{1.0, 1.0}, n));
   // Row (1, 0): increases rank.
-  EXPECT_TRUE(row_increases_rank({1.0, 0.0}, n));
+  EXPECT_TRUE(row_increases_rank(std::vector<double>{1.0, 0.0}, n));
 }
 
 TEST(RowNullspaceProductTest, EmptyNullSpaceNeverIncreases) {
   const matrix a = matrix::identity(3);
   const matrix n = null_space_basis(a);
   EXPECT_EQ(n.cols(), 0u);
-  EXPECT_FALSE(row_increases_rank({1.0, 2.0, 3.0}, n));
+  EXPECT_FALSE(row_increases_rank(std::vector<double>{1.0, 2.0, 3.0}, n));
 }
 
 TEST(NullSpaceUpdateTest, ShrinksDimensionByOne) {
   const matrix a{{1, 1, 0}};
   matrix n = null_space_basis(a);
   ASSERT_EQ(n.cols(), 2u);
-  n = null_space_update(n, {0.0, 0.0, 1.0});
+  n = null_space_update(n, std::vector<double>{0.0, 0.0, 1.0});
   EXPECT_EQ(n.cols(), 1u);
   // Remaining basis is orthogonal to both constraints.
   const auto x = n.get_col(0);
@@ -53,7 +53,7 @@ TEST(NullSpaceUpdateTest, ShrinksDimensionByOne) {
 TEST(NullSpaceUpdateTest, NoOpWhenRowAddsNoRank) {
   const matrix a{{1, 1, 0}};
   const matrix n = null_space_basis(a);
-  const matrix updated = null_space_update(n, {2.0, 2.0, 0.0});
+  const matrix updated = null_space_update(n, std::vector<double>{2.0, 2.0, 0.0});
   EXPECT_EQ(updated.cols(), n.cols());
 }
 

@@ -1,0 +1,121 @@
+#include "ntom/linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntom/linalg/nullspace.hpp"
+#include "ntom/linalg/qr.hpp"
+#include "ntom/linalg/solve.hpp"
+#include "ntom/util/rng.hpp"
+
+namespace ntom {
+namespace {
+
+sparse_matrix random_sparse(std::size_t rows, std::size_t cols, double density,
+                            std::uint64_t seed) {
+  rng rand(seed);
+  sparse_matrix m(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::size_t> idx;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rand.bernoulli(density)) idx.push_back(c);
+    }
+    m.append_row(idx, rand.uniform(0.5, 2.0));
+  }
+  return m;
+}
+
+TEST(SparseMatrixTest, AppendUniformRow) {
+  sparse_matrix m(4);
+  m.append_row({0, 2}, 3.0);
+  m.append_row({}, 1.0);
+  m.append_row({1, 2, 3});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 5u);
+
+  const auto view = m.row(0);
+  ASSERT_EQ(view.nnz, 2u);
+  EXPECT_EQ(view.index[0], 0u);
+  EXPECT_EQ(view.index[1], 2u);
+  EXPECT_DOUBLE_EQ(view.value[0], 3.0);
+  EXPECT_EQ(m.row(1).nnz, 0u);
+  EXPECT_DOUBLE_EQ(m.row(2).value[2], 1.0);
+}
+
+TEST(SparseMatrixTest, AppendGeneralRow) {
+  sparse_matrix m(3);
+  m.append_row({0, 2}, {1.5, -2.0});
+  const auto view = m.row(0);
+  ASSERT_EQ(view.nnz, 2u);
+  EXPECT_DOUBLE_EQ(view.value[0], 1.5);
+  EXPECT_DOUBLE_EQ(view.value[1], -2.0);
+}
+
+TEST(SparseMatrixTest, ToDenseMatchesEntries) {
+  sparse_matrix m(3);
+  m.append_row({1}, 2.0);
+  m.append_row({0, 2}, 1.0);
+  const matrix d = m.to_dense();
+  EXPECT_EQ(d, (matrix{{0.0, 2.0, 0.0}, {1.0, 0.0, 1.0}}));
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDense) {
+  const sparse_matrix m = random_sparse(7, 5, 0.4, 21);
+  const matrix d = m.to_dense();
+  const std::vector<double> x = {1.0, -2.0, 0.5, 3.0, 0.0};
+  EXPECT_EQ(m.multiply(x), d.multiply(x));
+}
+
+TEST(SparseMatrixTest, TransposeMultiplyMatchesDense) {
+  const sparse_matrix m = random_sparse(6, 4, 0.4, 22);
+  const matrix d = m.to_dense();
+  const std::vector<double> y = {1.0, 0.0, 2.0, -1.0, 0.5, 4.0};
+  EXPECT_EQ(m.transpose_multiply(y), d.left_multiply(y));
+}
+
+TEST(SparseSolveTest, MatchesDenseLeastSquaresBitForBit) {
+  // The sparse overload must agree exactly with the dense one — the
+  // batch engine's determinism guarantee leans on this.
+  const sparse_matrix a = random_sparse(12, 6, 0.3, 23);
+  rng rand(24);
+  std::vector<double> b(a.rows());
+  for (auto& x : b) x = -rand.uniform();
+
+  const lstsq_result sparse = solve_least_squares(a, b);
+  const lstsq_result dense = solve_least_squares(a.to_dense(), b);
+  EXPECT_EQ(sparse.rank, dense.rank);
+  EXPECT_EQ(sparse.x, dense.x);
+  EXPECT_EQ(sparse.identifiable, dense.identifiable);
+  EXPECT_DOUBLE_EQ(sparse.residual_norm, dense.residual_norm);
+}
+
+TEST(SparseNullspaceTest, SparseRowOpsMatchDenseRowOps) {
+  const matrix a{{1, 1, 0, 0}, {0, 0, 1, 1}};
+  const matrix n = null_space_basis(a);
+  ASSERT_EQ(n.cols(), 2u);
+
+  // 0/1 row {x0, x2} in both encodings.
+  const std::vector<std::size_t> sparse_row = {0, 2};
+  const std::vector<double> dense_row = {1.0, 0.0, 1.0, 0.0};
+
+  EXPECT_DOUBLE_EQ(row_nullspace_product(sparse_row, n),
+                   row_nullspace_product(dense_row, n));
+  EXPECT_EQ(row_increases_rank(sparse_row, n),
+            row_increases_rank(dense_row, n));
+
+  const matrix via_sparse = null_space_update(n, sparse_row);
+  const matrix via_dense = null_space_update(n, dense_row);
+  EXPECT_EQ(via_sparse, via_dense);
+  EXPECT_EQ(via_sparse.cols(), n.cols() - 1);
+}
+
+TEST(SparseNullspaceTest, NoRankIncreaseLeavesBasisUntouched) {
+  const matrix a{{1, 1, 0}};
+  const matrix n = null_space_basis(a);
+  // Row {x0, x1} is already in the row space.
+  const matrix updated = null_space_update(n, std::vector<std::size_t>{0, 1});
+  EXPECT_EQ(updated, n);
+}
+
+}  // namespace
+}  // namespace ntom

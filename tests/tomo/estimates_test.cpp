@@ -180,6 +180,85 @@ TEST(EstimatesTest, LastResortGeometricSplit) {
   EXPECT_FALSE(links.estimated[toy_e2]);
 }
 
+// ---- The to_link_estimates fallback ladder, one dedicated case per
+// rung: direct identifiable singleton, min-norm singleton value, and
+// the geometric split of the smallest identifiable superset.
+
+TEST(EstimatesFallbackLadderTest, DirectIdentifiableSingleton) {
+  fixture f;
+  const auto est = f.make({{{toy_e1}, 0.7}});
+  const auto links = est.to_link_estimates();
+  EXPECT_NEAR(links.congestion[toy_e1], 0.3, 1e-12);
+  EXPECT_TRUE(links.estimated[toy_e1]);
+}
+
+TEST(EstimatesFallbackLadderTest, MinNormSingletonWhenNotIdentifiable) {
+  fixture f;
+  subset_catalog catalog = subset_catalog::build(f.t, f.potcong);
+  probability_estimates est(f.t, std::move(catalog), f.potcong);
+  // The singleton {e2} exists in the catalog and carries the solver's
+  // minimum-norm value 0.85, but is flagged not identifiable.
+  bitvec e2(f.t.num_links());
+  e2.set(toy_e2);
+  est.set_good_probability(est.catalog().find(e2), 0.85,
+                           /*identifiable=*/false);
+  const auto links = est.to_link_estimates();
+  EXPECT_NEAR(links.congestion[toy_e2], 0.15, 1e-12);
+  EXPECT_FALSE(links.estimated[toy_e2]);  // reported, but not guaranteed.
+}
+
+/// Two AS-0 links that every path traverses together: the catalog's
+/// per-path intersections only ever contain the pair, so the
+/// singletons are not even expressible — the last-resort rung.
+topology make_inseparable_pair_topology() {
+  topology t(3);
+  t.add_link({.as_number = 0, .router_links = {0}, .edge = true});  // a = 0
+  t.add_link({.as_number = 0, .router_links = {1}, .edge = true});  // b = 1
+  t.add_link({.as_number = 1, .router_links = {2}, .edge = true});  // c = 2
+  t.add_path({0, 1});     // a and b always ride together.
+  t.add_path({0, 1, 2});
+  t.finalize();
+  return t;
+}
+
+TEST(EstimatesFallbackLadderTest, GeometricSplitOfSmallestSuperset) {
+  const topology t = make_inseparable_pair_topology();
+  bitvec potcong(t.num_links());
+  for (link_id e = 0; e < t.num_links(); ++e) potcong.set(e);
+  subset_catalog catalog = subset_catalog::build(t, potcong);
+
+  // The pair {a,b} is cataloged, the singletons {a}, {b} are not.
+  bitvec pair(t.num_links());
+  pair.set(0);
+  pair.set(1);
+  ASSERT_NE(catalog.find(pair), subset_catalog::npos);
+  ASSERT_EQ(catalog.singleton_of(0), subset_catalog::npos);
+  ASSERT_EQ(catalog.singleton_of(1), subset_catalog::npos);
+
+  probability_estimates est(t, std::move(catalog), potcong);
+  est.set_good_probability(est.catalog().find(pair), 0.64,
+                           /*identifiable=*/true);
+  const auto links = est.to_link_estimates();
+  // g({a,b}) = 0.64 split geometrically: each link gets sqrt(0.64) = 0.8
+  // good probability, i.e. congestion 0.2.
+  EXPECT_NEAR(links.congestion[0], 0.2, 1e-12);
+  EXPECT_NEAR(links.congestion[1], 0.2, 1e-12);
+  EXPECT_FALSE(links.estimated[0]);
+  EXPECT_FALSE(links.estimated[1]);
+}
+
+TEST(EstimatesFallbackLadderTest, NoInformationYieldsZero) {
+  // Below the last rung: nothing identifiable contains the link.
+  const topology t = make_inseparable_pair_topology();
+  bitvec potcong(t.num_links());
+  for (link_id e = 0; e < t.num_links(); ++e) potcong.set(e);
+  subset_catalog catalog = subset_catalog::build(t, potcong);
+  probability_estimates est(t, std::move(catalog), potcong);
+  const auto links = est.to_link_estimates();
+  EXPECT_DOUBLE_EQ(links.congestion[0], 0.0);
+  EXPECT_FALSE(links.estimated[0]);
+}
+
 TEST(EstimatesTest, ClampingToProbabilityRange) {
   fixture f;
   subset_catalog catalog = subset_catalog::build(f.t, f.potcong);
