@@ -7,13 +7,15 @@
 //   Sparse Topology (Sparse + random congestion)
 //
 // 10% of links have a non-zero congestion probability (§3.2).
-// Runs on the batched experiment engine: scenarios (x --replicas seed
-// replications) fan out across --threads workers with per-run seeds
-// derived from --seed and the run index, so results are independent of
-// the thread count. Run with --scale=paper for the paper's dimensions
-// (slower); default is a reduced-scale configuration with the same
-// qualitative shape. --csv=<path> dumps the per-run series,
-// --summary-csv=<path> the aggregated mean/stddev/percentiles.
+// Every arm is a (topology spec, scenario spec) pair resolved through
+// the registries. Runs on the batched experiment engine: scenarios
+// (x --replicas seed replications) fan out across --threads workers with
+// per-run seeds derived from --seed and the run index, so results are
+// independent of the thread count. Run with --scale=paper for the
+// paper's dimensions (slower); default is a reduced-scale configuration
+// with the same qualitative shape. --csv=<path> dumps the per-run
+// series, --summary-csv=<path> the aggregated mean/stddev/percentiles,
+// --json[=<path>] a machine-readable BENCH_*.json summary.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -32,50 +34,38 @@ namespace {
 std::vector<ntom::run_spec> make_specs(bool paper_scale, std::size_t intervals,
                                        std::size_t replicas) {
   using namespace ntom;
-  run_config base;
-  base.brite = paper_scale ? topogen::brite_params::paper_scale()
-                           : topogen::brite_params{};
-  base.sparse = paper_scale ? topogen::sparse_params::paper_scale()
-                            : topogen::sparse_params{};
-  base.sim.intervals = intervals;
+  const auto topo = [paper_scale](const char* name) {
+    topology_spec s(name);
+    return paper_scale ? s.with_option("scale", "paper") : s;
+  };
 
-  std::vector<run_spec> scenarios;
-  {
-    run_config c = base;
-    c.scenario = scenario_kind::random_congestion;
-    scenarios.push_back({"Random Congestion", c});
-  }
-  {
-    run_config c = base;
-    c.scenario = scenario_kind::concentrated_congestion;
-    scenarios.push_back({"Concentrated Congestion", c});
-  }
-  {
-    run_config c = base;
-    c.scenario = scenario_kind::no_independence;
-    scenarios.push_back({"No Independence", c});
-  }
-  {
-    run_config c = base;
-    c.scenario = scenario_kind::no_independence;
-    c.scenario_opts.nonstationary = true;
-    scenarios.push_back({"No Stationarity", c});
-  }
-  {
-    run_config c = base;
-    c.topo = topology_kind::sparse;
-    c.scenario = scenario_kind::random_congestion;
-    scenarios.push_back({"Sparse Topology", c});
-  }
+  // The five Fig. 3 arms as (label, topology spec, scenario spec).
+  struct arm {
+    const char* label;
+    topology_spec topo;
+    scenario_spec scenario;
+  };
+  const std::vector<arm> arms = {
+      {"Random Congestion", topo("brite"), "random_congestion"},
+      {"Concentrated Congestion", topo("brite"), "concentrated_congestion"},
+      {"No Independence", topo("brite"), "no_independence"},
+      {"No Stationarity", topo("brite"), "no_stationarity"},
+      {"Sparse Topology", topo("sparse"), "random_congestion"},
+  };
 
   // Replicas repeat each scenario label. All arms of one replica share
   // a seed_group, so the algorithms are compared on the same topology
   // within a replica (as in the paper); each replica draws a new one.
   std::vector<run_spec> specs;
   for (std::size_t r = 0; r < replicas; ++r) {
-    for (run_spec s : scenarios) {
-      s.seed_group = r;
-      specs.push_back(std::move(s));
+    for (const arm& a : arms) {
+      run_config c;
+      c.topo = a.topo;
+      c.scenario = a.scenario;
+      c.sim.intervals = intervals;
+      run_spec spec{a.label, std::move(c)};
+      spec.seed_group = r;
+      specs.push_back(std::move(spec));
     }
   }
   return specs;
@@ -84,9 +74,10 @@ std::vector<ntom::run_spec> make_specs(bool paper_scale, std::size_t intervals,
 std::vector<ntom::measurement> evaluate(const ntom::run_config& config,
                                         const ntom::run_artifacts& run) {
   using namespace ntom;
-  std::fprintf(stderr, "[fig3] %s%s/%s: %s\n", scenario_name(config.scenario),
-               config.scenario_opts.nonstationary ? " (nonstationary)" : "",
-               topology_kind_name(config.topo), run.topo.describe().c_str());
+  std::fprintf(stderr, "[fig3] %s/%s: %s\n",
+               scenario_label(config.scenario).c_str(),
+               topology_label(config.topo).c_str(),
+               run.topo.describe().c_str());
   return boolean_inference_eval(config, run);
 }
 
@@ -147,5 +138,12 @@ int main(int argc, char** argv) {
   if (opts.has("summary-csv")) {
     report.write_summary_csv(opts.get_string("summary-csv", "fig3_summary.csv"));
   }
+  maybe_write_bench_json(
+      report, opts, "fig3_inference",
+      {{"scale", paper_scale ? "paper" : "small"},
+       {"intervals", std::to_string(intervals)},
+       {"seed", std::to_string(seed)},
+       {"replicas", std::to_string(replicas)},
+       {"threads", std::to_string(thread_pool::resolve_threads(threads))}});
   return 0;
 }

@@ -6,38 +6,35 @@
 // behaviour is layered on top of every scenario (probabilities change
 // every few intervals); pass --stationary to disable that layer.
 //
-// Runs on the batched experiment engine: the 2 topologies x 3 scenarios
-// grid (x --replicas) fans out across --threads workers with per-run
-// seeds derived from --seed and the run index.
+// The grid is pure specs: 2 topology specs x 3 scenario specs, the
+// estimators resolved by name through the estimator registry. Runs on
+// the batched experiment engine: the grid (x --replicas) fans out
+// across --threads workers with per-run seeds derived from --seed and
+// the run index. --json[=<path>] writes a BENCH_*.json summary.
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "ntom/corr/correlation.hpp"
 #include "ntom/exp/batch.hpp"
+#include "ntom/exp/evals.hpp"
 #include "ntom/exp/report.hpp"
 #include "ntom/exp/runner.hpp"
-#include "ntom/tomo/correlation_complete.hpp"
-#include "ntom/tomo/correlation_heuristic.hpp"
-#include "ntom/tomo/independence.hpp"
 #include "ntom/util/flags.hpp"
 #include "ntom/util/thread_pool.hpp"
 
 namespace {
 
-struct arm {
-  std::string label;
-  ntom::scenario_kind kind;
-};
+const std::vector<ntom::scenario_spec>& scenario_arms() {
+  static const std::vector<ntom::scenario_spec> arms = {
+      "random_congestion", "concentrated_congestion", "no_independence"};
+  return arms;
+}
 
-const std::vector<arm>& arms() {
-  static const std::vector<arm> all = {
-      {"Random Congestion", ntom::scenario_kind::random_congestion},
-      {"Concentrated Congestion", ntom::scenario_kind::concentrated_congestion},
-      {"No Independence", ntom::scenario_kind::no_independence},
-  };
-  return all;
+const std::vector<ntom::estimator_spec>& estimator_arms() {
+  static const std::vector<ntom::estimator_spec> arms = {
+      "independence", "corr-heuristic", "corr-complete"};
+  return arms;
 }
 
 std::vector<ntom::run_spec> make_specs(bool paper_scale, bool stationary,
@@ -46,53 +43,23 @@ std::vector<ntom::run_spec> make_specs(bool paper_scale, bool stationary,
   using namespace ntom;
   std::vector<run_spec> specs;
   for (std::size_t r = 0; r < replicas; ++r) {
-    for (const topology_kind topo :
-         {topology_kind::brite, topology_kind::sparse}) {
-      for (const auto& [label, kind] : arms()) {
+    for (const char* topo_name : {"brite", "sparse"}) {
+      topology_spec topo(topo_name);
+      if (paper_scale) topo = topo.with_option("scale", "paper");
+      for (scenario_spec scenario : scenario_arms()) {
+        if (!stationary) scenario = scenario.with_option("nonstationary", "true");
         run_config config;
         config.topo = topo;
-        config.brite = paper_scale ? topogen::brite_params::paper_scale()
-                                   : topogen::brite_params{};
-        config.sparse = paper_scale ? topogen::sparse_params::paper_scale()
-                                    : topogen::sparse_params{};
-        config.scenario = kind;
-        config.scenario_opts.nonstationary = !stationary;
+        config.scenario = scenario;
         config.sim.intervals = intervals;
-        run_spec spec{std::string(topology_kind_name(topo)) + "/" + label,
-                      config};
+        run_spec spec{topology_label(topo) + "/" + scenario_label(scenario),
+                      std::move(config)};
         spec.seed_group = r;  // same topology across arms of a replica.
         specs.push_back(std::move(spec));
       }
     }
   }
   return specs;
-}
-
-std::vector<ntom::measurement> evaluate(const ntom::run_config& config,
-                                        const ntom::run_artifacts& run) {
-  using namespace ntom;
-  const ground_truth truth = run.make_truth();
-  const path_observations obs(run.data);
-  const bitvec potcong =
-      potentially_congested_links(run.topo, obs.always_good_paths());
-  std::fprintf(stderr, "[fig4ab] %s/%s: %s, potcong=%zu\n",
-               topology_kind_name(config.topo), scenario_name(config.scenario),
-               run.topo.describe().c_str(), potcong.count());
-
-  const auto indep = compute_independence(run.topo, run.data);
-  const auto heur = compute_correlation_heuristic(run.topo, run.data);
-  const auto complete = compute_correlation_complete(run.topo, run.data);
-
-  return {
-      {"Independence", "mean_abs_error",
-       mean_of(link_absolute_errors(run.topo, truth, indep.links, potcong))},
-      {"Corr-heuristic", "mean_abs_error",
-       mean_of(link_absolute_errors(
-           run.topo, truth, heur.estimates.to_link_estimates(), potcong))},
-      {"Corr-complete", "mean_abs_error",
-       mean_of(link_absolute_errors(
-           run.topo, truth, complete.estimates.to_link_estimates(), potcong))},
-  };
 }
 
 }  // namespace
@@ -116,29 +83,42 @@ int main(int argc, char** argv) {
             << ", replicas=" << replicas
             << ", threads=" << thread_pool::resolve_threads(threads) << ")\n\n";
 
+  const batch_eval_fn eval = estimator_eval(
+      estimator_arms(), {.boolean_metrics = false, .link_error_metrics = true});
+  const batch_eval_fn logged_eval = [&eval](const run_config& config,
+                                            const run_artifacts& run) {
+    std::fprintf(stderr, "[fig4ab] %s/%s: %s\n",
+                 topology_label(config.topo).c_str(),
+                 scenario_label(config.scenario).c_str(),
+                 run.topo.describe().c_str());
+    return eval(config, run);
+  };
+
   batch_params params;
   params.threads = threads;
   params.base_seed = seed;
   const batch_report report =
       run_batch(make_specs(paper_scale, stationary, intervals, replicas),
-                evaluate, params);
+                logged_eval, params);
 
-  const std::vector<std::string> estimators = {"Independence", "Corr-heuristic",
-                                               "Corr-complete"};
-  for (const topology_kind topo :
-       {topology_kind::brite, topology_kind::sparse}) {
+  std::vector<std::string> estimators;
+  for (const estimator_spec& s : estimator_arms()) {
+    estimators.push_back(estimator_label(s));
+  }
+  for (const char* topo_name : {"brite", "sparse"}) {
+    const std::string topo = topology_label(topology_spec(topo_name));
     table_printer table(
         {"Scenario", "Independence", "Corr-heuristic", "Corr-complete"});
-    for (const auto& [label, kind] : arms()) {
-      const std::string full =
-          std::string(topology_kind_name(topo)) + "/" + label;
+    for (const scenario_spec& scenario : scenario_arms()) {
+      const std::string label = scenario_label(scenario);
+      const std::string full = topo + "/" + label;
       std::vector<double> row;
       for (const std::string& est : estimators) {
         row.push_back(report.mean_of(full, est, "mean_abs_error"));
       }
       table.add_row(label, row);
     }
-    std::cout << (topo == topology_kind::brite
+    std::cout << (topo == "Brite"
                       ? "(a) Mean absolute error — Brite topologies\n"
                       : "\n(b) Mean absolute error — Sparse topologies\n");
     table.print(std::cout);
@@ -153,5 +133,13 @@ int main(int argc, char** argv) {
     report.write_summary_csv(
         opts.get_string("summary-csv", "fig4ab_summary.csv"));
   }
+  maybe_write_bench_json(
+      report, opts, "fig4_proberror",
+      {{"scale", paper_scale ? "paper" : "small"},
+       {"intervals", std::to_string(intervals)},
+       {"seed", std::to_string(seed)},
+       {"stationary", stationary ? "true" : "false"},
+       {"replicas", std::to_string(replicas)},
+       {"threads", std::to_string(thread_pool::resolve_threads(threads))}});
   return 0;
 }

@@ -26,13 +26,11 @@ int main(int argc, char** argv) {
       opts.get_int("intervals", paper_scale ? 1000 : 300));
 
   run_config config;
-  config.topo = topology_kind::sparse;
-  config.sparse = paper_scale ? topogen::sparse_params::paper_scale()
-                              : topogen::sparse_params{};
-  config.sparse.seed = seed + 1;
-  config.scenario = scenario_kind::no_independence;
+  config.topo = paper_scale ? topology_spec("sparse,scale=paper")
+                            : topology_spec("sparse");
+  config.topo_seed = seed + 1;
+  config.scenario = "no_independence,nonstationary";
   config.scenario_opts.seed = seed + 2;
-  config.scenario_opts.nonstationary = true;
   config.sim.intervals = intervals;
   config.sim.seed = seed + 3;
 

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 #include <optional>
+#include <string>
 
 #include "ntom/corr/correlation.hpp"
 #include "ntom/exp/report.hpp"
@@ -38,27 +39,23 @@ int main(int argc, char** argv) {
                        "identifiable_fraction"});
   }
 
-  for (const topology_kind topo : {topology_kind::brite, topology_kind::sparse}) {
+  for (const char* topo_name : {"brite", "sparse"}) {
     run_config config;
-    config.topo = topo;
-    config.brite = paper_scale ? topogen::brite_params::paper_scale()
-                               : topogen::brite_params{};
-    config.sparse = paper_scale ? topogen::sparse_params::paper_scale()
-                                : topogen::sparse_params{};
-    config.brite.seed = seed;
-    config.sparse.seed = seed + 1;
-    config.scenario = scenario_kind::no_independence;
+    config.topo = topology_spec(topo_name);
+    if (paper_scale) config.topo = config.topo.with_option("scale", "paper");
+    config.topo_seed = std::string(topo_name) == "brite" ? seed : seed + 1;
+    config.scenario = "no_independence,nonstationary";
     config.scenario_opts.seed = seed + 2;
-    config.scenario_opts.nonstationary = true;
     config.sim.intervals = intervals;
     config.sim.seed = seed + 3;
+    const std::string topo_label_str = topology_label(config.topo);
 
     const run_artifacts run = prepare_run(config);
     const ground_truth truth = run.make_truth();
     const path_observations obs(run.data);
     const bitvec potcong =
         potentially_congested_links(run.topo, obs.always_good_paths());
-    std::fprintf(stderr, "[fig4d] %s: %s\n", topology_kind_name(topo),
+    std::fprintf(stderr, "[fig4d] %s: %s\n", topo_label_str.c_str(),
                  run.topo.describe().c_str());
 
     const auto complete = compute_correlation_complete(run.topo, run.data);
@@ -68,9 +65,9 @@ int main(int argc, char** argv) {
         subset_absolute_errors(run.topo, truth, complete.estimates, 2));
     const double ident = complete.estimates.identifiable_fraction();
 
-    table.add_row(topology_kind_name(topo), {link_err, subset_err, ident});
+    table.add_row(topo_label_str, {link_err, subset_err, ident});
     if (csv) {
-      csv->write_row(topology_kind_name(topo), {link_err, subset_err, ident});
+      csv->write_row(topo_label_str, {link_err, subset_err, ident});
     }
   }
   table.print(std::cout);

@@ -34,7 +34,7 @@ fixture make_fixture(bool sparse) {
   ntom::scenario_params sp;
   sp.seed = 5;
   const auto model = ntom::make_scenario(
-      f.topo, ntom::scenario_kind::no_independence, sp);
+      f.topo, "no_independence", sp);
   ntom::sim_params sim;
   sim.intervals = 200;
   const auto data = ntom::run_experiment(f.topo, model, sim);

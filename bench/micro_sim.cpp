@@ -16,7 +16,7 @@ void bm_sample_interval(benchmark::State& state) {
   ntom::scenario_params sp;
   sp.seed = 5;
   const auto model = ntom::make_scenario(
-      topo, ntom::scenario_kind::random_congestion, sp);
+      topo, "random_congestion", sp);
   ntom::link_state_sampler sampler(topo, model, 17);
   std::size_t t = 0;
   for (auto _ : state) {
@@ -32,7 +32,7 @@ void bm_run_experiment(benchmark::State& state) {
   ntom::scenario_params sp;
   sp.seed = 5;
   const auto model = ntom::make_scenario(
-      topo, ntom::scenario_kind::random_congestion, sp);
+      topo, "random_congestion", sp);
   ntom::sim_params sim;
   sim.intervals = static_cast<std::size_t>(state.range(0));
   sim.packets_per_path = 100;
@@ -49,7 +49,7 @@ void bm_run_experiment_oracle(benchmark::State& state) {
   ntom::scenario_params sp;
   sp.seed = 5;
   const auto model = ntom::make_scenario(
-      topo, ntom::scenario_kind::random_congestion, sp);
+      topo, "random_congestion", sp);
   ntom::sim_params sim;
   sim.intervals = static_cast<std::size_t>(state.range(0));
   sim.oracle_monitor = true;

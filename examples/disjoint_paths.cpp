@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   scenario_params sp;
   sp.seed = seed + 1;
   const congestion_model model =
-      make_scenario(topo, scenario_kind::no_independence, sp);
+      make_scenario(topo, "no_independence", sp);
 
   sim_params sim;
   sim.intervals = 800;

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   sp.phase_length = std::max<std::size_t>(intervals / 24, 1);
   sp.num_phases = 24;
   congestion_model model =
-      make_scenario(topo, scenario_kind::no_independence, sp);
+      make_scenario(topo, "no_independence", sp);
   // Diurnal shape: quiet nights, busy evenings — with a per-bottleneck
   // phase offset (peers sit in different timezones / peak at different
   // hours). A single global load factor would co-modulate all peers

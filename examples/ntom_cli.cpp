@@ -1,22 +1,26 @@
 // ntom_cli — the operator's command-line front end.
 //
 // Subcommands:
-//   gen      --kind=brite|sparse --out=topo.txt [--seed N] [--paper]
-//            Generate a topology and save it in the ntom text format.
+//   gen      --kind=TOPOSPEC --out=topo.txt [--seed N] [--paper]
+//            Generate a topology from a registry spec ("brite,n=40",
+//            "sparse,stubs=300", ...) and save it in the ntom format.
 //   dot      --topo=topo.txt --out=topo.dot
 //            Export the AS-level structure as Graphviz DOT.
-//   monitor  --topo=topo.txt [--scenario=random|concentrated|noindep]
-//            [--intervals N] [--seed N] [--links-csv out.csv]
+//   monitor  --topo=topo.txt [--scenario=SCENARIOSPEC]
+//            [--intervals N] [--seed N] [--nonstationary]
+//            [--phase-length N] [--links-csv out.csv]
 //            [--subsets-csv out.csv]
 //            Simulate a monitoring experiment on the topology, run
 //            Correlation-complete, print the peer report and the
 //            discovered correlated groups, optionally dump CSVs.
+//   list     Print the registered topologies, scenarios, and
+//            estimators with their option docs.
 //
 // Example session:
-//   ./ntom_cli gen --kind=sparse --out=/tmp/topo.txt
+//   ./ntom_cli gen --kind=sparse,stubs=300 --out=/tmp/topo.txt
 //   ./ntom_cli dot --topo=/tmp/topo.txt --out=/tmp/topo.dot
-//   ./ntom_cli monitor --topo=/tmp/topo.txt --scenario=noindep \
-//              --links-csv=/tmp/links.csv
+//   ./ntom_cli monitor --topo=/tmp/topo.txt --scenario=noindep
+//              --nonstationary --phase-length=25 --links-csv=/tmp/links.csv
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -24,50 +28,47 @@
 
 #include "ntom/analysis/correlation_groups.hpp"
 #include "ntom/analysis/peer_report.hpp"
+#include "ntom/api/experiment.hpp"
 #include "ntom/exp/report.hpp"
 #include "ntom/io/results_io.hpp"
 #include "ntom/io/topology_io.hpp"
 #include "ntom/sim/scenario.hpp"
-#include "ntom/topogen/brite.hpp"
-#include "ntom/topogen/sparse.hpp"
+#include "ntom/topogen/registry.hpp"
 #include "ntom/util/flags.hpp"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ntom_cli <gen|dot|monitor> [--flags]\n"
-               "  gen     --kind=brite|sparse --out=FILE [--seed N] [--paper]\n"
+               "usage: ntom_cli <gen|dot|monitor|list> [--flags]\n"
+               "  gen     --kind=TOPOSPEC --out=FILE [--seed N] [--paper]\n"
                "  dot     --topo=FILE --out=FILE\n"
-               "  monitor --topo=FILE [--scenario=random|concentrated|noindep]\n"
+               "  monitor --topo=FILE [--scenario=SCENARIOSPEC]\n"
                "          [--intervals N] [--seed N] [--nonstationary]\n"
-               "          [--links-csv FILE] [--subsets-csv FILE]\n");
+               "          [--phase-length N]\n"
+               "          [--links-csv FILE] [--subsets-csv FILE]\n"
+               "  list    print registered topologies/scenarios/estimators\n"
+               "Specs are \"name,key=value,...\" — see `ntom_cli list`.\n");
   return 2;
 }
 
 int cmd_gen(const ntom::flags& opts) {
-  const std::string kind = opts.get_string("kind", "brite");
   const std::string out = opts.get_string("out", "");
   if (out.empty()) return usage();
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
-  const bool paper = opts.get_bool("paper", false);
 
-  ntom::topology topo;
-  if (kind == "brite") {
-    auto params = paper ? ntom::topogen::brite_params::paper_scale()
-                        : ntom::topogen::brite_params{};
-    params.seed = seed;
-    topo = ntom::topogen::generate_brite(params);
-  } else if (kind == "sparse") {
-    auto params = paper ? ntom::topogen::sparse_params::paper_scale()
-                        : ntom::topogen::sparse_params{};
-    params.seed = seed;
-    topo = ntom::topogen::generate_sparse(params);
-  } else {
-    return usage();
+  ntom::topology_spec spec = opts.get_string("kind", "brite");
+  if (opts.get_bool("paper", false) && !spec.has("scale")) {
+    spec = spec.with_option("scale", "paper");
   }
+  const ntom::topology topo = ntom::make_topology(spec, seed);
   ntom::save_topology_file(topo, out);
   std::printf("wrote %s: %s\n", out.c_str(), topo.describe().c_str());
+  return 0;
+}
+
+int cmd_list() {
+  std::fputs(ntom::describe_registries().c_str(), stdout);
   return 0;
 }
 
@@ -93,27 +94,24 @@ int cmd_monitor(const ntom::flags& opts) {
   const topology topo = load_topology_file(topo_path);
   std::printf("monitoring %s\n", topo.describe().c_str());
 
-  const std::string scenario_str = opts.get_string("scenario", "random");
-  scenario_kind kind = scenario_kind::random_congestion;
-  if (scenario_str == "concentrated") {
-    kind = scenario_kind::concentrated_congestion;
-  } else if (scenario_str == "noindep") {
-    kind = scenario_kind::no_independence;
-  } else if (scenario_str != "random") {
-    return usage();
-  }
+  const scenario_spec scenario = opts.get_string("scenario", "random");
 
   scenario_params sp;
   sp.seed = static_cast<std::uint64_t>(opts.get_int("seed", 11));
   sp.nonstationary = opts.get_bool("nonstationary", false);
+  sp.phase_length = static_cast<std::size_t>(
+      opts.get_int("phase-length", static_cast<std::int64_t>(sp.phase_length)));
   sim_params sim;
   sim.intervals = static_cast<std::size_t>(opts.get_int("intervals", 400));
   sim.seed = sp.seed + 1;
+  // Resolve the spec's knobs (nonstationary, phase_length, ...) before
+  // sizing the phase pre-draw.
+  sp = apply_scenario_spec(scenario, sp);
   if (sp.nonstationary) {
     sp.num_phases = (sim.intervals + sp.phase_length - 1) / sp.phase_length;
   }
 
-  const congestion_model model = make_scenario(topo, kind, sp);
+  const congestion_model model = make_scenario(topo, scenario, sp);
   const experiment_data data = run_experiment(topo, model, sim);
   const auto result = compute_correlation_complete(topo, data);
 
@@ -161,8 +159,15 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const ntom::flags opts(argc - 1, argv + 1);
-  if (command == "gen") return cmd_gen(opts);
-  if (command == "dot") return cmd_dot(opts);
-  if (command == "monitor") return cmd_monitor(opts);
+  try {
+    if (command == "gen") return cmd_gen(opts);
+    if (command == "dot") return cmd_dot(opts);
+    if (command == "monitor") return cmd_monitor(opts);
+    if (command == "list") return cmd_list();
+  } catch (const ntom::spec_error& err) {
+    std::fprintf(stderr, "%s\n(run `ntom_cli list` for registered names)\n",
+                 err.what());
+    return 2;
+  }
   return usage();
 }

@@ -14,6 +14,7 @@
 // Build & run:  ./examples/quickstart
 #include <cstdio>
 
+#include "ntom/api/experiment.hpp"
 #include "ntom/corr/correlation.hpp"
 #include "ntom/sim/packet_sim.hpp"
 #include "ntom/sim/truth.hpp"
@@ -93,6 +94,26 @@ void run_case(ntom::topogen::toy_case which, const char* title) {
 
 }  // namespace
 
+/// The spec-driven facade: the same grid the figure benches run, in
+/// four lines — topologies, scenarios, and estimators by name.
+void run_experiment_facade() {
+  using namespace ntom;
+  std::printf("=== Spec-driven experiment facade ===\n");
+  const batch_report report = experiment()
+                                  .with_topology("brite,n=12,paths=60")
+                                  .with_scenario("random_congestion")
+                                  .with_scenario("no_independence")
+                                  .with_estimators({"sparsity", "bayes-corr"})
+                                  .replicas(2)
+                                  .intervals(60)
+                                  .run({.threads = 2, .base_seed = 7});
+  for (const metric_summary& cell : report.summarize()) {
+    if (cell.metric != "detection_rate") continue;
+    std::printf("  %-28s %-12s detection %.3f +/- %.3f\n", cell.label.c_str(),
+                cell.series.c_str(), cell.mean, cell.stddev);
+  }
+}
+
 int main() {
   run_case(ntom::topogen::toy_case::case1,
            "Case 1: C* = {{e1},{e2,e3},{e4}} (Identifiability++ holds)");
@@ -101,6 +122,7 @@ int main() {
   std::printf(
       "In Case 2 the sets {e1,e4} and {e2,e3} are traversed by the same\n"
       "paths, so their probabilities cannot be told apart from path\n"
-      "observations; Correlation-complete flags them instead of guessing.\n");
+      "observations; Correlation-complete flags them instead of guessing.\n\n");
+  run_experiment_facade();
   return 0;
 }

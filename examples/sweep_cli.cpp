@@ -1,82 +1,50 @@
-// Scenario sweep driver on the parallel batched experiment engine.
+// Spec-driven sweep driver on the ntom::experiment facade.
 //
-// Builds the cross product topology x scenario x replica, fans the runs
-// across a thread pool, and prints aggregated detection / false-positive
-// rates (mean +/- stddev over replicas). Per-run seeds derive from
-// --seed and the run index, so the sweep is reproducible bit-for-bit at
-// any thread count — pass --check-determinism to prove it on the spot
-// (runs the sweep serially, re-runs it with --threads workers, compares
-// every aggregate exactly, and reports the parallel speedup).
+// Builds the cross product topology x scenario x estimator x replica
+// from spec strings — no recompile to change the grid — fans the runs
+// across a thread pool, and prints aggregated detection/false-positive
+// rates and mean absolute errors (mean +/- stddev over replicas).
+// Per-run seeds derive from --seed and the run index, so the sweep is
+// reproducible bit-for-bit at any thread count — pass
+// --check-determinism to prove it on the spot (re-runs the sweep
+// serially, compares every aggregate exactly, and reports the parallel
+// speedup).
 //
-//   sweep_cli --topos=brite,sparse --scenarios=random,concentrated
+//   sweep_cli --topos=brite,sparse,toy
+//             --scenarios=random,concentrated,noindep,nostat
+//             --estimators=sparsity,bayes-indep,bayes-corr,independence,corr-complete
 //             --replicas=4 --threads=8 --summary-csv=sweep.csv
+//
+// Spec lists split on ';' when present, else on ',' — use ';' when a
+// spec carries options ("brite,n=40;sparse"). --list prints the
+// registered names and their option docs.
 #include <cstdio>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "ntom/exp/batch.hpp"
-#include "ntom/exp/evals.hpp"
+#include "ntom/api/experiment.hpp"
 #include "ntom/exp/report.hpp"
-#include "ntom/exp/runner.hpp"
 #include "ntom/util/flags.hpp"
 #include "ntom/util/thread_pool.hpp"
 
 namespace {
 
-std::vector<std::string> split_csv(const std::string& list) {
+/// Splits a spec list: on ';' when one is present (specs may then carry
+/// ',' options), else on ','.
+std::vector<std::string> split_spec_list(const std::string& list) {
+  const char sep = list.find(';') != std::string::npos ? ';' : ',';
   std::vector<std::string> out;
-  std::stringstream in(list);
   std::string item;
-  while (std::getline(in, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
-struct scenario_choice {
-  std::string name;
-  ntom::scenario_kind kind;
-  bool nonstationary;
-};
-
-std::vector<scenario_choice> parse_scenarios(const std::string& list) {
-  using ntom::scenario_kind;
-  std::vector<scenario_choice> out;
-  for (const std::string& name : split_csv(list)) {
-    if (name == "random") {
-      out.push_back({name, scenario_kind::random_congestion, false});
-    } else if (name == "concentrated") {
-      out.push_back({name, scenario_kind::concentrated_congestion, false});
-    } else if (name == "noindep") {
-      out.push_back({name, scenario_kind::no_independence, false});
-    } else if (name == "nostat") {
-      out.push_back({name, scenario_kind::no_independence, true});
+  for (const char c : list) {
+    if (c == sep) {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
     } else {
-      std::fprintf(stderr,
-                   "unknown scenario '%s' (want random, concentrated, "
-                   "noindep, nostat)\n",
-                   name.c_str());
-      std::exit(2);
+      item += c;
     }
   }
-  return out;
-}
-
-std::vector<ntom::topology_kind> parse_topos(const std::string& list) {
-  std::vector<ntom::topology_kind> out;
-  for (const std::string& name : split_csv(list)) {
-    if (name == "brite") {
-      out.push_back(ntom::topology_kind::brite);
-    } else if (name == "sparse") {
-      out.push_back(ntom::topology_kind::sparse);
-    } else {
-      std::fprintf(stderr, "unknown topology '%s' (want brite, sparse)\n",
-                   name.c_str());
-      std::exit(2);
-    }
-  }
+  if (!item.empty()) out.push_back(item);
   return out;
 }
 
@@ -100,6 +68,11 @@ bool summaries_identical(const std::vector<ntom::metric_summary>& a,
 int main(int argc, char** argv) {
   using namespace ntom;
   const flags opts(argc, argv);
+  if (opts.has("list")) {
+    std::cout << describe_registries();
+    return 0;
+  }
+
   const bool paper_scale = opts.get_string("scale", "small") == "paper";
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
   const auto intervals = static_cast<std::size_t>(
@@ -108,47 +81,63 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<std::size_t>(opts.get_int("threads", 0));
   const bool check = opts.get_bool("check-determinism", false);
 
-  const auto topos = parse_topos(opts.get_string("topos", "brite,sparse"));
-  const auto scenarios = parse_scenarios(
-      opts.get_string("scenarios", "random,concentrated,noindep,nostat"));
-
-  std::vector<run_spec> specs;
-  for (std::size_t r = 0; r < replicas; ++r) {
-    for (const topology_kind topo : topos) {
-      for (const scenario_choice& s : scenarios) {
-        run_config config;
-        config.topo = topo;
-        config.brite = paper_scale ? topogen::brite_params::paper_scale()
-                                   : topogen::brite_params{};
-        config.sparse = paper_scale ? topogen::sparse_params::paper_scale()
-                                    : topogen::sparse_params{};
-        config.scenario = s.kind;
-        config.scenario_opts.nonstationary = s.nonstationary;
-        config.sim.intervals = intervals;
-        run_spec spec{std::string(topology_kind_name(topo)) + "/" + s.name,
-                      config};
-        spec.seed_group = r;  // same topology across arms of a replica.
-        specs.push_back(std::move(spec));
-      }
+  experiment exp;
+  try {
+    for (const std::string& t :
+         split_spec_list(opts.get_string("topos", "brite,sparse"))) {
+      topology_spec s(t);
+      if (paper_scale && !s.has("scale")) s = s.with_option("scale", "paper");
+      exp.with_topology(std::move(s));
     }
+    for (const std::string& s : split_spec_list(opts.get_string(
+             "scenarios", "random,concentrated,noindep,nostat"))) {
+      exp.with_scenario(s);
+    }
+    for (const std::string& e : split_spec_list(opts.get_string(
+             "estimators", "sparsity,bayes-indep,bayes-corr"))) {
+      exp.with_estimator(e);
+    }
+  } catch (const spec_error& err) {
+    std::fprintf(stderr, "%s\n(run with --list for the registered names)\n",
+                 err.what());
+    return 2;
   }
 
+  // Scenario-wide nonstationarity knobs; per-spec options still win.
+  scenario_params scenario_defaults;
+  scenario_defaults.nonstationary = opts.get_bool("nonstationary", false);
+  scenario_defaults.phase_length = static_cast<std::size_t>(
+      opts.get_int("phase-length", scenario_defaults.phase_length));
+  scenario_defaults.congestable_fraction =
+      opts.get_double("fraction", scenario_defaults.congestable_fraction);
+  exp.with_scenario_defaults(scenario_defaults);
+
+  sim_params sim;
+  sim.intervals = intervals;
+  sim.packets_per_path = static_cast<std::size_t>(
+      opts.get_int("packets", sim.packets_per_path));
+  exp.with_sim(sim);
+  exp.replicas(replicas);
+
+  const std::vector<run_spec> specs = exp.specs();
   const std::size_t workers = thread_pool::resolve_threads(threads);
-  std::cout << "Scenario sweep — " << specs.size() << " runs (" << topos.size()
-            << " topologies x " << scenarios.size() << " scenarios x "
+  std::cout << "Scenario sweep — " << specs.size() << " runs ("
+            << specs.size() / (replicas == 0 ? 1 : replicas) << " grid cells x "
             << replicas << " replicas), T=" << intervals << ", seed=" << seed
             << ", threads=" << workers << "\n\n";
 
   batch_params params;
   params.threads = threads;
   params.base_seed = seed;
-  const batch_report report = run_batch(specs, boolean_inference_eval, params);
+  const batch_report report = exp.run(params);
 
   const std::vector<metric_summary> cells = report.summarize();
-  table_printer table({"Topology/Scenario", "Algorithm", "DR mean", "DR sd",
-                       "FP mean", "FP sd"});
+  table_printer boolean_table({"Topology/Scenario", "Estimator", "DR mean",
+                               "DR sd", "FP mean", "FP sd"});
+  bool any_boolean = false;
   for (const metric_summary& s : cells) {
     if (s.metric != "detection_rate") continue;
+    any_boolean = true;
     double fp_mean = 0.0;
     double fp_sd = 0.0;
     for (const metric_summary& f : cells) {
@@ -158,11 +147,30 @@ int main(int argc, char** argv) {
         fp_sd = f.stddev;
       }
     }
-    table.add_row({s.label, s.series, format_fixed(s.mean),
-                   format_fixed(s.stddev), format_fixed(fp_mean),
-                   format_fixed(fp_sd)});
+    boolean_table.add_row({s.label, s.series, format_fixed(s.mean),
+                           format_fixed(s.stddev), format_fixed(fp_mean),
+                           format_fixed(fp_sd)});
   }
-  table.print(std::cout);
+  if (any_boolean) {
+    std::cout << "Boolean inference (Fig. 3 metrics)\n";
+    boolean_table.print(std::cout);
+  }
+
+  table_printer error_table(
+      {"Topology/Scenario", "Estimator", "MAE mean", "MAE sd"});
+  bool any_error = false;
+  for (const metric_summary& s : cells) {
+    if (s.metric != "mean_abs_error") continue;
+    any_error = true;
+    error_table.add_row(
+        {s.label, s.series, format_fixed(s.mean), format_fixed(s.stddev)});
+  }
+  if (any_error) {
+    std::cout << (any_boolean ? "\n" : "")
+              << "Probability computation (Fig. 4 metric)\n";
+    error_table.print(std::cout);
+  }
+
   std::printf("\n%zu runs in %.2fs wall clock (%.2fs/run average)\n",
               report.runs().size(), report.total_seconds,
               report.runs().empty()
@@ -177,13 +185,17 @@ int main(int argc, char** argv) {
     report.write_summary_csv(
         opts.get_string("summary-csv", "sweep_summary.csv"));
   }
+  maybe_write_bench_json(report, opts, "sweep_cli",
+                         {{"intervals", std::to_string(intervals)},
+                          {"seed", std::to_string(seed)},
+                          {"replicas", std::to_string(replicas)},
+                          {"threads", std::to_string(workers)}});
 
   if (check) {
     std::cout << "\nDeterminism check: re-running serially...\n";
     batch_params serial = params;
     serial.threads = 1;
-    const batch_report serial_report =
-        run_batch(specs, boolean_inference_eval, serial);
+    const batch_report serial_report = exp.run(serial);
     const bool identical =
         summaries_identical(cells, serial_report.summarize());
     std::printf(

@@ -1,0 +1,264 @@
+#include "ntom/api/estimator.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "ntom/infer/bayes_correlation.hpp"
+#include "ntom/infer/bayes_independence.hpp"
+#include "ntom/infer/observation.hpp"
+#include "ntom/infer/sparsity.hpp"
+#include "ntom/tomo/correlation_complete.hpp"
+#include "ntom/tomo/correlation_heuristic.hpp"
+#include "ntom/tomo/independence.hpp"
+
+namespace ntom {
+
+bitvec estimator::infer(const bitvec&) const {
+  throw std::logic_error("estimator does not support Boolean inference");
+}
+
+link_estimates estimator::links() const {
+  throw std::logic_error("estimator does not support link estimation");
+}
+
+namespace {
+
+// ------------------------------------------------------------ adapters
+
+/// Sparsity has no fitting step: each interval is solved greedily from
+/// its own observation.
+class sparsity_estimator final : public estimator {
+ public:
+  [[nodiscard]] estimator_caps caps() const noexcept override {
+    return {.boolean_inference = true, .link_estimation = false};
+  }
+
+  void fit(const topology& t, const experiment_data&) override { topo_ = &t; }
+
+  [[nodiscard]] bitvec infer(const bitvec& congested_paths) const override {
+    return infer_sparsity(*topo_, make_observation(*topo_, congested_paths));
+  }
+
+ private:
+  const topology* topo_ = nullptr;
+};
+
+class bayes_independence_estimator final : public estimator {
+ public:
+  explicit bayes_independence_estimator(independence_params params)
+      : params_(params) {}
+
+  [[nodiscard]] estimator_caps caps() const noexcept override {
+    return {.boolean_inference = true, .link_estimation = true};
+  }
+
+  void fit(const topology& t, const experiment_data& data) override {
+    fitted_.emplace(t, data, params_);
+  }
+
+  [[nodiscard]] bitvec infer(const bitvec& congested_paths) const override {
+    return fitted_->infer(congested_paths);
+  }
+
+  [[nodiscard]] link_estimates links() const override {
+    return fitted_->step1().links;
+  }
+
+ private:
+  independence_params params_;
+  std::optional<bayes_independence_inferencer> fitted_;
+};
+
+class bayes_correlation_estimator final : public estimator {
+ public:
+  explicit bayes_correlation_estimator(correlation_complete_params params)
+      : params_(params) {}
+
+  [[nodiscard]] estimator_caps caps() const noexcept override {
+    return {.boolean_inference = true, .link_estimation = true};
+  }
+
+  void fit(const topology& t, const experiment_data& data) override {
+    fitted_.emplace(t, data, params_);
+  }
+
+  [[nodiscard]] bitvec infer(const bitvec& congested_paths) const override {
+    return fitted_->infer(congested_paths);
+  }
+
+  [[nodiscard]] link_estimates links() const override {
+    return fitted_->step1().estimates.to_link_estimates();
+  }
+
+ private:
+  correlation_complete_params params_;
+  std::optional<bayes_correlation_inferencer> fitted_;
+};
+
+class independence_estimator final : public estimator {
+ public:
+  explicit independence_estimator(independence_params params)
+      : params_(params) {}
+
+  [[nodiscard]] estimator_caps caps() const noexcept override {
+    return {.boolean_inference = false, .link_estimation = true};
+  }
+
+  void fit(const topology& t, const experiment_data& data) override {
+    result_ = compute_independence(t, data, params_);
+  }
+
+  [[nodiscard]] link_estimates links() const override { return result_.links; }
+
+ private:
+  independence_params params_;
+  independence_result result_;
+};
+
+class correlation_heuristic_estimator final : public estimator {
+ public:
+  explicit correlation_heuristic_estimator(correlation_heuristic_params params)
+      : params_(params) {}
+
+  [[nodiscard]] estimator_caps caps() const noexcept override {
+    return {.boolean_inference = false, .link_estimation = true};
+  }
+
+  void fit(const topology& t, const experiment_data& data) override {
+    result_.emplace(compute_correlation_heuristic(t, data, params_));
+  }
+
+  [[nodiscard]] link_estimates links() const override {
+    return result_->estimates.to_link_estimates();
+  }
+
+ private:
+  correlation_heuristic_params params_;
+  std::optional<correlation_heuristic_result> result_;
+};
+
+class correlation_complete_estimator final : public estimator {
+ public:
+  explicit correlation_complete_estimator(correlation_complete_params params)
+      : params_(params) {}
+
+  [[nodiscard]] estimator_caps caps() const noexcept override {
+    return {.boolean_inference = false, .link_estimation = true};
+  }
+
+  void fit(const topology& t, const experiment_data& data) override {
+    result_.emplace(compute_correlation_complete(t, data, params_));
+  }
+
+  [[nodiscard]] link_estimates links() const override {
+    return result_->estimates.to_link_estimates();
+  }
+
+ private:
+  correlation_complete_params params_;
+  std::optional<correlation_complete_result> result_;
+};
+
+// --------------------------------------------------------- registration
+
+independence_params independence_from_spec(const spec& s) {
+  independence_params p;
+  p.max_pair_equations = s.get_size("pairs", p.max_pair_equations);
+  return p;
+}
+
+correlation_complete_params complete_from_spec(const spec& s) {
+  correlation_complete_params p;
+  p.min_all_good_count = s.get_size("min_all_good", p.min_all_good_count);
+  return p;
+}
+
+void register_builtins(registry<estimator_factory>& reg) {
+  const std::vector<option_doc> indep_options = {
+      {"pairs", "cap on pair-of-paths equations (default 6000)"}};
+  const std::vector<option_doc> complete_options = {
+      {"min_all_good",
+       "minimum all-good count for a usable equation (default 3)"}};
+
+  reg.add({"sparsity",
+           "Sparsity",
+           "greedy most-parsimonious Boolean inference (Tomo / SCFS)",
+           {"tomo"},
+           {},
+           [](const spec&) -> std::unique_ptr<estimator> {
+             return std::make_unique<sparsity_estimator>();
+           }});
+  reg.add({"bayes-indep",
+           "Bayes-Indep",
+           "CLINK: Independence probabilities + greedy MAP per interval",
+           {"bayes-independence", "clink"},
+           indep_options,
+           [](const spec& s) -> std::unique_ptr<estimator> {
+             return std::make_unique<bayes_independence_estimator>(
+                 independence_from_spec(s));
+           }});
+  reg.add({"bayes-corr",
+           "Bayes-Corr",
+           "Correlation-complete probabilities + greedy MAP per interval",
+           {"bayes-correlation"},
+           complete_options,
+           [](const spec& s) -> std::unique_ptr<estimator> {
+             return std::make_unique<bayes_correlation_estimator>(
+                 complete_from_spec(s));
+           }});
+  reg.add({"independence",
+           "Independence",
+           "per-link probabilities under the Independence assumption",
+           {},
+           indep_options,
+           [](const spec& s) -> std::unique_ptr<estimator> {
+             return std::make_unique<independence_estimator>(
+                 independence_from_spec(s));
+           }});
+  reg.add({"corr-heuristic",
+           "Corr-heuristic",
+           "correlation-aware probabilities, flooded equation set (IMC'10)",
+           {"correlation-heuristic"},
+           {{"pairs", "cap on pair equations (default 4000)"},
+            {"triples", "cap on triple equations (default 2000)"}},
+           [](const spec& s) -> std::unique_ptr<estimator> {
+             correlation_heuristic_params p;
+             p.max_pair_equations =
+                 s.get_size("pairs", p.max_pair_equations);
+             p.max_triple_equations =
+                 s.get_size("triples", p.max_triple_equations);
+             return std::make_unique<correlation_heuristic_estimator>(p);
+           }});
+  reg.add({"corr-complete",
+           "Corr-complete",
+           "the paper's Probability Computation (Algorithm 1 + log LSQ)",
+           {"correlation-complete"},
+           complete_options,
+           [](const spec& s) -> std::unique_ptr<estimator> {
+             return std::make_unique<correlation_complete_estimator>(
+                 complete_from_spec(s));
+           }});
+}
+
+}  // namespace
+
+registry<estimator_factory>& estimator_registry() {
+  static registry<estimator_factory>* reg = [] {
+    auto* r = new registry<estimator_factory>("estimator");
+    register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+std::unique_ptr<estimator> make_estimator(const estimator_spec& s) {
+  const auto& entry = estimator_registry().resolve(s);
+  return entry.factory(s);
+}
+
+std::string estimator_label(const estimator_spec& s) {
+  if (s.has("label")) return s.get_string("label");
+  return estimator_registry().at(s.name()).display;
+}
+
+}  // namespace ntom

@@ -1,0 +1,79 @@
+// The estimator abstraction: every inference / probability-computation
+// algorithm behind one interface, registered by name.
+//
+// An estimator is fitted once per experiment (the Bayesian algorithms'
+// "Step 1" / Probability Computation) and then queried through its
+// capabilities:
+//
+//   boolean_inference — per-interval congested-link sets (Fig. 3).
+//   link_estimation   — per-link congestion probabilities (Fig. 4).
+//
+// Built-ins (canonical name / series label / capabilities):
+//
+//   sparsity        Sparsity          boolean            (Tomo/SCFS)
+//   bayes-indep     Bayes-Indep       boolean + link     (CLINK)
+//   bayes-corr      Bayes-Corr        boolean + link     ([10])
+//   independence    Independence      link               (CLINK step 1)
+//   corr-heuristic  Corr-heuristic    link               (IMC'10 [9])
+//   corr-complete   Corr-complete     link               (this paper)
+//
+// evals.cpp drives any estimator list through this interface, so a new
+// algorithm becomes a registration, not a rewiring of the benches.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ntom/sim/packet_sim.hpp"
+#include "ntom/tomo/estimates.hpp"
+#include "ntom/util/registry.hpp"
+#include "ntom/util/spec.hpp"
+
+namespace ntom {
+
+/// What a fitted estimator can be asked for.
+struct estimator_caps {
+  bool boolean_inference = false;  ///< infer() per interval.
+  bool link_estimation = false;    ///< links() after fit().
+};
+
+class estimator {
+ public:
+  virtual ~estimator() = default;
+
+  [[nodiscard]] virtual estimator_caps caps() const noexcept = 0;
+
+  /// One-time model fitting over a finished experiment; must be called
+  /// before infer() / links(). The topology must outlive the estimator.
+  virtual void fit(const topology& t, const experiment_data& data) = 0;
+
+  /// Boolean inference for one interval's observed congested paths.
+  /// Default throws std::logic_error; requires caps().boolean_inference.
+  [[nodiscard]] virtual bitvec infer(const bitvec& congested_paths) const;
+
+  /// Per-link congestion-probability estimates.
+  /// Default throws std::logic_error; requires caps().link_estimation.
+  [[nodiscard]] virtual link_estimates links() const;
+};
+
+/// An estimator reference: registered name + options.
+using estimator_spec = spec;
+
+using estimator_factory =
+    std::function<std::unique_ptr<estimator>(const spec& s)>;
+
+/// Global registry with the six built-ins pre-registered. Register
+/// custom estimators before launching batches; lookups are lock-free.
+[[nodiscard]] registry<estimator_factory>& estimator_registry();
+
+/// Resolves the spec through the registry and constructs an unfitted
+/// estimator. Throws spec_error on unknown names / undocumented options.
+[[nodiscard]] std::unique_ptr<estimator> make_estimator(
+    const estimator_spec& s);
+
+/// Series label: the spec's `label` option if present, else the
+/// registered display name ("Sparsity", "Bayes-Corr", ...).
+[[nodiscard]] std::string estimator_label(const estimator_spec& s);
+
+}  // namespace ntom

@@ -1,0 +1,135 @@
+#include "ntom/api/experiment.hpp"
+
+#include <utility>
+
+namespace ntom {
+
+std::string describe_registries() {
+  return "Topologies:\n" + topogen::topology_registry().describe() +
+         "\nScenarios:\n" + scenario_registry().describe() +
+         "\nEstimators:\n" + estimator_registry().describe() +
+         "\nSpec grammar: name,key=value,...  (bare key = true; 'label=...' "
+         "overrides the display label)\n";
+}
+
+experiment::experiment() {
+  topologies_ = {"brite"};
+  scenarios_ = {"random_congestion"};
+  estimators_ = {"sparsity", "bayes-indep", "bayes-corr"};
+  eval_options_.boolean_metrics = true;
+  eval_options_.link_error_metrics = true;
+}
+
+experiment& experiment::with_topology(topology_spec s) {
+  (void)topogen::topology_registry().resolve(s);
+  if (defaults_.topologies) {
+    topologies_.clear();
+    defaults_.topologies = false;
+  }
+  topologies_.push_back(std::move(s));
+  return *this;
+}
+
+experiment& experiment::with_scenario(scenario_spec s) {
+  (void)scenario_registry().resolve(s);
+  if (defaults_.scenarios) {
+    scenarios_.clear();
+    defaults_.scenarios = false;
+  }
+  scenarios_.push_back(std::move(s));
+  return *this;
+}
+
+experiment& experiment::with_estimator(estimator_spec s) {
+  (void)estimator_registry().resolve(s);
+  if (defaults_.estimators) {
+    estimators_.clear();
+    defaults_.estimators = false;
+  }
+  estimators_.push_back(std::move(s));
+  return *this;
+}
+
+experiment& experiment::with_estimators(std::vector<estimator_spec> specs) {
+  for (estimator_spec& s : specs) with_estimator(std::move(s));
+  return *this;
+}
+
+experiment& experiment::replicas(std::size_t n) {
+  replicas_ = n;
+  return *this;
+}
+
+experiment& experiment::intervals(std::size_t t) {
+  sim_.intervals = t;
+  return *this;
+}
+
+experiment& experiment::with_sim(const sim_params& sim) {
+  sim_ = sim;
+  return *this;
+}
+
+experiment& experiment::with_scenario_defaults(const scenario_params& params) {
+  scenario_defaults_ = params;
+  return *this;
+}
+
+experiment& experiment::measure_boolean(bool on) {
+  eval_options_.boolean_metrics = on;
+  return *this;
+}
+
+experiment& experiment::measure_link_error(bool on) {
+  eval_options_.link_error_metrics = on;
+  return *this;
+}
+
+std::vector<run_spec> experiment::specs() const {
+  // Replicas aggregate by label on purpose; two *grid arms* sharing a
+  // label would silently pool incomparable configurations instead.
+  std::vector<std::string> grid_labels;
+  for (const topology_spec& topo : topologies_) {
+    for (const scenario_spec& scenario : scenarios_) {
+      const std::string label =
+          topology_label(topo) + "/" + scenario_label(scenario);
+      for (const std::string& seen : grid_labels) {
+        if (seen == label) {
+          throw spec_error("experiment: two grid arms share the label '" +
+                           label +
+                           "' — add a label=... option to disambiguate");
+        }
+      }
+      grid_labels.push_back(label);
+    }
+  }
+
+  std::vector<run_spec> out;
+  out.reserve(replicas_ * topologies_.size() * scenarios_.size());
+  for (std::size_t r = 0; r < replicas_; ++r) {
+    for (const topology_spec& topo : topologies_) {
+      for (const scenario_spec& scenario : scenarios_) {
+        run_config config;
+        config.topo = topo;
+        config.scenario = scenario;
+        config.scenario_opts = scenario_defaults_;
+        config.sim = sim_;
+        run_spec spec{topology_label(topo) + "/" + scenario_label(scenario),
+                      std::move(config)};
+        spec.seed_group = r;  // same topology across arms of a replica.
+        out.push_back(std::move(spec));
+      }
+    }
+  }
+  return out;
+}
+
+batch_eval_fn experiment::eval() const {
+  return estimator_eval(estimators_, eval_options_);
+}
+
+batch_report experiment::run(const batch_params& params) const {
+  return run_batch(specs(), eval(), params);
+}
+
+}  // namespace ntom

@@ -1,0 +1,97 @@
+// The ntom::experiment facade: a topology x scenario x estimator grid
+// specified entirely by spec strings, executed on the parallel batched
+// engine.
+//
+//   const ntom::batch_report report =
+//       ntom::experiment()
+//           .with_topology("brite,n=200")
+//           .with_topology("sparse")
+//           .with_scenario("random_congestion")
+//           .with_scenario("no_stationarity,phase_length=25")
+//           .with_estimators({"sparsity", "bayes-corr"})
+//           .replicas(30)
+//           .intervals(300)
+//           .run({.threads = 8, .base_seed = 42});
+//
+// Every replica runs all scenario arms on the same drawn topology
+// (seed_group = replica), per-run seeds derive from base_seed and the
+// run index, and the aggregates are bit-identical at any thread count —
+// the facade inherits run_batch's determinism guarantee unchanged.
+//
+// Spec strings resolve through the registries when they are added, so a
+// typo fails at build time of the grid, not mid-batch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ntom/api/estimator.hpp"
+#include "ntom/exp/batch.hpp"
+#include "ntom/exp/evals.hpp"
+
+namespace ntom {
+
+/// Catalog of all three registries (names, aliases, option docs) plus
+/// the spec grammar — the CLIs' `--list` / `list` output.
+[[nodiscard]] std::string describe_registries();
+
+class experiment {
+ public:
+  experiment();
+
+  /// Adds one topology / scenario / estimator arm. Each call validates
+  /// the spec against its registry (throws spec_error). The first call
+  /// replaces the default ("brite" / "random_congestion" / the three
+  /// Fig. 3 Boolean algorithms).
+  experiment& with_topology(topology_spec s);
+  experiment& with_scenario(scenario_spec s);
+  experiment& with_estimator(estimator_spec s);
+  experiment& with_estimators(std::vector<estimator_spec> specs);
+
+  /// Seed replications of the whole grid (default 1). Scenario arms of
+  /// one replica share the topology draw, as in the paper's figures.
+  experiment& replicas(std::size_t n);
+
+  /// Probing intervals T (shorthand for with_sim).
+  experiment& intervals(std::size_t t);
+
+  /// Full simulation / scenario parameter control. The scenario spec's
+  /// own options still win over these defaults at reconcile time.
+  experiment& with_sim(const sim_params& sim);
+  experiment& with_scenario_defaults(const scenario_params& params);
+
+  /// Which measurement families to emit (default: boolean on, link
+  /// error on — incapable estimators simply skip a family).
+  experiment& measure_boolean(bool on);
+  experiment& measure_link_error(bool on);
+
+  /// The expanded grid: replicas x topologies x scenarios, labelled
+  /// "<topology label>/<scenario label>", seed_group = replica.
+  [[nodiscard]] std::vector<run_spec> specs() const;
+
+  /// The estimator evaluator over the configured estimator list.
+  [[nodiscard]] batch_eval_fn eval() const;
+
+  /// Runs the grid on the batch engine: specs() + eval() + run_batch.
+  [[nodiscard]] batch_report run(const batch_params& params = {}) const;
+
+ private:
+  /// True while the corresponding list still holds the built-in default
+  /// (cleared by the first explicit with_* call).
+  struct default_flags {
+    bool topologies = true;
+    bool scenarios = true;
+    bool estimators = true;
+  };
+
+  std::vector<topology_spec> topologies_;
+  std::vector<scenario_spec> scenarios_;
+  std::vector<estimator_spec> estimators_;
+  default_flags defaults_;
+  std::size_t replicas_ = 1;
+  sim_params sim_;
+  scenario_params scenario_defaults_;
+  estimator_eval_options eval_options_;
+};
+
+}  // namespace ntom

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <future>
 
 #include "ntom/util/csv.hpp"
@@ -49,8 +52,7 @@ run_config derive_run_seeds(run_config config, std::uint64_t base_seed,
   constexpr std::uint64_t run_salt = 0xd1b54a32d192ed03ULL;
   std::uint64_t topo_state =
       base_seed + golden * (static_cast<std::uint64_t>(topo_group) + 1);
-  config.brite.seed = splitmix64(topo_state);
-  config.sparse.seed = splitmix64(topo_state);
+  config.topo_seed = splitmix64(topo_state);
   std::uint64_t run_state = (base_seed ^ run_salt) +
                             golden * (static_cast<std::uint64_t>(index) + 1);
   config.scenario_opts.seed = splitmix64(run_state);
@@ -133,6 +135,67 @@ void batch_report::write_runs_csv(const std::string& path) const {
                      std::to_string(m.value), std::to_string(run.seconds)});
     }
   }
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void batch_report::write_summary_json(
+    const std::string& path, const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& params) const {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n  \"params\": {";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << '"' << json_escape(params[i].first) << "\": \""
+        << json_escape(params[i].second) << '"';
+  }
+  out << "},\n  \"total_seconds\": " << json_number(total_seconds)
+      << ",\n  \"runs\": " << runs_.size() << ",\n  \"cells\": [";
+  const std::vector<metric_summary> cells = summarize();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const metric_summary& c = cells[i];
+    out << (i > 0 ? ",\n    " : "\n    ") << "{\"label\": \""
+        << json_escape(c.label) << "\", \"series\": \"" << json_escape(c.series)
+        << "\", \"metric\": \"" << json_escape(c.metric)
+        << "\", \"runs\": " << c.runs << ", \"mean\": " << json_number(c.mean)
+        << ", \"stddev\": " << json_number(c.stddev)
+        << ", \"min\": " << json_number(c.min)
+        << ", \"max\": " << json_number(c.max)
+        << ", \"p50\": " << json_number(c.p50)
+        << ", \"p90\": " << json_number(c.p90) << "}";
+  }
+  out << "\n  ]\n}\n";
 }
 
 void batch_report::write_summary_csv(const std::string& path) const {

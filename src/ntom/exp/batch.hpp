@@ -1,6 +1,6 @@
 // Parallel batched experiment engine.
 //
-// A batch is a vector of run_configs (topology kind/size x scenario x
+// A batch is a vector of run_configs (topology spec x scenario spec x
 // loss model x seed) fanned across a thread_pool. Each run's RNG seeds
 // are derived from the batch base seed and the run *index* — never from
 // scheduling order — so aggregated results are bit-identical at 1
@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ntom/exp/metrics.hpp"
@@ -39,7 +40,7 @@ struct batch_params {
   std::size_t threads = 0;       ///< 0 = hardware concurrency.
   std::uint64_t base_seed = 42;  ///< root of every derived per-run seed.
 
-  /// When true (default), every run's topology/scenario/sim seeds are
+  /// When true (default), every run's topo_seed/scenario/sim seeds are
   /// overwritten with splitmix64(base_seed, index) streams. Disable to
   /// run the configs' own seeds verbatim.
   bool derive_seeds = true;
@@ -106,6 +107,15 @@ class batch_report {
 
   /// Aggregated rows: label,series,metric,runs,mean,stddev,min,max,p50,p90.
   void write_summary_csv(const std::string& path) const;
+
+  /// Machine-readable summary for perf trajectories (BENCH_*.json):
+  /// {"bench": ..., "params": {...}, "total_seconds": ..., "runs": N,
+  ///  "cells": [{label, series, metric, runs, mean, stddev, ...}, ...]}.
+  /// Non-finite values serialize as null.
+  void write_summary_json(
+      const std::string& path, const std::string& bench,
+      const std::vector<std::pair<std::string, std::string>>& params = {})
+      const;
 
   /// Wall-clock of the whole batch (set by run_batch).
   double total_seconds = 0.0;

@@ -1,32 +1,76 @@
 #include "ntom/exp/evals.hpp"
 
-#include "ntom/infer/bayes_correlation.hpp"
-#include "ntom/infer/bayes_independence.hpp"
-#include "ntom/infer/sparsity.hpp"
+#include <optional>
+#include <utility>
+
+#include "ntom/corr/correlation.hpp"
+#include "ntom/sim/monitor.hpp"
 
 namespace ntom {
 
-std::vector<measurement> boolean_inference_eval(const run_config&,
+batch_eval_fn estimator_eval(std::vector<estimator_spec> estimators,
+                             estimator_eval_options options) {
+  // Resolve eagerly: a typo'd estimator name fails here, not on a
+  // worker thread mid-batch. Series labels must be unique — duplicates
+  // would silently pool two configurations into one aggregate cell.
+  std::vector<std::string> labels;
+  labels.reserve(estimators.size());
+  for (const estimator_spec& s : estimators) {
+    (void)estimator_registry().resolve(s);
+    std::string label = estimator_label(s);
+    for (const std::string& seen : labels) {
+      if (seen == label) {
+        throw spec_error("estimator_eval: two estimators share the series "
+                         "label '" +
+                         label +
+                         "' — add a label=... option to disambiguate");
+      }
+    }
+    labels.push_back(std::move(label));
+  }
+
+  return [estimators = std::move(estimators), labels = std::move(labels),
+          options](const run_config&,
+                   const run_artifacts& run) -> std::vector<measurement> {
+    // Ground truth and the potentially-congested set are shared by all
+    // link-error series; computed once, and only when needed.
+    std::optional<ground_truth> truth;
+    std::optional<bitvec> potcong;
+    const auto ensure_truth = [&] {
+      if (truth) return;
+      truth.emplace(run.make_truth());
+      const path_observations obs(run.data);
+      potcong.emplace(
+          potentially_congested_links(run.topo, obs.always_good_paths()));
+    };
+
+    std::vector<measurement> out;
+    for (std::size_t i = 0; i < estimators.size(); ++i) {
+      const std::unique_ptr<estimator> est = make_estimator(estimators[i]);
+      est->fit(run.topo, run.data);
+      const estimator_caps caps = est->caps();
+      if (options.boolean_metrics && caps.boolean_inference) {
+        const inference_metrics m = score_inference(
+            run, [&](const bitvec& congested) { return est->infer(congested); });
+        const auto rows = inference_measurements(labels[i], m);
+        out.insert(out.end(), rows.begin(), rows.end());
+      }
+      if (options.link_error_metrics && caps.link_estimation) {
+        ensure_truth();
+        out.push_back({labels[i], "mean_abs_error",
+                       mean_of(link_absolute_errors(run.topo, *truth,
+                                                    est->links(), *potcong))});
+      }
+    }
+    return out;
+  };
+}
+
+std::vector<measurement> boolean_inference_eval(const run_config& config,
                                                 const run_artifacts& run) {
-  const inference_metrics sparsity_m =
-      score_inference(run, [&](const bitvec& congested) {
-        return infer_sparsity(run.topo, make_observation(run.topo, congested));
-      });
-
-  const bayes_independence_inferencer indep(run.topo, run.data);
-  const inference_metrics indep_m = score_inference(
-      run, [&](const bitvec& congested) { return indep.infer(congested); });
-
-  const bayes_correlation_inferencer corr(run.topo, run.data);
-  const inference_metrics corr_m = score_inference(
-      run, [&](const bitvec& congested) { return corr.infer(congested); });
-
-  std::vector<measurement> out = inference_measurements("Sparsity", sparsity_m);
-  const auto indep_rows = inference_measurements("Bayes-Indep", indep_m);
-  const auto corr_rows = inference_measurements("Bayes-Corr", corr_m);
-  out.insert(out.end(), indep_rows.begin(), indep_rows.end());
-  out.insert(out.end(), corr_rows.begin(), corr_rows.end());
-  return out;
+  static const batch_eval_fn eval =
+      estimator_eval({"sparsity", "bayes-indep", "bayes-corr"});
+  return eval(config, run);
 }
 
 }  // namespace ntom

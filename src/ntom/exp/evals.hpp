@@ -1,17 +1,37 @@
-// Canned batch evaluators shared by the figure benches and sweep CLI.
+// Registry-driven batch evaluators shared by the figure benches, the
+// sweep CLI, and the ntom::experiment facade.
 #pragma once
 
 #include <vector>
 
+#include "ntom/api/estimator.hpp"
 #include "ntom/exp/batch.hpp"
 
 namespace ntom {
 
-/// Fig. 3 evaluator: runs the three Boolean Inference algorithms
-/// (Sparsity, Bayesian-Independence, Bayesian-Correlation) on a
-/// prepared run and returns their detection / false-positive rates as
-/// series "Sparsity", "Bayes-Indep", "Bayes-Corr". Matches the
-/// batch_eval_fn signature.
+/// Which measurement families estimator_eval emits per capable series.
+struct estimator_eval_options {
+  /// detection_rate / false_positive_rate rows for estimators with the
+  /// boolean_inference capability (Fig. 3 metrics).
+  bool boolean_metrics = true;
+
+  /// mean_abs_error rows (vs the analytic ground truth, over the
+  /// potentially congested links) for estimators with link_estimation
+  /// (Fig. 4 metrics).
+  bool link_error_metrics = false;
+};
+
+/// Builds a batch_eval_fn that fits every spec'd estimator on the
+/// prepared run and emits one measurement series per estimator (series
+/// name = estimator_label). Specs are resolved eagerly, so unknown
+/// names / bad options fail before any run starts.
+[[nodiscard]] batch_eval_fn estimator_eval(
+    std::vector<estimator_spec> estimators,
+    estimator_eval_options options = {});
+
+/// Fig. 3 evaluator: the three Boolean Inference algorithms as series
+/// "Sparsity", "Bayes-Indep", "Bayes-Corr". Equivalent to
+/// estimator_eval({"sparsity", "bayes-indep", "bayes-corr"}).
 [[nodiscard]] std::vector<measurement> boolean_inference_eval(
     const run_config& config, const run_artifacts& run);
 

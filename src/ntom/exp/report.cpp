@@ -49,4 +49,15 @@ std::string format_fixed(double value, int decimals) {
   return ss.str();
 }
 
+void maybe_write_bench_json(
+    const batch_report& report, const flags& opts, const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& params) {
+  if (!opts.has("json")) return;
+  std::string path = opts.get_string("json", "");
+  if (path.empty() || path == "true") {  // bare --json.
+    path = "BENCH_" + bench + ".json";
+  }
+  report.write_summary_json(path, bench, params);
+}
+
 }  // namespace ntom

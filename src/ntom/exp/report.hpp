@@ -1,10 +1,15 @@
-// Fixed-width console tables for the figure-reproduction binaries.
-// Keeps the bench output diff-able: one row per figure bar/series point.
+// Console output helpers for the figure-reproduction binaries:
+// fixed-width tables (diff-able: one row per figure bar/series point)
+// and the shared --json BENCH_*.json emission.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "ntom/exp/batch.hpp"
+#include "ntom/util/flags.hpp"
 
 namespace ntom {
 
@@ -28,5 +33,12 @@ class table_printer {
 
 /// Formats a double as fixed with `decimals` places.
 [[nodiscard]] std::string format_fixed(double value, int decimals = 4);
+
+/// Shared --json handling for the bench binaries: when the flag was
+/// passed, writes report.write_summary_json to its value, defaulting to
+/// "BENCH_<bench>.json" for a bare `--json`. No-op otherwise.
+void maybe_write_bench_json(
+    const batch_report& report, const flags& opts, const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& params);
 
 }  // namespace ntom

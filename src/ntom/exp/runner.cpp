@@ -1,8 +1,11 @@
 #include "ntom/exp/runner.hpp"
 
+#include <algorithm>
+
 namespace ntom {
 
 void run_config::reconcile() {
+  scenario_opts = apply_scenario_spec(scenario, scenario_opts);
   if (scenario_opts.nonstationary && scenario_opts.phase_length > 0) {
     const std::size_t needed =
         (sim.intervals + scenario_opts.phase_length - 1) /
@@ -14,9 +17,7 @@ void run_config::reconcile() {
 run_artifacts prepare_run(run_config config) {
   config.reconcile();
   run_artifacts run;
-  run.topo = config.topo == topology_kind::brite
-                 ? topogen::generate_brite(config.brite)
-                 : topogen::generate_sparse(config.sparse);
+  run.topo = make_topology(config.topo, config.topo_seed);
   run.model = make_scenario(run.topo, config.scenario, config.scenario_opts);
   run.data = run_experiment(run.topo, run.model, config.sim);
   return run;
@@ -30,10 +31,6 @@ inference_metrics score_inference(const run_artifacts& run,
     scorer.add_interval(inferred, run.data.congested_links_by_interval[t]);
   }
   return scorer.result();
-}
-
-const char* topology_kind_name(topology_kind k) noexcept {
-  return k == topology_kind::brite ? "Brite" : "Sparse";
 }
 
 }  // namespace ntom

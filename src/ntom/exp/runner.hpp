@@ -1,32 +1,38 @@
 // End-to-end experiment orchestration used by benches and examples:
-// build topology -> build scenario -> simulate -> estimate -> score.
+// resolve topology spec -> resolve scenario spec -> simulate ->
+// estimate -> score.
 //
 // One `run_config` corresponds to one bar/point of Fig. 3 or Fig. 4.
+// Topologies and scenarios are referenced by spec string and resolved
+// through their registries, so new workloads register a factory instead
+// of rewiring this layer.
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <memory>
 #include <string>
 
 #include "ntom/exp/metrics.hpp"
 #include "ntom/sim/packet_sim.hpp"
 #include "ntom/sim/scenario.hpp"
-#include "ntom/topogen/brite.hpp"
-#include "ntom/topogen/sparse.hpp"
+#include "ntom/topogen/registry.hpp"
 
 namespace ntom {
 
-enum class topology_kind { brite, sparse };
-
 struct run_config {
-  topology_kind topo = topology_kind::brite;
-  topogen::brite_params brite;     ///< used when topo == brite.
-  topogen::sparse_params sparse;   ///< used when topo == sparse.
-  scenario_kind scenario = scenario_kind::random_congestion;
+  topology_spec topo = "brite";
+  /// Topology RNG seed; owned by the engine (derive_run_seeds), kept
+  /// outside the spec so the reproducibility contract stays explicit.
+  std::uint64_t topo_seed = 1;
+
+  scenario_spec scenario = "random_congestion";
   scenario_params scenario_opts;
   sim_params sim;
 
-  /// Ensures the scenario pre-draws enough phases for T intervals.
+  /// Overlays the scenario spec's options onto scenario_opts and
+  /// pre-draws enough phases for sim.intervals. Idempotent, and called
+  /// by prepare_run itself — calling it manually is only needed to
+  /// inspect the effective scenario_opts.
   void reconcile();
 };
 
@@ -42,6 +48,7 @@ struct run_artifacts {
 };
 
 /// Builds the topology, the scenario, and runs the packet simulation.
+/// Reconciles the config first (idempotent), so callers never have to.
 [[nodiscard]] run_artifacts prepare_run(run_config config);
 
 /// Scores a per-interval inference function over every interval of an
@@ -49,7 +56,5 @@ struct run_artifacts {
 using infer_fn = std::function<bitvec(const bitvec& congested_paths)>;
 [[nodiscard]] inference_metrics score_inference(const run_artifacts& run,
                                                 const infer_fn& infer);
-
-[[nodiscard]] const char* topology_kind_name(topology_kind k) noexcept;
 
 }  // namespace ntom

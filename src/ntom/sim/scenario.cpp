@@ -33,100 +33,19 @@ std::vector<link_id> pool_to_vector(const bitvec& pool) {
   return out;
 }
 
-}  // namespace
-
-const char* scenario_name(scenario_kind kind) noexcept {
-  switch (kind) {
-    case scenario_kind::random_congestion:
-      return "Random Congestion";
-    case scenario_kind::concentrated_congestion:
-      return "Concentrated Congestion";
-    case scenario_kind::no_independence:
-      return "No Independence";
-  }
-  return "?";
+std::size_t congestable_target(const topology& t,
+                               const scenario_params& params) {
+  const std::size_t covered = t.covered_links().count();
+  return static_cast<std::size_t>(std::llround(
+      params.congestable_fraction * static_cast<double>(covered)));
 }
 
-congestion_model make_scenario(const topology& t, scenario_kind kind,
-                               const scenario_params& params) {
-  rng rand(params.seed);
-  const std::size_t covered = t.covered_links().count();
-  const auto target = static_cast<std::size_t>(std::llround(
-      params.congestable_fraction * static_cast<double>(covered)));
-
-  std::unordered_set<router_link_id> driver_set;
-
-  switch (kind) {
-    case scenario_kind::random_congestion: {
-      auto pool = pool_to_vector(t.covered_links());
-      rand.shuffle(pool);
-      pool.resize(std::min(pool.size(), std::max<std::size_t>(target, 1)));
-      for (const auto r : drivers_for_links(t, pool, rand)) driver_set.insert(r);
-      break;
-    }
-    case scenario_kind::concentrated_congestion: {
-      // Congestion at the destination edge (the source ISP's own
-      // access segments in AS 0 are excluded). Congested edges are
-      // picked AS by AS — whole neighbourhoods congest together, as in
-      // the paper's toy example where e2 and e3 saturate every path
-      // through the core link e1 and make it the (wrong) parsimonious
-      // explanation.
-      std::vector<std::vector<link_id>> edges_by_as(t.num_ases());
-      t.covered_links().for_each([&](std::size_t le) {
-        const auto e = static_cast<link_id>(le);
-        const auto& info = t.link(e);
-        if (info.edge && info.as_number != 0) {
-          edges_by_as[info.as_number].push_back(e);
-        }
-      });
-      // Busiest edge neighbourhoods first (ties broken by AS id).
-      std::vector<as_id> as_order;
-      for (as_id a = 0; a < t.num_ases(); ++a) {
-        if (!edges_by_as[a].empty()) as_order.push_back(a);
-      }
-      std::stable_sort(as_order.begin(), as_order.end(),
-                       [&](as_id x, as_id y) {
-                         return edges_by_as[x].size() > edges_by_as[y].size();
-                       });
-      std::vector<link_id> pool;
-      for (const as_id a : as_order) {
-        if (pool.size() >= std::max<std::size_t>(target, 1)) break;
-        for (const link_id e : edges_by_as[a]) pool.push_back(e);
-      }
-      if (pool.empty()) {
-        NTOM_WARN << "concentrated scenario: no destination edge links";
-      }
-      pool.resize(std::min(pool.size(), std::max<std::size_t>(target, 1)));
-      for (const auto r : drivers_for_links(t, pool, rand)) driver_set.insert(r);
-      break;
-    }
-    case scenario_kind::no_independence: {
-      // Drive congestion only through router links shared by >= 2
-      // AS-level links, so every congestable link co-congests with
-      // at least one other.
-      std::vector<router_link_id> shared;
-      for (router_link_id r = 0; r < t.num_router_links(); ++r) {
-        std::size_t covered_users = 0;
-        for (const link_id e : t.links_on_router_link(r)) {
-          if (t.covered_links().test(e)) ++covered_users;
-        }
-        if (covered_users >= 2) shared.push_back(r);
-      }
-      rand.shuffle(shared);
-      bitvec marked(t.num_links());
-      for (const auto r : shared) {
-        if (marked.count() >= std::max<std::size_t>(target, 2)) break;
-        driver_set.insert(r);
-        for (const link_id e : t.links_on_router_link(r)) marked.set(e);
-      }
-      if (marked.count() < 2) {
-        NTOM_WARN << "no-independence scenario: topology has no shared "
-                     "router links; model will be empty";
-      }
-      break;
-    }
-  }
-
+/// Finishes every scenario identically: per-phase probabilities for the
+/// chosen driver router links, and the induced congestable link set.
+congestion_model realize_model(const topology& t,
+                               const scenario_params& params,
+                               const std::unordered_set<router_link_id>& drivers,
+                               rng& rand) {
   congestion_model model;
   const std::size_t phases =
       params.nonstationary ? std::max<std::size_t>(params.num_phases, 1) : 1;
@@ -135,16 +54,211 @@ congestion_model make_scenario(const topology& t, scenario_kind kind,
                            : static_cast<std::size_t>(-1);
   model.phase_q.assign(phases, std::vector<double>(t.num_router_links(), 0.0));
   for (auto& q : model.phase_q) {
-    for (const auto r : driver_set) q[r] = rand.uniform();
+    for (const auto r : drivers) q[r] = rand.uniform();
   }
 
   model.congestable_links = bitvec(t.num_links());
-  for (const auto r : driver_set) {
+  for (const auto r : drivers) {
     for (const link_id e : t.links_on_router_link(r)) {
       model.congestable_links.set(e);
     }
   }
   return model;
+}
+
+congestion_model build_random(const topology& t,
+                              const scenario_params& params) {
+  rng rand(params.seed);
+  const std::size_t target = congestable_target(t, params);
+  std::unordered_set<router_link_id> driver_set;
+  auto pool = pool_to_vector(t.covered_links());
+  rand.shuffle(pool);
+  pool.resize(std::min(pool.size(), std::max<std::size_t>(target, 1)));
+  for (const auto r : drivers_for_links(t, pool, rand)) driver_set.insert(r);
+  return realize_model(t, params, driver_set, rand);
+}
+
+congestion_model build_concentrated(const topology& t,
+                                    const scenario_params& params) {
+  // Congestion at the destination edge (the source ISP's own access
+  // segments in AS 0 are excluded). Congested edges are picked AS by
+  // AS — whole neighbourhoods congest together, as in the paper's toy
+  // example where e2 and e3 saturate every path through the core link
+  // e1 and make it the (wrong) parsimonious explanation.
+  rng rand(params.seed);
+  const std::size_t target = congestable_target(t, params);
+  std::unordered_set<router_link_id> driver_set;
+  std::vector<std::vector<link_id>> edges_by_as(t.num_ases());
+  t.covered_links().for_each([&](std::size_t le) {
+    const auto e = static_cast<link_id>(le);
+    const auto& info = t.link(e);
+    if (info.edge && info.as_number != 0) {
+      edges_by_as[info.as_number].push_back(e);
+    }
+  });
+  // Busiest edge neighbourhoods first (ties broken by AS id).
+  std::vector<as_id> as_order;
+  for (as_id a = 0; a < t.num_ases(); ++a) {
+    if (!edges_by_as[a].empty()) as_order.push_back(a);
+  }
+  std::stable_sort(as_order.begin(), as_order.end(), [&](as_id x, as_id y) {
+    return edges_by_as[x].size() > edges_by_as[y].size();
+  });
+  std::vector<link_id> pool;
+  for (const as_id a : as_order) {
+    if (pool.size() >= std::max<std::size_t>(target, 1)) break;
+    for (const link_id e : edges_by_as[a]) pool.push_back(e);
+  }
+  if (pool.empty()) {
+    NTOM_WARN << "concentrated scenario: no destination edge links";
+  }
+  pool.resize(std::min(pool.size(), std::max<std::size_t>(target, 1)));
+  for (const auto r : drivers_for_links(t, pool, rand)) driver_set.insert(r);
+  return realize_model(t, params, driver_set, rand);
+}
+
+congestion_model build_no_independence(const topology& t,
+                                       const scenario_params& params) {
+  // Drive congestion only through router links shared by >= 2 AS-level
+  // links, so every congestable link co-congests with at least one
+  // other.
+  rng rand(params.seed);
+  const std::size_t target = congestable_target(t, params);
+  std::unordered_set<router_link_id> driver_set;
+  std::vector<router_link_id> shared;
+  for (router_link_id r = 0; r < t.num_router_links(); ++r) {
+    std::size_t covered_users = 0;
+    for (const link_id e : t.links_on_router_link(r)) {
+      if (t.covered_links().test(e)) ++covered_users;
+    }
+    if (covered_users >= 2) shared.push_back(r);
+  }
+  rand.shuffle(shared);
+  bitvec marked(t.num_links());
+  for (const auto r : shared) {
+    if (marked.count() >= std::max<std::size_t>(target, 2)) break;
+    driver_set.insert(r);
+    for (const link_id e : t.links_on_router_link(r)) marked.set(e);
+  }
+  if (marked.count() < 2) {
+    NTOM_WARN << "no-independence scenario: topology has no shared "
+                 "router links; model will be empty";
+  }
+  return realize_model(t, params, driver_set, rand);
+}
+
+/// Common options every scenario accepts. Idempotent.
+scenario_params apply_common_options(scenario_params p, const spec& s) {
+  p.congestable_fraction = s.get_double("fraction", p.congestable_fraction);
+  p.nonstationary = s.get_bool("nonstationary", p.nonstationary);
+  const std::int64_t phase_length =
+      s.get_int("phase_length", static_cast<std::int64_t>(p.phase_length));
+  if (phase_length <= 0) {
+    throw spec_error("scenario '" + s.name() +
+                     "': phase_length must be positive");
+  }
+  p.phase_length = static_cast<std::size_t>(phase_length);
+  return p;
+}
+
+const std::vector<option_doc>& common_option_docs() {
+  static const std::vector<option_doc> docs = {
+      {"fraction", "fraction of covered links made congestable (default 0.10)"},
+      {"nonstationary", "redraw probabilities every phase_length intervals"},
+      {"phase_length", "intervals per non-stationary phase (default 50)"},
+  };
+  return docs;
+}
+
+void register_builtins(registry<scenario_plugin>& reg) {
+  using build_fn = congestion_model (*)(const topology&,
+                                        const scenario_params&);
+  const auto stationary_entry = [](std::string name, std::string display,
+                                   std::string doc,
+                                   std::vector<std::string> aliases,
+                                   build_fn build) {
+    return registry<scenario_plugin>::entry{
+        std::move(name),
+        std::move(display),
+        std::move(doc),
+        std::move(aliases),
+        common_option_docs(),
+        {apply_common_options,
+         [build](const topology& t, const scenario_params& p, const spec&) {
+           return build(t, p);
+         }},
+    };
+  };
+
+  reg.add(stationary_entry(
+      "random_congestion", "Random Congestion",
+      "congestable links chosen uniformly at random, probabilities U(0,1)",
+      {"random"}, build_random));
+  reg.add(stationary_entry(
+      "concentrated_congestion", "Concentrated Congestion",
+      "congestable links concentrated at the destination network edge",
+      {"concentrated"}, build_concentrated));
+  reg.add(stationary_entry(
+      "no_independence", "No Independence",
+      "every congestable link shares a driver router link with another",
+      {"noindep"}, build_no_independence));
+
+  // no_stationarity layers per-phase probability redraws on a base
+  // scenario (Fig. 3 layers it on no_independence).
+  std::vector<option_doc> nostat_options = common_option_docs();
+  nostat_options.push_back(
+      {"base", "base scenario to layer on (default no_independence)"});
+  reg.add({
+      "no_stationarity",
+      "No Stationarity",
+      "redraws the base scenario's probabilities every few intervals",
+      {"nostat"},
+      std::move(nostat_options),
+      {[](scenario_params p, const spec& s) {
+         p = apply_common_options(p, s);
+         p.nonstationary = true;
+         return p;
+       },
+       [](const topology& t, const scenario_params& p, const spec& s) {
+         const std::string base = s.get_string("base", "no_independence");
+         const auto& entry = scenario_registry().at(base);
+         if (entry.name == "no_stationarity") {
+           throw spec_error("scenario 'no_stationarity' cannot layer on itself");
+         }
+         // The base's own options cannot be set through this spec; it
+         // builds from the already-configured params.
+         return entry.factory.build(t, p, spec(base));
+       }},
+  });
+}
+
+}  // namespace
+
+registry<scenario_plugin>& scenario_registry() {
+  static registry<scenario_plugin>* reg = [] {
+    auto* r = new registry<scenario_plugin>("scenario");
+    register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+scenario_params apply_scenario_spec(const scenario_spec& s,
+                                    scenario_params params) {
+  const auto& entry = scenario_registry().resolve(s);
+  return entry.factory.configure(params, s);
+}
+
+congestion_model make_scenario(const topology& t, const scenario_spec& s,
+                               const scenario_params& params) {
+  const auto& entry = scenario_registry().resolve(s);
+  const scenario_params configured = entry.factory.configure(params, s);
+  return entry.factory.build(t, configured, s);
+}
+
+std::string scenario_label(const scenario_spec& s) {
+  if (s.has("label")) return s.get_string("label");
+  return scenario_registry().at(s.name()).display;
 }
 
 }  // namespace ntom

@@ -1,31 +1,39 @@
-// The paper's congestion scenarios (§3.2, §5.4) as congestion-model
-// builders.
+// The paper's congestion scenarios (§3.2, §5.4) as registered
+// congestion-model builders.
 //
-//   Random Congestion      — 10% of covered links congestable, chosen at
+//   random_congestion      — 10% of covered links congestable, chosen at
 //                            random, probabilities U(0,1).
-//   Concentrated Congestion— the congestable links sit at the network
+//   concentrated_congestion— the congestable links sit at the network
 //                            edge (links adjacent to end-hosts).
-//   No Independence        — every congestable link is correlated with
+//   no_independence        — every congestable link is correlated with
 //                            at least one other (they share driver
 //                            router-level links).
-//   No Stationarity        — probabilities are redrawn every few
-//                            intervals (layered on any base scenario).
+//   no_stationarity        — probabilities are redrawn every few
+//                            intervals, layered on a base scenario
+//                            (option `base`, default no_independence as
+//                            in Fig. 3).
 //
-// The "Sparse Topology" scenario of Fig. 3 is Random Congestion applied
+// The "Sparse Topology" scenario of Fig. 3 is random_congestion applied
 // to a Sparse topology — a topology choice, not a model choice.
+//
+// Scenarios are resolved by spec string ("no_independence,nonstationary"
+// or "no_stationarity,base=random_congestion,phase_length=25") through
+// the scenario registry; new scenarios plug in by registering a plugin,
+// without touching exp/, the benches, or the CLIs.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 
 #include "ntom/sim/congestion.hpp"
+#include "ntom/util/registry.hpp"
+#include "ntom/util/spec.hpp"
 
 namespace ntom {
 
-enum class scenario_kind {
-  random_congestion,
-  concentrated_congestion,
-  no_independence,
-};
+/// A scenario reference: registered name + options.
+using scenario_spec = spec;
 
 struct scenario_params {
   double congestable_fraction = 0.10;  ///< the paper's 10%.
@@ -37,13 +45,35 @@ struct scenario_params {
   std::uint64_t seed = 11;
 };
 
-/// Builds a congestion model for the scenario on the given topology.
-/// Deterministic in params.seed.
-[[nodiscard]] congestion_model make_scenario(const topology& t,
-                                             scenario_kind kind,
-                                             const scenario_params& params);
+/// A registered scenario: `configure` overlays the spec's options onto
+/// base params (must be idempotent — it may run more than once);
+/// `build` realizes the congestion model from the configured params.
+struct scenario_plugin {
+  std::function<scenario_params(scenario_params, const spec&)> configure;
+  std::function<congestion_model(const topology&, const scenario_params&,
+                                 const spec&)>
+      build;
+};
 
-/// Human-readable scenario name (figure labels).
-[[nodiscard]] const char* scenario_name(scenario_kind kind) noexcept;
+/// Global registry with the four built-ins pre-registered. Register
+/// custom scenarios before launching batches; lookups are lock-free.
+[[nodiscard]] registry<scenario_plugin>& scenario_registry();
+
+/// Overlays the spec's scenario options (fraction, nonstationary,
+/// phase_length, ...) onto `params`. Idempotent; run_config::reconcile
+/// uses it so phase pre-drawing sees the spec's knobs.
+[[nodiscard]] scenario_params apply_scenario_spec(const scenario_spec& s,
+                                                  scenario_params params);
+
+/// Builds a congestion model for the scenario on the given topology.
+/// Deterministic in params.seed. Throws spec_error on unknown names or
+/// undocumented options.
+[[nodiscard]] congestion_model make_scenario(const topology& t,
+                                             const scenario_spec& s,
+                                             const scenario_params& params = {});
+
+/// Display label: the spec's `label` option if present, else the
+/// registered display name ("Random Congestion", ...).
+[[nodiscard]] std::string scenario_label(const scenario_spec& s);
 
 }  // namespace ntom

@@ -1,0 +1,123 @@
+#include "ntom/topogen/registry.hpp"
+
+#include "ntom/topogen/brite.hpp"
+#include "ntom/topogen/sparse.hpp"
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom {
+
+namespace topogen {
+
+namespace {
+
+brite_params brite_from_spec(const spec& s, std::uint64_t seed) {
+  brite_params p = s.get_string("scale", "small") == "paper"
+                       ? brite_params::paper_scale()
+                       : brite_params{};
+  p.num_ases = s.get_size("n", p.num_ases);
+  p.routers_per_as = s.get_size("routers", p.routers_per_as);
+  p.as_attach_degree = s.get_size("degree", p.as_attach_degree);
+  p.intra_extra_edge_frac = s.get_double("intra", p.intra_extra_edge_frac);
+  p.num_vantage_hosts = s.get_size("vantage", p.num_vantage_hosts);
+  p.num_destination_hosts = s.get_size("hosts", p.num_destination_hosts);
+  p.num_paths = s.get_size("paths", p.num_paths);
+  p.router_endpoints = !s.get_bool("host_endpoints", !p.router_endpoints);
+  p.seed = seed;
+  return p;
+}
+
+sparse_params sparse_from_spec(const spec& s, std::uint64_t seed) {
+  sparse_params p = s.get_string("scale", "small") == "paper"
+                        ? sparse_params::paper_scale()
+                        : sparse_params{};
+  p.num_peers = s.get_size("peers", p.num_peers);
+  p.num_mid = s.get_size("mid", p.num_mid);
+  p.num_stubs = s.get_size("stubs", p.num_stubs);
+  p.routers_per_as = s.get_size("routers", p.routers_per_as);
+  p.num_vantage_hosts = s.get_size("vantage", p.num_vantage_hosts);
+  p.peering_points = s.get_size("peering", p.peering_points);
+  p.cross_link_prob = s.get_double("cross", p.cross_link_prob);
+  p.keep_fraction = s.get_double("keep", p.keep_fraction);
+  p.num_paths = s.get_size("paths", p.num_paths);
+  p.seed = seed;
+  return p;
+}
+
+void register_builtins(registry<topology_factory>& reg) {
+  reg.add({
+      "brite",
+      "Brite",
+      "dense two-tier BRITE-like topology (BA AS graph, router meshes)",
+      {},
+      {{"scale", "small (default) or paper (~1000 links, 1500 paths)"},
+       {"n", "number of ASes"},
+       {"routers", "routers per AS"},
+       {"degree", "BA attachment degree (links per new AS)"},
+       {"intra", "extra intra-AS edges per router (fraction)"},
+       {"vantage", "probing hosts inside AS 0"},
+       {"hosts", "destination hosts"},
+       {"paths", "sampled (vantage, destination) paths"},
+       {"host_endpoints", "attach leaf host stubs instead of router endpoints"}},
+      [](const spec& s, std::uint64_t seed) {
+        return generate_brite(brite_from_spec(s, seed));
+      },
+  });
+  reg.add({
+      "sparse",
+      "Sparse",
+      "sparse traceroute-derived topology (tree-ish AS hierarchy)",
+      {},
+      {{"scale", "small (default) or paper (~2000 links, 1500 paths)"},
+       {"peers", "tier-1 peers of the source AS"},
+       {"mid", "mid-tier transit ASes"},
+       {"stubs", "destination stub ASes"},
+       {"routers", "routers per AS"},
+       {"vantage", "probing hosts inside the source AS"},
+       {"peering", "parallel (source, peer) links"},
+       {"cross", "extra non-tree AS adjacency probability"},
+       {"keep", "fraction of traceroutes surviving discard"},
+       {"paths", "attempted traceroutes"}},
+      [](const spec& s, std::uint64_t seed) {
+        return generate_sparse(sparse_from_spec(s, seed));
+      },
+  });
+  reg.add({
+      "toy",
+      "Toy",
+      "the paper's Fig. 1 four-link / three-path topology",
+      {},
+      {{"case", "correlation structure: 1 (Identifiability++ holds) or 2"}},
+      [](const spec& s, std::uint64_t) {
+        const std::int64_t which = s.get_int("case", 1);
+        if (which != 1 && which != 2) {
+          throw spec_error("topology 'toy': case must be 1 or 2");
+        }
+        return make_toy(which == 1 ? toy_case::case1 : toy_case::case2);
+      },
+  });
+}
+
+}  // namespace
+
+registry<topology_factory>& topology_registry() {
+  static registry<topology_factory>* reg = [] {
+    auto* r = new registry<topology_factory>("topology");
+    register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+}  // namespace topogen
+
+topology make_topology(const topology_spec& s, std::uint64_t seed) {
+  const auto& entry = topogen::topology_registry().resolve(s);
+  return entry.factory(s, seed);
+}
+
+std::string topology_label(const topology_spec& s) {
+  if (s.has("label")) return s.get_string("label");
+  return topogen::topology_registry().at(s.name()).display;
+}
+
+}  // namespace ntom

@@ -1,0 +1,48 @@
+// The topology registry: string-keyed factories over the generators in
+// topogen/. New topology families plug in by registering a factory —
+// the experiment engine, benches, and CLIs all resolve topologies
+// through specs ("brite,n=200,paths=1500"), so adding one never touches
+// exp/ or the drivers.
+//
+// Built-ins: brite (dense two-tier BRITE-like), sparse
+// (traceroute-derived), toy (the paper's Fig. 1 four-link example).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ntom/graph/topology.hpp"
+#include "ntom/util/registry.hpp"
+#include "ntom/util/spec.hpp"
+
+namespace ntom {
+
+/// A topology reference: registered name + generator options.
+using topology_spec = spec;
+
+namespace topogen {
+
+/// Builds a finalized topology from the (already-validated) spec's
+/// options. `seed` is the engine-owned RNG seed — it is passed outside
+/// the spec so derive_run_seeds keeps its reproducibility contract.
+using topology_factory =
+    std::function<topology(const spec& s, std::uint64_t seed)>;
+
+/// Global registry with the built-ins pre-registered. Register custom
+/// factories before launching batches; lookups are lock-free reads.
+[[nodiscard]] registry<topology_factory>& topology_registry();
+
+}  // namespace topogen
+
+/// Resolves the spec through the registry and builds the topology.
+/// Deterministic in (s, seed). Throws spec_error on unknown names or
+/// undocumented options.
+[[nodiscard]] topology make_topology(const topology_spec& s,
+                                     std::uint64_t seed);
+
+/// Display label: the spec's `label` option if present, else the
+/// registered display name ("Brite", "Sparse", "Toy").
+[[nodiscard]] std::string topology_label(const topology_spec& s);
+
+}  // namespace ntom

@@ -1,0 +1,155 @@
+// String-keyed factory registry behind the spec-driven experiment API.
+//
+// A registry<Factory> maps component names (plus aliases) to factories
+// and carries enough metadata for introspection: a display label for
+// figure series, a one-line doc, and per-option docs that double as the
+// option whitelist — resolve() rejects a spec whose option keys are not
+// documented, so typos fail loudly instead of being ignored.
+//
+// Registries are append-only. The built-in components are registered the
+// first time the global accessor (topology_registry(), ...) runs;
+// register extensions from a single thread before fanning work across a
+// batch — lookups are lock-free reads.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ntom/util/spec.hpp"
+
+namespace ntom {
+
+/// Documents one accepted `key=value` option of a registered factory.
+struct option_doc {
+  std::string key;
+  std::string doc;
+};
+
+template <typename Factory>
+class registry {
+ public:
+  struct entry {
+    std::string name;                  ///< canonical spec name.
+    std::string display;               ///< human label (figure series).
+    std::string doc;                   ///< one-line description.
+    std::vector<std::string> aliases;  ///< accepted alternative names.
+    std::vector<option_doc> options;   ///< accepted keys (the whitelist).
+    Factory factory{};
+  };
+
+  /// `kind` names the component family in error messages ("topology").
+  explicit registry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Registers a component. Throws spec_error when the name or an alias
+  /// is already taken.
+  void add(entry e) {
+    if (find(e.name) != nullptr) {
+      throw spec_error(kind_ + " '" + e.name + "' is already registered");
+    }
+    for (const std::string& alias : e.aliases) {
+      if (find(alias) != nullptr) {
+        throw spec_error(kind_ + " alias '" + alias + "' is already taken");
+      }
+    }
+    entries_.push_back(std::move(e));
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const noexcept {
+    return find(name) != nullptr;
+  }
+
+  /// Entry by canonical name or alias; throws spec_error listing the
+  /// registered names when unknown.
+  [[nodiscard]] const entry& at(std::string_view name) const {
+    const entry* e = find(name);
+    if (e == nullptr) {
+      std::string known;
+      for (const entry& candidate : entries_) {
+        if (!known.empty()) known += ", ";
+        known += candidate.name;
+      }
+      throw spec_error("unknown " + kind_ + " '" + std::string(name) +
+                       "' (registered: " + known + ")");
+    }
+    return *e;
+  }
+
+  /// at(s.name()) plus option validation: every option key must appear
+  /// in the entry's docs ("label" is always accepted — the experiment
+  /// layer consumes it).
+  [[nodiscard]] const entry& resolve(const spec& s) const {
+    const entry& e = at(s.name());
+    for (const spec_option& o : s.options()) {
+      if (o.key == "label") continue;
+      bool known = false;
+      for (const option_doc& doc : e.options) {
+        if (doc.key == o.key) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        std::string keys;
+        for (const option_doc& doc : e.options) {
+          if (!keys.empty()) keys += ", ";
+          keys += doc.key;
+        }
+        throw spec_error(kind_ + " '" + e.name + "': unknown option '" +
+                         o.key + "' (accepted: " +
+                         (keys.empty() ? "none" : keys) + ")");
+      }
+    }
+    return e;
+  }
+
+  /// Canonical names in registration order.
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const entry& e : entries_) out.push_back(e.name);
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Multi-line catalog for --list style CLI output: one block per
+  /// entry with its aliases, doc, and option docs.
+  [[nodiscard]] std::string describe() const {
+    std::string out;
+    for (const entry& e : entries_) {
+      out += e.name;
+      if (!e.aliases.empty()) {
+        out += " (";
+        for (std::size_t i = 0; i < e.aliases.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += e.aliases[i];
+        }
+        out += ")";
+      }
+      out += " — " + e.doc + "\n";
+      for (const option_doc& doc : e.options) {
+        out += "    " + doc.key + ": " + doc.doc + "\n";
+      }
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] const entry* find(std::string_view name) const noexcept {
+    for (const entry& e : entries_) {
+      if (e.name == name) return &e;
+      for (const std::string& alias : e.aliases) {
+        if (alias == name) return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  std::string kind_;
+  std::vector<entry> entries_;
+};
+
+}  // namespace ntom

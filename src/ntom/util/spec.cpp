@@ -1,0 +1,163 @@
+#include "ntom/util/spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace ntom {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+const spec_option* find_option(const std::vector<spec_option>& options,
+                               std::string_view key) {
+  for (const spec_option& o : options) {
+    if (o.key == key) return &o;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+spec spec::parse(std::string_view text) {
+  spec out;
+  std::size_t segment = 0;
+  while (true) {
+    const std::size_t comma = text.find(',');
+    const std::string_view raw = trim(text.substr(0, comma));
+    if (segment == 0) {
+      if (raw.empty()) {
+        throw spec_error("spec '" + std::string(text) +
+                         "': missing component name");
+      }
+      if (raw.find('=') != std::string_view::npos) {
+        throw spec_error("spec: first segment '" + std::string(raw) +
+                         "' must be a component name, not an option");
+      }
+      out.name_ = std::string(raw);
+    } else {
+      if (raw.empty()) {
+        throw spec_error("spec '" + out.name_ +
+                         "': empty option segment (stray comma)");
+      }
+      const std::size_t eq = raw.find('=');
+      std::string key(trim(raw.substr(0, eq)));
+      std::string value = eq == std::string_view::npos
+                              ? "true"
+                              : std::string(trim(raw.substr(eq + 1)));
+      if (key.empty()) {
+        throw spec_error("spec '" + out.name_ + "': option '" +
+                         std::string(raw) + "' has an empty key");
+      }
+      if (find_option(out.options_, key) != nullptr) {
+        throw spec_error("spec '" + out.name_ + "': duplicate option '" + key +
+                         "'");
+      }
+      out.options_.push_back({std::move(key), std::move(value)});
+    }
+    if (comma == std::string_view::npos) break;
+    text.remove_prefix(comma + 1);
+    ++segment;
+  }
+  return out;
+}
+
+bool spec::has(std::string_view key) const noexcept {
+  return find_option(options_, key) != nullptr;
+}
+
+std::string spec::get_string(std::string_view key, std::string fallback) const {
+  const spec_option* o = find_option(options_, key);
+  return o != nullptr ? o->value : std::move(fallback);
+}
+
+std::int64_t spec::get_int(std::string_view key, std::int64_t fallback) const {
+  const spec_option* o = find_option(options_, key);
+  if (o == nullptr) return fallback;
+  std::int64_t value = 0;
+  const char* end = o->value.data() + o->value.size();
+  const auto [ptr, ec] = std::from_chars(o->value.data(), end, value);
+  if (ec != std::errc() || ptr != end) {
+    throw spec_error("spec '" + name_ + "': option " + o->key + "=" + o->value +
+                     " is not an integer");
+  }
+  return value;
+}
+
+std::size_t spec::get_size(std::string_view key, std::size_t fallback) const {
+  const std::int64_t value =
+      get_int(key, static_cast<std::int64_t>(fallback));
+  if (value < 0) {
+    throw spec_error("spec '" + name_ + "': option " + std::string(key) +
+                     " must be non-negative");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+double spec::get_double(std::string_view key, double fallback) const {
+  const spec_option* o = find_option(options_, key);
+  if (o == nullptr) return fallback;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(o->value, &used);
+    if (used != o->value.size()) throw std::invalid_argument(o->value);
+    return value;
+  } catch (const std::exception&) {
+    throw spec_error("spec '" + name_ + "': option " + o->key + "=" + o->value +
+                     " is not a number");
+  }
+}
+
+bool spec::get_bool(std::string_view key, bool fallback) const {
+  const spec_option* o = find_option(options_, key);
+  if (o == nullptr) return fallback;
+  const std::string v = lower(o->value);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw spec_error("spec '" + name_ + "': option " + o->key + "=" + o->value +
+                   " is not a boolean");
+}
+
+spec spec::with_option(std::string key, std::string value) const {
+  spec out = *this;
+  for (spec_option& o : out.options_) {
+    if (o.key == key) {
+      o.value = std::move(value);
+      return out;
+    }
+  }
+  out.options_.push_back({std::move(key), std::move(value)});
+  return out;
+}
+
+std::string spec::to_string() const {
+  std::string out = name_;
+  for (const spec_option& o : options_) {
+    out += ',';
+    out += o.key;
+    if (o.value != "true") {
+      out += '=';
+      out += o.value;
+    }
+  }
+  return out;
+}
+
+}  // namespace ntom

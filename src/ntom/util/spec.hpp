@@ -1,0 +1,91 @@
+// Spec strings: the experiment API's tiny "name,key=value,..." grammar.
+//
+// A spec names a registered component (topology, scenario, estimator)
+// plus its options:
+//
+//   brite,n=200,paths=1500        scale a Brite topology
+//   no_independence,nonstationary layer phase redraws on a scenario
+//   corr-complete,min_all_good=5  tune an estimator
+//
+// Grammar: comma-separated segments; the first is the component name,
+// each following segment is `key=value` or a bare `key` (a boolean flag,
+// value "true"). Whitespace around segments, keys, and values is
+// trimmed. Duplicate keys are an error — last-wins silently hides
+// typos. The key `label` is reserved: every registry accepts it and the
+// experiment layer uses it to override the aggregation/display label.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ntom {
+
+/// Thrown on malformed spec strings, unknown names, and bad options.
+class spec_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One `key=value` option; bare flags carry value "true".
+struct spec_option {
+  std::string key;
+  std::string value;
+};
+
+/// A parsed "name,key=value,..." component reference.
+class spec {
+ public:
+  spec() = default;
+
+  /// Parsing constructors so call sites can pass spec strings directly:
+  /// `make_topology("brite,n=200", seed)`. Throw spec_error.
+  spec(const char* text) : spec(parse(text)) {}          // NOLINT(runtime/explicit)
+  spec(const std::string& text) : spec(parse(text)) {}   // NOLINT(runtime/explicit)
+
+  [[nodiscard]] static spec parse(std::string_view text);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<spec_option>& options() const noexcept {
+    return options_;
+  }
+
+  [[nodiscard]] bool has(std::string_view key) const noexcept;
+
+  /// Typed getters returning `fallback` when the key is absent and
+  /// throwing spec_error when the value does not parse as the type.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback = "") const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback) const;
+  /// get_int constrained to >= 0 (factory sizing knobs); throws
+  /// spec_error on negative values.
+  [[nodiscard]] std::size_t get_size(std::string_view key,
+                                     std::size_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  /// Accepts true/false, 1/0, yes/no, on/off (case-insensitive).
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Copy with `key` set to `value` (replacing an existing entry).
+  [[nodiscard]] spec with_option(std::string key, std::string value) const;
+
+  /// Canonical round-trippable form: "name,k=v,..." (flags print bare).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const spec& a, const spec& b) {
+    return a.name_ == b.name_ && a.options_ == b.options_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<spec_option> options_;
+};
+
+inline bool operator==(const spec_option& a, const spec_option& b) {
+  return a.key == b.key && a.value == b.value;
+}
+
+}  // namespace ntom

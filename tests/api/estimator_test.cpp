@@ -1,0 +1,161 @@
+// Equivalence suite for the estimator adapters: each registered
+// estimator must be bit-identical to the direct algorithm call it
+// wraps, across a seeded run — the registry adds naming, never noise.
+#include "ntom/api/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ntom/exp/runner.hpp"
+#include "ntom/infer/bayes_correlation.hpp"
+#include "ntom/infer/bayes_independence.hpp"
+#include "ntom/infer/observation.hpp"
+#include "ntom/infer/sparsity.hpp"
+#include "ntom/tomo/correlation_complete.hpp"
+#include "ntom/tomo/correlation_heuristic.hpp"
+#include "ntom/tomo/independence.hpp"
+
+namespace ntom {
+namespace {
+
+const run_artifacts& seeded_run() {
+  static const run_artifacts run = [] {
+    run_config c;
+    c.topo = "brite,n=10,hosts=30,paths=60";
+    c.topo_seed = 5;
+    c.scenario = "no_independence";
+    c.scenario_opts.seed = 7;
+    c.sim.intervals = 60;
+    c.sim.packets_per_path = 60;
+    c.sim.seed = 9;
+    return prepare_run(c);
+  }();
+  return run;
+}
+
+void expect_links_equal(const link_estimates& a, const link_estimates& b) {
+  ASSERT_EQ(a.congestion.size(), b.congestion.size());
+  for (std::size_t e = 0; e < a.congestion.size(); ++e) {
+    EXPECT_EQ(a.congestion[e], b.congestion[e]) << "link " << e;  // bitwise.
+    EXPECT_EQ(a.estimated[e], b.estimated[e]) << "link " << e;
+  }
+}
+
+std::unique_ptr<estimator> fitted(const char* name) {
+  std::unique_ptr<estimator> est = make_estimator(name);
+  const run_artifacts& run = seeded_run();
+  est->fit(run.topo, run.data);
+  return est;
+}
+
+void expect_infer_matches(const estimator& est, const infer_fn& direct) {
+  const run_artifacts& run = seeded_run();
+  for (std::size_t t = 0; t < run.data.intervals; ++t) {
+    const bitvec& congested = run.data.congested_paths_by_interval[t];
+    EXPECT_EQ(est.infer(congested), direct(congested)) << "interval " << t;
+  }
+}
+
+TEST(EstimatorEquivalence, SparsityMatchesDirectCall) {
+  const auto est = fitted("sparsity");
+  const run_artifacts& run = seeded_run();
+  expect_infer_matches(*est, [&](const bitvec& congested) {
+    return infer_sparsity(run.topo, make_observation(run.topo, congested));
+  });
+}
+
+TEST(EstimatorEquivalence, BayesIndepMatchesDirectCall) {
+  const auto est = fitted("bayes-indep");
+  const run_artifacts& run = seeded_run();
+  const bayes_independence_inferencer direct(run.topo, run.data);
+  expect_infer_matches(
+      *est, [&](const bitvec& congested) { return direct.infer(congested); });
+  expect_links_equal(est->links(), direct.step1().links);
+}
+
+TEST(EstimatorEquivalence, BayesCorrMatchesDirectCall) {
+  const auto est = fitted("bayes-corr");
+  const run_artifacts& run = seeded_run();
+  const bayes_correlation_inferencer direct(run.topo, run.data);
+  expect_infer_matches(
+      *est, [&](const bitvec& congested) { return direct.infer(congested); });
+  expect_links_equal(est->links(), direct.step1().estimates.to_link_estimates());
+}
+
+TEST(EstimatorEquivalence, IndependenceMatchesDirectCall) {
+  const auto est = fitted("independence");
+  const run_artifacts& run = seeded_run();
+  expect_links_equal(est->links(),
+                     compute_independence(run.topo, run.data).links);
+}
+
+TEST(EstimatorEquivalence, CorrHeuristicMatchesDirectCall) {
+  const auto est = fitted("corr-heuristic");
+  const run_artifacts& run = seeded_run();
+  expect_links_equal(est->links(),
+                     compute_correlation_heuristic(run.topo, run.data)
+                         .estimates.to_link_estimates());
+}
+
+TEST(EstimatorEquivalence, CorrCompleteMatchesDirectCall) {
+  const auto est = fitted("corr-complete");
+  const run_artifacts& run = seeded_run();
+  expect_links_equal(est->links(),
+                     compute_correlation_complete(run.topo, run.data)
+                         .estimates.to_link_estimates());
+}
+
+TEST(EstimatorEquivalence, OptionsReachTheWrappedAlgorithm) {
+  // min_all_good is forwarded: a stricter floor must reproduce the
+  // direct call with the same params, not the defaults.
+  std::unique_ptr<estimator> est = make_estimator("corr-complete,min_all_good=8");
+  const run_artifacts& run = seeded_run();
+  est->fit(run.topo, run.data);
+  correlation_complete_params params;
+  params.min_all_good_count = 8;
+  expect_links_equal(est->links(),
+                     compute_correlation_complete(run.topo, run.data, params)
+                         .estimates.to_link_estimates());
+}
+
+TEST(EstimatorRegistry, CapabilitiesAreDeclared) {
+  const auto caps_of = [](const char* name) {
+    return make_estimator(name)->caps();
+  };
+  EXPECT_TRUE(caps_of("sparsity").boolean_inference);
+  EXPECT_FALSE(caps_of("sparsity").link_estimation);
+  EXPECT_TRUE(caps_of("bayes-indep").boolean_inference);
+  EXPECT_TRUE(caps_of("bayes-indep").link_estimation);
+  EXPECT_TRUE(caps_of("bayes-corr").boolean_inference);
+  EXPECT_TRUE(caps_of("bayes-corr").link_estimation);
+  for (const char* link_only :
+       {"independence", "corr-heuristic", "corr-complete"}) {
+    EXPECT_FALSE(caps_of(link_only).boolean_inference) << link_only;
+    EXPECT_TRUE(caps_of(link_only).link_estimation) << link_only;
+  }
+}
+
+TEST(EstimatorRegistry, UnsupportedCapabilityThrows) {
+  const auto sparsity = fitted("sparsity");
+  EXPECT_THROW((void)sparsity->links(), std::logic_error);
+  const auto independence = fitted("independence");
+  EXPECT_THROW((void)independence->infer(bitvec(3)), std::logic_error);
+}
+
+TEST(EstimatorRegistry, NamesAliasesAndErrors) {
+  const auto names = estimator_registry().names();
+  EXPECT_GE(names.size(), 6u);
+  for (const char* name : {"sparsity", "bayes-indep", "bayes-corr",
+                           "independence", "corr-heuristic", "corr-complete"}) {
+    EXPECT_TRUE(estimator_registry().contains(name)) << name;
+  }
+  EXPECT_TRUE(estimator_registry().contains("clink"));  // alias.
+  EXPECT_EQ(estimator_label("bayes-corr"), "Bayes-Corr");
+  EXPECT_EQ(estimator_label("sparsity,label=Greedy"), "Greedy");
+  EXPECT_THROW((void)make_estimator("oracle"), spec_error);
+  EXPECT_THROW((void)make_estimator("sparsity,depth=2"), spec_error);
+}
+
+}  // namespace
+}  // namespace ntom

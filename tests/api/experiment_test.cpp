@@ -1,0 +1,159 @@
+#include "ntom/api/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ntom {
+namespace {
+
+experiment tiny_experiment() {
+  experiment exp;
+  exp.with_topology("brite,n=8,routers=3,hosts=20,paths=30")
+      .with_topology("toy,label=Toy")
+      .with_scenario("random_congestion")
+      .with_scenario("no_stationarity,phase_length=10")
+      .with_estimator("sparsity")
+      .replicas(2);
+  sim_params sim;
+  sim.intervals = 20;
+  sim.packets_per_path = 30;
+  exp.with_sim(sim);
+  return exp;
+}
+
+TEST(ExperimentTest, BuildsTheFullGrid) {
+  const std::vector<run_spec> specs = tiny_experiment().specs();
+  // 2 replicas x 2 topologies x 2 scenarios.
+  ASSERT_EQ(specs.size(), 8u);
+  // Labels are "<topology>/<scenario>"; seed_group is the replica, so
+  // scenario arms within a replica share the topology draw.
+  EXPECT_EQ(specs[0].label, "Brite/Random Congestion");
+  EXPECT_EQ(specs[1].label, "Brite/No Stationarity");
+  EXPECT_EQ(specs[2].label, "Toy/Random Congestion");
+  EXPECT_EQ(specs[0].seed_group, 0u);
+  EXPECT_EQ(specs[4].seed_group, 1u);
+  EXPECT_EQ(specs[4].label, specs[0].label);  // replica repeats the grid.
+  // The scenario spec's options ride along into the config.
+  EXPECT_EQ(specs[1].config.scenario.get_int("phase_length", 0), 10);
+}
+
+TEST(ExperimentTest, InvalidSpecsFailEagerly) {
+  experiment exp;
+  EXPECT_THROW(exp.with_topology("hypercube"), spec_error);
+  EXPECT_THROW(exp.with_scenario("random_congestion,surge=2"), spec_error);
+  EXPECT_THROW(exp.with_estimator("oracle"), spec_error);
+}
+
+TEST(ExperimentTest, DuplicateGridLabelsThrow) {
+  // Two brite arms that differ only in options would aggregate into one
+  // cell; specs() must refuse unless the user disambiguates via label=.
+  experiment exp;
+  exp.with_topology("brite").with_topology("brite,n=40");
+  EXPECT_THROW((void)exp.specs(), spec_error);
+
+  experiment labelled;
+  labelled.with_topology("brite").with_topology("brite,n=40,label=Brite40");
+  EXPECT_NO_THROW((void)labelled.specs());
+}
+
+TEST(ExperimentTest, DuplicateEstimatorSeriesThrow) {
+  EXPECT_THROW((void)estimator_eval({"corr-complete",
+                                     "corr-complete,min_all_good=5"}),
+               spec_error);
+  EXPECT_NO_THROW((void)estimator_eval(
+      {"corr-complete", "corr-complete,min_all_good=5,label=Strict"}));
+}
+
+TEST(ExperimentTest, RunIsBitIdenticalAcrossThreadCounts) {
+  const experiment exp = tiny_experiment();
+  const batch_report serial = exp.run({.threads = 1, .base_seed = 21});
+  const batch_report parallel = exp.run({.threads = 4, .base_seed = 21});
+  const auto a = serial.summarize();
+  const auto b = parallel.summarize();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].series, b[i].series);
+    EXPECT_EQ(a[i].mean, b[i].mean);  // bit-identical, not just close.
+    EXPECT_EQ(a[i].stddev, b[i].stddev);
+    EXPECT_EQ(a[i].p90, b[i].p90);
+  }
+}
+
+TEST(ExperimentTest, EmitsSeriesPerEstimatorCapability) {
+  experiment exp;
+  exp.with_topology("brite,n=8,routers=3,hosts=20,paths=30")
+      .with_scenario("random_congestion")
+      .with_estimator("sparsity")        // boolean only.
+      .with_estimator("corr-complete");  // link only.
+  sim_params sim;
+  sim.intervals = 20;
+  sim.packets_per_path = 30;
+  exp.with_sim(sim);
+  const batch_report report = exp.run({.threads = 1, .base_seed = 3});
+
+  const auto cells = report.summarize();
+  const auto has_cell = [&](const char* series, const char* metric) {
+    return std::any_of(cells.begin(), cells.end(), [&](const metric_summary& c) {
+      return c.series == series && c.metric == metric;
+    });
+  };
+  EXPECT_TRUE(has_cell("Sparsity", "detection_rate"));
+  EXPECT_TRUE(has_cell("Sparsity", "false_positive_rate"));
+  EXPECT_FALSE(has_cell("Sparsity", "mean_abs_error"));
+  EXPECT_TRUE(has_cell("Corr-complete", "mean_abs_error"));
+  EXPECT_FALSE(has_cell("Corr-complete", "detection_rate"));
+}
+
+TEST(ExperimentTest, LegacyBooleanEvalMatchesEstimatorEval) {
+  // boolean_inference_eval is now a registry-driven series list; its
+  // measurements must be identical to the explicit spec form.
+  run_config c;
+  c.topo = "brite,n=8,routers=3,hosts=20,paths=30";
+  c.topo_seed = 3;
+  c.sim.intervals = 20;
+  c.sim.packets_per_path = 30;
+  const run_artifacts run = prepare_run(c);
+
+  const auto legacy = boolean_inference_eval(c, run);
+  const auto explicit_eval =
+      estimator_eval({"sparsity", "bayes-indep", "bayes-corr"},
+                     {.boolean_metrics = true, .link_error_metrics = false});
+  const auto manual = explicit_eval(c, run);
+  ASSERT_EQ(legacy.size(), manual.size());
+  ASSERT_EQ(legacy.size(), 6u);  // 3 series x (detection, false-positive).
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].series, manual[i].series);
+    EXPECT_EQ(legacy[i].metric, manual[i].metric);
+    EXPECT_EQ(legacy[i].value, manual[i].value);  // bitwise.
+  }
+  EXPECT_EQ(legacy[0].series, "Sparsity");
+  EXPECT_EQ(legacy[2].series, "Bayes-Indep");
+  EXPECT_EQ(legacy[4].series, "Bayes-Corr");
+}
+
+TEST(ExperimentTest, DefaultsCoverTheFigThreeAlgorithms) {
+  experiment exp;
+  sim_params sim;
+  sim.intervals = 15;
+  sim.packets_per_path = 20;
+  exp.with_sim(sim);
+  exp.with_topology("brite,n=8,routers=3,hosts=20,paths=30");
+  const batch_report report = exp.run({.threads = 1, .base_seed = 1});
+  const auto cells = report.summarize();
+  for (const char* series : {"Sparsity", "Bayes-Indep", "Bayes-Corr"}) {
+    EXPECT_TRUE(std::any_of(cells.begin(), cells.end(),
+                            [&](const metric_summary& cell) {
+                              return cell.series == series &&
+                                     cell.metric == "detection_rate";
+                            }))
+        << series;
+  }
+  ASSERT_EQ(report.runs().size(), 1u);
+  EXPECT_EQ(report.runs()[0].label, "Brite/Random Congestion");
+}
+
+}  // namespace
+}  // namespace ntom

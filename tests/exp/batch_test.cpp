@@ -11,10 +11,7 @@ namespace {
 
 run_config tiny_config() {
   run_config c;
-  c.brite.num_ases = 8;
-  c.brite.routers_per_as = 3;
-  c.brite.num_destination_hosts = 20;
-  c.brite.num_paths = 30;
+  c.topo = "brite,n=8,routers=3,hosts=20,paths=30";
   c.sim.intervals = 20;
   c.sim.packets_per_path = 30;
   return c;
@@ -42,8 +39,7 @@ std::vector<run_spec> tiny_specs(std::size_t count) {
 TEST(DeriveRunSeedsTest, PureFunctionOfBaseSeedAndIndex) {
   const run_config a = derive_run_seeds(tiny_config(), 99, 3);
   const run_config b = derive_run_seeds(tiny_config(), 99, 3);
-  EXPECT_EQ(a.brite.seed, b.brite.seed);
-  EXPECT_EQ(a.sparse.seed, b.sparse.seed);
+  EXPECT_EQ(a.topo_seed, b.topo_seed);
   EXPECT_EQ(a.scenario_opts.seed, b.scenario_opts.seed);
   EXPECT_EQ(a.sim.seed, b.sim.seed);
 }
@@ -54,7 +50,7 @@ TEST(DeriveRunSeedsTest, DistinctAcrossIndicesAndSeeds) {
   const run_config c = derive_run_seeds(tiny_config(), 100, 0);
   EXPECT_NE(a.sim.seed, b.sim.seed);
   EXPECT_NE(a.sim.seed, c.sim.seed);
-  EXPECT_NE(a.brite.seed, a.sim.seed);  // streams differ within a run.
+  EXPECT_NE(a.topo_seed, a.sim.seed);  // streams differ within a run.
 }
 
 TEST(DeriveRunSeedsTest, SharedTopoGroupSharesTopologySeedsOnly) {
@@ -62,8 +58,7 @@ TEST(DeriveRunSeedsTest, SharedTopoGroupSharesTopologySeedsOnly) {
   // scenario/sim draws.
   const run_config a = derive_run_seeds(tiny_config(), 99, 0, /*group=*/0);
   const run_config b = derive_run_seeds(tiny_config(), 99, 1, /*group=*/0);
-  EXPECT_EQ(a.brite.seed, b.brite.seed);
-  EXPECT_EQ(a.sparse.seed, b.sparse.seed);
+  EXPECT_EQ(a.topo_seed, b.topo_seed);
   EXPECT_NE(a.scenario_opts.seed, b.scenario_opts.seed);
   EXPECT_NE(a.sim.seed, b.sim.seed);
 }

@@ -7,11 +7,8 @@ namespace {
 
 run_config small_config() {
   run_config c;
-  c.brite.num_ases = 10;
-  c.brite.num_destination_hosts = 30;
-  c.brite.num_paths = 50;
-  c.brite.seed = 3;
-  c.sparse.seed = 3;
+  c.topo = "brite,n=10,hosts=30,paths=50";
+  c.topo_seed = 3;
   c.sim.intervals = 40;
   c.sim.packets_per_path = 50;
   c.scenario_opts.seed = 4;
@@ -28,10 +25,24 @@ TEST(RunnerTest, PreparesBriteRun) {
 
 TEST(RunnerTest, PreparesSparseRun) {
   run_config c = small_config();
-  c.topo = topology_kind::sparse;
+  c.topo = "sparse";
   const auto run = prepare_run(c);
   EXPECT_GT(run.topo.num_links(), 0u);
   EXPECT_GT(run.topo.num_ases(), 5u);
+}
+
+TEST(RunnerTest, PreparesToyRun) {
+  run_config c = small_config();
+  c.topo = "toy,case=2";
+  const auto run = prepare_run(c);
+  EXPECT_EQ(run.topo.num_links(), 4u);
+  EXPECT_EQ(run.topo.num_paths(), 3u);
+}
+
+TEST(RunnerTest, UnknownTopologyThrows) {
+  run_config c = small_config();
+  c.topo = "warts";
+  EXPECT_THROW((void)prepare_run(c), spec_error);
 }
 
 TEST(RunnerTest, ReconcileComputesPhases) {
@@ -43,12 +54,39 @@ TEST(RunnerTest, ReconcileComputesPhases) {
   EXPECT_EQ(c.scenario_opts.num_phases, 6u);  // ceil(40/7).
 }
 
+TEST(RunnerTest, ReconcileResolvesSpecOptionsAndIsIdempotent) {
+  run_config c = small_config();
+  c.scenario = "random_congestion,nonstationary,phase_length=8,fraction=0.2";
+  c.sim.intervals = 40;
+  c.reconcile();
+  EXPECT_TRUE(c.scenario_opts.nonstationary);
+  EXPECT_EQ(c.scenario_opts.phase_length, 8u);
+  EXPECT_DOUBLE_EQ(c.scenario_opts.congestable_fraction, 0.2);
+  EXPECT_EQ(c.scenario_opts.num_phases, 5u);  // ceil(40/8).
+  const scenario_params once = c.scenario_opts;
+  c.reconcile();
+  EXPECT_EQ(c.scenario_opts.nonstationary, once.nonstationary);
+  EXPECT_EQ(c.scenario_opts.phase_length, once.phase_length);
+  EXPECT_EQ(c.scenario_opts.num_phases, once.num_phases);
+  EXPECT_DOUBLE_EQ(c.scenario_opts.congestable_fraction,
+                   once.congestable_fraction);
+}
+
 TEST(RunnerTest, NonStationaryRunHasPhases) {
   run_config c = small_config();
   c.scenario_opts.nonstationary = true;
   c.scenario_opts.phase_length = 10;
   const auto run = prepare_run(c);
   EXPECT_EQ(run.model.num_phases(), 4u);
+}
+
+TEST(RunnerTest, PrepareRunReconcilesItself) {
+  // A caller who sets the nonstationarity knobs through the spec and
+  // never touches reconcile() must still get enough pre-drawn phases.
+  run_config c = small_config();
+  c.scenario = "no_stationarity,phase_length=10";
+  const auto run = prepare_run(c);
+  EXPECT_EQ(run.model.num_phases(), 4u);  // ceil(40/10).
 }
 
 TEST(RunnerTest, MakeTruthUsesExperimentLength) {
@@ -75,9 +113,10 @@ TEST(RunnerTest, ScoreInferencePerfectOracle) {
   EXPECT_DOUBLE_EQ(metrics.false_positive_rate, 0.0);
 }
 
-TEST(RunnerTest, TopologyKindNames) {
-  EXPECT_STREQ(topology_kind_name(topology_kind::brite), "Brite");
-  EXPECT_STREQ(topology_kind_name(topology_kind::sparse), "Sparse");
+TEST(RunnerTest, TopologyLabels) {
+  EXPECT_EQ(topology_label("brite"), "Brite");
+  EXPECT_EQ(topology_label("sparse,stubs=40"), "Sparse");
+  EXPECT_EQ(topology_label("brite,label=MyNet"), "MyNet");
 }
 
 TEST(RunnerTest, DeterministicAcrossCalls) {

@@ -13,18 +13,12 @@
 namespace ntom {
 namespace {
 
-run_config base_config(topology_kind topo, scenario_kind scenario) {
+run_config base_config(const topology_spec& topo,
+                       const scenario_spec& scenario) {
   run_config c;
   c.topo = topo;
+  c.topo_seed = 11;
   c.scenario = scenario;
-  c.brite.num_ases = 16;
-  c.brite.num_destination_hosts = 60;
-  c.brite.num_paths = 120;
-  c.brite.seed = 11;
-  c.sparse.num_mid = 12;
-  c.sparse.num_stubs = 60;
-  c.sparse.num_paths = 140;
-  c.sparse.seed = 11;
   c.scenario_opts.seed = 13;
   c.sim.intervals = 250;
   c.sim.packets_per_path = 150;
@@ -32,13 +26,16 @@ run_config base_config(topology_kind topo, scenario_kind scenario) {
   return c;
 }
 
+const char* small_brite = "brite,n=16,hosts=60,paths=120";
+const char* small_sparse = "sparse,mid=12,stubs=60,paths=140";
+
 TEST(EndToEndTest, InferenceAccurateOnBriteRandomCongestion) {
   // Fig. 3, first group: everything works on dense topologies with
   // random independent congestion. Oracle monitoring isolates the
   // algorithmic behaviour from probing noise (noise robustness is
   // covered by the probing tests and the fig3 bench).
   auto config =
-      base_config(topology_kind::brite, scenario_kind::random_congestion);
+      base_config(small_brite, "random_congestion");
   config.sim.oracle_monitor = true;
   const auto run = prepare_run(config);
   const auto sparsity = score_inference(run, [&](const bitvec& c) {
@@ -53,7 +50,7 @@ TEST(EndToEndTest, ProbabilityComputationAccurateOnBrite) {
   // false positives shrink with the probe budget; use a realistic one
   // (the toy probing test covers the noisy regime).
   auto config =
-      base_config(topology_kind::brite, scenario_kind::random_congestion);
+      base_config(small_brite, "random_congestion");
   config.sim.packets_per_path = 400;
   config.sim.intervals = 400;
   const auto run = prepare_run(config);
@@ -72,7 +69,7 @@ TEST(EndToEndTest, IndependenceWorseUnderCorrelation) {
   // Fig. 4 direction: under No-Independence, the Independence baseline
   // has higher error than Correlation-complete.
   auto config =
-      base_config(topology_kind::brite, scenario_kind::no_independence);
+      base_config(small_brite, "no_independence");
   config.sim.oracle_monitor = true;
   const auto run = prepare_run(config);
   const ground_truth truth = run.make_truth();
@@ -93,9 +90,9 @@ TEST(EndToEndTest, SparseTopologyHurtsInference) {
   // Fig. 3, last group: the same random-congestion scenario on a
   // Sparse topology degrades Boolean Inference.
   const auto brite_run = prepare_run(
-      base_config(topology_kind::brite, scenario_kind::random_congestion));
+      base_config(small_brite, "random_congestion"));
   const auto sparse_run = prepare_run(
-      base_config(topology_kind::sparse, scenario_kind::random_congestion));
+      base_config(small_sparse, "random_congestion"));
 
   const auto score = [](const run_artifacts& run) {
     const bayes_independence_inferencer inferencer(run.topo, run.data);
@@ -113,7 +110,7 @@ TEST(EndToEndTest, SparseTopologyHurtsInference) {
 TEST(EndToEndTest, ProbabilityComputationSurvivesSparseTopology) {
   // §5.4: Probability Computation stays useful on Sparse topologies.
   const auto run = prepare_run(
-      base_config(topology_kind::sparse, scenario_kind::random_congestion));
+      base_config(small_sparse, "random_congestion"));
   const ground_truth truth = run.make_truth();
   const path_observations obs(run.data);
   const bitvec potcong =
@@ -129,7 +126,7 @@ TEST(EndToEndTest, NonStationarityDoesNotBreakProbabilities) {
   // §4/§5.4: the estimates are time averages; redrawing probabilities
   // mid-run must not inflate the error much.
   auto config =
-      base_config(topology_kind::brite, scenario_kind::no_independence);
+      base_config(small_brite, "no_independence");
   config.scenario_opts.nonstationary = true;
   config.scenario_opts.phase_length = 25;
   const auto run = prepare_run(config);

@@ -17,7 +17,7 @@ TEST(ScenarioTest, RandomCongestionTargetsRoughlyTenPercent) {
   const topology t = test_topology();
   scenario_params sp;
   sp.seed = 3;
-  const auto model = make_scenario(t, scenario_kind::random_congestion, sp);
+  const auto model = make_scenario(t, "random_congestion", sp);
   const double covered = static_cast<double>(t.covered_links().count());
   const double congestable = static_cast<double>(model.congestable_links.count());
   // Driver sharing can pull in a few extra links; stay in a loose band.
@@ -29,7 +29,7 @@ TEST(ScenarioTest, StationaryModelsHaveOnePhase) {
   const topology t = test_topology();
   scenario_params sp;
   sp.seed = 3;
-  const auto model = make_scenario(t, scenario_kind::random_congestion, sp);
+  const auto model = make_scenario(t, "random_congestion", sp);
   EXPECT_EQ(model.num_phases(), 1u);
 }
 
@@ -37,8 +37,7 @@ TEST(ScenarioTest, ConcentratedPicksEdgeLinks) {
   const topology t = test_topology();
   scenario_params sp;
   sp.seed = 3;
-  const auto model =
-      make_scenario(t, scenario_kind::concentrated_congestion, sp);
+  const auto model = make_scenario(t, "concentrated_congestion", sp);
   // Every directly-driven link must be an edge link; links dragged in
   // via shared router links may not be, so check the drivers' targets:
   // at least 80% of congestable links are edge links.
@@ -53,7 +52,7 @@ TEST(ScenarioTest, NoIndependenceEveryLinkHasPartner) {
   const topology t = test_topology();
   scenario_params sp;
   sp.seed = 3;
-  const auto model = make_scenario(t, scenario_kind::no_independence, sp);
+  const auto model = make_scenario(t, "no_independence", sp);
   ASSERT_GE(model.congestable_links.count(), 2u);
 
   // Every congestable link shares a driver router link with another
@@ -79,7 +78,7 @@ TEST(ScenarioTest, NonStationaryDrawsDistinctPhases) {
   sp.nonstationary = true;
   sp.num_phases = 4;
   sp.phase_length = 25;
-  const auto model = make_scenario(t, scenario_kind::random_congestion, sp);
+  const auto model = make_scenario(t, "random_congestion", sp);
   EXPECT_EQ(model.num_phases(), 4u);
   EXPECT_EQ(model.phase_length, 25u);
 
@@ -93,33 +92,109 @@ TEST(ScenarioTest, NonStationaryDrawsDistinctPhases) {
   EXPECT_TRUE(any_differ);
 }
 
+TEST(ScenarioTest, SpecOptionsOverrideParams) {
+  const topology t = test_topology();
+  scenario_params sp;
+  sp.seed = 3;
+  const auto model =
+      make_scenario(t, "random_congestion,nonstationary,phase_length=20", sp);
+  // The spec turned nonstationarity on; num_phases stays at the params'
+  // default 1 phase but the phase length must come from the spec.
+  EXPECT_EQ(model.phase_length, 20u);
+
+  const auto fat = make_scenario(t, "random_congestion,fraction=0.3", sp);
+  const auto thin = make_scenario(t, "random_congestion,fraction=0.05", sp);
+  EXPECT_GT(fat.congestable_links.count(), thin.congestable_links.count());
+}
+
+TEST(ScenarioTest, NoStationarityLayersOnBaseScenario) {
+  const topology t = test_topology();
+  scenario_params sp;
+  sp.seed = 3;
+  sp.num_phases = 3;
+
+  // The registered layered scenario forces nonstationarity and builds
+  // the base scenario bit-identically.
+  const auto layered = make_scenario(t, "no_stationarity", sp);
+  EXPECT_EQ(layered.num_phases(), 3u);
+
+  scenario_params base = sp;
+  base.nonstationary = true;
+  const auto direct = make_scenario(t, "no_independence", base);
+  EXPECT_EQ(layered.phase_q, direct.phase_q);
+  EXPECT_EQ(layered.congestable_links, direct.congestable_links);
+
+  // And the base is selectable by option.
+  const auto random_base =
+      make_scenario(t, "no_stationarity,base=random_congestion", sp);
+  const auto random_direct = make_scenario(t, "random_congestion", base);
+  EXPECT_EQ(random_base.phase_q, random_direct.phase_q);
+  EXPECT_EQ(random_base.congestable_links, random_direct.congestable_links);
+}
+
+TEST(ScenarioTest, ApplyScenarioSpecIsIdempotent) {
+  scenario_params sp;
+  const scenario_spec s = "no_stationarity,phase_length=12,fraction=0.15";
+  const scenario_params once = apply_scenario_spec(s, sp);
+  const scenario_params twice = apply_scenario_spec(s, once);
+  EXPECT_TRUE(once.nonstationary);
+  EXPECT_EQ(once.phase_length, 12u);
+  EXPECT_DOUBLE_EQ(once.congestable_fraction, 0.15);
+  EXPECT_EQ(twice.nonstationary, once.nonstationary);
+  EXPECT_EQ(twice.phase_length, once.phase_length);
+  EXPECT_DOUBLE_EQ(twice.congestable_fraction, once.congestable_fraction);
+}
+
 TEST(ScenarioTest, DeterministicInSeed) {
   const topology t = test_topology();
   scenario_params sp;
   sp.seed = 5;
-  const auto a = make_scenario(t, scenario_kind::no_independence, sp);
-  const auto b = make_scenario(t, scenario_kind::no_independence, sp);
+  const auto a = make_scenario(t, "no_independence", sp);
+  const auto b = make_scenario(t, "no_independence", sp);
   EXPECT_EQ(a.phase_q, b.phase_q);
   EXPECT_EQ(a.congestable_links, b.congestable_links);
 }
 
 TEST(ScenarioTest, NamesAreHuman) {
-  EXPECT_STREQ(scenario_name(scenario_kind::random_congestion),
-               "Random Congestion");
-  EXPECT_STREQ(scenario_name(scenario_kind::concentrated_congestion),
-               "Concentrated Congestion");
-  EXPECT_STREQ(scenario_name(scenario_kind::no_independence),
-               "No Independence");
+  EXPECT_EQ(scenario_label("random_congestion"), "Random Congestion");
+  EXPECT_EQ(scenario_label("concentrated_congestion"),
+            "Concentrated Congestion");
+  EXPECT_EQ(scenario_label("no_independence"), "No Independence");
+  EXPECT_EQ(scenario_label("no_stationarity"), "No Stationarity");
+  EXPECT_EQ(scenario_label("random_congestion,label=Custom"), "Custom");
+}
+
+TEST(ScenarioTest, AliasesResolve) {
+  for (const char* alias : {"random", "concentrated", "noindep", "nostat"}) {
+    EXPECT_TRUE(scenario_registry().contains(alias)) << alias;
+  }
+  const topology t = test_topology();
+  scenario_params sp;
+  sp.seed = 5;
+  const auto by_alias = make_scenario(t, "noindep", sp);
+  const auto by_name = make_scenario(t, "no_independence", sp);
+  EXPECT_EQ(by_alias.phase_q, by_name.phase_q);
+}
+
+TEST(ScenarioTest, UnknownScenarioAndOptionThrow) {
+  const topology t = test_topology();
+  scenario_params sp;
+  EXPECT_THROW((void)make_scenario(t, "rush_hour", sp), spec_error);
+  EXPECT_THROW((void)make_scenario(t, "random_congestion,strength=9", sp),
+               spec_error);
+  EXPECT_THROW((void)make_scenario(t, "random_congestion,phase_length=0", sp),
+               spec_error);
+  EXPECT_THROW((void)make_scenario(t, "no_stationarity,base=no_stationarity", sp),
+               spec_error);
 }
 
 TEST(ScenarioTest, ProbabilitiesAreValid) {
   const topology t = test_topology();
-  for (const auto kind :
-       {scenario_kind::random_congestion, scenario_kind::concentrated_congestion,
-        scenario_kind::no_independence}) {
+  for (const char* name : {"random_congestion", "concentrated_congestion",
+                           "no_independence", "no_stationarity"}) {
     scenario_params sp;
     sp.seed = 11;
-    const auto model = make_scenario(t, kind, sp);
+    const auto model = make_scenario(t, name, sp);
     for (const auto& phase : model.phase_q) {
       for (const double q : phase) {
         EXPECT_GE(q, 0.0);

@@ -1,0 +1,103 @@
+#include "ntom/util/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+namespace ntom {
+namespace {
+
+using string_factory = std::function<std::string(const spec&)>;
+using string_registry = registry<string_factory>;
+
+string_registry make_registry() {
+  string_registry reg("widget");
+  reg.add({"alpha",
+           "Alpha",
+           "the first widget",
+           {"a"},
+           {{"size", "widget size"}, {"color", "widget color"}},
+           [](const spec& s) { return "alpha:" + s.get_string("size", "M"); }});
+  reg.add({"beta",
+           "Beta",
+           "the second widget",
+           {},
+           {},
+           [](const spec&) { return std::string("beta"); }});
+  return reg;
+}
+
+TEST(RegistryTest, RegisterListMakeRoundTrip) {
+  const string_registry reg = make_registry();
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_TRUE(reg.contains("alpha"));
+  EXPECT_TRUE(reg.contains("beta"));
+  EXPECT_FALSE(reg.contains("gamma"));
+
+  const spec s = spec::parse("alpha,size=XL");
+  const auto& entry = reg.resolve(s);
+  EXPECT_EQ(entry.display, "Alpha");
+  EXPECT_EQ(entry.factory(s), "alpha:XL");
+}
+
+TEST(RegistryTest, AliasResolvesToSameEntry) {
+  const string_registry reg = make_registry();
+  EXPECT_TRUE(reg.contains("a"));
+  EXPECT_EQ(&reg.at("a"), &reg.at("alpha"));
+}
+
+TEST(RegistryTest, UnknownNameListsCandidates) {
+  const string_registry reg = make_registry();
+  try {
+    (void)reg.at("gamma");
+    FAIL() << "expected spec_error";
+  } catch (const spec_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown widget 'gamma'"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("alpha"), std::string::npos) << message;
+    EXPECT_NE(message.find("beta"), std::string::npos) << message;
+  }
+}
+
+TEST(RegistryTest, ResolveRejectsUndocumentedOptions) {
+  const string_registry reg = make_registry();
+  try {
+    (void)reg.resolve(spec::parse("alpha,weight=3"));
+    FAIL() << "expected spec_error";
+  } catch (const spec_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown option 'weight'"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("size"), std::string::npos) << message;
+  }
+  // An entry with no documented options rejects any option.
+  EXPECT_THROW((void)reg.resolve(spec::parse("beta,size=1")), spec_error);
+}
+
+TEST(RegistryTest, LabelOptionAlwaysAccepted) {
+  const string_registry reg = make_registry();
+  EXPECT_NO_THROW((void)reg.resolve(spec::parse("beta,label=Mine")));
+  EXPECT_NO_THROW((void)reg.resolve(spec::parse("alpha,label=X,size=S")));
+}
+
+TEST(RegistryTest, DuplicateRegistrationThrows) {
+  string_registry reg = make_registry();
+  EXPECT_THROW(reg.add({"alpha", "", "", {}, {}, {}}), spec_error);
+  // Alias collisions count too — in both directions.
+  EXPECT_THROW(reg.add({"a", "", "", {}, {}, {}}), spec_error);
+  EXPECT_THROW(reg.add({"gamma", "", "", {"beta"}, {}, {}}), spec_error);
+}
+
+TEST(RegistryTest, DescribeListsNamesAliasesAndOptions) {
+  const string_registry reg = make_registry();
+  const std::string text = reg.describe();
+  EXPECT_NE(text.find("alpha (a)"), std::string::npos) << text;
+  EXPECT_NE(text.find("the first widget"), std::string::npos);
+  EXPECT_NE(text.find("size: widget size"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntom

@@ -1,0 +1,119 @@
+#include "ntom/util/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntom {
+namespace {
+
+TEST(SpecTest, ParsesNameOnly) {
+  const spec s = spec::parse("brite");
+  EXPECT_EQ(s.name(), "brite");
+  EXPECT_TRUE(s.options().empty());
+  EXPECT_EQ(s.to_string(), "brite");
+}
+
+TEST(SpecTest, ParsesKeyValueOptions) {
+  const spec s = spec::parse("brite,n=200,paths=1500");
+  EXPECT_EQ(s.name(), "brite");
+  ASSERT_EQ(s.options().size(), 2u);
+  EXPECT_EQ(s.options()[0].key, "n");
+  EXPECT_EQ(s.options()[0].value, "200");
+  EXPECT_EQ(s.get_int("n", 0), 200);
+  EXPECT_EQ(s.get_int("paths", 0), 1500);
+  EXPECT_EQ(s.get_int("absent", 7), 7);
+}
+
+TEST(SpecTest, BareKeyIsBooleanFlag) {
+  const spec s = spec::parse("no_independence,nonstationary");
+  EXPECT_TRUE(s.has("nonstationary"));
+  EXPECT_TRUE(s.get_bool("nonstationary", false));
+  EXPECT_FALSE(s.get_bool("other", false));
+}
+
+TEST(SpecTest, TrimsWhitespace) {
+  const spec s = spec::parse("  brite , n = 12 ,  flag  ");
+  EXPECT_EQ(s.name(), "brite");
+  EXPECT_EQ(s.get_int("n", 0), 12);
+  EXPECT_TRUE(s.get_bool("flag", false));
+}
+
+TEST(SpecTest, TypedGetters) {
+  const spec s = spec::parse("x,f=0.25,i=-3,b=off,s=paper");
+  EXPECT_DOUBLE_EQ(s.get_double("f", 0.0), 0.25);
+  EXPECT_EQ(s.get_int("i", 0), -3);
+  EXPECT_FALSE(s.get_bool("b", true));
+  EXPECT_EQ(s.get_string("s"), "paper");
+  // Ints parse as doubles too.
+  EXPECT_DOUBLE_EQ(s.get_double("i", 0.0), -3.0);
+}
+
+TEST(SpecTest, BoolSpellings) {
+  EXPECT_TRUE(spec::parse("x,k=YES").get_bool("k", false));
+  EXPECT_TRUE(spec::parse("x,k=1").get_bool("k", false));
+  EXPECT_TRUE(spec::parse("x,k=on").get_bool("k", false));
+  EXPECT_FALSE(spec::parse("x,k=0").get_bool("k", true));
+  EXPECT_FALSE(spec::parse("x,k=No").get_bool("k", true));
+}
+
+TEST(SpecTest, GetSizeRejectsNegatives) {
+  const spec s = spec::parse("x,n=12,bad=-3");
+  EXPECT_EQ(s.get_size("n", 0), 12u);
+  EXPECT_EQ(s.get_size("absent", 9), 9u);
+  EXPECT_THROW((void)s.get_size("bad", 0), spec_error);
+}
+
+TEST(SpecTest, MalformedValuesThrow) {
+  EXPECT_THROW((void)spec::parse("x,k=abc").get_int("k", 0), spec_error);
+  EXPECT_THROW((void)spec::parse("x,k=12x").get_int("k", 0), spec_error);
+  EXPECT_THROW((void)spec::parse("x,k=abc").get_double("k", 0.0), spec_error);
+  EXPECT_THROW((void)spec::parse("x,k=maybe").get_bool("k", false), spec_error);
+}
+
+TEST(SpecTest, MalformedSpecsThrow) {
+  EXPECT_THROW((void)spec::parse(""), spec_error);
+  EXPECT_THROW((void)spec::parse("   "), spec_error);
+  EXPECT_THROW((void)spec::parse("k=v"), spec_error);       // option first.
+  EXPECT_THROW((void)spec::parse("x,,y"), spec_error);      // empty segment.
+  EXPECT_THROW((void)spec::parse("x,"), spec_error);        // stray comma.
+  EXPECT_THROW((void)spec::parse("x,=v"), spec_error);      // empty key.
+  EXPECT_THROW((void)spec::parse("x,k=1,k=2"), spec_error); // duplicate.
+}
+
+TEST(SpecTest, ValueMayContainEquals) {
+  // Split happens on the first '='; the rest stays in the value.
+  const spec s = spec::parse("x,expr=a=b");
+  EXPECT_EQ(s.get_string("expr"), "a=b");
+}
+
+TEST(SpecTest, RoundTripsThroughToString) {
+  for (const char* text :
+       {"brite", "brite,n=200", "no_independence,nonstationary",
+        "sparse,keep=0.5,paths=300"}) {
+    const spec s = spec::parse(text);
+    EXPECT_EQ(spec::parse(s.to_string()), s) << text;
+  }
+}
+
+TEST(SpecTest, WithOptionAddsOrReplaces) {
+  const spec s = spec::parse("brite,n=10");
+  const spec added = s.with_option("scale", "paper");
+  EXPECT_EQ(added.get_string("scale"), "paper");
+  EXPECT_EQ(added.get_int("n", 0), 10);
+  const spec replaced = added.with_option("n", "40");
+  EXPECT_EQ(replaced.get_int("n", 0), 40);
+  ASSERT_EQ(replaced.options().size(), 2u);
+  // Original untouched.
+  EXPECT_EQ(s.get_int("n", 0), 10);
+  EXPECT_FALSE(s.has("scale"));
+}
+
+TEST(SpecTest, ImplicitConversionFromStrings) {
+  const spec from_literal = "toy,case=2";
+  EXPECT_EQ(from_literal.name(), "toy");
+  const std::string text = "toy,case=1";
+  const spec from_string = text;
+  EXPECT_EQ(from_string.get_int("case", 0), 1);
+}
+
+}  // namespace
+}  // namespace ntom
