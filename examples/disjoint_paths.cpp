@@ -27,13 +27,11 @@ namespace {
 /// Empirical P(both paths congested in the same interval).
 double empirical_joint_failure(const ntom::experiment_data& data,
                                ntom::path_id a, ntom::path_id b) {
-  std::size_t both = 0;
-  for (std::size_t t = 0; t < data.intervals; ++t) {
-    if (data.congested_paths_by_interval[t].test(a) &&
-        data.congested_paths_by_interval[t].test(b)) {
-      ++both;
-    }
-  }
+  // Both congested in interval t iff neither path was good: count via
+  // the columnar store, T minus |good(a) OR good(b)|.
+  ntom::bitvec either_good = data.path_good.row_copy(a);
+  either_good |= data.path_good.row_copy(b);
+  const std::size_t both = data.intervals - either_good.count();
   return static_cast<double>(both) / static_cast<double>(data.intervals);
 }
 

@@ -95,10 +95,9 @@ int main(int argc, char** argv) {
   std::size_t attack_intervals = 0;
   std::size_t detected = 0;
   for (std::size_t t = 300; t < 350; ++t) {  // the attack window.
-    if (!data.congested_links_by_interval[t].test(victim)) continue;
+    if (!data.true_links.test(t, victim)) continue;
     ++attack_intervals;
-    const bitvec inferred =
-        inferencer.infer(data.congested_paths_by_interval[t]);
+    const bitvec inferred = inferencer.infer(data.congested_paths_at(t));
     if (inferred.test(victim)) ++detected;
   }
 

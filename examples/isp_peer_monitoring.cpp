@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
       // Rank peers by what the measurements actually determine; the
       // fallback guesses for unidentifiable links are shown in the
       // mean but do not drive the ranking.
-      if (links.estimated[e]) {
+      if (links.estimated.test(e)) {
         ++row.estimated_links;
         row.worst_congestion =
             std::max(row.worst_congestion, links.congestion[e]);

@@ -16,7 +16,7 @@ std::vector<peer_summary> build_peer_report(
     in_as &= t.covered_links();
     in_as.for_each([&](std::size_t e) {
       ++row.monitored_links;
-      if (links.estimated[e]) ++row.estimated_links;
+      if (links.estimated.test(e)) ++row.estimated_links;
       row.mean_congestion += links.congestion[e];
       row.worst_congestion = std::max(row.worst_congestion, links.congestion[e]);
     });
@@ -36,41 +36,10 @@ experiment_data slice_experiment(const experiment_data& data,
   assert(begin <= end && end <= data.intervals);
   experiment_data out;
   out.intervals = end - begin;
-
-  out.path_good_intervals.reserve(data.path_good_intervals.size());
-  for (const auto& good : data.path_good_intervals) {
-    bitvec sliced(out.intervals);
-    for (std::size_t t = begin; t < end; ++t) {
-      if (good.test(t)) sliced.set(t - begin);
-    }
-    out.path_good_intervals.push_back(std::move(sliced));
-  }
-  out.congested_paths_by_interval.assign(
-      data.congested_paths_by_interval.begin() +
-          static_cast<std::ptrdiff_t>(begin),
-      data.congested_paths_by_interval.begin() +
-          static_cast<std::ptrdiff_t>(end));
-  out.congested_links_by_interval.assign(
-      data.congested_links_by_interval.begin() +
-          static_cast<std::ptrdiff_t>(begin),
-      data.congested_links_by_interval.begin() +
-          static_cast<std::ptrdiff_t>(end));
-
-  const std::size_t num_paths = data.path_good_intervals.size();
-  out.always_good_paths = bitvec(num_paths);
-  for (std::size_t p = 0; p < num_paths; ++p) {
-    if (out.path_good_intervals[p].count() == out.intervals) {
-      out.always_good_paths.set(p);
-    }
-  }
-  const std::size_t num_links =
-      data.congested_links_by_interval.empty()
-          ? 0
-          : data.congested_links_by_interval.front().size();
-  out.ever_congested_links = bitvec(num_links);
-  for (const auto& congested : out.congested_links_by_interval) {
-    out.ever_congested_links |= congested;
-  }
+  out.path_good = data.path_good.column_slice(begin, end);
+  out.true_links = data.true_links.row_slice(begin, end);
+  out.always_good_paths = out.path_good.full_rows();
+  out.ever_congested_links = out.true_links.or_of_rows();
   return out;
 }
 

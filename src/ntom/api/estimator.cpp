@@ -7,6 +7,7 @@
 #include "ntom/infer/bayes_independence.hpp"
 #include "ntom/infer/observation.hpp"
 #include "ntom/infer/sparsity.hpp"
+#include "ntom/sim/monitor.hpp"
 #include "ntom/tomo/correlation_complete.hpp"
 #include "ntom/tomo/correlation_heuristic.hpp"
 #include "ntom/tomo/independence.hpp"
@@ -21,19 +22,37 @@ link_estimates estimator::links() const {
   throw std::logic_error("estimator does not support link estimation");
 }
 
+void estimator::begin_fit(const topology&, std::size_t) {
+  throw std::logic_error("estimator does not support streaming fits");
+}
+
+void estimator::consume(const measurement_chunk&) {
+  throw std::logic_error("estimator does not support streaming fits");
+}
+
+void estimator::end_fit() {
+  throw std::logic_error("estimator does not support streaming fits");
+}
+
 namespace {
 
 // ------------------------------------------------------------ adapters
 
 /// Sparsity has no fitting step: each interval is solved greedily from
-/// its own observation.
+/// its own observation — trivially streaming.
 class sparsity_estimator final : public estimator {
  public:
   [[nodiscard]] estimator_caps caps() const noexcept override {
-    return {.boolean_inference = true, .link_estimation = false};
+    return {.boolean_inference = true,
+            .link_estimation = false,
+            .streaming = true};
   }
 
   void fit(const topology& t, const experiment_data&) override { topo_ = &t; }
+
+  void begin_fit(const topology& t, std::size_t) override { topo_ = &t; }
+  void consume(const measurement_chunk&) override {}
+  void end_fit() override {}
 
   [[nodiscard]] bitvec infer(const bitvec& congested_paths) const override {
     return infer_sparsity(*topo_, make_observation(*topo_, congested_paths));
@@ -43,13 +62,56 @@ class sparsity_estimator final : public estimator {
   const topology* topo_ = nullptr;
 };
 
-class bayes_independence_estimator final : public estimator {
+/// Shared streaming-fit scaffolding for the counter-based fits: the
+/// topology-determined equation family is registered with a
+/// pathset_counter at begin_fit, chunks stream into the counters, and
+/// end_fit hands the exact counts to the subclass's solver.
+class counting_estimator : public estimator {
+ public:
+  void begin_fit(const topology& t, std::size_t intervals) override {
+    topo_ = &t;
+    counter_.emplace(equation_path_sets(t));
+    counter_->begin(t, intervals);
+  }
+
+  void consume(const measurement_chunk& chunk) override {
+    counter_->consume(chunk);
+  }
+
+  void end_fit() override {
+    counter_->end();
+    solve_from_counts(*topo_, counter_->sets(), counter_->counts(),
+                      counter_->intervals(), counter_->always_good_paths());
+    counter_.reset();
+  }
+
+ protected:
+  /// The (topology-determined) path-set family to count.
+  [[nodiscard]] virtual std::vector<bitvec> equation_path_sets(
+      const topology& t) const = 0;
+
+  /// Finish the fit from exact counters (same solver the materialized
+  /// fit uses — bit-identical outputs).
+  virtual void solve_from_counts(const topology& t,
+                                 const std::vector<bitvec>& sets,
+                                 const std::vector<std::size_t>& counts,
+                                 std::size_t intervals,
+                                 const bitvec& always_good) = 0;
+
+ private:
+  const topology* topo_ = nullptr;
+  std::optional<pathset_counter> counter_;
+};
+
+class bayes_independence_estimator final : public counting_estimator {
  public:
   explicit bayes_independence_estimator(independence_params params)
       : params_(params) {}
 
   [[nodiscard]] estimator_caps caps() const noexcept override {
-    return {.boolean_inference = true, .link_estimation = true};
+    return {.boolean_inference = true,
+            .link_estimation = true,
+            .streaming = true};
   }
 
   void fit(const topology& t, const experiment_data& data) override {
@@ -62,6 +124,20 @@ class bayes_independence_estimator final : public estimator {
 
   [[nodiscard]] link_estimates links() const override {
     return fitted_->step1().links;
+  }
+
+ protected:
+  [[nodiscard]] std::vector<bitvec> equation_path_sets(
+      const topology& t) const override {
+    return independence_path_sets(t, params_);
+  }
+
+  void solve_from_counts(const topology& t, const std::vector<bitvec>& sets,
+                         const std::vector<std::size_t>& counts,
+                         std::size_t intervals,
+                         const bitvec& always_good) override {
+    fitted_.emplace(t, solve_independence(t, sets, counts, intervals,
+                                          always_good, params_));
   }
 
  private:
@@ -95,13 +171,15 @@ class bayes_correlation_estimator final : public estimator {
   std::optional<bayes_correlation_inferencer> fitted_;
 };
 
-class independence_estimator final : public estimator {
+class independence_estimator final : public counting_estimator {
  public:
   explicit independence_estimator(independence_params params)
       : params_(params) {}
 
   [[nodiscard]] estimator_caps caps() const noexcept override {
-    return {.boolean_inference = false, .link_estimation = true};
+    return {.boolean_inference = false,
+            .link_estimation = true,
+            .streaming = true};
   }
 
   void fit(const topology& t, const experiment_data& data) override {
@@ -110,18 +188,34 @@ class independence_estimator final : public estimator {
 
   [[nodiscard]] link_estimates links() const override { return result_.links; }
 
+ protected:
+  [[nodiscard]] std::vector<bitvec> equation_path_sets(
+      const topology& t) const override {
+    return independence_path_sets(t, params_);
+  }
+
+  void solve_from_counts(const topology& t, const std::vector<bitvec>& sets,
+                         const std::vector<std::size_t>& counts,
+                         std::size_t intervals,
+                         const bitvec& always_good) override {
+    result_ =
+        solve_independence(t, sets, counts, intervals, always_good, params_);
+  }
+
  private:
   independence_params params_;
   independence_result result_;
 };
 
-class correlation_heuristic_estimator final : public estimator {
+class correlation_heuristic_estimator final : public counting_estimator {
  public:
   explicit correlation_heuristic_estimator(correlation_heuristic_params params)
       : params_(params) {}
 
   [[nodiscard]] estimator_caps caps() const noexcept override {
-    return {.boolean_inference = false, .link_estimation = true};
+    return {.boolean_inference = false,
+            .link_estimation = true,
+            .streaming = true};
   }
 
   void fit(const topology& t, const experiment_data& data) override {
@@ -130,6 +224,20 @@ class correlation_heuristic_estimator final : public estimator {
 
   [[nodiscard]] link_estimates links() const override {
     return result_->estimates.to_link_estimates();
+  }
+
+ protected:
+  [[nodiscard]] std::vector<bitvec> equation_path_sets(
+      const topology& t) const override {
+    return correlation_heuristic_path_sets(t, params_);
+  }
+
+  void solve_from_counts(const topology& t, const std::vector<bitvec>& sets,
+                         const std::vector<std::size_t>& counts,
+                         std::size_t intervals,
+                         const bitvec& always_good) override {
+    result_.emplace(solve_correlation_heuristic(t, sets, counts, intervals,
+                                                always_good, params_));
   }
 
  private:

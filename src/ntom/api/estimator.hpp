@@ -7,15 +7,18 @@
 //
 //   boolean_inference — per-interval congested-link sets (Fig. 3).
 //   link_estimation   — per-link congestion probabilities (Fig. 4).
+//   streaming         — the fit can consume the interval stream chunk
+//                       by chunk (begin_fit/consume/end_fit) instead of
+//                       a materialized experiment_data.
 //
 // Built-ins (canonical name / series label / capabilities):
 //
-//   sparsity        Sparsity          boolean            (Tomo/SCFS)
-//   bayes-indep     Bayes-Indep       boolean + link     (CLINK)
-//   bayes-corr      Bayes-Corr        boolean + link     ([10])
-//   independence    Independence      link               (CLINK step 1)
-//   corr-heuristic  Corr-heuristic    link               (IMC'10 [9])
-//   corr-complete   Corr-complete     link               (this paper)
+//   sparsity        Sparsity          boolean, streaming        (Tomo/SCFS)
+//   bayes-indep     Bayes-Indep       boolean + link, streaming (CLINK)
+//   bayes-corr      Bayes-Corr        boolean + link            ([10])
+//   independence    Independence      link, streaming           (CLINK step 1)
+//   corr-heuristic  Corr-heuristic    link, streaming           (IMC'10 [9])
+//   corr-complete   Corr-complete     link                      (this paper)
 //
 // evals.cpp drives any estimator list through this interface, so a new
 // algorithm becomes a registration, not a rewiring of the benches.
@@ -36,6 +39,14 @@ namespace ntom {
 struct estimator_caps {
   bool boolean_inference = false;  ///< infer() per interval.
   bool link_estimation = false;    ///< links() after fit().
+
+  /// The fit can consume the interval stream chunk by chunk with
+  /// O(counters) state (begin_fit/consume/end_fit) instead of a
+  /// materialized experiment_data. True for fits whose equation family
+  /// is topology-determined (sparsity, the Independence family, the
+  /// flooded correlation heuristic); false for adaptive selections
+  /// (Algorithm 1 / corr-complete), which the drivers materialize for.
+  bool streaming = false;
 };
 
 class estimator {
@@ -48,6 +59,15 @@ class estimator {
   /// before infer() / links(). The topology must outlive the estimator.
   virtual void fit(const topology& t, const experiment_data& data) = 0;
 
+  /// Streaming fit protocol — requires caps().streaming; the defaults
+  /// throw std::logic_error. Drivers call begin_fit once, consume per
+  /// interval chunk in order, end_fit once; afterwards the estimator is
+  /// fitted exactly as if fit() had seen the materialized experiment
+  /// (bit-identical outputs for the same seed).
+  virtual void begin_fit(const topology& t, std::size_t intervals);
+  virtual void consume(const measurement_chunk& chunk);
+  virtual void end_fit();
+
   /// Boolean inference for one interval's observed congested paths.
   /// Default throws std::logic_error; requires caps().boolean_inference.
   [[nodiscard]] virtual bitvec infer(const bitvec& congested_paths) const;
@@ -55,6 +75,25 @@ class estimator {
   /// Per-link congestion-probability estimates.
   /// Default throws std::logic_error; requires caps().link_estimation.
   [[nodiscard]] virtual link_estimates links() const;
+};
+
+/// measurement_sink adapter driving an estimator's streaming fit from a
+/// simulation pass (usable inside a fanout_sink to fit many estimators
+/// in one pass).
+class estimator_fit_sink final : public measurement_sink {
+ public:
+  explicit estimator_fit_sink(estimator& est) : est_(&est) {}
+
+  void begin(const topology& t, std::size_t intervals) override {
+    est_->begin_fit(t, intervals);
+  }
+  void consume(const measurement_chunk& chunk) override {
+    est_->consume(chunk);
+  }
+  void end() override { est_->end_fit(); }
+
+ private:
+  estimator* est_;
 };
 
 /// An estimator reference: registered name + options.

@@ -85,6 +85,16 @@ experiment& experiment::measure_link_error(bool on) {
   return *this;
 }
 
+experiment& experiment::streamed(bool on) {
+  streamed_ = on;
+  return *this;
+}
+
+experiment& experiment::chunk_intervals(std::size_t intervals) {
+  chunk_intervals_ = intervals;
+  return *this;
+}
+
 std::vector<run_spec> experiment::specs() const {
   // Replicas aggregate by label on purpose; two *grid arms* sharing a
   // label would silently pool incomparable configurations instead.
@@ -114,6 +124,8 @@ std::vector<run_spec> experiment::specs() const {
         config.scenario = scenario;
         config.scenario_opts = scenario_defaults_;
         config.sim = sim_;
+        config.streamed = streamed_;
+        config.chunk_intervals = chunk_intervals_;
         run_spec spec{topology_label(topo) + "/" + scenario_label(scenario),
                       std::move(config)};
         spec.seed_group = r;  // same topology across arms of a replica.

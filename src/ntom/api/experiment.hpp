@@ -65,6 +65,17 @@ class experiment {
   experiment& measure_boolean(bool on);
   experiment& measure_link_error(bool on);
 
+  /// Streamed execution: every run replays the interval stream through
+  /// measurement_sinks in fixed-size chunks instead of materializing
+  /// the observation store — O(chunk) memory per in-flight run, so T
+  /// can reach 10^6. Estimators without the streaming capability fall
+  /// back to one shared materialized store per run. Bit-identical
+  /// aggregates to the materialized mode for the same seeds.
+  experiment& streamed(bool on = true);
+
+  /// Chunk granularity of the streamed mode (results never depend on it).
+  experiment& chunk_intervals(std::size_t intervals);
+
   /// The expanded grid: replicas x topologies x scenarios, labelled
   /// "<topology label>/<scenario label>", seed_group = replica.
   [[nodiscard]] std::vector<run_spec> specs() const;
@@ -92,6 +103,8 @@ class experiment {
   sim_params sim_;
   scenario_params scenario_defaults_;
   estimator_eval_options eval_options_;
+  bool streamed_ = false;
+  std::size_t chunk_intervals_ = default_chunk_intervals;
 };
 
 }  // namespace ntom

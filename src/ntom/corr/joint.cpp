@@ -11,8 +11,14 @@ namespace {
 /// fn(B_bitvec, |B|). Universe sizes come from `universe`.
 template <typename Fn>
 bool for_each_subset(const bitvec& set, std::size_t universe, Fn&& fn) {
-  const std::vector<std::size_t> members = set.to_indices();
-  const std::size_t k = members.size();
+  // Member gather without the to_indices() heap allocation: subset
+  // sizes are capped upstream, so a small stack buffer always fits.
+  std::size_t members[64];
+  std::size_t k = 0;
+  set.for_each_set([&](std::size_t i) {
+    if (k < 64) members[k] = i;
+    ++k;
+  });
   // 2^k subsets; callers keep k small (subset sizes are capped upstream).
   for (std::size_t mask = 0; mask < (std::size_t{1} << k); ++mask) {
     bitvec b(universe);

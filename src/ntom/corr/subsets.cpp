@@ -67,7 +67,7 @@ subset_catalog subset_catalog::build(const topology& t, const bitvec& potcong,
 
     for (auto& s : ordered) {
       if (s.count() == 1) {
-        const link_id e = static_cast<link_id>(s.to_indices().front());
+        const link_id e = static_cast<link_id>(s.find_first());
         catalog.singleton_by_link_[e] = catalog.subsets_.size();
         catalog.singletons_.push_back(catalog.subsets_.size());
       }

@@ -31,7 +31,10 @@ run_result execute_one(const run_spec& spec, std::size_t index,
                           ? derive_run_seeds(spec.config, params.base_seed,
                                              index, topo_group)
                           : spec.config;
-  const run_artifacts run = prepare_run(config);
+  // Streamed runs never materialize here: the evaluator replays the
+  // deterministic interval stream itself, holding O(chunk) memory.
+  const run_artifacts run =
+      config.streamed ? prepare_topology(config) : prepare_run(config);
   run_result result;
   result.index = index;
   result.label = spec.label;

@@ -1,5 +1,6 @@
 #include "ntom/exp/evals.hpp"
 
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -7,6 +8,72 @@
 #include "ntom/sim/monitor.hpp"
 
 namespace ntom {
+
+namespace {
+
+/// Shared state of one evaluation: the fitted estimators plus whatever
+/// view of the observations the chosen execution mode produced.
+struct fitted_run {
+  std::vector<std::unique_ptr<estimator>> estimators;
+  bitvec always_good_paths;
+
+  /// Materialized store; absent when every fit streamed.
+  std::optional<experiment_data> data;
+};
+
+/// Fits every estimator on the materialized store (the default mode —
+/// exact pre-streaming behavior).
+fitted_run fit_materialized(const std::vector<estimator_spec>& specs,
+                            const run_artifacts& run) {
+  fitted_run out;
+  for (const estimator_spec& s : specs) {
+    out.estimators.push_back(make_estimator(s));
+    out.estimators.back()->fit(run.topo, run.data);
+  }
+  out.always_good_paths = run.data.always_good_paths;
+  return out;
+}
+
+/// Fits every estimator from ONE replay of the interval stream:
+/// streaming-capable fits consume chunks through their counters; if any
+/// estimator needs the full store, a single shared materialize_sink
+/// rides the same pass and those estimators fit conventionally after
+/// it. A pathset_counter with an empty family tracks always-good paths
+/// for the link-error metrics either way.
+fitted_run fit_streamed(const std::vector<estimator_spec>& specs,
+                        const run_config& config, const run_artifacts& run) {
+  fitted_run out;
+  std::vector<estimator_fit_sink> fit_sinks;
+  fit_sinks.reserve(specs.size());
+  fanout_sink fanout;
+  bool need_store = false;
+  for (const estimator_spec& s : specs) {
+    out.estimators.push_back(make_estimator(s));
+    estimator& est = *out.estimators.back();
+    if (est.caps().streaming) {
+      fit_sinks.emplace_back(est);
+      fanout.add(&fit_sinks.back());
+    } else {
+      need_store = true;
+    }
+  }
+
+  pathset_counter observation_tracker;
+  fanout.add(&observation_tracker);
+  experiment_data unused_store;
+  materialize_sink store(need_store ? out.data.emplace() : unused_store);
+  if (need_store) fanout.add(&store);
+
+  stream_experiment(run, config, fanout);
+
+  for (const std::unique_ptr<estimator>& est : out.estimators) {
+    if (!est->caps().streaming) est->fit(run.topo, *out.data);
+  }
+  out.always_good_paths = observation_tracker.always_good_paths();
+  return out;
+}
+
+}  // namespace
 
 batch_eval_fn estimator_eval(std::vector<estimator_spec> estimators,
                              estimator_eval_options options) {
@@ -30,36 +97,83 @@ batch_eval_fn estimator_eval(std::vector<estimator_spec> estimators,
   }
 
   return [estimators = std::move(estimators), labels = std::move(labels),
-          options](const run_config&,
+          options](const run_config& config,
                    const run_artifacts& run) -> std::vector<measurement> {
+    const bool streamed = config.streamed;
+    fitted_run fitted = streamed ? fit_streamed(estimators, config, run)
+                                 : fit_materialized(estimators, run);
+    // Materialized mode scores from run.data; streamed mode prefers the
+    // store when one had to be built anyway, else replays the stream.
+    const experiment_data* data = streamed
+                                      ? (fitted.data ? &*fitted.data : nullptr)
+                                      : &run.data;
+
+    // Fig. 3 metrics per Boolean-capable estimator. With a store, score
+    // from its views; without one, one replay pass scores every Boolean
+    // estimator with O(chunk) memory.
+    std::vector<std::optional<inference_metrics>> boolean_metrics(
+        fitted.estimators.size());
+    if (options.boolean_metrics) {
+      std::vector<std::size_t> boolean_index;
+      for (std::size_t i = 0; i < fitted.estimators.size(); ++i) {
+        if (fitted.estimators[i]->caps().boolean_inference) {
+          boolean_index.push_back(i);
+        }
+      }
+      if (data != nullptr) {
+        for (const std::size_t i : boolean_index) {
+          const estimator& est = *fitted.estimators[i];
+          inference_scorer scorer;
+          for (std::size_t t = 0; t < data->intervals; ++t) {
+            scorer.add_interval(est.infer(data->congested_paths_at(t)),
+                                data->true_links_at(t));
+          }
+          boolean_metrics[i] = scorer.result();
+        }
+      } else if (!boolean_index.empty()) {
+        std::vector<streaming_inference_scorer> scorers;
+        scorers.reserve(boolean_index.size());
+        fanout_sink fanout;
+        for (const std::size_t i : boolean_index) {
+          const estimator& est = *fitted.estimators[i];
+          scorers.emplace_back([&est](const bitvec& congested) {
+            return est.infer(congested);
+          });
+          fanout.add(&scorers.back());
+        }
+        stream_experiment(run, config, fanout);
+        for (std::size_t b = 0; b < boolean_index.size(); ++b) {
+          boolean_metrics[boolean_index[b]] = scorers[b].result();
+        }
+      }
+    }
+
     // Ground truth and the potentially-congested set are shared by all
     // link-error series; computed once, and only when needed.
     std::optional<ground_truth> truth;
     std::optional<bitvec> potcong;
     const auto ensure_truth = [&] {
       if (truth) return;
-      truth.emplace(run.make_truth());
-      const path_observations obs(run.data);
+      truth.emplace(run.make_truth(config.sim.intervals));
       potcong.emplace(
-          potentially_congested_links(run.topo, obs.always_good_paths()));
+          potentially_congested_links(run.topo, fitted.always_good_paths));
     };
 
     std::vector<measurement> out;
-    for (std::size_t i = 0; i < estimators.size(); ++i) {
-      const std::unique_ptr<estimator> est = make_estimator(estimators[i]);
-      est->fit(run.topo, run.data);
-      const estimator_caps caps = est->caps();
-      if (options.boolean_metrics && caps.boolean_inference) {
-        const inference_metrics m = score_inference(
-            run, [&](const bitvec& congested) { return est->infer(congested); });
-        const auto rows = inference_measurements(labels[i], m);
+    for (std::size_t i = 0; i < fitted.estimators.size(); ++i) {
+      if (boolean_metrics[i]) {
+        const auto rows =
+            inference_measurements(labels[i], *boolean_metrics[i]);
         out.insert(out.end(), rows.begin(), rows.end());
       }
-      if (options.link_error_metrics && caps.link_estimation) {
+      if (options.link_error_metrics &&
+          fitted.estimators[i]->caps().link_estimation) {
         ensure_truth();
-        out.push_back({labels[i], "mean_abs_error",
-                       mean_of(link_absolute_errors(run.topo, *truth,
-                                                    est->links(), *potcong))});
+        out.push_back(
+            {labels[i], "mean_abs_error",
+             mean_of(link_absolute_errors(run.topo, *truth,
+                                          fitted.estimators[i]->links(),
+                                          *potcong))});
       }
     }
     return out;

@@ -14,21 +14,33 @@ void run_config::reconcile() {
   }
 }
 
-run_artifacts prepare_run(run_config config) {
+run_artifacts prepare_topology(run_config config) {
   config.reconcile();
   run_artifacts run;
   run.topo = make_topology(config.topo, config.topo_seed);
   run.model = make_scenario(run.topo, config.scenario, config.scenario_opts);
+  return run;
+}
+
+run_artifacts prepare_run(run_config config) {
+  config.reconcile();
+  run_artifacts run = prepare_topology(config);
   run.data = run_experiment(run.topo, run.model, config.sim);
   return run;
+}
+
+void stream_experiment(const run_artifacts& run, const run_config& config,
+                       measurement_sink& sink) {
+  run_experiment_streaming(run.topo, run.model, config.sim, sink,
+                           config.chunk_intervals);
 }
 
 inference_metrics score_inference(const run_artifacts& run,
                                   const infer_fn& infer) {
   inference_scorer scorer;
   for (std::size_t t = 0; t < run.data.intervals; ++t) {
-    const bitvec inferred = infer(run.data.congested_paths_by_interval[t]);
-    scorer.add_interval(inferred, run.data.congested_links_by_interval[t]);
+    const bitvec inferred = infer(run.data.congested_paths_at(t));
+    scorer.add_interval(inferred, run.data.true_links_at(t));
   }
   return scorer.result();
 }

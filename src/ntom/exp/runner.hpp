@@ -6,11 +6,21 @@
 // Topologies and scenarios are referenced by spec string and resolved
 // through their registries, so new workloads register a factory instead
 // of rewiring this layer.
+//
+// Two execution modes share one reproducibility contract:
+//   * materialized (default) — prepare_run simulates into the columnar
+//     experiment_data store; estimators fit on the finished store.
+//   * streamed (`run_config::streamed`) — prepare_topology skips the
+//     simulation; drivers replay the deterministic interval stream
+//     through measurement_sinks (stream_experiment) as many passes as
+//     needed, holding O(chunk) memory. Same seed -> bit-identical
+//     results in either mode, at any chunk size.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "ntom/exp/metrics.hpp"
 #include "ntom/sim/packet_sim.hpp"
@@ -29,6 +39,13 @@ struct run_config {
   scenario_params scenario_opts;
   sim_params sim;
 
+  /// Streamed execution: the batch engine skips materialization and the
+  /// evaluators replay the interval stream chunk by chunk instead.
+  bool streamed = false;
+
+  /// Chunk granularity of the streamed mode (never changes results).
+  std::size_t chunk_intervals = default_chunk_intervals;
+
   /// Overlays the scenario spec's options onto scenario_opts and
   /// pre-draws enough phases for sim.intervals. Idempotent, and called
   /// by prepare_run itself — calling it manually is only needed to
@@ -36,7 +53,8 @@ struct run_config {
   void reconcile();
 };
 
-/// One simulated experiment with everything downstream needs.
+/// One simulated experiment with everything downstream needs. In
+/// streamed mode `data` stays empty — consumers replay the stream.
 struct run_artifacts {
   topology topo;
   congestion_model model;
@@ -45,16 +63,54 @@ struct run_artifacts {
   [[nodiscard]] ground_truth make_truth() const {
     return ground_truth(topo, model, data.intervals);
   }
+
+  /// Streamed-mode variant: the experiment length cannot come from the
+  /// (empty) data, so the caller passes T explicitly.
+  [[nodiscard]] ground_truth make_truth(std::size_t intervals) const {
+    return ground_truth(topo, model, intervals);
+  }
 };
 
 /// Builds the topology, the scenario, and runs the packet simulation.
 /// Reconciles the config first (idempotent), so callers never have to.
 [[nodiscard]] run_artifacts prepare_run(run_config config);
 
+/// Builds topology and scenario only (reconciled), leaving `data`
+/// empty — the setup step of the streamed mode.
+[[nodiscard]] run_artifacts prepare_topology(run_config config);
+
+/// Replays the deterministic interval stream of a prepared run into
+/// `sink`. Callable repeatedly: every pass re-simulates the identical
+/// stream (compute traded for O(chunk) memory).
+void stream_experiment(const run_artifacts& run, const run_config& config,
+                       measurement_sink& sink);
+
 /// Scores a per-interval inference function over every interval of an
 /// experiment (Fig. 3 columns).
 using infer_fn = std::function<bitvec(const bitvec& congested_paths)>;
 [[nodiscard]] inference_metrics score_inference(const run_artifacts& run,
                                                 const infer_fn& infer);
+
+/// Streaming counterpart: scores per interval as chunks pass through,
+/// O(chunk) memory. Attach to a fanout_sink to score several fitted
+/// estimators in one replay pass.
+class streaming_inference_scorer final : public measurement_sink {
+ public:
+  explicit streaming_inference_scorer(infer_fn infer)
+      : infer_(std::move(infer)) {}
+
+  void consume(const measurement_chunk& chunk) override {
+    for (std::size_t i = 0; i < chunk.count; ++i) {
+      scorer_.add_interval(infer_(chunk.congested_paths_at(i)),
+                           chunk.true_links_at(i));
+    }
+  }
+
+  [[nodiscard]] inference_metrics result() const { return scorer_.result(); }
+
+ private:
+  infer_fn infer_;
+  inference_scorer scorer_;
+};
 
 }  // namespace ntom

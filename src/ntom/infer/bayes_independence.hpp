@@ -8,6 +8,8 @@
 // solutions (§3.1's {e1,e3} vs {e2,e3} example).
 #pragma once
 
+#include <utility>
+
 #include "ntom/infer/bayes_map.hpp"
 #include "ntom/sim/packet_sim.hpp"
 #include "ntom/tomo/independence.hpp"
@@ -20,6 +22,11 @@ class bayes_independence_inferencer {
   /// Runs Probability Computation on the experiment's observations.
   bayes_independence_inferencer(const topology& t, const experiment_data& data,
                                 const independence_params& params = {});
+
+  /// Adopts a precomputed step 1 — the streaming fit path, where the
+  /// Independence system was solved from online pathset counters.
+  bayes_independence_inferencer(const topology& t, independence_result step1)
+      : topo_(&t), step1_(std::move(step1)) {}
 
   /// Infers the congested links for one interval's observation.
   [[nodiscard]] bitvec infer(const bitvec& congested_paths) const;

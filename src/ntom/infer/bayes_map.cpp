@@ -138,7 +138,7 @@ bitvec map_correlated(const topology& t, const interval_observation& obs,
     double delta = 0.0;
     flipped.for_each([&](std::size_t e) {
       double p = clamp_probability(marginals.congestion[e]);
-      if (!marginals.estimated[e]) p = std::min(p, 0.5);
+      if (!marginals.estimated.test(e)) p = std::min(p, 0.5);
       delta += std::log(p) - std::log(1.0 - p);
     });
     return delta;

@@ -12,7 +12,7 @@ void export_link_estimates_csv(const topology& t,
   for (link_id e = 0; e < t.num_links(); ++e) {
     const bool potcong = est.potentially_congested().test(e);
     out << e << ',' << t.link(e).as_number << ',' << (t.link(e).edge ? 1 : 0)
-        << ',' << (potcong ? 1 : 0) << ',' << (links.estimated[e] ? 1 : 0)
+        << ',' << (potcong ? 1 : 0) << ',' << (links.estimated.test(e) ? 1 : 0)
         << ',' << links.congestion[e] << '\n';
   }
 }

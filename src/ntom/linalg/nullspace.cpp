@@ -128,15 +128,17 @@ std::vector<std::size_t> row_hamming_weights(const matrix& n, double tol) {
   return weights;
 }
 
-std::vector<bool> identifiable_coordinates(const matrix& n, double tol) {
-  std::vector<bool> out(n.rows(), true);
+bitvec identifiable_coordinates(const matrix& n, double tol) {
+  bitvec out(n.rows());
   for (std::size_t i = 0; i < n.rows(); ++i) {
+    bool clean = true;
     for (std::size_t j = 0; j < n.cols(); ++j) {
       if (std::abs(n(i, j)) > tol) {
-        out[i] = false;
+        clean = false;
         break;
       }
     }
+    if (clean) out.set(i);
   }
   return out;
 }

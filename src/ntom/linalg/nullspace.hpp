@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ntom/linalg/matrix.hpp"
+#include "ntom/util/bitvec.hpp"
 
 namespace ntom {
 
@@ -56,8 +57,9 @@ namespace ntom {
     const matrix& n, double tol = 1e-9);
 
 /// Indices i whose null-space row is ~0 — exactly the unknowns that are
-/// already determined by the system (identifiable coordinates).
-[[nodiscard]] std::vector<bool> identifiable_coordinates(const matrix& n,
-                                                         double tol = 1e-7);
+/// already determined by the system (identifiable coordinates), as a
+/// bit-set over the unknowns.
+[[nodiscard]] bitvec identifiable_coordinates(const matrix& n,
+                                              double tol = 1e-7);
 
 }  // namespace ntom

@@ -28,7 +28,7 @@ lstsq_result solve_least_squares(const matrix& a, const std::vector<double>& b,
   const std::size_t n = a.cols();
   lstsq_result out;
   out.x.assign(n, 0.0);
-  out.identifiable.assign(n, false);
+  out.identifiable = bitvec(n);
   if (a.empty()) {
     out.residual_norm = norm2(b);
     return out;

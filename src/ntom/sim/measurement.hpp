@@ -1,0 +1,102 @@
+// The chunked streaming measurement contract between the simulator and
+// every downstream consumer.
+//
+// run_experiment_streaming emits the T probing intervals as fixed-size
+// interval chunks; consumers implement measurement_sink and accumulate
+// whatever state they need (online counters, a columnar store, a
+// per-interval scorer). The pipeline itself holds O(chunk) memory — a
+// chunk is two small interval-major bit matrices — so T can grow to 10^6
+// without the simulate->estimate path ever materializing three full
+// experiment views.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ntom/graph/topology.hpp"
+#include "ntom/util/bit_matrix.hpp"
+
+namespace ntom {
+
+/// Default chunk granularity (intervals per consume() call). Multiples
+/// of 64 keep the columnar splice word-aligned; correctness does not
+/// depend on it — any chunk size yields bit-identical results.
+inline constexpr std::size_t default_chunk_intervals = 256;
+
+/// One block of consecutive intervals, interval-major: row i of each
+/// matrix is interval first_interval + i.
+struct measurement_chunk {
+  std::size_t first_interval = 0;
+  std::size_t count = 0;           ///< rows used in the matrices.
+  bit_matrix congested_paths;      ///< count x paths: observed congested.
+  bit_matrix true_links;           ///< count x links: ground truth.
+
+  [[nodiscard]] bitvec congested_paths_at(std::size_t i) const {
+    return congested_paths.row_copy(i);
+  }
+  [[nodiscard]] bitvec true_links_at(std::size_t i) const {
+    return true_links.row_copy(i);
+  }
+
+  /// Path-major good-interval view of this chunk (paths x count): the
+  /// transposed complement of congested_paths. Accumulating consumers
+  /// AND these rows into their counters / columnar store. Memoized, so
+  /// a fanout of many consumers pays for one transpose per chunk; the
+  /// producer must call invalidate_derived() after refilling the
+  /// matrices.
+  [[nodiscard]] const bit_matrix& path_good_major() const {
+    if (!good_major_valid_) {
+      good_major_ = congested_paths.transposed();
+      good_major_.flip_all();
+      good_major_valid_ = true;
+    }
+    return good_major_;
+  }
+
+  void invalidate_derived() noexcept { good_major_valid_ = false; }
+
+ private:
+  mutable bit_matrix good_major_;
+  mutable bool good_major_valid_ = false;
+};
+
+/// Consumer side of the streaming contract. begin() is called once
+/// before the first chunk with the experiment dimensions, consume() once
+/// per chunk in interval order, end() once after the last chunk.
+class measurement_sink {
+ public:
+  virtual ~measurement_sink() = default;
+
+  virtual void begin(const topology& t, std::size_t intervals) {
+    (void)t;
+    (void)intervals;
+  }
+  virtual void consume(const measurement_chunk& chunk) = 0;
+  virtual void end() {}
+};
+
+/// Forwards one simulation pass to several consumers — the way to fit
+/// many streaming estimators (plus trackers) in a single pass.
+class fanout_sink final : public measurement_sink {
+ public:
+  fanout_sink() = default;
+  explicit fanout_sink(std::vector<measurement_sink*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void add(measurement_sink* sink) { sinks_.push_back(sink); }
+
+  void begin(const topology& t, std::size_t intervals) override {
+    for (measurement_sink* s : sinks_) s->begin(t, intervals);
+  }
+  void consume(const measurement_chunk& chunk) override {
+    for (measurement_sink* s : sinks_) s->consume(chunk);
+  }
+  void end() override {
+    for (measurement_sink* s : sinks_) s->end();
+  }
+
+ private:
+  std::vector<measurement_sink*> sinks_;
+};
+
+}  // namespace ntom

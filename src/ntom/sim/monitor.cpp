@@ -4,25 +4,47 @@
 
 namespace ntom {
 
+void path_observations::begin(const topology& t, std::size_t intervals) {
+  intervals_ = intervals;
+  owned_ = bit_matrix(t.num_paths(), intervals);
+  owning_ = true;
+  always_good_ = bitvec(t.num_paths());
+  good_counts_.assign(t.num_paths(), 0);
+}
+
+void path_observations::consume(const measurement_chunk& chunk) {
+  const bit_matrix& good = chunk.path_good_major();
+  for (std::size_t p = 0; p < good.rows(); ++p) {
+    owned_.write_row_bits(p, chunk.first_interval, good.row_words(p),
+                          chunk.count);
+    good_counts_[p] += good.count_row(p);
+  }
+}
+
+void path_observations::end() {
+  for (std::size_t p = 0; p < good_counts_.size(); ++p) {
+    if (good_counts_[p] == intervals_) always_good_.set(p);
+  }
+}
+
 std::size_t path_observations::count_all_good(const bitvec& path_set) const {
-  bool first = true;
-  bitvec acc;
-  path_set.for_each([&](std::size_t p) {
-    if (first) {
-      acc = data_->path_good_intervals[p];
-      first = false;
-    } else {
-      acc &= data_->path_good_intervals[p];
-    }
-  });
-  if (first) return data_->intervals;  // empty set: vacuously all good.
-  return acc.count();
+  if (!owning_ && view_ == nullptr) return 0;
+  const std::size_t members = path_set.count();
+  if (members == 0) return intervals_;  // vacuously all good.
+  if (members == 1) {
+    // Singleton fast path: the online counter (accumulate mode) or one
+    // row popcount — no AND kernel, no allocation.
+    const std::size_t p = path_set.find_first();
+    if (!good_counts_.empty()) return good_counts_[p];
+    return good_matrix().count_row(p);
+  }
+  return good_matrix().and_count(path_set);
 }
 
 double path_observations::empirical_all_good(const bitvec& path_set) const {
-  if (data_->intervals == 0) return 0.0;
+  if (intervals_ == 0) return 0.0;
   return static_cast<double>(count_all_good(path_set)) /
-         static_cast<double>(data_->intervals);
+         static_cast<double>(intervals_);
 }
 
 std::optional<double> path_observations::log_empirical_all_good(
@@ -30,7 +52,22 @@ std::optional<double> path_observations::log_empirical_all_good(
   const std::size_t count = count_all_good(path_set);
   if (count == 0) return std::nullopt;
   return std::log(static_cast<double>(count) /
-                  static_cast<double>(data_->intervals));
+                  static_cast<double>(intervals_));
+}
+
+void pathset_counter::begin(const topology& t, std::size_t intervals) {
+  intervals_ = intervals;
+  counts_.assign(sets_.size(), 0);
+  always_good_ = bitvec(t.num_paths());
+  always_good_.flip();  // start all-good; chunks clear the violators.
+}
+
+void pathset_counter::consume(const measurement_chunk& chunk) {
+  const bit_matrix& good = chunk.path_good_major();
+  always_good_ &= good.full_rows();
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    counts_[i] += good.and_count(sets_[i]);
+  }
 }
 
 }  // namespace ntom

@@ -1,25 +1,44 @@
-// Empirical path-set statistics over a finished experiment.
+// Empirical path-set statistics over an experiment.
 //
 // Probability Computation's measured quantities are of the form
 // P(∩_{p∈P} Y_p = 0): the fraction of intervals in which ALL paths of a
-// set were good (the left-hand side of Eq. 1). With per-path interval
-// bit-sets this is one AND + popcount per path.
+// set were good (the left-hand side of Eq. 1). Over the columnar store
+// this is one fused AND + popcount across the selected path rows.
+//
+// Two consumption modes:
+//   * view mode — borrow a finished experiment_data (zero copy);
+//   * accumulate mode — act as a measurement_sink on the interval
+//     stream, building the packed path-major matrix plus online
+//     per-path counters chunk by chunk (one matrix, not three views).
+//
+// For fully-streamed fits that never retain a matrix at all, see
+// pathset_counter below: O(#path-sets) counters over a fixed family.
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "ntom/sim/packet_sim.hpp"
 
 namespace ntom {
 
-/// Read-side view over experiment_data; does not own it.
-class path_observations {
+class path_observations final : public measurement_sink {
  public:
-  explicit path_observations(const experiment_data& data) : data_(&data) {}
+  /// Accumulate mode: feed via begin()/consume()/end().
+  path_observations() = default;
 
-  [[nodiscard]] std::size_t intervals() const noexcept {
-    return data_->intervals;
-  }
+  /// View mode over a finished experiment; does not own it.
+  explicit path_observations(const experiment_data& data)
+      : view_(&data.path_good),
+        always_good_(data.always_good_paths),
+        intervals_(data.intervals) {}
+
+  // ---- measurement_sink (accumulate mode) ----
+  void begin(const topology& t, std::size_t intervals) override;
+  void consume(const measurement_chunk& chunk) override;
+  void end() override;
+
+  [[nodiscard]] std::size_t intervals() const noexcept { return intervals_; }
 
   /// Number of intervals where every path in `path_set` was good.
   [[nodiscard]] std::size_t count_all_good(const bitvec& path_set) const;
@@ -34,11 +53,60 @@ class path_observations {
 
   /// Paths that were good in every interval.
   [[nodiscard]] const bitvec& always_good_paths() const noexcept {
-    return data_->always_good_paths;
+    return always_good_;
+  }
+
+  /// The packed path-major good-interval matrix backing the queries.
+  [[nodiscard]] const bit_matrix& good_matrix() const noexcept {
+    return owning_ ? owned_ : *view_;
   }
 
  private:
-  const experiment_data* data_;
+  /// Mode discriminator instead of a pointer into the object itself, so
+  /// the implicitly defaulted copy/move stay correct in both modes.
+  const bit_matrix* view_ = nullptr;  ///< borrowed (view mode).
+  bit_matrix owned_;                  ///< accumulate mode storage.
+  bool owning_ = false;
+  bitvec always_good_;
+  std::size_t intervals_ = 0;
+  std::vector<std::size_t> good_counts_;  ///< online per-path counters.
+};
+
+/// Online all-good counters over a FIXED family of path sets — the
+/// O(chunk)-memory streaming form of Probability Computation's measured
+/// quantities. The family must be chosen up front (the Independence and
+/// flooded-correlation equation sets are topology-determined, so their
+/// fits stream); adaptive selections (Algorithm 1) need the full matrix
+/// and stay on the materialized path.
+class pathset_counter final : public measurement_sink {
+ public:
+  /// `path_sets` are bit-sets over paths; counts() aligns with them.
+  /// An empty family still tracks always_good_paths / intervals — the
+  /// streaming drivers use that as a cheap observation tracker.
+  explicit pathset_counter(std::vector<bitvec> path_sets = {})
+      : sets_(std::move(path_sets)) {}
+
+  void begin(const topology& t, std::size_t intervals) override;
+  void consume(const measurement_chunk& chunk) override;
+
+  /// Intervals where all paths of sets()[i] were good, aligned with the
+  /// constructor family. Totals are exact once the stream ends.
+  [[nodiscard]] const std::vector<std::size_t>& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] const std::vector<bitvec>& sets() const noexcept {
+    return sets_;
+  }
+  [[nodiscard]] const bitvec& always_good_paths() const noexcept {
+    return always_good_;
+  }
+  [[nodiscard]] std::size_t intervals() const noexcept { return intervals_; }
+
+ private:
+  std::vector<bitvec> sets_;
+  std::vector<std::size_t> counts_;
+  bitvec always_good_;
+  std::size_t intervals_ = 0;
 };
 
 }  // namespace ntom

@@ -1,74 +1,107 @@
 #include "ntom/sim/packet_sim.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ntom {
 
-experiment_data run_experiment(const topology& t, const congestion_model& model,
-                               const sim_params& params) {
+void materialize_sink::begin(const topology& t, std::size_t intervals) {
+  out_->intervals = intervals;
+  out_->path_good = bit_matrix(t.num_paths(), intervals);
+  out_->true_links = bit_matrix(intervals, t.num_links());
+  out_->always_good_paths = bitvec(t.num_paths());
+  out_->ever_congested_links = bitvec(t.num_links());
+}
+
+void materialize_sink::consume(const measurement_chunk& chunk) {
+  out_->true_links.copy_rows_from(chunk.true_links, chunk.first_interval);
+  // Chunk -> columnar store: transpose once, splice each path row into
+  // the interval columns this chunk covers (word-shifting, no per-bit
+  // loop).
+  const bit_matrix& good = chunk.path_good_major();
+  for (std::size_t p = 0; p < good.rows(); ++p) {
+    out_->path_good.write_row_bits(p, chunk.first_interval,
+                                   good.row_words(p), chunk.count);
+  }
+}
+
+void materialize_sink::end() {
+  out_->always_good_paths = out_->path_good.full_rows();
+  out_->ever_congested_links = out_->true_links.or_of_rows();
+}
+
+void run_experiment_streaming(const topology& t, const congestion_model& model,
+                              const sim_params& params, measurement_sink& sink,
+                              std::size_t chunk_intervals) {
   assert(t.finalized());
+  if (chunk_intervals == 0) chunk_intervals = default_chunk_intervals;
   rng rand(params.seed);
   link_state_sampler sampler(t, model, rand.next_u64());
   rng loss_rand = rand.split();
   rng packet_rand = rand.split();
 
-  experiment_data data;
-  data.intervals = params.intervals;
-  data.path_good_intervals.assign(t.num_paths(), bitvec(params.intervals));
-  data.congested_paths_by_interval.assign(params.intervals,
-                                          bitvec(t.num_paths()));
-  data.congested_links_by_interval.reserve(params.intervals);
-  data.ever_congested_links = bitvec(t.num_links());
+  sink.begin(t, params.intervals);
 
   std::vector<double> link_loss(t.num_links(), 0.0);
+  measurement_chunk chunk;
 
-  for (std::size_t interval = 0; interval < params.intervals; ++interval) {
-    const bitvec congested = sampler.sample_interval(interval);
-    data.ever_congested_links |= congested;
+  for (std::size_t begin = 0; begin < params.intervals;
+       begin += chunk_intervals) {
+    const std::size_t count =
+        std::min(chunk_intervals, params.intervals - begin);
+    chunk.first_interval = begin;
+    chunk.count = count;
+    chunk.congested_paths = bit_matrix(count, t.num_paths());
+    chunk.true_links = bit_matrix(count, t.num_links());
+    chunk.invalidate_derived();
 
-    // Loss rates are drawn only for links on monitored paths; others
-    // never carry probes.
-    if (!params.oracle_monitor) {
-      t.covered_links().for_each([&](std::size_t e) {
-        link_loss[e] = sample_link_loss(loss_rand, congested.test(e),
-                                        params.loss_threshold);
-      });
-    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t interval = begin + i;
+      const bitvec congested = sampler.sample_interval(interval);
+      chunk.true_links.set_row(i, congested);
 
-    for (path_id p = 0; p < t.num_paths(); ++p) {
-      const path& pth = t.get_path(p);
-      bool path_congested;
-      if (params.oracle_monitor) {
-        // Separability made exact: congested iff some link is.
-        path_congested = pth.link_set().intersects(congested);
-      } else {
-        double survive = 1.0;
-        for (const link_id e : pth.links()) survive *= 1.0 - link_loss[e];
-        const std::size_t delivered =
-            packet_rand.binomial(params.packets_per_path, survive);
-        const double observed_loss =
-            1.0 - static_cast<double>(delivered) /
-                      static_cast<double>(params.packets_per_path);
-        path_congested =
-            observed_loss >
-            params.threshold_margin *
-                path_congestion_threshold(pth.length(), params.loss_threshold);
+      // Loss rates are drawn only for links on monitored paths; others
+      // never carry probes.
+      if (!params.oracle_monitor) {
+        t.covered_links().for_each([&](std::size_t e) {
+          link_loss[e] = sample_link_loss(loss_rand, congested.test(e),
+                                          params.loss_threshold);
+        });
       }
-      if (path_congested) {
-        data.congested_paths_by_interval[interval].set(p);
-      } else {
-        data.path_good_intervals[p].set(interval);
+
+      for (path_id p = 0; p < t.num_paths(); ++p) {
+        const path& pth = t.get_path(p);
+        bool path_congested;
+        if (params.oracle_monitor) {
+          // Separability made exact: congested iff some link is.
+          path_congested = pth.link_set().intersects(congested);
+        } else {
+          double survive = 1.0;
+          for (const link_id e : pth.links()) survive *= 1.0 - link_loss[e];
+          const std::size_t delivered =
+              packet_rand.binomial(params.packets_per_path, survive);
+          const double observed_loss =
+              1.0 - static_cast<double>(delivered) /
+                        static_cast<double>(params.packets_per_path);
+          path_congested =
+              observed_loss >
+              params.threshold_margin *
+                  path_congestion_threshold(pth.length(),
+                                            params.loss_threshold);
+        }
+        if (path_congested) chunk.congested_paths.set(i, p);
       }
     }
-    data.congested_links_by_interval.push_back(congested);
+    sink.consume(chunk);
   }
+  sink.end();
+}
 
-  data.always_good_paths = bitvec(t.num_paths());
-  for (path_id p = 0; p < t.num_paths(); ++p) {
-    if (data.path_good_intervals[p].count() == params.intervals) {
-      data.always_good_paths.set(p);
-    }
-  }
+experiment_data run_experiment(const topology& t, const congestion_model& model,
+                               const sim_params& params) {
+  experiment_data data;
+  materialize_sink sink(data);
+  run_experiment_streaming(t, model, params, sink);
   return data;
 }
 

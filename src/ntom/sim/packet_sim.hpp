@@ -7,6 +7,12 @@
 // Monitoring assumption can be made exact with `oracle_monitor`, which
 // classifies a path congested iff one of its links is (useful to
 // separate algorithmic error from probing noise).
+//
+// The simulator is a chunked stream: run_experiment_streaming emits
+// fixed-size interval chunks through a measurement_sink, and
+// run_experiment is merely the materializing consumer (materialize_sink)
+// of that stream. Both paths are bit-identical for the same seed at any
+// chunk size — the RNG stream advances per interval, never per chunk.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,8 @@
 
 #include "ntom/sim/congestion.hpp"
 #include "ntom/sim/loss_model.hpp"
+#include "ntom/sim/measurement.hpp"
+#include "ntom/util/bit_matrix.hpp"
 
 namespace ntom {
 
@@ -33,27 +41,69 @@ struct sim_params {
   std::uint64_t seed = 7;
 };
 
-/// Everything an estimator or a scorer may need from one experiment.
+/// Everything an estimator or a scorer may need from one experiment,
+/// in the columnar store: one packed path-major observation matrix (the
+/// single source of truth — the interval-major congested-path view is
+/// its complement transpose, derived on demand) plus the ground-truth
+/// link matrix for scoring.
 struct experiment_data {
   std::size_t intervals = 0;
 
-  /// Per path: bit t set iff the path was observed GOOD in interval t.
-  std::vector<bitvec> path_good_intervals;
+  /// paths x intervals: bit t of row p set iff path p was observed GOOD
+  /// in interval t.
+  bit_matrix path_good;
 
-  /// Per interval: observed congested paths (bit-set over paths).
-  std::vector<bitvec> congested_paths_by_interval;
-
-  /// Per interval: true congested links (ground truth, for scoring only).
-  std::vector<bitvec> congested_links_by_interval;
+  /// intervals x links: row t = truly congested links (scoring only).
+  bit_matrix true_links;
 
   /// Paths observed good in every interval.
   bitvec always_good_paths;
 
   /// Links truly congested in at least one interval.
   bitvec ever_congested_links;
+
+  [[nodiscard]] std::size_t num_paths() const noexcept {
+    return path_good.rows();
+  }
+
+  /// Interval t's observed congested paths (complement of column t of
+  /// path_good — every monitored path is good or congested, never both).
+  [[nodiscard]] bitvec congested_paths_at(std::size_t t) const {
+    bitvec congested = path_good.column_copy(t);
+    congested.flip();
+    return congested;
+  }
+
+  /// Interval t's truly congested links.
+  [[nodiscard]] bitvec true_links_at(std::size_t t) const {
+    return true_links.row_copy(t);
+  }
 };
 
-/// Runs the full experiment. Deterministic in params.seed.
+/// The materializing consumer: builds experiment_data from the stream
+/// (chunk transpose + word-aligned column splice into the columnar
+/// store). run_experiment uses it; streaming drivers attach it only
+/// when a non-streaming estimator needs the full store.
+class materialize_sink final : public measurement_sink {
+ public:
+  explicit materialize_sink(experiment_data& out) : out_(&out) {}
+
+  void begin(const topology& t, std::size_t intervals) override;
+  void consume(const measurement_chunk& chunk) override;
+  void end() override;
+
+ private:
+  experiment_data* out_;
+};
+
+/// Runs the full experiment, streaming interval chunks into `sink`.
+/// Deterministic in params.seed; the chunk size never changes results.
+void run_experiment_streaming(
+    const topology& t, const congestion_model& model, const sim_params& params,
+    measurement_sink& sink,
+    std::size_t chunk_intervals = default_chunk_intervals);
+
+/// Runs the full experiment materialized. Deterministic in params.seed.
 [[nodiscard]] experiment_data run_experiment(const topology& t,
                                              const congestion_model& model,
                                              const sim_params& params);

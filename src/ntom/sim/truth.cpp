@@ -57,6 +57,26 @@ double ground_truth::link_congestion_probability(link_id e) const {
   return 1.0 - good_probability(one);
 }
 
+void empirical_truth::begin(const topology& t, std::size_t intervals) {
+  intervals_ = intervals;
+  counts_.assign(t.num_links(), 0);
+  ever_congested_ = bitvec(t.num_links());
+}
+
+void empirical_truth::consume(const measurement_chunk& chunk) {
+  ever_congested_ |= chunk.true_links.or_of_rows();
+  // Column-wise popcounts via the transposed chunk: one pass, O(chunk).
+  const bit_matrix by_link = chunk.true_links.transposed();
+  for (std::size_t e = 0; e < by_link.rows(); ++e) {
+    counts_[e] += by_link.count_row(e);
+  }
+}
+
+double empirical_truth::congestion_frequency(link_id e) const {
+  if (intervals_ == 0) return 0.0;
+  return static_cast<double>(counts_[e]) / static_cast<double>(intervals_);
+}
+
 double ground_truth::set_congestion_probability(const bitvec& links) const {
   double total = 0.0;
   for (std::size_t k = 0; k < model_.num_phases(); ++k) {

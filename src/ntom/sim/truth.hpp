@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "ntom/sim/congestion.hpp"
+#include "ntom/sim/measurement.hpp"
 
 namespace ntom {
 
@@ -46,6 +48,37 @@ class ground_truth {
   const topology& topo_;
   const congestion_model& model_;
   std::size_t intervals_;
+};
+
+/// Accumulating consumer over the true-link side of the measurement
+/// stream: online per-link congested-interval counters and the
+/// ever-congested set, with O(links) state — the streaming counterpart
+/// of experiment_data's ground-truth views (finite-sample frequencies,
+/// unlike the analytic ground_truth above).
+class empirical_truth final : public measurement_sink {
+ public:
+  void begin(const topology& t, std::size_t intervals) override;
+  void consume(const measurement_chunk& chunk) override;
+
+  [[nodiscard]] std::size_t intervals() const noexcept { return intervals_; }
+
+  /// Intervals in which link e was truly congested.
+  [[nodiscard]] std::size_t congested_count(link_id e) const {
+    return counts_[e];
+  }
+
+  /// Finite-sample P(link e congested) = count / T.
+  [[nodiscard]] double congestion_frequency(link_id e) const;
+
+  /// Links truly congested in at least one interval.
+  [[nodiscard]] const bitvec& ever_congested_links() const noexcept {
+    return ever_congested_;
+  }
+
+ private:
+  std::vector<std::size_t> counts_;
+  bitvec ever_congested_;
+  std::size_t intervals_ = 0;
 };
 
 }  // namespace ntom

@@ -53,7 +53,7 @@ correlation_complete_result compute_correlation_complete(
     // x_i = log g(E_i); identifiability per the solved system's null
     // space (authoritative over Algorithm 1's incrementally-updated N).
     result.estimates.set_good_probability(i, std::exp(solution.x[i]),
-                                          solution.identifiable[i]);
+                                          solution.identifiable.test(i));
   }
   return result;
 }

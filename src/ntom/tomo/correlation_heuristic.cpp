@@ -8,35 +8,16 @@
 
 namespace ntom {
 
-correlation_heuristic_result compute_correlation_heuristic(
-    const topology& t, const experiment_data& data,
-    const correlation_heuristic_params& params) {
-  const path_observations obs(data);
-  const bitvec potcong =
-      potentially_congested_links(t, obs.always_good_paths());
-  subset_catalog catalog = subset_catalog::build(t, potcong, params.limits);
-  equation_builder builder(t, catalog, potcong);
-
-  sparse_matrix a(catalog.size());
-  std::vector<double> b;
-  auto add_equation = [&](const bitvec& path_set) {
-    const auto row = builder.row(path_set);
-    if (!row || row->empty()) return;
-    const auto logp = obs.log_empirical_all_good(path_set);
-    if (!logp) return;
-    // sqrt(count) weighting, as in correlation_complete.cpp.
-    const double weight =
-        std::sqrt(static_cast<double>(obs.count_all_good(path_set)));
-    a.append_row(*row, weight);
-    b.push_back(*logp * weight);
-  };
-
+std::vector<bitvec> correlation_heuristic_path_sets(
+    const topology& t, const correlation_heuristic_params& params) {
+  std::vector<bitvec> sets;
+  sets.reserve(t.num_paths());
   // Equation flood: all singles, then intersecting pairs and triples in
   // deterministic order until the caps.
   for (path_id p = 0; p < t.num_paths(); ++p) {
     bitvec single(t.num_paths());
     single.set(p);
-    add_equation(single);
+    sets.push_back(std::move(single));
   }
   std::size_t pairs = 0;
   for (path_id p = 0; p < t.num_paths() && pairs < params.max_pair_equations;
@@ -49,7 +30,7 @@ correlation_heuristic_result compute_correlation_heuristic(
       bitvec pair(t.num_paths());
       pair.set(p);
       pair.set(q);
-      add_equation(pair);
+      sets.push_back(std::move(pair));
       ++pairs;
     }
   }
@@ -71,10 +52,36 @@ correlation_heuristic_result compute_correlation_heuristic(
         triple.set(p);
         triple.set(q);
         triple.set(s);
-        add_equation(triple);
+        sets.push_back(std::move(triple));
         ++triples;
       }
     }
+  }
+  return sets;
+}
+
+correlation_heuristic_result solve_correlation_heuristic(
+    const topology& t, const std::vector<bitvec>& path_sets,
+    const std::vector<std::size_t>& counts, std::size_t intervals,
+    const bitvec& always_good_paths,
+    const correlation_heuristic_params& params) {
+  const bitvec potcong = potentially_congested_links(t, always_good_paths);
+  subset_catalog catalog = subset_catalog::build(t, potcong, params.limits);
+  equation_builder builder(t, catalog, potcong);
+
+  sparse_matrix a(catalog.size());
+  std::vector<double> b;
+  for (std::size_t i = 0; i < path_sets.size(); ++i) {
+    const auto row = builder.row(path_sets[i]);
+    if (!row || row->empty()) continue;
+    const std::size_t count = counts[i];
+    if (count == 0) continue;  // no finite log-probability.
+    // sqrt(count) weighting, as in correlation_complete.cpp.
+    const double weight = std::sqrt(static_cast<double>(count));
+    const double logp = std::log(static_cast<double>(count) /
+                                 static_cast<double>(intervals));
+    a.append_row(*row, weight);
+    b.push_back(logp * weight);
   }
 
   correlation_heuristic_result result{
@@ -86,9 +93,21 @@ correlation_heuristic_result compute_correlation_heuristic(
   result.system_rank = solution.rank;
   for (std::size_t i = 0; i < solution.x.size(); ++i) {
     result.estimates.set_good_probability(i, std::exp(solution.x[i]),
-                                          solution.identifiable[i]);
+                                          solution.identifiable.test(i));
   }
   return result;
+}
+
+correlation_heuristic_result compute_correlation_heuristic(
+    const topology& t, const experiment_data& data,
+    const correlation_heuristic_params& params) {
+  const path_observations obs(data);
+  const std::vector<bitvec> sets = correlation_heuristic_path_sets(t, params);
+  std::vector<std::size_t> counts;
+  counts.reserve(sets.size());
+  for (const bitvec& set : sets) counts.push_back(obs.count_all_good(set));
+  return solve_correlation_heuristic(t, sets, counts, data.intervals,
+                                     obs.always_good_paths(), params);
 }
 
 }  // namespace ntom

@@ -32,4 +32,20 @@ struct correlation_heuristic_result {
     const topology& t, const experiment_data& data,
     const correlation_heuristic_params& params = {});
 
+/// The flooded equation family (all singles, then capped intersecting
+/// pairs and triples in deterministic order) — topology-determined, so
+/// this fit streams: count the family online, then finish with
+/// solve_correlation_heuristic.
+[[nodiscard]] std::vector<bitvec> correlation_heuristic_path_sets(
+    const topology& t, const correlation_heuristic_params& params = {});
+
+/// Assembles and solves the flooded system from measured all-good
+/// counts. Bit-identical to compute_correlation_heuristic when the
+/// counts come from the same experiment.
+[[nodiscard]] correlation_heuristic_result solve_correlation_heuristic(
+    const topology& t, const std::vector<bitvec>& path_sets,
+    const std::vector<std::size_t>& counts, std::size_t intervals,
+    const bitvec& always_good_paths,
+    const correlation_heuristic_params& params = {});
+
 }  // namespace ntom

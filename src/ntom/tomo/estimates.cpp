@@ -14,12 +14,16 @@ probability_estimates::probability_estimates(const topology& t,
       catalog_(std::move(catalog)),
       potcong_(std::move(potcong)),
       good_prob_(catalog_.size(), 1.0),
-      identifiable_(catalog_.size(), false) {}
+      identifiable_(catalog_.size()) {}
 
 void probability_estimates::set_good_probability(std::size_t i, double value,
                                                  bool identifiable) {
   good_prob_[i] = std::clamp(value, 0.0, 1.0);
-  identifiable_[i] = identifiable;
+  if (identifiable) {
+    identifiable_.set(i);
+  } else {
+    identifiable_.reset(i);
+  }
 }
 
 std::optional<double> probability_estimates::subset_good(
@@ -28,14 +32,18 @@ std::optional<double> probability_estimates::subset_good(
   trimmed &= potcong_;  // always-good links are good w.p. 1.
   if (trimmed.empty()) return 1.0;
   const std::size_t i = catalog_.find(trimmed);
-  if (i == subset_catalog::npos || !identifiable_[i]) return std::nullopt;
+  if (i == subset_catalog::npos || !identifiable_.test(i)) {
+    return std::nullopt;
+  }
   return good_prob_[i];
 }
 
 std::optional<double> probability_estimates::link_congestion(link_id e) const {
   if (!potcong_.test(e)) return 0.0;
   const std::size_t i = catalog_.singleton_of(e);
-  if (i == subset_catalog::npos || !identifiable_[i]) return std::nullopt;
+  if (i == subset_catalog::npos || !identifiable_.test(i)) {
+    return std::nullopt;
+  }
   return 1.0 - good_prob_[i];
 }
 
@@ -66,14 +74,14 @@ std::optional<double> probability_estimates::set_congestion(
 link_estimates probability_estimates::to_link_estimates() const {
   link_estimates out;
   out.congestion.assign(topo_->num_links(), 0.0);
-  out.estimated.assign(topo_->num_links(), false);
+  out.estimated = bitvec(topo_->num_links());
 
   potcong_.for_each([&](std::size_t le) {
     const auto e = static_cast<link_id>(le);
     const auto direct = link_congestion(e);
     if (direct) {
       out.congestion[e] = *direct;
-      out.estimated[e] = true;
+      out.estimated.set(e);
       return;
     }
     // First fallback: the minimum-norm least-squares value stored for
@@ -91,7 +99,7 @@ link_estimates probability_estimates::to_link_estimates() const {
     std::size_t best = subset_catalog::npos;
     std::size_t best_size = static_cast<std::size_t>(-1);
     for (std::size_t i = 0; i < catalog_.size(); ++i) {
-      if (!identifiable_[i] || !catalog_.subset(i).test(e)) continue;
+      if (!identifiable_.test(i) || !catalog_.subset(i).test(e)) continue;
       const std::size_t size = catalog_.subset(i).count();
       if (size < best_size) {
         best = i;
@@ -107,10 +115,9 @@ link_estimates probability_estimates::to_link_estimates() const {
 }
 
 double probability_estimates::identifiable_fraction() const noexcept {
-  if (identifiable_.empty()) return 0.0;
-  std::size_t count = 0;
-  for (const bool b : identifiable_) count += b ? 1 : 0;
-  return static_cast<double>(count) / static_cast<double>(identifiable_.size());
+  if (identifiable_.size() == 0) return 0.0;
+  return static_cast<double>(identifiable_.count()) /
+         static_cast<double>(identifiable_.size());
 }
 
 }  // namespace ntom

@@ -21,7 +21,7 @@ namespace ntom {
 /// Per-link outputs all three algorithms can emit (for Fig. 4 metrics).
 struct link_estimates {
   std::vector<double> congestion;  ///< per link; 0 for non-potentially-congested.
-  std::vector<bool> estimated;     ///< false = not determined by the system.
+  bitvec estimated;  ///< bit unset = not determined by the system.
 };
 
 /// Subset-level "all good" probabilities tied to a subset catalog.
@@ -67,7 +67,7 @@ class probability_estimates {
     return catalog_.size();
   }
   [[nodiscard]] bool identifiable(std::size_t i) const noexcept {
-    return identifiable_[i];
+    return identifiable_.test(i);
   }
   [[nodiscard]] double good_probability(std::size_t i) const noexcept {
     return good_prob_[i];
@@ -78,7 +78,7 @@ class probability_estimates {
   subset_catalog catalog_;
   bitvec potcong_;
   std::vector<double> good_prob_;
-  std::vector<bool> identifiable_;
+  bitvec identifiable_;
 };
 
 }  // namespace ntom

@@ -7,12 +7,43 @@
 
 namespace ntom {
 
-independence_result compute_independence(const topology& t,
-                                         const experiment_data& data,
-                                         const independence_params& params) {
-  const path_observations obs(data);
-  const bitvec potcong =
-      potentially_congested_links(t, obs.always_good_paths());
+std::vector<bitvec> independence_path_sets(const topology& t,
+                                           const independence_params& params) {
+  std::vector<bitvec> sets;
+  sets.reserve(t.num_paths());
+  // Single paths.
+  for (path_id p = 0; p < t.num_paths(); ++p) {
+    bitvec single(t.num_paths());
+    single.set(p);
+    sets.push_back(std::move(single));
+  }
+  // Pairs of intersecting paths, in deterministic order, capped.
+  std::size_t pairs = 0;
+  for (path_id p = 0; p < t.num_paths() && pairs < params.max_pair_equations;
+       ++p) {
+    for (path_id q = p + 1;
+         q < t.num_paths() && pairs < params.max_pair_equations; ++q) {
+      if (!t.get_path(p).link_set().intersects(t.get_path(q).link_set())) {
+        continue;
+      }
+      bitvec pair(t.num_paths());
+      pair.set(p);
+      pair.set(q);
+      sets.push_back(std::move(pair));
+      ++pairs;
+    }
+  }
+  return sets;
+}
+
+independence_result solve_independence(const topology& t,
+                                       const std::vector<bitvec>& path_sets,
+                                       const std::vector<std::size_t>& counts,
+                                       std::size_t intervals,
+                                       const bitvec& always_good_paths,
+                                       const independence_params& params) {
+  (void)params;
+  const bitvec potcong = potentially_congested_links(t, always_good_paths);
 
   // Column map: potentially congested links only (others are good w.p. 1
   // and would only add zero columns).
@@ -27,48 +58,26 @@ independence_result compute_independence(const topology& t,
 
   sparse_matrix a(n);
   std::vector<double> b;
-  auto add_equation = [&](const bitvec& path_set) {
-    const auto logp = obs.log_empirical_all_good(path_set);
-    if (!logp) return;
-    bitvec links = t.links_of_paths(path_set);
+  for (std::size_t i = 0; i < path_sets.size(); ++i) {
+    const std::size_t count = counts[i];
+    if (count == 0) continue;  // no finite log-probability.
+    bitvec links = t.links_of_paths(path_sets[i]);
     links &= potcong;
-    if (links.empty()) return;
-    // sqrt(count) weighting: same variance argument as in
-    // correlation_complete.cpp.
-    const double weight =
-        std::sqrt(static_cast<double>(obs.count_all_good(path_set)));
+    if (links.empty()) continue;
+    // sqrt(count) weighting: var(log p̂) ≈ (1-p)/(T p) shrinks with the
+    // all-good count, so well-observed equations dominate the fit.
+    const double weight = std::sqrt(static_cast<double>(count));
+    const double logp = std::log(static_cast<double>(count) /
+                                 static_cast<double>(intervals));
     std::vector<std::size_t> cols;
     links.for_each([&](std::size_t e) { cols.push_back(col_of_link[e]); });
     a.append_row(cols, weight);
-    b.push_back(*logp * weight);
-  };
-
-  // Single paths.
-  for (path_id p = 0; p < t.num_paths(); ++p) {
-    bitvec single(t.num_paths());
-    single.set(p);
-    add_equation(single);
-  }
-  // Pairs of intersecting paths, in deterministic order, capped.
-  std::size_t pairs = 0;
-  for (path_id p = 0; p < t.num_paths() && pairs < params.max_pair_equations;
-       ++p) {
-    for (path_id q = p + 1;
-         q < t.num_paths() && pairs < params.max_pair_equations; ++q) {
-      if (!t.get_path(p).link_set().intersects(t.get_path(q).link_set())) {
-        continue;
-      }
-      bitvec pair(t.num_paths());
-      pair.set(p);
-      pair.set(q);
-      add_equation(pair);
-      ++pairs;
-    }
+    b.push_back(logp * weight);
   }
 
   independence_result result;
   result.links.congestion.assign(t.num_links(), 0.0);
-  result.links.estimated.assign(t.num_links(), false);
+  result.links.estimated = bitvec(t.num_links());
   result.log_good.assign(t.num_links(), 0.0);
   result.equations_used = b.size();
   if (b.empty()) return result;
@@ -81,9 +90,21 @@ independence_result compute_independence(const topology& t,
     const double log_good = std::min(solution.x[c], 0.0);
     result.log_good[e] = log_good;
     result.links.congestion[e] = 1.0 - std::exp(log_good);
-    result.links.estimated[e] = solution.identifiable[c];
+    if (solution.identifiable.test(c)) result.links.estimated.set(e);
   }
   return result;
+}
+
+independence_result compute_independence(const topology& t,
+                                         const experiment_data& data,
+                                         const independence_params& params) {
+  const path_observations obs(data);
+  const std::vector<bitvec> sets = independence_path_sets(t, params);
+  std::vector<std::size_t> counts;
+  counts.reserve(sets.size());
+  for (const bitvec& set : sets) counts.push_back(obs.count_all_good(set));
+  return solve_independence(t, sets, counts, data.intervals,
+                            obs.always_good_paths(), params);
 }
 
 }  // namespace ntom

@@ -35,4 +35,21 @@ struct independence_result {
     const topology& t, const experiment_data& data,
     const independence_params& params = {});
 
+/// The equation family (single paths, then capped intersecting pairs in
+/// deterministic order) — a pure function of the topology, which is why
+/// this fit can stream: register these sets with a pathset_counter, then
+/// finish with solve_independence once the counters are exact.
+[[nodiscard]] std::vector<bitvec> independence_path_sets(
+    const topology& t, const independence_params& params = {});
+
+/// Assembles and solves the Independence system from measured all-good
+/// counts (`counts[i]` for `path_sets[i]`, out of `intervals`).
+/// Bit-identical to compute_independence when the counts come from the
+/// same experiment — the materialized wrapper is exactly this call on
+/// path_observations-derived counts.
+[[nodiscard]] independence_result solve_independence(
+    const topology& t, const std::vector<bitvec>& path_sets,
+    const std::vector<std::size_t>& counts, std::size_t intervals,
+    const bitvec& always_good_paths, const independence_params& params = {});
+
 }  // namespace ntom

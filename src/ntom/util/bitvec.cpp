@@ -28,6 +28,14 @@ void bitvec::reset(std::size_t i) noexcept {
 
 void bitvec::clear() noexcept { std::fill(words_.begin(), words_.end(), 0ULL); }
 
+bitvec& bitvec::flip() noexcept {
+  for (auto& w : words_) w = ~w;
+  if (!words_.empty() && size_ % 64 != 0) {
+    words_.back() &= (std::uint64_t{1} << (size_ % 64)) - 1;
+  }
+  return *this;
+}
+
 bitvec& bitvec::operator|=(const bitvec& other) noexcept {
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
   return *this;

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ntom {
@@ -25,12 +26,36 @@ class bitvec {
   /// Number of set bits.
   [[nodiscard]] std::size_t count() const noexcept;
 
-  [[nodiscard]] bool empty() const noexcept { return count() == 0; }
+  /// True iff no bit is set. Short-circuits on the first nonzero word —
+  /// the inner loops of the inference algorithms call this constantly.
+  [[nodiscard]] bool empty() const noexcept {
+    for (const auto w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Sentinel returned by find_first() on an empty set.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Index of the lowest set bit; npos when empty. O(words) with no
+  /// allocation — replaces `to_indices().front()` on hot paths.
+  [[nodiscard]] std::size_t find_first() const noexcept {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] != 0) {
+        return w * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+      }
+    }
+    return npos;
+  }
 
   [[nodiscard]] bool test(std::size_t i) const noexcept;
   void set(std::size_t i) noexcept;
   void reset(std::size_t i) noexcept;
   void clear() noexcept;
+
+  /// Complements every bit (bits beyond size() stay zero).
+  bitvec& flip() noexcept;
 
   /// In-place set algebra. All operands must share the universe size.
   bitvec& operator|=(const bitvec& other) noexcept;
@@ -74,6 +99,29 @@ class bitvec {
         word &= word - 1;
       }
     }
+  }
+
+  /// Canonical name for the allocation-free set-bit walk (same as
+  /// for_each; inner loops should prefer this over to_indices()).
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for_each(std::forward<Fn>(fn));
+  }
+
+  /// Packed-word access for bulk kernels (bit_matrix splicing, fused
+  /// AND+popcount). Bits past size() are guaranteed zero.
+  [[nodiscard]] std::size_t num_words() const noexcept {
+    return words_.size();
+  }
+  [[nodiscard]] std::uint64_t word(std::size_t w) const noexcept {
+    return words_[w];
+  }
+  [[nodiscard]] const std::uint64_t* word_data() const noexcept {
+    return words_.data();
+  }
+  /// OR-merges a whole word; the caller must keep bits past size() zero.
+  void word_or(std::size_t w, std::uint64_t bits) noexcept {
+    words_[w] |= bits;
   }
 
   /// "{1,4,7}" — for diagnostics and test failure messages.

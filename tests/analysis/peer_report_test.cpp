@@ -61,13 +61,13 @@ TEST(SliceExperimentTest, PreservesWindow) {
 
   const auto window = slice_experiment(data, 20, 60);
   EXPECT_EQ(window.intervals, 40u);
-  EXPECT_EQ(window.congested_paths_by_interval.size(), 40u);
+  EXPECT_EQ(window.path_good.cols(), 40u);
+  EXPECT_EQ(window.true_links.rows(), 40u);
   for (std::size_t i = 0; i < 40; ++i) {
-    EXPECT_EQ(window.congested_paths_by_interval[i],
-              data.congested_paths_by_interval[20 + i]);
+    EXPECT_EQ(window.congested_paths_at(i), data.congested_paths_at(20 + i));
+    EXPECT_EQ(window.true_links_at(i), data.true_links_at(20 + i));
     for (path_id p = 0; p < t.num_paths(); ++p) {
-      EXPECT_EQ(window.path_good_intervals[p].test(i),
-                data.path_good_intervals[p].test(20 + i));
+      EXPECT_EQ(window.path_good.test(p, i), data.path_good.test(p, 20 + i));
     }
   }
 }

@@ -38,7 +38,7 @@ void expect_links_equal(const link_estimates& a, const link_estimates& b) {
   ASSERT_EQ(a.congestion.size(), b.congestion.size());
   for (std::size_t e = 0; e < a.congestion.size(); ++e) {
     EXPECT_EQ(a.congestion[e], b.congestion[e]) << "link " << e;  // bitwise.
-    EXPECT_EQ(a.estimated[e], b.estimated[e]) << "link " << e;
+    EXPECT_EQ(a.estimated.test(e), b.estimated.test(e)) << "link " << e;
   }
 }
 
@@ -52,7 +52,7 @@ std::unique_ptr<estimator> fitted(const char* name) {
 void expect_infer_matches(const estimator& est, const infer_fn& direct) {
   const run_artifacts& run = seeded_run();
   for (std::size_t t = 0; t < run.data.intervals; ++t) {
-    const bitvec& congested = run.data.congested_paths_by_interval[t];
+    const bitvec congested = run.data.congested_paths_at(t);
     EXPECT_EQ(est.infer(congested), direct(congested)) << "interval " << t;
   }
 }

@@ -20,10 +20,7 @@ run_config tiny_config() {
 /// Cheap deterministic eval: statistics of the simulated data itself.
 std::vector<measurement> count_eval(const run_config&,
                                     const run_artifacts& run) {
-  double congested = 0.0;
-  for (const bitvec& links : run.data.congested_links_by_interval) {
-    congested += static_cast<double>(links.count());
-  }
+  const double congested = static_cast<double>(run.data.true_links.count());
   return {{"sim", "congested_link_intervals", congested},
           {"sim", "paths", static_cast<double>(run.topo.num_paths())}};
 }

@@ -74,7 +74,8 @@ TEST(LinkErrorsTest, ComputedOverPotcongOnly) {
 
   link_estimates est;
   est.congestion.assign(t.num_links(), 0.0);
-  est.estimated.assign(t.num_links(), true);
+  est.estimated = bitvec(t.num_links());
+  est.estimated.flip();
   est.congestion[toy_e1] = 0.3;
 
   bitvec potcong(t.num_links());

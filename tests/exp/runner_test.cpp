@@ -107,7 +107,7 @@ TEST(RunnerTest, ScoreInferencePerfectOracle) {
   // A cheating "inferencer" that returns the truth scores perfectly.
   std::size_t i = 0;
   const auto metrics = score_inference(run, [&](const bitvec&) {
-    return run.data.congested_links_by_interval[i++];
+    return run.data.true_links_at(i++);
   });
   EXPECT_DOUBLE_EQ(metrics.detection_rate, 1.0);
   EXPECT_DOUBLE_EQ(metrics.false_positive_rate, 0.0);
@@ -123,10 +123,7 @@ TEST(RunnerTest, DeterministicAcrossCalls) {
   const auto a = prepare_run(small_config());
   const auto b = prepare_run(small_config());
   EXPECT_EQ(a.topo.num_links(), b.topo.num_links());
-  for (std::size_t i = 0; i < a.data.intervals; ++i) {
-    EXPECT_EQ(a.data.congested_links_by_interval[i],
-              b.data.congested_links_by_interval[i]);
-  }
+  EXPECT_TRUE(a.data.true_links == b.data.true_links);
 }
 
 }  // namespace

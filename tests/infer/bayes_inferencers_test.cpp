@@ -23,8 +23,8 @@ inference_metrics score(const topology& t, const experiment_data& data,
                         const std::function<bitvec(const bitvec&)>& infer) {
   inference_scorer scorer;
   for (std::size_t i = 0; i < data.intervals; ++i) {
-    scorer.add_interval(infer(data.congested_paths_by_interval[i]),
-                        data.congested_links_by_interval[i]);
+    scorer.add_interval(infer(data.congested_paths_at(i)),
+                        data.true_links_at(i));
   }
   return scorer.result();
 }
@@ -93,7 +93,7 @@ TEST(BayesInferencersTest, SolutionsExplainObservations) {
   const bayes_independence_inferencer indep(t, data);
   const bayes_correlation_inferencer corr(t, data);
   for (std::size_t i = 0; i < data.intervals; ++i) {
-    const auto& congested = data.congested_paths_by_interval[i];
+    const bitvec congested = data.congested_paths_at(i);
     const auto obs = make_observation(t, congested);
     EXPECT_TRUE(explains_observation(t, obs, indep.infer(congested)));
     EXPECT_TRUE(explains_observation(t, obs, corr.infer(congested)));

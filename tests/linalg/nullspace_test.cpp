@@ -66,15 +66,15 @@ TEST(RowHammingWeightsTest, CountsNonZeros) {
 TEST(IdentifiableCoordinatesTest, ZeroRowsAreIdentifiable) {
   matrix n{{0.0, 0.0}, {1e-3, 0.0}, {0.0, 0.0}};
   const auto id = identifiable_coordinates(n);
-  EXPECT_TRUE(id[0]);
-  EXPECT_FALSE(id[1]);
-  EXPECT_TRUE(id[2]);
+  EXPECT_TRUE(id.test(0));
+  EXPECT_FALSE(id.test(1));
+  EXPECT_TRUE(id.test(2));
 }
 
 TEST(IdentifiableCoordinatesTest, EmptyNullSpaceAllIdentifiable) {
   matrix n(4, 0);
   const auto id = identifiable_coordinates(n);
-  for (const bool b : id) EXPECT_TRUE(b);
+  EXPECT_EQ(id.count(), id.size());
 }
 
 // The central property: Algorithm 2's incremental update spans the same

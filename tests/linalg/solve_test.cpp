@@ -24,8 +24,8 @@ TEST(LeastSquaresTest, ExactSquareSystem) {
   EXPECT_NEAR(sol.x[0], 2.0, 1e-10);
   EXPECT_NEAR(sol.x[1], 1.0, 1e-10);
   EXPECT_NEAR(sol.residual_norm, 0.0, 1e-10);
-  EXPECT_TRUE(sol.identifiable[0]);
-  EXPECT_TRUE(sol.identifiable[1]);
+  EXPECT_TRUE(sol.identifiable.test(0));
+  EXPECT_TRUE(sol.identifiable.test(1));
 }
 
 TEST(LeastSquaresTest, OverdeterminedRegression) {
@@ -54,8 +54,8 @@ TEST(LeastSquaresTest, RankDeficientFlagsUnidentifiable) {
   const matrix a{{1, 1}, {1, 1}};
   const auto sol = solve_least_squares(a, {2.0, 2.0});
   EXPECT_EQ(sol.rank, 1u);
-  EXPECT_FALSE(sol.identifiable[0]);
-  EXPECT_FALSE(sol.identifiable[1]);
+  EXPECT_FALSE(sol.identifiable.test(0));
+  EXPECT_FALSE(sol.identifiable.test(1));
   EXPECT_NEAR(sol.x[0], 1.0, 1e-10);
   EXPECT_NEAR(sol.x[1], 1.0, 1e-10);
 }
@@ -64,9 +64,9 @@ TEST(LeastSquaresTest, MixedIdentifiability) {
   // x0 determined; x1, x2 only in sum.
   const matrix a{{1, 0, 0}, {0, 1, 1}};
   const auto sol = solve_least_squares(a, {5.0, 4.0});
-  EXPECT_TRUE(sol.identifiable[0]);
-  EXPECT_FALSE(sol.identifiable[1]);
-  EXPECT_FALSE(sol.identifiable[2]);
+  EXPECT_TRUE(sol.identifiable.test(0));
+  EXPECT_FALSE(sol.identifiable.test(1));
+  EXPECT_FALSE(sol.identifiable.test(2));
   EXPECT_NEAR(sol.x[0], 5.0, 1e-10);
   // Minimum-norm splits the sum evenly.
   EXPECT_NEAR(sol.x[1], 2.0, 1e-10);
@@ -104,7 +104,7 @@ TEST_P(LeastSquaresPropertyTest, RecoversConsistentSolutions) {
   // Identifiable coordinates are recovered exactly; the others satisfy
   // the system but may differ from x_true.
   for (std::size_t j = 0; j < cols; ++j) {
-    if (sol.identifiable[j]) {
+    if (sol.identifiable.test(j)) {
       EXPECT_NEAR(sol.x[j], x_true[j], 1e-6) << "identifiable coord " << j;
     }
   }

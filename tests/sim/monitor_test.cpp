@@ -15,11 +15,11 @@ namespace {
 experiment_data make_data() {
   experiment_data data;
   data.intervals = 4;
-  data.path_good_intervals.assign(3, bitvec(4));
-  auto& g = data.path_good_intervals;
-  g[0].set(0); g[0].set(1); g[0].set(3);
-  g[1].set(0); g[1].set(3);
-  g[2].set(0); g[2].set(1); g[2].set(2); g[2].set(3);
+  data.path_good = bit_matrix(3, 4);
+  auto& g = data.path_good;
+  g.set(0, 0); g.set(0, 1); g.set(0, 3);
+  g.set(1, 0); g.set(1, 3);
+  g.set(2, 0); g.set(2, 1); g.set(2, 2); g.set(2, 3);
   data.always_good_paths = bitvec(3);
   data.always_good_paths.set(2);
   return data;
@@ -65,7 +65,7 @@ TEST(PathObservationsTest, LogOfPositiveCount) {
 TEST(PathObservationsTest, LogOfZeroCountIsNullopt) {
   experiment_data data;
   data.intervals = 4;
-  data.path_good_intervals.assign(1, bitvec(4));  // never good.
+  data.path_good = bit_matrix(1, 4);  // never good.
   const path_observations obs(data);
   bitvec p0(1);
   p0.set(0);

@@ -25,10 +25,10 @@ TEST(PacketSimTest, ShapesAreConsistent) {
   sim.intervals = 50;
   const auto data = run_experiment(t, m, sim);
   EXPECT_EQ(data.intervals, 50u);
-  EXPECT_EQ(data.path_good_intervals.size(), t.num_paths());
-  EXPECT_EQ(data.congested_paths_by_interval.size(), 50u);
-  EXPECT_EQ(data.congested_links_by_interval.size(), 50u);
-  for (const auto& b : data.path_good_intervals) EXPECT_EQ(b.size(), 50u);
+  EXPECT_EQ(data.path_good.rows(), t.num_paths());
+  EXPECT_EQ(data.path_good.cols(), 50u);
+  EXPECT_EQ(data.true_links.rows(), 50u);
+  EXPECT_EQ(data.true_links.cols(), t.num_links());
 }
 
 TEST(PacketSimTest, NoCongestionMostlyGoodObservations) {
@@ -41,10 +41,7 @@ TEST(PacketSimTest, NoCongestionMostlyGoodObservations) {
   // E2E monitoring has false positives (the paper's §2 caveat): a good
   // short path whose links draw loss near f can cross the threshold
   // under probing noise. The margin keeps this rare but not zero.
-  std::size_t good = 0;
-  for (path_id p = 0; p < t.num_paths(); ++p) {
-    good += data.path_good_intervals[p].count();
-  }
+  const std::size_t good = data.path_good.count();
   EXPECT_GE(good, 97 * t.num_paths());  // >= 97% of path-intervals.
   EXPECT_TRUE(data.ever_congested_links.empty());  // truth is clean.
 }
@@ -67,10 +64,10 @@ TEST(PacketSimTest, OracleMonitorMatchesLinkStates) {
   sim.oracle_monitor = true;
   const auto data = run_experiment(t, m, sim);
   for (std::size_t i = 0; i < data.intervals; ++i) {
-    const bool e1_congested = data.congested_links_by_interval[i].test(toy_e1);
-    EXPECT_EQ(data.congested_paths_by_interval[i].test(toy_p1), e1_congested);
-    EXPECT_EQ(data.congested_paths_by_interval[i].test(toy_p2), e1_congested);
-    EXPECT_FALSE(data.congested_paths_by_interval[i].test(toy_p3));
+    const bool e1_congested = data.true_links.test(i, toy_e1);
+    EXPECT_EQ(!data.path_good.test(toy_p1, i), e1_congested);
+    EXPECT_EQ(!data.path_good.test(toy_p2, i), e1_congested);
+    EXPECT_TRUE(data.path_good.test(toy_p3, i));
   }
 }
 
@@ -81,9 +78,9 @@ TEST(PacketSimTest, PathGoodBitsComplementCongestedBits) {
   sim.intervals = 120;
   const auto data = run_experiment(t, m, sim);
   for (std::size_t i = 0; i < data.intervals; ++i) {
+    const bitvec congested = data.congested_paths_at(i);
     for (path_id p = 0; p < t.num_paths(); ++p) {
-      EXPECT_NE(data.path_good_intervals[p].test(i),
-                data.congested_paths_by_interval[i].test(p));
+      EXPECT_NE(data.path_good.test(p, i), congested.test(p));
     }
   }
 }
@@ -107,10 +104,8 @@ TEST(PacketSimTest, DeterministicInSeed) {
   sim.seed = 31;
   const auto a = run_experiment(t, m, sim);
   const auto b = run_experiment(t, m, sim);
-  for (std::size_t i = 0; i < sim.intervals; ++i) {
-    EXPECT_EQ(a.congested_paths_by_interval[i], b.congested_paths_by_interval[i]);
-    EXPECT_EQ(a.congested_links_by_interval[i], b.congested_links_by_interval[i]);
-  }
+  EXPECT_TRUE(a.path_good == b.path_good);
+  EXPECT_TRUE(a.true_links == b.true_links);
 }
 
 TEST(PacketSimTest, ProbingDetectsSevereCongestion) {
@@ -124,7 +119,7 @@ TEST(PacketSimTest, ProbingDetectsSevereCongestion) {
   // of intervals (loss is drawn U(0.01,1), mostly well above threshold).
   std::size_t congested_p1 = 0;
   for (std::size_t i = 0; i < data.intervals; ++i) {
-    congested_p1 += data.congested_paths_by_interval[i].test(toy_p1);
+    congested_p1 += !data.path_good.test(toy_p1, i);
   }
   EXPECT_GT(congested_p1, 250u);
 }
@@ -139,7 +134,7 @@ TEST(PacketSimTest, PathObservationFrequencyTracksLinkProbability) {
   const auto data = run_experiment(t, m, sim);
   std::size_t congested_p3 = 0;
   for (std::size_t i = 0; i < data.intervals; ++i) {
-    congested_p3 += data.congested_paths_by_interval[i].test(toy_p3);
+    congested_p3 += !data.path_good.test(toy_p3, i);
   }
   const double freq = static_cast<double>(congested_p3) /
                       static_cast<double>(data.intervals);

@@ -1,0 +1,157 @@
+// Streaming-vs-materialized equivalence: the same seed must produce
+// bit-identical experiment views through every consumption path, at
+// every chunk size — the ISSUE-3 reproducibility contract.
+#include <gtest/gtest.h>
+
+#include "ntom/sim/monitor.hpp"
+#include "ntom/sim/packet_sim.hpp"
+#include "ntom/sim/scenario.hpp"
+#include "ntom/sim/truth.hpp"
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom {
+namespace {
+
+using namespace topogen;
+
+struct sim_fixture {
+  topology topo;
+  congestion_model model;
+  sim_params sim;
+};
+
+sim_fixture make_fixture(std::size_t intervals) {
+  sim_fixture f{make_toy(toy_case::case1), {}, {}};
+  scenario_params sp;
+  sp.seed = 11;
+  f.model = make_scenario(f.topo, "random_congestion", sp);
+  f.sim.intervals = intervals;
+  f.sim.packets_per_path = 60;  // real probing: noisy observations.
+  f.sim.seed = 23;
+  return f;
+}
+
+constexpr std::size_t chunk_sizes[] = {1, 7, 64, 100};
+
+TEST(StreamingEquivalenceTest, MaterializedStoreBitIdenticalAtAnyChunk) {
+  const sim_fixture f = make_fixture(100);
+  const experiment_data reference = run_experiment(f.topo, f.model, f.sim);
+  ASSERT_EQ(reference.intervals, 100u);
+
+  for (const std::size_t chunk : chunk_sizes) {
+    experiment_data streamed;
+    materialize_sink sink(streamed);
+    run_experiment_streaming(f.topo, f.model, f.sim, sink, chunk);
+    EXPECT_EQ(streamed.intervals, reference.intervals) << "chunk " << chunk;
+    EXPECT_TRUE(streamed.path_good == reference.path_good)
+        << "chunk " << chunk;
+    EXPECT_TRUE(streamed.true_links == reference.true_links)
+        << "chunk " << chunk;
+    EXPECT_EQ(streamed.always_good_paths, reference.always_good_paths)
+        << "chunk " << chunk;
+    EXPECT_EQ(streamed.ever_congested_links, reference.ever_congested_links)
+        << "chunk " << chunk;
+  }
+}
+
+TEST(StreamingEquivalenceTest, AccumulatingObservationsMatchView) {
+  const sim_fixture f = make_fixture(100);
+  const experiment_data data = run_experiment(f.topo, f.model, f.sim);
+  const path_observations view(data);
+
+  for (const std::size_t chunk : chunk_sizes) {
+    path_observations streamed;
+    run_experiment_streaming(f.topo, f.model, f.sim, streamed, chunk);
+    EXPECT_EQ(streamed.intervals(), view.intervals());
+    EXPECT_EQ(streamed.always_good_paths(), view.always_good_paths())
+        << "chunk " << chunk;
+    EXPECT_TRUE(streamed.good_matrix() == view.good_matrix())
+        << "chunk " << chunk;
+    // Every query answers identically: singles, pairs, the full set.
+    for (path_id p = 0; p < f.topo.num_paths(); ++p) {
+      bitvec single(f.topo.num_paths());
+      single.set(p);
+      EXPECT_EQ(streamed.count_all_good(single), view.count_all_good(single));
+      for (path_id q = p + 1; q < f.topo.num_paths(); ++q) {
+        bitvec pair = single;
+        pair.set(q);
+        EXPECT_EQ(streamed.count_all_good(pair), view.count_all_good(pair));
+      }
+    }
+    bitvec all(f.topo.num_paths());
+    all.flip();
+    EXPECT_EQ(streamed.count_all_good(all), view.count_all_good(all));
+  }
+}
+
+TEST(StreamingEquivalenceTest, PathsetCounterMatchesObservations) {
+  const sim_fixture f = make_fixture(100);
+  const experiment_data data = run_experiment(f.topo, f.model, f.sim);
+  const path_observations view(data);
+
+  // A mixed family: empty set, singles, pairs, everything.
+  std::vector<bitvec> family;
+  family.emplace_back(f.topo.num_paths());
+  for (path_id p = 0; p < f.topo.num_paths(); ++p) {
+    bitvec single(f.topo.num_paths());
+    single.set(p);
+    family.push_back(single);
+    for (path_id q = p + 1; q < f.topo.num_paths(); ++q) {
+      bitvec pair = single;
+      pair.set(q);
+      family.push_back(pair);
+    }
+  }
+  bitvec all(f.topo.num_paths());
+  all.flip();
+  family.push_back(all);
+
+  for (const std::size_t chunk : chunk_sizes) {
+    pathset_counter counter(family);
+    run_experiment_streaming(f.topo, f.model, f.sim, counter, chunk);
+    EXPECT_EQ(counter.intervals(), view.intervals());
+    EXPECT_EQ(counter.always_good_paths(), view.always_good_paths())
+        << "chunk " << chunk;
+    ASSERT_EQ(counter.counts().size(), family.size());
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      EXPECT_EQ(counter.counts()[i], view.count_all_good(family[i]))
+          << "chunk " << chunk << " set " << family[i].to_string();
+    }
+  }
+}
+
+TEST(StreamingEquivalenceTest, EmpiricalTruthMatchesStore) {
+  const sim_fixture f = make_fixture(100);
+  const experiment_data data = run_experiment(f.topo, f.model, f.sim);
+
+  for (const std::size_t chunk : chunk_sizes) {
+    empirical_truth truth;
+    run_experiment_streaming(f.topo, f.model, f.sim, truth, chunk);
+    EXPECT_EQ(truth.ever_congested_links(), data.ever_congested_links)
+        << "chunk " << chunk;
+    const bit_matrix by_link = data.true_links.transposed();
+    for (link_id e = 0; e < f.topo.num_links(); ++e) {
+      EXPECT_EQ(truth.congested_count(e), by_link.count_row(e))
+          << "chunk " << chunk << " link " << e;
+    }
+  }
+}
+
+TEST(StreamingEquivalenceTest, FanoutFeedsAllConsumersOnePass) {
+  const sim_fixture f = make_fixture(100);
+  const experiment_data reference = run_experiment(f.topo, f.model, f.sim);
+
+  experiment_data materialized;
+  materialize_sink store(materialized);
+  path_observations obs;
+  empirical_truth truth;
+  fanout_sink fanout({&store, &obs, &truth});
+  run_experiment_streaming(f.topo, f.model, f.sim, fanout, 7);
+
+  EXPECT_TRUE(materialized.path_good == reference.path_good);
+  EXPECT_TRUE(obs.good_matrix() == reference.path_good);
+  EXPECT_EQ(truth.ever_congested_links(), reference.ever_congested_links);
+}
+
+}  // namespace
+}  // namespace ntom

@@ -111,10 +111,9 @@ TEST(GroundTruthTest, EmpiricalFrequenciesConverge) {
   std::size_t joint23 = 0;
   for (std::size_t i = 0; i < data.intervals; ++i) {
     for (link_id e = 0; e < t.num_links(); ++e) {
-      count[e] += data.congested_links_by_interval[i].test(e);
+      count[e] += data.true_links.test(i, e);
     }
-    joint23 += data.congested_links_by_interval[i].test(toy_e2) &&
-               data.congested_links_by_interval[i].test(toy_e3);
+    joint23 += data.true_links.test(i, toy_e2) && data.true_links.test(i, toy_e3);
   }
   for (link_id e = 0; e < t.num_links(); ++e) {
     EXPECT_NEAR(static_cast<double>(count[e]) / data.intervals,

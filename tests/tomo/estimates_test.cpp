@@ -129,7 +129,7 @@ TEST(EstimatesTest, ToLinkEstimatesDirect) {
                            {{toy_e2, toy_e3}, 0.75}});
   const auto links = est.to_link_estimates();
   EXPECT_NEAR(links.congestion[toy_e1], 0.3, 1e-12);
-  EXPECT_TRUE(links.estimated[toy_e1]);
+  EXPECT_TRUE(links.estimated.test(toy_e1));
   EXPECT_NEAR(links.congestion[toy_e2], 0.2, 1e-12);
 }
 
@@ -149,7 +149,7 @@ TEST(EstimatesTest, FallbackUsesMinNormSingletonValue) {
                            /*identifiable=*/false);
 
   const auto links = est.to_link_estimates();
-  EXPECT_FALSE(links.estimated[toy_e2]);
+  EXPECT_FALSE(links.estimated.test(toy_e2));
   // Fallback reports the stored (min-norm) value: 1 - 0.8.
   EXPECT_NEAR(links.congestion[toy_e2], 0.2, 1e-12);
 }
@@ -177,7 +177,7 @@ TEST(EstimatesTest, LastResortGeometricSplit) {
   const auto links = est.to_link_estimates();
   // Singleton untouched -> min-norm default g=1 -> congestion 0.
   EXPECT_NEAR(links.congestion[toy_e2], 0.0, 1e-12);
-  EXPECT_FALSE(links.estimated[toy_e2]);
+  EXPECT_FALSE(links.estimated.test(toy_e2));
 }
 
 // ---- The to_link_estimates fallback ladder, one dedicated case per
@@ -189,7 +189,7 @@ TEST(EstimatesFallbackLadderTest, DirectIdentifiableSingleton) {
   const auto est = f.make({{{toy_e1}, 0.7}});
   const auto links = est.to_link_estimates();
   EXPECT_NEAR(links.congestion[toy_e1], 0.3, 1e-12);
-  EXPECT_TRUE(links.estimated[toy_e1]);
+  EXPECT_TRUE(links.estimated.test(toy_e1));
 }
 
 TEST(EstimatesFallbackLadderTest, MinNormSingletonWhenNotIdentifiable) {
@@ -204,7 +204,7 @@ TEST(EstimatesFallbackLadderTest, MinNormSingletonWhenNotIdentifiable) {
                            /*identifiable=*/false);
   const auto links = est.to_link_estimates();
   EXPECT_NEAR(links.congestion[toy_e2], 0.15, 1e-12);
-  EXPECT_FALSE(links.estimated[toy_e2]);  // reported, but not guaranteed.
+  EXPECT_FALSE(links.estimated.test(toy_e2));  // reported, but not guaranteed.
 }
 
 /// Two AS-0 links that every path traverses together: the catalog's
@@ -243,8 +243,8 @@ TEST(EstimatesFallbackLadderTest, GeometricSplitOfSmallestSuperset) {
   // good probability, i.e. congestion 0.2.
   EXPECT_NEAR(links.congestion[0], 0.2, 1e-12);
   EXPECT_NEAR(links.congestion[1], 0.2, 1e-12);
-  EXPECT_FALSE(links.estimated[0]);
-  EXPECT_FALSE(links.estimated[1]);
+  EXPECT_FALSE(links.estimated.test(0));
+  EXPECT_FALSE(links.estimated.test(1));
 }
 
 TEST(EstimatesFallbackLadderTest, NoInformationYieldsZero) {
@@ -256,7 +256,7 @@ TEST(EstimatesFallbackLadderTest, NoInformationYieldsZero) {
   probability_estimates est(t, std::move(catalog), potcong);
   const auto links = est.to_link_estimates();
   EXPECT_DOUBLE_EQ(links.congestion[0], 0.0);
-  EXPECT_FALSE(links.estimated[0]);
+  EXPECT_FALSE(links.estimated.test(0));
 }
 
 TEST(EstimatesTest, ClampingToProbabilityRange) {

@@ -32,7 +32,7 @@ TEST(IndependenceTest, RecoversIndependentLinks) {
   const ground_truth truth(t, model, sim.intervals);
 
   for (const link_id e : {toy_e1, toy_e4}) {
-    EXPECT_TRUE(result.links.estimated[e]);
+    EXPECT_TRUE(result.links.estimated.test(e));
     EXPECT_NEAR(result.links.congestion[e],
                 truth.link_congestion_probability(e), 0.03);
   }

@@ -38,7 +38,7 @@ TEST(PathsetSelectTest, ToyCase1FullRank) {
   EXPECT_EQ(catalog.size(), 5u);
   EXPECT_EQ(sel.null_space.cols(), 0u);
   for (std::size_t i = 0; i < catalog.size(); ++i) {
-    EXPECT_TRUE(sel.identifiable[i]) << "subset " << i;
+    EXPECT_TRUE(sel.identifiable.test(i)) << "subset " << i;
   }
   const matrix m = selection_matrix(sel, catalog.size());
   EXPECT_EQ(matrix_rank(m), 5u);
@@ -84,8 +84,8 @@ TEST(PathsetSelectTest, ToyCase2DetectsUnidentifiable) {
   e14.set(toy_e4);
   e23.set(toy_e2);
   e23.set(toy_e3);
-  EXPECT_FALSE(sel.identifiable[catalog.find(e14)]);
-  EXPECT_FALSE(sel.identifiable[catalog.find(e23)]);
+  EXPECT_FALSE(sel.identifiable.test(catalog.find(e14)));
+  EXPECT_FALSE(sel.identifiable.test(catalog.find(e23)));
 }
 
 TEST(PathsetSelectTest, UsablePredicateFiltersPathSets) {
@@ -102,7 +102,7 @@ TEST(PathsetSelectTest, UsablePredicateFiltersPathSets) {
   // e4 is only observable through p3: must be unidentifiable now.
   bitvec e4(t.num_links());
   e4.set(toy_e4);
-  EXPECT_FALSE(sel.identifiable[catalog.find(e4)]);
+  EXPECT_FALSE(sel.identifiable.test(catalog.find(e4)));
 }
 
 TEST(PathsetSelectTest, HammingOrderingDoesNotChangeRank) {
