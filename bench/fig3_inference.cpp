@@ -77,7 +77,7 @@ std::vector<ntom::measurement> evaluate(const ntom::run_config& config,
   std::fprintf(stderr, "[fig3] %s/%s: %s\n",
                scenario_label(config.scenario).c_str(),
                topology_label(config.topo).c_str(),
-               run.topo.describe().c_str());
+               run.topo().describe().c_str());
   return boolean_inference_eval(config, run);
 }
 

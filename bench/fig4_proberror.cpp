@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[fig4ab] %s/%s: %s\n",
                  topology_label(config.topo).c_str(),
                  scenario_label(config.scenario).c_str(),
-                 run.topo.describe().c_str());
+                 run.topo().describe().c_str());
     return eval(config, run);
   };
 

@@ -42,20 +42,20 @@ int main(int argc, char** argv) {
   const ground_truth truth = run.make_truth();
   const path_observations obs(run.data);
   const bitvec potcong =
-      potentially_congested_links(run.topo, obs.always_good_paths());
+      potentially_congested_links(run.topo(), obs.always_good_paths());
   std::fprintf(stderr, "[fig4c] %s, potcong=%zu\n",
-               run.topo.describe().c_str(), potcong.count());
+               run.topo().describe().c_str(), potcong.count());
 
-  const auto indep = compute_independence(run.topo, run.data);
-  const auto heur = compute_correlation_heuristic(run.topo, run.data);
-  const auto complete = compute_correlation_complete(run.topo, run.data);
+  const auto indep = compute_independence(run.topo(), run.data);
+  const auto heur = compute_correlation_heuristic(run.topo(), run.data);
+  const auto complete = compute_correlation_complete(run.topo(), run.data);
 
   const empirical_cdf cdf_indep(
-      link_absolute_errors(run.topo, truth, indep.links, potcong));
+      link_absolute_errors(run.topo(), truth, indep.links, potcong));
   const empirical_cdf cdf_heur(link_absolute_errors(
-      run.topo, truth, heur.estimates.to_link_estimates(), potcong));
+      run.topo(), truth, heur.estimates.to_link_estimates(), potcong));
   const empirical_cdf cdf_complete(link_absolute_errors(
-      run.topo, truth, complete.estimates.to_link_estimates(), potcong));
+      run.topo(), truth, complete.estimates.to_link_estimates(), potcong));
 
   table_printer table({"Abs error x", "Independence", "Corr-heuristic",
                        "Corr-complete"});

@@ -54,15 +54,15 @@ int main(int argc, char** argv) {
     const ground_truth truth = run.make_truth();
     const path_observations obs(run.data);
     const bitvec potcong =
-        potentially_congested_links(run.topo, obs.always_good_paths());
+        potentially_congested_links(run.topo(), obs.always_good_paths());
     std::fprintf(stderr, "[fig4d] %s: %s\n", topo_label_str.c_str(),
-                 run.topo.describe().c_str());
+                 run.topo().describe().c_str());
 
-    const auto complete = compute_correlation_complete(run.topo, run.data);
+    const auto complete = compute_correlation_complete(run.topo(), run.data);
     const double link_err = mean_of(link_absolute_errors(
-        run.topo, truth, complete.estimates.to_link_estimates(), potcong));
+        run.topo(), truth, complete.estimates.to_link_estimates(), potcong));
     const double subset_err = mean_of(
-        subset_absolute_errors(run.topo, truth, complete.estimates, 2));
+        subset_absolute_errors(run.topo(), truth, complete.estimates, 2));
     const double ident = complete.estimates.identifiable_fraction();
 
     table.add_row(topo_label_str, {link_err, subset_err, ident});

@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   config.sim.oracle_monitor = true;
   config.sim.seed = 9;
   const run_artifacts run = prepare_run(config);
-  const std::size_t paths = run.topo.num_paths();
+  const std::size_t paths = run.topo().num_paths();
 
   // Legacy three-view layout, reconstructed exactly as the pre-columnar
   // experiment_data stored it (per-bitvec heap allocations included).
@@ -166,7 +166,7 @@ int main(int argc, char** argv) {
   {
     const bit_matrix chunk_paths(streamed_config.chunk_intervals, paths);
     const bit_matrix chunk_links(streamed_config.chunk_intervals,
-                                 run.topo.num_links());
+                                 run.topo().num_links());
     streaming_bytes = 2 * (chunk_paths.memory_bytes() +
                            chunk_links.memory_bytes());  // chunk + transpose.
     for (const bitvec& q : counter.sets()) {

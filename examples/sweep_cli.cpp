@@ -69,7 +69,15 @@ int main(int argc, char** argv) {
   using namespace ntom;
   const flags opts(argc, argv);
   if (opts.has("list")) {
-    std::cout << describe_registries();
+    // Bare --list prints every registry; --list=scenarios (or
+    // --list=srlg, any registered name/alias) narrows to one registry
+    // or one entry's full option docs.
+    try {
+      std::cout << describe_registries(opts.get_string("list", ""));
+    } catch (const spec_error& err) {
+      std::fprintf(stderr, "%s\n", err.what());
+      return 2;
+    }
     return 0;
   }
 
@@ -126,6 +134,11 @@ int main(int argc, char** argv) {
   exp.chunk_intervals(static_cast<std::size_t>(opts.get_int(
       "chunk", static_cast<std::int64_t>(default_chunk_intervals))));
 
+  // Grid-scheduler knobs (observability / A-B only — results never
+  // depend on them).
+  exp.cache_topologies(!opts.get_bool("no-topo-cache", false));
+  exp.shard_estimators(!opts.get_bool("no-shard", false));
+
   const std::vector<run_spec> specs = exp.specs();
   const std::size_t workers = thread_pool::resolve_threads(threads);
   std::cout << "Scenario sweep — " << specs.size() << " runs ("
@@ -137,7 +150,16 @@ int main(int argc, char** argv) {
   batch_params params;
   params.threads = threads;
   params.base_seed = seed;
-  const batch_report report = exp.run(params);
+  grid_stats stats;
+  batch_report report;
+  try {
+    report = exp.run(params, &stats);
+  } catch (const spec_error& err) {
+    // Cross-option scenario semantics (e.g. a no_stationarity base
+    // that cannot phase) only surface at build time of the runs.
+    std::fprintf(stderr, "%s\n", err.what());
+    return 2;
+  }
 
   const std::vector<metric_summary> cells = report.summarize();
   table_printer boolean_table({"Topology/Scenario", "Estimator", "DR mean",
@@ -185,6 +207,11 @@ int main(int argc, char** argv) {
                   ? 0.0
                   : report.total_seconds /
                         static_cast<double>(report.runs().size()));
+  std::printf(
+      "grid: %zu cells over %zu runs, %zu stolen; topology cache: %zu "
+      "hits / %zu misses\n",
+      stats.cells, stats.runs, stats.steals, stats.topo_cache_hits,
+      stats.topo_cache_misses);
 
   if (opts.has("csv")) {
     report.write_runs_csv(opts.get_string("csv", "sweep.csv"));

@@ -12,6 +12,35 @@ std::string describe_registries() {
          "overrides the display label)\n";
 }
 
+std::string describe_registries(const std::string& what) {
+  if (what.empty() || what == "true") return describe_registries();
+  if (what == "topologies" || what == "topos") {
+    return "Topologies:\n" + topogen::topology_registry().describe();
+  }
+  if (what == "scenarios") {
+    return "Scenarios:\n" + scenario_registry().describe();
+  }
+  if (what == "estimators") {
+    return "Estimators:\n" + estimator_registry().describe();
+  }
+  // A registered name or alias from any registry: its full doc block
+  // (option whitelist included), so `--list=srlg` shows every accepted
+  // spec option of a single component.
+  if (topogen::topology_registry().contains(what)) {
+    return topogen::topology_registry().describe(what);
+  }
+  if (scenario_registry().contains(what)) {
+    return scenario_registry().describe(what);
+  }
+  if (estimator_registry().contains(what)) {
+    return estimator_registry().describe(what);
+  }
+  throw spec_error(
+      "--list: '" + what +
+      "' is neither a registry (topologies, scenarios, estimators) nor a "
+      "registered name");
+}
+
 experiment::experiment() {
   topologies_ = {"brite"};
   scenarios_ = {"random_congestion"};
@@ -95,6 +124,16 @@ experiment& experiment::chunk_intervals(std::size_t intervals) {
   return *this;
 }
 
+experiment& experiment::cache_topologies(bool on) {
+  cache_topologies_ = on;
+  return *this;
+}
+
+experiment& experiment::shard_estimators(bool on) {
+  shard_estimators_ = on;
+  return *this;
+}
+
 std::vector<run_spec> experiment::specs() const {
   // Replicas aggregate by label on purpose; two *grid arms* sharing a
   // label would silently pool incomparable configurations instead.
@@ -140,8 +179,13 @@ batch_eval_fn experiment::eval() const {
   return estimator_eval(estimators_, eval_options_);
 }
 
-batch_report experiment::run(const batch_params& params) const {
-  return run_batch(specs(), eval(), params);
+batch_report experiment::run(const batch_params& params,
+                             grid_stats* stats) const {
+  const estimator_cells cells(estimators_, eval_options_);
+  batch_params grid_params = params;
+  if (cache_topologies_) grid_params.cache_topologies = *cache_topologies_;
+  if (shard_estimators_) grid_params.shard_estimators = *shard_estimators_;
+  return run_grid(specs(), cells, grid_params, stats);
 }
 
 }  // namespace ntom

@@ -22,18 +22,26 @@
 // typo fails at build time of the grid, not mid-batch.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ntom/api/estimator.hpp"
 #include "ntom/exp/batch.hpp"
 #include "ntom/exp/evals.hpp"
+#include "ntom/exp/grid.hpp"
 
 namespace ntom {
 
 /// Catalog of all three registries (names, aliases, option docs) plus
 /// the spec grammar — the CLIs' `--list` / `list` output.
 [[nodiscard]] std::string describe_registries();
+
+/// Filtered catalog: `what` selects one registry ("topologies",
+/// "scenarios", "estimators") or one registered name/alias from any of
+/// them (full option docs for that entry). Empty selects everything;
+/// unknown values throw spec_error.
+[[nodiscard]] std::string describe_registries(const std::string& what);
 
 class experiment {
  public:
@@ -76,6 +84,16 @@ class experiment {
   /// Chunk granularity of the streamed mode (results never depend on it).
   experiment& chunk_intervals(std::size_t intervals);
 
+  /// Grid-scheduler knobs (override the batch_params defaults at run
+  /// time; results never depend on either):
+  ///   * cache_topologies — share one generated topology across the
+  ///     scenario arms of a replica (same spec + topo_seed).
+  ///   * shard_estimators — schedule per-estimator cells of a
+  ///     materialized run independently (work stealing balances a
+  ///     heavyweight estimator across workers).
+  experiment& cache_topologies(bool on = true);
+  experiment& shard_estimators(bool on = true);
+
   /// The expanded grid: replicas x topologies x scenarios, labelled
   /// "<topology label>/<scenario label>", seed_group = replica.
   [[nodiscard]] std::vector<run_spec> specs() const;
@@ -83,8 +101,11 @@ class experiment {
   /// The estimator evaluator over the configured estimator list.
   [[nodiscard]] batch_eval_fn eval() const;
 
-  /// Runs the grid on the batch engine: specs() + eval() + run_batch.
-  [[nodiscard]] batch_report run(const batch_params& params = {}) const;
+  /// Runs the grid on the work-stealing cell scheduler: specs() +
+  /// estimator cells + run_grid. `stats` (optional) receives the
+  /// scheduler counters (cells, steals, topology-cache hits).
+  [[nodiscard]] batch_report run(const batch_params& params = {},
+                                 grid_stats* stats = nullptr) const;
 
  private:
   /// True while the corresponding list still holds the built-in default
@@ -105,6 +126,8 @@ class experiment {
   estimator_eval_options eval_options_;
   bool streamed_ = false;
   std::size_t chunk_intervals_ = default_chunk_intervals;
+  std::optional<bool> cache_topologies_;
+  std::optional<bool> shard_estimators_;
 };
 
 }  // namespace ntom

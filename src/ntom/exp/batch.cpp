@@ -1,49 +1,16 @@
 #include "ntom/exp/batch.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
-#include <future>
 
+#include "ntom/exp/grid.hpp"
 #include "ntom/util/csv.hpp"
 #include "ntom/util/rng.hpp"
 #include "ntom/util/stats.hpp"
-#include "ntom/util/thread_pool.hpp"
 
 namespace ntom {
-
-namespace {
-
-using clock = std::chrono::steady_clock;
-
-double seconds_since(clock::time_point start) {
-  return std::chrono::duration<double>(clock::now() - start).count();
-}
-
-run_result execute_one(const run_spec& spec, std::size_t index,
-                       const batch_eval_fn& eval, const batch_params& params) {
-  const clock::time_point start = clock::now();
-  const std::size_t topo_group =
-      spec.seed_group == run_spec::npos ? index : spec.seed_group;
-  run_config config = params.derive_seeds
-                          ? derive_run_seeds(spec.config, params.base_seed,
-                                             index, topo_group)
-                          : spec.config;
-  // Streamed runs never materialize here: the evaluator replays the
-  // deterministic interval stream itself, holding O(chunk) memory.
-  const run_artifacts run =
-      config.streamed ? prepare_topology(config) : prepare_run(config);
-  run_result result;
-  result.index = index;
-  result.label = spec.label;
-  result.measurements = eval(config, run);
-  result.seconds = seconds_since(start);
-  return result;
-}
-
-}  // namespace
 
 run_config derive_run_seeds(run_config config, std::uint64_t base_seed,
                             std::size_t index, std::size_t topo_group) {
@@ -213,36 +180,30 @@ void batch_report::write_summary_csv(const std::string& path) const {
   }
 }
 
+namespace {
+
+/// Adapts a whole-run batch_eval_fn to the cell scheduler: one cell per
+/// run, exactly the pre-grid execution shape.
+class run_eval_cells final : public cell_evaluator {
+ public:
+  explicit run_eval_cells(const batch_eval_fn& fn) : fn_(&fn) {}
+
+  [[nodiscard]] std::vector<measurement> eval_cell(
+      const run_config& config, const run_artifacts& run, void* /*run_state*/,
+      std::size_t /*shard*/) const override {
+    return (*fn_)(config, run);
+  }
+
+ private:
+  const batch_eval_fn* fn_;
+};
+
+}  // namespace
+
 batch_report run_batch(const std::vector<run_spec>& specs,
                        const batch_eval_fn& eval, const batch_params& params) {
-  const clock::time_point start = clock::now();
-  batch_report report;
-
-  const std::size_t threads = thread_pool::resolve_threads(params.threads);
-  if (threads <= 1 || specs.size() <= 1) {
-    // Serial fast path: no pool, identical results by construction.
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      report.add(execute_one(specs[i], i, eval, params));
-    }
-    report.total_seconds = seconds_since(start);
-    return report;
-  }
-
-  std::vector<std::future<run_result>> futures;
-  futures.reserve(specs.size());
-  {
-    thread_pool pool(threads);
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      futures.push_back(pool.submit(
-          [&specs, i, &eval, &params] {
-            return execute_one(specs[i], i, eval, params);
-          }));
-    }
-    // Collect in submission order; report.add re-sorts by index anyway.
-    for (std::future<run_result>& f : futures) report.add(f.get());
-  }
-  report.total_seconds = seconds_since(start);
-  return report;
+  const run_eval_cells cells(eval);
+  return run_grid(specs, cells, params);
 }
 
 std::vector<measurement> inference_measurements(

@@ -44,6 +44,18 @@ struct batch_params {
   /// overwritten with splitmix64(base_seed, index) streams. Disable to
   /// run the configs' own seeds verbatim.
   bool derive_seeds = true;
+
+  /// Share one generated topology across runs with the same
+  /// (topology spec, topo_seed) through the grid scheduler's read-only
+  /// cache — e.g. the scenario arms of one replica. Never changes
+  /// results: the cached instance is the exact value regeneration
+  /// would produce.
+  bool cache_topologies = true;
+
+  /// Honor the evaluator's cell sharding (per-estimator cells for
+  /// estimator_cells). Disable to schedule whole runs, one cell each.
+  /// Never changes results: shard rows reassemble in shard order.
+  bool shard_estimators = true;
 };
 
 /// One named scalar produced by evaluating a run, e.g.
@@ -138,8 +150,9 @@ class batch_report {
                                           std::uint64_t base_seed,
                                           std::size_t index);
 
-/// Runs every spec (prepare_run + eval) across the pool and returns the
-/// aggregated report. Exceptions thrown by eval propagate to the caller.
+/// Runs every spec (prepare + eval) on the work-stealing grid scheduler
+/// (exp/grid.hpp; one cell per run) and returns the aggregated report.
+/// Exceptions thrown by eval propagate to the caller.
 [[nodiscard]] batch_report run_batch(const std::vector<run_spec>& specs,
                                      const batch_eval_fn& eval,
                                      const batch_params& params = {});

@@ -28,7 +28,7 @@ fitted_run fit_materialized(const std::vector<estimator_spec>& specs,
   fitted_run out;
   for (const estimator_spec& s : specs) {
     out.estimators.push_back(make_estimator(s));
-    out.estimators.back()->fit(run.topo, run.data);
+    out.estimators.back()->fit(run.topo(), run.data);
   }
   out.always_good_paths = run.data.always_good_paths;
   return out;
@@ -67,19 +67,17 @@ fitted_run fit_streamed(const std::vector<estimator_spec>& specs,
   stream_experiment(run, config, fanout);
 
   for (const std::unique_ptr<estimator>& est : out.estimators) {
-    if (!est->caps().streaming) est->fit(run.topo, *out.data);
+    if (!est->caps().streaming) est->fit(run.topo(), *out.data);
   }
   out.always_good_paths = observation_tracker.always_good_paths();
   return out;
 }
 
-}  // namespace
-
-batch_eval_fn estimator_eval(std::vector<estimator_spec> estimators,
-                             estimator_eval_options options) {
-  // Resolve eagerly: a typo'd estimator name fails here, not on a
-  // worker thread mid-batch. Series labels must be unique — duplicates
-  // would silently pool two configurations into one aggregate cell.
+/// Resolve eagerly: a typo'd estimator name fails here, not on a
+/// worker thread mid-batch. Series labels must be unique — duplicates
+/// would silently pool two configurations into one aggregate cell.
+std::vector<std::string> validated_labels(
+    const std::vector<estimator_spec>& estimators) {
   std::vector<std::string> labels;
   labels.reserve(estimators.size());
   for (const estimator_spec& s : estimators) {
@@ -95,88 +93,163 @@ batch_eval_fn estimator_eval(std::vector<estimator_spec> estimators,
     }
     labels.push_back(std::move(label));
   }
+  return labels;
+}
 
-  return [estimators = std::move(estimators), labels = std::move(labels),
-          options](const run_config& config,
-                   const run_artifacts& run) -> std::vector<measurement> {
-    const bool streamed = config.streamed;
-    fitted_run fitted = streamed ? fit_streamed(estimators, config, run)
-                                 : fit_materialized(estimators, run);
-    // Materialized mode scores from run.data; streamed mode prefers the
-    // store when one had to be built anyway, else replays the stream.
-    const experiment_data* data = streamed
-                                      ? (fitted.data ? &*fitted.data : nullptr)
-                                      : &run.data;
+/// Link-error inputs shared by every estimator cell of one run; both
+/// are pure functions of the run, so the once-initialization is only a
+/// compute saving, never a result change.
+struct shared_truth {
+  std::once_flag once;
+  std::optional<ground_truth> truth;
+  bitvec potcong;
+};
 
-    // Fig. 3 metrics per Boolean-capable estimator. With a store, score
-    // from its views; without one, one replay pass scores every Boolean
-    // estimator with O(chunk) memory.
-    std::vector<std::optional<inference_metrics>> boolean_metrics(
-        fitted.estimators.size());
-    if (options.boolean_metrics) {
-      std::vector<std::size_t> boolean_index;
-      for (std::size_t i = 0; i < fitted.estimators.size(); ++i) {
-        if (fitted.estimators[i]->caps().boolean_inference) {
-          boolean_index.push_back(i);
-        }
-      }
-      if (data != nullptr) {
-        for (const std::size_t i : boolean_index) {
-          const estimator& est = *fitted.estimators[i];
-          inference_scorer scorer;
-          for (std::size_t t = 0; t < data->intervals; ++t) {
-            scorer.add_interval(est.infer(data->congested_paths_at(t)),
-                                data->true_links_at(t));
-          }
-          boolean_metrics[i] = scorer.result();
-        }
-      } else if (!boolean_index.empty()) {
-        std::vector<streaming_inference_scorer> scorers;
-        scorers.reserve(boolean_index.size());
-        fanout_sink fanout;
-        for (const std::size_t i : boolean_index) {
-          const estimator& est = *fitted.estimators[i];
-          scorers.emplace_back([&est](const bitvec& congested) {
-            return est.infer(congested);
-          });
-          fanout.add(&scorers.back());
-        }
-        stream_experiment(run, config, fanout);
-        for (std::size_t b = 0; b < boolean_index.size(); ++b) {
-          boolean_metrics[boolean_index[b]] = scorers[b].result();
-        }
-      }
-    }
+/// Fits and scores an estimator subset on one prepared run — the unit
+/// both the whole-run evaluation and the per-estimator cells share, so
+/// shard concatenation is the unsharded row sequence by construction.
+/// `shared` (nullable) carries the per-run shared_truth.
+std::vector<measurement> eval_estimators(
+    const std::vector<estimator_spec>& estimators,
+    const std::vector<std::string>& labels,
+    const estimator_eval_options& options, const run_config& config,
+    const run_artifacts& run, shared_truth* shared) {
+  const bool streamed = config.streamed;
+  fitted_run fitted = streamed ? fit_streamed(estimators, config, run)
+                               : fit_materialized(estimators, run);
+  // Materialized mode scores from run.data; streamed mode prefers the
+  // store when one had to be built anyway, else replays the stream.
+  const experiment_data* data =
+      streamed ? (fitted.data ? &*fitted.data : nullptr) : &run.data;
 
-    // Ground truth and the potentially-congested set are shared by all
-    // link-error series; computed once, and only when needed.
-    std::optional<ground_truth> truth;
-    std::optional<bitvec> potcong;
-    const auto ensure_truth = [&] {
-      if (truth) return;
-      truth.emplace(run.make_truth(config.sim.intervals));
-      potcong.emplace(
-          potentially_congested_links(run.topo, fitted.always_good_paths));
-    };
-
-    std::vector<measurement> out;
+  // Fig. 3 metrics per Boolean-capable estimator. With a store, score
+  // from its views; without one, one replay pass scores every Boolean
+  // estimator with O(chunk) memory.
+  std::vector<std::optional<inference_metrics>> boolean_metrics(
+      fitted.estimators.size());
+  if (options.boolean_metrics) {
+    std::vector<std::size_t> boolean_index;
     for (std::size_t i = 0; i < fitted.estimators.size(); ++i) {
-      if (boolean_metrics[i]) {
-        const auto rows =
-            inference_measurements(labels[i], *boolean_metrics[i]);
-        out.insert(out.end(), rows.begin(), rows.end());
-      }
-      if (options.link_error_metrics &&
-          fitted.estimators[i]->caps().link_estimation) {
-        ensure_truth();
-        out.push_back(
-            {labels[i], "mean_abs_error",
-             mean_of(link_absolute_errors(run.topo, *truth,
-                                          fitted.estimators[i]->links(),
-                                          *potcong))});
+      if (fitted.estimators[i]->caps().boolean_inference) {
+        boolean_index.push_back(i);
       }
     }
-    return out;
+    if (data != nullptr) {
+      for (const std::size_t i : boolean_index) {
+        const estimator& est = *fitted.estimators[i];
+        inference_scorer scorer;
+        for (std::size_t t = 0; t < data->intervals; ++t) {
+          scorer.add_interval(est.infer(data->congested_paths_at(t)),
+                              data->true_links_at(t));
+        }
+        boolean_metrics[i] = scorer.result();
+      }
+    } else if (!boolean_index.empty()) {
+      std::vector<streaming_inference_scorer> scorers;
+      scorers.reserve(boolean_index.size());
+      fanout_sink fanout;
+      for (const std::size_t i : boolean_index) {
+        const estimator& est = *fitted.estimators[i];
+        scorers.emplace_back(
+            [&est](const bitvec& congested) { return est.infer(congested); });
+        fanout.add(&scorers.back());
+      }
+      stream_experiment(run, config, fanout);
+      for (std::size_t b = 0; b < boolean_index.size(); ++b) {
+        boolean_metrics[boolean_index[b]] = scorers[b].result();
+      }
+    }
+  }
+
+  // Ground truth and the potentially-congested set are shared by all
+  // link-error series; computed once, and only when needed — across
+  // the run's estimator cells when a shared_truth rides along.
+  std::optional<ground_truth> local_truth;
+  std::optional<bitvec> local_potcong;
+  const ground_truth* truth = nullptr;
+  const bitvec* potcong = nullptr;
+  const auto ensure_truth = [&] {
+    if (truth != nullptr) return;
+    if (shared != nullptr) {
+      std::call_once(shared->once, [&] {
+        shared->truth.emplace(run.make_truth(config.sim.intervals));
+        shared->potcong =
+            potentially_congested_links(run.topo(), fitted.always_good_paths);
+      });
+      truth = &*shared->truth;
+      potcong = &shared->potcong;
+      return;
+    }
+    local_truth.emplace(run.make_truth(config.sim.intervals));
+    local_potcong.emplace(
+        potentially_congested_links(run.topo(), fitted.always_good_paths));
+    truth = &*local_truth;
+    potcong = &*local_potcong;
+  };
+
+  std::vector<measurement> out;
+  for (std::size_t i = 0; i < fitted.estimators.size(); ++i) {
+    if (boolean_metrics[i]) {
+      const auto rows = inference_measurements(labels[i], *boolean_metrics[i]);
+      out.insert(out.end(), rows.begin(), rows.end());
+    }
+    if (options.link_error_metrics &&
+        fitted.estimators[i]->caps().link_estimation) {
+      ensure_truth();
+      out.push_back(
+          {labels[i], "mean_abs_error",
+           mean_of(link_absolute_errors(run.topo(), *truth,
+                                        fitted.estimators[i]->links(),
+                                        *potcong))});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+estimator_cells::estimator_cells(std::vector<estimator_spec> estimators,
+                                 estimator_eval_options options)
+    : estimators_(std::move(estimators)),
+      labels_(validated_labels(estimators_)),
+      options_(options) {}
+
+std::size_t estimator_cells::shards(const run_config& config) const {
+  // Streamed runs fit every estimator from one replay pass — splitting
+  // them would trade the shared pass for per-estimator replays.
+  if (config.streamed || estimators_.empty()) return 1;
+  return estimators_.size();
+}
+
+std::shared_ptr<void> estimator_cells::make_run_state(
+    const run_config& config, const run_artifacts& run) const {
+  (void)run;
+  // Only materialized multi-cell runs can share; streamed runs are one
+  // cell and compute locally.
+  if (config.streamed || !options_.link_error_metrics) return nullptr;
+  return std::make_shared<shared_truth>();
+}
+
+std::vector<measurement> estimator_cells::eval_cell(
+    const run_config& config, const run_artifacts& run, void* run_state,
+    std::size_t shard) const {
+  if (config.streamed || estimators_.empty()) return eval_all(config, run);
+  return eval_estimators({estimators_[shard]}, {labels_[shard]}, options_,
+                         config, run, static_cast<shared_truth*>(run_state));
+}
+
+std::vector<measurement> estimator_cells::eval_all(
+    const run_config& config, const run_artifacts& run) const {
+  return eval_estimators(estimators_, labels_, options_, config, run, nullptr);
+}
+
+batch_eval_fn estimator_eval(std::vector<estimator_spec> estimators,
+                             estimator_eval_options options) {
+  auto cells =
+      std::make_shared<estimator_cells>(std::move(estimators), options);
+  return [cells](const run_config& config,
+                 const run_artifacts& run) -> std::vector<measurement> {
+    return cells->eval_all(config, run);
   };
 }
 

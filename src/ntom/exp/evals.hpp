@@ -2,10 +2,12 @@
 // sweep CLI, and the ntom::experiment facade.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "ntom/api/estimator.hpp"
 #include "ntom/exp/batch.hpp"
+#include "ntom/exp/grid.hpp"
 
 namespace ntom {
 
@@ -19,6 +21,45 @@ struct estimator_eval_options {
   /// potentially congested links) for estimators with link_estimation
   /// (Fig. 4 metrics).
   bool link_error_metrics = false;
+};
+
+/// Cell evaluator over a spec'd estimator list: one measurement series
+/// per estimator (series name = estimator_label). Specs are resolved
+/// eagerly, so unknown names / bad options fail before any run starts.
+///
+/// Sharding: a materialized run splits into one cell per estimator
+/// (fit + score are independent per estimator on the shared store), so
+/// a heavyweight estimator no longer serializes its run's siblings.
+/// Streamed runs stay one cell — their whole point is fitting every
+/// estimator from one replay pass. Either way the concatenated rows
+/// equal the unsharded evaluation's rows exactly.
+class estimator_cells final : public cell_evaluator {
+ public:
+  explicit estimator_cells(std::vector<estimator_spec> estimators,
+                           estimator_eval_options options = {});
+
+  [[nodiscard]] std::size_t shards(const run_config& config) const override;
+
+  /// Per-run shared state for the link-error metrics: the analytic
+  /// ground truth and the potentially-congested set are pure functions
+  /// of the run, computed once by whichever cell needs them first
+  /// instead of once per estimator shard.
+  [[nodiscard]] std::shared_ptr<void> make_run_state(
+      const run_config& config, const run_artifacts& run) const override;
+
+  [[nodiscard]] std::vector<measurement> eval_cell(
+      const run_config& config, const run_artifacts& run, void* run_state,
+      std::size_t shard) const override;
+
+  /// The whole-run evaluation (all estimators, shard-free) — the body
+  /// of the batch_eval_fn returned by estimator_eval.
+  [[nodiscard]] std::vector<measurement> eval_all(
+      const run_config& config, const run_artifacts& run) const;
+
+ private:
+  std::vector<estimator_spec> estimators_;
+  std::vector<std::string> labels_;
+  estimator_eval_options options_;
 };
 
 /// Builds a batch_eval_fn that fits every spec'd estimator on the

@@ -14,24 +14,28 @@ void run_config::reconcile() {
   }
 }
 
-run_artifacts prepare_topology(run_config config) {
+run_artifacts prepare_topology(run_config config,
+                               std::shared_ptr<const topology> topo) {
   config.reconcile();
   run_artifacts run;
-  run.topo = make_topology(config.topo, config.topo_seed);
-  run.model = make_scenario(run.topo, config.scenario, config.scenario_opts);
+  run.topo_ptr = topo ? std::move(topo)
+                      : std::make_shared<const topology>(
+                            make_topology(config.topo, config.topo_seed));
+  run.model = make_scenario(run.topo(), config.scenario, config.scenario_opts);
   return run;
 }
 
-run_artifacts prepare_run(run_config config) {
+run_artifacts prepare_run(run_config config,
+                          std::shared_ptr<const topology> topo) {
   config.reconcile();
-  run_artifacts run = prepare_topology(config);
-  run.data = run_experiment(run.topo, run.model, config.sim);
+  run_artifacts run = prepare_topology(config, std::move(topo));
+  run.data = run_experiment(run.topo(), run.model, config.sim);
   return run;
 }
 
 void stream_experiment(const run_artifacts& run, const run_config& config,
                        measurement_sink& sink) {
-  run_experiment_streaming(run.topo, run.model, config.sim, sink,
+  run_experiment_streaming(run.topo(), run.model, config.sim, sink,
                            config.chunk_intervals);
 }
 

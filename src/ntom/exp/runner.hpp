@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -55,29 +56,41 @@ struct run_config {
 
 /// One simulated experiment with everything downstream needs. In
 /// streamed mode `data` stays empty — consumers replay the stream.
+///
+/// The topology is held through a shared_ptr so the grid scheduler's
+/// read-only topology cache can hand one generated instance to every
+/// run of a (spec, topo_seed) group; `topo()` keeps borrowing
+/// semantics for all consumers.
 struct run_artifacts {
-  topology topo;
+  std::shared_ptr<const topology> topo_ptr;
   congestion_model model;
   experiment_data data;
 
+  [[nodiscard]] const topology& topo() const noexcept { return *topo_ptr; }
+
   [[nodiscard]] ground_truth make_truth() const {
-    return ground_truth(topo, model, data.intervals);
+    return ground_truth(topo(), model, data.intervals);
   }
 
   /// Streamed-mode variant: the experiment length cannot come from the
   /// (empty) data, so the caller passes T explicitly.
   [[nodiscard]] ground_truth make_truth(std::size_t intervals) const {
-    return ground_truth(topo, model, intervals);
+    return ground_truth(topo(), model, intervals);
   }
 };
 
 /// Builds the topology, the scenario, and runs the packet simulation.
 /// Reconciles the config first (idempotent), so callers never have to.
-[[nodiscard]] run_artifacts prepare_run(run_config config);
+/// A non-null `topo` (e.g. from the grid scheduler's topology_cache)
+/// skips generation — it must equal make_topology(config.topo,
+/// config.topo_seed) for the reproducibility contract to hold.
+[[nodiscard]] run_artifacts prepare_run(
+    run_config config, std::shared_ptr<const topology> topo = nullptr);
 
 /// Builds topology and scenario only (reconciled), leaving `data`
 /// empty — the setup step of the streamed mode.
-[[nodiscard]] run_artifacts prepare_topology(run_config config);
+[[nodiscard]] run_artifacts prepare_topology(
+    run_config config, std::shared_ptr<const topology> topo = nullptr);
 
 /// Replays the deterministic interval stream of a prepared run into
 /// `sink`. Callable repeatedly: every pass re-simulates the identical

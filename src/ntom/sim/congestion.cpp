@@ -18,18 +18,57 @@ link_state_sampler::link_state_sampler(const topology& t,
       }
     }
   }
+  chain_bad_.reserve(model.chains.size());
+  for (const gilbert_chain& c : model.chains) {
+    chain_bad_.push_back(c.start_bad ? 1 : 0);
+  }
 }
 
 bitvec link_state_sampler::sample_interval(std::size_t t) {
-  const auto& q = model_.phase_q[model_.phase_of_interval(t)];
+  const std::size_t phase = model_.phase_of_interval(t);
+  const auto& q = model_.phase_q[phase];
   bitvec congested(topo_.num_links());
-  for (const std::size_t r : active_router_links_) {
-    if (q[r] <= 0.0 || !rand_.bernoulli(q[r])) continue;
+  const auto congest_router_link = [&](std::size_t r) {
     for (const link_id e :
          topo_.links_on_router_link(static_cast<router_link_id>(r))) {
       congested.set(e);
     }
+  };
+
+  // Per-router-link draws first, in the pre-group/chain order — models
+  // without the new driver families consume the exact legacy stream.
+  for (const std::size_t r : active_router_links_) {
+    if (q[r] <= 0.0 || !rand_.bernoulli(q[r])) continue;
+    congest_router_link(r);
   }
+
+  // Shared-risk groups: one draw per group; a firing group congests all
+  // of its member router links in the same interval.
+  if (!model_.groups.empty()) {
+    const auto& gq = model_.phase_group_q[phase];
+    for (std::size_t g = 0; g < model_.groups.size(); ++g) {
+      if (gq[g] <= 0.0 || !rand_.bernoulli(gq[g])) continue;
+      for (const router_link_id r : model_.groups[g].members) {
+        congest_router_link(r);
+      }
+    }
+  }
+
+  // Gilbert chains: transition (except on the very first sampled
+  // interval), then emit from the current state. Two draws per chain
+  // per interval keeps the stream length fixed, so replays of the
+  // deterministic interval stream stay aligned at any chunk size.
+  for (std::size_t c = 0; c < model_.chains.size(); ++c) {
+    const gilbert_chain& chain = model_.chains[c];
+    if (steps_ > 0) {
+      const double flip =
+          chain_bad_[c] != 0 ? chain.p_exit_bad : chain.p_enter_bad;
+      if (rand_.bernoulli(flip)) chain_bad_[c] = chain_bad_[c] != 0 ? 0 : 1;
+    }
+    const double emit = chain_bad_[c] != 0 ? chain.q_bad : chain.q_good;
+    if (rand_.bernoulli(emit)) congest_router_link(chain.driver);
+  }
+  ++steps_;
   return congested;
 }
 

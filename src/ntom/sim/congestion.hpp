@@ -10,6 +10,22 @@
 // then all the AS-level links that share this router-level link become
 // congested at the same time"). Non-stationary scenarios use multiple
 // phases: the probability vector changes every `phase_length` intervals.
+//
+// Two further driver families model *adversarially correlated* failures
+// (the corner the paper's claim must survive):
+//
+//   * risk_group — a shared-risk link group (SRLG): one independent
+//     Bernoulli draw per interval; when the group fires, every member
+//     router link congests at once, so whole AS neighbourhoods
+//     co-congest in a single interval.
+//   * gilbert_chain — a two-state Gilbert–Elliott Markov chain driving
+//     one router link: congestion arrives in time-correlated bursts
+//     (mean burst/gap sojourns), not as i.i.d. interval draws.
+//
+// All drivers are mutually independent, so every single-interval
+// quantity keeps a closed form (see sim/truth.hpp): a set of links is
+// good iff none of the drivers able to congest it fired, and a chain's
+// single-interval marginal is its stationary congestion probability.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +38,39 @@
 
 namespace ntom {
 
+/// A shared-risk link group: an independent per-interval Bernoulli
+/// driver that, when it fires, congests every member router link (and
+/// with them every AS-level link riding on one) simultaneously.
+struct risk_group {
+  std::vector<router_link_id> members;
+};
+
+/// A Gilbert–Elliott chain driving one router link: a two-state Markov
+/// chain (good/bad) stepped once per interval, emitting congestion with
+/// a state-dependent probability. Time correlation comes from the
+/// sojourn times (mean burst length 1/p_exit_bad, mean gap 1/p_enter_bad).
+struct gilbert_chain {
+  router_link_id driver = 0;
+  double p_enter_bad = 0.0;  ///< P(good -> bad) per interval step.
+  double p_exit_bad = 1.0;   ///< P(bad -> good) per interval step.
+  double q_good = 0.0;       ///< P(congested | good state).
+  double q_bad = 1.0;        ///< P(congested | bad state).
+  bool start_bad = false;    ///< state at interval 0 (drawn at build time).
+
+  /// Stationary probability of the bad state, pi_bad.
+  [[nodiscard]] double stationary_bad() const noexcept {
+    const double denom = p_enter_bad + p_exit_bad;
+    return denom > 0.0 ? p_enter_bad / denom : 0.0;
+  }
+
+  /// Single-interval marginal congestion probability under the
+  /// stationary distribution (the analytic ground-truth target).
+  [[nodiscard]] double marginal_q() const noexcept {
+    const double pi_bad = stationary_bad();
+    return pi_bad * q_bad + (1.0 - pi_bad) * q_good;
+  }
+};
+
 /// Per-phase router-link congestion probabilities plus bookkeeping.
 struct congestion_model {
   /// phase_q[k][r] = P(router link r congested) during phase k.
@@ -33,6 +82,15 @@ struct congestion_model {
 
   /// AS-level links with a non-zero congestion probability in >= 1 phase.
   bitvec congestable_links;
+
+  /// Shared-risk groups; phase_group_q[k][g] = P(group g fires) during
+  /// phase k (same phase count as phase_q when groups are present).
+  std::vector<risk_group> groups;
+  std::vector<std::vector<double>> phase_group_q;
+
+  /// Gilbert–Elliott drivers; phase-independent (their time structure
+  /// comes from the chain, not from phases).
+  std::vector<gilbert_chain> chains;
 
   [[nodiscard]] std::size_t num_phases() const noexcept {
     return phase_q.size();
@@ -53,9 +111,12 @@ class link_state_sampler {
                      std::uint64_t seed);
 
   /// Samples the AS-level congestion state for interval t: router links
-  /// are drawn independently Bernoulli(q_r), then ORed per AS link.
-  /// Call with increasing t for the documented stream semantics
-  /// (the draw sequence, not t itself, advances the generator).
+  /// are drawn independently Bernoulli(q_r), then risk groups fire as
+  /// whole units, then Gilbert chains step and emit; the union is ORed
+  /// per AS link. Call with increasing t for the documented stream
+  /// semantics (the draw sequence, not t itself, advances the
+  /// generator) — models without groups or chains draw the exact
+  /// pre-existing per-router-link sequence.
   [[nodiscard]] bitvec sample_interval(std::size_t t);
 
  private:
@@ -63,6 +124,8 @@ class link_state_sampler {
   const congestion_model& model_;
   rng rand_;
   std::vector<std::size_t> active_router_links_;  ///< q_r > 0 in some phase.
+  std::vector<char> chain_bad_;  ///< current state per chain.
+  std::size_t steps_ = 0;        ///< sample_interval calls so far.
 };
 
 }  // namespace ntom

@@ -147,6 +147,210 @@ congestion_model build_no_independence(const topology& t,
   return realize_model(t, params, driver_set, rand);
 }
 
+congestion_model build_srlg(const topology& t, const scenario_params& params,
+                            const spec& s) {
+  // Shared-risk link groups from the topology's AS clustering: each AS
+  // with enough covered links is one candidate group (its covered
+  // links' router links fire as a unit); groups are drawn at random
+  // until the union of their links reaches the congestable target.
+  rng rand(params.seed);
+  const std::size_t target = congestable_target(t, params);
+  const std::size_t min_group = s.get_size("min_group", 2);
+  if (min_group == 0) {
+    throw spec_error("scenario 'srlg': min_group must be positive");
+  }
+
+  struct candidate {
+    std::vector<router_link_id> members;
+    std::vector<link_id> links;
+  };
+  std::vector<candidate> candidates;
+  for (as_id a = 0; a < t.num_ases(); ++a) {
+    candidate c;
+    std::unordered_set<router_link_id> seen;
+    bitvec in_as = t.links_in_as(a);
+    in_as &= t.covered_links();
+    in_as.for_each([&](std::size_t le) {
+      const auto e = static_cast<link_id>(le);
+      c.links.push_back(e);
+      for (const router_link_id r : t.link(e).router_links) {
+        if (seen.insert(r).second) c.members.push_back(r);
+      }
+    });
+    if (c.links.size() >= min_group && !c.members.empty()) {
+      candidates.push_back(std::move(c));
+    }
+  }
+  rand.shuffle(candidates);
+
+  congestion_model model;
+  const std::size_t phases =
+      params.nonstationary ? std::max<std::size_t>(params.num_phases, 1) : 1;
+  model.phase_length = params.nonstationary
+                           ? params.phase_length
+                           : static_cast<std::size_t>(-1);
+  model.phase_q.assign(phases, std::vector<double>(t.num_router_links(), 0.0));
+  model.congestable_links = bitvec(t.num_links());
+
+  bitvec marked(t.num_links());
+  for (candidate& c : candidates) {
+    if (marked.count() >= std::max(target, min_group)) break;
+    for (const link_id e : c.links) marked.set(e);
+    risk_group group;
+    group.members = std::move(c.members);
+    for (const router_link_id r : group.members) {
+      for (const link_id e : t.links_on_router_link(r)) {
+        model.congestable_links.set(e);
+      }
+    }
+    model.groups.push_back(std::move(group));
+  }
+  if (model.groups.empty()) {
+    NTOM_WARN << "srlg scenario: no AS holds " << min_group
+              << "+ covered links; model will be empty";
+  }
+  model.phase_group_q.assign(phases,
+                             std::vector<double>(model.groups.size(), 0.0));
+  for (auto& gq : model.phase_group_q) {
+    for (double& q : gq) q = rand.uniform();
+  }
+  return model;
+}
+
+congestion_model build_gilbert(const topology& t,
+                               const scenario_params& params, const spec& s) {
+  // Per-link bursty congestion: the random-congestion link choice, but
+  // each driver is ruled by a two-state Gilbert–Elliott chain instead
+  // of i.i.d. interval draws. Mean sojourns come from the burst/gap
+  // options; the bad-state congestion probability is U(0,1) per link
+  // (the U(0,1) idiom of the stationary scenarios); the initial state
+  // is drawn from the stationary distribution so the analytic marginal
+  // holds at every interval.
+  rng rand(params.seed);
+  const double burst = s.get_double("burst", 8.0);
+  const double gap = s.get_double("gap", 72.0);
+  const double q_good = s.get_double("q_good", 0.0);
+  if (burst < 1.0 || gap < 1.0) {
+    throw spec_error("scenario 'gilbert': burst and gap must be >= 1");
+  }
+  if (q_good < 0.0 || q_good > 1.0) {
+    throw spec_error("scenario 'gilbert': q_good must be in [0, 1]");
+  }
+
+  const std::size_t target = congestable_target(t, params);
+  auto pool = pool_to_vector(t.covered_links());
+  rand.shuffle(pool);
+  pool.resize(std::min(pool.size(), std::max<std::size_t>(target, 1)));
+
+  congestion_model model;
+  model.phase_q.assign(1, std::vector<double>(t.num_router_links(), 0.0));
+  model.congestable_links = bitvec(t.num_links());
+  std::unordered_set<router_link_id> seen;
+  for (const router_link_id r : drivers_for_links(t, pool, rand)) {
+    if (!seen.insert(r).second) continue;
+    gilbert_chain chain;
+    chain.driver = r;
+    chain.p_exit_bad = 1.0 / burst;
+    chain.p_enter_bad = 1.0 / gap;
+    chain.q_bad = rand.uniform();
+    chain.q_good = q_good;
+    chain.start_bad = rand.bernoulli(chain.stationary_bad());
+    for (const link_id e : t.links_on_router_link(r)) {
+      model.congestable_links.set(e);
+    }
+    model.chains.push_back(chain);
+  }
+  return model;
+}
+
+congestion_model build_hotspot_drift(const topology& t,
+                                     const scenario_params& params,
+                                     const spec& s) {
+  // A congestion hot-spot random-walking over the AS adjacency graph:
+  // every phase, the drivers are the router links under the covered
+  // links within `radius` AS hops of the current centre, with fresh
+  // U(0,1) probabilities; then the centre steps to a uniform neighbour.
+  rng rand(params.seed);
+  const std::size_t radius = s.get_size("radius", 1);
+  const std::size_t target = congestable_target(t, params);
+
+  // AS adjacency from the monitored paths: two ASes are adjacent when
+  // their links appear consecutively on some path.
+  std::vector<std::vector<as_id>> adjacent(t.num_ases());
+  const auto link_as = [&](link_id e) { return t.link(e).as_number; };
+  for (const path& p : t.paths()) {
+    const auto& links = p.links();
+    for (std::size_t i = 1; i < links.size(); ++i) {
+      const as_id a = link_as(links[i - 1]);
+      const as_id b = link_as(links[i]);
+      if (a == b) continue;
+      auto& na = adjacent[a];
+      auto& nb = adjacent[b];
+      if (std::find(na.begin(), na.end(), b) == na.end()) na.push_back(b);
+      if (std::find(nb.begin(), nb.end(), a) == nb.end()) nb.push_back(a);
+    }
+  }
+
+  std::vector<as_id> eligible;
+  for (as_id a = 0; a < t.num_ases(); ++a) {
+    bitvec in_as = t.links_in_as(a);
+    in_as &= t.covered_links();
+    if (in_as.count() > 0) eligible.push_back(a);
+  }
+
+  congestion_model model;
+  const std::size_t phases = std::max<std::size_t>(params.num_phases, 1);
+  model.phase_length = params.phase_length;
+  model.phase_q.assign(phases, std::vector<double>(t.num_router_links(), 0.0));
+  model.congestable_links = bitvec(t.num_links());
+  if (eligible.empty()) {
+    NTOM_WARN << "hotspot_drift scenario: no AS has covered links; "
+                 "model will be empty";
+    return model;
+  }
+
+  as_id centre = eligible[rand.uniform_index(eligible.size())];
+  for (std::size_t k = 0; k < phases; ++k) {
+    // Neighbourhood of the centre, breadth-first up to `radius` hops.
+    std::vector<as_id> frontier = {centre};
+    std::vector<char> visited(t.num_ases(), 0);
+    visited[centre] = 1;
+    for (std::size_t hop = 0; hop < radius && !frontier.empty(); ++hop) {
+      std::vector<as_id> next;
+      for (const as_id a : frontier) {
+        for (const as_id b : adjacent[a]) {
+          if (visited[b] == 0) {
+            visited[b] = 1;
+            next.push_back(b);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+
+    std::vector<link_id> pool;
+    t.covered_links().for_each([&](std::size_t le) {
+      const auto e = static_cast<link_id>(le);
+      if (visited[link_as(e)] != 0) pool.push_back(e);
+    });
+    rand.shuffle(pool);
+    pool.resize(std::min(pool.size(), std::max<std::size_t>(target, 1)));
+
+    std::unordered_set<router_link_id> assigned;
+    for (const router_link_id r : drivers_for_links(t, pool, rand)) {
+      if (!assigned.insert(r).second) continue;
+      model.phase_q[k][r] = rand.uniform();
+      for (const link_id e : t.links_on_router_link(r)) {
+        model.congestable_links.set(e);
+      }
+    }
+
+    const auto& steps = adjacent[centre];
+    if (!steps.empty()) centre = steps[rand.uniform_index(steps.size())];
+  }
+  return model;
+}
+
 /// Common options every scenario accepts. Idempotent.
 scenario_params apply_common_options(scenario_params p, const spec& s) {
   p.congestable_fraction = s.get_double("fraction", p.congestable_fraction);
@@ -203,6 +407,67 @@ void register_builtins(registry<scenario_plugin>& reg) {
       "every congestable link shares a driver router link with another",
       {"noindep"}, build_no_independence));
 
+  // Correlated-failure family: spec-configured builders (they read
+  // their extra options from the spec at build time).
+  std::vector<option_doc> srlg_options = common_option_docs();
+  srlg_options.push_back(
+      {"min_group", "minimum covered links for an AS to form a group "
+                    "(default 2)"});
+  reg.add({
+      "srlg",
+      "Shared-Risk Groups",
+      "shared-risk link groups from AS clustering fire as whole units",
+      {"shared_risk"},
+      std::move(srlg_options),
+      {apply_common_options, build_srlg},
+  });
+
+  reg.add({
+      "gilbert",
+      "Gilbert Bursts",
+      "per-link two-state Gilbert-Elliott congestion (bursty, "
+      "time-correlated)",
+      {"gilbert_elliott", "bursty"},
+      {{"fraction",
+        "fraction of covered links made congestable (default 0.10)"},
+       {"burst", "mean bad-state sojourn in intervals (default 8)"},
+       {"gap", "mean good-state sojourn in intervals (default 72)"},
+       {"q_good", "congestion probability in the good state (default 0)"}},
+      {[](scenario_params p, const spec& s) {
+         p.congestable_fraction =
+             s.get_double("fraction", p.congestable_fraction);
+         // Gilbert's time structure lives in the chains, not in phases:
+         // a batch-wide nonstationary default is meaningless here and
+         // would otherwise pre-draw phases nothing reads (the spec key
+         // itself is rejected by the option whitelist).
+         p.nonstationary = false;
+         return p;
+       },
+       build_gilbert},
+  });
+
+  // No `nonstationary` in the whitelist: the drift IS the
+  // nonstationarity, so an explicit setting would be silently
+  // meaningless — reject it loudly instead.
+  reg.add({
+      "hotspot_drift",
+      "Hotspot Drift",
+      "a congestion hot-spot random-walks across the AS graph every "
+      "phase_length intervals",
+      {"hotspot"},
+      {{"fraction",
+        "fraction of covered links made congestable (default 0.10)"},
+       {"phase_length",
+        "intervals the hot-spot dwells per position (default 50)"},
+       {"radius", "AS hops included around the hot-spot centre (default 1)"}},
+      {[](scenario_params p, const spec& s) {
+         p = apply_common_options(p, s);
+         p.nonstationary = true;
+         return p;
+       },
+       build_hotspot_drift},
+  });
+
   // no_stationarity layers per-phase probability redraws on a base
   // scenario (Fig. 3 layers it on no_independence).
   std::vector<option_doc> nostat_options = common_option_docs();
@@ -227,7 +492,15 @@ void register_builtins(registry<scenario_plugin>& reg) {
          }
          // The base's own options cannot be set through this spec; it
          // builds from the already-configured params.
-         return entry.factory.build(t, p, spec(base));
+         congestion_model model = entry.factory.build(t, p, spec(base));
+         if (p.num_phases > 1 && model.num_phases() < 2) {
+           // A base that ignored the phase request (gilbert: chains,
+           // not phases) would silently report stationary results
+           // under a "No Stationarity" label.
+           throw spec_error("scenario 'no_stationarity': base '" + base +
+                            "' does not support phase redraws");
+         }
+         return model;
        }},
   });
 }

@@ -13,6 +13,19 @@
 //                            (option `base`, default no_independence as
 //                            in Fig. 3).
 //
+// Correlated-failure scenarios (adversarial stress beyond §5.4):
+//
+//   srlg          — shared-risk link groups derived from the topology's
+//                   AS clustering: each selected AS becomes one group
+//                   whose underlying router links fire together, so
+//                   whole neighbourhoods co-congest in one interval.
+//   gilbert       — per-link two-state Gilbert–Elliott congestion:
+//                   bursty, time-correlated link states with mean burst
+//                   and gap sojourns instead of i.i.d. interval draws.
+//   hotspot_drift — a congestion hot-spot (an AS neighbourhood) that
+//                   random-walks across the AS adjacency graph every
+//                   phase_length intervals.
+//
 // The "Sparse Topology" scenario of Fig. 3 is random_congestion applied
 // to a Sparse topology — a topology choice, not a model choice.
 //

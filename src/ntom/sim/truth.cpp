@@ -40,6 +40,23 @@ double ground_truth::good_probability_in_phase(const bitvec& links,
   });
   double good = 1.0;
   for (const router_link_id r : routers) good *= 1.0 - q[r];
+
+  // Every driver family is independent, so each contributes one factor:
+  // a set is good iff no driver able to congest it fired.
+  for (std::size_t g = 0; g < model_.groups.size(); ++g) {
+    for (const router_link_id r : model_.groups[g].members) {
+      if (routers.count(r) != 0) {
+        good *= 1.0 - model_.phase_group_q[phase][g];
+        break;
+      }
+    }
+  }
+  // Chains are phase-independent; their single-interval marginal is the
+  // stationary mixture (the initial state is drawn stationary at build
+  // time, so every interval sits in the stationary regime).
+  for (const gilbert_chain& c : model_.chains) {
+    if (routers.count(c.driver) != 0) good *= 1.0 - c.marginal_q();
+  }
   return good;
 }
 

@@ -1,9 +1,13 @@
 // Analytic ground truth for a congestion model on a topology.
 //
-// Because router-level links are drawn independently, every quantity the
-// estimators target has a closed form:
+// Because every driver — per-router-link Bernoulli, shared-risk group,
+// Gilbert–Elliott chain — is drawn independently, every single-interval
+// quantity the estimators target has a closed form:
 //
-//   P(all links in E good)  = Π_{r ∈ ∪_{e∈E} R(e)} (1 - q_r)   per phase,
+//   P(all links in E good)  = Π_{r ∈ ∪_{e∈E} R(e)} (1 - q_r)
+//                           × Π_{groups hitting R(E)} (1 - q_g)
+//                           × Π_{chains driving R(E)} (1 - marginal_q)
+//   per phase (chains contribute their stationary marginal),
 //
 // and the experiment-wide value is the phase-mixture weighted by how
 // many of the T intervals each phase covers (time averages are exactly

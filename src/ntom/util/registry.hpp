@@ -119,25 +119,34 @@ class registry {
   /// entry with its aliases, doc, and option docs.
   [[nodiscard]] std::string describe() const {
     std::string out;
-    for (const entry& e : entries_) {
-      out += e.name;
-      if (!e.aliases.empty()) {
-        out += " (";
-        for (std::size_t i = 0; i < e.aliases.size(); ++i) {
-          if (i > 0) out += ", ";
-          out += e.aliases[i];
-        }
-        out += ")";
+    for (const entry& e : entries_) out += describe_entry(e);
+    return out;
+  }
+
+  /// The catalog block of one entry (by canonical name or alias);
+  /// throws spec_error when unknown.
+  [[nodiscard]] std::string describe(std::string_view name) const {
+    return describe_entry(at(name));
+  }
+
+ private:
+  [[nodiscard]] static std::string describe_entry(const entry& e) {
+    std::string out = e.name;
+    if (!e.aliases.empty()) {
+      out += " (";
+      for (std::size_t i = 0; i < e.aliases.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += e.aliases[i];
       }
-      out += " — " + e.doc + "\n";
-      for (const option_doc& doc : e.options) {
-        out += "    " + doc.key + ": " + doc.doc + "\n";
-      }
+      out += ")";
+    }
+    out += " — " + e.doc + "\n";
+    for (const option_doc& doc : e.options) {
+      out += "    " + doc.key + ": " + doc.doc + "\n";
     }
     return out;
   }
 
- private:
   [[nodiscard]] const entry* find(std::string_view name) const noexcept {
     for (const entry& e : entries_) {
       if (e.name == name) return &e;

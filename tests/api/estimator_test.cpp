@@ -45,7 +45,7 @@ void expect_links_equal(const link_estimates& a, const link_estimates& b) {
 std::unique_ptr<estimator> fitted(const char* name) {
   std::unique_ptr<estimator> est = make_estimator(name);
   const run_artifacts& run = seeded_run();
-  est->fit(run.topo, run.data);
+  est->fit(run.topo(), run.data);
   return est;
 }
 
@@ -61,14 +61,14 @@ TEST(EstimatorEquivalence, SparsityMatchesDirectCall) {
   const auto est = fitted("sparsity");
   const run_artifacts& run = seeded_run();
   expect_infer_matches(*est, [&](const bitvec& congested) {
-    return infer_sparsity(run.topo, make_observation(run.topo, congested));
+    return infer_sparsity(run.topo(), make_observation(run.topo(), congested));
   });
 }
 
 TEST(EstimatorEquivalence, BayesIndepMatchesDirectCall) {
   const auto est = fitted("bayes-indep");
   const run_artifacts& run = seeded_run();
-  const bayes_independence_inferencer direct(run.topo, run.data);
+  const bayes_independence_inferencer direct(run.topo(), run.data);
   expect_infer_matches(
       *est, [&](const bitvec& congested) { return direct.infer(congested); });
   expect_links_equal(est->links(), direct.step1().links);
@@ -77,7 +77,7 @@ TEST(EstimatorEquivalence, BayesIndepMatchesDirectCall) {
 TEST(EstimatorEquivalence, BayesCorrMatchesDirectCall) {
   const auto est = fitted("bayes-corr");
   const run_artifacts& run = seeded_run();
-  const bayes_correlation_inferencer direct(run.topo, run.data);
+  const bayes_correlation_inferencer direct(run.topo(), run.data);
   expect_infer_matches(
       *est, [&](const bitvec& congested) { return direct.infer(congested); });
   expect_links_equal(est->links(), direct.step1().estimates.to_link_estimates());
@@ -87,14 +87,14 @@ TEST(EstimatorEquivalence, IndependenceMatchesDirectCall) {
   const auto est = fitted("independence");
   const run_artifacts& run = seeded_run();
   expect_links_equal(est->links(),
-                     compute_independence(run.topo, run.data).links);
+                     compute_independence(run.topo(), run.data).links);
 }
 
 TEST(EstimatorEquivalence, CorrHeuristicMatchesDirectCall) {
   const auto est = fitted("corr-heuristic");
   const run_artifacts& run = seeded_run();
   expect_links_equal(est->links(),
-                     compute_correlation_heuristic(run.topo, run.data)
+                     compute_correlation_heuristic(run.topo(), run.data)
                          .estimates.to_link_estimates());
 }
 
@@ -102,7 +102,7 @@ TEST(EstimatorEquivalence, CorrCompleteMatchesDirectCall) {
   const auto est = fitted("corr-complete");
   const run_artifacts& run = seeded_run();
   expect_links_equal(est->links(),
-                     compute_correlation_complete(run.topo, run.data)
+                     compute_correlation_complete(run.topo(), run.data)
                          .estimates.to_link_estimates());
 }
 
@@ -111,11 +111,11 @@ TEST(EstimatorEquivalence, OptionsReachTheWrappedAlgorithm) {
   // direct call with the same params, not the defaults.
   std::unique_ptr<estimator> est = make_estimator("corr-complete,min_all_good=8");
   const run_artifacts& run = seeded_run();
-  est->fit(run.topo, run.data);
+  est->fit(run.topo(), run.data);
   correlation_complete_params params;
   params.min_all_good_count = 8;
   expect_links_equal(est->links(),
-                     compute_correlation_complete(run.topo, run.data, params)
+                     compute_correlation_complete(run.topo(), run.data, params)
                          .estimates.to_link_estimates());
 }
 

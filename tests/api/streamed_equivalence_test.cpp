@@ -56,7 +56,7 @@ TEST(StreamedFitTest, StreamedFitsMatchMaterializedAtEveryChunk) {
   for (const char* name :
        {"sparsity", "bayes-indep", "independence", "corr-heuristic"}) {
     const std::unique_ptr<estimator> reference = make_estimator(name);
-    reference->fit(run.topo, run.data);
+    reference->fit(run.topo(), run.data);
 
     for (const std::size_t chunk : chunk_sizes) {
       run_config streamed_config = config;

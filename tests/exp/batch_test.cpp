@@ -22,7 +22,7 @@ std::vector<measurement> count_eval(const run_config&,
                                     const run_artifacts& run) {
   const double congested = static_cast<double>(run.data.true_links.count());
   return {{"sim", "congested_link_intervals", congested},
-          {"sim", "paths", static_cast<double>(run.topo.num_paths())}};
+          {"sim", "paths", static_cast<double>(run.topo().num_paths())}};
 }
 
 std::vector<run_spec> tiny_specs(std::size_t count) {
@@ -70,8 +70,8 @@ TEST(BatchRunnerTest, SeedGroupGivesArmsTheSameTopology) {
       specs,
       [](const run_config&, const run_artifacts& run) {
         return std::vector<measurement>{
-            {"sim", "links", static_cast<double>(run.topo.num_links())},
-            {"sim", "paths", static_cast<double>(run.topo.num_paths())}};
+            {"sim", "links", static_cast<double>(run.topo().num_links())},
+            {"sim", "paths", static_cast<double>(run.topo().num_paths())}};
       },
       params);
   EXPECT_EQ(r.runs()[0].measurements[0].value,

@@ -18,7 +18,7 @@ run_config small_config() {
 TEST(RunnerTest, PreparesBriteRun) {
   run_config c = small_config();
   const auto run = prepare_run(c);
-  EXPECT_GT(run.topo.num_links(), 0u);
+  EXPECT_GT(run.topo().num_links(), 0u);
   EXPECT_EQ(run.data.intervals, 40u);
   EXPECT_FALSE(run.model.phase_q.empty());
 }
@@ -27,16 +27,16 @@ TEST(RunnerTest, PreparesSparseRun) {
   run_config c = small_config();
   c.topo = "sparse";
   const auto run = prepare_run(c);
-  EXPECT_GT(run.topo.num_links(), 0u);
-  EXPECT_GT(run.topo.num_ases(), 5u);
+  EXPECT_GT(run.topo().num_links(), 0u);
+  EXPECT_GT(run.topo().num_ases(), 5u);
 }
 
 TEST(RunnerTest, PreparesToyRun) {
   run_config c = small_config();
   c.topo = "toy,case=2";
   const auto run = prepare_run(c);
-  EXPECT_EQ(run.topo.num_links(), 4u);
-  EXPECT_EQ(run.topo.num_paths(), 3u);
+  EXPECT_EQ(run.topo().num_links(), 4u);
+  EXPECT_EQ(run.topo().num_paths(), 3u);
 }
 
 TEST(RunnerTest, UnknownTopologyThrows) {
@@ -122,7 +122,7 @@ TEST(RunnerTest, TopologyLabels) {
 TEST(RunnerTest, DeterministicAcrossCalls) {
   const auto a = prepare_run(small_config());
   const auto b = prepare_run(small_config());
-  EXPECT_EQ(a.topo.num_links(), b.topo.num_links());
+  EXPECT_EQ(a.topo().num_links(), b.topo().num_links());
   EXPECT_TRUE(a.data.true_links == b.data.true_links);
 }
 

@@ -39,7 +39,7 @@ TEST(EndToEndTest, InferenceAccurateOnBriteRandomCongestion) {
   config.sim.oracle_monitor = true;
   const auto run = prepare_run(config);
   const auto sparsity = score_inference(run, [&](const bitvec& c) {
-    return infer_sparsity(run.topo, make_observation(run.topo, c));
+    return infer_sparsity(run.topo(), make_observation(run.topo(), c));
   });
   EXPECT_GT(sparsity.detection_rate, 0.75);
   EXPECT_LT(sparsity.false_positive_rate, 0.2);
@@ -57,11 +57,11 @@ TEST(EndToEndTest, ProbabilityComputationAccurateOnBrite) {
   const ground_truth truth = run.make_truth();
   const path_observations obs(run.data);
   const bitvec potcong =
-      potentially_congested_links(run.topo, obs.always_good_paths());
+      potentially_congested_links(run.topo(), obs.always_good_paths());
 
-  const auto complete = compute_correlation_complete(run.topo, run.data);
+  const auto complete = compute_correlation_complete(run.topo(), run.data);
   const double err = mean_of(link_absolute_errors(
-      run.topo, truth, complete.estimates.to_link_estimates(), potcong));
+      run.topo(), truth, complete.estimates.to_link_estimates(), potcong));
   EXPECT_LT(err, 0.08);
 }
 
@@ -75,14 +75,14 @@ TEST(EndToEndTest, IndependenceWorseUnderCorrelation) {
   const ground_truth truth = run.make_truth();
   const path_observations obs(run.data);
   const bitvec potcong =
-      potentially_congested_links(run.topo, obs.always_good_paths());
+      potentially_congested_links(run.topo(), obs.always_good_paths());
 
-  const auto indep = compute_independence(run.topo, run.data);
-  const auto complete = compute_correlation_complete(run.topo, run.data);
+  const auto indep = compute_independence(run.topo(), run.data);
+  const auto complete = compute_correlation_complete(run.topo(), run.data);
   const double err_indep =
-      mean_of(link_absolute_errors(run.topo, truth, indep.links, potcong));
+      mean_of(link_absolute_errors(run.topo(), truth, indep.links, potcong));
   const double err_complete = mean_of(link_absolute_errors(
-      run.topo, truth, complete.estimates.to_link_estimates(), potcong));
+      run.topo(), truth, complete.estimates.to_link_estimates(), potcong));
   EXPECT_LT(err_complete, err_indep + 0.01);
 }
 
@@ -95,7 +95,7 @@ TEST(EndToEndTest, SparseTopologyHurtsInference) {
       base_config(small_sparse, "random_congestion"));
 
   const auto score = [](const run_artifacts& run) {
-    const bayes_independence_inferencer inferencer(run.topo, run.data);
+    const bayes_independence_inferencer inferencer(run.topo(), run.data);
     return score_inference(
         run, [&](const bitvec& c) { return inferencer.infer(c); });
   };
@@ -114,11 +114,11 @@ TEST(EndToEndTest, ProbabilityComputationSurvivesSparseTopology) {
   const ground_truth truth = run.make_truth();
   const path_observations obs(run.data);
   const bitvec potcong =
-      potentially_congested_links(run.topo, obs.always_good_paths());
+      potentially_congested_links(run.topo(), obs.always_good_paths());
 
-  const auto complete = compute_correlation_complete(run.topo, run.data);
+  const auto complete = compute_correlation_complete(run.topo(), run.data);
   const double err = mean_of(link_absolute_errors(
-      run.topo, truth, complete.estimates.to_link_estimates(), potcong));
+      run.topo(), truth, complete.estimates.to_link_estimates(), potcong));
   EXPECT_LT(err, 0.15);
 }
 
@@ -133,11 +133,11 @@ TEST(EndToEndTest, NonStationarityDoesNotBreakProbabilities) {
   const ground_truth truth = run.make_truth();
   const path_observations obs(run.data);
   const bitvec potcong =
-      potentially_congested_links(run.topo, obs.always_good_paths());
+      potentially_congested_links(run.topo(), obs.always_good_paths());
 
-  const auto complete = compute_correlation_complete(run.topo, run.data);
+  const auto complete = compute_correlation_complete(run.topo(), run.data);
   const double err = mean_of(link_absolute_errors(
-      run.topo, truth, complete.estimates.to_link_estimates(), potcong));
+      run.topo(), truth, complete.estimates.to_link_estimates(), potcong));
   EXPECT_LT(err, 0.12);
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "ntom/sim/truth.hpp"
+
 #include "ntom/topogen/toy.hpp"
 
 namespace ntom {
@@ -97,6 +99,91 @@ TEST(SamplerTest, DeterministicInSeed) {
   link_state_sampler a(t, m, 99), b(t, m, 99);
   for (std::size_t i = 0; i < 200; ++i) {
     EXPECT_EQ(a.sample_interval(i), b.sample_interval(i));
+  }
+}
+
+TEST(SamplerTest, RiskGroupFiresAsOneUnit) {
+  const topology t = make_toy(toy_case::case1);
+  // One group over the private router links of e1 and e4: the two links
+  // must always congest together, never alone.
+  auto m = single_phase_model(t, {});
+  m.groups.push_back({{0, 3}});
+  m.phase_group_q.assign(1, {0.6});
+  m.congestable_links.set(toy_e1);
+  m.congestable_links.set(toy_e4);
+
+  link_state_sampler sampler(t, m, 7);
+  std::size_t fired = 0;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const bitvec congested = sampler.sample_interval(i);
+    EXPECT_EQ(congested.test(toy_e1), congested.test(toy_e4)) << i;
+    EXPECT_FALSE(congested.test(toy_e2)) << i;
+    fired += congested.test(toy_e1);
+  }
+  EXPECT_GT(fired, 100u);  // q = 0.6 over 300 intervals.
+  EXPECT_LT(fired, 250u);
+}
+
+TEST(SamplerTest, GilbertChainCongestsInBursts) {
+  const topology t = make_toy(toy_case::case1);
+  auto m = single_phase_model(t, {});
+  // Driver 4 is shared by e2 and e3: both must flip together. Hard
+  // states (q_bad=1, q_good=0) make congestion equal the chain state,
+  // so consecutive intervals agree with probability 1 - 1/10.
+  m.chains.push_back({4, 0.1, 0.1, 0.0, 1.0, false});
+  m.congestable_links.set(toy_e2);
+  m.congestable_links.set(toy_e3);
+
+  link_state_sampler sampler(t, m, 11);
+  std::size_t congested_count = 0, agree = 0;
+  bool prev = false;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const bitvec congested = sampler.sample_interval(i);
+    EXPECT_EQ(congested.test(toy_e2), congested.test(toy_e3)) << i;
+    EXPECT_FALSE(congested.test(toy_e1)) << i;
+    const bool now = congested.test(toy_e2);
+    if (i > 0 && now == prev) ++agree;
+    prev = now;
+    congested_count += now;
+  }
+  // Stationary marginal is 0.5, but sojourns average 10 intervals:
+  // strong positive lag-1 correlation, nothing like i.i.d. draws.
+  EXPECT_GT(congested_count, 600u);
+  EXPECT_LT(congested_count, 1400u);
+  EXPECT_GT(agree, 1600u);  // ~90% agreement vs ~50% for i.i.d.
+}
+
+TEST(SamplerTest, GroupAndChainStreamsReplayDeterministically) {
+  const topology t = make_toy(toy_case::case1);
+  auto m = single_phase_model(t, {{0, 0.3}});
+  m.groups.push_back({{1, 3}});
+  m.phase_group_q.assign(1, {0.4});
+  m.chains.push_back({4, 0.2, 0.3, 0.05, 0.9, true});
+
+  link_state_sampler a(t, m, 99), b(t, m, 99);
+  for (std::size_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(a.sample_interval(i), b.sample_interval(i)) << i;
+  }
+}
+
+TEST(SamplerTest, MixedDriversMatchAnalyticTruth) {
+  const topology t = make_toy(toy_case::case1);
+  auto m = single_phase_model(t, {{0, 0.2}});
+  m.groups.push_back({{1, 3}});  // drives e2 and e4 together.
+  m.phase_group_q.assign(1, {0.3});
+  m.chains.push_back({4, 0.125, 0.125, 0.0, 0.8, false});  // e2, e3.
+
+  const std::size_t T = 20000;
+  const ground_truth truth(t, m, T);
+  std::vector<std::size_t> counts(t.num_links(), 0);
+  link_state_sampler sampler(t, m, 5);
+  for (std::size_t i = 0; i < T; ++i) {
+    sampler.sample_interval(i).for_each([&](std::size_t e) { ++counts[e]; });
+  }
+  for (link_id e = 0; e < t.num_links(); ++e) {
+    const double freq = static_cast<double>(counts[e]) / T;
+    EXPECT_NEAR(freq, truth.link_congestion_probability(e), 0.03)
+        << "link " << e;
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "ntom/sim/truth.hpp"
 #include "ntom/topogen/brite.hpp"
 
 namespace ntom {
@@ -155,17 +156,198 @@ TEST(ScenarioTest, DeterministicInSeed) {
   EXPECT_EQ(a.congestable_links, b.congestable_links);
 }
 
+TEST(CorrelatedScenarioTest, SrlgBuildsGroupsFromAsClustering) {
+  const topology t = test_topology();
+  scenario_params sp;
+  sp.seed = 3;
+  const auto model = make_scenario(t, "srlg", sp);
+  ASSERT_FALSE(model.groups.empty());
+  ASSERT_EQ(model.phase_group_q.size(), 1u);
+  ASSERT_EQ(model.phase_group_q[0].size(), model.groups.size());
+  for (const double q : model.phase_group_q[0]) {
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+  }
+  EXPECT_GT(model.congestable_links.count(), 1u);
+  // Every group clusters one AS: all member router links carry a link
+  // of that AS, and groups hold at least min_group covered links.
+  for (const risk_group& g : model.groups) {
+    EXPECT_FALSE(g.members.empty());
+    bitvec driven(t.num_links());
+    for (const router_link_id r : g.members) {
+      for (const link_id e : t.links_on_router_link(r)) driven.set(e);
+    }
+    driven &= t.covered_links();
+    EXPECT_GE(driven.count(), 2u);
+  }
+}
+
+TEST(CorrelatedScenarioTest, SrlgRespectsOptions) {
+  const topology t = test_topology();
+  scenario_params sp;
+  sp.seed = 3;
+  const auto wide = make_scenario(t, "srlg,fraction=0.4", sp);
+  const auto narrow = make_scenario(t, "srlg,fraction=0.05", sp);
+  EXPECT_GE(wide.groups.size(), narrow.groups.size());
+  // An impossible group size empties the model instead of crashing.
+  const auto empty = make_scenario(t, "srlg,min_group=100000", sp);
+  EXPECT_TRUE(empty.groups.empty());
+  EXPECT_EQ(empty.congestable_links.count(), 0u);
+  EXPECT_THROW((void)make_scenario(t, "srlg,min_group=0", sp), spec_error);
+}
+
+TEST(CorrelatedScenarioTest, SrlgNonstationaryRedrawsGroupProbabilities) {
+  const topology t = test_topology();
+  scenario_params sp;
+  sp.seed = 3;
+  sp.nonstationary = true;
+  sp.num_phases = 3;
+  sp.phase_length = 20;
+  const auto model = make_scenario(t, "srlg", sp);
+  ASSERT_EQ(model.phase_group_q.size(), 3u);
+  EXPECT_EQ(model.phase_length, 20u);
+  ASSERT_FALSE(model.groups.empty());
+  EXPECT_NE(model.phase_group_q[0], model.phase_group_q[1]);
+}
+
+TEST(CorrelatedScenarioTest, GilbertBuildsValidChains) {
+  const topology t = test_topology();
+  scenario_params sp;
+  sp.seed = 3;
+  const auto model = make_scenario(t, "gilbert", sp);
+  ASSERT_FALSE(model.chains.empty());
+  EXPECT_GT(model.congestable_links.count(), 0u);
+  for (const gilbert_chain& c : model.chains) {
+    EXPECT_LT(c.driver, t.num_router_links());
+    EXPECT_DOUBLE_EQ(c.p_exit_bad, 1.0 / 8.0);    // default burst.
+    EXPECT_DOUBLE_EQ(c.p_enter_bad, 1.0 / 72.0);  // default gap.
+    EXPECT_GE(c.q_bad, 0.0);
+    EXPECT_LE(c.q_bad, 1.0);
+    EXPECT_DOUBLE_EQ(c.q_good, 0.0);
+  }
+
+  const auto fast = make_scenario(t, "gilbert,burst=2,gap=4,q_good=0.1", sp);
+  ASSERT_FALSE(fast.chains.empty());
+  EXPECT_DOUBLE_EQ(fast.chains[0].p_exit_bad, 0.5);
+  EXPECT_DOUBLE_EQ(fast.chains[0].p_enter_bad, 0.25);
+  EXPECT_DOUBLE_EQ(fast.chains[0].q_good, 0.1);
+
+  EXPECT_THROW((void)make_scenario(t, "gilbert,burst=0.5", sp), spec_error);
+  EXPECT_THROW((void)make_scenario(t, "gilbert,q_good=2", sp), spec_error);
+  EXPECT_THROW((void)make_scenario(t, "gilbert,nonstationary", sp),
+               spec_error);  // chains are not phase-driven.
+
+  // A batch-wide nonstationary default is cleared, not honored: the
+  // chains carry the time structure, so no phases are ever pre-drawn.
+  scenario_params defaults;
+  defaults.nonstationary = true;
+  EXPECT_FALSE(apply_scenario_spec("gilbert", defaults).nonstationary);
+
+  // And layering no_stationarity on gilbert fails loudly instead of
+  // silently reporting stationary results under the layered label.
+  scenario_params layered;
+  layered.seed = 3;
+  layered.num_phases = 3;
+  EXPECT_THROW((void)make_scenario(t, "no_stationarity,base=gilbert", layered),
+               spec_error);
+}
+
+TEST(CorrelatedScenarioTest, HotspotDriftMovesAcrossPhases) {
+  const topology t = test_topology();
+  scenario_params sp;
+  sp.seed = 3;
+  sp.num_phases = 6;
+  sp.phase_length = 10;
+  // configure() forces nonstationarity — the drift IS the phase change.
+  const scenario_params configured = apply_scenario_spec("hotspot_drift", sp);
+  EXPECT_TRUE(configured.nonstationary);
+
+  sp.nonstationary = true;
+  const auto model = make_scenario(t, "hotspot_drift", sp);
+  ASSERT_EQ(model.num_phases(), 6u);
+  EXPECT_EQ(model.phase_length, 10u);
+  EXPECT_GT(model.congestable_links.count(), 0u);
+
+  // The hot-spot walks: some phase pair must drive different routers.
+  bool drivers_move = false;
+  for (std::size_t k = 1; k < model.num_phases() && !drivers_move; ++k) {
+    for (std::size_t r = 0; r < model.phase_q[k].size(); ++r) {
+      if ((model.phase_q[0][r] > 0.0) != (model.phase_q[k][r] > 0.0)) {
+        drivers_move = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(drivers_move);
+}
+
+TEST(CorrelatedScenarioTest, NewScenariosAreDeterministicInSeed) {
+  const topology t = test_topology();
+  for (const char* name : {"srlg", "gilbert", "hotspot_drift"}) {
+    scenario_params sp;
+    sp.seed = 21;
+    sp.num_phases = 4;
+    const auto a = make_scenario(t, name, sp);
+    const auto b = make_scenario(t, name, sp);
+    EXPECT_EQ(a.phase_q, b.phase_q) << name;
+    EXPECT_EQ(a.phase_group_q, b.phase_group_q) << name;
+    EXPECT_EQ(a.congestable_links, b.congestable_links) << name;
+    ASSERT_EQ(a.groups.size(), b.groups.size()) << name;
+    for (std::size_t g = 0; g < a.groups.size(); ++g) {
+      EXPECT_EQ(a.groups[g].members, b.groups[g].members) << name;
+    }
+    ASSERT_EQ(a.chains.size(), b.chains.size()) << name;
+    for (std::size_t c = 0; c < a.chains.size(); ++c) {
+      EXPECT_EQ(a.chains[c].driver, b.chains[c].driver) << name;
+      EXPECT_EQ(a.chains[c].q_bad, b.chains[c].q_bad) << name;
+      EXPECT_EQ(a.chains[c].start_bad, b.chains[c].start_bad) << name;
+    }
+  }
+}
+
+TEST(CorrelatedScenarioTest, AnalyticTruthMatchesSampledFrequencies) {
+  const topology t = test_topology();
+  for (const char* name : {"srlg", "gilbert", "hotspot_drift"}) {
+    scenario_params sp;
+    sp.seed = 9;
+    sp.nonstationary = true;  // ignored where not applicable.
+    sp.phase_length = 50;
+    sp.num_phases = 100;
+    const auto model = make_scenario(t, name, sp);
+
+    const std::size_t T = 5000;  // = num_phases * phase_length.
+    const ground_truth truth(t, model, T);
+    std::vector<std::size_t> counts(t.num_links(), 0);
+    link_state_sampler sampler(t, model, 17);
+    for (std::size_t i = 0; i < T; ++i) {
+      sampler.sample_interval(i).for_each(
+          [&](std::size_t e) { ++counts[e]; });
+    }
+    model.congestable_links.for_each([&](std::size_t le) {
+      const auto e = static_cast<link_id>(le);
+      const double freq = static_cast<double>(counts[e]) / T;
+      EXPECT_NEAR(freq, truth.link_congestion_probability(e), 0.06)
+          << name << " link " << e;
+    });
+  }
+}
+
 TEST(ScenarioTest, NamesAreHuman) {
   EXPECT_EQ(scenario_label("random_congestion"), "Random Congestion");
   EXPECT_EQ(scenario_label("concentrated_congestion"),
             "Concentrated Congestion");
   EXPECT_EQ(scenario_label("no_independence"), "No Independence");
   EXPECT_EQ(scenario_label("no_stationarity"), "No Stationarity");
+  EXPECT_EQ(scenario_label("srlg"), "Shared-Risk Groups");
+  EXPECT_EQ(scenario_label("gilbert"), "Gilbert Bursts");
+  EXPECT_EQ(scenario_label("hotspot_drift"), "Hotspot Drift");
   EXPECT_EQ(scenario_label("random_congestion,label=Custom"), "Custom");
 }
 
 TEST(ScenarioTest, AliasesResolve) {
-  for (const char* alias : {"random", "concentrated", "noindep", "nostat"}) {
+  for (const char* alias : {"random", "concentrated", "noindep", "nostat",
+                            "shared_risk", "gilbert_elliott", "bursty",
+                            "hotspot"}) {
     EXPECT_TRUE(scenario_registry().contains(alias)) << alias;
   }
   const topology t = test_topology();

@@ -7,6 +7,7 @@
 #include "ntom/sim/packet_sim.hpp"
 #include "ntom/sim/scenario.hpp"
 #include "ntom/sim/truth.hpp"
+#include "ntom/topogen/brite.hpp"
 #include "ntom/topogen/toy.hpp"
 
 namespace ntom {
@@ -133,6 +134,44 @@ TEST(StreamingEquivalenceTest, EmpiricalTruthMatchesStore) {
     for (link_id e = 0; e < f.topo.num_links(); ++e) {
       EXPECT_EQ(truth.congested_count(e), by_link.count_row(e))
           << "chunk " << chunk << " link " << e;
+    }
+  }
+}
+
+TEST(StreamingEquivalenceTest, CorrelatedScenariosBitIdenticalAtAnyChunk) {
+  // The correlated-failure family carries sampler state across
+  // intervals (group draws, Gilbert chains, drifting phases); every
+  // replay at every chunk size must still reproduce the identical
+  // stream — streaming is an execution strategy, never a model change.
+  brite_params bp;
+  bp.seed = 31;
+  const topology topo = generate_brite(bp);
+  for (const char* name : {"srlg", "gilbert", "hotspot_drift"}) {
+    scenario_params sp;
+    sp.seed = 13;
+    sp.nonstationary = true;  // ignored where not applicable.
+    sp.phase_length = 25;
+    sp.num_phases = 4;
+    const congestion_model model = make_scenario(topo, name, sp);
+
+    sim_params sim;
+    sim.intervals = 100;
+    sim.packets_per_path = 60;
+    sim.seed = 29;
+    const experiment_data reference = run_experiment(topo, model, sim);
+
+    for (const std::size_t chunk : chunk_sizes) {
+      experiment_data streamed;
+      materialize_sink sink(streamed);
+      run_experiment_streaming(topo, model, sim, sink, chunk);
+      EXPECT_TRUE(streamed.path_good == reference.path_good)
+          << name << " chunk " << chunk;
+      EXPECT_TRUE(streamed.true_links == reference.true_links)
+          << name << " chunk " << chunk;
+      EXPECT_EQ(streamed.always_good_paths, reference.always_good_paths)
+          << name << " chunk " << chunk;
+      EXPECT_EQ(streamed.ever_congested_links, reference.ever_congested_links)
+          << name << " chunk " << chunk;
     }
   }
 }

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over BENCH_*.json summaries.
+
+Compares the headline cells of one or more BENCH_*.json files (written
+by the bench binaries' --json flag) against the committed baseline and
+fails on drift beyond the tolerance.
+
+Only deterministic metrics are gated by default (detection /
+false-positive rates, mean absolute errors, byte counts, scheduler cell
+and cache counters): they are pure functions of the seeds, so any drift
+is a behavior change, not noise. Wall-clock and throughput metrics
+(seconds, mqps, speedups) are recorded in the baseline for trend
+reading but never gated — CI runners are too noisy for that.
+
+Usage:
+  tools/bench_check.py --baseline BENCH_BASELINE.json build/BENCH_*.json
+  tools/bench_check.py --write-baseline BENCH_BASELINE.json build/BENCH_*.json
+
+A bench present in the baseline but missing from the inputs fails the
+gate (a silently dropped bench is a regression too); a new bench or new
+cell missing from the baseline fails with a hint to regenerate it.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Deterministic headline metrics: gated at the tolerance. (The
+# memory-reduction ratios end in _x like the speedups and are skipped;
+# the raw byte cells they derive from are gated exactly instead.)
+GATED_METRIC = re.compile(
+    r"detection_rate|false_positive_rate|mean_abs_error|identical"
+    r"|bytes|^cells$|^runs$|topo_cache"
+)
+# Timing/throughput: recorded, never gated.
+TIMING_METRIC = re.compile(r"seconds|mqps|speedup|_x$")
+# Exact integers (byte counts, scheduler cell/cache counters, boolean
+# assertions): any drift at all is a structural change — tolerance 0.
+EXACT_METRIC = re.compile(r"bytes|identical|^cells$|^runs$|topo_cache")
+
+
+def load_cells(path):
+    """-> (bench name, {"label/series/metric": mean})."""
+    with open(path) as f:
+        doc = json.load(f)
+    cells = {}
+    for cell in doc.get("cells", []):
+        key = "/".join((cell["label"], cell["series"], cell["metric"]))
+        cells[key] = cell["mean"]
+    return doc["bench"], cells
+
+
+def is_gated(key):
+    metric = key.rsplit("/", 1)[-1]
+    return bool(GATED_METRIC.search(metric)) and not TIMING_METRIC.search(
+        metric
+    )
+
+
+def write_baseline(out_path, inputs, tolerance):
+    benches = {}
+    for path in inputs:
+        bench, cells = load_cells(path)
+        if bench in benches:
+            sys.exit(f"bench_check: duplicate bench '{bench}' in inputs")
+        benches[bench] = cells
+    doc = {"tolerance": tolerance, "benches": benches}
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    gated = sum(
+        is_gated(k) for cells in benches.values() for k in cells
+    )
+    print(
+        f"bench_check: wrote {out_path}: {len(benches)} benches, "
+        f"{gated} gated cells (tolerance {tolerance:.0%})"
+    )
+
+
+def check(baseline_path, inputs, tolerance_override):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    tolerance = (
+        tolerance_override
+        if tolerance_override is not None
+        else float(baseline.get("tolerance", 0.15))
+    )
+    # Relative gate with an absolute floor: rates live in [0, 1], so a
+    # pure relative check would be needlessly twitchy near zero.
+    floor = 0.02
+
+    seen = set()
+    failures = []
+    compared = 0
+    for path in inputs:
+        bench, cells = load_cells(path)
+        seen.add(bench)
+        base_cells = baseline["benches"].get(bench)
+        if base_cells is None:
+            failures.append(
+                f"{bench}: not in baseline — regenerate with "
+                f"--write-baseline after reviewing the new bench"
+            )
+            continue
+        for key, base in sorted(base_cells.items()):
+            if not is_gated(key):
+                continue
+            if key not in cells:
+                failures.append(f"{bench}: cell '{key}' disappeared")
+                continue
+            new = cells[key]
+            exact = bool(EXACT_METRIC.search(key.rsplit("/", 1)[-1]))
+            allowed = 0.0 if exact else max(tolerance * abs(base), floor)
+            delta = abs(new - base)
+            status = "ok" if delta <= allowed else "FAIL"
+            compared += 1
+            print(
+                f"  [{status}] {bench}/{key}: {new:.6g} "
+                f"(baseline {base:.6g}, |delta| {delta:.3g} "
+                f"<= {allowed:.3g})"
+            )
+            if status == "FAIL":
+                failures.append(
+                    f"{bench}: '{key}' drifted {delta:.3g} "
+                    f"(allowed {allowed:.3g})"
+                )
+        for key in sorted(cells):
+            if is_gated(key) and key not in base_cells:
+                failures.append(
+                    f"{bench}: new gated cell '{key}' missing from "
+                    f"baseline — regenerate with --write-baseline"
+                )
+
+    for bench in sorted(baseline["benches"]):
+        if bench not in seen:
+            failures.append(f"{bench}: baseline bench missing from inputs")
+
+    if failures:
+        print(f"\nbench_check: {len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(
+        f"\nbench_check: {compared} gated cells within "
+        f"{tolerance:.0%} of baseline"
+    )
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+", help="BENCH_*.json files")
+    parser.add_argument("--baseline", help="baseline to compare against")
+    parser.add_argument(
+        "--write-baseline", help="write a fresh baseline from the inputs"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative tolerance (default: the baseline's, 0.15)",
+    )
+    args = parser.parse_args()
+    if bool(args.baseline) == bool(args.write_baseline):
+        parser.error("pass exactly one of --baseline / --write-baseline")
+    if args.write_baseline:
+        write_baseline(
+            args.write_baseline,
+            args.inputs,
+            args.tolerance if args.tolerance is not None else 0.15,
+        )
+        return 0
+    return check(args.baseline, args.inputs, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
