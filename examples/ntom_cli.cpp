@@ -13,41 +13,69 @@
 //            Simulate a monitoring experiment on the topology, run
 //            Correlation-complete, print the peer report and the
 //            discovered correlated groups, optionally dump CSVs.
-//   list     Print the registered topologies, scenarios, and
-//            estimators with their option docs.
+//   list     Print the registered topologies, scenarios, estimators,
+//            and imperfections with their option docs.
+//   capture  --scenario=SPEC --out=run.trc [--topo=TOPOSPEC]
+//            [--intervals N] [--seed N] [--packets N] [--oracle]
+//            [--no-truth] [--imperfect="drop,p=0.05;..."]
+//            Simulate a monitoring run and record its measurement
+//            stream as a .trc dataset, O(chunk) memory at any T.
+//   replay   --file=run.trc [--estimators=SPECS] [--streamed]
+//            [--chunk N] [--imperfect=...]
+//            Replay a captured dataset through the estimator pipeline:
+//            truth-aware Fig. 3 metrics when the trace carries the
+//            ground-truth plane, observation-only scoring otherwise.
+//   import   --in=loss.txt --out=run.trc [--topo=FILE] [--threshold F]
+//            Convert an external per-path loss text trace
+//            (TopoConfluence-style ns-3 summaries) into a .trc dataset.
 //
 // Example session:
 //   ./ntom_cli gen --kind=sparse,stubs=300 --out=/tmp/topo.txt
 //   ./ntom_cli dot --topo=/tmp/topo.txt --out=/tmp/topo.dot
 //   ./ntom_cli monitor --topo=/tmp/topo.txt --scenario=noindep
 //              --nonstationary --phase-length=25 --links-csv=/tmp/links.csv
+//   ./ntom_cli capture --scenario=srlg --out=/tmp/srlg.trc --intervals=2000
+//   ./ntom_cli replay --file=/tmp/srlg.trc --estimators=sparsity,bayes-indep
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "ntom/analysis/correlation_groups.hpp"
 #include "ntom/analysis/peer_report.hpp"
 #include "ntom/api/experiment.hpp"
+#include "ntom/exp/evals.hpp"
 #include "ntom/exp/report.hpp"
 #include "ntom/io/results_io.hpp"
 #include "ntom/io/topology_io.hpp"
 #include "ntom/sim/scenario.hpp"
 #include "ntom/topogen/registry.hpp"
+#include "ntom/trace/imperfection.hpp"
+#include "ntom/trace/import.hpp"
+#include "ntom/trace/trace_writer.hpp"
 #include "ntom/util/flags.hpp"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ntom_cli <gen|dot|monitor|list> [--flags]\n"
+               "usage: ntom_cli <gen|dot|monitor|capture|replay|import|list> "
+               "[--flags]\n"
                "  gen     --kind=TOPOSPEC --out=FILE [--seed N] [--paper]\n"
                "  dot     --topo=FILE --out=FILE\n"
                "  monitor --topo=FILE [--scenario=SCENARIOSPEC]\n"
                "          [--intervals N] [--seed N] [--nonstationary]\n"
                "          [--phase-length N]\n"
                "          [--links-csv FILE] [--subsets-csv FILE]\n"
-               "  list    print registered topologies/scenarios/estimators\n"
+               "  capture --scenario=SPEC --out=FILE [--topo=TOPOSPEC]\n"
+               "          [--intervals N] [--seed N] [--packets N] [--oracle]\n"
+               "          [--no-truth] [--imperfect=SPECS]\n"
+               "  replay  --file=FILE [--estimators=SPECS] [--streamed]\n"
+               "          [--chunk N] [--imperfect=SPECS]\n"
+               "  import  --in=FILE --out=FILE [--topo=FILE] [--threshold F]\n"
+               "  list    print registered components and option docs\n"
                "Specs are \"name,key=value,...\" — see `ntom_cli list`.\n");
   return 2;
 }
@@ -153,6 +181,112 @@ int cmd_monitor(const ntom::flags& opts) {
   return 0;
 }
 
+int cmd_capture(const ntom::flags& opts) {
+  using namespace ntom;
+  const std::string out = opts.get_string("out", "");
+  if (out.empty()) return usage();
+
+  run_config config;
+  config.topo = opts.get_string("topo", "brite");
+  config.scenario = opts.get_string("scenario", "random_congestion");
+  config.topo_seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  config.scenario_opts.seed = config.topo_seed + 10;
+  config.sim.seed = config.topo_seed + 20;
+  config.sim.intervals =
+      static_cast<std::size_t>(opts.get_int("intervals", 1000));
+  config.sim.packets_per_path = static_cast<std::size_t>(
+      opts.get_int("packets", config.sim.packets_per_path));
+  config.sim.oracle_monitor = opts.get_bool("oracle", false);
+  config.capture_path = out;
+  config.capture_truth = !opts.get_bool("no-truth", false);
+
+  // O(chunk) capture: stream the simulation straight into the writer
+  // (through the imperfection chain when one is requested), never
+  // materializing the run.
+  const run_artifacts run = prepare_topology(config);
+  const std::unique_ptr<trace_writer> writer =
+      make_capture_writer(config, run);
+  const imperfection_chain chain(opts.get_string("imperfect", ""));
+  std::vector<std::unique_ptr<imperfection_sink>> stages;
+  measurement_sink& head = chain.build(*writer, stages);
+  stream_experiment(run, config, head);
+
+  std::printf("wrote %s: %llu intervals x %zu paths (%s truth), %llu bytes\n",
+              out.c_str(),
+              static_cast<unsigned long long>(writer->intervals_written()),
+              run.topo().num_paths(),
+              config.capture_truth && run.has_truth() ? "with" : "without",
+              static_cast<unsigned long long>(writer->bytes_written()));
+  return 0;
+}
+
+int cmd_replay(const ntom::flags& opts) {
+  using namespace ntom;
+  const std::string file = opts.get_string("file", "");
+  if (file.empty()) return usage();
+
+  run_config config;
+  config.scenario = spec("trace").with_option("file", file);
+  const std::string imperfect = opts.get_string("imperfect", "");
+  if (!imperfect.empty()) {
+    config.scenario = config.scenario.with_option("imperfect", imperfect);
+  }
+  config.streamed = opts.get_bool("streamed", false);
+  config.chunk_intervals = static_cast<std::size_t>(opts.get_int(
+      "chunk", static_cast<std::int64_t>(default_chunk_intervals)));
+
+  const run_artifacts run =
+      config.streamed ? prepare_topology(config) : prepare_run(config);
+  std::printf("replaying %s: %zu intervals, %s, truth plane %s\n",
+              file.c_str(), run.source->intervals(),
+              run.topo().describe().c_str(),
+              run.has_truth() ? "present (Fig. 3 metrics)"
+                              : "absent (observation-only scoring)");
+  const std::string provenance = run.source->provenance();
+  if (!provenance.empty()) {
+    std::printf("provenance: %s\n", provenance.c_str());
+  }
+
+  // Estimator list: ';'-separated when a spec carries ',' options,
+  // else ','-separated (the shared CLI convention).
+  std::vector<estimator_spec> estimators;
+  for (const std::string& e : split_spec_list(opts.get_string(
+           "estimators", "sparsity,bayes-indep,bayes-corr"))) {
+    estimators.emplace_back(e);
+  }
+
+  const auto rows = estimator_eval(estimators)(config, run);
+  table_printer table({"Estimator", "Metric", "Value"});
+  for (const measurement& m : rows) {
+    table.add_row({m.series, m.metric, format_fixed(m.value)});
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_import(const ntom::flags& opts) {
+  using namespace ntom;
+  const std::string in = opts.get_string("in", "");
+  const std::string out = opts.get_string("out", "");
+  if (in.empty() || out.empty()) return usage();
+
+  import_options options;
+  options.loss_threshold = opts.get_double("threshold", 0.05);
+  topology topo;
+  if (opts.has("topo")) {
+    topo = load_topology_file(opts.get_string("topo", ""));
+    options.topo = &topo;
+  }
+  const import_result result = import_path_loss_file(in, out, options);
+  std::printf(
+      "imported %s -> %s: %zu paths x %zu intervals, %zu congested "
+      "path-intervals (threshold %.3f)\n",
+      in.c_str(), out.c_str(), result.paths, result.intervals,
+      result.congested_observations, options.loss_threshold);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,11 +297,21 @@ int main(int argc, char** argv) {
     if (command == "gen") return cmd_gen(opts);
     if (command == "dot") return cmd_dot(opts);
     if (command == "monitor") return cmd_monitor(opts);
+    if (command == "capture") return cmd_capture(opts);
+    if (command == "replay") return cmd_replay(opts);
+    if (command == "import") return cmd_import(opts);
     if (command == "list") return cmd_list();
   } catch (const ntom::spec_error& err) {
     std::fprintf(stderr, "%s\n(run `ntom_cli list` for registered names)\n",
                  err.what());
     return 2;
+  } catch (const ntom::trace_error& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    return 1;
+  } catch (const std::exception& err) {
+    // load_topology and friends throw plain std::runtime_error.
+    std::fprintf(stderr, "%s\n", err.what());
+    return 1;
   }
   return usage();
 }

@@ -18,7 +18,20 @@
 // Spec lists split on ';' when present, else on ',' — use ';' when a
 // spec carries options ("brite,n=40;sparse"). --list prints the
 // registered names and their option docs.
+//
+// Trace capture & replay:
+//   --capture-dir=DIR           record every run's measurement stream to
+//                               DIR/<label>_<run>.trc while sweeping
+//                               (results unchanged; add
+//                               --capture-no-truth to strip the plane)
+//   --replay=FILE|DIR[;...]     sweep over captured datasets instead of
+//                               simulating: every .trc becomes one
+//                               `trace` scenario arm (truth-aware
+//                               metrics when the plane is present,
+//                               observation-only otherwise)
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -30,22 +43,37 @@
 
 namespace {
 
-/// Splits a spec list: on ';' when one is present (specs may then carry
-/// ',' options), else on ','.
-std::vector<std::string> split_spec_list(const std::string& list) {
-  const char sep = list.find(';') != std::string::npos ? ';' : ',';
-  std::vector<std::string> out;
+/// Expands --replay: a ';'-separated list of .trc files and/or
+/// directories (a directory contributes its *.trc entries, sorted).
+std::vector<std::string> expand_replay_list(const std::string& list) {
+  std::vector<std::string> files;
   std::string item;
-  for (const char c : list) {
-    if (c == sep) {
-      if (!item.empty()) out.push_back(item);
-      item.clear();
-    } else {
+  for (const char c : list + ';') {
+    if (c != ';') {
       item += c;
+      continue;
     }
+    const std::size_t first = item.find_first_not_of(" \t");
+    if (first == std::string::npos) {
+      item.clear();
+      continue;
+    }
+    item = item.substr(first, item.find_last_not_of(" \t") - first + 1);
+    if (std::filesystem::is_directory(item)) {
+      std::vector<std::string> entries;
+      for (const auto& entry : std::filesystem::directory_iterator(item)) {
+        if (entry.path().extension() == ".trc") {
+          entries.push_back(entry.path().string());
+        }
+      }
+      std::sort(entries.begin(), entries.end());
+      files.insert(files.end(), entries.begin(), entries.end());
+    } else {
+      files.push_back(item);
+    }
+    item.clear();
   }
-  if (!item.empty()) out.push_back(item);
-  return out;
+  return files;
 }
 
 bool summaries_identical(const std::vector<ntom::metric_summary>& a,
@@ -89,17 +117,40 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<std::size_t>(opts.get_int("threads", 0));
   const bool check = opts.get_bool("check-determinism", false);
 
+  const std::string replay = opts.get_string("replay", "");
   experiment exp;
   try {
-    for (const std::string& t :
-         split_spec_list(opts.get_string("topos", "brite,sparse"))) {
-      topology_spec s(t);
-      if (paper_scale && !s.has("scale")) s = s.with_option("scale", "paper");
-      exp.with_topology(std::move(s));
-    }
-    for (const std::string& s : split_spec_list(opts.get_string(
-             "scenarios", "random,concentrated,noindep,nostat"))) {
-      exp.with_scenario(s);
+    if (!replay.empty()) {
+      // Replay sweep: each captured dataset is one `trace` scenario arm
+      // (its topology is embedded, so one placeholder topology arm
+      // prefixes the labels). Link-error metrics need the analytic
+      // model, which replays do not have.
+      exp.with_topology("toy,label=replay");
+      const std::vector<std::string> files = expand_replay_list(replay);
+      if (files.empty()) {
+        std::fprintf(stderr, "--replay: no .trc files in '%s'\n",
+                     replay.c_str());
+        return 2;
+      }
+      for (const std::string& f : files) {
+        exp.with_scenario(
+            spec("trace")
+                .with_option("file", f)
+                .with_option("label",
+                             std::filesystem::path(f).stem().string()));
+      }
+      exp.measure_link_error(false);
+    } else {
+      for (const std::string& t :
+           split_spec_list(opts.get_string("topos", "brite,sparse"))) {
+        topology_spec s(t);
+        if (paper_scale && !s.has("scale")) s = s.with_option("scale", "paper");
+        exp.with_topology(std::move(s));
+      }
+      for (const std::string& s : split_spec_list(opts.get_string(
+               "scenarios", "random,concentrated,noindep,nostat"))) {
+        exp.with_scenario(s);
+      }
     }
     for (const std::string& e : split_spec_list(opts.get_string(
              "estimators", "sparsity,bayes-indep,bayes-corr"))) {
@@ -139,7 +190,24 @@ int main(int argc, char** argv) {
   exp.cache_topologies(!opts.get_bool("no-topo-cache", false));
   exp.shard_estimators(!opts.get_bool("no-shard", false));
 
-  const std::vector<run_spec> specs = exp.specs();
+  // Capture: record every run's stream to DIR while the sweep runs
+  // (passive — aggregates are bit-identical with capture on).
+  const std::string capture_dir = opts.get_string("capture-dir", "");
+  if (!capture_dir.empty()) {
+    std::filesystem::create_directories(capture_dir);
+    exp.capture_to(capture_dir);
+    exp.capture_truth(!opts.get_bool("capture-no-truth", false));
+  }
+
+  std::vector<run_spec> specs;
+  try {
+    specs = exp.specs();
+  } catch (const spec_error& err) {
+    // Duplicate grid-arm labels (e.g. two --replay files sharing a
+    // stem) surface when the grid expands.
+    std::fprintf(stderr, "%s\n", err.what());
+    return 2;
+  }
   const std::size_t workers = thread_pool::resolve_threads(threads);
   std::cout << "Scenario sweep — " << specs.size() << " runs ("
             << specs.size() / (replicas == 0 ? 1 : replicas) << " grid cells x "
@@ -159,6 +227,11 @@ int main(int argc, char** argv) {
     // that cannot phase) only surface at build time of the runs.
     std::fprintf(stderr, "%s\n", err.what());
     return 2;
+  } catch (const std::runtime_error& err) {
+    // Unreadable / corrupted trace files surface when the runs open
+    // their sources.
+    std::fprintf(stderr, "%s\n", err.what());
+    return 1;
   }
 
   const std::vector<metric_summary> cells = report.summarize();
@@ -199,6 +272,30 @@ int main(int argc, char** argv) {
     std::cout << (any_boolean ? "\n" : "")
               << "Probability computation (Fig. 4 metric)\n";
     error_table.print(std::cout);
+  }
+
+  // Truth-stripped replays score observation-only.
+  table_printer obs_table({"Topology/Scenario", "Estimator", "Explained",
+                           "Consistent", "Links mean"});
+  bool any_obs = false;
+  for (const metric_summary& s : cells) {
+    if (s.metric != "explained_rate") continue;
+    any_obs = true;
+    double consistent = 0.0;
+    double links_mean = 0.0;
+    for (const metric_summary& f : cells) {
+      if (f.label == s.label && f.series == s.series) {
+        if (f.metric == "consistency_rate") consistent = f.mean;
+        if (f.metric == "inferred_links_mean") links_mean = f.mean;
+      }
+    }
+    obs_table.add_row({s.label, s.series, format_fixed(s.mean),
+                       format_fixed(consistent), format_fixed(links_mean)});
+  }
+  if (any_obs) {
+    std::cout << (any_boolean || any_error ? "\n" : "")
+              << "Observation-only scoring (no ground-truth plane)\n";
+    obs_table.print(std::cout);
   }
 
   std::printf("\n%zu runs in %.2fs wall clock (%.2fs/run average)\n",

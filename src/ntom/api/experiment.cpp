@@ -1,6 +1,9 @@
 #include "ntom/api/experiment.hpp"
 
+#include <cctype>
 #include <utility>
+
+#include "ntom/trace/imperfection.hpp"
 
 namespace ntom {
 
@@ -8,8 +11,11 @@ std::string describe_registries() {
   return "Topologies:\n" + topogen::topology_registry().describe() +
          "\nScenarios:\n" + scenario_registry().describe() +
          "\nEstimators:\n" + estimator_registry().describe() +
+         "\nImperfections (trace capture/replay decorators):\n" +
+         imperfection_registry().describe() +
          "\nSpec grammar: name,key=value,...  (bare key = true; 'label=...' "
-         "overrides the display label)\n";
+         "overrides the display label; quote values carrying commas: "
+         "file='a,b.trc')\n";
 }
 
 std::string describe_registries(const std::string& what) {
@@ -23,6 +29,9 @@ std::string describe_registries(const std::string& what) {
   if (what == "estimators") {
     return "Estimators:\n" + estimator_registry().describe();
   }
+  if (what == "imperfections") {
+    return "Imperfections:\n" + imperfection_registry().describe();
+  }
   // A registered name or alias from any registry: its full doc block
   // (option whitelist included), so `--list=srlg` shows every accepted
   // spec option of a single component.
@@ -35,10 +44,13 @@ std::string describe_registries(const std::string& what) {
   if (estimator_registry().contains(what)) {
     return estimator_registry().describe(what);
   }
+  if (imperfection_registry().contains(what)) {
+    return imperfection_registry().describe(what);
+  }
   throw spec_error(
       "--list: '" + what +
-      "' is neither a registry (topologies, scenarios, estimators) nor a "
-      "registered name");
+      "' is neither a registry (topologies, scenarios, estimators, "
+      "imperfections) nor a registered name");
 }
 
 experiment::experiment() {
@@ -124,6 +136,16 @@ experiment& experiment::chunk_intervals(std::size_t intervals) {
   return *this;
 }
 
+experiment& experiment::capture_to(std::string dir) {
+  capture_dir_ = std::move(dir);
+  return *this;
+}
+
+experiment& experiment::capture_truth(bool on) {
+  capture_truth_ = on;
+  return *this;
+}
+
 experiment& experiment::cache_topologies(bool on) {
   cache_topologies_ = on;
   return *this;
@@ -165,8 +187,21 @@ std::vector<run_spec> experiment::specs() const {
         config.sim = sim_;
         config.streamed = streamed_;
         config.chunk_intervals = chunk_intervals_;
-        run_spec spec{topology_label(topo) + "/" + scenario_label(scenario),
-                      std::move(config)};
+        const std::string label =
+            topology_label(topo) + "/" + scenario_label(scenario);
+        if (!capture_dir_.empty()) {
+          std::string file;
+          for (const char c : label) {
+            file += (std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                     c == '.' || c == '-' || c == '_')
+                        ? c
+                        : '_';
+          }
+          config.capture_path = capture_dir_ + "/" + file + "_" +
+                                std::to_string(out.size()) + ".trc";
+          config.capture_truth = capture_truth_;
+        }
+        run_spec spec{label, std::move(config)};
         spec.seed_group = r;  // same topology across arms of a replica.
         out.push_back(std::move(spec));
       }

@@ -84,6 +84,17 @@ class experiment {
   /// Chunk granularity of the streamed mode (results never depend on it).
   experiment& chunk_intervals(std::size_t intervals);
 
+  /// Captures every run's measurement stream to
+  /// `<dir>/<label>_<index>.trc` (trace/trace_writer riding the run's
+  /// simulation or fit pass — results are bit-identical with capture
+  /// on). The directory must exist. Replay the files with the `trace`
+  /// scenario: with_scenario("trace,file='...'").
+  experiment& capture_to(std::string dir);
+
+  /// Include the ground-truth plane in captures (default true; disable
+  /// to publish observation-only datasets).
+  experiment& capture_truth(bool on);
+
   /// Grid-scheduler knobs (override the batch_params defaults at run
   /// time; results never depend on either):
   ///   * cache_topologies — share one generated topology across the
@@ -126,6 +137,8 @@ class experiment {
   estimator_eval_options eval_options_;
   bool streamed_ = false;
   std::size_t chunk_intervals_ = default_chunk_intervals;
+  std::string capture_dir_;
+  bool capture_truth_ = true;
   std::optional<bool> cache_topologies_;
   std::optional<bool> shard_estimators_;
 };

@@ -212,4 +212,11 @@ std::vector<measurement> inference_measurements(
           {series, "false_positive_rate", metrics.false_positive_rate}};
 }
 
+std::vector<measurement> observation_measurements(
+    const std::string& series, const observation_metrics& metrics) {
+  return {{series, "explained_rate", metrics.explained_rate},
+          {series, "consistency_rate", metrics.consistency_rate},
+          {series, "inferred_links_mean", metrics.inferred_links_mean}};
+}
+
 }  // namespace ntom

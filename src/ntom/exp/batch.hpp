@@ -161,4 +161,9 @@ class batch_report {
 [[nodiscard]] std::vector<measurement> inference_measurements(
     const std::string& series, const inference_metrics& metrics);
 
+/// Expands observation_metrics (truth-free scoring of truth-stripped
+/// trace replays) into the engine's measurement rows.
+[[nodiscard]] std::vector<measurement> observation_measurements(
+    const std::string& series, const observation_metrics& metrics);
+
 }  // namespace ntom

@@ -6,6 +6,7 @@
 
 #include "ntom/corr/correlation.hpp"
 #include "ntom/sim/monitor.hpp"
+#include "ntom/trace/trace_writer.hpp"
 
 namespace ntom {
 
@@ -63,6 +64,11 @@ fitted_run fit_streamed(const std::vector<estimator_spec>& specs,
   experiment_data unused_store;
   materialize_sink store(need_store ? out.data.emplace() : unused_store);
   if (need_store) fanout.add(&store);
+
+  // A requested capture rides the fit pass: the run estimates AND
+  // records in this one stream (results are unchanged by it).
+  std::unique_ptr<trace_writer> capture = make_capture_writer(config, run);
+  if (capture != nullptr) fanout.add(capture.get());
 
   stream_experiment(run, config, fanout);
 
@@ -124,8 +130,13 @@ std::vector<measurement> eval_estimators(
 
   // Fig. 3 metrics per Boolean-capable estimator. With a store, score
   // from its views; without one, one replay pass scores every Boolean
-  // estimator with O(chunk) memory.
+  // estimator with O(chunk) memory. A replayed dataset without a
+  // ground-truth plane scores observation-only instead (the truth
+  // matrices would be all-zero).
+  const bool truthless = !run.has_truth();
   std::vector<std::optional<inference_metrics>> boolean_metrics(
+      fitted.estimators.size());
+  std::vector<std::optional<observation_metrics>> obs_metrics(
       fitted.estimators.size());
   if (options.boolean_metrics) {
     std::vector<std::size_t> boolean_index;
@@ -137,26 +148,48 @@ std::vector<measurement> eval_estimators(
     if (data != nullptr) {
       for (const std::size_t i : boolean_index) {
         const estimator& est = *fitted.estimators[i];
-        inference_scorer scorer;
-        for (std::size_t t = 0; t < data->intervals; ++t) {
-          scorer.add_interval(est.infer(data->congested_paths_at(t)),
-                              data->true_links_at(t));
+        if (truthless) {
+          observation_scorer scorer(run.topo());
+          for (std::size_t t = 0; t < data->intervals; ++t) {
+            const bitvec congested = data->congested_paths_at(t);
+            scorer.add_interval(est.infer(congested), congested);
+          }
+          obs_metrics[i] = scorer.result();
+        } else {
+          inference_scorer scorer;
+          for (std::size_t t = 0; t < data->intervals; ++t) {
+            scorer.add_interval(est.infer(data->congested_paths_at(t)),
+                                data->true_links_at(t));
+          }
+          boolean_metrics[i] = scorer.result();
         }
-        boolean_metrics[i] = scorer.result();
       }
     } else if (!boolean_index.empty()) {
-      std::vector<streaming_inference_scorer> scorers;
-      scorers.reserve(boolean_index.size());
+      std::vector<streaming_inference_scorer> truth_scorers;
+      std::vector<streaming_observation_scorer> obs_scorers;
+      truth_scorers.reserve(boolean_index.size());
+      obs_scorers.reserve(boolean_index.size());
       fanout_sink fanout;
       for (const std::size_t i : boolean_index) {
         const estimator& est = *fitted.estimators[i];
-        scorers.emplace_back(
-            [&est](const bitvec& congested) { return est.infer(congested); });
-        fanout.add(&scorers.back());
+        auto infer = [&est](const bitvec& congested) {
+          return est.infer(congested);
+        };
+        if (truthless) {
+          obs_scorers.emplace_back(infer);
+          fanout.add(&obs_scorers.back());
+        } else {
+          truth_scorers.emplace_back(infer);
+          fanout.add(&truth_scorers.back());
+        }
       }
       stream_experiment(run, config, fanout);
       for (std::size_t b = 0; b < boolean_index.size(); ++b) {
-        boolean_metrics[boolean_index[b]] = scorers[b].result();
+        if (truthless) {
+          obs_metrics[boolean_index[b]] = obs_scorers[b].result();
+        } else {
+          boolean_metrics[boolean_index[b]] = truth_scorers[b].result();
+        }
       }
     }
   }
@@ -193,7 +226,13 @@ std::vector<measurement> eval_estimators(
       const auto rows = inference_measurements(labels[i], *boolean_metrics[i]);
       out.insert(out.end(), rows.begin(), rows.end());
     }
-    if (options.link_error_metrics &&
+    if (obs_metrics[i]) {
+      const auto rows = observation_measurements(labels[i], *obs_metrics[i]);
+      out.insert(out.end(), rows.begin(), rows.end());
+    }
+    // Link-error metrics need the analytic ground truth, which replayed
+    // runs do not have (the dataset records states, not the model).
+    if (options.link_error_metrics && !run.replayed() &&
         fitted.estimators[i]->caps().link_estimation) {
       ensure_truth();
       out.push_back(

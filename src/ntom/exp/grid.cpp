@@ -123,8 +123,11 @@ batch_report run_grid(const std::vector<run_spec>& specs,
           const clock::time_point t0 = clock::now();
           // Streamed runs never materialize here: the evaluator replays
           // the deterministic interval stream itself, O(chunk) memory.
+          // Source scenarios (trace replay) bring their own topology,
+          // so generating one for the cache would be pure waste.
           std::shared_ptr<const topology> topo;
-          if (params.cache_topologies) {
+          if (params.cache_topologies &&
+              !scenario_is_source(slot.config.scenario)) {
             topo = cache.get(slot.config.topo, slot.config.topo_seed);
           }
           slot.artifacts = slot.config.streamed

@@ -34,6 +34,53 @@ inference_metrics inference_scorer::result() const {
   return m;
 }
 
+void observation_scorer::add_interval(const bitvec& inferred,
+                                      const bitvec& congested_paths) {
+  const std::size_t num_paths = topo_->num_paths();
+  const std::size_t congested = congested_paths.count();
+  if (congested > 0) {
+    std::size_t explained = 0;
+    congested_paths.for_each([&](std::size_t p) {
+      if (topo_->get_path(static_cast<path_id>(p))
+              .link_set()
+              .intersects(inferred)) {
+        ++explained;
+      }
+    });
+    explained_sum_ +=
+        static_cast<double>(explained) / static_cast<double>(congested);
+    ++explained_count_;
+    inferred_sum_ += static_cast<double>(inferred.count());
+  }
+  if (congested < num_paths) {
+    std::size_t contradicted = 0;
+    for (path_id p = 0; p < num_paths; ++p) {
+      if (congested_paths.test(p)) continue;
+      if (topo_->get_path(p).link_set().intersects(inferred)) ++contradicted;
+    }
+    const std::size_t good = num_paths - congested;
+    consistent_sum_ += static_cast<double>(good - contradicted) /
+                       static_cast<double>(good);
+    ++consistent_count_;
+  }
+}
+
+observation_metrics observation_scorer::result() const {
+  observation_metrics m;
+  m.intervals_scored = explained_count_;
+  if (explained_count_ > 0) {
+    m.explained_rate =
+        explained_sum_ / static_cast<double>(explained_count_);
+    m.inferred_links_mean =
+        inferred_sum_ / static_cast<double>(explained_count_);
+  }
+  if (consistent_count_ > 0) {
+    m.consistency_rate =
+        consistent_sum_ / static_cast<double>(consistent_count_);
+  }
+  return m;
+}
+
 std::vector<double> link_absolute_errors(const topology& t,
                                          const ground_truth& truth,
                                          const link_estimates& est,

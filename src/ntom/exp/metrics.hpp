@@ -38,6 +38,47 @@ class inference_scorer {
   std::size_t fp_count_ = 0;
 };
 
+/// Observation-only quality of a Boolean inference — what CAN be scored
+/// when no ground-truth plane exists (truth-stripped trace replays):
+/// does the inferred link set explain the observed congested paths
+/// without contradicting the observed good paths, and how parsimonious
+/// is it? All three are computable from (inferred links, observed
+/// congested paths, topology) alone.
+struct observation_metrics {
+  /// Mean fraction of observed congested paths containing >= 1 inferred
+  /// congested link (over intervals with >= 1 congested path).
+  double explained_rate = 0.0;
+
+  /// Mean fraction of observed good paths containing NO inferred
+  /// congested link (over intervals with >= 1 good path) — an inferred
+  /// congested link on an all-good path is an observable contradiction.
+  double consistency_rate = 0.0;
+
+  /// Mean inferred congested-link count over intervals with >= 1
+  /// congested path (the parsimony of the explanation).
+  double inferred_links_mean = 0.0;
+
+  std::size_t intervals_scored = 0;
+};
+
+/// Accumulates observation-only metrics interval by interval. Borrows
+/// the topology (path -> link-set coverage).
+class observation_scorer {
+ public:
+  explicit observation_scorer(const topology& t) : topo_(&t) {}
+
+  void add_interval(const bitvec& inferred, const bitvec& congested_paths);
+  [[nodiscard]] observation_metrics result() const;
+
+ private:
+  const topology* topo_;
+  double explained_sum_ = 0.0;
+  std::size_t explained_count_ = 0;  ///< also divides inferred_sum_.
+  double consistent_sum_ = 0.0;
+  std::size_t consistent_count_ = 0;
+  double inferred_sum_ = 0.0;
+};
+
 /// |estimate - truth| per potentially congested link (Fig. 4(a)-(c)).
 /// Links the algorithm could not estimate contribute their fallback
 /// value (to_link_estimates already encodes the policy).

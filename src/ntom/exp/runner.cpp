@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ntom/trace/trace_writer.hpp"
+
 namespace ntom {
 
 void run_config::reconcile() {
@@ -18,6 +20,15 @@ run_artifacts prepare_topology(run_config config,
                                std::shared_ptr<const topology> topo) {
   config.reconcile();
   run_artifacts run;
+  const auto& entry = scenario_registry().resolve(config.scenario);
+  if (entry.factory.make_source) {
+    // Source scenario (trace replay): the dataset brings its own
+    // topology; a pre-built topology and the generation seed are
+    // ignored, and the model stays empty.
+    run.source = entry.factory.make_source(config.scenario);
+    run.topo_ptr = run.source->topology_ptr();
+    return run;
+  }
   run.topo_ptr = topo ? std::move(topo)
                       : std::make_shared<const topology>(
                             make_topology(config.topo, config.topo_seed));
@@ -29,14 +40,46 @@ run_artifacts prepare_run(run_config config,
                           std::shared_ptr<const topology> topo) {
   config.reconcile();
   run_artifacts run = prepare_topology(config, std::move(topo));
-  run.data = run_experiment(run.topo(), run.model, config.sim);
+  // One pass fills the store; a requested capture rides the same pass
+  // through the fanout (so record + materialize never simulate twice).
+  materialize_sink store(run.data);
+  std::unique_ptr<trace_writer> capture = make_capture_writer(config, run);
+  if (capture == nullptr && run.source == nullptr) {
+    run.data = run_experiment(run.topo(), run.model, config.sim);
+    return run;
+  }
+  fanout_sink fanout;
+  fanout.add(&store);
+  if (capture != nullptr) fanout.add(capture.get());
+  stream_experiment(run, config, fanout);
   return run;
 }
 
 void stream_experiment(const run_artifacts& run, const run_config& config,
                        measurement_sink& sink) {
+  if (run.source != nullptr) {
+    run.source->stream(sink, config.chunk_intervals);
+    return;
+  }
   run_experiment_streaming(run.topo(), run.model, config.sim, sink,
                            config.chunk_intervals);
+}
+
+std::unique_ptr<trace_writer> make_capture_writer(const run_config& config,
+                                                  const run_artifacts& run) {
+  if (config.capture_path.empty()) return nullptr;
+  trace_writer_options options;
+  options.store_truth = config.capture_truth && run.has_truth();
+  options.provenance =
+      "topo=" + config.topo.to_string() +
+      " topo_seed=" + std::to_string(config.topo_seed) +
+      " scenario=" + config.scenario.to_string() +
+      " scenario_seed=" + std::to_string(config.scenario_opts.seed) +
+      " sim_seed=" + std::to_string(config.sim.seed) +
+      " intervals=" + std::to_string(config.sim.intervals) +
+      " packets=" + std::to_string(config.sim.packets_per_path) +
+      (config.sim.oracle_monitor ? " oracle" : "");
+  return std::make_unique<trace_writer>(config.capture_path, options);
 }
 
 inference_metrics score_inference(const run_artifacts& run,

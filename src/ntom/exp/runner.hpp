@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -47,6 +48,16 @@ struct run_config {
   /// Chunk granularity of the streamed mode (never changes results).
   std::size_t chunk_intervals = default_chunk_intervals;
 
+  /// When non-empty, the run's measurement stream is also recorded to
+  /// this .trc file (trace/trace_writer) — during materialization for
+  /// the default mode, riding the estimator fit pass for the streamed
+  /// mode. Capture is passive: results are bit-identical with it on.
+  std::string capture_path;
+
+  /// Include the ground-truth plane in the capture (disable to publish
+  /// observation-only datasets).
+  bool capture_truth = true;
+
   /// Overlays the scenario spec's options onto scenario_opts and
   /// pre-draws enough phases for sim.intervals. Idempotent, and called
   /// by prepare_run itself — calling it manually is only needed to
@@ -65,6 +76,22 @@ struct run_artifacts {
   std::shared_ptr<const topology> topo_ptr;
   congestion_model model;
   experiment_data data;
+
+  /// Non-null for replayed runs (source scenarios like `trace`): the
+  /// interval stream comes from this dataset instead of the simulator,
+  /// the topology is the dataset's, and `model` is empty — so the
+  /// analytic ground truth does not exist and evaluators must score
+  /// from the recorded truth plane (or observation-only when the
+  /// dataset carries none).
+  std::shared_ptr<const measurement_source> source;
+
+  [[nodiscard]] bool replayed() const noexcept { return source != nullptr; }
+
+  /// Whether per-interval ground truth exists (always for simulated
+  /// runs; for replays, only when the dataset stored the plane).
+  [[nodiscard]] bool has_truth() const noexcept {
+    return source == nullptr || source->has_truth();
+  }
 
   [[nodiscard]] const topology& topo() const noexcept { return *topo_ptr; }
 
@@ -93,10 +120,23 @@ struct run_artifacts {
     run_config config, std::shared_ptr<const topology> topo = nullptr);
 
 /// Replays the deterministic interval stream of a prepared run into
-/// `sink`. Callable repeatedly: every pass re-simulates the identical
-/// stream (compute traded for O(chunk) memory).
+/// `sink`. Callable repeatedly: every pass re-simulates (or, for
+/// replayed runs, re-reads) the identical stream — compute traded for
+/// O(chunk) memory.
 void stream_experiment(const run_artifacts& run, const run_config& config,
                        measurement_sink& sink);
+
+/// The capture sink of a run whose config requests one
+/// (run_config::capture_path), with provenance describing the config;
+/// nullptr otherwise. Owned by the caller, attached to whatever pass
+/// records the stream. A run without a real truth plane (truth-less
+/// replay) never records one, regardless of capture_truth — zeroed
+/// matrices must not masquerade as ground truth downstream.
+/// (trace_writer is forward-declared here to keep the trace dependency
+/// out of this header.)
+class trace_writer;
+[[nodiscard]] std::unique_ptr<trace_writer> make_capture_writer(
+    const run_config& config, const run_artifacts& run);
 
 /// Scores a per-interval inference function over every interval of an
 /// experiment (Fig. 3 columns).
@@ -124,6 +164,34 @@ class streaming_inference_scorer final : public measurement_sink {
  private:
   infer_fn infer_;
   inference_scorer scorer_;
+};
+
+/// Observation-only streaming scorer for truth-stripped replays: same
+/// shape as streaming_inference_scorer but never touches the (absent)
+/// truth plane.
+class streaming_observation_scorer final : public measurement_sink {
+ public:
+  explicit streaming_observation_scorer(infer_fn infer)
+      : infer_(std::move(infer)) {}
+
+  void begin(const topology& t, std::size_t intervals) override {
+    (void)intervals;
+    scorer_.emplace(t);
+  }
+  void consume(const measurement_chunk& chunk) override {
+    for (std::size_t i = 0; i < chunk.count; ++i) {
+      const bitvec congested = chunk.congested_paths_at(i);
+      scorer_->add_interval(infer_(congested), congested);
+    }
+  }
+
+  [[nodiscard]] observation_metrics result() const {
+    return scorer_ ? scorer_->result() : observation_metrics{};
+  }
+
+ private:
+  infer_fn infer_;
+  std::optional<observation_scorer> scorer_;
 };
 
 }  // namespace ntom

@@ -36,6 +36,23 @@ void save_topology_file(const topology& t, const std::string& path) {
   save_topology(t, out);
 }
 
+namespace {
+
+/// Rejects a record line whose numeric extraction stopped before the
+/// end for any reason other than running out of input — `link 0 0 0 x`
+/// must fail loudly, not silently drop the garbage. Trailing
+/// whitespace (including a CRLF '\r') is not garbage.
+void require_line_consumed(std::istringstream& ss, const char* record) {
+  ss.clear();
+  ss >> std::ws;
+  if (ss.peek() != std::istringstream::traits_type::eof()) {
+    throw std::runtime_error(std::string("load_topology: trailing garbage on ") +
+                             record + " line");
+  }
+}
+
+}  // namespace
+
 topology load_topology(std::istream& in) {
   std::string word;
   int version = 0;
@@ -45,19 +62,36 @@ topology load_topology(std::istream& in) {
   if (version != format_version) {
     throw std::runtime_error("load_topology: unsupported version");
   }
-  std::size_t router_links = 0;
-  if (!(in >> word >> router_links) || word != "router_links") {
+  std::string line;
+  std::getline(in, line);  // rest of the magic line must be blank.
+  if (line.find_first_not_of(" \t\r") != std::string::npos) {
+    throw std::runtime_error("load_topology: trailing garbage after version");
+  }
+  if (!std::getline(in, line)) {
     throw std::runtime_error("load_topology: missing router_links");
+  }
+  std::size_t router_links = 0;
+  {
+    std::istringstream ss(line);
+    if (!(ss >> word >> router_links) || word != "router_links") {
+      throw std::runtime_error("load_topology: missing router_links");
+    }
+    require_line_consumed(ss, "router_links");
   }
 
   topology t(router_links);
-  std::string line;
-  std::getline(in, line);  // consume end of header line.
+  std::size_t paths_added = 0;  // paths stay pending until finalize().
+  bool seen_path = false;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     std::istringstream ss(line);
     ss >> word;
     if (word == "link") {
+      if (seen_path) {
+        // The format is links-then-paths; a link after the first path
+        // means a concatenated or shuffled file.
+        throw std::runtime_error("load_topology: link record after paths");
+      }
       link_info info;
       int edge = 0;
       if (!(ss >> info.as_number >> edge)) {
@@ -71,8 +105,10 @@ topology load_topology(std::istream& in) {
         }
         info.router_links.push_back(r);
       }
+      require_line_consumed(ss, "link");
       t.add_link(std::move(info));
     } else if (word == "path") {
+      seen_path = true;
       std::vector<link_id> links;
       link_id e = 0;
       while (ss >> e) {
@@ -81,13 +117,24 @@ topology load_topology(std::istream& in) {
         }
         links.push_back(e);
       }
+      require_line_consumed(ss, "path");
       if (links.empty()) {
         throw std::runtime_error("load_topology: empty path");
       }
       t.add_path(std::move(links));
+      ++paths_added;
+    } else if (word == "router_links" || word == magic) {
+      throw std::runtime_error("load_topology: duplicate '" + word +
+                               "' section");
     } else {
       throw std::runtime_error("load_topology: unknown record '" + word + "'");
     }
+  }
+  if (t.num_links() == 0) {
+    throw std::runtime_error("load_topology: no link records");
+  }
+  if (paths_added == 0) {
+    throw std::runtime_error("load_topology: no path records");
   }
   t.finalize();
   return t;
@@ -99,13 +146,35 @@ topology load_topology_file(const std::string& path) {
   return load_topology(in);
 }
 
+std::string escape_dot_label(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 void export_dot(const topology& t, std::ostream& out) {
   out << "graph ntom {\n  node [shape=circle];\n";
   for (as_id a = 0; a < t.num_ases(); ++a) {
     const std::size_t links = t.links_in_as(a).count();
     if (links == 0) continue;
-    out << "  as" << a << " [label=\"AS" << a << "\\n" << links
-        << " links\"];\n";
+    const std::string label =
+        "AS" + std::to_string(a) + "\n" + std::to_string(links) + " links";
+    out << "  as" << a << " [label=\"" << escape_dot_label(label) << "\"];\n";
   }
   // AS adjacency: consecutive links on a path connect their ASes.
   std::map<std::pair<as_id, as_id>, std::size_t> adjacency;

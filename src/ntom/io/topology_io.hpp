@@ -14,6 +14,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "ntom/graph/topology.hpp"
 
@@ -36,5 +37,10 @@ void save_topology_file(const topology& t, const std::string& path);
 /// count), one edge per pair of ASes connected by some monitored path
 /// hop. Link ids are listed in the tooltip-ish edge label.
 void export_dot(const topology& t, std::ostream& out);
+
+/// Escapes a string for use inside a double-quoted DOT label: `"` and
+/// `\` are backslash-escaped, newlines become the DOT line-break escape
+/// `\n`. export_dot runs every label through this.
+[[nodiscard]] std::string escape_dot_label(std::string_view text);
 
 }  // namespace ntom

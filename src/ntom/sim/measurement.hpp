@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "ntom/graph/topology.hpp"
@@ -73,6 +75,43 @@ class measurement_sink {
   }
   virtual void consume(const measurement_chunk& chunk) = 0;
   virtual void end() {}
+};
+
+/// Producer side of the streaming contract for *replayed* measurements:
+/// something that owns a topology and can emit its interval stream into
+/// a sink any number of times, at any chunk granularity, bit-identically
+/// (the trace reader in trace/, possibly wrapped by imperfection
+/// decorators). The simulator itself stays a free function
+/// (run_experiment_streaming) — a source is what a run uses *instead*
+/// of simulating.
+class measurement_source {
+ public:
+  virtual ~measurement_source() = default;
+
+  /// The dataset's topology, shared read-only with every run that
+  /// replays it.
+  [[nodiscard]] virtual std::shared_ptr<const topology> topology_ptr()
+      const = 0;
+
+  /// Intervals of the underlying dataset (decorators that drop
+  /// intervals report the undecorated count here; the effective T
+  /// reaches consumers through sink.begin()).
+  [[nodiscard]] virtual std::size_t intervals() const = 0;
+
+  /// Whether chunks carry a real ground-truth plane. When false the
+  /// true_links matrices are all-zero and evaluators must score
+  /// observation-only.
+  [[nodiscard]] virtual bool has_truth() const = 0;
+
+  /// Human-readable origin of the dataset (capture config, import
+  /// source); empty when unknown.
+  [[nodiscard]] virtual std::string provenance() const { return ""; }
+
+  /// Replays the stream into `sink`. Callable repeatedly; every pass
+  /// yields the identical chunk sequence for a given granularity, and
+  /// any granularity yields bit-identical downstream results.
+  virtual void stream(measurement_sink& sink,
+                      std::size_t chunk_intervals) const = 0;
 };
 
 /// Forwards one simulation pass to several consumers — the way to fit

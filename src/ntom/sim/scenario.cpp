@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "ntom/trace/trace_scenario.hpp"
 #include "ntom/util/log.hpp"
 
 namespace ntom {
@@ -390,7 +391,8 @@ void register_builtins(registry<scenario_plugin>& reg) {
         {apply_common_options,
          [build](const topology& t, const scenario_params& p, const spec&) {
            return build(t, p);
-         }},
+         },
+         nullptr},
     };
   };
 
@@ -419,7 +421,7 @@ void register_builtins(registry<scenario_plugin>& reg) {
       "shared-risk link groups from AS clustering fire as whole units",
       {"shared_risk"},
       std::move(srlg_options),
-      {apply_common_options, build_srlg},
+      {apply_common_options, build_srlg, nullptr},
   });
 
   reg.add({
@@ -443,7 +445,8 @@ void register_builtins(registry<scenario_plugin>& reg) {
          p.nonstationary = false;
          return p;
        },
-       build_gilbert},
+       build_gilbert,
+       nullptr},
   });
 
   // No `nonstationary` in the whitelist: the drift IS the
@@ -465,7 +468,8 @@ void register_builtins(registry<scenario_plugin>& reg) {
          p.nonstationary = true;
          return p;
        },
-       build_hotspot_drift},
+       build_hotspot_drift,
+       nullptr},
   });
 
   // no_stationarity layers per-phase probability redraws on a base
@@ -501,8 +505,13 @@ void register_builtins(registry<scenario_plugin>& reg) {
                             "' does not support phase redraws");
          }
          return model;
-       }},
+       },
+       nullptr},
   });
+
+  // Captured-dataset replay (trace/trace_scenario.cpp): recorded
+  // measurements ride the experiment pipeline as one more scenario.
+  register_trace_scenario(reg);
 }
 
 }  // namespace
@@ -532,6 +541,14 @@ congestion_model make_scenario(const topology& t, const scenario_spec& s,
 std::string scenario_label(const scenario_spec& s) {
   if (s.has("label")) return s.get_string("label");
   return scenario_registry().at(s.name()).display;
+}
+
+bool scenario_is_source(const scenario_spec& s) noexcept {
+  try {
+    return scenario_registry().at(s.name()).factory.make_source != nullptr;
+  } catch (...) {
+    return false;  // unknown name: the run's own resolve reports it.
+  }
 }
 
 }  // namespace ntom

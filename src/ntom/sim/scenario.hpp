@@ -37,9 +37,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "ntom/sim/congestion.hpp"
+#include "ntom/sim/measurement.hpp"
 #include "ntom/util/registry.hpp"
 #include "ntom/util/spec.hpp"
 
@@ -61,11 +63,19 @@ struct scenario_params {
 /// A registered scenario: `configure` overlays the spec's options onto
 /// base params (must be idempotent — it may run more than once);
 /// `build` realizes the congestion model from the configured params.
+///
+/// A SOURCE scenario additionally sets `make_source`: instead of
+/// simulating a congestion model, the run replays a captured
+/// measurement dataset (the `trace` scenario). For source scenarios the
+/// run's topology comes from the source, `build` returns an empty
+/// model, and the simulation seeds are ignored.
 struct scenario_plugin {
   std::function<scenario_params(scenario_params, const spec&)> configure;
   std::function<congestion_model(const topology&, const scenario_params&,
                                  const spec&)>
       build;
+  std::function<std::shared_ptr<const measurement_source>(const spec&)>
+      make_source;
 };
 
 /// Global registry with the four built-ins pre-registered. Register
@@ -88,5 +98,11 @@ struct scenario_plugin {
 /// Display label: the spec's `label` option if present, else the
 /// registered display name ("Random Congestion", ...).
 [[nodiscard]] std::string scenario_label(const scenario_spec& s);
+
+/// True when the spec names a source scenario (a registered plugin with
+/// make_source — replayed measurements instead of a simulated model).
+/// Returns false for unknown names instead of throwing, so schedulers
+/// can probe before the run's own resolution reports the real error.
+[[nodiscard]] bool scenario_is_source(const scenario_spec& s) noexcept;
 
 }  // namespace ntom

@@ -1,0 +1,196 @@
+#include "ntom/trace/imperfection.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "ntom/util/rng.hpp"
+
+namespace ntom {
+
+namespace {
+
+/// Shared machinery of every built-in: a per-stream selection bitvec
+/// over the incoming intervals; surviving rows are re-packed into
+/// contiguous, renumbered chunks for the downstream sink.
+class interval_filter_sink final : public imperfection_sink {
+ public:
+  using select_fn = std::function<bitvec(std::size_t intervals)>;
+
+  explicit interval_filter_sink(select_fn select)
+      : select_(std::move(select)) {}
+
+  void begin(const topology& t, std::size_t intervals) override {
+    topo_ = &t;
+    keep_ = select_(intervals);
+    surviving_ = keep_.count();
+    emitted_ = 0;
+    fill_ = 0;
+    out_cap_ = 0;
+    downstream_->begin(t, surviving_);
+  }
+
+  void consume(const measurement_chunk& chunk) override {
+    if (out_cap_ == 0) out_cap_ = std::max<std::size_t>(chunk.count, 1);
+    for (std::size_t i = 0; i < chunk.count; ++i) {
+      if (!keep_.test(chunk.first_interval + i)) continue;
+      if (fill_ == 0) open_chunk();
+      std::memcpy(out_.congested_paths.row_words(fill_),
+                  chunk.congested_paths.row_words(i),
+                  out_.congested_paths.word_stride() * 8);
+      std::memcpy(out_.true_links.row_words(fill_),
+                  chunk.true_links.row_words(i),
+                  out_.true_links.word_stride() * 8);
+      ++fill_;
+      if (fill_ == out_.count) flush();
+    }
+  }
+
+  void end() override {
+    // Chunks flush exactly when full, so nothing can be pending here.
+    downstream_->end();
+  }
+
+ private:
+  void open_chunk() {
+    const std::size_t count = std::min(out_cap_, surviving_ - emitted_);
+    out_.first_interval = emitted_;
+    out_.count = count;
+    out_.congested_paths = bit_matrix(count, topo_->num_paths());
+    out_.true_links = bit_matrix(count, topo_->num_links());
+    out_.invalidate_derived();
+  }
+
+  void flush() {
+    out_.invalidate_derived();
+    downstream_->consume(out_);
+    emitted_ += out_.count;
+    fill_ = 0;
+  }
+
+  select_fn select_;
+  const topology* topo_ = nullptr;
+  bitvec keep_;
+  std::size_t surviving_ = 0;
+  std::size_t emitted_ = 0;
+  std::size_t fill_ = 0;
+  std::size_t out_cap_ = 0;
+  measurement_chunk out_;
+};
+
+std::unique_ptr<imperfection_sink> make_drop(const spec& s) {
+  const double p = s.get_double("p", 0.05);
+  const auto seed = static_cast<std::uint64_t>(s.get_int("seed", 1));
+  if (p < 0.0 || p > 1.0) {
+    throw spec_error("imperfection 'drop': p must be in [0, 1]");
+  }
+  return std::make_unique<interval_filter_sink>([p, seed](std::size_t n) {
+    rng rand(seed);
+    bitvec keep(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!rand.bernoulli(p)) keep.set(t);
+    }
+    return keep;
+  });
+}
+
+std::unique_ptr<imperfection_sink> make_subsample(const spec& s) {
+  const std::size_t stride = s.get_size("stride", 2);
+  const std::size_t offset = s.get_size("offset", 0);
+  if (stride == 0) {
+    throw spec_error("imperfection 'subsample': stride must be positive");
+  }
+  if (offset >= stride) {
+    throw spec_error("imperfection 'subsample': offset must be < stride");
+  }
+  return std::make_unique<interval_filter_sink>(
+      [stride, offset](std::size_t n) {
+        bitvec keep(n);
+        for (std::size_t t = offset; t < n; t += stride) keep.set(t);
+        return keep;
+      });
+}
+
+std::unique_ptr<imperfection_sink> make_blackout(const spec& s) {
+  const std::size_t start = s.get_size("start", 0);
+  const std::size_t length = s.get_size("length", 50);
+  return std::make_unique<interval_filter_sink>(
+      [start, length](std::size_t n) {
+        bitvec keep(n);
+        for (std::size_t t = 0; t < n; ++t) {
+          if (t < start || t >= start + length) keep.set(t);
+        }
+        return keep;
+      });
+}
+
+void register_builtins(registry<imperfection_plugin>& reg) {
+  reg.add({"drop",
+           "Probe Loss",
+           "each interval is lost i.i.d. with probability p",
+           {"probe_loss"},
+           {{"p", "per-interval loss probability (default 0.05)"},
+            {"seed", "RNG seed of the loss draw (default 1)"}},
+           {make_drop}});
+  reg.add({"subsample",
+           "Subsampling",
+           "keep every stride-th interval",
+           {},
+           {{"stride", "keep one interval per stride (default 2)"},
+            {"offset", "phase of the kept intervals (default 0)"}},
+           {make_subsample}});
+  reg.add({"blackout",
+           "Monitor Blackout",
+           "a contiguous interval range is missing",
+           {"outage"},
+           {{"start", "first missing interval (default 0)"},
+            {"length", "missing interval count (default 50)"}},
+           {make_blackout}});
+}
+
+}  // namespace
+
+registry<imperfection_plugin>& imperfection_registry() {
+  static registry<imperfection_plugin>* reg = [] {
+    auto* r = new registry<imperfection_plugin>("imperfection");
+    register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+std::unique_ptr<imperfection_sink> make_imperfection(
+    const imperfection_spec& s) {
+  return imperfection_registry().resolve(s).factory.make(s);
+}
+
+imperfection_chain::imperfection_chain(const std::string& list) {
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t semi = list.find(';', begin);
+    const std::string item = list.substr(
+        begin, semi == std::string::npos ? std::string::npos : semi - begin);
+    if (item.find_first_not_of(" \t") != std::string::npos) {
+      imperfection_spec s(item);
+      (void)imperfection_registry().resolve(s);  // fail on typos now.
+      specs_.push_back(std::move(s));
+    }
+    if (semi == std::string::npos) break;
+    begin = semi + 1;
+  }
+}
+
+measurement_sink& imperfection_chain::build(
+    measurement_sink& sink,
+    std::vector<std::unique_ptr<imperfection_sink>>& stages) const {
+  measurement_sink* head = &sink;
+  for (auto it = specs_.rbegin(); it != specs_.rend(); ++it) {
+    std::unique_ptr<imperfection_sink> stage = make_imperfection(*it);
+    stage->set_downstream(head);
+    head = stage.get();
+    stages.push_back(std::move(stage));
+  }
+  return *head;
+}
+
+}  // namespace ntom

@@ -1,0 +1,85 @@
+// Spec-driven measurement-imperfection decorators: measurement_sink
+// wrappers that degrade the interval stream before it reaches the
+// downstream consumer — on the CAPTURE path (record a realistically
+// imperfect dataset from a clean simulation) or on the REPLAY path
+// (stress estimators against a degraded view of a pristine corpus).
+//
+//   drop,p=0.05,seed=3   probe loss: each interval is lost i.i.d. with
+//                        probability p (seeded, deterministic).
+//   subsample,stride=2   keep every stride-th interval (offset=k to
+//                        shift the kept phase).
+//   blackout,start=100,length=50
+//                        monitor outage: a contiguous interval range is
+//                        missing entirely.
+//
+// All three REMOVE intervals: the downstream sink sees a shorter,
+// renumbered, still-contiguous stream (begin() reports the surviving
+// count), so every existing consumer — estimator fits, scorers, the
+// materializing store, even another trace_writer — works unchanged.
+// Decorators chain: each stage selects over its predecessor's output,
+// so `subsample,stride=2 ; blackout,start=10,length=5` blacks out
+// post-subsampling intervals 10..14.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ntom/sim/measurement.hpp"
+#include "ntom/util/registry.hpp"
+#include "ntom/util/spec.hpp"
+
+namespace ntom {
+
+/// A measurement_sink decorator with an explicit downstream. The
+/// downstream must be set before the stream begins and must outlive the
+/// decorator's use.
+class imperfection_sink : public measurement_sink {
+ public:
+  void set_downstream(measurement_sink* sink) noexcept { downstream_ = sink; }
+
+ protected:
+  measurement_sink* downstream_ = nullptr;
+};
+
+/// An imperfection reference: registered name + options.
+using imperfection_spec = spec;
+
+struct imperfection_plugin {
+  std::function<std::unique_ptr<imperfection_sink>(const spec&)> make;
+};
+
+/// Global registry with drop / subsample / blackout pre-registered.
+[[nodiscard]] registry<imperfection_plugin>& imperfection_registry();
+
+/// Resolves the spec and builds the decorator (downstream unset).
+/// Throws spec_error on unknown names / undocumented options.
+[[nodiscard]] std::unique_ptr<imperfection_sink> make_imperfection(
+    const imperfection_spec& s);
+
+/// A validated ';'-separated decorator list ("drop,p=0.1;subsample,
+/// stride=2"), applied in order. Parsing and registry resolution happen
+/// at construction, so typos fail before any stream starts.
+class imperfection_chain {
+ public:
+  imperfection_chain() = default;
+  explicit imperfection_chain(const std::string& list);
+
+  [[nodiscard]] bool empty() const noexcept { return specs_.empty(); }
+  [[nodiscard]] const std::vector<imperfection_spec>& specs() const noexcept {
+    return specs_;
+  }
+
+  /// Builds fresh decorator instances wired in order ending at `sink`
+  /// and returns the head to stream into. The returned instances (held
+  /// by the out-param) must outlive the pass.
+  [[nodiscard]] measurement_sink& build(
+      measurement_sink& sink,
+      std::vector<std::unique_ptr<imperfection_sink>>& stages) const;
+
+ private:
+  std::vector<imperfection_spec> specs_;
+};
+
+}  // namespace ntom

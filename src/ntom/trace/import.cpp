@@ -1,0 +1,140 @@
+#include "ntom/trace/import.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "ntom/trace/trace_format.hpp"
+#include "ntom/trace/trace_writer.hpp"
+
+namespace ntom {
+
+namespace {
+
+topology degenerate_topology(std::size_t paths) {
+  topology t(paths);
+  for (std::size_t p = 0; p < paths; ++p) {
+    link_info info;
+    info.as_number = 0;
+    info.edge = true;
+    info.router_links = {static_cast<router_link_id>(p)};
+    const link_id e = t.add_link(std::move(info));
+    t.add_path({e});
+  }
+  t.finalize();
+  return t;
+}
+
+std::string next_content_line(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return line;
+  }
+  throw trace_error("import: unexpected end of input");
+}
+
+}  // namespace
+
+import_result import_path_loss(std::istream& in, const std::string& out_path,
+                               const import_options& options) {
+  {
+    std::istringstream header(next_content_line(in));
+    std::string word;
+    int version = 0;
+    if (!(header >> word >> version) || word != "ntom-path-loss" ||
+        version != 1) {
+      throw trace_error("import: expected 'ntom-path-loss 1' header");
+    }
+  }
+  std::size_t paths = 0;
+  std::size_t intervals = 0;
+  {
+    std::istringstream dims(next_content_line(in));
+    std::string paths_word;
+    std::string intervals_word;
+    if (!(dims >> paths_word >> paths >> intervals_word >> intervals) ||
+        paths_word != "paths" || intervals_word != "intervals" || paths == 0) {
+      throw trace_error("import: expected 'paths <P> intervals <T>'");
+    }
+  }
+
+  topology synthesized;
+  const topology* topo = options.topo;
+  if (topo == nullptr) {
+    synthesized = degenerate_topology(paths);
+    topo = &synthesized;
+  } else if (topo->num_paths() != paths) {
+    throw trace_error("import: topology has " +
+                      std::to_string(topo->num_paths()) +
+                      " paths but the trace declares " +
+                      std::to_string(paths));
+  }
+
+  trace_writer_options writer_options;
+  writer_options.store_truth = false;
+  writer_options.provenance = options.provenance.empty()
+                                  ? std::string("import:ntom-path-loss")
+                                  : options.provenance;
+  trace_writer writer(out_path, writer_options);
+  writer.begin(*topo, intervals);
+
+  import_result result;
+  result.paths = paths;
+  result.intervals = intervals;
+
+  measurement_chunk chunk;
+  std::size_t emitted = 0;
+  while (emitted < intervals) {
+    const std::size_t count =
+        std::min<std::size_t>(default_chunk_intervals, intervals - emitted);
+    chunk.first_interval = emitted;
+    chunk.count = count;
+    chunk.congested_paths = bit_matrix(count, paths);
+    chunk.true_links = bit_matrix(count, topo->num_links());
+    chunk.invalidate_derived();
+    for (std::size_t i = 0; i < count; ++i) {
+      std::istringstream row(next_content_line(in));
+      for (std::size_t p = 0; p < paths; ++p) {
+        double loss = 0.0;
+        if (!(row >> loss)) {
+          throw trace_error("import: interval " +
+                            std::to_string(emitted + i) + " has fewer than " +
+                            std::to_string(paths) + " loss values");
+        }
+        if (loss < 0.0 || loss > 1.0) {
+          throw trace_error("import: loss value out of [0, 1] at interval " +
+                            std::to_string(emitted + i));
+        }
+        if (loss > options.loss_threshold) {
+          chunk.congested_paths.set(i, p);
+          ++result.congested_observations;
+        }
+      }
+      std::string rest;
+      if (row >> rest) {
+        throw trace_error("import: trailing garbage at interval " +
+                          std::to_string(emitted + i));
+      }
+    }
+    writer.consume(chunk);
+    emitted += count;
+  }
+  writer.end();
+  return result;
+}
+
+import_result import_path_loss_file(const std::string& in_path,
+                                    const std::string& out_path,
+                                    import_options options) {
+  std::ifstream in(in_path);
+  if (!in) throw trace_error("import: cannot open " + in_path);
+  if (options.provenance.empty()) options.provenance = "import:" + in_path;
+  return import_path_loss(in, out_path, options);
+}
+
+}  // namespace ntom

@@ -1,0 +1,61 @@
+// Importer for external text measurement traces — the bridge that lets
+// trace-driven experiment pipelines (TopoConfluence-style ns-3 runs,
+// real probing campaigns) feed the estimator pipeline as .trc datasets.
+//
+// Input: per-path loss summaries, one line per interval:
+//
+//   ntom-path-loss 1
+//   paths <P> intervals <T>
+//   <loss_0> <loss_1> ... <loss_{P-1}>     (T data lines, values in [0,1];
+//                                           '#' starts a comment line)
+//
+// A path is observed CONGESTED in an interval when its loss exceeds the
+// threshold. The importer packs the observations into a .trc file with
+// NO ground-truth plane (external data has none) — replays score
+// observation-only.
+//
+// When no topology is given, a degenerate one is synthesized: one
+// link per path, each path = its own link (every path independently
+// monitorable — the weakest, safest assumption about unknown routing).
+// Pass a real topology (num_paths() must equal P) to give the
+// estimators actual path-link structure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ntom/graph/topology.hpp"
+
+namespace ntom {
+
+struct import_options {
+  /// Loss above this marks the path congested for the interval.
+  double loss_threshold = 0.05;
+
+  /// Optional real topology; nullptr synthesizes the degenerate
+  /// one-link-per-path topology.
+  const topology* topo = nullptr;
+
+  /// Provenance string for the .trc header (e.g. the source file name).
+  std::string provenance;
+};
+
+/// Summary of one import.
+struct import_result {
+  std::size_t paths = 0;
+  std::size_t intervals = 0;
+  std::size_t congested_observations = 0;  ///< path-intervals over threshold.
+};
+
+/// Parses the ntom-path-loss text from `in` and writes `out_path` as a
+/// truth-less .trc. Throws trace_error on malformed input or I/O
+/// failure, spec_error never.
+import_result import_path_loss(std::istream& in, const std::string& out_path,
+                               const import_options& options = {});
+
+/// Convenience: read from a file path.
+import_result import_path_loss_file(const std::string& in_path,
+                                    const std::string& out_path,
+                                    import_options options = {});
+
+}  // namespace ntom

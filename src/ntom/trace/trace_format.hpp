@@ -1,0 +1,54 @@
+// The ntom binary trace format (.trc): one captured measurement dataset
+// — topology, per-interval path observations, optional ground-truth
+// plane — persisted so a corpus recorded once replays across every
+// estimator, grid, and bench.
+//
+// Layout (all integers little-endian; full specification in
+// docs/trace_format.md):
+//
+//   header   magic "NTOMTRC1", u32 version, u32 flags (bit0 = truth
+//            plane present), u64 intervals / paths / links,
+//            length-prefixed provenance string, length-prefixed
+//            embedded topology (io/topology_io text format), u32 CRC32
+//            over everything before it.
+//   frames   one per captured chunk: "FRME", u64 first_interval,
+//            u64 count, then `count` interval records — the packed
+//            congested-path row words followed by the truth row words
+//            (when present), word-aligned exactly as bit_matrix stores
+//            them — and a u32 CRC32 over the frame header fields and
+//            payload.
+//   trailer  "TRLR", u64 total frames, u64 total intervals, u32 CRC32
+//            over the two totals. Anything after it is an error.
+//
+// Forward compatibility: readers reject versions above
+// trace_format_version and flag bits outside trace_flag_mask (an old
+// reader must never silently misinterpret a newer file).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ntom {
+
+/// Thrown on malformed, truncated, or corrupted trace files and on
+/// trace I/O failures. Reading a hostile file throws; it never invokes
+/// undefined behavior.
+class trace_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr char trace_magic[8] = {'N', 'T', 'O', 'M',
+                                        'T', 'R', 'C', '1'};
+inline constexpr std::uint32_t trace_format_version = 1;
+
+/// Header flag bits. Bits outside trace_flag_mask are reserved for
+/// future versions and rejected by this reader.
+inline constexpr std::uint32_t trace_flag_has_truth = 1U << 0;
+inline constexpr std::uint32_t trace_flag_mask = trace_flag_has_truth;
+
+inline constexpr char trace_frame_magic[4] = {'F', 'R', 'M', 'E'};
+inline constexpr char trace_trailer_magic[4] = {'T', 'R', 'L', 'R'};
+
+}  // namespace ntom

@@ -1,0 +1,251 @@
+#include "ntom/trace/trace_reader.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "ntom/io/topology_io.hpp"
+#include "ntom/trace/wire.hpp"
+#include "ntom/util/crc32.hpp"
+
+namespace ntom {
+
+using trace_wire::get_u32;
+using trace_wire::get_u64;
+using trace_wire::read_exact;
+using trace_wire::word_stride;
+
+namespace {
+
+// Length caps for the header's variable sections: a corrupted length
+// field must fail cleanly instead of driving a multi-gigabyte
+// allocation.
+constexpr std::uint32_t max_provenance_bytes = 1U << 20;
+constexpr std::uint32_t max_topology_bytes = 1U << 30;
+
+constexpr std::size_t trailer_bytes = 4 + 16 + 4;
+
+std::uint64_t tail_mask(std::size_t cols) {
+  return (cols % 64 == 0) ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << (cols % 64)) - 1;
+}
+
+void check_trailer(const unsigned char* buf, std::uint64_t intervals,
+                   std::uint64_t* frames_out) {
+  if (std::memcmp(buf, trace_trailer_magic, sizeof(trace_trailer_magic)) !=
+      0) {
+    throw trace_error("trace: missing trailer (file truncated?)");
+  }
+  const unsigned char* totals = buf + sizeof(trace_trailer_magic);
+  if (get_u32(totals + 16) != crc32(totals, 16)) {
+    throw trace_error("trace: trailer CRC mismatch");
+  }
+  const std::uint64_t frames = get_u64(totals);
+  const std::uint64_t total_intervals = get_u64(totals + 8);
+  if (total_intervals != intervals) {
+    throw trace_error("trace: trailer interval count disagrees with header");
+  }
+  if (frames_out != nullptr) *frames_out = frames;
+}
+
+}  // namespace
+
+trace_reader::trace_reader(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) throw trace_error("trace_reader: cannot open " + path_);
+
+  // Header scalars; every byte read feeds the CRC check at the end.
+  crc32_accumulator crc;
+  const auto read_crc = [&](void* data, std::size_t len, const char* what) {
+    read_exact(in, data, len, what);
+    crc.update(data, len);
+  };
+
+  unsigned char magic[sizeof(trace_magic)];
+  read_crc(magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, trace_magic, sizeof(trace_magic)) != 0) {
+    throw trace_error("trace: bad magic (not an ntom trace file): " + path_);
+  }
+  unsigned char scalars[4 + 4 + 8 + 8 + 8];
+  read_crc(scalars, sizeof(scalars), "header");
+  const std::uint32_t version = get_u32(scalars);
+  if (version != trace_format_version) {
+    throw trace_error("trace: unsupported format version " +
+                      std::to_string(version));
+  }
+  const std::uint32_t flags = get_u32(scalars + 4);
+  if ((flags & ~trace_flag_mask) != 0) {
+    throw trace_error("trace: unknown header flags (newer writer?)");
+  }
+  has_truth_ = (flags & trace_flag_has_truth) != 0;
+  intervals_ = static_cast<std::size_t>(get_u64(scalars + 8));
+  const std::uint64_t paths = get_u64(scalars + 16);
+  const std::uint64_t links = get_u64(scalars + 24);
+
+  unsigned char len_buf[4];
+  read_crc(len_buf, 4, "provenance length");
+  const std::uint32_t prov_len = get_u32(len_buf);
+  if (prov_len > max_provenance_bytes) {
+    throw trace_error("trace: provenance length is implausible");
+  }
+  provenance_.resize(prov_len);
+  if (prov_len > 0) read_crc(provenance_.data(), prov_len, "provenance");
+
+  read_crc(len_buf, 4, "topology length");
+  const std::uint32_t topo_len = get_u32(len_buf);
+  if (topo_len > max_topology_bytes) {
+    throw trace_error("trace: topology length is implausible");
+  }
+  std::string topo_text(topo_len, '\0');
+  if (topo_len > 0) read_crc(topo_text.data(), topo_len, "topology");
+
+  unsigned char crc_buf[4];
+  read_exact(in, crc_buf, 4, "header CRC");
+  if (get_u32(crc_buf) != crc.value()) {
+    throw trace_error("trace: header CRC mismatch (corrupted file)");
+  }
+
+  std::istringstream topo_stream(topo_text);
+  try {
+    topo_ = std::make_shared<const topology>(load_topology(topo_stream));
+  } catch (const std::exception& err) {
+    throw trace_error(std::string("trace: embedded topology is invalid: ") +
+                      err.what());
+  }
+  if (topo_->num_paths() != paths || topo_->num_links() != links) {
+    throw trace_error(
+        "trace: header dimensions disagree with the embedded topology");
+  }
+  data_offset_ = in.tellg();
+
+  // Trailer check up front: truncation fails at open, not mid-replay.
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < data_offset_ + static_cast<std::streamoff>(trailer_bytes)) {
+    throw trace_error("trace: file too short for a trailer (truncated?)");
+  }
+  in.seekg(size - static_cast<std::streamoff>(trailer_bytes));
+  unsigned char trailer[trailer_bytes];
+  read_exact(in, trailer, trailer_bytes, "trailer");
+  check_trailer(trailer, intervals_, &frames_);
+
+  // Size accounting: a crafted header declaring a huge interval count
+  // must fail here, not as an overflowed allocation in a downstream
+  // consumer sized from intervals().
+  const std::size_t row_bytes =
+      8 * (word_stride(topo_->num_paths()) +
+           (has_truth_ ? word_stride(topo_->num_links()) : 0));
+  const auto payload = static_cast<std::uint64_t>(
+      size - data_offset_ - static_cast<std::streamoff>(trailer_bytes));
+  if (frames_ > intervals_ ||
+      (row_bytes != 0 && intervals_ > payload / row_bytes)) {
+    throw trace_error(
+        "trace: header interval count exceeds the file's payload");
+  }
+}
+
+void trace_reader::stream(measurement_sink& sink,
+                          std::size_t chunk_intervals) const {
+  if (chunk_intervals == 0) chunk_intervals = default_chunk_intervals;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) throw trace_error("trace_reader: cannot open " + path_);
+  in.seekg(data_offset_);
+
+  const std::size_t paths = topo_->num_paths();
+  const std::size_t links = topo_->num_links();
+  const std::size_t stride_p = word_stride(paths);
+  const std::size_t stride_l = word_stride(links);
+  const std::size_t row_bytes = 8 * (stride_p + (has_truth_ ? stride_l : 0));
+  const std::uint64_t obs_tail = tail_mask(paths);
+  const std::uint64_t truth_tail = tail_mask(links);
+  std::vector<unsigned char> row(row_bytes);
+
+  sink.begin(*topo_, intervals_);
+
+  measurement_chunk chunk;
+  std::size_t fill = 0;
+  std::size_t emitted = 0;
+  const auto open_chunk = [&] {
+    const std::size_t count =
+        std::min(chunk_intervals, intervals_ - emitted);
+    chunk.first_interval = emitted;
+    chunk.count = count;
+    chunk.congested_paths = bit_matrix(count, paths);
+    chunk.true_links = bit_matrix(count, links);
+    chunk.invalidate_derived();
+    fill = 0;
+  };
+  const auto flush_chunk = [&] {
+    sink.consume(chunk);
+    emitted += chunk.count;
+  };
+
+  std::size_t seen = 0;
+  if (intervals_ > 0) open_chunk();
+  for (std::uint64_t f = 0; f < frames_; ++f) {
+    unsigned char frame_magic[sizeof(trace_frame_magic)];
+    read_exact(in, frame_magic, sizeof(frame_magic), "frame header");
+    if (std::memcmp(frame_magic, trace_frame_magic, sizeof(frame_magic)) !=
+        0) {
+      throw trace_error("trace: bad frame magic (corrupted file)");
+    }
+    unsigned char head[16];
+    read_exact(in, head, sizeof(head), "frame header");
+    const std::uint64_t first = get_u64(head);
+    const std::uint64_t count = get_u64(head + 8);
+    // Subtraction form: `seen + count` could wrap on a crafted count.
+    if (count == 0 || first != seen ||
+        count > static_cast<std::uint64_t>(intervals_ - seen)) {
+      throw trace_error("trace: frame intervals are not contiguous");
+    }
+    crc32_accumulator crc;
+    crc.update(head, sizeof(head));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      read_exact(in, row.data(), row_bytes, "frame payload");
+      crc.update(row.data(), row_bytes);
+      std::uint64_t* obs = chunk.congested_paths.row_words(fill);
+      for (std::size_t w = 0; w < stride_p; ++w) {
+        obs[w] = get_u64(row.data() + 8 * w);
+      }
+      if (stride_p > 0) obs[stride_p - 1] &= obs_tail;
+      if (has_truth_) {
+        std::uint64_t* truth = chunk.true_links.row_words(fill);
+        const unsigned char* src = row.data() + 8 * stride_p;
+        for (std::size_t w = 0; w < stride_l; ++w) {
+          truth[w] = get_u64(src + 8 * w);
+        }
+        if (stride_l > 0) truth[stride_l - 1] &= truth_tail;
+      }
+      ++fill;
+      ++seen;
+      if (fill == chunk.count) {
+        flush_chunk();
+        if (emitted < intervals_) open_chunk();
+      }
+    }
+    unsigned char crc_buf[4];
+    read_exact(in, crc_buf, 4, "frame CRC");
+    if (get_u32(crc_buf) != crc.value()) {
+      throw trace_error("trace: frame payload CRC mismatch (corrupted file)");
+    }
+  }
+  if (seen != intervals_) {
+    throw trace_error("trace: fewer intervals than the header declares");
+  }
+
+  unsigned char trailer[trailer_bytes];
+  read_exact(in, trailer, trailer_bytes, "trailer");
+  check_trailer(trailer, intervals_, nullptr);
+  char extra = 0;
+  in.read(&extra, 1);
+  if (in.gcount() != 0) {
+    throw trace_error("trace: trailing garbage after the trailer");
+  }
+
+  sink.end();
+}
+
+}  // namespace ntom

@@ -1,0 +1,29 @@
+// The `trace` scenario: replayed datasets as first-class experiment
+// arms. `trace,file='runs/a.trc'` resolves through the scenario
+// registry like any congestion scenario, but instead of building a
+// congestion model it opens the captured dataset as a
+// measurement_source — the topology comes from the file, the run's
+// topology spec and every simulation/scenario seed are ignored, and
+// prepare/stream replay the recorded intervals. The optional
+// `imperfect='...'` option (quoted, ';'-separated imperfection specs)
+// degrades the stream on every replay pass.
+#pragma once
+
+#include <memory>
+
+#include "ntom/sim/measurement.hpp"
+#include "ntom/sim/scenario.hpp"
+
+namespace ntom {
+
+/// Opens the source a `trace,file=...` spec describes (reader, plus the
+/// imperfection chain when `imperfect` is present). Throws spec_error
+/// on missing/bad options and trace_error on unreadable files.
+[[nodiscard]] std::shared_ptr<const measurement_source> open_trace_source(
+    const spec& s);
+
+/// Registers the `trace` scenario; called by the scenario registry's
+/// built-in registration.
+void register_trace_scenario(registry<scenario_plugin>& reg);
+
+}  // namespace ntom

@@ -1,0 +1,143 @@
+#include "ntom/trace/trace_writer.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "ntom/io/topology_io.hpp"
+#include "ntom/trace/wire.hpp"
+#include "ntom/util/crc32.hpp"
+
+namespace ntom {
+
+using trace_wire::put_u32;
+using trace_wire::put_u64;
+using trace_wire::word_stride;
+
+trace_writer::trace_writer(std::string path, trace_writer_options options)
+    : path_(std::move(path)), options_(std::move(options)) {
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) throw trace_error("trace_writer: cannot open " + path_);
+}
+
+void trace_writer::write_raw(const void* data, std::size_t len) {
+  trace_wire::write_bytes(out_, data, len);
+  bytes_written_ += len;
+}
+
+void trace_writer::begin(const topology& t, std::size_t intervals) {
+  if (begun_) throw trace_error("trace_writer: begin() called twice");
+  begun_ = true;
+  intervals_declared_ = intervals;
+  paths_ = t.num_paths();
+  links_ = t.num_links();
+  row_buffer_.resize(
+      8 * (word_stride(paths_) + (options_.store_truth ? word_stride(links_)
+                                                       : 0)));
+
+  std::ostringstream topo_text;
+  save_topology(t, topo_text);
+  const std::string topo = topo_text.str();
+
+  // Header: everything before the CRC field feeds the CRC.
+  std::vector<unsigned char> header;
+  header.reserve(64 + options_.provenance.size() + topo.size());
+  const auto append = [&header](const void* data, std::size_t len) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    header.insert(header.end(), bytes, bytes + len);
+  };
+  const auto append_u32 = [&](std::uint32_t v) {
+    unsigned char buf[4];
+    put_u32(buf, v);
+    append(buf, 4);
+  };
+  const auto append_u64 = [&](std::uint64_t v) {
+    unsigned char buf[8];
+    put_u64(buf, v);
+    append(buf, 8);
+  };
+
+  append(trace_magic, sizeof(trace_magic));
+  append_u32(trace_format_version);
+  append_u32(options_.store_truth ? trace_flag_has_truth : 0);
+  append_u64(intervals);
+  append_u64(paths_);
+  append_u64(links_);
+  append_u32(static_cast<std::uint32_t>(options_.provenance.size()));
+  append(options_.provenance.data(), options_.provenance.size());
+  append_u32(static_cast<std::uint32_t>(topo.size()));
+  append(topo.data(), topo.size());
+
+  write_raw(header.data(), header.size());
+  unsigned char crc_buf[4];
+  put_u32(crc_buf, crc32(header.data(), header.size()));
+  write_raw(crc_buf, 4);
+}
+
+void trace_writer::consume(const measurement_chunk& chunk) {
+  if (!begun_ || finished_) {
+    throw trace_error("trace_writer: consume() outside begin()/end()");
+  }
+  if (chunk.count == 0) return;
+  if (chunk.first_interval != intervals_written_ ||
+      chunk.congested_paths.rows() != chunk.count ||
+      chunk.congested_paths.cols() != paths_ ||
+      chunk.true_links.rows() != chunk.count ||
+      chunk.true_links.cols() != links_) {
+    throw trace_error("trace_writer: chunk does not continue the stream");
+  }
+
+  unsigned char head[16];
+  put_u64(head, chunk.first_interval);
+  put_u64(head + 8, chunk.count);
+  write_raw(trace_frame_magic, sizeof(trace_frame_magic));
+  write_raw(head, sizeof(head));
+
+  crc32_accumulator crc;
+  crc.update(head, sizeof(head));
+  const std::size_t stride_p = word_stride(paths_);
+  const std::size_t stride_l = word_stride(links_);
+  for (std::size_t i = 0; i < chunk.count; ++i) {
+    unsigned char* out = row_buffer_.data();
+    const std::uint64_t* obs = chunk.congested_paths.row_words(i);
+    for (std::size_t w = 0; w < stride_p; ++w) put_u64(out + 8 * w, obs[w]);
+    if (options_.store_truth) {
+      unsigned char* truth_out = out + 8 * stride_p;
+      const std::uint64_t* truth = chunk.true_links.row_words(i);
+      for (std::size_t w = 0; w < stride_l; ++w) {
+        put_u64(truth_out + 8 * w, truth[w]);
+      }
+    }
+    crc.update(row_buffer_.data(), row_buffer_.size());
+    write_raw(row_buffer_.data(), row_buffer_.size());
+  }
+  unsigned char crc_buf[4];
+  put_u32(crc_buf, crc.value());
+  write_raw(crc_buf, 4);
+
+  intervals_written_ += chunk.count;
+  ++frames_written_;
+}
+
+void trace_writer::end() {
+  if (!begun_ || finished_) {
+    throw trace_error("trace_writer: end() outside an open capture");
+  }
+  if (intervals_written_ != intervals_declared_) {
+    throw trace_error("trace_writer: stream ended early (" +
+                      std::to_string(intervals_written_) + " of " +
+                      std::to_string(intervals_declared_) + " intervals)");
+  }
+  unsigned char totals[16];
+  put_u64(totals, frames_written_);
+  put_u64(totals + 8, intervals_written_);
+  write_raw(trace_trailer_magic, sizeof(trace_trailer_magic));
+  write_raw(totals, sizeof(totals));
+  unsigned char crc_buf[4];
+  put_u32(crc_buf, crc32(totals, sizeof(totals)));
+  write_raw(crc_buf, 4);
+  out_.flush();
+  if (!out_) throw trace_error("trace_writer: flush failed for " + path_);
+  finished_ = true;
+}
+
+}  // namespace ntom

@@ -1,0 +1,77 @@
+// trace_writer: capture the measurement stream to a .trc file.
+//
+// The writer is just another measurement_sink, so capture composes with
+// fanout_sink — one live pass can fit streaming estimators, feed the
+// materialized store, AND record the dataset. Each consumed chunk
+// becomes one frame; the reader re-chunks to any granularity on replay,
+// so the capture chunk size never matters downstream.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ntom/sim/measurement.hpp"
+#include "ntom/trace/trace_format.hpp"
+
+namespace ntom {
+
+struct trace_writer_options {
+  /// Persist the ground-truth link plane. Disable to publish a dataset
+  /// without revealing truth (replays then score observation-only).
+  bool store_truth = true;
+
+  /// Free-form origin string embedded in the header (capture config,
+  /// import source) — surfaced by trace_reader::provenance().
+  std::string provenance;
+};
+
+class trace_writer final : public measurement_sink {
+ public:
+  /// Opens `path` for writing (truncates); throws trace_error when the
+  /// file cannot be created. The header is written by begin().
+  explicit trace_writer(std::string path, trace_writer_options options = {});
+
+  trace_writer(const trace_writer&) = delete;
+  trace_writer& operator=(const trace_writer&) = delete;
+
+  void begin(const topology& t, std::size_t intervals) override;
+  void consume(const measurement_chunk& chunk) override;
+
+  /// Writes the trailer and flushes; throws trace_error on I/O failure.
+  /// The file is complete (and readable) only after end() returns.
+  void end() override;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Bytes written so far (header + frames + trailer).
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+
+  /// Intervals recorded so far — the dataset's T after end(). Differs
+  /// from the run's simulated T when imperfection decorators sit
+  /// upstream of the writer.
+  [[nodiscard]] std::uint64_t intervals_written() const noexcept {
+    return intervals_written_;
+  }
+
+ private:
+  void write_raw(const void* data, std::size_t len);
+
+  std::string path_;
+  trace_writer_options options_;
+  std::ofstream out_;
+  std::uint64_t intervals_declared_ = 0;
+  std::uint64_t intervals_written_ = 0;
+  std::uint64_t frames_written_ = 0;
+  std::size_t paths_ = 0;
+  std::size_t links_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::vector<unsigned char> row_buffer_;
+  bool begun_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace ntom

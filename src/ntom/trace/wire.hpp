@@ -1,0 +1,66 @@
+// Internal wire helpers shared by trace_writer / trace_reader: explicit
+// little-endian scalar encoding (the format is LE on every host) and
+// read-exactly-or-throw primitives.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "ntom/trace/trace_format.hpp"
+
+namespace ntom::trace_wire {
+
+inline void put_u32(unsigned char* out, std::uint32_t v) {
+  out[0] = static_cast<unsigned char>(v);
+  out[1] = static_cast<unsigned char>(v >> 8);
+  out[2] = static_cast<unsigned char>(v >> 16);
+  out[3] = static_cast<unsigned char>(v >> 24);
+}
+
+inline void put_u64(unsigned char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+inline std::uint32_t get_u32(const unsigned char* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+inline std::uint64_t get_u64(const unsigned char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+inline void write_bytes(std::ostream& out, const void* data,
+                        std::size_t len) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(len));
+  if (!out) throw trace_error("trace: write failed");
+}
+
+inline void read_exact(std::istream& in, void* data, std::size_t len,
+                       const char* what) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+  if (in.gcount() != static_cast<std::streamsize>(len)) {
+    throw trace_error(std::string("trace: unexpected end of file in ") +
+                      what);
+  }
+}
+
+/// Words-per-row of a packed bit_matrix row over `cols` columns — the
+/// on-disk row stride (must match bit_matrix::word_stride()).
+inline std::size_t word_stride(std::size_t cols) {
+  return (cols + 63) / 64;
+}
+
+}  // namespace ntom::trace_wire

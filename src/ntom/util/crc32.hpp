@@ -1,0 +1,31 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for the trace file
+// format's integrity checks. Table-driven, no hardware dependency; the
+// trace frames are large enough that CRC cost is noise next to the
+// simulation itself (bench/micro_trace.cpp measures the total capture
+// overhead).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ntom {
+
+/// CRC-32 of `len` bytes, continuing from `seed` (pass a previous
+/// result to checksum split buffers; 0 starts a fresh checksum).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
+                                  std::uint32_t seed = 0);
+
+/// Incremental variant for streamed payloads.
+class crc32_accumulator {
+ public:
+  void update(const void* data, std::size_t len) {
+    value_ = crc32(data, len, value_);
+  }
+  [[nodiscard]] std::uint32_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace ntom

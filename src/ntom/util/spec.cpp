@@ -8,16 +8,6 @@ namespace ntom {
 
 namespace {
 
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
 std::string lower(std::string_view s) {
   std::string out(s);
   std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
@@ -36,35 +26,125 @@ const spec_option* find_option(const std::vector<spec_option>& options,
 
 }  // namespace
 
+namespace {
+
+/// One comma-separated segment after quote processing: the unquoted
+/// text plus a parallel mask marking which characters were protected by
+/// single quotes (those never act as separators and never trim).
+struct segment_text {
+  std::string text;
+  std::vector<char> quoted;
+  bool had_quote = false;
+};
+
+void trim_segment(segment_text& s) {
+  std::size_t b = 0;
+  std::size_t e = s.text.size();
+  while (b < e && s.quoted[b] == 0 &&
+         std::isspace(static_cast<unsigned char>(s.text[b]))) {
+    ++b;
+  }
+  while (e > b && s.quoted[e - 1] == 0 &&
+         std::isspace(static_cast<unsigned char>(s.text[e - 1]))) {
+    --e;
+  }
+  s.text = s.text.substr(b, e - b);
+  s.quoted.assign(s.quoted.begin() + static_cast<std::ptrdiff_t>(b),
+                  s.quoted.begin() + static_cast<std::ptrdiff_t>(e));
+}
+
+std::size_t find_unquoted(const segment_text& s, char c) {
+  for (std::size_t i = 0; i < s.text.size(); ++i) {
+    if (s.quoted[i] == 0 && s.text[i] == c) return i;
+  }
+  return std::string::npos;
+}
+
+segment_text sub_segment(const segment_text& s, std::size_t begin,
+                         std::size_t end) {
+  segment_text out;
+  out.text = s.text.substr(begin, end - begin);
+  out.quoted.assign(s.quoted.begin() + static_cast<std::ptrdiff_t>(begin),
+                    s.quoted.begin() + static_cast<std::ptrdiff_t>(end));
+  out.had_quote = s.had_quote;
+  trim_segment(out);
+  return out;
+}
+
+/// Splits on commas outside single quotes; `''` inside quotes is a
+/// literal quote. Throws on an unterminated quote.
+std::vector<segment_text> split_segments(std::string_view text) {
+  std::vector<segment_text> segments(1);
+  bool in_quote = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quote) {
+      if (c == '\'') {
+        if (i + 1 < text.size() && text[i + 1] == '\'') {
+          segments.back().text += '\'';
+          segments.back().quoted.push_back(1);
+          ++i;
+        } else {
+          in_quote = false;
+        }
+      } else {
+        segments.back().text += c;
+        segments.back().quoted.push_back(1);
+      }
+    } else if (c == '\'') {
+      in_quote = true;
+      segments.back().had_quote = true;
+    } else if (c == ',') {
+      segments.emplace_back();
+    } else {
+      segments.back().text += c;
+      segments.back().quoted.push_back(0);
+    }
+  }
+  if (in_quote) {
+    throw spec_error("spec '" + std::string(text) + "': unterminated quote");
+  }
+  for (segment_text& s : segments) trim_segment(s);
+  return segments;
+}
+
+}  // namespace
+
 spec spec::parse(std::string_view text) {
   spec out;
-  std::size_t segment = 0;
-  while (true) {
-    const std::size_t comma = text.find(',');
-    const std::string_view raw = trim(text.substr(0, comma));
-    if (segment == 0) {
-      if (raw.empty()) {
+  const std::vector<segment_text> segments = split_segments(text);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const segment_text& raw = segments[i];
+    if (i == 0) {
+      if (raw.text.empty()) {
         throw spec_error("spec '" + std::string(text) +
                          "': missing component name");
       }
-      if (raw.find('=') != std::string_view::npos) {
-        throw spec_error("spec: first segment '" + std::string(raw) +
+      if (find_unquoted(raw, '=') != std::string::npos) {
+        throw spec_error("spec: first segment '" + raw.text +
                          "' must be a component name, not an option");
       }
-      out.name_ = std::string(raw);
+      out.name_ = raw.text;
     } else {
-      if (raw.empty()) {
+      if (raw.text.empty()) {
+        if (!raw.had_quote) {
+          throw spec_error("spec '" + out.name_ +
+                           "': empty option segment (stray comma)");
+        }
         throw spec_error("spec '" + out.name_ +
-                         "': empty option segment (stray comma)");
+                         "': option '' has an empty key");
       }
-      const std::size_t eq = raw.find('=');
-      std::string key(trim(raw.substr(0, eq)));
-      std::string value = eq == std::string_view::npos
+      const std::size_t eq = find_unquoted(raw, '=');
+      std::string key = sub_segment(raw, 0, eq == std::string::npos
+                                                ? raw.text.size()
+                                                : eq)
+                            .text;
+      std::string value = eq == std::string::npos
                               ? "true"
-                              : std::string(trim(raw.substr(eq + 1)));
+                              : sub_segment(raw, eq + 1, raw.text.size()).text;
       if (key.empty()) {
-        throw spec_error("spec '" + out.name_ + "': option '" +
-                         std::string(raw) + "' has an empty key");
+        throw spec_error("spec '" + out.name_ + "': option '" + raw.text +
+                         "' has an empty key");
       }
       if (find_option(out.options_, key) != nullptr) {
         throw spec_error("spec '" + out.name_ + "': duplicate option '" + key +
@@ -72,9 +152,6 @@ spec spec::parse(std::string_view text) {
       }
       out.options_.push_back({std::move(key), std::move(value)});
     }
-    if (comma == std::string_view::npos) break;
-    text.remove_prefix(comma + 1);
-    ++segment;
   }
   return out;
 }
@@ -135,6 +212,27 @@ bool spec::get_bool(std::string_view key, bool fallback) const {
                    " is not a boolean");
 }
 
+std::vector<std::string> split_spec_list(std::string_view list) {
+  const char sep = list.find(';') != std::string_view::npos ? ';' : ',';
+  std::vector<std::string> out;
+  std::string item;
+  const auto flush = [&] {
+    if (item.find_first_not_of(" \t") != std::string::npos) {
+      out.push_back(item);
+    }
+    item.clear();
+  };
+  for (const char c : list) {
+    if (c == sep) {
+      flush();
+    } else {
+      item += c;
+    }
+  }
+  flush();
+  return out;
+}
+
 spec spec::with_option(std::string key, std::string value) const {
   spec out = *this;
   for (spec_option& o : out.options_) {
@@ -147,6 +245,32 @@ spec spec::with_option(std::string key, std::string value) const {
   return out;
 }
 
+namespace {
+
+/// Re-quotes a value that would not survive re-parsing bare: separator
+/// characters, quotes, surrounding whitespace, or emptiness.
+std::string quote_if_needed(const std::string& v) {
+  bool need = v.empty();
+  for (const char c : v) {
+    if (c == ',' || c == '=' || c == '\'') need = true;
+  }
+  if (!v.empty() &&
+      (std::isspace(static_cast<unsigned char>(v.front())) ||
+       std::isspace(static_cast<unsigned char>(v.back())))) {
+    need = true;
+  }
+  if (!need) return v;
+  std::string out = "'";
+  for (const char c : v) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += '\'';
+  return out;
+}
+
+}  // namespace
+
 std::string spec::to_string() const {
   std::string out = name_;
   for (const spec_option& o : options_) {
@@ -154,7 +278,7 @@ std::string spec::to_string() const {
     out += o.key;
     if (o.value != "true") {
       out += '=';
-      out += o.value;
+      out += quote_if_needed(o.value);
     }
   }
   return out;

@@ -13,6 +13,13 @@
 // trimmed. Duplicate keys are an error — last-wins silently hides
 // typos. The key `label` is reserved: every registry accepts it and the
 // experiment layer uses it to override the aggregation/display label.
+//
+// Values containing commas, equals signs, or significant whitespace are
+// single-quoted: `trace,file='runs/a,b.trc'`. Inside quotes `''` is a
+// literal quote, nothing else is special (so a quoted value can carry a
+// whole nested spec: `trace,file=x.trc,imperfect='drop,p=0.05'`). An
+// unterminated quote is a parse error; to_string() re-quotes values
+// that need it, so specs round-trip.
 #pragma once
 
 #include <cstddef>
@@ -87,5 +94,12 @@ class spec {
 inline bool operator==(const spec_option& a, const spec_option& b) {
   return a.key == b.key && a.value == b.value;
 }
+
+/// Splits a CLI spec list into items: on ';' when one is present
+/// (items may then carry ',' options — "brite,n=40;sparse"), else on
+/// ','. Whitespace-only items are dropped. Shared by the CLI front
+/// ends so the convention cannot drift between them.
+[[nodiscard]] std::vector<std::string> split_spec_list(
+    std::string_view list);
 
 }  // namespace ntom

@@ -89,6 +89,76 @@ TEST(TopologyIoTest, CannotOpenMissingFile) {
                std::runtime_error);
 }
 
+TEST(TopologyIoTest, RejectsTrailingGarbage) {
+  // After the version.
+  std::stringstream header(
+      "ntom-topology 1 junk\nrouter_links 1\nlink 0 0 0\npath 0\n");
+  EXPECT_THROW(load_topology(header), std::runtime_error);
+  // On the router_links line.
+  std::stringstream counts(
+      "ntom-topology 1\nrouter_links 1 extra\nlink 0 0 0\npath 0\n");
+  EXPECT_THROW(load_topology(counts), std::runtime_error);
+  // On a link record.
+  std::stringstream link(
+      "ntom-topology 1\nrouter_links 1\nlink 0 0 0 junk\npath 0\n");
+  EXPECT_THROW(load_topology(link), std::runtime_error);
+  // On a path record.
+  std::stringstream path(
+      "ntom-topology 1\nrouter_links 1\nlink 0 0 0\npath 0 junk\n");
+  EXPECT_THROW(load_topology(path), std::runtime_error);
+}
+
+TEST(TopologyIoTest, ToleratesTrailingWhitespaceAndCrlf) {
+  // Trailing spaces and CRLF line endings (files edited on Windows)
+  // are not garbage.
+  std::stringstream crlf(
+      "ntom-topology 1\r\nrouter_links 1 \r\nlink 0 0 0\r\npath 0 \r\n");
+  const topology t = load_topology(crlf);
+  EXPECT_EQ(t.num_links(), 1u);
+  EXPECT_EQ(t.num_paths(), 1u);
+}
+
+TEST(TopologyIoTest, RejectsDuplicateAndMisorderedSections) {
+  // A second header mid-file (two concatenated topologies).
+  std::stringstream dup_header(
+      "ntom-topology 1\nrouter_links 1\nlink 0 0 0\npath 0\n"
+      "ntom-topology 1\n");
+  EXPECT_THROW(load_topology(dup_header), std::runtime_error);
+  // A second router_links section.
+  std::stringstream dup_counts(
+      "ntom-topology 1\nrouter_links 1\nlink 0 0 0\nrouter_links 2\n"
+      "path 0\n");
+  EXPECT_THROW(load_topology(dup_counts), std::runtime_error);
+  // A link record after the paths started.
+  std::stringstream misordered(
+      "ntom-topology 1\nrouter_links 1\nlink 0 0 0\npath 0\nlink 0 0 0\n");
+  EXPECT_THROW(load_topology(misordered), std::runtime_error);
+}
+
+TEST(TopologyIoTest, RejectsShortSections) {
+  // Header only — no records at all.
+  std::stringstream empty("ntom-topology 1\nrouter_links 1\n");
+  EXPECT_THROW(load_topology(empty), std::runtime_error);
+  // Links but no paths.
+  std::stringstream no_paths("ntom-topology 1\nrouter_links 1\nlink 0 0 0\n");
+  EXPECT_THROW(load_topology(no_paths), std::runtime_error);
+  // Truncated before router_links.
+  std::stringstream no_counts("ntom-topology 1\n");
+  EXPECT_THROW(load_topology(no_counts), std::runtime_error);
+}
+
+TEST(TopologyIoTest, SaveLoadSaveIsByteIdentical) {
+  const topology original = topogen::make_toy(topogen::toy_case::case2);
+  std::stringstream first;
+  save_topology(original, first);
+  const std::string first_bytes = first.str();
+  std::stringstream second_in(first_bytes);
+  const topology loaded = load_topology(second_in);
+  std::stringstream second;
+  save_topology(loaded, second);
+  EXPECT_EQ(first_bytes, second.str());
+}
+
 TEST(DotExportTest, ContainsAsNodesAndEdges) {
   const topology t = topogen::make_toy(topogen::toy_case::case1);
   std::stringstream out;
@@ -99,6 +169,17 @@ TEST(DotExportTest, ContainsAsNodesAndEdges) {
   EXPECT_NE(dot.find("as1"), std::string::npos);
   EXPECT_NE(dot.find("--"), std::string::npos);
   EXPECT_NE(dot.rfind("}"), std::string::npos);
+  // Labels use the DOT line-break escape, never a raw newline inside
+  // the quoted label.
+  EXPECT_NE(dot.find("\\n"), std::string::npos);
+  EXPECT_EQ(dot.find("links\n\""), std::string::npos);
+}
+
+TEST(DotExportTest, EscapesLabelMetacharacters) {
+  EXPECT_EQ(escape_dot_label("plain"), "plain");
+  EXPECT_EQ(escape_dot_label("AS0\n3 links"), "AS0\\n3 links");
+  EXPECT_EQ(escape_dot_label("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_dot_label("back\\slash"), "back\\\\slash");
 }
 
 }  // namespace

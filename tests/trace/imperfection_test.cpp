@@ -1,0 +1,118 @@
+#include "ntom/trace/imperfection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ntom/exp/runner.hpp"
+#include "ntom/sim/packet_sim.hpp"
+
+namespace ntom {
+namespace {
+
+run_config small_config(std::size_t intervals = 40) {
+  run_config config;
+  config.topo = "toy";
+  config.topo_seed = 3;
+  config.scenario = "random_congestion";
+  config.scenario_opts.seed = 11;
+  config.sim.intervals = intervals;
+  config.sim.packets_per_path = 50;
+  config.sim.seed = 17;
+  return config;
+}
+
+/// Streams the config's simulation through the decorator list into a
+/// materializing store.
+experiment_data degraded(const run_config& config, const std::string& list,
+                         std::size_t chunk = 16) {
+  run_config streaming = config;
+  streaming.chunk_intervals = chunk;
+  const run_artifacts run = prepare_topology(streaming);
+  experiment_data data;
+  materialize_sink store(data);
+  const imperfection_chain chain(list);
+  std::vector<std::unique_ptr<imperfection_sink>> stages;
+  measurement_sink& head = chain.build(store, stages);
+  stream_experiment(run, streaming, head);
+  return data;
+}
+
+TEST(ImperfectionTest, SubsampleKeepsEveryStrideTh) {
+  const run_config config = small_config(40);
+  const run_artifacts live = prepare_run(config);
+  const experiment_data sub = degraded(config, "subsample,stride=3,offset=1");
+  ASSERT_EQ(sub.intervals, 13u);  // intervals 1, 4, ..., 37.
+  for (std::size_t t = 0; t < sub.intervals; ++t) {
+    const std::size_t source = 1 + 3 * t;
+    EXPECT_EQ(sub.congested_paths_at(t).to_string(),
+              live.data.congested_paths_at(source).to_string());
+    EXPECT_EQ(sub.true_links_at(t).to_string(),
+              live.data.true_links_at(source).to_string());
+  }
+}
+
+TEST(ImperfectionTest, BlackoutRemovesTheRange) {
+  const run_config config = small_config(40);
+  const run_artifacts live = prepare_run(config);
+  const experiment_data cut = degraded(config, "blackout,start=10,length=5");
+  ASSERT_EQ(cut.intervals, 35u);
+  for (std::size_t t = 0; t < cut.intervals; ++t) {
+    const std::size_t source = t < 10 ? t : t + 5;
+    EXPECT_EQ(cut.congested_paths_at(t).to_string(),
+              live.data.congested_paths_at(source).to_string());
+  }
+}
+
+TEST(ImperfectionTest, DropIsSeedDeterministic) {
+  const run_config config = small_config(60);
+  const experiment_data a = degraded(config, "drop,p=0.3,seed=5");
+  const experiment_data b = degraded(config, "drop,p=0.3,seed=5", 7);
+  ASSERT_EQ(a.intervals, b.intervals);
+  EXPECT_TRUE(a.path_good == b.path_good);
+  EXPECT_TRUE(a.true_links == b.true_links);
+  EXPECT_LT(a.intervals, 60u);
+  EXPECT_GT(a.intervals, 0u);
+
+  const experiment_data other = degraded(config, "drop,p=0.3,seed=6");
+  // Different seed, different surviving set (counts may coincide, but
+  // not the whole selection on 60 intervals with p=0.3).
+  EXPECT_FALSE(a.intervals == other.intervals &&
+               a.path_good == other.path_good);
+}
+
+TEST(ImperfectionTest, DecoratorsChainInOrder) {
+  const run_config config = small_config(40);
+  // Stage 1 keeps even intervals (20 remain, renumbered 0..19); stage 2
+  // blacks out renumbered 5..9 — i.e. source intervals 10, 12, ..., 18.
+  const experiment_data chained =
+      degraded(config, "subsample,stride=2 ; blackout,start=5,length=5");
+  ASSERT_EQ(chained.intervals, 15u);
+  const run_artifacts live = prepare_run(config);
+  for (std::size_t t = 0; t < chained.intervals; ++t) {
+    const std::size_t renumbered = t < 5 ? t : t + 5;
+    const std::size_t source = 2 * renumbered;
+    EXPECT_EQ(chained.congested_paths_at(t).to_string(),
+              live.data.congested_paths_at(source).to_string());
+  }
+}
+
+TEST(ImperfectionTest, RejectsBadSpecs) {
+  EXPECT_THROW(imperfection_chain("no_such_decorator"), spec_error);
+  EXPECT_THROW(imperfection_chain("drop,probability=0.1"), spec_error);
+  EXPECT_THROW((void)degraded(small_config(), "drop,p=1.5"), spec_error);
+  EXPECT_THROW((void)degraded(small_config(), "subsample,stride=0"),
+               spec_error);
+  EXPECT_THROW((void)degraded(small_config(), "subsample,stride=2,offset=2"),
+               spec_error);
+}
+
+TEST(ImperfectionTest, RegistryDescribesBuiltins) {
+  const auto names = imperfection_registry().names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_NE(imperfection_registry().describe().find("blackout"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntom

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ntom/exp/runner.hpp"
+#include "ntom/trace/trace_reader.hpp"
+#include "ntom/trace/trace_writer.hpp"
+#include "ntom/util/crc32.hpp"
+
+namespace ntom {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+run_config small_config(std::size_t intervals = 60) {
+  run_config config;
+  config.topo = "toy";
+  config.topo_seed = 3;
+  config.scenario = "random_congestion";
+  config.scenario_opts.seed = 11;
+  config.sim.intervals = intervals;
+  config.sim.packets_per_path = 50;
+  config.sim.seed = 17;
+  return config;
+}
+
+/// Captures the config's stream at the given chunk size.
+void capture(const run_config& config, const std::string& path,
+             std::size_t chunk, bool store_truth = true) {
+  run_config streaming = config;
+  streaming.chunk_intervals = chunk;
+  const run_artifacts run = prepare_topology(streaming);
+  trace_writer_options options;
+  options.store_truth = store_truth;
+  options.provenance = "test-capture";
+  trace_writer writer(path, options);
+  stream_experiment(run, streaming, writer);
+}
+
+/// Streams the whole file into a discarding sink (verifies every frame).
+void null_replay(const trace_reader& reader) {
+  struct discard final : measurement_sink {
+    void consume(const measurement_chunk&) override {}
+  } sink;
+  reader.stream(sink, 32);
+}
+
+experiment_data replay_materialized(const std::string& path,
+                                    std::size_t chunk) {
+  const trace_reader reader(path);
+  experiment_data data;
+  materialize_sink sink(data);
+  reader.stream(sink, chunk);
+  return data;
+}
+
+void expect_data_equal(const experiment_data& a, const experiment_data& b,
+                       bool compare_truth = true) {
+  ASSERT_EQ(a.intervals, b.intervals);
+  EXPECT_TRUE(a.path_good == b.path_good);
+  EXPECT_EQ(a.always_good_paths.to_string(), b.always_good_paths.to_string());
+  if (compare_truth) {
+    EXPECT_TRUE(a.true_links == b.true_links);
+    EXPECT_EQ(a.ever_congested_links.to_string(),
+              b.ever_congested_links.to_string());
+  }
+}
+
+TEST(TraceFormatTest, RoundTripsDataAndMetadata) {
+  const run_config config = small_config();
+  const std::string path = temp_path("roundtrip.trc");
+  capture(config, path, 16);
+
+  const trace_reader reader(path);
+  EXPECT_EQ(reader.intervals(), config.sim.intervals);
+  EXPECT_TRUE(reader.has_truth());
+  EXPECT_EQ(reader.provenance(), "test-capture");
+  EXPECT_GT(reader.frames(), 1u);
+
+  const run_artifacts live = prepare_run(config);
+  EXPECT_EQ(reader.topology_ptr()->num_paths(), live.topo().num_paths());
+  EXPECT_EQ(reader.topology_ptr()->num_links(), live.topo().num_links());
+
+  expect_data_equal(replay_materialized(path, 64), live.data);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, RechunkingIsBitIdentical) {
+  const run_config config = small_config(70);
+  const run_artifacts live = prepare_run(config);
+  // Capture at several granularities, replay each at several different
+  // granularities: every combination must materialize the same bits.
+  for (const std::size_t capture_chunk : {1ul, 7ul, 64ul, 256ul}) {
+    const std::string path = temp_path("rechunk.trc");
+    capture(config, path, capture_chunk);
+    for (const std::size_t replay_chunk : {1ul, 13ul, 1000ul}) {
+      expect_data_equal(replay_materialized(path, replay_chunk), live.data);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TraceFormatTest, TruthStrippedTraceOmitsThePlane) {
+  const run_config config = small_config();
+  const std::string with_truth = temp_path("with_truth.trc");
+  const std::string without = temp_path("without_truth.trc");
+  capture(config, with_truth, 32, true);
+  capture(config, without, 32, false);
+
+  const trace_reader reader(without);
+  EXPECT_FALSE(reader.has_truth());
+
+  const experiment_data stripped = replay_materialized(without, 64);
+  const experiment_data full = replay_materialized(with_truth, 64);
+  expect_data_equal(stripped, full, /*compare_truth=*/false);
+  EXPECT_EQ(stripped.true_links.count(), 0u);
+  EXPECT_GT(full.true_links.count(), 0u);
+
+  // And the file actually shrinks.
+  std::ifstream a(without, std::ios::binary | std::ios::ate);
+  std::ifstream b(with_truth, std::ios::binary | std::ios::ate);
+  EXPECT_LT(a.tellg(), b.tellg());
+  std::remove(with_truth.c_str());
+  std::remove(without.c_str());
+}
+
+TEST(TraceFormatTest, TruncatedFilesFailCleanly) {
+  const std::string path = temp_path("truncate.trc");
+  capture(small_config(), path, 16);
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+
+  for (const double fraction : {0.0, 0.1, 0.5, 0.9}) {
+    const auto keep = static_cast<std::size_t>(
+        fraction * static_cast<double>(bytes.size()));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_THROW(trace_reader reader(path), trace_error) << fraction;
+  }
+  // Losing just the trailer's last byte is also detected at open.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 1));
+  out.close();
+  EXPECT_THROW(trace_reader reader(path), trace_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, BitFlipsFailCleanly) {
+  const std::string path = temp_path("bitflip.trc");
+  capture(small_config(), path, 16);
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+
+  // A flip anywhere — header, frames, trailer — must surface as a
+  // clean trace_error either at open or during a stream pass.
+  const std::size_t positions[] = {9, bytes.size() / 3, bytes.size() / 2,
+                                   bytes.size() - 6};
+  for (const std::size_t pos : positions) {
+    std::vector<char> corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x10);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(corrupted.data(),
+              static_cast<std::streamsize>(corrupted.size()));
+    out.close();
+    EXPECT_THROW(
+        {
+          const trace_reader reader(path);
+          null_replay(reader);
+        },
+        trace_error)
+        << "flip at byte " << pos;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, RejectsImplausibleIntervalCounts) {
+  // A hostile header declaring a huge T with VALID CRCs (the attacker
+  // controls the checksums too) must fail at open — never reach a
+  // downstream consumer that sizes allocations from intervals().
+  const std::string path = temp_path("huge.trc");
+  capture(small_config(), path, 16);
+  std::ifstream in(path, std::ios::binary);
+  std::vector<unsigned char> bytes((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+  in.close();
+
+  const auto put_u64 = [&](std::size_t at, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes[at + static_cast<std::size_t>(i)] =
+          static_cast<unsigned char>(v >> (8 * i));
+    }
+  };
+  const auto put_u32 = [&](std::size_t at, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes[at + static_cast<std::size_t>(i)] =
+          static_cast<unsigned char>(v >> (8 * i));
+    }
+  };
+  const auto get_u32 = [&](std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes[at + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    return v;
+  };
+
+  const std::uint64_t huge = std::uint64_t{1} << 50;
+  put_u64(16, huge);  // header intervals.
+  // Re-seal the header CRC (header = everything before the CRC field;
+  // its end is derived from the two length prefixes).
+  const std::size_t prov_len = get_u32(40);
+  const std::size_t topo_len_at = 44 + prov_len;
+  const std::size_t header_end = topo_len_at + 4 + get_u32(topo_len_at);
+  put_u32(header_end, crc32(bytes.data(), header_end));
+  // Matching trailer totals, re-sealed too.
+  const std::size_t totals_at = bytes.size() - 20;
+  put_u64(totals_at + 8, huge);
+  put_u32(bytes.size() - 4, crc32(bytes.data() + totals_at, 16));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  EXPECT_THROW(trace_reader reader(path), trace_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, RejectsOverflowingFrameCounts) {
+  // A crafted frame whose count wraps `seen + count` must fail the
+  // contiguity check, not bypass it into an out-of-bounds chunk write.
+  const run_config config = small_config(60);
+  const std::string path = temp_path("overflow.trc");
+  capture(config, path, 16);  // frames of 16, 16, 16, 12 intervals.
+  std::ifstream in(path, std::ios::binary);
+  std::vector<unsigned char> bytes((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+  in.close();
+
+  const trace_reader valid(path);
+  const std::size_t row_bytes =
+      8 * ((valid.topology_ptr()->num_paths() + 63) / 64 +
+           (valid.topology_ptr()->num_links() + 63) / 64);
+  const std::size_t frame1_size = 4 + 16 + 16 * row_bytes + 4;
+  const std::size_t data_size =
+      3 * frame1_size + (4 + 16 + 12 * row_bytes + 4);
+  const std::size_t frame2_count_at =
+      bytes.size() - 24 - data_size + frame1_size + 4 + 8;
+  // count = 2^64 - 3: seen(16) + count wraps to a tiny value.
+  const std::uint64_t huge = ~std::uint64_t{0} - 2;
+  for (int i = 0; i < 8; ++i) {
+    bytes[frame2_count_at + static_cast<std::size_t>(i)] =
+        static_cast<unsigned char>(huge >> (8 * i));
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  EXPECT_THROW(
+      {
+        const trace_reader reader(path);
+        null_replay(reader);
+      },
+      trace_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, MakeScenarioRejectsTraceSpecs) {
+  // `trace` never builds a congestion model — an empty one would break
+  // the simulator's at-least-one-phase invariant, so a direct
+  // make_scenario call is rejected loudly.
+  const run_config config = small_config();
+  const run_artifacts run = prepare_topology(config);
+  EXPECT_THROW((void)make_scenario(run.topo(),
+                                   spec("trace").with_option("file", "x.trc")),
+               spec_error);
+}
+
+TEST(TraceFormatTest, RejectsForeignAndFutureFiles) {
+  const std::string path = temp_path("bogus.trc");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a trace file, but long enough to have "
+           "a trailer-sized suffix";
+  }
+  EXPECT_THROW(trace_reader reader(path), trace_error);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "short";
+  }
+  EXPECT_THROW(trace_reader reader(path), trace_error);
+  EXPECT_THROW(trace_reader reader(temp_path("does_not_exist.trc")),
+               trace_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, TrailingGarbageFailsTheStream) {
+  const std::string path = temp_path("garbage.trc");
+  capture(small_config(), path, 16);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra";
+  }
+  // The header/trailer scan cannot see mid-file garbage (the trailer
+  // bytes are read relative to the end), so the full-file stream pass
+  // is the gate.
+  EXPECT_THROW(
+      {
+        const trace_reader reader(path);
+        null_replay(reader);
+      },
+      trace_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ntom

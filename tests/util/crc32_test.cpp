@@ -1,0 +1,43 @@
+#include "ntom/util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ntom {
+namespace {
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // The classic IEEE CRC-32 check values.
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+  const std::string check = "123456789";
+  EXPECT_EQ(crc32(check.data(), check.size()), 0xCBF43926u);
+  const std::string fox = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(crc32(fox.data(), fox.size()), 0x414FA339u);
+}
+
+TEST(Crc32Test, AccumulatorMatchesOneShot) {
+  const std::string data = "chunked payloads checksum identically";
+  crc32_accumulator acc;
+  acc.update(data.data(), 10);
+  acc.update(data.data() + 10, data.size() - 10);
+  EXPECT_EQ(acc.value(), crc32(data.data(), data.size()));
+  acc.reset();
+  EXPECT_EQ(acc.value(), 0u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data(256, '\0');
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 7);
+  }
+  const std::uint32_t clean = crc32(data.data(), data.size());
+  for (const std::size_t pos : {0ul, 100ul, 255ul}) {
+    std::string corrupted = data;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x01);
+    EXPECT_NE(crc32(corrupted.data(), corrupted.size()), clean) << pos;
+  }
+}
+
+}  // namespace
+}  // namespace ntom

@@ -107,6 +107,53 @@ TEST(SpecTest, WithOptionAddsOrReplaces) {
   EXPECT_FALSE(s.has("scale"));
 }
 
+TEST(SpecTest, QuotedValuesProtectSeparators) {
+  const spec s = spec::parse("trace,file='runs/a,b.trc',chunk=7");
+  EXPECT_EQ(s.name(), "trace");
+  EXPECT_EQ(s.get_string("file"), "runs/a,b.trc");
+  EXPECT_EQ(s.get_int("chunk", 0), 7);
+
+  // Equals signs inside quotes stay in the value.
+  EXPECT_EQ(spec::parse("x,k='a=b,c=d'").get_string("k"), "a=b,c=d");
+  // Quoted whitespace is preserved; unquoted whitespace still trims.
+  EXPECT_EQ(spec::parse("x, k = ' a b ' ").get_string("k"), " a b ");
+  // Escaped quote: '' inside quotes is one literal quote.
+  EXPECT_EQ(spec::parse("x,k='it''s'").get_string("k"), "it's");
+  // Explicitly empty value.
+  EXPECT_EQ(spec::parse("x,k=''").get_string("k", "fallback"), "");
+  EXPECT_TRUE(spec::parse("x,k=''").has("k"));
+}
+
+TEST(SpecTest, QuotedValuesNest) {
+  // A quoted value can carry a whole nested spec list — the trace
+  // scenario's imperfect option.
+  const spec s =
+      spec::parse("trace,file=a.trc,imperfect='drop,p=0.05;subsample,stride=2'");
+  EXPECT_EQ(s.get_string("imperfect"), "drop,p=0.05;subsample,stride=2");
+  const spec nested = spec::parse("drop,p=0.05");
+  EXPECT_DOUBLE_EQ(nested.get_double("p", 0.0), 0.05);
+}
+
+TEST(SpecTest, UnterminatedQuoteThrows) {
+  EXPECT_THROW((void)spec::parse("trace,file='runs/a.trc"), spec_error);
+  EXPECT_THROW((void)spec::parse("x,k='"), spec_error);
+  EXPECT_THROW((void)spec::parse("x,k='a''"), spec_error);  // '' escapes.
+}
+
+TEST(SpecTest, QuotedValuesRoundTripThroughToString) {
+  for (const char* text :
+       {"trace,file='runs/a,b.trc'", "x,k='a=b'", "x,k='it''s'", "x,k=''",
+        "x,k=' padded '"}) {
+    const spec s = spec::parse(text);
+    EXPECT_EQ(spec::parse(s.to_string()), s) << text << " via "
+                                             << s.to_string();
+  }
+  // with_option values containing separators re-quote on print.
+  const spec built = spec::parse("trace").with_option("file", "a,b.trc");
+  EXPECT_EQ(built.to_string(), "trace,file='a,b.trc'");
+  EXPECT_EQ(spec::parse(built.to_string()), built);
+}
+
 TEST(SpecTest, ImplicitConversionFromStrings) {
   const spec from_literal = "toy,case=2";
   EXPECT_EQ(from_literal.name(), "toy");
