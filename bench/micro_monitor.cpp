@@ -157,15 +157,15 @@ int main(int argc, char** argv) {
   // the full query family (what a streaming fit retains instead of any
   // full view).
   run_config streamed_config = config;
-  streamed_config.streamed = true;
+  streamed_config.stream.enabled = true;
   pathset_counter counter(queries);
   const auto t2 = clock_type::now();
   stream_experiment(run, streamed_config, counter);
   const double streaming_pass_seconds = seconds_since(t2);
   std::size_t streaming_bytes = 0;
   {
-    const bit_matrix chunk_paths(streamed_config.chunk_intervals, paths);
-    const bit_matrix chunk_links(streamed_config.chunk_intervals,
+    const bit_matrix chunk_paths(streamed_config.stream.chunk_intervals, paths);
+    const bit_matrix chunk_links(streamed_config.stream.chunk_intervals,
                                  run.topo().num_links());
     streaming_bytes = 2 * (chunk_paths.memory_bytes() +
                            chunk_links.memory_bytes());  // chunk + transpose.

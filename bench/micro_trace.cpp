@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
     simulate_seconds += seconds_since(t0);
 
     run_config capture_config = config;
-    capture_config.capture_path = trace_path;
+    capture_config.capture.path = trace_path;
     const auto writer = make_capture_writer(capture_config, live);
     null_sink devnull2;
     fanout_sink fanout;
@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
 
   run_config replay_config;
   replay_config.scenario = spec("trace").with_option("file", trace_path);
-  replay_config.chunk_intervals = 97;  // never the capture granularity.
+  replay_config.stream.chunk_intervals = 97;  // never the capture granularity.
   const run_artifacts replay_run = prepare_run(replay_config);
   const auto replay_rows = eval(replay_config, replay_run);
   const bool identical = rows_identical(live_rows, replay_rows);

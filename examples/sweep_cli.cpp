@@ -96,12 +96,16 @@ bool summaries_identical(const std::vector<ntom::metric_summary>& a,
 int main(int argc, char** argv) {
   using namespace ntom;
   const flags opts(argc, argv);
-  if (opts.has("list")) {
+  if (opts.has("list") || opts.has("list-json")) {
     // Bare --list prints every registry; --list=scenarios (or
     // --list=srlg, any registered name/alias) narrows to one registry
-    // or one entry's full option docs.
+    // or one entry's full option docs. --list-json takes the same
+    // selectors and emits the machine-readable catalog instead.
     try {
-      std::cout << describe_registries(opts.get_string("list", ""));
+      std::cout << (opts.has("list-json")
+                        ? describe_registries_json(
+                              opts.get_string("list-json", ""))
+                        : describe_registries(opts.get_string("list", "")));
     } catch (const spec_error& err) {
       std::fprintf(stderr, "%s\n", err.what());
       return 2;
@@ -181,9 +185,10 @@ int main(int argc, char** argv) {
   // Streamed execution: replay the interval stream in chunks instead of
   // materializing per-run observation stores (bit-identical results).
   const bool streamed = opts.get_bool("streamed", false);
-  exp.streamed(streamed);
-  exp.chunk_intervals(static_cast<std::size_t>(opts.get_int(
-      "chunk", static_cast<std::int64_t>(default_chunk_intervals))));
+  exp.with_streaming(
+      {streamed,
+       static_cast<std::size_t>(opts.get_int(
+           "chunk", static_cast<std::int64_t>(default_chunk_intervals)))});
 
   // Grid-scheduler knobs (observability / A-B only — results never
   // depend on them).
@@ -195,8 +200,8 @@ int main(int argc, char** argv) {
   const std::string capture_dir = opts.get_string("capture-dir", "");
   if (!capture_dir.empty()) {
     std::filesystem::create_directories(capture_dir);
-    exp.capture_to(capture_dir);
-    exp.capture_truth(!opts.get_bool("capture-no-truth", false));
+    exp.with_capture(
+        {capture_dir, !opts.get_bool("capture-no-truth", false)});
   }
 
   std::vector<run_spec> specs;
@@ -345,7 +350,7 @@ int main(int argc, char** argv) {
       // prove it against the materialized path on the same seeds.
       std::cout << "Streamed-vs-materialized check: re-running "
                    "materialized...\n";
-      exp.streamed(false);
+      exp.with_streaming({false});
       const batch_report materialized_report = exp.run(params);
       const bool modes_match =
           summaries_identical(cells, materialized_report.summarize());

@@ -34,6 +34,18 @@ void estimator::end_fit() {
   throw std::logic_error("estimator does not support streaming fits");
 }
 
+void estimator::begin_window(const topology&) {
+  throw std::logic_error("estimator does not support windowed fits");
+}
+
+void estimator::retire(const measurement_chunk&) {
+  throw std::logic_error("estimator does not support windowed fits");
+}
+
+void estimator::refit() {
+  throw std::logic_error("estimator does not support windowed fits");
+}
+
 namespace {
 
 // ------------------------------------------------------------ adapters
@@ -45,7 +57,8 @@ class sparsity_estimator final : public estimator {
   [[nodiscard]] estimator_caps caps() const noexcept override {
     return {.boolean_inference = true,
             .link_estimation = false,
-            .streaming = true};
+            .streaming = true,
+            .windowed = true};
   }
 
   void fit(const topology& t, const experiment_data&) override { topo_ = &t; }
@@ -53,6 +66,11 @@ class sparsity_estimator final : public estimator {
   void begin_fit(const topology& t, std::size_t) override { topo_ = &t; }
   void consume(const measurement_chunk&) override {}
   void end_fit() override {}
+
+  // No fitted state at all, so the windowed protocol is trivial.
+  void begin_window(const topology& t) override { topo_ = &t; }
+  void retire(const measurement_chunk&) override {}
+  void refit() override {}
 
   [[nodiscard]] bitvec infer(const bitvec& congested_paths) const override {
     return infer_sparsity(*topo_, make_observation(*topo_, congested_paths));
@@ -85,6 +103,25 @@ class counting_estimator : public estimator {
     counter_.reset();
   }
 
+  // Windowed protocol: same counters, kept alive across refits so the
+  // window can keep sliding. refit() hands the current exact counts to
+  // the same solver the one-shot fit uses — the window fit is
+  // bit-identical to begin_fit/consume/end_fit over the same chunks.
+  void begin_window(const topology& t) override {
+    topo_ = &t;
+    counter_.emplace(equation_path_sets(t), /*windowed=*/true);
+    counter_->begin(t, 0);
+  }
+
+  void retire(const measurement_chunk& chunk) override {
+    counter_->retire(chunk);
+  }
+
+  void refit() override {
+    solve_from_counts(*topo_, counter_->sets(), counter_->counts(),
+                      counter_->intervals(), counter_->window_always_good());
+  }
+
  protected:
   /// The (topology-determined) path-set family to count.
   [[nodiscard]] virtual std::vector<bitvec> equation_path_sets(
@@ -111,7 +148,8 @@ class bayes_independence_estimator final : public counting_estimator {
   [[nodiscard]] estimator_caps caps() const noexcept override {
     return {.boolean_inference = true,
             .link_estimation = true,
-            .streaming = true};
+            .streaming = true,
+            .windowed = true};
   }
 
   void fit(const topology& t, const experiment_data& data) override {
@@ -179,7 +217,8 @@ class independence_estimator final : public counting_estimator {
   [[nodiscard]] estimator_caps caps() const noexcept override {
     return {.boolean_inference = false,
             .link_estimation = true,
-            .streaming = true};
+            .streaming = true,
+            .windowed = true};
   }
 
   void fit(const topology& t, const experiment_data& data) override {
@@ -215,7 +254,8 @@ class correlation_heuristic_estimator final : public counting_estimator {
   [[nodiscard]] estimator_caps caps() const noexcept override {
     return {.boolean_inference = false,
             .link_estimation = true,
-            .streaming = true};
+            .streaming = true,
+            .windowed = true};
   }
 
   void fit(const topology& t, const experiment_data& data) override {

@@ -47,6 +47,13 @@ struct estimator_caps {
   /// flooded correlation heuristic); false for adaptive selections
   /// (Algorithm 1 / corr-complete), which the drivers materialize for.
   bool streaming = false;
+
+  /// The streaming fit also supports the sliding-window protocol
+  /// (begin_window/consume/retire/refit): evidence can be retired as
+  /// well as added, and refit() re-solves from the current window
+  /// without ending the stream — the contract tomography_service
+  /// requires of its estimators. Implies `streaming`.
+  bool windowed = false;
 };
 
 class estimator {
@@ -67,6 +74,20 @@ class estimator {
   virtual void begin_fit(const topology& t, std::size_t intervals);
   virtual void consume(const measurement_chunk& chunk);
   virtual void end_fit();
+
+  /// Sliding-window fit protocol — requires caps().windowed; the
+  /// defaults throw std::logic_error. begin_window opens an unbounded
+  /// stream (no experiment length); consume extends the window, retire
+  /// shrinks it from the front (chunks retire in consumption order),
+  /// and refit() solves from the window's current counters WITHOUT
+  /// ending the stream — after refit the estimator answers infer() /
+  /// links() exactly as if begin_fit/consume/end_fit had run over the
+  /// window's chunks alone (bit-identical; the counters subtract
+  /// retired evidence exactly). refit may be called any number of
+  /// times as the window slides.
+  virtual void begin_window(const topology& t);
+  virtual void retire(const measurement_chunk& chunk);
+  virtual void refit();
 
   /// Boolean inference for one interval's observed congested paths.
   /// Default throws std::logic_error; requires caps().boolean_inference.

@@ -53,6 +53,48 @@ std::string describe_registries(const std::string& what) {
       "imperfections) nor a registered name");
 }
 
+std::string describe_registries_json() {
+  return "{\"topologies\": " + topogen::topology_registry().describe_json() +
+         ",\n\"scenarios\": " + scenario_registry().describe_json() +
+         ",\n\"estimators\": " + estimator_registry().describe_json() +
+         ",\n\"imperfections\": " + imperfection_registry().describe_json() +
+         "}\n";
+}
+
+std::string describe_registries_json(const std::string& what) {
+  if (what.empty() || what == "true") return describe_registries_json();
+  if (what == "topologies" || what == "topos") {
+    return "{\"topologies\": " +
+           topogen::topology_registry().describe_json() + "}\n";
+  }
+  if (what == "scenarios") {
+    return "{\"scenarios\": " + scenario_registry().describe_json() + "}\n";
+  }
+  if (what == "estimators") {
+    return "{\"estimators\": " + estimator_registry().describe_json() + "}\n";
+  }
+  if (what == "imperfections") {
+    return "{\"imperfections\": " + imperfection_registry().describe_json() +
+           "}\n";
+  }
+  if (topogen::topology_registry().contains(what)) {
+    return topogen::topology_registry().describe_json(what) + "\n";
+  }
+  if (scenario_registry().contains(what)) {
+    return scenario_registry().describe_json(what) + "\n";
+  }
+  if (estimator_registry().contains(what)) {
+    return estimator_registry().describe_json(what) + "\n";
+  }
+  if (imperfection_registry().contains(what)) {
+    return imperfection_registry().describe_json(what) + "\n";
+  }
+  throw spec_error(
+      "--list-json: '" + what +
+      "' is neither a registry (topologies, scenarios, estimators, "
+      "imperfections) nor a registered name");
+}
+
 experiment::experiment() {
   topologies_ = {"brite"};
   scenarios_ = {"random_congestion"};
@@ -126,25 +168,44 @@ experiment& experiment::measure_link_error(bool on) {
   return *this;
 }
 
+experiment& experiment::with_streaming(stream_options stream) {
+  stream_ = stream;
+  return *this;
+}
+
+experiment& experiment::with_capture(capture_options capture) {
+  capture_ = std::move(capture);
+  return *this;
+}
+
+// Deprecated one-knob shims: edit the grouped structs field-wise.
+// (Definitions must not re-trigger the [[deprecated]] diagnostics.)
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 experiment& experiment::streamed(bool on) {
-  streamed_ = on;
+  stream_.enabled = on;
   return *this;
 }
 
 experiment& experiment::chunk_intervals(std::size_t intervals) {
-  chunk_intervals_ = intervals;
+  stream_.chunk_intervals = intervals;
   return *this;
 }
 
 experiment& experiment::capture_to(std::string dir) {
-  capture_dir_ = std::move(dir);
+  capture_.path = std::move(dir);
   return *this;
 }
 
 experiment& experiment::capture_truth(bool on) {
-  capture_truth_ = on;
+  capture_.truth = on;
   return *this;
 }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 experiment& experiment::cache_topologies(bool on) {
   cache_topologies_ = on;
@@ -185,11 +246,10 @@ std::vector<run_spec> experiment::specs() const {
         config.scenario = scenario;
         config.scenario_opts = scenario_defaults_;
         config.sim = sim_;
-        config.streamed = streamed_;
-        config.chunk_intervals = chunk_intervals_;
+        config.stream = stream_;
         const std::string label =
             topology_label(topo) + "/" + scenario_label(scenario);
-        if (!capture_dir_.empty()) {
+        if (!capture_.path.empty()) {
           std::string file;
           for (const char c : label) {
             file += (std::isalnum(static_cast<unsigned char>(c)) != 0 ||
@@ -197,9 +257,9 @@ std::vector<run_spec> experiment::specs() const {
                         ? c
                         : '_';
           }
-          config.capture_path = capture_dir_ + "/" + file + "_" +
+          config.capture.path = capture_.path + "/" + file + "_" +
                                 std::to_string(out.size()) + ".trc";
-          config.capture_truth = capture_truth_;
+          config.capture.truth = capture_.truth;
         }
         run_spec spec{label, std::move(config)};
         spec.seed_group = r;  // same topology across arms of a replica.

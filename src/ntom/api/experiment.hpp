@@ -43,6 +43,16 @@ namespace ntom {
 /// unknown values throw spec_error.
 [[nodiscard]] std::string describe_registries(const std::string& what);
 
+/// Machine-readable catalog: one JSON object
+/// `{"topologies": [...], "scenarios": [...], "estimators": [...],
+/// "imperfections": [...]}` whose arrays are the registries'
+/// describe_json() entries — the CLIs' `--list-json` payload. `what`
+/// filters exactly like describe_registries(what): a registry name
+/// yields that single-key object, a registered component name/alias
+/// yields the bare entry object; unknown values throw spec_error.
+[[nodiscard]] std::string describe_registries_json();
+[[nodiscard]] std::string describe_registries_json(const std::string& what);
+
 class experiment {
  public:
   experiment();
@@ -73,26 +83,36 @@ class experiment {
   experiment& measure_boolean(bool on);
   experiment& measure_link_error(bool on);
 
-  /// Streamed execution: every run replays the interval stream through
-  /// measurement_sinks in fixed-size chunks instead of materializing
-  /// the observation store — O(chunk) memory per in-flight run, so T
-  /// can reach 10^6. Estimators without the streaming capability fall
-  /// back to one shared materialized store per run. Bit-identical
-  /// aggregates to the materialized mode for the same seeds.
+  /// Streamed execution, grouped (mirrors run_config::stream): every
+  /// run replays the interval stream through measurement_sinks in
+  /// fixed-size chunks instead of materializing the observation store —
+  /// O(chunk) memory per in-flight run, so T can reach 10^6. Estimators
+  /// without the streaming capability fall back to one shared
+  /// materialized store per run. Bit-identical aggregates to the
+  /// materialized mode for the same seeds.
+  experiment& with_streaming(stream_options stream);
+
+  /// Trace capture, grouped (mirrors run_config::capture, except
+  /// `path` here names a DIRECTORY): captures every run's measurement
+  /// stream to `<path>/<label>_<index>.trc` (trace/trace_writer riding
+  /// the run's simulation or fit pass — results are bit-identical with
+  /// capture on). The directory must exist. `truth` includes the
+  /// ground-truth plane (disable to publish observation-only
+  /// datasets). Replay the files with the `trace` scenario:
+  /// with_scenario("trace,file='...'").
+  experiment& with_capture(capture_options capture);
+
+  /// Deprecated shims over with_streaming / with_capture — the former
+  /// ad-hoc one-knob setters, kept so existing call sites compile.
+  /// They edit the grouped structs in place, so mixing shims and
+  /// grouped calls composes field-wise (last write to a field wins).
+  [[deprecated("use with_streaming({enabled, chunk_intervals})")]]
   experiment& streamed(bool on = true);
-
-  /// Chunk granularity of the streamed mode (results never depend on it).
+  [[deprecated("use with_streaming({enabled, chunk_intervals})")]]
   experiment& chunk_intervals(std::size_t intervals);
-
-  /// Captures every run's measurement stream to
-  /// `<dir>/<label>_<index>.trc` (trace/trace_writer riding the run's
-  /// simulation or fit pass — results are bit-identical with capture
-  /// on). The directory must exist. Replay the files with the `trace`
-  /// scenario: with_scenario("trace,file='...'").
+  [[deprecated("use with_capture({dir, truth})")]]
   experiment& capture_to(std::string dir);
-
-  /// Include the ground-truth plane in captures (default true; disable
-  /// to publish observation-only datasets).
+  [[deprecated("use with_capture({dir, truth})")]]
   experiment& capture_truth(bool on);
 
   /// Grid-scheduler knobs (override the batch_params defaults at run
@@ -135,10 +155,8 @@ class experiment {
   sim_params sim_;
   scenario_params scenario_defaults_;
   estimator_eval_options eval_options_;
-  bool streamed_ = false;
-  std::size_t chunk_intervals_ = default_chunk_intervals;
-  std::string capture_dir_;
-  bool capture_truth_ = true;
+  stream_options stream_;
+  capture_options capture_;  // capture_.path is the capture DIRECTORY.
   std::optional<bool> cache_topologies_;
   std::optional<bool> shard_estimators_;
 };

@@ -7,6 +7,7 @@
 
 #include "ntom/exp/grid.hpp"
 #include "ntom/util/csv.hpp"
+#include "ntom/util/json.hpp"
 #include "ntom/util/rng.hpp"
 #include "ntom/util/stats.hpp"
 
@@ -109,27 +110,8 @@ void batch_report::write_runs_csv(const std::string& path) const {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+// json_escape comes from util/json.hpp (shared with the registry
+// catalog emitter).
 
 std::string json_number(double v) {
   if (!std::isfinite(v)) return "null";

@@ -120,7 +120,7 @@ std::vector<measurement> eval_estimators(
     const std::vector<std::string>& labels,
     const estimator_eval_options& options, const run_config& config,
     const run_artifacts& run, shared_truth* shared) {
-  const bool streamed = config.streamed;
+  const bool streamed = config.stream.enabled;
   fitted_run fitted = streamed ? fit_streamed(estimators, config, run)
                                : fit_materialized(estimators, run);
   // Materialized mode scores from run.data; streamed mode prefers the
@@ -256,7 +256,7 @@ estimator_cells::estimator_cells(std::vector<estimator_spec> estimators,
 std::size_t estimator_cells::shards(const run_config& config) const {
   // Streamed runs fit every estimator from one replay pass — splitting
   // them would trade the shared pass for per-estimator replays.
-  if (config.streamed || estimators_.empty()) return 1;
+  if (config.stream.enabled || estimators_.empty()) return 1;
   return estimators_.size();
 }
 
@@ -265,14 +265,14 @@ std::shared_ptr<void> estimator_cells::make_run_state(
   (void)run;
   // Only materialized multi-cell runs can share; streamed runs are one
   // cell and compute locally.
-  if (config.streamed || !options_.link_error_metrics) return nullptr;
+  if (config.stream.enabled || !options_.link_error_metrics) return nullptr;
   return std::make_shared<shared_truth>();
 }
 
 std::vector<measurement> estimator_cells::eval_cell(
     const run_config& config, const run_artifacts& run, void* run_state,
     std::size_t shard) const {
-  if (config.streamed || estimators_.empty()) return eval_all(config, run);
+  if (config.stream.enabled || estimators_.empty()) return eval_all(config, run);
   return eval_estimators({estimators_[shard]}, {labels_[shard]}, options_,
                          config, run, static_cast<shared_truth*>(run_state));
 }

@@ -130,7 +130,7 @@ batch_report run_grid(const std::vector<run_spec>& specs,
               !scenario_is_source(slot.config.scenario)) {
             topo = cache.get(slot.config.topo, slot.config.topo_seed);
           }
-          slot.artifacts = slot.config.streamed
+          slot.artifacts = slot.config.stream.enabled
                                ? prepare_topology(slot.config, std::move(topo))
                                : prepare_run(slot.config, std::move(topo));
           slot.state = eval.make_run_state(slot.config, slot.artifacts);

@@ -58,18 +58,18 @@ run_artifacts prepare_run(run_config config,
 void stream_experiment(const run_artifacts& run, const run_config& config,
                        measurement_sink& sink) {
   if (run.source != nullptr) {
-    run.source->stream(sink, config.chunk_intervals);
+    run.source->stream(sink, config.stream.chunk_intervals);
     return;
   }
   run_experiment_streaming(run.topo(), run.model, config.sim, sink,
-                           config.chunk_intervals);
+                           config.stream.chunk_intervals);
 }
 
 std::unique_ptr<trace_writer> make_capture_writer(const run_config& config,
                                                   const run_artifacts& run) {
-  if (config.capture_path.empty()) return nullptr;
+  if (config.capture.path.empty()) return nullptr;
   trace_writer_options options;
-  options.store_truth = config.capture_truth && run.has_truth();
+  options.store_truth = config.capture.truth && run.has_truth();
   options.provenance =
       "topo=" + config.topo.to_string() +
       " topo_seed=" + std::to_string(config.topo_seed) +
@@ -79,7 +79,7 @@ std::unique_ptr<trace_writer> make_capture_writer(const run_config& config,
       " intervals=" + std::to_string(config.sim.intervals) +
       " packets=" + std::to_string(config.sim.packets_per_path) +
       (config.sim.oracle_monitor ? " oracle" : "");
-  return std::make_unique<trace_writer>(config.capture_path, options);
+  return std::make_unique<trace_writer>(config.capture.path, options);
 }
 
 inference_metrics score_inference(const run_artifacts& run,

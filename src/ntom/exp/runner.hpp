@@ -31,6 +31,33 @@
 
 namespace ntom {
 
+/// Streamed-execution knobs, grouped: one struct configures the whole
+/// mode instead of two loose fields. Mirrored by the facade's
+/// experiment::with_streaming builder.
+struct stream_options {
+  /// Streamed execution: the batch engine skips materialization and the
+  /// evaluators replay the interval stream chunk by chunk instead.
+  bool enabled = false;
+
+  /// Chunk granularity of the streamed mode (never changes results).
+  std::size_t chunk_intervals = default_chunk_intervals;
+};
+
+/// Trace-capture knobs, grouped. Mirrored by the facade's
+/// experiment::with_capture builder (where `path` names the capture
+/// DIRECTORY and each run derives its own file under it).
+struct capture_options {
+  /// When non-empty, the run's measurement stream is also recorded to
+  /// this .trc file (trace/trace_writer) — during materialization for
+  /// the default mode, riding the estimator fit pass for the streamed
+  /// mode. Capture is passive: results are bit-identical with it on.
+  std::string path;
+
+  /// Include the ground-truth plane in the capture (disable to publish
+  /// observation-only datasets).
+  bool truth = true;
+};
+
 struct run_config {
   topology_spec topo = "brite";
   /// Topology RNG seed; owned by the engine (derive_run_seeds), kept
@@ -41,22 +68,10 @@ struct run_config {
   scenario_params scenario_opts;
   sim_params sim;
 
-  /// Streamed execution: the batch engine skips materialization and the
-  /// evaluators replay the interval stream chunk by chunk instead.
-  bool streamed = false;
-
-  /// Chunk granularity of the streamed mode (never changes results).
-  std::size_t chunk_intervals = default_chunk_intervals;
-
-  /// When non-empty, the run's measurement stream is also recorded to
-  /// this .trc file (trace/trace_writer) — during materialization for
-  /// the default mode, riding the estimator fit pass for the streamed
-  /// mode. Capture is passive: results are bit-identical with it on.
-  std::string capture_path;
-
-  /// Include the ground-truth plane in the capture (disable to publish
-  /// observation-only datasets).
-  bool capture_truth = true;
+  /// Execution-mode knob groups (formerly the flat streamed /
+  /// chunk_intervals / capture_path / capture_truth fields).
+  stream_options stream;
+  capture_options capture;
 
   /// Overlays the scenario spec's options onto scenario_opts and
   /// pre-draws enough phases for sim.intervals. Idempotent, and called

@@ -1,0 +1,94 @@
+#include "ntom/service/snapshot.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ntom {
+
+namespace {
+
+/// FNV-1a over an arbitrary byte span.
+std::uint64_t fnv1a(std::uint64_t h, const void* data,
+                    std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t fnv1a_value(std::uint64_t h, const T& value) noexcept {
+  return fnv1a(h, &value, sizeof(value));
+}
+
+}  // namespace
+
+service_snapshot::service_snapshot(
+    std::uint64_t epoch, std::uint64_t version,
+    std::shared_ptr<const topology> topo, std::vector<snapshot_link> links,
+    std::size_t window_chunks, std::size_t window_capacity,
+    std::size_t window_intervals, std::size_t first_interval,
+    std::size_t end_interval)
+    : epoch_(epoch),
+      version_(version),
+      topo_(std::move(topo)),
+      links_(std::move(links)),
+      window_chunks_(window_chunks),
+      window_capacity_(window_capacity),
+      window_intervals_(window_intervals),
+      first_interval_(first_interval),
+      end_interval_(end_interval),
+      checksum_(compute_checksum()) {}
+
+bitvec service_snapshot::congested_links(double threshold) const {
+  bitvec out(links_.size());
+  for (std::size_t e = 0; e < links_.size(); ++e) {
+    if (links_[e].estimated && links_[e].congestion >= threshold) out.set(e);
+  }
+  return out;
+}
+
+double service_snapshot::confidence() const noexcept {
+  if (links_.empty() || window_chunks_ == 0) return 0.0;
+  std::size_t estimated = 0;
+  for (const snapshot_link& l : links_) {
+    if (l.estimated) ++estimated;
+  }
+  const double fill =
+      window_capacity_ == 0
+          ? 1.0
+          : std::min(1.0, static_cast<double>(window_chunks_) /
+                              static_cast<double>(window_capacity_));
+  return fill * static_cast<double>(estimated) /
+         static_cast<double>(links_.size());
+}
+
+std::uint64_t service_snapshot::compute_checksum() const noexcept {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV offset basis.
+  h = fnv1a_value(h, epoch_);
+  h = fnv1a_value(h, version_);
+  h = fnv1a_value(h, window_chunks_);
+  h = fnv1a_value(h, window_capacity_);
+  h = fnv1a_value(h, window_intervals_);
+  h = fnv1a_value(h, first_interval_);
+  h = fnv1a_value(h, end_interval_);
+  for (const snapshot_link& l : links_) {
+    // Hash the exact bit pattern of the double: the checksum certifies
+    // bit-identity, not approximate equality.
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(l.congestion));
+    std::memcpy(&bits, &l.congestion, sizeof(bits));
+    h = fnv1a_value(h, bits);
+    h = fnv1a_value(h, l.estimated);
+    h = fnv1a_value(h, l.carried);
+  }
+  return h;
+}
+
+bool service_snapshot::verify() const noexcept {
+  return compute_checksum() == checksum_;
+}
+
+}  // namespace ntom

@@ -1,0 +1,119 @@
+// The read side of the online tomography service: an immutable,
+// refcounted snapshot of the service's latest published estimate.
+//
+// tomography_service publishes a fresh service_snapshot after every
+// refit (RCU-style: readers grab a shared_ptr through one atomic load
+// and then query a frozen object; the ingest thread never blocks on
+// them, and a snapshot stays alive for as long as any reader holds it).
+// Every field is set at construction and never mutated, so concurrent
+// queries need no synchronization at all. The construction-time
+// checksum lets tests prove the absence of torn reads: a snapshot that
+// was published whole always verifies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ntom/graph/topology.hpp"
+#include "ntom/util/bitvec.hpp"
+
+namespace ntom {
+
+/// One link's entry in a snapshot.
+struct snapshot_link {
+  double congestion = 0.0;  ///< estimated P(link congested).
+  bool estimated = false;   ///< the value was determined (fit or carry).
+  bool carried = false;     ///< value survives from a previous epoch's
+                            ///  posterior via the stable link map, not
+                            ///  from a fit over this epoch's window.
+};
+
+/// Immutable published state of a tomography_service. Constructed whole
+/// by the ingest thread, then shared read-only with any number of
+/// concurrent readers.
+class service_snapshot {
+ public:
+  /// Builds the snapshot and seals it with a checksum. `links` is
+  /// indexed by link id of `topo`.
+  service_snapshot(std::uint64_t epoch, std::uint64_t version,
+                   std::shared_ptr<const topology> topo,
+                   std::vector<snapshot_link> links, std::size_t window_chunks,
+                   std::size_t window_capacity, std::size_t window_intervals,
+                   std::size_t first_interval, std::size_t end_interval);
+
+  /// Epoch counter: bumped by every begin_epoch (topology swap).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Publish counter: strictly increases across the service's lifetime,
+  /// including across epochs — readers can order snapshots by it.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// The epoch's topology (kept alive by the snapshot).
+  [[nodiscard]] const topology& topo() const noexcept { return *topo_; }
+  [[nodiscard]] const std::shared_ptr<const topology>& topo_ptr()
+      const noexcept {
+    return topo_;
+  }
+
+  /// Chunks currently held in the sliding window / the configured
+  /// window capacity in chunks.
+  [[nodiscard]] std::size_t window_chunks() const noexcept {
+    return window_chunks_;
+  }
+  [[nodiscard]] std::size_t window_capacity() const noexcept {
+    return window_capacity_;
+  }
+
+  /// Probing intervals covered by the window: [first_interval,
+  /// end_interval) within the epoch's stream, end - first ==
+  /// window_intervals.
+  [[nodiscard]] std::size_t window_intervals() const noexcept {
+    return window_intervals_;
+  }
+  [[nodiscard]] std::size_t first_interval() const noexcept {
+    return first_interval_;
+  }
+  [[nodiscard]] std::size_t end_interval() const noexcept {
+    return end_interval_;
+  }
+
+  /// Per-link query. `e` must be a valid link id of topo().
+  [[nodiscard]] const snapshot_link& link_estimate(link_id e) const {
+    return links_[e];
+  }
+  [[nodiscard]] const std::vector<snapshot_link>& links() const noexcept {
+    return links_;
+  }
+
+  /// Links whose estimated congestion probability is >= threshold
+  /// (undetermined links never qualify).
+  [[nodiscard]] bitvec congested_links(double threshold) const;
+
+  /// Fraction of links with a determined estimate, scaled by window
+  /// fill (window_chunks / window_capacity, saturating at 1): a young
+  /// window or a mostly-unidentifiable fit both lower confidence.
+  /// 0 when the topology has no links or the window is empty.
+  [[nodiscard]] double confidence() const noexcept;
+
+  /// Recomputes the construction-time checksum and compares. A snapshot
+  /// built whole and published through the atomic always verifies —
+  /// concurrency tests use this to detect torn windows.
+  [[nodiscard]] bool verify() const noexcept;
+
+ private:
+  [[nodiscard]] std::uint64_t compute_checksum() const noexcept;
+
+  std::uint64_t epoch_;
+  std::uint64_t version_;
+  std::shared_ptr<const topology> topo_;
+  std::vector<snapshot_link> links_;
+  std::size_t window_chunks_;
+  std::size_t window_capacity_;
+  std::size_t window_intervals_;
+  std::size_t first_interval_;
+  std::size_t end_interval_;
+  std::uint64_t checksum_;
+};
+
+}  // namespace ntom

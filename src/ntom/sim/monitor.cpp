@@ -1,5 +1,6 @@
 #include "ntom/sim/monitor.hpp"
 
+#include <cassert>
 #include <cmath>
 
 namespace ntom {
@@ -56,18 +57,54 @@ std::optional<double> path_observations::log_empirical_all_good(
 }
 
 void pathset_counter::begin(const topology& t, std::size_t intervals) {
-  intervals_ = intervals;
+  intervals_ = windowed_ ? 0 : intervals;
   counts_.assign(sets_.size(), 0);
   always_good_ = bitvec(t.num_paths());
-  always_good_.flip();  // start all-good; chunks clear the violators.
+  if (windowed_) {
+    // A retired interval must be able to un-violate a path, so the
+    // windowed mode trades the one-bit always-good state for per-path
+    // good-interval counters (window_always_good derives the set).
+    good_counts_.assign(t.num_paths(), 0);
+  } else {
+    always_good_.flip();  // start all-good; chunks clear the violators.
+  }
 }
 
 void pathset_counter::consume(const measurement_chunk& chunk) {
   const bit_matrix& good = chunk.path_good_major();
-  always_good_ &= good.full_rows();
+  if (windowed_) {
+    intervals_ += chunk.count;
+    for (std::size_t p = 0; p < good.rows(); ++p) {
+      good_counts_[p] += good.count_row(p);
+    }
+  } else {
+    always_good_ &= good.full_rows();
+  }
   for (std::size_t i = 0; i < sets_.size(); ++i) {
     counts_[i] += good.and_count(sets_[i]);
   }
+}
+
+void pathset_counter::retire(const measurement_chunk& chunk) {
+  assert(windowed_ && "retire() requires a windowed pathset_counter");
+  assert(chunk.count <= intervals_ && "retiring more than was consumed");
+  const bit_matrix& good = chunk.path_good_major();
+  intervals_ -= chunk.count;
+  for (std::size_t p = 0; p < good.rows(); ++p) {
+    good_counts_[p] -= good.count_row(p);
+  }
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    counts_[i] -= good.and_count(sets_[i]);
+  }
+}
+
+bitvec pathset_counter::window_always_good() const {
+  if (!windowed_) return always_good_;
+  bitvec out(good_counts_.size());
+  for (std::size_t p = 0; p < good_counts_.size(); ++p) {
+    if (good_counts_[p] == intervals_) out.set(p);
+  }
+  return out;
 }
 
 }  // namespace ntom

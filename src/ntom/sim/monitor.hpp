@@ -78,19 +78,38 @@ class path_observations final : public measurement_sink {
 /// flooded-correlation equation sets are topology-determined, so their
 /// fits stream); adaptive selections (Algorithm 1) need the full matrix
 /// and stay on the materialized path.
+///
+/// Two lifetimes:
+///   * one-shot (default) — begin() fixes the experiment length, chunks
+///     arrive in order, totals are exact when the stream ends.
+///   * windowed — consume() extends and retire() shrinks a sliding
+///     window of evidence: counters subtract a retired chunk's exact
+///     contribution, so the state equals a fresh pass over whatever
+///     chunks are currently in the window (integer arithmetic — the
+///     equality is bit-exact, which is what makes windowed service fits
+///     bit-identical to one-shot fits over the same interval range).
+///     Windowed mode pays O(paths) per chunk for per-path good counters
+///     (an always-good bit cannot be un-set, a counter can).
 class pathset_counter final : public measurement_sink {
  public:
   /// `path_sets` are bit-sets over paths; counts() aligns with them.
   /// An empty family still tracks always_good_paths / intervals — the
   /// streaming drivers use that as a cheap observation tracker.
-  explicit pathset_counter(std::vector<bitvec> path_sets = {})
-      : sets_(std::move(path_sets)) {}
+  explicit pathset_counter(std::vector<bitvec> path_sets = {},
+                           bool windowed = false)
+      : sets_(std::move(path_sets)), windowed_(windowed) {}
 
   void begin(const topology& t, std::size_t intervals) override;
   void consume(const measurement_chunk& chunk) override;
 
+  /// Windowed mode only: subtracts `chunk`'s contribution from every
+  /// counter. The chunk must have been consumed earlier and not yet
+  /// retired; chunks retire in consumption order (a sliding window).
+  void retire(const measurement_chunk& chunk);
+
   /// Intervals where all paths of sets()[i] were good, aligned with the
-  /// constructor family. Totals are exact once the stream ends.
+  /// constructor family. Totals are exact once the stream ends (one-shot)
+  /// or over the current window (windowed).
   [[nodiscard]] const std::vector<std::size_t>& counts() const noexcept {
     return counts_;
   }
@@ -100,6 +119,13 @@ class pathset_counter final : public measurement_sink {
   [[nodiscard]] const bitvec& always_good_paths() const noexcept {
     return always_good_;
   }
+
+  /// Paths good in every interval of the current window, computed from
+  /// the per-path counters (windowed mode; in one-shot mode it equals
+  /// always_good_paths() once the stream ended).
+  [[nodiscard]] bitvec window_always_good() const;
+
+  [[nodiscard]] bool windowed() const noexcept { return windowed_; }
   [[nodiscard]] std::size_t intervals() const noexcept { return intervals_; }
 
  private:
@@ -107,6 +133,8 @@ class pathset_counter final : public measurement_sink {
   std::vector<std::size_t> counts_;
   bitvec always_good_;
   std::size_t intervals_ = 0;
+  bool windowed_ = false;
+  std::vector<std::size_t> good_counts_;  ///< per path; windowed mode only.
 };
 
 }  // namespace ntom

@@ -75,18 +75,37 @@ double ground_truth::link_congestion_probability(link_id e) const {
 }
 
 void empirical_truth::begin(const topology& t, std::size_t intervals) {
-  intervals_ = intervals;
+  intervals_ = windowed_ ? 0 : intervals;
   counts_.assign(t.num_links(), 0);
   ever_congested_ = bitvec(t.num_links());
 }
 
 void empirical_truth::consume(const measurement_chunk& chunk) {
   ever_congested_ |= chunk.true_links.or_of_rows();
+  if (windowed_) intervals_ += chunk.count;
   // Column-wise popcounts via the transposed chunk: one pass, O(chunk).
   const bit_matrix by_link = chunk.true_links.transposed();
   for (std::size_t e = 0; e < by_link.rows(); ++e) {
     counts_[e] += by_link.count_row(e);
   }
+}
+
+void empirical_truth::retire(const measurement_chunk& chunk) {
+  assert(windowed_ && "retire() requires a windowed empirical_truth");
+  assert(chunk.count <= intervals_ && "retiring more than was consumed");
+  intervals_ -= chunk.count;
+  const bit_matrix by_link = chunk.true_links.transposed();
+  for (std::size_t e = 0; e < by_link.rows(); ++e) {
+    counts_[e] -= by_link.count_row(e);
+  }
+}
+
+bitvec empirical_truth::window_congested_links() const {
+  bitvec out(counts_.size());
+  for (std::size_t e = 0; e < counts_.size(); ++e) {
+    if (counts_[e] > 0) out.set(e);
+  }
+  return out;
 }
 
 double empirical_truth::congestion_frequency(link_id e) const {

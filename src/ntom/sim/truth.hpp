@@ -59,10 +59,20 @@ class ground_truth {
 /// ever-congested set, with O(links) state — the streaming counterpart
 /// of experiment_data's ground-truth views (finite-sample frequencies,
 /// unlike the analytic ground_truth above).
+/// In windowed mode (constructor flag), retire() subtracts a chunk's
+/// contribution so the counters always equal a fresh pass over the
+/// chunks currently in the window — the truth-side mirror of
+/// pathset_counter's sliding-window form.
 class empirical_truth final : public measurement_sink {
  public:
+  explicit empirical_truth(bool windowed = false) : windowed_(windowed) {}
+
   void begin(const topology& t, std::size_t intervals) override;
   void consume(const measurement_chunk& chunk) override;
+
+  /// Windowed mode only: subtracts `chunk`'s contribution (chunks
+  /// retire in consumption order — a sliding window).
+  void retire(const measurement_chunk& chunk);
 
   [[nodiscard]] std::size_t intervals() const noexcept { return intervals_; }
 
@@ -74,15 +84,22 @@ class empirical_truth final : public measurement_sink {
   /// Finite-sample P(link e congested) = count / T.
   [[nodiscard]] double congestion_frequency(link_id e) const;
 
-  /// Links truly congested in at least one interval.
+  /// Links truly congested in at least one interval. One-shot mode only
+  /// (a retired interval cannot clear a sticky bit); windowed consumers
+  /// use window_congested_links().
   [[nodiscard]] const bitvec& ever_congested_links() const noexcept {
     return ever_congested_;
   }
+
+  /// Links truly congested in at least one interval of the current
+  /// window, derived from the counters (valid in either mode).
+  [[nodiscard]] bitvec window_congested_links() const;
 
  private:
   std::vector<std::size_t> counts_;
   bitvec ever_congested_;
   std::size_t intervals_ = 0;
+  bool windowed_ = false;
 };
 
 }  // namespace ntom

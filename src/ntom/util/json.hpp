@@ -1,0 +1,42 @@
+// Minimal JSON string emission helpers shared by every hand-rolled JSON
+// writer in the tree (bench summaries, registry catalogs). Emission
+// only — nothing here parses JSON.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace ntom {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// `s` as a quoted JSON string literal.
+inline std::string json_quote(const std::string& s) {
+  return '"' + json_escape(s) + '"';
+}
+
+}  // namespace ntom

@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ntom/util/json.hpp"
 #include "ntom/util/spec.hpp"
 
 namespace ntom {
@@ -129,6 +130,26 @@ class registry {
     return describe_entry(at(name));
   }
 
+  /// Machine-readable catalog: a JSON array of entry objects
+  /// `{"name", "display", "doc", "aliases": [...], "options":
+  /// [{"key", "doc"}, ...]}` in registration order — the --list-json
+  /// payload tooling consumes instead of scraping describe().
+  [[nodiscard]] std::string describe_json() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out += (i > 0 ? ",\n " : "\n ");
+      out += describe_entry_json(entries_[i]);
+    }
+    out += "\n]";
+    return out;
+  }
+
+  /// The JSON object of one entry (by canonical name or alias); throws
+  /// spec_error when unknown.
+  [[nodiscard]] std::string describe_json(std::string_view name) const {
+    return describe_entry_json(at(name));
+  }
+
  private:
   [[nodiscard]] static std::string describe_entry(const entry& e) {
     std::string out = e.name;
@@ -144,6 +165,24 @@ class registry {
     for (const option_doc& doc : e.options) {
       out += "    " + doc.key + ": " + doc.doc + "\n";
     }
+    return out;
+  }
+
+  [[nodiscard]] static std::string describe_entry_json(const entry& e) {
+    std::string out = "{\"name\": " + json_quote(e.name) +
+                      ", \"display\": " + json_quote(e.display) +
+                      ", \"doc\": " + json_quote(e.doc) + ", \"aliases\": [";
+    for (std::size_t i = 0; i < e.aliases.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += json_quote(e.aliases[i]);
+    }
+    out += "], \"options\": [";
+    for (std::size_t i = 0; i < e.options.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"key\": " + json_quote(e.options[i].key) +
+             ", \"doc\": " + json_quote(e.options[i].doc) + "}";
+    }
+    out += "]}";
     return out;
   }
 

@@ -29,13 +29,33 @@ const spec_option* find_option(const std::vector<spec_option>& options,
 namespace {
 
 /// One comma-separated segment after quote processing: the unquoted
-/// text plus a parallel mask marking which characters were protected by
-/// single quotes (those never act as separators and never trim).
+/// text plus parallel masks marking which characters were protected by
+/// single quotes (those never act as separators and never trim) and
+/// the source byte offset each kept character came from (so parse
+/// errors can point back into the original text).
 struct segment_text {
   std::string text;
   std::vector<char> quoted;
+  std::vector<std::size_t> offsets;
+  std::size_t begin = 0;  ///< source offset where the segment starts.
   bool had_quote = false;
 };
+
+/// Source offset of the segment's first kept character (the segment
+/// start for empty segments) — where errors about the segment point.
+std::size_t segment_offset(const segment_text& s) {
+  return s.offsets.empty() ? s.begin : s.offsets.front();
+}
+
+/// Formats a positioned parse error: the byte offset and offending
+/// token ride both the message and the spec_error accessors.
+spec_error parse_error(std::string_view text, std::size_t offset,
+                       std::string token, const std::string& message) {
+  std::string what = "spec '" + std::string(text) + "': byte " +
+                     std::to_string(offset) + ": " + message;
+  if (!token.empty()) what += " (near '" + token + "')";
+  return {what, offset, std::move(token)};
+}
 
 void trim_segment(segment_text& s) {
   std::size_t b = 0;
@@ -51,6 +71,8 @@ void trim_segment(segment_text& s) {
   s.text = s.text.substr(b, e - b);
   s.quoted.assign(s.quoted.begin() + static_cast<std::ptrdiff_t>(b),
                   s.quoted.begin() + static_cast<std::ptrdiff_t>(e));
+  s.offsets.assign(s.offsets.begin() + static_cast<std::ptrdiff_t>(b),
+                   s.offsets.begin() + static_cast<std::ptrdiff_t>(e));
 }
 
 std::size_t find_unquoted(const segment_text& s, char c) {
@@ -66,16 +88,21 @@ segment_text sub_segment(const segment_text& s, std::size_t begin,
   out.text = s.text.substr(begin, end - begin);
   out.quoted.assign(s.quoted.begin() + static_cast<std::ptrdiff_t>(begin),
                     s.quoted.begin() + static_cast<std::ptrdiff_t>(end));
+  out.offsets.assign(s.offsets.begin() + static_cast<std::ptrdiff_t>(begin),
+                     s.offsets.begin() + static_cast<std::ptrdiff_t>(end));
+  out.begin = begin < s.offsets.size() ? s.offsets[begin] : s.begin;
   out.had_quote = s.had_quote;
   trim_segment(out);
   return out;
 }
 
 /// Splits on commas outside single quotes; `''` inside quotes is a
-/// literal quote. Throws on an unterminated quote.
+/// literal quote. Throws on an unterminated quote, pointing at the
+/// quote that was never closed.
 std::vector<segment_text> split_segments(std::string_view text) {
   std::vector<segment_text> segments(1);
   bool in_quote = false;
+  std::size_t quote_start = 0;
   for (std::size_t i = 0; i < text.size(); ++i) {
     const char c = text[i];
     if (in_quote) {
@@ -83,6 +110,7 @@ std::vector<segment_text> split_segments(std::string_view text) {
         if (i + 1 < text.size() && text[i + 1] == '\'') {
           segments.back().text += '\'';
           segments.back().quoted.push_back(1);
+          segments.back().offsets.push_back(i);
           ++i;
         } else {
           in_quote = false;
@@ -90,19 +118,23 @@ std::vector<segment_text> split_segments(std::string_view text) {
       } else {
         segments.back().text += c;
         segments.back().quoted.push_back(1);
+        segments.back().offsets.push_back(i);
       }
     } else if (c == '\'') {
       in_quote = true;
+      quote_start = i;
       segments.back().had_quote = true;
     } else if (c == ',') {
       segments.emplace_back();
+      segments.back().begin = i + 1;
     } else {
       segments.back().text += c;
       segments.back().quoted.push_back(0);
+      segments.back().offsets.push_back(i);
     }
   }
   if (in_quote) {
-    throw spec_error("spec '" + std::string(text) + "': unterminated quote");
+    throw parse_error(text, quote_start, "'", "unterminated quote");
   }
   for (segment_text& s : segments) trim_segment(s);
   return segments;
@@ -117,22 +149,24 @@ spec spec::parse(std::string_view text) {
     const segment_text& raw = segments[i];
     if (i == 0) {
       if (raw.text.empty()) {
-        throw spec_error("spec '" + std::string(text) +
-                         "': missing component name");
+        throw parse_error(text, segment_offset(raw), "",
+                          "missing component name");
       }
-      if (find_unquoted(raw, '=') != std::string::npos) {
-        throw spec_error("spec: first segment '" + raw.text +
-                         "' must be a component name, not an option");
+      const std::size_t eq = find_unquoted(raw, '=');
+      if (eq != std::string::npos) {
+        throw parse_error(
+            text, raw.offsets[eq], raw.text,
+            "first segment must be a component name, not an option");
       }
       out.name_ = raw.text;
     } else {
       if (raw.text.empty()) {
         if (!raw.had_quote) {
-          throw spec_error("spec '" + out.name_ +
-                           "': empty option segment (stray comma)");
+          throw parse_error(text, segment_offset(raw), ",",
+                            "empty option segment (stray comma)");
         }
-        throw spec_error("spec '" + out.name_ +
-                         "': option '' has an empty key");
+        throw parse_error(text, segment_offset(raw), "''",
+                          "option has an empty key");
       }
       const std::size_t eq = find_unquoted(raw, '=');
       std::string key = sub_segment(raw, 0, eq == std::string::npos
@@ -143,12 +177,12 @@ spec spec::parse(std::string_view text) {
                               ? "true"
                               : sub_segment(raw, eq + 1, raw.text.size()).text;
       if (key.empty()) {
-        throw spec_error("spec '" + out.name_ + "': option '" + raw.text +
-                         "' has an empty key");
+        throw parse_error(text, segment_offset(raw), raw.text,
+                          "option has an empty key");
       }
       if (find_option(out.options_, key) != nullptr) {
-        throw spec_error("spec '" + out.name_ + "': duplicate option '" + key +
-                         "'");
+        throw parse_error(text, segment_offset(raw), key,
+                          "duplicate option '" + key + "'");
       }
       out.options_.push_back({std::move(key), std::move(value)});
     }

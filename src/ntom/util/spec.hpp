@@ -32,9 +32,34 @@
 namespace ntom {
 
 /// Thrown on malformed spec strings, unknown names, and bad options.
+///
+/// Parse errors additionally carry the byte offset of the offending
+/// position in the text handed to spec::parse and the offending token
+/// (both already embedded in what(), so plain catch sites lose
+/// nothing). For a nested spec parsed out of a quoted value — e.g. the
+/// imperfection spec in `trace,imperfect='drop,p='` — the offset is
+/// relative to the nested text, since that is the string the failing
+/// parse saw; callers that know the enclosing context can rebase it.
 class spec_error : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  /// Offset value meaning "no position information" (semantic errors:
+  /// unknown names, bad option values, registry rejections).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  explicit spec_error(const std::string& what) : std::runtime_error(what) {}
+  spec_error(const std::string& what, std::size_t offset, std::string token)
+      : std::runtime_error(what), offset_(offset), token_(std::move(token)) {}
+
+  /// Byte offset of the error in the parsed text; npos when unknown.
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+  /// The offending token (segment, key, or character), empty when
+  /// unknown.
+  [[nodiscard]] const std::string& token() const noexcept { return token_; }
+
+ private:
+  std::size_t offset_ = npos;
+  std::string token_;
 };
 
 /// One `key=value` option; bare flags carry value "true".

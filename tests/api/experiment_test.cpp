@@ -155,5 +155,75 @@ TEST(ExperimentTest, DefaultsCoverTheFigThreeAlgorithms) {
   EXPECT_EQ(report.runs()[0].label, "Brite/Random Congestion");
 }
 
+TEST(ExperimentTest, GroupedBuildersMirrorRunConfigGroups) {
+  experiment exp = tiny_experiment();
+  exp.with_streaming({.enabled = true, .chunk_intervals = 96})
+      .with_capture({.path = "runs/cap", .truth = false});
+  for (const run_spec& spec : exp.specs()) {
+    EXPECT_TRUE(spec.config.stream.enabled);
+    EXPECT_EQ(spec.config.stream.chunk_intervals, 96u);
+    // The capture directory expands to one .trc per run.
+    EXPECT_EQ(spec.config.capture.path.rfind("runs/cap/", 0), 0u)
+        << spec.config.capture.path;
+    EXPECT_NE(spec.config.capture.path.find(".trc"), std::string::npos);
+    EXPECT_FALSE(spec.config.capture.truth);
+  }
+}
+
+TEST(ExperimentTest, DeprecatedSettersMatchGroupedBuilders) {
+  // The pre-grouping setters survive as shims; they must configure the
+  // exact same run_config the grouped builders produce.
+  experiment grouped = tiny_experiment();
+  grouped.with_streaming({.enabled = true, .chunk_intervals = 128})
+      .with_capture({.path = "runs/shim", .truth = false});
+
+  experiment legacy = tiny_experiment();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  legacy.streamed(true)
+      .chunk_intervals(128)
+      .capture_to("runs/shim")
+      .capture_truth(false);
+#pragma GCC diagnostic pop
+
+  const std::vector<run_spec> a = grouped.specs();
+  const std::vector<run_spec> b = legacy.specs();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].config.stream.enabled, b[i].config.stream.enabled);
+    EXPECT_EQ(a[i].config.stream.chunk_intervals,
+              b[i].config.stream.chunk_intervals);
+    EXPECT_EQ(a[i].config.capture.path, b[i].config.capture.path);
+    EXPECT_EQ(a[i].config.capture.truth, b[i].config.capture.truth);
+  }
+}
+
+TEST(ExperimentTest, DescribeRegistriesJsonSelectors) {
+  // The whole catalogue is one object with a key per registry.
+  const std::string all = describe_registries_json();
+  for (const char* key :
+       {"\"topologies\":", "\"scenarios\":", "\"estimators\":",
+        "\"imperfections\":"}) {
+    EXPECT_NE(all.find(key), std::string::npos) << key;
+  }
+  // Selectors narrow to an object holding just that registry's array.
+  const std::string estimators = describe_registries_json("estimators");
+  EXPECT_EQ(estimators.rfind("{\"estimators\": [", 0), 0u) << estimators;
+  EXPECT_NE(estimators.find("\"name\": \"independence\""), std::string::npos);
+  EXPECT_EQ(estimators.find("\"scenarios\""), std::string::npos);
+  // A registered name yields that entry's bare object, whatever registry
+  // it lives in.
+  const std::string one = describe_registries_json("hotspot_drift");
+  EXPECT_EQ(one.front(), '{');
+  EXPECT_NE(one.find("\"name\": \"hotspot_drift\""), std::string::npos);
+  // Unknown selectors mention the flag that got the user here.
+  try {
+    (void)describe_registries_json("no_such_thing");
+    ADD_FAILURE() << "expected spec_error";
+  } catch (const spec_error& err) {
+    EXPECT_NE(std::string(err.what()).find("--list-json"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace ntom

@@ -60,8 +60,8 @@ TEST(StreamedFitTest, StreamedFitsMatchMaterializedAtEveryChunk) {
 
     for (const std::size_t chunk : chunk_sizes) {
       run_config streamed_config = config;
-      streamed_config.streamed = true;
-      streamed_config.chunk_intervals = chunk;
+      streamed_config.stream.enabled = true;
+      streamed_config.stream.chunk_intervals = chunk;
 
       const std::unique_ptr<estimator> streamed = make_estimator(name);
       estimator_fit_sink sink(*streamed);
@@ -91,8 +91,7 @@ TEST(StreamedBatchTest, FacadeReportsAreBitIdentical) {
         .with_estimators({"sparsity", "independence", "bayes-corr"})
         .replicas(2)
         .intervals(40)
-        .streamed(streamed)
-        .chunk_intervals(chunk);
+        .with_streaming({streamed, chunk});
     return e.run({.threads = 2, .base_seed = 77});
   };
 

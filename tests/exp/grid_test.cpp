@@ -22,7 +22,7 @@ experiment small_grid(bool streamed = false) {
       .with_estimators({"sparsity", "independence"})
       .replicas(2)
       .intervals(30)
-      .streamed(streamed);
+      .with_streaming({streamed});
   return e;
 }
 

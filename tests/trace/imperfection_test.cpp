@@ -27,7 +27,7 @@ run_config small_config(std::size_t intervals = 40) {
 experiment_data degraded(const run_config& config, const std::string& list,
                          std::size_t chunk = 16) {
   run_config streaming = config;
-  streaming.chunk_intervals = chunk;
+  streaming.stream.chunk_intervals = chunk;
   const run_artifacts run = prepare_topology(streaming);
   experiment_data data;
   materialize_sink store(data);

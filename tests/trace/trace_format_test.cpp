@@ -33,7 +33,7 @@ run_config small_config(std::size_t intervals = 60) {
 void capture(const run_config& config, const std::string& path,
              std::size_t chunk, bool store_truth = true) {
   run_config streaming = config;
-  streaming.chunk_intervals = chunk;
+  streaming.stream.chunk_intervals = chunk;
   const run_artifacts run = prepare_topology(streaming);
   trace_writer_options options;
   options.store_truth = store_truth;

@@ -70,7 +70,7 @@ const std::vector<estimator_spec> kEstimators = {"sparsity", "independence",
 TEST(TracePipelineTest, CapturedRunReplaysBitIdentically) {
   run_config config = base_config();
   const std::string path = temp_path("pipeline_materialized.trc");
-  config.capture_path = path;  // capture rides prepare_run's one pass.
+  config.capture.path = path;  // capture rides prepare_run's one pass.
 
   const batch_eval_fn eval = estimator_eval(
       kEstimators, {.boolean_metrics = true, .link_error_metrics = false});
@@ -80,7 +80,7 @@ TEST(TracePipelineTest, CapturedRunReplaysBitIdentically) {
   for (const std::size_t chunk : {1ul, 97ul, 1024ul}) {
     run_config replay;
     replay.scenario = trace_spec(path);
-    replay.chunk_intervals = chunk;
+    replay.stream.chunk_intervals = chunk;
     const run_artifacts replayed = prepare_run(replay);
     EXPECT_TRUE(replayed.replayed());
     EXPECT_TRUE(replayed.has_truth());
@@ -89,7 +89,7 @@ TEST(TracePipelineTest, CapturedRunReplaysBitIdentically) {
 
     // Streamed replay too: the reader is the chunk source.
     run_config streamed = replay;
-    streamed.streamed = true;
+    streamed.stream.enabled = true;
     const run_artifacts streamed_run = prepare_topology(streamed);
     EXPECT_TRUE(rows_identical(live_rows, eval(streamed, streamed_run)))
         << "streamed replay chunk " << chunk;
@@ -101,10 +101,10 @@ TEST(TracePipelineTest, StreamedFitPassCaptures) {
   // In streamed mode the capture rides the estimator fit pass
   // (fit_streamed's fanout) — prepare never materializes.
   run_config config = base_config();
-  config.streamed = true;
-  config.chunk_intervals = 7;
+  config.stream.enabled = true;
+  config.stream.chunk_intervals = 7;
   const std::string path = temp_path("pipeline_streamed.trc");
-  config.capture_path = path;
+  config.capture.path = path;
 
   const batch_eval_fn eval = estimator_eval(
       kEstimators, {.boolean_metrics = true, .link_error_metrics = false});
@@ -141,7 +141,7 @@ TEST(TracePipelineTest, CorpusRidesTheFacadeAndGrid) {
           .measure_link_error(false)
           .intervals(50)
           .replicas(2)
-          .capture_to(dir)
+          .with_capture({dir})
           .run(params);
 
   std::vector<std::string> files;
@@ -180,9 +180,9 @@ TEST(TracePipelineTest, CorpusRidesTheFacadeAndGrid) {
 
 TEST(TracePipelineTest, TruthStrippedReplayScoresObservationOnly) {
   run_config config = base_config();
-  config.capture_truth = false;
+  config.capture.truth = false;
   const std::string path = temp_path("truthless.trc");
-  config.capture_path = path;
+  config.capture.path = path;
   (void)prepare_run(config);
 
   const batch_eval_fn eval = estimator_eval(
@@ -203,8 +203,8 @@ TEST(TracePipelineTest, TruthStrippedReplayScoresObservationOnly) {
 
   // Streamed scoring pass produces the same observation rows.
   run_config streamed = replay;
-  streamed.streamed = true;
-  streamed.chunk_intervals = 13;
+  streamed.stream.enabled = true;
+  streamed.stream.chunk_intervals = 13;
   const run_artifacts streamed_run = prepare_topology(streamed);
   EXPECT_TRUE(rows_identical(rows, eval(streamed, streamed_run)));
   std::remove(path.c_str());
@@ -215,15 +215,15 @@ TEST(TracePipelineTest, RecapturingTruthlessReplayStaysTruthless) {
   // zeroed truth matrices into a "real" plane: the derived dataset
   // stays truth-less even though capture_truth defaults to true.
   run_config config = base_config();
-  config.capture_truth = false;
+  config.capture.truth = false;
   const std::string original = temp_path("derived_src.trc");
-  config.capture_path = original;
+  config.capture.path = original;
   (void)prepare_run(config);
 
   run_config replay;
   replay.scenario = trace_spec(original);
   const std::string derived = temp_path("derived_out.trc");
-  replay.capture_path = derived;
+  replay.capture.path = derived;
   const run_artifacts replayed = prepare_run(replay);
   EXPECT_FALSE(replayed.has_truth());
 
@@ -236,7 +236,7 @@ TEST(TracePipelineTest, RecapturingTruthlessReplayStaysTruthless) {
 TEST(TracePipelineTest, ImperfectReplayIsDeterministic) {
   run_config config = base_config();
   const std::string path = temp_path("imperfect.trc");
-  config.capture_path = path;
+  config.capture.path = path;
   (void)prepare_run(config);
 
   run_config replay;

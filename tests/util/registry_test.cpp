@@ -99,5 +99,46 @@ TEST(RegistryTest, DescribeListsNamesAliasesAndOptions) {
   EXPECT_NE(text.find("beta"), std::string::npos);
 }
 
+TEST(RegistryTest, DescribeJsonEmitsMachineReadableEntries) {
+  const string_registry reg = make_registry();
+  const std::string json = reg.describe_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("{\"name\": \"alpha\", \"display\": \"Alpha\", "
+                      "\"doc\": \"the first widget\", \"aliases\": [\"a\"]"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"key\": \"size\", \"doc\": \"widget size\"}"),
+            std::string::npos);
+  // Entries without aliases or options still carry the empty arrays.
+  EXPECT_NE(json.find("{\"name\": \"beta\", \"display\": \"Beta\", "
+                      "\"doc\": \"the second widget\", \"aliases\": [], "
+                      "\"options\": []}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(RegistryTest, DescribeJsonByNameResolvesAliases) {
+  const string_registry reg = make_registry();
+  EXPECT_EQ(reg.describe_json("a"), reg.describe_json("alpha"));
+  EXPECT_EQ(reg.describe_json("beta").front(), '{');
+  EXPECT_THROW((void)reg.describe_json("gamma"), spec_error);
+}
+
+TEST(RegistryTest, DescribeJsonEscapesSpecialCharacters) {
+  string_registry reg("widget");
+  reg.add({"quoted",
+           "Quo\"ted",
+           "line1\nline2\t\"x\\y\"",
+           {},
+           {},
+           [](const spec&) { return std::string(); }});
+  const std::string json = reg.describe_json("quoted");
+  EXPECT_NE(json.find("\"display\": \"Quo\\\"ted\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("line1\\nline2\\t\\\"x\\\\y\\\""), std::string::npos)
+      << json;
+}
+
 }  // namespace
 }  // namespace ntom

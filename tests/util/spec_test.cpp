@@ -154,6 +154,92 @@ TEST(SpecTest, QuotedValuesRoundTripThroughToString) {
   EXPECT_EQ(spec::parse(built.to_string()), built);
 }
 
+/// Parses `text`, expecting failure, and returns the caught error so
+/// position assertions can inspect offset()/token().
+spec_error catch_parse_error(std::string_view text) {
+  try {
+    (void)spec::parse(text);
+  } catch (const spec_error& err) {
+    return err;
+  }
+  ADD_FAILURE() << "expected spec_error parsing '" << text << "'";
+  return spec_error("no error");
+}
+
+TEST(SpecErrorPositionTest, UnterminatedQuoteReportsTheQuote) {
+  // The opening quote of file= sits at byte 11.
+  const spec_error err = catch_parse_error("trace,file='runs/a.trc");
+  EXPECT_EQ(err.offset(), 11u);
+  EXPECT_EQ(err.token(), "'");
+  EXPECT_NE(std::string(err.what()).find("byte 11"), std::string::npos);
+  EXPECT_NE(std::string(err.what()).find("unterminated quote"),
+            std::string::npos);
+}
+
+TEST(SpecErrorPositionTest, QuotedValuePositionsSkipQuotedSeparators) {
+  // The quoted value hides a comma and an equals sign; the duplicate
+  // key after it must still be located correctly in source bytes.
+  //                      0123456789012345678901234
+  const std::string text = "trace,file='a,b=c.trc',file=x";
+  const spec_error err = catch_parse_error(text);
+  EXPECT_EQ(err.token(), "file");
+  EXPECT_EQ(err.offset(), text.rfind("file"));
+  EXPECT_NE(std::string(err.what()).find("duplicate option"),
+            std::string::npos);
+}
+
+TEST(SpecErrorPositionTest, StrayCommaAndEmptyKeyPointAtTheSegment) {
+  const spec_error stray = catch_parse_error("x,,y");
+  EXPECT_EQ(stray.offset(), 2u);
+  EXPECT_EQ(stray.token(), ",");
+
+  const spec_error trailing = catch_parse_error("x,k=1,");
+  EXPECT_EQ(trailing.offset(), 6u);
+
+  const spec_error empty_key = catch_parse_error("x,  =v");
+  EXPECT_EQ(empty_key.offset(), 4u);  // first kept char: the '='.
+
+  const spec_error option_first = catch_parse_error("k=v,x");
+  EXPECT_EQ(option_first.offset(), 1u);  // the offending '='.
+  EXPECT_EQ(option_first.token(), "k=v");
+}
+
+TEST(SpecErrorPositionTest, NestedSpecErrorsAreRelativeToTheNestedText) {
+  // A quoted value carrying a whole nested spec is parsed by whoever
+  // consumes the option; a parse error there reports offsets within
+  // the nested text, which the caller can rebase into the outer spec.
+  const spec outer = spec::parse("trace,file=x.trc,imperfect='drop,,q=1'");
+  const std::string nested = outer.get_string("imperfect", "");
+  ASSERT_EQ(nested, "drop,,q=1");
+
+  const spec_error err = catch_parse_error(nested);
+  EXPECT_EQ(err.offset(), 5u);  // the stray comma inside the nested spec.
+  EXPECT_EQ(err.token(), ",");
+}
+
+TEST(SpecErrorPositionTest, NestedSpecDuplicatePosition) {
+  const spec outer =
+      spec::parse("trace,file=x.trc,imperfect='drop,p=1,p=2'");
+  const std::string nested = outer.get_string("imperfect", "");
+  ASSERT_EQ(nested, "drop,p=1,p=2");
+  const spec_error err = catch_parse_error(nested);
+  EXPECT_EQ(err.token(), "p");
+  EXPECT_EQ(err.offset(), nested.rfind("p="));
+  EXPECT_NE(std::string(err.what()).find("duplicate option"),
+            std::string::npos);
+}
+
+TEST(SpecErrorPositionTest, SemanticErrorsCarryNoPosition) {
+  const spec s = spec::parse("x,k=abc");
+  try {
+    (void)s.get_int("k", 0);
+    ADD_FAILURE() << "expected spec_error";
+  } catch (const spec_error& err) {
+    EXPECT_EQ(err.offset(), spec_error::npos);
+    EXPECT_TRUE(err.token().empty());
+  }
+}
+
 TEST(SpecTest, ImplicitConversionFromStrings) {
   const spec from_literal = "toy,case=2";
   EXPECT_EQ(from_literal.name(), "toy");
