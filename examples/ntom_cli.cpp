@@ -21,17 +21,19 @@
 //            Simulate a monitoring run and record its measurement
 //            stream as a .trc dataset, O(chunk) memory at any T.
 //   replay   --file=run.trc [--estimators=SPECS] [--streamed]
-//            [--chunk N] [--imperfect=...]
+//            [--chunk N] [--imperfect=...] [--policy=SPEC]
 //            Replay a captured dataset through the estimator pipeline:
 //            truth-aware Fig. 3 metrics when the trace carries the
 //            ground-truth plane, observation-only scoring otherwise.
+//            --policy masks the replayed stream with a probe-budget
+//            planner (forces streamed mode; streaming estimators only).
 //   import   --in=loss.txt --out=run.trc [--topo=FILE] [--threshold F]
 //            Convert an external per-path loss text trace
 //            (TopoConfluence-style ns-3 summaries) into a .trc dataset.
 //   serve    [--scenario=SPEC | --file=run.trc] [--topo=TOPOSPEC]
 //            [--intervals N] [--seed N] [--window W] [--chunk N]
 //            [--estimator=SPEC] [--refit-every N] [--epochs N]
-//            [--readers R] [--threshold F]
+//            [--readers R] [--threshold F] [--policy=SPEC]
 //            Run the online tomography service: ingest the measurement
 //            stream (live simulation or .trc replay) through a
 //            sliding-window estimator while R reader threads query the
@@ -88,12 +90,12 @@ int usage() {
                "          [--intervals N] [--seed N] [--packets N] [--oracle]\n"
                "          [--no-truth] [--imperfect=SPECS]\n"
                "  replay  --file=FILE [--estimators=SPECS] [--streamed]\n"
-               "          [--chunk N] [--imperfect=SPECS]\n"
+               "          [--chunk N] [--imperfect=SPECS] [--policy=SPEC]\n"
                "  import  --in=FILE --out=FILE [--topo=FILE] [--threshold F]\n"
                "  serve   [--scenario=SPEC | --file=FILE] [--topo=TOPOSPEC]\n"
                "          [--intervals N] [--seed N] [--window W] [--chunk N]\n"
                "          [--estimator=SPEC] [--refit-every N] [--epochs N]\n"
-               "          [--readers R] [--threshold F]\n"
+               "          [--readers R] [--threshold F] [--policy=SPEC]\n"
                "  list    print registered components and option docs\n"
                "          (--json for the machine-readable catalog,\n"
                "           --what=SELECTOR to narrow either form)\n"
@@ -262,7 +264,11 @@ int cmd_replay(const ntom::flags& opts) {
   config.stream.enabled = opts.get_bool("streamed", false);
   config.stream.chunk_intervals = static_cast<std::size_t>(opts.get_int(
       "chunk", static_cast<std::int64_t>(default_chunk_intervals)));
+  config.plan.policy = opts.get_string("policy", "");
 
+  // Reconcile before choosing the mode: a probe policy forces streamed
+  // execution (the materialized store has no mask plane).
+  config.reconcile();
   const run_artifacts run =
       config.stream.enabled ? prepare_topology(config) : prepare_run(config);
   std::printf("replaying %s: %zu intervals, %s, truth plane %s\n",
@@ -353,6 +359,7 @@ int cmd_serve(const ntom::flags& opts) {
     config.stream.enabled = true;
     config.stream.chunk_intervals = static_cast<std::size_t>(opts.get_int(
         "chunk", static_cast<std::int64_t>(default_chunk_intervals)));
+    config.plan.policy = opts.get_string("policy", "");
 
     const run_artifacts run = prepare_topology(config);
     service.begin_epoch(run.topo_ptr);

@@ -29,6 +29,15 @@
 //                               `trace` scenario arm (truth-aware
 //                               metrics when the plane is present,
 //                               observation-only otherwise)
+//
+// Probe-budget planning:
+//   --policy=SPEC               mask every run's measurement stream with
+//                               a probe policy ("uniform,frac=0.25",
+//                               "round_robin,frac=0.1", "info_gain,
+//                               frac=0.25,horizon=16"); forces streamed
+//                               execution and streaming-capable
+//                               estimators. --list=policies shows the
+//                               registered planners.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -190,6 +199,19 @@ int main(int argc, char** argv) {
        static_cast<std::size_t>(opts.get_int(
            "chunk", static_cast<std::int64_t>(default_chunk_intervals)))});
 
+  // Probe-budget policy: masks every run's stream (forces streamed
+  // execution at reconcile time, whatever --streamed says).
+  const std::string policy = opts.get_string("policy", "");
+  if (!policy.empty()) {
+    try {
+      exp.with_policy(policy);
+    } catch (const spec_error& err) {
+      std::fprintf(stderr, "--policy: %s\n(run with --list=policies)\n",
+                   err.what());
+      return 2;
+    }
+  }
+
   // Grid-scheduler knobs (observability / A-B only — results never
   // depend on them).
   exp.cache_topologies(!opts.get_bool("no-topo-cache", false));
@@ -218,7 +240,8 @@ int main(int argc, char** argv) {
             << specs.size() / (replicas == 0 ? 1 : replicas) << " grid cells x "
             << replicas << " replicas), T=" << intervals << ", seed=" << seed
             << ", threads=" << workers
-            << (streamed ? ", streamed" : ", materialized") << "\n\n";
+            << (streamed || !policy.empty() ? ", streamed" : ", materialized")
+            << (policy.empty() ? "" : ", policy=" + policy) << "\n\n";
 
   batch_params params;
   params.threads = threads;
@@ -345,7 +368,9 @@ int main(int argc, char** argv) {
             : 0.0,
         workers);
     if (!identical) return 1;
-    if (streamed) {
+    // With a policy the materialized mode cannot run at all (no mask
+    // plane in the store), so the cross-mode check only applies without.
+    if (streamed && policy.empty()) {
       // The streamed mode is an execution strategy, not an estimator:
       // prove it against the materialized path on the same seeds.
       std::cout << "Streamed-vs-materialized check: re-running "

@@ -18,6 +18,13 @@ bitvec estimator::infer(const bitvec&) const {
   throw std::logic_error("estimator does not support Boolean inference");
 }
 
+bitvec estimator::infer(const bitvec& congested_paths,
+                        const bitvec& observed_paths) const {
+  if (observed_paths.empty()) return infer(congested_paths);
+  throw std::logic_error(
+      "estimator does not support masked (probe-budget) inference");
+}
+
 link_estimates estimator::links() const {
   throw std::logic_error("estimator does not support link estimation");
 }
@@ -76,6 +83,12 @@ class sparsity_estimator final : public estimator {
     return infer_sparsity(*topo_, make_observation(*topo_, congested_paths));
   }
 
+  [[nodiscard]] bitvec infer(const bitvec& congested_paths,
+                             const bitvec& observed_paths) const override {
+    return infer_sparsity(
+        *topo_, make_observation(*topo_, congested_paths, observed_paths));
+  }
+
  private:
   const topology* topo_ = nullptr;
 };
@@ -99,7 +112,8 @@ class counting_estimator : public estimator {
   void end_fit() override {
     counter_->end();
     solve_from_counts(*topo_, counter_->sets(), counter_->counts(),
-                      counter_->intervals(), counter_->always_good_paths());
+                      counter_->observed_intervals(),
+                      counter_->always_good_paths());
     counter_.reset();
   }
 
@@ -119,7 +133,8 @@ class counting_estimator : public estimator {
 
   void refit() override {
     solve_from_counts(*topo_, counter_->sets(), counter_->counts(),
-                      counter_->intervals(), counter_->window_always_good());
+                      counter_->observed_intervals(),
+                      counter_->window_always_good());
   }
 
  protected:
@@ -128,11 +143,14 @@ class counting_estimator : public estimator {
       const topology& t) const = 0;
 
   /// Finish the fit from exact counters (same solver the materialized
-  /// fit uses — bit-identical outputs).
+  /// fit uses — bit-identical outputs). `observed` holds the per-set
+  /// denominators: equal to the stream length everywhere on unmasked
+  /// streams, and the fully-observed interval count per set under a
+  /// probe-budget mask.
   virtual void solve_from_counts(const topology& t,
                                  const std::vector<bitvec>& sets,
                                  const std::vector<std::size_t>& counts,
-                                 std::size_t intervals,
+                                 const std::vector<std::size_t>& observed,
                                  const bitvec& always_good) = 0;
 
  private:
@@ -160,6 +178,11 @@ class bayes_independence_estimator final : public counting_estimator {
     return fitted_->infer(congested_paths);
   }
 
+  [[nodiscard]] bitvec infer(const bitvec& congested_paths,
+                             const bitvec& observed_paths) const override {
+    return fitted_->infer(congested_paths, observed_paths);
+  }
+
   [[nodiscard]] link_estimates links() const override {
     return fitted_->step1().links;
   }
@@ -172,10 +195,11 @@ class bayes_independence_estimator final : public counting_estimator {
 
   void solve_from_counts(const topology& t, const std::vector<bitvec>& sets,
                          const std::vector<std::size_t>& counts,
-                         std::size_t intervals,
+                         const std::vector<std::size_t>& observed,
                          const bitvec& always_good) override {
-    fitted_.emplace(t, solve_independence(t, sets, counts, intervals,
-                                          always_good, params_));
+    fitted_.emplace(
+        t, solve_independence(t, sets, counts, observed, always_good,
+                              params_));
   }
 
  private:
@@ -198,6 +222,11 @@ class bayes_correlation_estimator final : public estimator {
 
   [[nodiscard]] bitvec infer(const bitvec& congested_paths) const override {
     return fitted_->infer(congested_paths);
+  }
+
+  [[nodiscard]] bitvec infer(const bitvec& congested_paths,
+                             const bitvec& observed_paths) const override {
+    return fitted_->infer(congested_paths, observed_paths);
   }
 
   [[nodiscard]] link_estimates links() const override {
@@ -235,10 +264,10 @@ class independence_estimator final : public counting_estimator {
 
   void solve_from_counts(const topology& t, const std::vector<bitvec>& sets,
                          const std::vector<std::size_t>& counts,
-                         std::size_t intervals,
+                         const std::vector<std::size_t>& observed,
                          const bitvec& always_good) override {
     result_ =
-        solve_independence(t, sets, counts, intervals, always_good, params_);
+        solve_independence(t, sets, counts, observed, always_good, params_);
   }
 
  private:
@@ -274,9 +303,9 @@ class correlation_heuristic_estimator final : public counting_estimator {
 
   void solve_from_counts(const topology& t, const std::vector<bitvec>& sets,
                          const std::vector<std::size_t>& counts,
-                         std::size_t intervals,
+                         const std::vector<std::size_t>& observed,
                          const bitvec& always_good) override {
-    result_.emplace(solve_correlation_heuristic(t, sets, counts, intervals,
+    result_.emplace(solve_correlation_heuristic(t, sets, counts, observed,
                                                 always_good, params_));
   }
 

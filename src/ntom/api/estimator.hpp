@@ -93,6 +93,14 @@ class estimator {
   /// Default throws std::logic_error; requires caps().boolean_inference.
   [[nodiscard]] virtual bitvec infer(const bitvec& congested_paths) const;
 
+  /// Probe-budget Boolean inference: `observed_paths` is the interval's
+  /// observed-path mask (empty = fully observed — the default forwards
+  /// that case to the overload above). Estimators that understand
+  /// partial observation override this; the default throws
+  /// std::logic_error for a non-empty mask.
+  [[nodiscard]] virtual bitvec infer(const bitvec& congested_paths,
+                                     const bitvec& observed_paths) const;
+
   /// Per-link congestion-probability estimates.
   /// Default throws std::logic_error; requires caps().link_estimation.
   [[nodiscard]] virtual link_estimates links() const;

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <utility>
 
+#include "ntom/plan/policy.hpp"
 #include "ntom/trace/imperfection.hpp"
 
 namespace ntom {
@@ -13,6 +14,8 @@ std::string describe_registries() {
          "\nEstimators:\n" + estimator_registry().describe() +
          "\nImperfections (trace capture/replay decorators):\n" +
          imperfection_registry().describe() +
+         "\nProbe policies (measurement-budget planners):\n" +
+         probe_policy_registry().describe() +
          "\nSpec grammar: name,key=value,...  (bare key = true; 'label=...' "
          "overrides the display label; quote values carrying commas: "
          "file='a,b.trc')\n";
@@ -32,6 +35,9 @@ std::string describe_registries(const std::string& what) {
   if (what == "imperfections") {
     return "Imperfections:\n" + imperfection_registry().describe();
   }
+  if (what == "policies") {
+    return "Probe policies:\n" + probe_policy_registry().describe();
+  }
   // A registered name or alias from any registry: its full doc block
   // (option whitelist included), so `--list=srlg` shows every accepted
   // spec option of a single component.
@@ -47,10 +53,13 @@ std::string describe_registries(const std::string& what) {
   if (imperfection_registry().contains(what)) {
     return imperfection_registry().describe(what);
   }
+  if (probe_policy_registry().contains(what)) {
+    return probe_policy_registry().describe(what);
+  }
   throw spec_error(
       "--list: '" + what +
       "' is neither a registry (topologies, scenarios, estimators, "
-      "imperfections) nor a registered name");
+      "imperfections, policies) nor a registered name");
 }
 
 std::string describe_registries_json() {
@@ -58,6 +67,7 @@ std::string describe_registries_json() {
          ",\n\"scenarios\": " + scenario_registry().describe_json() +
          ",\n\"estimators\": " + estimator_registry().describe_json() +
          ",\n\"imperfections\": " + imperfection_registry().describe_json() +
+         ",\n\"policies\": " + probe_policy_registry().describe_json() +
          "}\n";
 }
 
@@ -77,6 +87,9 @@ std::string describe_registries_json(const std::string& what) {
     return "{\"imperfections\": " + imperfection_registry().describe_json() +
            "}\n";
   }
+  if (what == "policies") {
+    return "{\"policies\": " + probe_policy_registry().describe_json() + "}\n";
+  }
   if (topogen::topology_registry().contains(what)) {
     return topogen::topology_registry().describe_json(what) + "\n";
   }
@@ -89,10 +102,13 @@ std::string describe_registries_json(const std::string& what) {
   if (imperfection_registry().contains(what)) {
     return imperfection_registry().describe_json(what) + "\n";
   }
+  if (probe_policy_registry().contains(what)) {
+    return probe_policy_registry().describe_json(what) + "\n";
+  }
   throw spec_error(
       "--list-json: '" + what +
       "' is neither a registry (topologies, scenarios, estimators, "
-      "imperfections) nor a registered name");
+      "imperfections, policies) nor a registered name");
 }
 
 experiment::experiment() {
@@ -178,6 +194,15 @@ experiment& experiment::with_capture(capture_options capture) {
   return *this;
 }
 
+experiment& experiment::with_policy(std::string policy_spec) {
+  if (!policy_spec.empty()) {
+    // Eager validation, like the other with_* builders.
+    (void)make_probe_policy(probe_policy_spec(policy_spec));
+  }
+  plan_.policy = std::move(policy_spec);
+  return *this;
+}
+
 // Deprecated one-knob shims: edit the grouped structs field-wise.
 // (Definitions must not re-trigger the [[deprecated]] diagnostics.)
 #if defined(__GNUC__) || defined(__clang__)
@@ -247,6 +272,7 @@ std::vector<run_spec> experiment::specs() const {
         config.scenario_opts = scenario_defaults_;
         config.sim = sim_;
         config.stream = stream_;
+        config.plan = plan_;
         const std::string label =
             topology_label(topo) + "/" + scenario_label(scenario);
         if (!capture_.path.empty()) {

@@ -38,14 +38,14 @@ namespace ntom {
 [[nodiscard]] std::string describe_registries();
 
 /// Filtered catalog: `what` selects one registry ("topologies",
-/// "scenarios", "estimators") or one registered name/alias from any of
-/// them (full option docs for that entry). Empty selects everything;
-/// unknown values throw spec_error.
+/// "scenarios", "estimators", "imperfections", "policies") or one
+/// registered name/alias from any of them (full option docs for that
+/// entry). Empty selects everything; unknown values throw spec_error.
 [[nodiscard]] std::string describe_registries(const std::string& what);
 
 /// Machine-readable catalog: one JSON object
 /// `{"topologies": [...], "scenarios": [...], "estimators": [...],
-/// "imperfections": [...]}` whose arrays are the registries'
+/// "imperfections": [...], "policies": [...]}` whose arrays are the registries'
 /// describe_json() entries — the CLIs' `--list-json` payload. `what`
 /// filters exactly like describe_registries(what): a registry name
 /// yields that single-key object, a registered component name/alias
@@ -102,6 +102,15 @@ class experiment {
   /// with_scenario("trace,file='...'").
   experiment& with_capture(capture_options capture);
 
+  /// Probe-budget measurement planning (mirrors run_config::plan): a
+  /// probe_policy spec ("uniform,frac=0.25,seed=7", "round_robin,...",
+  /// "info_gain,...") masks every run's measurement stream before the
+  /// estimators and scorers see it. Validated eagerly (throws
+  /// spec_error). A per-arm scenario `policy='...'` option overrides
+  /// this grid-wide default at reconcile time. Policies force streamed
+  /// execution and require streaming-capable estimators. Empty clears.
+  experiment& with_policy(std::string policy_spec);
+
   /// Deprecated shims over with_streaming / with_capture — the former
   /// ad-hoc one-knob setters, kept so existing call sites compile.
   /// They edit the grouped structs in place, so mixing shims and
@@ -157,6 +166,7 @@ class experiment {
   estimator_eval_options eval_options_;
   stream_options stream_;
   capture_options capture_;  // capture_.path is the capture DIRECTORY.
+  plan_options plan_;
   std::optional<bool> cache_topologies_;
   std::optional<bool> shard_estimators_;
 };

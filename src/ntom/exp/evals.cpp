@@ -59,6 +59,15 @@ fitted_run fit_streamed(const std::vector<estimator_spec>& specs,
     }
   }
 
+  if (need_store && !config.plan.policy.empty()) {
+    // The shared store cannot hold masked chunks (materialize_sink
+    // rejects them), so a probe budget restricts the estimator list to
+    // streaming-capable fits.
+    throw spec_error(
+        "probe-budget policies require streaming-capable estimators: a "
+        "non-streaming estimator in the list needs the materialized "
+        "store, which has no observed-path plane");
+  }
   pathset_counter observation_tracker;
   fanout.add(&observation_tracker);
   experiment_data unused_store;
@@ -172,8 +181,8 @@ std::vector<measurement> eval_estimators(
       fanout_sink fanout;
       for (const std::size_t i : boolean_index) {
         const estimator& est = *fitted.estimators[i];
-        auto infer = [&est](const bitvec& congested) {
-          return est.infer(congested);
+        auto infer = [&est](const bitvec& congested, const bitvec& observed) {
+          return est.infer(congested, observed);
         };
         if (truthless) {
           obs_scorers.emplace_back(infer);

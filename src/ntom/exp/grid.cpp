@@ -93,6 +93,10 @@ batch_report run_grid(const std::vector<run_spec>& specs,
                        ? derive_run_seeds(specs[i].config, params.base_seed, i,
                                           topo_group)
                        : specs[i].config;
+    // Reconcile before inspecting stream.enabled below: a scenario
+    // `policy='...'` option forces streamed execution at reconcile
+    // time, and the mode decision must see that.
+    slot->config.reconcile();
     slot->shards = std::max<std::size_t>(eval.shards(slot->config), 1);
     slot->scheduled = params.shard_estimators ? slot->shards : 1;
     slot->rows.resize(slot->shards);

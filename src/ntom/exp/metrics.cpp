@@ -35,9 +35,59 @@ inference_metrics inference_scorer::result() const {
 }
 
 void observation_scorer::add_interval(const bitvec& inferred,
+                                      const bitvec& congested_paths,
+                                      const bitvec& observed_paths) {
+  if (observed_paths.empty()) {
+    // No bit set = fully observed (bitvec cannot distinguish a zero-size
+    // mask from an all-zero one, and probe_policy_sink rejects empty
+    // selections — a truly unobserved interval is unrepresentable).
+    add_interval(inferred, congested_paths);
+    return;
+  }
+  ++observed_intervals_;
+  // Congested paths are a subset of the mask by construction
+  // (probe_policy_sink zeroes the rest), so the explained numerator and
+  // denominator are already mask-restricted.
+  const std::size_t congested = congested_paths.count();
+  if (congested > 0) {
+    std::size_t explained = 0;
+    congested_paths.for_each([&](std::size_t p) {
+      if (topo_->get_path(static_cast<path_id>(p))
+              .link_set()
+              .intersects(inferred)) {
+        ++explained;
+      }
+    });
+    explained_sum_ +=
+        static_cast<double>(explained) / static_cast<double>(congested);
+    ++explained_count_;
+    inferred_sum_ += static_cast<double>(inferred.count());
+  }
+  // Consistency only over the observed good paths: an unprobed path
+  // cannot contradict anything.
+  bitvec good_paths = observed_paths;
+  good_paths.subtract(congested_paths);
+  const std::size_t good = good_paths.count();
+  if (good > 0) {
+    std::size_t contradicted = 0;
+    good_paths.for_each([&](std::size_t p) {
+      if (topo_->get_path(static_cast<path_id>(p))
+              .link_set()
+              .intersects(inferred)) {
+        ++contradicted;
+      }
+    });
+    consistent_sum_ += static_cast<double>(good - contradicted) /
+                       static_cast<double>(good);
+    ++consistent_count_;
+  }
+}
+
+void observation_scorer::add_interval(const bitvec& inferred,
                                       const bitvec& congested_paths) {
   const std::size_t num_paths = topo_->num_paths();
   const std::size_t congested = congested_paths.count();
+  ++observed_intervals_;
   if (congested > 0) {
     std::size_t explained = 0;
     congested_paths.for_each([&](std::size_t p) {
@@ -68,6 +118,7 @@ void observation_scorer::add_interval(const bitvec& inferred,
 observation_metrics observation_scorer::result() const {
   observation_metrics m;
   m.intervals_scored = explained_count_;
+  m.observed_intervals = observed_intervals_;
   if (explained_count_ > 0) {
     m.explained_rate =
         explained_sum_ / static_cast<double>(explained_count_);

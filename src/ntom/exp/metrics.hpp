@@ -59,6 +59,14 @@ struct observation_metrics {
   double inferred_links_mean = 0.0;
 
   std::size_t intervals_scored = 0;
+
+  /// Intervals scored, masked or not (a probe-budget mask always holds
+  /// >= 1 path — probe_policy_sink enforces it). Under an aggressive
+  /// budget an interval can still contribute to NO rate (every observed
+  /// path congested leaves no consistency sample, none congested leaves
+  /// no explained sample); a rate with zero qualifying intervals is
+  /// reported as 0, never NaN.
+  std::size_t observed_intervals = 0;
 };
 
 /// Accumulates observation-only metrics interval by interval. Borrows
@@ -68,6 +76,15 @@ class observation_scorer {
   explicit observation_scorer(const topology& t) : topo_(&t) {}
 
   void add_interval(const bitvec& inferred, const bitvec& congested_paths);
+
+  /// Probe-budget variant: only paths in `observed_paths` enter the
+  /// explained/consistency denominators (no bit set = fully observed,
+  /// identical to the overload above). Every denominator is guarded —
+  /// an interval where no observed path qualifies (e.g. all observed
+  /// paths congested) contributes to no rate.
+  void add_interval(const bitvec& inferred, const bitvec& congested_paths,
+                    const bitvec& observed_paths);
+
   [[nodiscard]] observation_metrics result() const;
 
  private:
@@ -77,6 +94,7 @@ class observation_scorer {
   double consistent_sum_ = 0.0;
   std::size_t consistent_count_ = 0;
   double inferred_sum_ = 0.0;
+  std::size_t observed_intervals_ = 0;
 };
 
 /// |estimate - truth| per potentially congested link (Fig. 4(a)-(c)).

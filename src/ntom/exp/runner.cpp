@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ntom/plan/policy.hpp"
 #include "ntom/trace/trace_writer.hpp"
 
 namespace ntom {
@@ -13,6 +14,26 @@ void run_config::reconcile() {
         (sim.intervals + scenario_opts.phase_length - 1) /
         scenario_opts.phase_length;
     scenario_opts.num_phases = std::max<std::size_t>(needed, 1);
+  }
+  // Probe-budget policy: a scenario-spec `policy='...'` option (the
+  // registry's universal key) overrides the config field, so grid arms
+  // can carry their policy inside one spec string.
+  if (scenario.has("policy")) {
+    plan.policy = scenario.get_string("policy");
+  }
+  if (!plan.policy.empty()) {
+    // Eager validation: a bad policy spec fails at config time, not
+    // mid-pass. (make_probe_policy throws spec_error.)
+    (void)make_probe_policy(probe_policy_spec(plan.policy));
+    if (!capture.path.empty()) {
+      throw spec_error(
+          "probe-budget policy cannot be combined with trace capture: "
+          "the .trc format has no observed-path plane",
+          0, plan.policy);
+    }
+    // The materialized store has no mask plane either; policies imply
+    // streamed execution.
+    stream.enabled = true;
   }
 }
 
@@ -57,11 +78,22 @@ run_artifacts prepare_run(run_config config,
 
 void stream_experiment(const run_artifacts& run, const run_config& config,
                        measurement_sink& sink) {
+  // A fresh policy per pass: select() depends only on (spec, chunk
+  // sequence), so every pass masks identically and the repeatable-
+  // replay contract survives the budget.
+  std::unique_ptr<probe_policy> policy;
+  std::unique_ptr<probe_policy_sink> masked;
+  measurement_sink* target = &sink;
+  if (!config.plan.policy.empty()) {
+    policy = make_probe_policy(probe_policy_spec(config.plan.policy));
+    masked = std::make_unique<probe_policy_sink>(*policy, sink);
+    target = masked.get();
+  }
   if (run.source != nullptr) {
-    run.source->stream(sink, config.stream.chunk_intervals);
+    run.source->stream(*target, config.stream.chunk_intervals);
     return;
   }
-  run_experiment_streaming(run.topo(), run.model, config.sim, sink,
+  run_experiment_streaming(run.topo(), run.model, config.sim, *target,
                            config.stream.chunk_intervals);
 }
 

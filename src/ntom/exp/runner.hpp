@@ -43,6 +43,18 @@ struct stream_options {
   std::size_t chunk_intervals = default_chunk_intervals;
 };
 
+/// Probe-budget planning knobs (ntom/plan), grouped. Mirrored by the
+/// facade's experiment::with_policy builder and the scenario spec's
+/// universal `policy='...'` option (the spec option wins at reconcile).
+struct plan_options {
+  /// When non-empty, a probe_policy spec ("uniform,frac=0.25,seed=7",
+  /// "round_robin,frac=0.1", "info_gain,frac=0.25,horizon=16") masks
+  /// the measurement stream before estimators and scorers see it.
+  /// reconcile() validates the spec eagerly and forces streamed
+  /// execution — the materialized store has no mask plane.
+  std::string policy;
+};
+
 /// Trace-capture knobs, grouped. Mirrored by the facade's
 /// experiment::with_capture builder (where `path` names the capture
 /// DIRECTORY and each run derives its own file under it).
@@ -72,11 +84,16 @@ struct run_config {
   /// chunk_intervals / capture_path / capture_truth fields).
   stream_options stream;
   capture_options capture;
+  plan_options plan;
 
   /// Overlays the scenario spec's options onto scenario_opts and
-  /// pre-draws enough phases for sim.intervals. Idempotent, and called
-  /// by prepare_run itself — calling it manually is only needed to
-  /// inspect the effective scenario_opts.
+  /// pre-draws enough phases for sim.intervals. Also lifts a scenario
+  /// `policy='...'` option into `plan.policy` (the spec option wins),
+  /// validates the policy spec, and — when a policy is active — forces
+  /// streamed execution and rejects trace capture (the .trc format has
+  /// no observed-path plane). Idempotent, and called by prepare_run
+  /// itself — calling it manually is only needed to inspect the
+  /// effective scenario_opts / plan.
   void reconcile();
 };
 
@@ -137,7 +154,11 @@ struct run_artifacts {
 /// Replays the deterministic interval stream of a prepared run into
 /// `sink`. Callable repeatedly: every pass re-simulates (or, for
 /// replayed runs, re-reads) the identical stream — compute traded for
-/// O(chunk) memory.
+/// O(chunk) memory. When `config.plan.policy` is set, every pass
+/// constructs a fresh policy from the spec and masks the stream
+/// through a probe_policy_sink before `sink` sees it, so repeated
+/// passes observe the identical masked stream (policies are
+/// deterministic in (spec, chunk sequence)).
 void stream_experiment(const run_artifacts& run, const run_config& config,
                        measurement_sink& sink);
 
@@ -159,34 +180,46 @@ using infer_fn = std::function<bitvec(const bitvec& congested_paths)>;
 [[nodiscard]] inference_metrics score_inference(const run_artifacts& run,
                                                 const infer_fn& infer);
 
+/// Mask-aware per-interval inference function: the second argument is
+/// the interval's observed-path mask (empty = fully observed). The
+/// streaming scorers hand it straight from the chunk, so one scorer
+/// type serves both full-observation and probe-budget runs.
+using masked_infer_fn =
+    std::function<bitvec(const bitvec& congested_paths,
+                         const bitvec& observed_paths)>;
+
 /// Streaming counterpart: scores per interval as chunks pass through,
 /// O(chunk) memory. Attach to a fanout_sink to score several fitted
-/// estimators in one replay pass.
+/// estimators in one replay pass. Detection / FP rates are scored
+/// against the FULL truth plane even for masked chunks — the budget
+/// pays in detection, honestly.
 class streaming_inference_scorer final : public measurement_sink {
  public:
-  explicit streaming_inference_scorer(infer_fn infer)
+  explicit streaming_inference_scorer(masked_infer_fn infer)
       : infer_(std::move(infer)) {}
 
   void consume(const measurement_chunk& chunk) override {
     for (std::size_t i = 0; i < chunk.count; ++i) {
-      scorer_.add_interval(infer_(chunk.congested_paths_at(i)),
-                           chunk.true_links_at(i));
+      scorer_.add_interval(
+          infer_(chunk.congested_paths_at(i), chunk.observed_paths),
+          chunk.true_links_at(i));
     }
   }
 
   [[nodiscard]] inference_metrics result() const { return scorer_.result(); }
 
  private:
-  infer_fn infer_;
+  masked_infer_fn infer_;
   inference_scorer scorer_;
 };
 
 /// Observation-only streaming scorer for truth-stripped replays: same
 /// shape as streaming_inference_scorer but never touches the (absent)
-/// truth plane.
+/// truth plane. Masked chunks restrict the explained / consistency
+/// denominators to the observed paths.
 class streaming_observation_scorer final : public measurement_sink {
  public:
-  explicit streaming_observation_scorer(infer_fn infer)
+  explicit streaming_observation_scorer(masked_infer_fn infer)
       : infer_(std::move(infer)) {}
 
   void begin(const topology& t, std::size_t intervals) override {
@@ -196,7 +229,8 @@ class streaming_observation_scorer final : public measurement_sink {
   void consume(const measurement_chunk& chunk) override {
     for (std::size_t i = 0; i < chunk.count; ++i) {
       const bitvec congested = chunk.congested_paths_at(i);
-      scorer_->add_interval(infer_(congested), congested);
+      scorer_->add_interval(infer_(congested, chunk.observed_paths), congested,
+                            chunk.observed_paths);
     }
   }
 
@@ -205,7 +239,7 @@ class streaming_observation_scorer final : public measurement_sink {
   }
 
  private:
-  infer_fn infer_;
+  masked_infer_fn infer_;
   std::optional<observation_scorer> scorer_;
 };
 

@@ -13,4 +13,11 @@ bitvec bayes_correlation_inferencer::infer(
   return map_correlated(*topo_, obs, step1_.estimates);
 }
 
+bitvec bayes_correlation_inferencer::infer(
+    const bitvec& congested_paths, const bitvec& observed_paths) const {
+  const interval_observation obs =
+      make_observation(*topo_, congested_paths, observed_paths);
+  return map_correlated(*topo_, obs, step1_.estimates);
+}
+
 }  // namespace ntom

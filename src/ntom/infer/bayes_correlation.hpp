@@ -23,6 +23,11 @@ class bayes_correlation_inferencer {
 
   [[nodiscard]] bitvec infer(const bitvec& congested_paths) const;
 
+  /// Probe-budget variant: `observed_paths` restricts the good-path
+  /// evidence (empty = fully observed).
+  [[nodiscard]] bitvec infer(const bitvec& congested_paths,
+                             const bitvec& observed_paths) const;
+
   [[nodiscard]] const correlation_complete_result& step1() const noexcept {
     return step1_;
   }

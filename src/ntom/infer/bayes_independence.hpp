@@ -31,6 +31,11 @@ class bayes_independence_inferencer {
   /// Infers the congested links for one interval's observation.
   [[nodiscard]] bitvec infer(const bitvec& congested_paths) const;
 
+  /// Probe-budget variant: `observed_paths` restricts the good-path
+  /// evidence (empty = fully observed).
+  [[nodiscard]] bitvec infer(const bitvec& congested_paths,
+                             const bitvec& observed_paths) const;
+
   [[nodiscard]] const independence_result& step1() const noexcept {
     return step1_;
   }

@@ -18,6 +18,20 @@ interval_observation make_observation(const topology& t,
   return obs;
 }
 
+interval_observation make_observation(const topology& t,
+                                      const bitvec& congested_paths,
+                                      const bitvec& observed_paths) {
+  if (observed_paths.empty()) return make_observation(t, congested_paths);
+  interval_observation obs;
+  obs.congested_paths = congested_paths;
+  obs.good_paths = observed_paths;
+  obs.good_paths.subtract(congested_paths);
+  obs.good_links = t.links_of_paths(obs.good_paths);
+  obs.candidate_links = t.links_of_paths(obs.congested_paths);
+  obs.candidate_links.subtract(obs.good_links);
+  return obs;
+}
+
 bool explains_observation(const topology& t, const interval_observation& obs,
                           const bitvec& solution) {
   if (!solution.is_subset_of(obs.candidate_links)) return false;

@@ -24,6 +24,15 @@ struct interval_observation {
 [[nodiscard]] interval_observation make_observation(
     const topology& t, const bitvec& congested_paths);
 
+/// Probe-budget variant: only `observed_paths` were measured this
+/// interval (empty = fully observed, identical to the overload above).
+/// Good paths are the OBSERVED non-congested paths — an unprobed path
+/// pins down nothing, so Separability only clears links on paths that
+/// were actually seen good.
+[[nodiscard]] interval_observation make_observation(
+    const topology& t, const bitvec& congested_paths,
+    const bitvec& observed_paths);
+
 /// True if `solution` explains the observation: it covers every
 /// congested path and uses only candidate links.
 [[nodiscard]] bool explains_observation(const topology& t,

@@ -1,0 +1,76 @@
+#include "ntom/plan/info_gain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ntom {
+
+void info_gain_policy::begin(const topology& t, std::size_t intervals) {
+  (void)intervals;
+  num_paths_ = t.num_paths();
+  budget_ = probe_budget_paths(params_.frac, num_paths_);
+  rounds_ = 0;
+  observed_.assign(num_paths_, 0.0);
+  congested_.assign(num_paths_, 0.0);
+}
+
+double info_gain_policy::acquisition(std::size_t p) const {
+  // Optimistic posterior congestion estimate: Beta(cong+1, good+1)
+  // posterior mean plus a UCB bonus. Unobserved paths start at mean 0.5
+  // with the largest bonus, so coverage comes first; once the hot paths
+  // are known, the mean term concentrates the budget on them.
+  const double mean = (congested_[p] + 1.0) / (observed_[p] + 2.0);
+  const double bonus =
+      params_.explore * std::sqrt(std::log(1.0 + static_cast<double>(rounds_)) /
+                                  (1.0 + observed_[p]));
+  return mean + bonus;
+}
+
+bitvec info_gain_policy::select(std::size_t first_interval,
+                                std::size_t count) {
+  (void)first_interval;
+  (void)count;
+  bitvec out(num_paths_);
+  if (budget_ >= num_paths_) {
+    out.flip();
+    return out;
+  }
+  std::vector<std::size_t> order(num_paths_);
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + (budget_ - 1), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const double sa = acquisition(a);
+                     const double sb = acquisition(b);
+                     if (sa != sb) return sa > sb;
+                     return a < b;  // deterministic tie-break.
+                   });
+  for (std::size_t i = 0; i < budget_; ++i) out.set(order[i]);
+  return out;
+}
+
+void info_gain_policy::observe(const measurement_chunk& chunk) {
+  const bit_matrix& good = chunk.path_good_major();
+  const auto update = [&](std::size_t p) {
+    const double congested = static_cast<double>(chunk.count) -
+                             static_cast<double>(good.count_row(p));
+    observed_[p] += static_cast<double>(chunk.count);
+    congested_[p] += congested;
+  };
+  if (chunk.fully_observed()) {
+    for (std::size_t p = 0; p < num_paths_; ++p) update(p);
+  } else {
+    chunk.observed_paths.for_each(update);
+  }
+  ++rounds_;
+  if (params_.horizon > 0 && rounds_ % params_.horizon == 0) {
+    // Exponential forgetting: old evidence fades so the belief follows
+    // non-stationary congestion instead of averaging over phases.
+    for (std::size_t p = 0; p < num_paths_; ++p) {
+      observed_[p] *= 0.5;
+      congested_[p] *= 0.5;
+    }
+  }
+}
+
+}  // namespace ntom

@@ -1,0 +1,72 @@
+// The adaptive probe planner: a UCB bandit over paths, fed by the
+// masked stream itself.
+//
+// Detection rate under a budget is won by watching the paths where
+// congestion actually shows up: a truly congested link is only ever
+// identified through an observed congested path that covers it. So the
+// planner scores each path by an optimistic posterior congestion
+// estimate — a Beta(cong+1, good+1) mean plus a UCB exploration bonus
+// that grows for rarely-observed paths — and probes the top-k. The
+// bonus guarantees coverage (an unprobed path's score grows without
+// bound), and a periodic forgetting step halves the counters so the
+// belief tracks non-stationary scenarios (hotspot drift, phase
+// redraws) instead of averaging them away.
+//
+// Everything is deterministic: scores are pure functions of the
+// observed chunk sequence, ties break toward the lower path id, and no
+// RNG is involved — replaying the stream replays the masks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ntom/plan/policy.hpp"
+
+namespace ntom {
+
+struct info_gain_params {
+  /// Probe budget as a fraction of paths (in (0, 1]).
+  double frac = 0.25;
+
+  /// Chunks between forgetting steps (counters halve); 0 disables
+  /// forgetting.
+  std::size_t horizon = 16;
+
+  /// UCB exploration weight: bonus = explore * sqrt(log(1 + rounds) /
+  /// (1 + observed_p)).
+  double explore = 0.7;
+};
+
+class info_gain_policy final : public probe_policy {
+ public:
+  explicit info_gain_policy(info_gain_params params) : params_(params) {}
+
+  void begin(const topology& t, std::size_t intervals) override;
+  [[nodiscard]] bitvec select(std::size_t first_interval,
+                              std::size_t count) override;
+  void observe(const measurement_chunk& chunk) override;
+
+  /// The acquisition score select() ranks by (exposed for tests).
+  [[nodiscard]] double acquisition(std::size_t p) const;
+
+  /// Belief state (exposed for tests): intervals path p was observed /
+  /// observed congested, after forgetting decay.
+  [[nodiscard]] const std::vector<double>& observed_intervals()
+      const noexcept {
+    return observed_;
+  }
+  [[nodiscard]] const std::vector<double>& congested_intervals()
+      const noexcept {
+    return congested_;
+  }
+
+ private:
+  info_gain_params params_;
+  std::size_t num_paths_ = 0;
+  std::size_t budget_ = 0;
+  std::size_t rounds_ = 0;  ///< chunks observed since begin().
+  std::vector<double> observed_;
+  std::vector<double> congested_;
+};
+
+}  // namespace ntom

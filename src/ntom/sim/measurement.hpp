@@ -33,6 +33,20 @@ struct measurement_chunk {
   bit_matrix congested_paths;      ///< count x paths: observed congested.
   bit_matrix true_links;           ///< count x links: ground truth.
 
+  /// Probe-budget mask (ntom/plan): the paths actually measured in this
+  /// chunk's intervals. Empty means fully observed — the classic
+  /// every-path-every-interval pipeline, and the only state the
+  /// simulator and trace reader ever produce; probe_policy_sink is what
+  /// sets a mask. When non-empty, congested_paths rows are zero outside
+  /// the mask, so unobserved paths read as "good" in path_good_major()
+  /// — consumers that count goodness must qualify with this mask
+  /// (pathset_counter, empirical_truth, the scorers do).
+  bitvec observed_paths;
+
+  [[nodiscard]] bool fully_observed() const noexcept {
+    return observed_paths.empty();
+  }
+
   [[nodiscard]] bitvec congested_paths_at(std::size_t i) const {
     return congested_paths.row_copy(i);
   }

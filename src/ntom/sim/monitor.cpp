@@ -59,29 +59,67 @@ std::optional<double> path_observations::log_empirical_all_good(
 void pathset_counter::begin(const topology& t, std::size_t intervals) {
   intervals_ = windowed_ ? 0 : intervals;
   counts_.assign(sets_.size(), 0);
+  observed_.assign(sets_.size(), 0);
   always_good_ = bitvec(t.num_paths());
+  masked_seen_ = false;
+  all_observed_ = false;
   if (windowed_) {
     // A retired interval must be able to un-violate a path, so the
     // windowed mode trades the one-bit always-good state for per-path
     // good-interval counters (window_always_good derives the set).
     good_counts_.assign(t.num_paths(), 0);
+    path_observed_.assign(t.num_paths(), 0);
   } else {
     always_good_.flip();  // start all-good; chunks clear the violators.
+    ever_observed_ = bitvec(t.num_paths());
   }
 }
 
 void pathset_counter::consume(const measurement_chunk& chunk) {
   const bit_matrix& good = chunk.path_good_major();
+  const bool masked = !chunk.fully_observed();
+  if (masked) {
+    masked_seen_ = true;
+  } else {
+    all_observed_ = true;
+  }
   if (windowed_) {
     intervals_ += chunk.count;
-    for (std::size_t p = 0; p < good.rows(); ++p) {
-      good_counts_[p] += good.count_row(p);
+    if (masked) {
+      // Unobserved rows of `good` are vacuously all-ones — only the
+      // mask's paths accrue real evidence.
+      chunk.observed_paths.for_each([&](std::size_t p) {
+        good_counts_[p] += good.count_row(p);
+        path_observed_[p] += chunk.count;
+      });
+    } else {
+      for (std::size_t p = 0; p < good.rows(); ++p) {
+        good_counts_[p] += good.count_row(p);
+        path_observed_[p] += chunk.count;
+      }
     }
   } else {
+    // For a masked chunk the unobserved rows are all-ones, so this
+    // computes "never observed congested" — exactly the masked
+    // semantics once end() removes the never-observed paths.
     always_good_ &= good.full_rows();
+    if (masked && !all_observed_) ever_observed_ |= chunk.observed_paths;
   }
   for (std::size_t i = 0; i < sets_.size(); ++i) {
+    // A set only counts in intervals where EVERY member was probed; the
+    // per-set denominator keeps the empirical probability unbiased
+    // under any budget.
+    if (masked && !sets_[i].is_subset_of(chunk.observed_paths)) continue;
     counts_[i] += good.and_count(sets_[i]);
+    observed_[i] += chunk.count;
+  }
+}
+
+void pathset_counter::end() {
+  // One-shot masked streams: a path no probe ever covered has no
+  // evidence at all and must not report "always good".
+  if (!windowed_ && masked_seen_ && !all_observed_) {
+    always_good_ &= ever_observed_;
   }
 }
 
@@ -89,12 +127,25 @@ void pathset_counter::retire(const measurement_chunk& chunk) {
   assert(windowed_ && "retire() requires a windowed pathset_counter");
   assert(chunk.count <= intervals_ && "retiring more than was consumed");
   const bit_matrix& good = chunk.path_good_major();
+  const bool masked = !chunk.fully_observed();
   intervals_ -= chunk.count;
-  for (std::size_t p = 0; p < good.rows(); ++p) {
-    good_counts_[p] -= good.count_row(p);
+  if (masked) {
+    chunk.observed_paths.for_each([&](std::size_t p) {
+      good_counts_[p] -= good.count_row(p);
+      path_observed_[p] -= chunk.count;
+    });
+  } else {
+    for (std::size_t p = 0; p < good.rows(); ++p) {
+      good_counts_[p] -= good.count_row(p);
+      path_observed_[p] -= chunk.count;
+    }
   }
   for (std::size_t i = 0; i < sets_.size(); ++i) {
+    // Recomputed from the retiring chunk's own mask — the exact
+    // mirror of consume(), so subtraction is always exact.
+    if (masked && !sets_[i].is_subset_of(chunk.observed_paths)) continue;
     counts_[i] -= good.and_count(sets_[i]);
+    observed_[i] -= chunk.count;
   }
 }
 
@@ -102,7 +153,16 @@ bitvec pathset_counter::window_always_good() const {
   if (!windowed_) return always_good_;
   bitvec out(good_counts_.size());
   for (std::size_t p = 0; p < good_counts_.size(); ++p) {
-    if (good_counts_[p] == intervals_) out.set(p);
+    if (masked_seen_) {
+      // Good in every interval the path was actually probed, and probed
+      // at least once. Reduces to the legacy formula when every chunk
+      // was unmasked (path_observed_ == intervals_ then).
+      if (path_observed_[p] > 0 && good_counts_[p] == path_observed_[p]) {
+        out.set(p);
+      }
+    } else if (good_counts_[p] == intervals_) {
+      out.set(p);
+    }
   }
   return out;
 }

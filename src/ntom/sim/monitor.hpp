@@ -90,6 +90,15 @@ class path_observations final : public measurement_sink {
 ///     bit-identical to one-shot fits over the same interval range).
 ///     Windowed mode pays O(paths) per chunk for per-path good counters
 ///     (an always-good bit cannot be un-set, a counter can).
+///
+/// Probe-budget masks (measurement_chunk::observed_paths) are fully
+/// supported: a masked chunk only counts a path set when every member
+/// path was observed (observed_intervals() tracks the per-set
+/// denominator the solvers divide by), per-path goodness only
+/// accumulates over observed intervals, and always-good additionally
+/// requires the path to have been observed at least once. On unmasked
+/// streams every formula reduces exactly to the legacy arithmetic —
+/// masked handling costs nothing until a mask appears.
 class pathset_counter final : public measurement_sink {
  public:
   /// `path_sets` are bit-sets over paths; counts() aligns with them.
@@ -101,6 +110,7 @@ class pathset_counter final : public measurement_sink {
 
   void begin(const topology& t, std::size_t intervals) override;
   void consume(const measurement_chunk& chunk) override;
+  void end() override;
 
   /// Windowed mode only: subtracts `chunk`'s contribution from every
   /// counter. The chunk must have been consumed earlier and not yet
@@ -113,6 +123,15 @@ class pathset_counter final : public measurement_sink {
   [[nodiscard]] const std::vector<std::size_t>& counts() const noexcept {
     return counts_;
   }
+
+  /// Intervals in which sets()[i] was FULLY observed — the denominator
+  /// of the empirical all-good probability under a probe-budget mask.
+  /// Equals intervals() for every set on unmasked streams.
+  [[nodiscard]] const std::vector<std::size_t>& observed_intervals()
+      const noexcept {
+    return observed_;
+  }
+
   [[nodiscard]] const std::vector<bitvec>& sets() const noexcept {
     return sets_;
   }
@@ -131,10 +150,16 @@ class pathset_counter final : public measurement_sink {
  private:
   std::vector<bitvec> sets_;
   std::vector<std::size_t> counts_;
+  std::vector<std::size_t> observed_;  ///< per set: fully observed ivals.
   bitvec always_good_;
   std::size_t intervals_ = 0;
   bool windowed_ = false;
   std::vector<std::size_t> good_counts_;  ///< per path; windowed mode only.
+  // ---- probe-budget mask state; inert on unmasked streams ----
+  bool masked_seen_ = false;   ///< sticky: any masked chunk consumed.
+  bool all_observed_ = false;  ///< any UNmasked chunk consumed (one-shot).
+  bitvec ever_observed_;       ///< union of masks (one-shot mode).
+  std::vector<std::size_t> path_observed_;  ///< per path; windowed mode.
 };
 
 }  // namespace ntom

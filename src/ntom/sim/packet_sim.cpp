@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace ntom {
 
@@ -14,6 +15,13 @@ void materialize_sink::begin(const topology& t, std::size_t intervals) {
 }
 
 void materialize_sink::consume(const measurement_chunk& chunk) {
+  if (!chunk.fully_observed()) {
+    // The columnar store has no observed-path plane: silently dropping
+    // the mask would let unprobed paths masquerade as "good".
+    throw std::logic_error(
+        "materialize_sink cannot store probe-budget masked chunks; "
+        "run policies in streamed mode");
+  }
   out_->true_links.copy_rows_from(chunk.true_links, chunk.first_interval);
   // Chunk -> columnar store: transpose once, splice each path row into
   // the interval columns this chunk covers (word-shifting, no per-bit

@@ -520,6 +520,10 @@ registry<scenario_plugin>& scenario_registry() {
   static registry<scenario_plugin>* reg = [] {
     auto* r = new registry<scenario_plugin>("scenario");
     register_builtins(*r);
+    // Per-arm probe-budget policies ride the scenario spec
+    // (`gilbert,policy='uniform,frac=0.25'`); run_config::reconcile
+    // extracts the option, the scenario factories ignore it.
+    r->accept_universal_key("policy");
     return r;
   }();
   return *reg;

@@ -75,9 +75,14 @@ double ground_truth::link_congestion_probability(link_id e) const {
 }
 
 void empirical_truth::begin(const topology& t, std::size_t intervals) {
+  topo_ = &t;
   intervals_ = windowed_ ? 0 : intervals;
   counts_.assign(t.num_links(), 0);
+  observed_counts_.assign(t.num_links(), 0);
   ever_congested_ = bitvec(t.num_links());
+  bitvec all_paths(t.num_paths());
+  all_paths.flip();
+  all_observable_ = t.links_of_paths(all_paths);
 }
 
 void empirical_truth::consume(const measurement_chunk& chunk) {
@@ -88,6 +93,11 @@ void empirical_truth::consume(const measurement_chunk& chunk) {
   for (std::size_t e = 0; e < by_link.rows(); ++e) {
     counts_[e] += by_link.count_row(e);
   }
+  const bitvec observable =
+      chunk.fully_observed() ? all_observable_
+                             : topo_->links_of_paths(chunk.observed_paths);
+  observable.for_each(
+      [&](std::size_t e) { observed_counts_[e] += chunk.count; });
 }
 
 void empirical_truth::retire(const measurement_chunk& chunk) {
@@ -98,6 +108,11 @@ void empirical_truth::retire(const measurement_chunk& chunk) {
   for (std::size_t e = 0; e < by_link.rows(); ++e) {
     counts_[e] -= by_link.count_row(e);
   }
+  const bitvec observable =
+      chunk.fully_observed() ? all_observable_
+                             : topo_->links_of_paths(chunk.observed_paths);
+  observable.for_each(
+      [&](std::size_t e) { observed_counts_[e] -= chunk.count; });
 }
 
 bitvec empirical_truth::window_congested_links() const {
@@ -111,6 +126,12 @@ bitvec empirical_truth::window_congested_links() const {
 double empirical_truth::congestion_frequency(link_id e) const {
   if (intervals_ == 0) return 0.0;
   return static_cast<double>(counts_[e]) / static_cast<double>(intervals_);
+}
+
+double empirical_truth::observed_frequency(link_id e) const {
+  if (intervals_ == 0) return 0.0;
+  return static_cast<double>(observed_counts_[e]) /
+         static_cast<double>(intervals_);
 }
 
 double ground_truth::set_congestion_probability(const bitvec& links) const {

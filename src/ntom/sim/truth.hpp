@@ -95,8 +95,24 @@ class empirical_truth final : public measurement_sink {
   /// window, derived from the counters (valid in either mode).
   [[nodiscard]] bitvec window_congested_links() const;
 
+  /// Intervals in which link e was coverable by an OBSERVED path — the
+  /// visibility a probe-budget mask (chunk.observed_paths) left for the
+  /// link. Truth counters themselves always stay full (the truth plane
+  /// is never masked); a congested link with observed_count 0 was
+  /// invisible to the masked measurement stream. For unmasked streams
+  /// this is intervals() for every path-covered link.
+  [[nodiscard]] std::size_t observed_count(link_id e) const {
+    return observed_counts_[e];
+  }
+
+  /// observed_count / intervals (0 on an empty stream/window).
+  [[nodiscard]] double observed_frequency(link_id e) const;
+
  private:
+  const topology* topo_ = nullptr;
   std::vector<std::size_t> counts_;
+  std::vector<std::size_t> observed_counts_;
+  bitvec all_observable_;  ///< links on >= 1 monitored path.
   bitvec ever_congested_;
   std::size_t intervals_ = 0;
   bool windowed_ = false;

@@ -65,6 +65,18 @@ correlation_heuristic_result solve_correlation_heuristic(
     const std::vector<std::size_t>& counts, std::size_t intervals,
     const bitvec& always_good_paths,
     const correlation_heuristic_params& params) {
+  return solve_correlation_heuristic(
+      t, path_sets, counts,
+      std::vector<std::size_t>(path_sets.size(), intervals),
+      always_good_paths, params);
+}
+
+correlation_heuristic_result solve_correlation_heuristic(
+    const topology& t, const std::vector<bitvec>& path_sets,
+    const std::vector<std::size_t>& counts,
+    const std::vector<std::size_t>& observed_intervals,
+    const bitvec& always_good_paths,
+    const correlation_heuristic_params& params) {
   const bitvec potcong = potentially_congested_links(t, always_good_paths);
   subset_catalog catalog = subset_catalog::build(t, potcong, params.limits);
   equation_builder builder(t, catalog, potcong);
@@ -79,7 +91,7 @@ correlation_heuristic_result solve_correlation_heuristic(
     // sqrt(count) weighting, as in correlation_complete.cpp.
     const double weight = std::sqrt(static_cast<double>(count));
     const double logp = std::log(static_cast<double>(count) /
-                                 static_cast<double>(intervals));
+                                 static_cast<double>(observed_intervals[i]));
     a.append_row(*row, weight);
     b.push_back(logp * weight);
   }

@@ -48,4 +48,14 @@ struct correlation_heuristic_result {
     const bitvec& always_good_paths,
     const correlation_heuristic_params& params = {});
 
+/// Probe-budget variant: per-equation denominators (intervals in which
+/// the equation's path set was fully observed). Bit-identical to the
+/// overload above when every denominator equals `intervals`.
+[[nodiscard]] correlation_heuristic_result solve_correlation_heuristic(
+    const topology& t, const std::vector<bitvec>& path_sets,
+    const std::vector<std::size_t>& counts,
+    const std::vector<std::size_t>& observed_intervals,
+    const bitvec& always_good_paths,
+    const correlation_heuristic_params& params = {});
+
 }  // namespace ntom

@@ -42,6 +42,17 @@ independence_result solve_independence(const topology& t,
                                        std::size_t intervals,
                                        const bitvec& always_good_paths,
                                        const independence_params& params) {
+  return solve_independence(
+      t, path_sets, counts,
+      std::vector<std::size_t>(path_sets.size(), intervals),
+      always_good_paths, params);
+}
+
+independence_result solve_independence(
+    const topology& t, const std::vector<bitvec>& path_sets,
+    const std::vector<std::size_t>& counts,
+    const std::vector<std::size_t>& observed_intervals,
+    const bitvec& always_good_paths, const independence_params& params) {
   (void)params;
   const bitvec potcong = potentially_congested_links(t, always_good_paths);
 
@@ -68,7 +79,7 @@ independence_result solve_independence(const topology& t,
     // all-good count, so well-observed equations dominate the fit.
     const double weight = std::sqrt(static_cast<double>(count));
     const double logp = std::log(static_cast<double>(count) /
-                                 static_cast<double>(intervals));
+                                 static_cast<double>(observed_intervals[i]));
     std::vector<std::size_t> cols;
     links.for_each([&](std::size_t e) { cols.push_back(col_of_link[e]); });
     a.append_row(cols, weight);

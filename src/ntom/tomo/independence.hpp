@@ -52,4 +52,16 @@ struct independence_result {
     const std::vector<std::size_t>& counts, std::size_t intervals,
     const bitvec& always_good_paths, const independence_params& params = {});
 
+/// Probe-budget variant: `observed_intervals[i]` is the denominator of
+/// equation i — the intervals in which path_sets[i] was fully observed
+/// (pathset_counter::observed_intervals()). With every denominator
+/// equal to `intervals` this is bit-identical to the overload above;
+/// equations whose set was never fully observed have count 0 and are
+/// skipped like any other unusable equation.
+[[nodiscard]] independence_result solve_independence(
+    const topology& t, const std::vector<bitvec>& path_sets,
+    const std::vector<std::size_t>& counts,
+    const std::vector<std::size_t>& observed_intervals,
+    const bitvec& always_good_paths, const independence_params& params = {});
+
 }  // namespace ntom

@@ -82,7 +82,9 @@ std::unique_ptr<imperfection_sink> make_drop(const spec& s) {
   const double p = s.get_double("p", 0.05);
   const auto seed = static_cast<std::uint64_t>(s.get_int("seed", 1));
   if (p < 0.0 || p > 1.0) {
-    throw spec_error("imperfection 'drop': p must be in [0, 1]");
+    // Offset 0 = the start of this spec's text; imperfection_chain
+    // rebases it to the item's position in the ';'-separated list.
+    throw spec_error("imperfection 'drop': p must be in [0, 1]", 0, "p");
   }
   return std::make_unique<interval_filter_sink>([p, seed](std::size_t n) {
     rng rand(seed);
@@ -98,10 +100,17 @@ std::unique_ptr<imperfection_sink> make_subsample(const spec& s) {
   const std::size_t stride = s.get_size("stride", 2);
   const std::size_t offset = s.get_size("offset", 0);
   if (stride == 0) {
-    throw spec_error("imperfection 'subsample': stride must be positive");
+    throw spec_error(
+        "imperfection 'subsample': stride must be positive (stride=0 would "
+        "keep no intervals)",
+        0, "stride");
   }
   if (offset >= stride) {
-    throw spec_error("imperfection 'subsample': offset must be < stride");
+    throw spec_error("imperfection 'subsample': offset (" +
+                         std::to_string(offset) + ") must be < stride (" +
+                         std::to_string(stride) +
+                         ") — the kept phase repeats modulo the stride",
+                     0, "offset");
   }
   return std::make_unique<interval_filter_sink>(
       [stride, offset](std::size_t n) {
@@ -172,7 +181,20 @@ imperfection_chain::imperfection_chain(const std::string& list) {
         begin, semi == std::string::npos ? std::string::npos : semi - begin);
     if (item.find_first_not_of(" \t") != std::string::npos) {
       imperfection_spec s(item);
-      (void)imperfection_registry().resolve(s);  // fail on typos now.
+      // Eager construction, not just name resolution: factory-level
+      // validation (subsample stride/offset, drop's p range) must fail
+      // here, at parse time, not mid-capture when build() runs. Errors
+      // are rebased to the item's byte offset in the full list.
+      try {
+        (void)make_imperfection(s);
+      } catch (const spec_error& err) {
+        const std::size_t rebased =
+            err.offset() == spec_error::npos ? begin : begin + err.offset();
+        throw spec_error(std::string(err.what()) + " (in imperfection list '" +
+                             list + "' at byte " + std::to_string(rebased) +
+                             ")",
+                         rebased, err.token());
+      }
       specs_.push_back(std::move(s));
     }
     if (semi == std::string::npos) break;

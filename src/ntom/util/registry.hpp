@@ -76,14 +76,29 @@ class registry {
     return *e;
   }
 
+  /// Accepts `key` on every entry of this registry, like the built-in
+  /// "label" — for cross-cutting options a different layer consumes
+  /// (the scenario registry accepts `policy`, which run_config's
+  /// reconcile extracts; factories never see a meaning for it).
+  void accept_universal_key(std::string key) {
+    universal_keys_.push_back(std::move(key));
+  }
+
   /// at(s.name()) plus option validation: every option key must appear
-  /// in the entry's docs ("label" is always accepted — the experiment
-  /// layer consumes it).
+  /// in the entry's docs ("label" and the universal keys are always
+  /// accepted — other layers consume them).
   [[nodiscard]] const entry& resolve(const spec& s) const {
     const entry& e = at(s.name());
     for (const spec_option& o : s.options()) {
       if (o.key == "label") continue;
       bool known = false;
+      for (const std::string& key : universal_keys_) {
+        if (key == o.key) {
+          known = true;
+          break;
+        }
+      }
+      if (known) continue;
       for (const option_doc& doc : e.options) {
         if (doc.key == o.key) {
           known = true;
@@ -198,6 +213,7 @@ class registry {
 
   std::string kind_;
   std::vector<entry> entries_;
+  std::vector<std::string> universal_keys_;
 };
 
 }  // namespace ntom

@@ -1,0 +1,292 @@
+// Unit tests of the probe-policy registry, the shared budget math, the
+// three built-in selection rules, and probe_policy_sink's masking
+// contract (congested rows ANDed with the selection, truth plane
+// untouched, observed_paths stamped, full budgets passed through).
+#include "ntom/plan/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ntom/plan/info_gain.hpp"
+
+namespace ntom {
+namespace {
+
+/// `paths` single-link paths over `paths` private links — the simplest
+/// topology with an adjustable path count for budget math.
+topology make_topo(std::size_t paths) {
+  topology t(paths);
+  for (std::size_t e = 0; e < paths; ++e) {
+    t.add_link({.as_number = 1,
+                .router_links = {static_cast<router_link_id>(e)},
+                .edge = false});
+  }
+  for (std::size_t p = 0; p < paths; ++p) {
+    t.add_path({static_cast<link_id>(p)});
+  }
+  t.finalize();
+  return t;
+}
+
+measurement_chunk make_chunk(std::size_t first, std::size_t count,
+                             std::size_t paths, std::size_t links) {
+  measurement_chunk chunk;
+  chunk.first_interval = first;
+  chunk.count = count;
+  chunk.congested_paths = bit_matrix(count, paths);
+  chunk.true_links = bit_matrix(count, links);
+  return chunk;
+}
+
+/// Stores every chunk it receives (copies — the sink reuses its buffer).
+class chunk_collector final : public measurement_sink {
+ public:
+  void consume(const measurement_chunk& chunk) override {
+    chunks.push_back(chunk);
+  }
+  std::vector<measurement_chunk> chunks;
+};
+
+TEST(PolicyRegistryTest, HasBuiltinsAndAliases) {
+  const auto names = probe_policy_registry().names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_TRUE(probe_policy_registry().contains("uniform"));
+  EXPECT_TRUE(probe_policy_registry().contains("round_robin"));
+  EXPECT_TRUE(probe_policy_registry().contains("info_gain"));
+  // Aliases resolve to the same plugins.
+  EXPECT_NE(make_probe_policy(probe_policy_spec("rr,frac=0.5")), nullptr);
+  EXPECT_NE(make_probe_policy(probe_policy_spec("bandit")), nullptr);
+  EXPECT_NE(probe_policy_registry().describe().find("info_gain"),
+            std::string::npos);
+}
+
+TEST(PolicyRegistryTest, RejectsBadSpecs) {
+  EXPECT_THROW((void)make_probe_policy(probe_policy_spec("no_such_policy")),
+               spec_error);
+  EXPECT_THROW(
+      (void)make_probe_policy(probe_policy_spec("uniform,fraction=0.5")),
+      spec_error);
+  for (const char* bad :
+       {"uniform,frac=0", "uniform,frac=1.5", "uniform,frac=-0.3",
+        "round_robin,frac=0", "info_gain,frac=2", "info_gain,explore=-1"}) {
+    EXPECT_THROW((void)make_probe_policy(probe_policy_spec(bad)), spec_error)
+        << bad;
+  }
+}
+
+TEST(PolicyBudgetTest, BudgetMath) {
+  EXPECT_EQ(probe_budget_paths(0.05, 60), 3u);
+  EXPECT_EQ(probe_budget_paths(0.5, 60), 30u);
+  EXPECT_EQ(probe_budget_paths(1.0, 60), 60u);
+  // max(1, ...): a tiny budget still probes one path.
+  EXPECT_EQ(probe_budget_paths(0.001, 60), 1u);
+  EXPECT_EQ(probe_budget_paths(1.0, 0), 0u);
+}
+
+TEST(UniformPolicyTest, SelectsBudgetDeterministically) {
+  const topology t = make_topo(20);
+  const auto make = [] {
+    return make_probe_policy(probe_policy_spec("uniform,frac=0.3,seed=5"));
+  };
+  const std::unique_ptr<probe_policy> a = make();
+  const std::unique_ptr<probe_policy> b = make();
+  a->begin(t, 64);
+  b->begin(t, 64);
+  const bitvec first = a->select(0, 16);
+  EXPECT_EQ(first.size(), 20u);
+  EXPECT_EQ(first.count(), probe_budget_paths(0.3, 20));
+  // Same spec, fresh instance: identical draw (the fit pass and every
+  // scoring replay must see the same masks).
+  EXPECT_EQ(first, b->select(0, 16));
+  // The draw is keyed on the chunk position, so some later chunk must
+  // differ from the first (20-choose-6 makes a full collision run
+  // astronomically unlikely).
+  bool any_differs = false;
+  for (std::size_t c = 1; c < 8 && !any_differs; ++c) {
+    any_differs = !(a->select(c * 16, 16) == first);
+  }
+  EXPECT_TRUE(any_differs);
+
+  const std::unique_ptr<probe_policy> full =
+      make_probe_policy(probe_policy_spec("uniform,frac=1.0"));
+  full->begin(t, 64);
+  EXPECT_EQ(full->select(0, 16).count(), 20u);
+}
+
+TEST(RoundRobinPolicyTest, RotatesCoverage) {
+  const topology t = make_topo(10);
+  const std::unique_ptr<probe_policy> policy =
+      make_probe_policy(probe_policy_spec("round_robin,frac=0.25"));
+  policy->begin(t, 0);
+  const std::size_t budget = probe_budget_paths(0.25, 10);
+  bitvec covered(10);
+  std::size_t chunks_to_cover = 0;
+  for (std::size_t c = 0; c < 8; ++c) {
+    const bitvec sel = policy->select(c * 4, 4);
+    EXPECT_EQ(sel.count(), budget) << "chunk " << c;
+    covered |= sel;
+    if (chunks_to_cover == 0 && covered.count() == 10) {
+      chunks_to_cover = c + 1;
+    }
+  }
+  // ceil(10 / 3) = 4 consecutive chunks cover every path.
+  EXPECT_EQ(chunks_to_cover, 4u);
+}
+
+TEST(InfoGainPolicyTest, BonusDrivesCoverageThenMeanConcentrates) {
+  const topology t = make_topo(6);
+  info_gain_params params;
+  params.frac = 0.5;
+  params.horizon = 0;  // no forgetting; exact counter checks below.
+  info_gain_policy policy(params);
+  policy.begin(t, 0);
+
+  // Round 0: all-zero belief, ties break toward the lower path id.
+  const bitvec first = policy.select(0, 4);
+  EXPECT_EQ(first.count(), 3u);
+  for (std::size_t p = 0; p < 3; ++p) EXPECT_TRUE(first.test(p)) << p;
+
+  // Observe a masked chunk: path 0 congested all 4 intervals, paths 1-2
+  // observed good.
+  measurement_chunk chunk = make_chunk(0, 4, 6, 6);
+  for (std::size_t i = 0; i < 4; ++i) chunk.congested_paths.set(i, 0);
+  chunk.observed_paths = first;
+  chunk.invalidate_derived();
+  policy.observe(chunk);
+
+  EXPECT_EQ(policy.observed_intervals()[0], 4.0);
+  EXPECT_EQ(policy.congested_intervals()[0], 4.0);
+  EXPECT_EQ(policy.observed_intervals()[1], 4.0);
+  EXPECT_EQ(policy.congested_intervals()[1], 0.0);
+  // Unobserved paths accumulated nothing.
+  EXPECT_EQ(policy.observed_intervals()[3], 0.0);
+
+  // The congested path scores above its observed-good peers, and the
+  // never-observed paths outrank the observed-good ones (UCB bonus).
+  EXPECT_GT(policy.acquisition(0), policy.acquisition(1));
+  EXPECT_GT(policy.acquisition(3), policy.acquisition(1));
+  const bitvec second = policy.select(4, 4);
+  EXPECT_TRUE(second.test(0));  // the hot path stays in the budget.
+}
+
+TEST(InfoGainPolicyTest, HorizonHalvesTheBelief) {
+  const topology t = make_topo(4);
+  info_gain_params params;
+  params.frac = 1.0;
+  params.horizon = 2;
+  info_gain_policy policy(params);
+  policy.begin(t, 0);
+
+  measurement_chunk chunk = make_chunk(0, 2, 4, 4);
+  chunk.congested_paths.set(0, 1);
+  chunk.invalidate_derived();
+  policy.observe(chunk);  // round 1: no decay yet.
+  EXPECT_EQ(policy.observed_intervals()[0], 2.0);
+  EXPECT_EQ(policy.congested_intervals()[1], 1.0);
+  policy.observe(chunk);  // round 2: counters halve after the update.
+  EXPECT_EQ(policy.observed_intervals()[0], 2.0);  // (2 + 2) / 2.
+  EXPECT_EQ(policy.congested_intervals()[1], 1.0);  // (1 + 1) / 2.
+}
+
+TEST(PolicySinkTest, MasksCongestionButNeverTruth) {
+  const topology t = make_topo(6);
+
+  /// Fixed selection {1, 3} regardless of the chunk.
+  class fixed_policy final : public probe_policy {
+   public:
+    void begin(const topology& topo, std::size_t) override {
+      paths_ = topo.num_paths();
+    }
+    bitvec select(std::size_t, std::size_t) override {
+      bitvec sel(paths_);
+      sel.set(1);
+      sel.set(3);
+      return sel;
+    }
+    std::size_t paths_ = 0;
+  };
+
+  fixed_policy policy;
+  chunk_collector collected;
+  probe_policy_sink sink(policy, collected);
+  sink.begin(t, 8);
+
+  measurement_chunk chunk = make_chunk(0, 2, 6, 6);
+  for (std::size_t p = 0; p < 6; ++p) chunk.congested_paths.set(0, p);
+  chunk.congested_paths.set(1, 3);
+  chunk.true_links.set(0, 2);
+  chunk.true_links.set(1, 5);
+  chunk.invalidate_derived();
+  sink.consume(chunk);
+  sink.end();
+
+  ASSERT_EQ(collected.chunks.size(), 1u);
+  const measurement_chunk& masked = collected.chunks[0];
+  EXPECT_FALSE(masked.fully_observed());
+  EXPECT_EQ(masked.observed_paths.count(), 2u);
+  // Congestion survives only on the observed paths...
+  for (std::size_t p = 0; p < 6; ++p) {
+    EXPECT_EQ(masked.congested_paths.test(0, p), p == 1 || p == 3) << p;
+  }
+  EXPECT_TRUE(masked.congested_paths.test(1, 3));
+  // ...while the ground-truth plane is byte-for-byte intact.
+  EXPECT_TRUE(masked.true_links.test(0, 2));
+  EXPECT_TRUE(masked.true_links.test(1, 5));
+  EXPECT_EQ(masked.true_links.count_row(0), 1u);
+
+  // Masked chunks do not re-enter a policy sink: policies do not stack.
+  EXPECT_THROW(sink.consume(masked), std::logic_error);
+}
+
+TEST(PolicySinkTest, FullBudgetPassesChunksThroughUnmasked) {
+  const topology t = make_topo(5);
+  const std::unique_ptr<probe_policy> policy =
+      make_probe_policy(probe_policy_spec("round_robin,frac=1.0"));
+  chunk_collector collected;
+  probe_policy_sink sink(*policy, collected);
+  sink.begin(t, 4);
+
+  measurement_chunk chunk = make_chunk(0, 4, 5, 5);
+  chunk.congested_paths.set(2, 4);
+  chunk.invalidate_derived();
+  sink.consume(chunk);
+
+  ASSERT_EQ(collected.chunks.size(), 1u);
+  EXPECT_TRUE(collected.chunks[0].fully_observed());
+  EXPECT_TRUE(collected.chunks[0].congested_paths.test(2, 4));
+}
+
+TEST(PolicySinkTest, RejectsEmptyOrMisSizedSelections) {
+  const topology t = make_topo(4);
+
+  class broken_policy final : public probe_policy {
+   public:
+    explicit broken_policy(std::size_t size) : size_(size) {}
+    void begin(const topology&, std::size_t) override {}
+    bitvec select(std::size_t, std::size_t) override {
+      return bitvec(size_);  // wrong size and/or no bit set.
+    }
+    std::size_t size_;
+  };
+
+  chunk_collector collected;
+  measurement_chunk chunk = make_chunk(0, 1, 4, 4);
+  chunk.invalidate_derived();
+
+  broken_policy empty(4);  // right size, zero paths selected.
+  probe_policy_sink empty_sink(empty, collected);
+  empty_sink.begin(t, 1);
+  EXPECT_THROW(empty_sink.consume(chunk), std::logic_error);
+
+  broken_policy mis_sized(3);
+  probe_policy_sink mis_sink(mis_sized, collected);
+  mis_sink.begin(t, 1);
+  EXPECT_THROW(mis_sink.consume(chunk), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ntom

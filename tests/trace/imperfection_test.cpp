@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "ntom/exp/runner.hpp"
@@ -105,6 +106,28 @@ TEST(ImperfectionTest, RejectsBadSpecs) {
                spec_error);
   EXPECT_THROW((void)degraded(small_config(), "subsample,stride=2,offset=2"),
                spec_error);
+}
+
+TEST(ImperfectionTest, ValidationFailsAtParseTimeWithByteOffsets) {
+  // Factory-level validation (stride/offset/p ranges) runs in the
+  // imperfection_chain constructor — a bad spec fails when the list is
+  // parsed, never mid-capture from build().
+  EXPECT_THROW(imperfection_chain("subsample,stride=0"), spec_error);
+  EXPECT_THROW(imperfection_chain("subsample,stride=3,offset=3"), spec_error);
+  EXPECT_NO_THROW(imperfection_chain("subsample,stride=4,offset=3"));
+
+  try {
+    imperfection_chain("drop,p=0.2 ; subsample,stride=4,offset=7");
+    FAIL() << "expected spec_error";
+  } catch (const spec_error& err) {
+    // The error is rebased to the offending item's byte position in
+    // the ';'-separated list, and names the bad option.
+    EXPECT_EQ(err.offset(), 12u);
+    EXPECT_EQ(err.token(), "offset");
+    const std::string what = err.what();
+    EXPECT_NE(what.find("at byte 12"), std::string::npos) << what;
+    EXPECT_NE(what.find("must be < stride"), std::string::npos) << what;
+  }
 }
 
 TEST(ImperfectionTest, RegistryDescribesBuiltins) {
