@@ -13,9 +13,12 @@
 // format change) and replay/identical (the self-check). Timing cells
 // (capture_overhead_pct, speedup_vs_simulate_x, *_seconds) are recorded
 // for trend reading, never gated.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -40,6 +43,16 @@ struct null_sink final : ntom::measurement_sink {
   }
   std::size_t intervals = 0;
 };
+
+bool files_identical(const std::string& a, const std::string& b) {
+  std::ifstream fa(a, std::ios::binary);
+  std::ifstream fb(b, std::ios::binary);
+  if (!fa || !fb) return false;
+  std::ostringstream ba, bb;
+  ba << fa.rdbuf();
+  bb << fb.rdbuf();
+  return ba.str() == bb.str();
+}
 
 bool rows_identical(const std::vector<ntom::measurement>& a,
                     const std::vector<ntom::measurement>& b) {
@@ -81,15 +94,21 @@ int main(int argc, char** argv) {
     stream_experiment(live, config, warmup);
   }
 
-  // Pass timings: plain simulation vs simulation + capture vs replay.
-  double simulate_seconds = 0.0;
-  double capture_seconds = 0.0;
+  // Pass timings: plain simulation vs simulation + capture (async
+  // background writer — the default) vs the old-style sync capture vs
+  // replay. Each pass keeps the fastest rep: min-over-reps rejects
+  // scheduler noise, which otherwise swamps the few-percent capture
+  // delta on a busy host.
+  double simulate_seconds = 1e300;
+  double capture_seconds = 1e300;
+  double capture_sync_seconds = 1e300;
   std::uint64_t file_bytes = 0;
+  const std::string sync_path = trace_path + ".sync";
   for (std::size_t r = 0; r < reps; ++r) {
     null_sink devnull;
     const auto t0 = clock_type::now();
     stream_experiment(live, config, devnull);
-    simulate_seconds += seconds_since(t0);
+    simulate_seconds = std::min(simulate_seconds, seconds_since(t0));
 
     run_config capture_config = config;
     capture_config.capture.path = trace_path;
@@ -100,17 +119,29 @@ int main(int argc, char** argv) {
     fanout.add(writer.get());
     const auto t1 = clock_type::now();
     stream_experiment(live, config, fanout);
-    capture_seconds += seconds_since(t1);
+    capture_seconds = std::min(capture_seconds, seconds_since(t1));
     file_bytes = writer->bytes_written();
+
+    run_config sync_config = config;
+    sync_config.capture.path = sync_path;
+    sync_config.capture.async = false;
+    const auto sync_writer = make_capture_writer(sync_config, live);
+    null_sink devnull3;
+    fanout_sink sync_fanout;
+    sync_fanout.add(&devnull3);
+    sync_fanout.add(sync_writer.get());
+    const auto t2 = clock_type::now();
+    stream_experiment(live, config, sync_fanout);
+    capture_sync_seconds = std::min(capture_sync_seconds, seconds_since(t2));
   }
 
   const trace_reader reader(trace_path);
-  double replay_seconds = 0.0;
+  double replay_seconds = 1e300;
   for (std::size_t r = 0; r < reps; ++r) {
     null_sink devnull;
     const auto t2 = clock_type::now();
     reader.stream(devnull, default_chunk_intervals);
-    replay_seconds += seconds_since(t2);
+    replay_seconds = std::min(replay_seconds, seconds_since(t2));
     if (devnull.intervals != intervals) {
       std::fprintf(stderr, "replay interval count mismatch\n");
       return 1;
@@ -118,9 +149,15 @@ int main(int argc, char** argv) {
   }
   const double overhead_pct =
       100.0 * (capture_seconds - simulate_seconds) / simulate_seconds;
+  const double overhead_sync_pct =
+      100.0 * (capture_sync_seconds - simulate_seconds) / simulate_seconds;
   const double replay_speedup = simulate_seconds / replay_seconds;
   const double bytes_per_interval =
       static_cast<double>(file_bytes) / static_cast<double>(intervals);
+
+  // Self-check: the async background writer and the sync path must
+  // produce byte-for-byte the same file.
+  const bool sync_async_identical = files_identical(trace_path, sync_path);
 
   // Self-check: the captured corpus replayed through the estimator
   // pipeline (at a different chunk size) must reproduce the live run's
@@ -141,16 +178,20 @@ int main(int argc, char** argv) {
   std::printf("micro_trace: %zu paths x %zu intervals, %zu reps\n\n",
               live.topo().num_paths(), intervals, reps);
   std::printf("  simulate pass              %8.3f s\n", simulate_seconds);
-  std::printf("  simulate + capture pass    %8.3f s  (%.1f%% overhead)\n",
+  std::printf("  simulate + capture pass    %8.3f s  (%.1f%% overhead, async)\n",
               capture_seconds, overhead_pct);
+  std::printf("  simulate + capture (sync)  %8.3f s  (%.1f%% overhead)\n",
+              capture_sync_seconds, overhead_sync_pct);
   std::printf("  replay pass                %8.3f s  (%.2fx vs simulate)\n",
               replay_seconds, replay_speedup);
   std::printf("  trace file                 %8llu bytes (%.1f per interval)\n",
               static_cast<unsigned long long>(file_bytes),
               bytes_per_interval);
+  std::printf("  sync vs async capture file %s\n",
+              sync_async_identical ? "BYTE-IDENTICAL" : "DIFFER (BUG)");
   std::printf("  capture->replay estimator rows %s\n",
               identical ? "BIT-IDENTICAL" : "DIFFER (BUG)");
-  if (!identical) return 1;
+  if (!identical || !sync_async_identical) return 1;
 
   batch_report report;
   run_result result;
@@ -161,6 +202,9 @@ int main(int argc, char** argv) {
       {"simulate", "pass_seconds", simulate_seconds},
       {"capture", "pass_seconds", capture_seconds},
       {"capture", "capture_overhead_pct", overhead_pct},
+      {"capture", "pass_sync_seconds", capture_sync_seconds},
+      {"capture", "capture_overhead_sync_pct", overhead_sync_pct},
+      {"capture", "sync_async_identical", sync_async_identical ? 1.0 : 0.0},
       {"replay", "pass_seconds", replay_seconds},
       {"replay", "speedup_vs_simulate_x", replay_speedup},
       {"replay", "identical", identical ? 1.0 : 0.0},
@@ -173,5 +217,6 @@ int main(int argc, char** argv) {
                          {{"intervals", std::to_string(intervals)},
                           {"reps", std::to_string(reps)}});
   std::remove(trace_path.c_str());
+  std::remove(sync_path.c_str());
   return 0;
 }

@@ -72,6 +72,7 @@
 #include "ntom/trace/import.hpp"
 #include "ntom/trace/trace_writer.hpp"
 #include "ntom/util/flags.hpp"
+#include "ntom/util/simd/simd.hpp"
 
 namespace {
 
@@ -99,7 +100,11 @@ int usage() {
                "  list    print registered components and option docs\n"
                "          (--json for the machine-readable catalog,\n"
                "           --what=SELECTOR to narrow either form)\n"
-               "Specs are \"name,key=value,...\" — see `ntom_cli list`.\n");
+               "Specs are \"name,key=value,...\" — see `ntom_cli list`.\n"
+               "Global: --simd=scalar|popcnt|avx2|avx512 forces the bit-"
+               "kernel\n"
+               "dispatch level (same as NTOM_SIMD; see `list --what=simd`)."
+               "\n");
   return 2;
 }
 
@@ -426,6 +431,23 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const ntom::flags opts(argc - 1, argv + 1);
+  if (opts.has("simd")) {
+    // Same semantics as NTOM_SIMD: force the kernel dispatch level for
+    // every verb; asking above the hardware warns and keeps detection.
+    namespace simd = ntom::simd;
+    const std::string name = opts.get_string("simd", "");
+    simd::level want{};
+    if (!simd::parse_level(name, want)) {
+      std::fprintf(stderr,
+                   "--simd=%s: unknown level (scalar|popcnt|avx2|avx512)\n",
+                   name.c_str());
+      return 2;
+    }
+    if (!simd::set_level(want)) {
+      std::fprintf(stderr, "--simd=%s exceeds this host; staying at %s\n",
+                   name.c_str(), simd::level_name(simd::active_level()));
+    }
+  }
   try {
     if (command == "gen") return cmd_gen(opts);
     if (command == "dot") return cmd_dot(opts);

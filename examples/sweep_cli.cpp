@@ -38,6 +38,10 @@
 //                               execution and streaming-capable
 //                               estimators. --list=policies shows the
 //                               registered planners.
+//
+// --simd=scalar|popcnt|avx2|avx512 forces the bit-kernel dispatch level
+// for the whole sweep (same as NTOM_SIMD; --list=simd shows the host's
+// detected ISA ladder).
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -48,6 +52,7 @@
 #include "ntom/api/experiment.hpp"
 #include "ntom/exp/report.hpp"
 #include "ntom/util/flags.hpp"
+#include "ntom/util/simd/simd.hpp"
 #include "ntom/util/thread_pool.hpp"
 
 namespace {
@@ -105,6 +110,23 @@ bool summaries_identical(const std::vector<ntom::metric_summary>& a,
 int main(int argc, char** argv) {
   using namespace ntom;
   const flags opts(argc, argv);
+  if (opts.has("simd")) {
+    // Same semantics as NTOM_SIMD: force the bit-kernel dispatch level
+    // for the whole sweep; asking above the hardware warns and keeps
+    // detection.
+    const std::string name = opts.get_string("simd", "");
+    simd::level want{};
+    if (!simd::parse_level(name, want)) {
+      std::fprintf(stderr,
+                   "--simd=%s: unknown level (scalar|popcnt|avx2|avx512)\n",
+                   name.c_str());
+      return 2;
+    }
+    if (!simd::set_level(want)) {
+      std::fprintf(stderr, "--simd=%s exceeds this host; staying at %s\n",
+                   name.c_str(), simd::level_name(simd::active_level()));
+    }
+  }
   if (opts.has("list") || opts.has("list-json")) {
     // Bare --list prints every registry; --list=scenarios (or
     // --list=srlg, any registered name/alias) narrows to one registry

@@ -5,8 +5,47 @@
 
 #include "ntom/plan/policy.hpp"
 #include "ntom/trace/imperfection.hpp"
+#include "ntom/util/simd/simd.hpp"
 
 namespace ntom {
+
+namespace {
+
+std::string describe_simd() {
+  std::string out = "active=";
+  out += simd::level_name(simd::active_level());
+  out += " detected=";
+  out += simd::level_name(simd::detected_level());
+  out += " available=";
+  bool first = true;
+  for (const simd::level l : simd::available_levels()) {
+    if (!first) out += ",";
+    out += simd::level_name(l);
+    first = false;
+  }
+  out += "  (override: NTOM_SIMD=<level> or --simd=<level>)\n";
+  return out;
+}
+
+std::string describe_simd_json() {
+  std::string out = "{\"active\": \"";
+  out += simd::level_name(simd::active_level());
+  out += "\", \"detected\": \"";
+  out += simd::level_name(simd::detected_level());
+  out += "\", \"available\": [";
+  bool first = true;
+  for (const simd::level l : simd::available_levels()) {
+    if (!first) out += ", ";
+    out += "\"";
+    out += simd::level_name(l);
+    out += "\"";
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
 
 std::string describe_registries() {
   return "Topologies:\n" + topogen::topology_registry().describe() +
@@ -16,6 +55,8 @@ std::string describe_registries() {
          imperfection_registry().describe() +
          "\nProbe policies (measurement-budget planners):\n" +
          probe_policy_registry().describe() +
+         "\nSIMD kernel dispatch (bit kernels, CRC-32):\n  " +
+         describe_simd() +
          "\nSpec grammar: name,key=value,...  (bare key = true; 'label=...' "
          "overrides the display label; quote values carrying commas: "
          "file='a,b.trc')\n";
@@ -38,6 +79,9 @@ std::string describe_registries(const std::string& what) {
   if (what == "policies") {
     return "Probe policies:\n" + probe_policy_registry().describe();
   }
+  if (what == "simd") {
+    return "SIMD kernel dispatch:\n  " + describe_simd();
+  }
   // A registered name or alias from any registry: its full doc block
   // (option whitelist included), so `--list=srlg` shows every accepted
   // spec option of a single component.
@@ -59,7 +103,7 @@ std::string describe_registries(const std::string& what) {
   throw spec_error(
       "--list: '" + what +
       "' is neither a registry (topologies, scenarios, estimators, "
-      "imperfections, policies) nor a registered name");
+      "imperfections, policies, simd) nor a registered name");
 }
 
 std::string describe_registries_json() {
@@ -68,7 +112,7 @@ std::string describe_registries_json() {
          ",\n\"estimators\": " + estimator_registry().describe_json() +
          ",\n\"imperfections\": " + imperfection_registry().describe_json() +
          ",\n\"policies\": " + probe_policy_registry().describe_json() +
-         "}\n";
+         ",\n\"simd\": " + describe_simd_json() + "}\n";
 }
 
 std::string describe_registries_json(const std::string& what) {
@@ -90,6 +134,9 @@ std::string describe_registries_json(const std::string& what) {
   if (what == "policies") {
     return "{\"policies\": " + probe_policy_registry().describe_json() + "}\n";
   }
+  if (what == "simd") {
+    return "{\"simd\": " + describe_simd_json() + "}\n";
+  }
   if (topogen::topology_registry().contains(what)) {
     return topogen::topology_registry().describe_json(what) + "\n";
   }
@@ -108,7 +155,7 @@ std::string describe_registries_json(const std::string& what) {
   throw spec_error(
       "--list-json: '" + what +
       "' is neither a registry (topologies, scenarios, estimators, "
-      "imperfections, policies) nor a registered name");
+      "imperfections, policies, simd) nor a registered name");
 }
 
 experiment::experiment() {

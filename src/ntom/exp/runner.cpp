@@ -102,6 +102,7 @@ std::unique_ptr<trace_writer> make_capture_writer(const run_config& config,
   if (config.capture.path.empty()) return nullptr;
   trace_writer_options options;
   options.store_truth = config.capture.truth && run.has_truth();
+  options.async = config.capture.async;
   options.provenance =
       "topo=" + config.topo.to_string() +
       " topo_seed=" + std::to_string(config.topo_seed) +

@@ -68,6 +68,11 @@ struct capture_options {
   /// Include the ground-truth plane in the capture (disable to publish
   /// observation-only datasets).
   bool truth = true;
+
+  /// Background-thread frame writing (trace_writer_options::async).
+  /// Disable to keep capture I/O on the simulation thread — mainly for
+  /// overhead measurements and debugging.
+  bool async = true;
 };
 
 struct run_config {

@@ -3,10 +3,10 @@
 // read-exactly-or-throw primitives.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <istream>
-#include <ostream>
 #include <string>
 
 #include "ntom/trace/trace_format.hpp"
@@ -26,6 +26,29 @@ inline void put_u64(unsigned char* out, std::uint64_t v) {
   }
 }
 
+/// Encodes one word little-endian. On LE hosts the constant-size
+/// memcpy compiles to a single store — the per-row interleave pack of
+/// trace_writer::consume leans on this (a runtime-length memcpy there
+/// costs a library call per 8 bytes).
+inline void put_word(unsigned char* out, std::uint64_t w) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out, &w, 8);
+  } else {
+    put_u64(out, w);
+  }
+}
+
+/// Encodes `n` words little-endian. On LE hosts this is a straight
+/// memcpy — the bulk row-packing path of trace_writer::consume.
+inline void put_words(unsigned char* out, const std::uint64_t* words,
+                      std::size_t n) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out, words, 8 * n);
+  } else {
+    for (std::size_t w = 0; w < n; ++w) put_u64(out + 8 * w, words[w]);
+  }
+}
+
 inline std::uint32_t get_u32(const unsigned char* in) {
   return static_cast<std::uint32_t>(in[0]) |
          static_cast<std::uint32_t>(in[1]) << 8 |
@@ -39,13 +62,6 @@ inline std::uint64_t get_u64(const unsigned char* in) {
     v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
   }
   return v;
-}
-
-inline void write_bytes(std::ostream& out, const void* data,
-                        std::size_t len) {
-  out.write(static_cast<const char*>(data),
-            static_cast<std::streamsize>(len));
-  if (!out) throw trace_error("trace: write failed");
 }
 
 inline void read_exact(std::istream& in, void* data, std::size_t len,

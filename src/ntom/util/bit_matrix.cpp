@@ -3,70 +3,13 @@
 #include <algorithm>
 #include <cstring>
 
+#include "ntom/util/simd/simd.hpp"
+
 namespace ntom {
 
 namespace {
 
 constexpr std::size_t words_for(std::size_t bits) { return (bits + 63) / 64; }
-
-// Four independent accumulators break the POPCNT output-register
-// dependency chain (a false dependency on several x86 generations) and
-// let the strided loads pipeline; worth ~1.5x on the fused kernels.
-
-inline std::size_t popcount_words(const std::uint64_t* a, std::size_t n) {
-  std::size_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
-  std::size_t w = 0;
-  for (; w + 4 <= n; w += 4) {
-    t0 += static_cast<std::size_t>(__builtin_popcountll(a[w]));
-    t1 += static_cast<std::size_t>(__builtin_popcountll(a[w + 1]));
-    t2 += static_cast<std::size_t>(__builtin_popcountll(a[w + 2]));
-    t3 += static_cast<std::size_t>(__builtin_popcountll(a[w + 3]));
-  }
-  std::size_t total = t0 + t1 + t2 + t3;
-  for (; w < n; ++w) {
-    total += static_cast<std::size_t>(__builtin_popcountll(a[w]));
-  }
-  return total;
-}
-
-inline std::size_t popcount_and2(const std::uint64_t* a,
-                                 const std::uint64_t* b, std::size_t n) {
-  std::size_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
-  std::size_t w = 0;
-  for (; w + 4 <= n; w += 4) {
-    t0 += static_cast<std::size_t>(__builtin_popcountll(a[w] & b[w]));
-    t1 += static_cast<std::size_t>(__builtin_popcountll(a[w + 1] & b[w + 1]));
-    t2 += static_cast<std::size_t>(__builtin_popcountll(a[w + 2] & b[w + 2]));
-    t3 += static_cast<std::size_t>(__builtin_popcountll(a[w + 3] & b[w + 3]));
-  }
-  std::size_t total = t0 + t1 + t2 + t3;
-  for (; w < n; ++w) {
-    total += static_cast<std::size_t>(__builtin_popcountll(a[w] & b[w]));
-  }
-  return total;
-}
-
-inline std::size_t popcount_and3(const std::uint64_t* a,
-                                 const std::uint64_t* b,
-                                 const std::uint64_t* c, std::size_t n) {
-  std::size_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
-  std::size_t w = 0;
-  for (; w + 4 <= n; w += 4) {
-    t0 += static_cast<std::size_t>(__builtin_popcountll(a[w] & b[w] & c[w]));
-    t1 += static_cast<std::size_t>(
-        __builtin_popcountll(a[w + 1] & b[w + 1] & c[w + 1]));
-    t2 += static_cast<std::size_t>(
-        __builtin_popcountll(a[w + 2] & b[w + 2] & c[w + 2]));
-    t3 += static_cast<std::size_t>(
-        __builtin_popcountll(a[w + 3] & b[w + 3] & c[w + 3]));
-  }
-  std::size_t total = t0 + t1 + t2 + t3;
-  for (; w < n; ++w) {
-    total +=
-        static_cast<std::size_t>(__builtin_popcountll(a[w] & b[w] & c[w]));
-  }
-  return total;
-}
 
 /// 64x64 bit-block transpose (Hacker's Delight 7-5, roles swapped for
 /// the LSB-first bit convention): after the call, bit j of a[i] is the
@@ -115,11 +58,11 @@ bitvec bit_matrix::column_copy(std::size_t c) const {
 }
 
 std::size_t bit_matrix::count_row(std::size_t r) const noexcept {
-  return popcount_words(row_words(r), stride_);
+  return simd::popcount_words(row_words(r), stride_);
 }
 
 std::size_t bit_matrix::count() const noexcept {
-  return popcount_words(words_.data(), words_.size());
+  return simd::popcount_words(words_.data(), words_.size());
 }
 
 std::size_t bit_matrix::and_count(const bitvec& row_set) const {
@@ -146,21 +89,28 @@ std::size_t bit_matrix::and_count(const bitvec& row_set) const {
 
   // Branch-free specializations for the dominant query shapes (the
   // probability equations are overwhelmingly singles/pairs/triples);
-  // straight-line unrolled loops pipeline the strided loads and the
-  // popcounts.
+  // the dispatched kernels fuse the AND into the popcount sweep.
   switch (k) {
     case 1:
-      return popcount_words(ptrs[0], stride_);
+      return simd::popcount_words(ptrs[0], stride_);
     case 2:
-      return popcount_and2(ptrs[0], ptrs[1], stride_);
+      return simd::popcount_and2(ptrs[0], ptrs[1], stride_);
     case 3:
-      return popcount_and3(ptrs[0], ptrs[1], ptrs[2], stride_);
+      return simd::popcount_and3(ptrs[0], ptrs[1], ptrs[2], stride_);
     default: {
+      // Wider sets: AND into an L1-resident block, then hand the block
+      // to the dispatched popcount — the AND traffic dominates anyway.
+      constexpr std::size_t block_words = 128;
+      std::uint64_t block[block_words];
       std::size_t total = 0;
-      for (std::size_t w = 0; w < stride_; ++w) {
-        std::uint64_t acc = ptrs[0][w];
-        for (std::size_t i = 1; i < k; ++i) acc &= ptrs[i][w];
-        total += static_cast<std::size_t>(__builtin_popcountll(acc));
+      for (std::size_t w0 = 0; w0 < stride_; w0 += block_words) {
+        const std::size_t bn = std::min(block_words, stride_ - w0);
+        std::memcpy(block, ptrs[0] + w0, bn * sizeof(std::uint64_t));
+        for (std::size_t i = 1; i < k; ++i) {
+          const std::uint64_t* src = ptrs[i] + w0;
+          for (std::size_t w = 0; w < bn; ++w) block[w] &= src[w];
+        }
+        total += simd::popcount_words(block, bn);
       }
       return total;
     }
@@ -177,11 +127,10 @@ bitvec bit_matrix::full_rows() const {
 
 bitvec bit_matrix::or_of_rows() const {
   bitvec out(cols_);
+  // Rows keep bits past cols() zero, so whole-word ORs preserve the
+  // bitvec invariant.
   for (std::size_t r = 0; r < rows_; ++r) {
-    const std::uint64_t* src = row_words(r);
-    for (std::size_t w = 0; w < stride_; ++w) {
-      if (src[w] != 0) out.word_or(w, src[w]);
-    }
+    simd::or_accumulate(out.word_data(), row_words(r), stride_);
   }
   return out;
 }
@@ -259,20 +208,32 @@ bit_matrix bit_matrix::column_slice(std::size_t begin, std::size_t end) const {
 
 bit_matrix bit_matrix::transposed() const {
   bit_matrix out(cols_, rows_);
+  // Cache-blocked tiling: the 64x64 bit-block walk is grouped into
+  // 512x512-bit macro tiles, so one tile touches 512 source rows x 64
+  // bytes and 512 destination rows x 64 bytes (~64 KiB combined) —
+  // L1/L2-resident — instead of cycling every destination row once per
+  // source row block as the old column-at-a-time order did.
+  constexpr std::size_t tile = 512;
   std::uint64_t block[64];
-  for (std::size_t rb = 0; rb < rows_; rb += 64) {
-    const std::size_t rn = std::min<std::size_t>(64, rows_ - rb);
-    for (std::size_t cb = 0; cb < cols_; cb += 64) {
-      const std::size_t cn = std::min<std::size_t>(64, cols_ - cb);
-      for (std::size_t i = 0; i < rn; ++i) {
-        block[i] = row_words(rb + i)[cb / 64];
-      }
-      std::fill(block + rn, block + 64, 0ULL);
-      transpose64(block);
-      // block[j] now holds, in bit i, the old (rb+i, cb+j) bit — i.e.
-      // word rb/64 of transposed row cb+j.
-      for (std::size_t j = 0; j < cn; ++j) {
-        out.row_words(cb + j)[rb / 64] = block[j];
+  for (std::size_t rt = 0; rt < rows_; rt += tile) {
+    const std::size_t rt_end = std::min(rows_, rt + tile);
+    for (std::size_t ct = 0; ct < cols_; ct += tile) {
+      const std::size_t ct_end = std::min(cols_, ct + tile);
+      for (std::size_t rb = rt; rb < rt_end; rb += 64) {
+        const std::size_t rn = std::min<std::size_t>(64, rows_ - rb);
+        for (std::size_t cb = ct; cb < ct_end; cb += 64) {
+          const std::size_t cn = std::min<std::size_t>(64, cols_ - cb);
+          for (std::size_t i = 0; i < rn; ++i) {
+            block[i] = row_words(rb + i)[cb / 64];
+          }
+          std::fill(block + rn, block + 64, 0ULL);
+          transpose64(block);
+          // block[j] now holds, in bit i, the old (rb+i, cb+j) bit —
+          // i.e. word rb/64 of transposed row cb+j.
+          for (std::size_t j = 0; j < cn; ++j) {
+            out.row_words(cb + j)[rb / 64] = block[j];
+          }
+        }
       }
     }
   }

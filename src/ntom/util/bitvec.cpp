@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ntom/util/simd/simd.hpp"
+
 namespace ntom {
 
 namespace {
@@ -11,9 +13,9 @@ constexpr std::size_t word_count(std::size_t bits) { return (bits + 63) / 64; }
 bitvec::bitvec(std::size_t size) : size_(size), words_(word_count(size), 0) {}
 
 std::size_t bitvec::count() const noexcept {
-  std::size_t total = 0;
-  for (const auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
-  return total;
+  // Shared multi-accumulator/SIMD popcount — pathset queries off the
+  // bit_matrix fast path ride the same dispatched kernel.
+  return simd::popcount_words(words_.data(), words_.size());
 }
 
 bool bitvec::test(std::size_t i) const noexcept {

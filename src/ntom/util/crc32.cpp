@@ -2,30 +2,69 @@
 
 #include <array>
 
+#include "ntom/util/simd/simd.hpp"
+
 namespace ntom {
 
 namespace {
 
-std::array<std::uint32_t, 256> build_table() {
-  std::array<std::uint32_t, 256> table{};
+/// Slicing-by-8 tables: table[0] is the classic byte table; table[k]
+/// advances a byte through k additional zero bytes, so eight lookups
+/// retire eight input bytes per iteration (~5-6x the bytewise loop,
+/// still portable and endian-independent).
+std::array<std::array<std::uint32_t, 256>, 8> build_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables[k - 1][i];
+      tables[k][i] = tables[0][prev & 0xFFU] ^ (prev >> 8);
+    }
+  }
+  return tables;
 }
 
 }  // namespace
 
 std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
-  static const std::array<std::uint32_t, 256> table = build_table();
-  const auto* bytes = static_cast<const unsigned char*>(data);
+  static const auto tables = build_tables();
+  const auto& t = tables;
+  const auto* p = static_cast<const unsigned char*>(data);
   std::uint32_t c = seed ^ 0xFFFFFFFFU;
-  for (std::size_t i = 0; i < len; ++i) {
-    c = table[(c ^ bytes[i]) & 0xFFU] ^ (c >> 8);
+  if (len >= 64) {
+    // Bulk input goes through the CLMUL folding core when dispatch has
+    // one (trace frames are a few KiB — this is the hot case); the
+    // table loop below finishes the ragged tail.
+    if (const simd::crc32_fold_fn fold = simd::crc32_fold()) {
+      const std::size_t bulk = len & ~static_cast<std::size_t>(63);
+      c = fold(p, bulk, c);
+      p += bulk;
+      len -= bulk;
+    }
+  }
+  while (len >= 8) {
+    const std::uint32_t lo = c ^ (static_cast<std::uint32_t>(p[0]) |
+                                  static_cast<std::uint32_t>(p[1]) << 8 |
+                                  static_cast<std::uint32_t>(p[2]) << 16 |
+                                  static_cast<std::uint32_t>(p[3]) << 24);
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             static_cast<std::uint32_t>(p[5]) << 8 |
+                             static_cast<std::uint32_t>(p[6]) << 16 |
+                             static_cast<std::uint32_t>(p[7]) << 24;
+    c = t[7][lo & 0xFFU] ^ t[6][(lo >> 8) & 0xFFU] ^
+        t[5][(lo >> 16) & 0xFFU] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFU] ^
+        t[2][(hi >> 8) & 0xFFU] ^ t[1][(hi >> 16) & 0xFFU] ^ t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  for (; len != 0; --len, ++p) {
+    c = t[0][(c ^ *p) & 0xFFU] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFU;
 }

@@ -1,8 +1,11 @@
 // CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for the trace file
-// format's integrity checks. Table-driven, no hardware dependency; the
-// trace frames are large enough that CRC cost is noise next to the
-// simulation itself (bench/micro_trace.cpp measures the total capture
-// overhead).
+// format's integrity checks. Bulk input (>= 64 bytes) dispatches to
+// the CLMUL folding core in util/simd when the hardware has PCLMULQDQ
+// (~12x the table loop — per-frame CRC is on the capture hot path,
+// bench/micro_trace.cpp measures the total overhead); a portable
+// slicing-by-8 table loop is the reference and handles short input,
+// ragged tails, and NTOM_SIMD=scalar. Every path produces identical
+// checksums — tests/util/crc32_test.cpp sweeps them against each other.
 #pragma once
 
 #include <cstddef>

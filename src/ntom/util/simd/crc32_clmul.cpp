@@ -1,0 +1,114 @@
+// CLMUL-folded CRC-32 core (Gopal et al., "Fast CRC Computation for
+// Generic Polynomials Using PCLMULQDQ" — the reflected-domain folding
+// constants below are the standard ones for the IEEE 802.3 polynomial,
+// as used by zlib's SSE4.2 path). Four 128-bit lanes fold 64 input
+// bytes per iteration with carry-less multiplies, then a Barrett
+// reduction collapses the 128-bit residue to the 32-bit register —
+// roughly an order of magnitude faster than the slicing-by-8 table
+// loop on 4 KiB trace frames.
+//
+// Compiled with -msse4.1 -mpclmul (set per-file by CMakeLists.txt);
+// selected at runtime only when cpuid reports PCLMULQDQ, so the rest
+// of the library never executes these instructions on older hardware.
+#include "ntom/util/simd/kernels.hpp"
+
+#if defined(NTOM_SIMD_BUILD_CLMUL)
+
+#include <immintrin.h>
+
+namespace ntom::simd::detail {
+
+namespace {
+
+std::uint32_t fold64(const unsigned char* buf, std::size_t len,
+                     std::uint32_t crc) noexcept {
+  // x^(4·128+64), x^(4·128), x^(128+64), x^128, x^64 mod P, bit-
+  // reflected, plus the Barrett pair (P', mu) — see the paper's
+  // appendix for the derivation.
+  alignas(16) static const std::uint64_t k1k2[2] = {0x0154442bd4,
+                                                    0x01c6e41596};
+  alignas(16) static const std::uint64_t k3k4[2] = {0x01751997d0,
+                                                    0x00ccaa009e};
+  alignas(16) static const std::uint64_t k5k0[2] = {0x0163cd6124,
+                                                    0x0000000000};
+  alignas(16) static const std::uint64_t poly[2] = {0x01db710641,
+                                                    0x01f7011641};
+
+  const auto* p = reinterpret_cast<const __m128i*>(buf);
+  __m128i x1 = _mm_loadu_si128(p + 0);
+  __m128i x2 = _mm_loadu_si128(p + 1);
+  __m128i x3 = _mm_loadu_si128(p + 2);
+  __m128i x4 = _mm_loadu_si128(p + 3);
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+
+  __m128i k = _mm_load_si128(reinterpret_cast<const __m128i*>(k1k2));
+  p += 4;
+  len -= 64;
+
+  // Fold 64 bytes per iteration across four independent lanes.
+  while (len >= 64) {
+    const __m128i f1 = _mm_clmulepi64_si128(x1, k, 0x00);
+    const __m128i f2 = _mm_clmulepi64_si128(x2, k, 0x00);
+    const __m128i f3 = _mm_clmulepi64_si128(x3, k, 0x00);
+    const __m128i f4 = _mm_clmulepi64_si128(x4, k, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, k, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, k, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, k, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, f1), _mm_loadu_si128(p + 0));
+    x2 = _mm_xor_si128(_mm_xor_si128(x2, f2), _mm_loadu_si128(p + 1));
+    x3 = _mm_xor_si128(_mm_xor_si128(x3, f3), _mm_loadu_si128(p + 2));
+    x4 = _mm_xor_si128(_mm_xor_si128(x4, f4), _mm_loadu_si128(p + 3));
+    p += 4;
+    len -= 64;
+  }
+
+  // Fold the four lanes into one 128-bit residue.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(k3k4));
+  __m128i f = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), f);
+  f = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x3), f);
+  f = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x4), f);
+
+  // 128 -> 64 bits.
+  const __m128i mask32 = _mm_setr_epi32(~0, 0, ~0, 0);
+  f = _mm_clmulepi64_si128(x1, k, 0x10);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, f);
+
+  k = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(k5k0));
+  f = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, mask32);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_xor_si128(x1, f);
+
+  // Barrett reduction to the 32-bit register.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(poly));
+  f = _mm_and_si128(x1, mask32);
+  f = _mm_clmulepi64_si128(f, k, 0x10);
+  f = _mm_and_si128(f, mask32);
+  f = _mm_clmulepi64_si128(f, k, 0x00);
+  x1 = _mm_xor_si128(x1, f);
+  return static_cast<std::uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+}  // namespace
+
+crc32_fold_fn crc32_clmul_fold() noexcept { return fold64; }
+
+}  // namespace ntom::simd::detail
+
+#else  // !NTOM_SIMD_BUILD_CLMUL
+
+namespace ntom::simd::detail {
+
+crc32_fold_fn crc32_clmul_fold() noexcept { return nullptr; }
+
+}  // namespace ntom::simd::detail
+
+#endif

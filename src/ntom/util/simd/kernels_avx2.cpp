@@ -1,0 +1,158 @@
+// AVX2 kernel table: Harley–Seal carry-save popcount (Muła/Kurz/Lemire
+// style). Sixteen 256-bit lanes per iteration feed a carry-save adder
+// network so only one in sixteen vectors pays the VPSHUFB
+// nibble-lookup popcount; the ones/twos/fours/eights residues are
+// folded in after the main loop with their binary weights.
+//
+// Compiled with -mavx2 (set per-file by CMakeLists.txt); selected at
+// runtime only when cpuid reports AVX2, so the rest of the library
+// never executes these instructions on older hardware.
+#include "ntom/util/simd/kernels.hpp"
+
+#if defined(NTOM_SIMD_BUILD_AVX2)
+
+#include <immintrin.h>
+
+namespace ntom::simd::detail {
+
+namespace {
+
+/// Per-64-bit-lane popcount of one 256-bit vector via the nibble
+/// lookup table + horizontal byte sums (VPSADBW).
+inline __m256i popcount_lanes(__m256i v) noexcept {
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i sums = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                       _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(sums, _mm256_setzero_si256());
+}
+
+/// Carry-save full adder over bit-sliced counters: consumes a and b
+/// into the running parity `lo`, emitting the carries in `hi`.
+inline void csa(__m256i& hi, __m256i& lo, __m256i a, __m256i b) noexcept {
+  const __m256i u = _mm256_xor_si256(a, b);
+  hi = _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, lo));
+  lo = _mm256_xor_si256(u, lo);
+}
+
+inline std::uint64_t horizontal_sum(__m256i v) noexcept {
+  const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(v),
+                                  _mm256_extracti128_si256(v, 1));
+  return static_cast<std::uint64_t>(_mm_extract_epi64(s, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+/// `load(v)` yields the v-th 256-bit vector (4 words) of the fused
+/// input stream, `tail(w)` the w-th word — the AND fusion lives in the
+/// callers' lambdas so one adder network serves all three kernels.
+template <typename Load, typename Tail>
+std::size_t harley_seal(std::size_t n, Load load, Tail tail) noexcept {
+  const std::size_t nvec = n / 4;
+  __m256i total = _mm256_setzero_si256();
+  __m256i ones = _mm256_setzero_si256();
+  __m256i twos = _mm256_setzero_si256();
+  __m256i fours = _mm256_setzero_si256();
+  __m256i eights = _mm256_setzero_si256();
+  std::size_t v = 0;
+  for (; v + 16 <= nvec; v += 16) {
+    __m256i twos_a, twos_b, fours_a, fours_b, eights_a, eights_b, sixteens;
+    csa(twos_a, ones, load(v + 0), load(v + 1));
+    csa(twos_b, ones, load(v + 2), load(v + 3));
+    csa(fours_a, twos, twos_a, twos_b);
+    csa(twos_a, ones, load(v + 4), load(v + 5));
+    csa(twos_b, ones, load(v + 6), load(v + 7));
+    csa(fours_b, twos, twos_a, twos_b);
+    csa(eights_a, fours, fours_a, fours_b);
+    csa(twos_a, ones, load(v + 8), load(v + 9));
+    csa(twos_b, ones, load(v + 10), load(v + 11));
+    csa(fours_a, twos, twos_a, twos_b);
+    csa(twos_a, ones, load(v + 12), load(v + 13));
+    csa(twos_b, ones, load(v + 14), load(v + 15));
+    csa(fours_b, twos, twos_a, twos_b);
+    csa(eights_b, fours, fours_a, fours_b);
+    csa(sixteens, eights, eights_a, eights_b);
+    total = _mm256_add_epi64(total, popcount_lanes(sixteens));
+  }
+  total = _mm256_slli_epi64(total, 4);
+  total = _mm256_add_epi64(total,
+                           _mm256_slli_epi64(popcount_lanes(eights), 3));
+  total =
+      _mm256_add_epi64(total, _mm256_slli_epi64(popcount_lanes(fours), 2));
+  total = _mm256_add_epi64(total, _mm256_slli_epi64(popcount_lanes(twos), 1));
+  total = _mm256_add_epi64(total, popcount_lanes(ones));
+  for (; v < nvec; ++v) {
+    total = _mm256_add_epi64(total, popcount_lanes(load(v)));
+  }
+  std::size_t count = static_cast<std::size_t>(horizontal_sum(total));
+  for (std::size_t w = nvec * 4; w < n; ++w) {
+    count += static_cast<std::size_t>(__builtin_popcountll(tail(w)));
+  }
+  return count;
+}
+
+inline __m256i loadu(const std::uint64_t* p) noexcept {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+std::size_t popcount_words_avx2(const std::uint64_t* a, std::size_t n) {
+  return harley_seal(
+      n, [a](std::size_t v) { return loadu(a + 4 * v); },
+      [a](std::size_t w) { return a[w]; });
+}
+
+std::size_t popcount_and2_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                               std::size_t n) {
+  return harley_seal(
+      n,
+      [a, b](std::size_t v) {
+        return _mm256_and_si256(loadu(a + 4 * v), loadu(b + 4 * v));
+      },
+      [a, b](std::size_t w) { return a[w] & b[w]; });
+}
+
+std::size_t popcount_and3_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                               const std::uint64_t* c, std::size_t n) {
+  return harley_seal(
+      n,
+      [a, b, c](std::size_t v) {
+        return _mm256_and_si256(
+            _mm256_and_si256(loadu(a + 4 * v), loadu(b + 4 * v)),
+            loadu(c + 4 * v));
+      },
+      [a, b, c](std::size_t w) { return a[w] & b[w] & c[w]; });
+}
+
+void or_accumulate_avx2(std::uint64_t* dst, const std::uint64_t* src,
+                        std::size_t n) {
+  std::size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i d = loadu(dst + w);
+    const __m256i s = loadu(src + w);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_or_si256(d, s));
+  }
+  for (; w < n; ++w) dst[w] |= src[w];
+}
+
+constexpr kernel_table table = {popcount_words_avx2, popcount_and2_avx2,
+                                popcount_and3_avx2, or_accumulate_avx2};
+
+}  // namespace
+
+const kernel_table* avx2_table() noexcept { return &table; }
+
+}  // namespace ntom::simd::detail
+
+#else  // !NTOM_SIMD_BUILD_AVX2
+
+namespace ntom::simd::detail {
+
+const kernel_table* avx2_table() noexcept { return nullptr; }
+
+}  // namespace ntom::simd::detail
+
+#endif

@@ -1,0 +1,115 @@
+// AVX-512 kernel table: the VPOPCNTDQ instruction counts eight 64-bit
+// lanes per cycle, so the kernels are plain vertical accumulate loops —
+// four independent 512-bit accumulators hide the add latency, the AND
+// fusion folds into the loads, and the tail falls back to scalar
+// POPCNT.
+//
+// Compiled with -mavx512f -mavx512vpopcntdq (set per-file by
+// CMakeLists.txt); selected at runtime only when cpuid reports both
+// features.
+#include "ntom/util/simd/kernels.hpp"
+
+#if defined(NTOM_SIMD_BUILD_AVX512)
+
+#include <immintrin.h>
+
+namespace ntom::simd::detail {
+
+namespace {
+
+/// `load(v)` yields the v-th 512-bit vector (8 words) of the fused
+/// input stream, `tail(w)` the w-th word.
+template <typename Load, typename Tail>
+std::size_t vpopcnt(std::size_t n, Load load, Tail tail) noexcept {
+  const std::size_t nvec = n / 8;
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  __m512i acc2 = _mm512_setzero_si512();
+  __m512i acc3 = _mm512_setzero_si512();
+  std::size_t v = 0;
+  for (; v + 4 <= nvec; v += 4) {
+    acc0 = _mm512_add_epi64(acc0, _mm512_popcnt_epi64(load(v + 0)));
+    acc1 = _mm512_add_epi64(acc1, _mm512_popcnt_epi64(load(v + 1)));
+    acc2 = _mm512_add_epi64(acc2, _mm512_popcnt_epi64(load(v + 2)));
+    acc3 = _mm512_add_epi64(acc3, _mm512_popcnt_epi64(load(v + 3)));
+  }
+  for (; v < nvec; ++v) {
+    acc0 = _mm512_add_epi64(acc0, _mm512_popcnt_epi64(load(v)));
+  }
+  acc0 = _mm512_add_epi64(_mm512_add_epi64(acc0, acc1),
+                          _mm512_add_epi64(acc2, acc3));
+  // Horizontal sum via a stack store: _mm512_reduce_add_epi64 trips a
+  // spurious -Wuninitialized inside GCC 12's intrinsics header.
+  std::uint64_t lanes[8];
+  _mm512_storeu_si512(lanes, acc0);
+  std::size_t count = 0;
+  for (const std::uint64_t lane : lanes) {
+    count += static_cast<std::size_t>(lane);
+  }
+  for (std::size_t w = nvec * 8; w < n; ++w) {
+    count += static_cast<std::size_t>(__builtin_popcountll(tail(w)));
+  }
+  return count;
+}
+
+inline __m512i loadu(const std::uint64_t* p) noexcept {
+  return _mm512_loadu_si512(p);
+}
+
+std::size_t popcount_words_avx512(const std::uint64_t* a, std::size_t n) {
+  return vpopcnt(
+      n, [a](std::size_t v) { return loadu(a + 8 * v); },
+      [a](std::size_t w) { return a[w]; });
+}
+
+std::size_t popcount_and2_avx512(const std::uint64_t* a,
+                                 const std::uint64_t* b, std::size_t n) {
+  return vpopcnt(
+      n,
+      [a, b](std::size_t v) {
+        return _mm512_and_si512(loadu(a + 8 * v), loadu(b + 8 * v));
+      },
+      [a, b](std::size_t w) { return a[w] & b[w]; });
+}
+
+std::size_t popcount_and3_avx512(const std::uint64_t* a,
+                                 const std::uint64_t* b,
+                                 const std::uint64_t* c, std::size_t n) {
+  return vpopcnt(
+      n,
+      [a, b, c](std::size_t v) {
+        return _mm512_and_si512(
+            _mm512_and_si512(loadu(a + 8 * v), loadu(b + 8 * v)),
+            loadu(c + 8 * v));
+      },
+      [a, b, c](std::size_t w) { return a[w] & b[w] & c[w]; });
+}
+
+void or_accumulate_avx512(std::uint64_t* dst, const std::uint64_t* src,
+                          std::size_t n) {
+  std::size_t w = 0;
+  for (; w + 8 <= n; w += 8) {
+    _mm512_storeu_si512(dst + w,
+                        _mm512_or_si512(loadu(dst + w), loadu(src + w)));
+  }
+  for (; w < n; ++w) dst[w] |= src[w];
+}
+
+constexpr kernel_table table = {popcount_words_avx512, popcount_and2_avx512,
+                                popcount_and3_avx512, or_accumulate_avx512};
+
+}  // namespace
+
+const kernel_table* avx512_table() noexcept { return &table; }
+
+}  // namespace ntom::simd::detail
+
+#else  // !NTOM_SIMD_BUILD_AVX512
+
+namespace ntom::simd::detail {
+
+const kernel_table* avx512_table() noexcept { return nullptr; }
+
+}  // namespace ntom::simd::detail
+
+#endif

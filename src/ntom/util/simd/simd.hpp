@@ -1,0 +1,86 @@
+// Runtime-dispatched SIMD kernels for the packed bit stores.
+//
+// Every estimator reduces to fused AND+popcount sweeps over bit_matrix
+// rows, so these four kernels bound the whole stack. The dispatch
+// ladder is probed once at startup (cpuid) and selects the widest
+// implementation the hardware supports; every level computes
+// bit-identical results, with the scalar level serving as the reference
+// the tests and benches check the others against. Callers never pick a
+// level — bit_matrix and bitvec route through the dispatched free
+// functions below — but tests, benches, and the NTOM_SIMD env override
+// (or the CLIs' --simd flag) can force one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ntom::simd {
+
+/// Dispatch ladder, ascending. Higher levels require hardware support.
+enum class level : int {
+  scalar = 0,  ///< portable SWAR popcount, plain word loops
+  popcnt = 1,  ///< hardware POPCNT, four-accumulator unrolled loops
+  avx2 = 2,    ///< 256-bit Harley–Seal carry-save adder popcount
+  avx512 = 3,  ///< 512-bit VPOPCNTDQ vertical popcount
+};
+
+[[nodiscard]] const char* level_name(level l) noexcept;
+
+/// Parses "scalar" / "popcnt" / "avx2" / "avx512" (the NTOM_SIMD and
+/// --simd vocabulary); false on anything else, leaving `out` untouched.
+[[nodiscard]] bool parse_level(const std::string& name, level& out) noexcept;
+
+/// Highest level this hardware (and this build) supports.
+[[nodiscard]] level detected_level() noexcept;
+
+/// Level currently driving the dispatched kernels. Defaults to
+/// detected_level(); NTOM_SIMD=<name> in the environment overrides it
+/// at startup (unknown names warn and are ignored, levels above the
+/// hardware warn and clamp to detected).
+[[nodiscard]] level active_level() noexcept;
+
+/// Switches dispatch at runtime (tests and benches sweep the ladder
+/// this way). Returns false — and changes nothing — when `l` exceeds
+/// detected_level().
+bool set_level(level l) noexcept;
+
+/// Every level this host can run: scalar .. detected_level(), ascending.
+[[nodiscard]] std::vector<level> available_levels();
+
+// ----------------------------------------------------------- kernels
+// All kernels operate on packed 64-bit word arrays (no alignment
+// requirement) and tolerate n == 0.
+
+/// Total set bits in a[0..n).
+[[nodiscard]] std::size_t popcount_words(const std::uint64_t* a,
+                                         std::size_t n) noexcept;
+
+/// Set bits of the elementwise AND of two word arrays — the fused
+/// pair-query kernel (no intermediate is materialized).
+[[nodiscard]] std::size_t popcount_and2(const std::uint64_t* a,
+                                        const std::uint64_t* b,
+                                        std::size_t n) noexcept;
+
+/// Set bits of the elementwise AND of three word arrays.
+[[nodiscard]] std::size_t popcount_and3(const std::uint64_t* a,
+                                        const std::uint64_t* b,
+                                        const std::uint64_t* c,
+                                        std::size_t n) noexcept;
+
+/// dst[i] |= src[i] for i in [0, n) — the OR-reduction kernel.
+void or_accumulate(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n) noexcept;
+
+/// CLMUL-folded CRC-32 core used by ntom::crc32 for bulk input:
+/// advances the raw (pre-conditioned) CRC register over `len` bytes,
+/// where `len` must be a non-zero multiple of 64. Returns nullptr when
+/// the hardware lacks PCLMULQDQ, the build could not compile it, or
+/// dispatch is forced to the scalar level (NTOM_SIMD=scalar keeps the
+/// whole stack scalar, including checksums).
+using crc32_fold_fn = std::uint32_t (*)(const unsigned char* data,
+                                        std::size_t len, std::uint32_t crc);
+[[nodiscard]] crc32_fold_fn crc32_fold() noexcept;
+
+}  // namespace ntom::simd

@@ -1,0 +1,241 @@
+// Every dispatch level must be bit-identical to the scalar reference —
+// the correctness oracle of the SIMD kernel layer. The sweeps cover the
+// ragged shapes the packed stores produce: empty, single-word,
+// word-boundary +/- 1, multi-word with partial tails, and the
+// Harley–Seal main-loop boundary (64 words per iteration on AVX2).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ntom/util/bit_matrix.hpp"
+#include "ntom/util/bitvec.hpp"
+#include "ntom/util/rng.hpp"
+#include "ntom/util/simd/simd.hpp"
+
+namespace {
+
+using ntom::bit_matrix;
+using ntom::bitvec;
+using ntom::rng;
+namespace simd = ntom::simd;
+
+/// Restores the entry dispatch level on scope exit so a failing sweep
+/// cannot poison later tests.
+struct level_guard {
+  simd::level saved = simd::active_level();
+  ~level_guard() { simd::set_level(saved); }
+};
+
+/// Naive per-bit popcount, independent of every kernel under test.
+std::size_t naive_popcount(const std::uint64_t* a, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < n; ++w) {
+    for (int b = 0; b < 64; ++b) total += (a[w] >> b) & 1u;
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> random_words(std::size_t n, std::uint64_t seed) {
+  rng r(seed);
+  std::vector<std::uint64_t> out(n);
+  for (auto& w : out) w = r.next_u64();
+  return out;
+}
+
+// Word counts covering 0, sub-vector tails, vector boundaries, and the
+// 64-word Harley–Seal block boundary.
+const std::size_t kWordSizes[] = {0,  1,  2,  3,  4,  5,   7,   8,  9,
+                                  15, 16, 17, 31, 32, 63,  64,  65, 100,
+                                  127, 128, 129, 313, 1024};
+
+TEST(SimdKernel, LevelNamesRoundTrip) {
+  for (const simd::level l : {simd::level::scalar, simd::level::popcnt,
+                              simd::level::avx2, simd::level::avx512}) {
+    simd::level parsed{};
+    ASSERT_TRUE(simd::parse_level(simd::level_name(l), parsed));
+    EXPECT_EQ(parsed, l);
+  }
+  simd::level parsed{};
+  EXPECT_FALSE(simd::parse_level("sse9", parsed));
+  EXPECT_FALSE(simd::parse_level("", parsed));
+}
+
+TEST(SimdKernel, AvailableLevelsAscendToDetected) {
+  const auto levels = simd::available_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), simd::level::scalar);
+  EXPECT_EQ(levels.back(), simd::detected_level());
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_LT(static_cast<int>(levels[i - 1]), static_cast<int>(levels[i]));
+  }
+  EXPECT_LE(static_cast<int>(simd::active_level()),
+            static_cast<int>(simd::detected_level()));
+}
+
+TEST(SimdKernel, SetLevelRejectsAboveDetected) {
+  level_guard guard;
+  const auto detected = simd::detected_level();
+  if (detected != simd::level::avx512) {
+    EXPECT_FALSE(simd::set_level(simd::level::avx512));
+    EXPECT_EQ(simd::active_level(), guard.saved);
+  }
+  ASSERT_TRUE(simd::set_level(simd::level::scalar));
+  EXPECT_EQ(simd::active_level(), simd::level::scalar);
+  ASSERT_TRUE(simd::set_level(detected));
+  EXPECT_EQ(simd::active_level(), detected);
+}
+
+TEST(SimdKernel, PopcountWordsMatchesReferenceAcrossLevels) {
+  level_guard guard;
+  for (const std::size_t n : kWordSizes) {
+    auto data = random_words(n, 1000 + n);
+    // Edge patterns on top of the random fill.
+    if (n > 0) {
+      data[0] = ~std::uint64_t{0};
+      data[n - 1] = 0x8000000000000001ULL;
+    }
+    const std::size_t expected = naive_popcount(data.data(), n);
+    for (const simd::level l : simd::available_levels()) {
+      ASSERT_TRUE(simd::set_level(l));
+      EXPECT_EQ(simd::popcount_words(data.data(), n), expected)
+          << "level=" << simd::level_name(l) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernel, PopcountAnd2And3MatchesReferenceAcrossLevels) {
+  level_guard guard;
+  for (const std::size_t n : kWordSizes) {
+    const auto a = random_words(n, 2000 + n);
+    const auto b = random_words(n, 3000 + n);
+    const auto c = random_words(n, 4000 + n);
+    std::vector<std::uint64_t> and2(n), and3(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      and2[w] = a[w] & b[w];
+      and3[w] = a[w] & b[w] & c[w];
+    }
+    const std::size_t expected2 = naive_popcount(and2.data(), n);
+    const std::size_t expected3 = naive_popcount(and3.data(), n);
+    for (const simd::level l : simd::available_levels()) {
+      ASSERT_TRUE(simd::set_level(l));
+      EXPECT_EQ(simd::popcount_and2(a.data(), b.data(), n), expected2)
+          << "level=" << simd::level_name(l) << " n=" << n;
+      EXPECT_EQ(simd::popcount_and3(a.data(), b.data(), c.data(), n),
+                expected3)
+          << "level=" << simd::level_name(l) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernel, OrAccumulateMatchesReferenceAcrossLevels) {
+  level_guard guard;
+  for (const std::size_t n : kWordSizes) {
+    const auto base = random_words(n, 5000 + n);
+    const auto src = random_words(n, 6000 + n);
+    std::vector<std::uint64_t> expected(n);
+    for (std::size_t w = 0; w < n; ++w) expected[w] = base[w] | src[w];
+    for (const simd::level l : simd::available_levels()) {
+      ASSERT_TRUE(simd::set_level(l));
+      auto dst = base;
+      simd::or_accumulate(dst.data(), src.data(), n);
+      EXPECT_EQ(dst, expected)
+          << "level=" << simd::level_name(l) << " n=" << n;
+    }
+  }
+}
+
+/// Random matrix with every tail-word shape; bits past cols stay zero
+/// by construction (set via the public API).
+bit_matrix random_matrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
+  bit_matrix m(rows, cols);
+  rng r(seed);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (r.next_u64() & 1u) m.set(i, c);
+    }
+  }
+  return m;
+}
+
+// Ragged row widths from the issue checklist: 0, 1, 63, 64, 65,
+// 4095-bit rows all exercise distinct tail-word masks.
+const std::size_t kBitSizes[] = {0, 1, 63, 64, 65, 130, 4095};
+
+TEST(SimdKernel, BitMatrixKernelsIdenticalAcrossLevels) {
+  level_guard guard;
+  for (const std::size_t cols : kBitSizes) {
+    const bit_matrix m = random_matrix(6, cols, 70 + cols);
+    bitvec pair(6), triple(6), wide(6);
+    pair.set(0);
+    pair.set(3);
+    triple.set(1);
+    triple.set(2);
+    triple.set(4);
+    for (std::size_t i = 0; i < 5; ++i) wide.set(i);
+
+    // Scalar first: the reference row of the sweep.
+    ASSERT_TRUE(simd::set_level(simd::level::scalar));
+    const std::size_t ref_count = m.count();
+    const std::size_t ref_row0 = m.count_row(0);
+    const std::size_t ref_pair = m.and_count(pair);
+    const std::size_t ref_triple = m.and_count(triple);
+    const std::size_t ref_wide = m.and_count(wide);
+    const bitvec ref_full = m.full_rows();
+    const bitvec ref_or = m.or_of_rows();
+
+    for (const simd::level l : simd::available_levels()) {
+      ASSERT_TRUE(simd::set_level(l));
+      EXPECT_EQ(m.count(), ref_count) << simd::level_name(l);
+      EXPECT_EQ(m.count_row(0), ref_row0) << simd::level_name(l);
+      EXPECT_EQ(m.and_count(pair), ref_pair) << simd::level_name(l);
+      EXPECT_EQ(m.and_count(triple), ref_triple) << simd::level_name(l);
+      EXPECT_EQ(m.and_count(wide), ref_wide) << simd::level_name(l);
+      EXPECT_EQ(m.full_rows(), ref_full) << simd::level_name(l);
+      EXPECT_EQ(m.or_of_rows(), ref_or) << simd::level_name(l);
+    }
+  }
+}
+
+TEST(SimdKernel, BitvecCountIdenticalAcrossLevels) {
+  level_guard guard;
+  for (const std::size_t bits : kBitSizes) {
+    bitvec v(bits);
+    rng r(90 + bits);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (r.next_u64() & 1u) {
+        v.set(i);
+        ++expected;
+      }
+    }
+    for (const simd::level l : simd::available_levels()) {
+      ASSERT_TRUE(simd::set_level(l));
+      EXPECT_EQ(v.count(), expected)
+          << "level=" << simd::level_name(l) << " bits=" << bits;
+    }
+  }
+}
+
+TEST(SimdKernel, BlockedTransposeMatchesNaive) {
+  // Shapes straddling the 64-bit block and 512-bit macro-tile edges.
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {0, 5},  {5, 0},   {1, 1},    {63, 65},  {64, 64},   {65, 63},
+      {130, 257}, {300, 70}, {511, 513}, {513, 511}, {1030, 40}};
+  for (const auto& [rows, cols] : shapes) {
+    const bit_matrix m = random_matrix(rows, cols, rows * 7919 + cols);
+    const bit_matrix t = m.transposed();
+    ASSERT_EQ(t.rows(), cols);
+    ASSERT_EQ(t.cols(), rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        ASSERT_EQ(m.test(i, c), t.test(c, i))
+            << rows << "x" << cols << " @ (" << i << "," << c << ")";
+      }
+    }
+    EXPECT_EQ(t.transposed(), m);
+  }
+}
+
+}  // namespace
