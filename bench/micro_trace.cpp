@@ -9,8 +9,11 @@
 //   ./micro_trace --intervals=50000 --json
 //
 // --json[=<path>] writes BENCH_micro_trace.json. Gated headline cells:
-// trace/file_bytes and trace/bytes_per_interval (exact — any drift is a
-// format change) and replay/identical (the self-check). Timing cells
+// trace/file_bytes, trace/bytes_per_interval (negotiated codecs),
+// trace/raw_file_bytes, trace/raw_bytes_per_interval (compress=false —
+// the pair pins the format's compression win exactly; any drift is a
+// format change), replay/identical, replay/mmap_identical, and
+// capture/sync_async_identical (the self-checks). Timing cells
 // (capture_overhead_pct, speedup_vs_simulate_x, *_seconds) are recorded
 // for trend reading, never gated.
 #include <algorithm>
@@ -135,6 +138,19 @@ int main(int argc, char** argv) {
     capture_sync_seconds = std::min(capture_sync_seconds, seconds_since(t2));
   }
 
+  // Raw capture (negotiation off) for the compression headline — size
+  // only, untimed.
+  std::uint64_t raw_file_bytes = 0;
+  const std::string raw_path = trace_path + ".raw";
+  {
+    run_config raw_config = config;
+    raw_config.capture.path = raw_path;
+    raw_config.capture.compress = false;
+    const auto raw_writer = make_capture_writer(raw_config, live);
+    stream_experiment(live, config, *raw_writer);
+    raw_file_bytes = raw_writer->bytes_written();
+  }
+
   const trace_reader reader(trace_path);
   double replay_seconds = 1e300;
   for (std::size_t r = 0; r < reps; ++r) {
@@ -154,6 +170,10 @@ int main(int argc, char** argv) {
   const double replay_speedup = simulate_seconds / replay_seconds;
   const double bytes_per_interval =
       static_cast<double>(file_bytes) / static_cast<double>(intervals);
+  const double raw_bytes_per_interval =
+      static_cast<double>(raw_file_bytes) / static_cast<double>(intervals);
+  const double compression_x =
+      static_cast<double>(raw_file_bytes) / static_cast<double>(file_bytes);
 
   // Self-check: the async background writer and the sync path must
   // produce byte-for-byte the same file.
@@ -175,6 +195,16 @@ int main(int argc, char** argv) {
   const auto replay_rows = eval(replay_config, replay_run);
   const bool identical = rows_identical(live_rows, replay_rows);
 
+  // Self-check: buffered replay must match the default path (which
+  // serves zero-copy from an mmap view where the platform allows).
+  run_config buffered_config = replay_config;
+  buffered_config.scenario =
+      replay_config.scenario.with_option("mmap", "false");
+  const run_artifacts buffered_run = prepare_run(buffered_config);
+  const bool mmap_identical =
+      rows_identical(live_rows, eval(buffered_config, buffered_run)) &&
+      identical;
+
   std::printf("micro_trace: %zu paths x %zu intervals, %zu reps\n\n",
               live.topo().num_paths(), intervals, reps);
   std::printf("  simulate pass              %8.3f s\n", simulate_seconds);
@@ -184,14 +214,21 @@ int main(int argc, char** argv) {
               capture_sync_seconds, overhead_sync_pct);
   std::printf("  replay pass                %8.3f s  (%.2fx vs simulate)\n",
               replay_seconds, replay_speedup);
-  std::printf("  trace file                 %8llu bytes (%.1f per interval)\n",
+  std::printf("  trace file (negotiated)    %8llu bytes (%.2f per interval)\n",
               static_cast<unsigned long long>(file_bytes),
               bytes_per_interval);
+  std::printf("  trace file (raw planes)    %8llu bytes (%.2f per interval, "
+              "compression x%.2f)\n",
+              static_cast<unsigned long long>(raw_file_bytes),
+              raw_bytes_per_interval, compression_x);
   std::printf("  sync vs async capture file %s\n",
               sync_async_identical ? "BYTE-IDENTICAL" : "DIFFER (BUG)");
   std::printf("  capture->replay estimator rows %s\n",
               identical ? "BIT-IDENTICAL" : "DIFFER (BUG)");
-  if (!identical || !sync_async_identical) return 1;
+  std::printf("  mmap vs buffered replay rows   %s  (default replay %s)\n",
+              mmap_identical ? "BIT-IDENTICAL" : "DIFFER (BUG)",
+              reader.mapped() ? "mmap'd" : "buffered");
+  if (!identical || !sync_async_identical || !mmap_identical) return 1;
 
   batch_report report;
   run_result result;
@@ -208,8 +245,12 @@ int main(int argc, char** argv) {
       {"replay", "pass_seconds", replay_seconds},
       {"replay", "speedup_vs_simulate_x", replay_speedup},
       {"replay", "identical", identical ? 1.0 : 0.0},
+      {"replay", "mmap_identical", mmap_identical ? 1.0 : 0.0},
       {"trace", "file_bytes", static_cast<double>(file_bytes)},
       {"trace", "bytes_per_interval", bytes_per_interval},
+      {"trace", "raw_file_bytes", static_cast<double>(raw_file_bytes)},
+      {"trace", "raw_bytes_per_interval", raw_bytes_per_interval},
+      {"trace", "compression_x", compression_x},
   };
   report.total_seconds = result.seconds;
   report.add(std::move(result));
@@ -218,5 +259,6 @@ int main(int argc, char** argv) {
                           {"reps", std::to_string(reps)}});
   std::remove(trace_path.c_str());
   std::remove(sync_path.c_str());
+  std::remove(raw_path.c_str());
   return 0;
 }

@@ -30,6 +30,12 @@
 //   import   --in=loss.txt --out=run.trc [--topo=FILE] [--threshold F]
 //            Convert an external per-path loss text trace
 //            (TopoConfluence-style ns-3 summaries) into a .trc dataset.
+//   corpus   stat  FILE|DIR ...      per-file codec and size report
+//            merge --out=FILE A B .. concatenate datasets (same topology)
+//            split --parts=N FILE    frame-aligned shards FILE.partK.trc
+//            index DIR               write DIR/corpus.json manifest
+//            Corpus maintenance over .trc files; stat fully verifies
+//            each file (CRCs, structure, index agreement) on the way.
 //   serve    [--scenario=SPEC | --file=run.trc] [--topo=TOPOSPEC]
 //            [--intervals N] [--seed N] [--window W] [--chunk N]
 //            [--estimator=SPEC] [--refit-every N] [--epochs N]
@@ -51,6 +57,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -68,6 +75,7 @@
 #include "ntom/service/service.hpp"
 #include "ntom/sim/scenario.hpp"
 #include "ntom/topogen/registry.hpp"
+#include "ntom/trace/corpus.hpp"
 #include "ntom/trace/imperfection.hpp"
 #include "ntom/trace/import.hpp"
 #include "ntom/trace/trace_writer.hpp"
@@ -79,7 +87,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: ntom_cli "
-               "<gen|dot|monitor|capture|replay|import|serve|list> "
+               "<gen|dot|monitor|capture|replay|import|corpus|serve|list> "
                "[--flags]\n"
                "  gen     --kind=TOPOSPEC --out=FILE [--seed N] [--paper]\n"
                "  dot     --topo=FILE --out=FILE\n"
@@ -93,6 +101,9 @@ int usage() {
                "  replay  --file=FILE [--estimators=SPECS] [--streamed]\n"
                "          [--chunk N] [--imperfect=SPECS] [--policy=SPEC]\n"
                "  import  --in=FILE --out=FILE [--topo=FILE] [--threshold F]\n"
+               "  corpus  stat FILE|DIR... | merge --out=FILE A B... |\n"
+               "          split --parts=N FILE | index DIR\n"
+               "          [--no-compress] [--sync] on merge/split outputs\n"
                "  serve   [--scenario=SPEC | --file=FILE] [--topo=TOPOSPEC]\n"
                "          [--intervals N] [--seed N] [--window W] [--chunk N]\n"
                "          [--estimator=SPEC] [--refit-every N] [--epochs N]\n"
@@ -425,6 +436,110 @@ int cmd_import(const ntom::flags& opts) {
   return 0;
 }
 
+void print_corpus_stat(const ntom::corpus_file_stat& s) {
+  std::printf(
+      "%s: v%u, %llu intervals / %llu frames, %llu bytes "
+      "(%.2f B/interval, compression x%.2f)%s%s%s\n",
+      s.path.c_str(), s.version, static_cast<unsigned long long>(s.intervals),
+      static_cast<unsigned long long>(s.frames),
+      static_cast<unsigned long long>(s.file_bytes), s.bytes_per_interval(),
+      s.compression(), s.has_truth ? ", truth" : "",
+      s.has_mask ? ", mask" : "", s.has_index ? ", indexed" : "");
+  for (std::size_t c = 0; c < s.by_codec.size(); ++c) {
+    const ntom::corpus_codec_totals& t = s.by_codec[c];
+    if (t.sections == 0) continue;
+    std::printf("  %-8s %6llu sections  %10llu -> %llu bytes\n",
+                ntom::trace_codec::codec_name(static_cast<std::uint8_t>(c)),
+                static_cast<unsigned long long>(t.sections),
+                static_cast<unsigned long long>(t.decoded_bytes),
+                static_cast<unsigned long long>(t.encoded_bytes));
+  }
+}
+
+int cmd_corpus(const ntom::flags& opts) {
+  using namespace ntom;
+  const std::vector<std::string>& pos = opts.positional();
+  // main hands flags argv+1, and flags skips its own argv[0] ("corpus"),
+  // so the first positional is already the sub-verb.
+  if (pos.empty()) return usage();
+  const std::string verb = pos[0];
+  const std::vector<std::string> args(pos.begin() + 1, pos.end());
+  corpus_write_options wopts;
+  wopts.compress = !opts.get_bool("no-compress", false);
+  wopts.async = !opts.get_bool("sync", false);
+
+  if (verb == "stat") {
+    if (args.empty()) return usage();
+    std::uint64_t intervals = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t decoded = 0;
+    std::uint64_t encoded = 0;
+    std::size_t files = 0;
+    for (const std::string& arg : args) {
+      std::vector<std::string> paths;
+      if (std::filesystem::is_directory(arg)) {
+        paths = list_corpus_files(arg);
+      } else {
+        paths.push_back(arg);
+      }
+      for (const std::string& path : paths) {
+        const corpus_file_stat s = stat_trace_file(path);
+        print_corpus_stat(s);
+        intervals += s.intervals;
+        bytes += s.file_bytes;
+        decoded += s.decoded_bytes;
+        encoded += s.encoded_bytes;
+        ++files;
+      }
+    }
+    if (files > 1) {
+      std::printf(
+          "total: %zu files, %llu intervals, %llu bytes "
+          "(%.2f B/interval, compression x%.2f)\n",
+          files, static_cast<unsigned long long>(intervals),
+          static_cast<unsigned long long>(bytes),
+          intervals > 0 ? static_cast<double>(bytes) /
+                              static_cast<double>(intervals)
+                        : 0.0,
+          encoded > 0 ? static_cast<double>(decoded) /
+                            static_cast<double>(encoded)
+                      : 1.0);
+    }
+    return 0;
+  }
+  if (verb == "merge") {
+    const std::string out = opts.get_string("out", "");
+    if (out.empty() || args.empty()) return usage();
+    const std::uint64_t total = merge_traces(args, out, wopts);
+    print_corpus_stat(stat_trace_file(out));
+    std::printf("merged %zu files, %llu intervals -> %s\n", args.size(),
+                static_cast<unsigned long long>(total), out.c_str());
+    return 0;
+  }
+  if (verb == "split") {
+    if (args.size() != 1) return usage();
+    const auto parts =
+        static_cast<std::size_t>(opts.get_int("parts", 2));
+    const std::vector<std::string> paths =
+        split_trace(args[0], parts, wopts);
+    for (const std::string& path : paths) {
+      print_corpus_stat(stat_trace_file(path));
+    }
+    return 0;
+  }
+  if (verb == "index") {
+    const std::string dir = args.empty() ? std::string(".") : args[0];
+    const std::vector<corpus_file_stat> stats = write_corpus_manifest(dir);
+    std::uint64_t intervals = 0;
+    for (const corpus_file_stat& s : stats) intervals += s.intervals;
+    std::printf("wrote %s/corpus.json: %zu files, %llu intervals\n",
+                dir.c_str(), stats.size(),
+                static_cast<unsigned long long>(intervals));
+    return 0;
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -455,6 +570,7 @@ int main(int argc, char** argv) {
     if (command == "capture") return cmd_capture(opts);
     if (command == "replay") return cmd_replay(opts);
     if (command == "import") return cmd_import(opts);
+    if (command == "corpus") return cmd_corpus(opts);
     if (command == "serve") return cmd_serve(opts);
     if (command == "list") return cmd_list(opts);
   } catch (const ntom::spec_error& err) {

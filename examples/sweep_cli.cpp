@@ -29,6 +29,13 @@
 //                               `trace` scenario arm (truth-aware
 //                               metrics when the plane is present,
 //                               observation-only otherwise)
+//   --replay-shards=N           split every replayed file into N
+//                               interval windows (`first=`/`count=`
+//                               trace options), one grid arm per window
+//                               labeled <stem>@k — the v2 CIDX index
+//                               lets each worker seek straight to its
+//                               window, so one big corpus file fans out
+//                               across the thread pool
 //
 // Probe-budget planning:
 //   --policy=SPEC               mask every run's measurement stream with
@@ -51,6 +58,7 @@
 
 #include "ntom/api/experiment.hpp"
 #include "ntom/exp/report.hpp"
+#include "ntom/trace/trace_reader.hpp"
 #include "ntom/util/flags.hpp"
 #include "ntom/util/simd/simd.hpp"
 #include "ntom/util/thread_pool.hpp"
@@ -167,12 +175,33 @@ int main(int argc, char** argv) {
                      replay.c_str());
         return 2;
       }
+      const auto shards =
+          static_cast<std::size_t>(opts.get_int("replay-shards", 1));
       for (const std::string& f : files) {
-        exp.with_scenario(
-            spec("trace")
-                .with_option("file", f)
-                .with_option("label",
-                             std::filesystem::path(f).stem().string()));
+        const std::string stem = std::filesystem::path(f).stem().string();
+        if (shards <= 1) {
+          exp.with_scenario(spec("trace")
+                                .with_option("file", f)
+                                .with_option("label", stem));
+          continue;
+        }
+        // Shard the file into equal interval windows; a buffered
+        // header-only open reads T without mapping the payload.
+        trace_reader_options probe_opts;
+        probe_opts.io = trace_reader_options::io_mode::buffered;
+        const std::uint64_t total =
+            trace_reader(f, probe_opts).intervals();
+        for (std::size_t k = 0; k < shards; ++k) {
+          const std::uint64_t first = total * k / shards;
+          const std::uint64_t count = total * (k + 1) / shards - first;
+          if (count == 0) continue;  // more shards than intervals
+          exp.with_scenario(spec("trace")
+                                .with_option("file", f)
+                                .with_option("first", std::to_string(first))
+                                .with_option("count", std::to_string(count))
+                                .with_option("label",
+                                             stem + "@" + std::to_string(k)));
+        }
       }
       exp.measure_link_error(false);
     } else {

@@ -59,13 +59,16 @@ fitted_run fit_streamed(const std::vector<estimator_spec>& specs,
     }
   }
 
-  if (need_store && !config.plan.policy.empty()) {
+  const bool masked =
+      !config.plan.policy.empty() ||
+      (run.source != nullptr && run.source->has_mask());
+  if (need_store && masked) {
     // The shared store cannot hold masked chunks (materialize_sink
-    // rejects them), so a probe budget restricts the estimator list to
-    // streaming-capable fits.
+    // rejects them), so a probe budget — or a masked replay — restricts
+    // the estimator list to streaming-capable fits.
     throw spec_error(
-        "probe-budget policies require streaming-capable estimators: a "
-        "non-streaming estimator in the list needs the materialized "
+        "masked measurement streams require streaming-capable estimators: "
+        "a non-streaming estimator in the list needs the materialized "
         "store, which has no observed-path plane");
   }
   pathset_counter observation_tracker;
@@ -129,7 +132,11 @@ std::vector<measurement> eval_estimators(
     const std::vector<std::string>& labels,
     const estimator_eval_options& options, const run_config& config,
     const run_artifacts& run, shared_truth* shared) {
-  const bool streamed = config.stream.enabled;
+  // Masked replays (a .trc file with an observed-path plane) always
+  // execute streamed: prepare_run leaves their store empty.
+  const bool streamed =
+      config.stream.enabled ||
+      (run.source != nullptr && run.source->has_mask());
   fitted_run fitted = streamed ? fit_streamed(estimators, config, run)
                                : fit_materialized(estimators, run);
   // Materialized mode scores from run.data; streamed mode prefers the

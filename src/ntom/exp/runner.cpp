@@ -23,16 +23,11 @@ void run_config::reconcile() {
   }
   if (!plan.policy.empty()) {
     // Eager validation: a bad policy spec fails at config time, not
-    // mid-pass. (make_probe_policy throws spec_error.)
+    // mid-pass. (make_probe_policy throws spec_error.) Capture composes
+    // with a policy — the writer stores the per-chunk observed-path
+    // mask plane (format v2) — but the materialized store has no mask
+    // plane, so policies imply streamed execution.
     (void)make_probe_policy(probe_policy_spec(plan.policy));
-    if (!capture.path.empty()) {
-      throw spec_error(
-          "probe-budget policy cannot be combined with trace capture: "
-          "the .trc format has no observed-path plane",
-          0, plan.policy);
-    }
-    // The materialized store has no mask plane either; policies imply
-    // streamed execution.
     stream.enabled = true;
   }
 }
@@ -61,6 +56,15 @@ run_artifacts prepare_run(run_config config,
                           std::shared_ptr<const topology> topo) {
   config.reconcile();
   run_artifacts run = prepare_topology(config, std::move(topo));
+  if (run.source != nullptr && run.source->has_mask()) {
+    // Masked replay cannot materialize — the columnar store has no
+    // observed-path plane. Leave `data` empty; evaluators consult
+    // source->has_mask() and fit/score streamed instead. A requested
+    // capture still records the masked stream here.
+    std::unique_ptr<trace_writer> capture = make_capture_writer(config, run);
+    if (capture != nullptr) stream_experiment(run, config, *capture);
+    return run;
+  }
   // One pass fills the store; a requested capture rides the same pass
   // through the fanout (so record + materialize never simulate twice).
   materialize_sink store(run.data);
@@ -102,6 +106,13 @@ std::unique_ptr<trace_writer> make_capture_writer(const run_config& config,
   if (config.capture.path.empty()) return nullptr;
   trace_writer_options options;
   options.store_truth = config.capture.truth && run.has_truth();
+  // A probe-budget policy (or a replayed source that is itself masked)
+  // produces partially-observed chunks; the capture must store the mask
+  // plane so the file replays bit-identically.
+  options.store_mask =
+      !config.plan.policy.empty() ||
+      (run.source != nullptr && run.source->has_mask());
+  options.compress = config.capture.compress;
   options.async = config.capture.async;
   options.provenance =
       "topo=" + config.topo.to_string() +

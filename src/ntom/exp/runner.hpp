@@ -69,6 +69,11 @@ struct capture_options {
   /// observation-only datasets).
   bool truth = true;
 
+  /// Per-plane codec negotiation (trace_writer_options::compress).
+  /// Disable to force raw planes — larger files, but replay becomes
+  /// eligible for the reader's mmap zero-copy path.
+  bool compress = true;
+
   /// Background-thread frame writing (trace_writer_options::async).
   /// Disable to keep capture I/O on the simulation thread — mainly for
   /// overhead measurements and debugging.
@@ -95,10 +100,10 @@ struct run_config {
   /// pre-draws enough phases for sim.intervals. Also lifts a scenario
   /// `policy='...'` option into `plan.policy` (the spec option wins),
   /// validates the policy spec, and — when a policy is active — forces
-  /// streamed execution and rejects trace capture (the .trc format has
-  /// no observed-path plane). Idempotent, and called by prepare_run
-  /// itself — calling it manually is only needed to inspect the
-  /// effective scenario_opts / plan.
+  /// streamed execution (the materialized store has no mask plane;
+  /// capture composes fine — the v2 format stores the mask).
+  /// Idempotent, and called by prepare_run itself — calling it manually
+  /// is only needed to inspect the effective scenario_opts / plan.
   void reconcile();
 };
 

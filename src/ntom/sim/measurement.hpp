@@ -121,6 +121,13 @@ class measurement_source {
   /// source); empty when unknown.
   [[nodiscard]] virtual std::string provenance() const { return ""; }
 
+  /// Whether chunks may carry an observed-path mask (a probe-budget
+  /// capture replayed from a masked .trc file). Masked streams cannot
+  /// be materialized — the columnar store has no mask plane — so runs
+  /// over a masked source must execute streamed; prepare_run/evals
+  /// consult this to force that.
+  [[nodiscard]] virtual bool has_mask() const { return false; }
+
   /// Replays the stream into `sink`. Callable repeatedly; every pass
   /// yields the identical chunk sequence for a given granularity, and
   /// any granularity yields bit-identical downstream results.

@@ -5,9 +5,17 @@
 #include <fstream>
 #include <sstream>
 #include <utility>
-#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NTOM_TRACE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 #include "ntom/io/topology_io.hpp"
+#include "ntom/trace/codec.hpp"
 #include "ntom/trace/wire.hpp"
 #include "ntom/util/crc32.hpp"
 
@@ -26,84 +34,226 @@ namespace {
 constexpr std::uint32_t max_provenance_bytes = 1U << 20;
 constexpr std::uint32_t max_topology_bytes = 1U << 30;
 
-constexpr std::size_t trailer_bytes = 4 + 16 + 4;
+std::size_t trailer_bytes_for(std::uint32_t version) {
+  return version >= 2 ? trace_trailer_bytes_v2 : trace_trailer_bytes_v1;
+}
 
 std::uint64_t tail_mask(std::size_t cols) {
   return (cols % 64 == 0) ? ~std::uint64_t{0}
                           : (std::uint64_t{1} << (cols % 64)) - 1;
 }
 
-void check_trailer(const unsigned char* buf, std::uint64_t intervals,
-                   std::uint64_t* frames_out) {
-  if (std::memcmp(buf, trace_trailer_magic, sizeof(trace_trailer_magic)) !=
-      0) {
-    throw trace_error("trace: missing trailer (file truncated?)");
-  }
-  const unsigned char* totals = buf + sizeof(trace_trailer_magic);
-  if (get_u32(totals + 16) != crc32(totals, 16)) {
-    throw trace_error("trace: trailer CRC mismatch");
-  }
-  const std::uint64_t frames = get_u64(totals);
-  const std::uint64_t total_intervals = get_u64(totals + 8);
-  if (total_intervals != intervals) {
-    throw trace_error("trace: trailer interval count disagrees with header");
-  }
-  if (frames_out != nullptr) *frames_out = frames;
-}
-
 }  // namespace
 
-trace_reader::trace_reader(std::string path) : path_(std::move(path)) {
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) throw trace_error("trace_reader: cannot open " + path_);
+/// A decoded frame: both matrices always count x dims (truth zeroed for
+/// truthless files), the mask normalized to the chunk convention (empty
+/// bitvec = fully observed).
+struct trace_reader::decoded_frame {
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;
+  bit_matrix obs;
+  bit_matrix truth;
+  bitvec mask;
+};
 
-  // Header scalars; every byte read feeds the CRC check at the end.
+/// Positioned byte access over the file, behind one interface so every
+/// parse path is written once: the mmap cursor hands out pointers into
+/// the mapping (zero-copy — raw plane payloads go straight from the
+/// page cache into the chunk matrices), the buffered cursor reads into
+/// a reused scratch buffer. A view pointer is valid until the next
+/// view()/seek() call.
+class trace_reader::cursor {
+ public:
+  virtual ~cursor() = default;
+  virtual const unsigned char* view(std::size_t len, const char* what) = 0;
+  virtual void seek(std::uint64_t off) = 0;
+  [[nodiscard]] virtual std::uint64_t pos() const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t size() const noexcept = 0;
+};
+
+class trace_reader::file_cursor final : public trace_reader::cursor {
+ public:
+  explicit file_cursor(const std::string& path)
+      : in_(path, std::ios::binary) {
+    if (!in_) throw trace_error("trace_reader: cannot open " + path);
+    in_.seekg(0, std::ios::end);
+    size_ = static_cast<std::uint64_t>(in_.tellg());
+    in_.seekg(0);
+  }
+
+  const unsigned char* view(std::size_t len, const char* what) override {
+    if (len > buf_.size()) buf_.resize(len);
+    read_exact(in_, buf_.data(), len, what);
+    pos_ += len;
+    return buf_.data();
+  }
+
+  void seek(std::uint64_t off) override {
+    if (off > size_) {
+      throw trace_error("trace: seek past the end of the file");
+    }
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(off));
+    if (!in_) throw trace_error("trace: seek failed");
+    pos_ = off;
+  }
+
+  [[nodiscard]] std::uint64_t pos() const noexcept override { return pos_; }
+  [[nodiscard]] std::uint64_t size() const noexcept override { return size_; }
+
+ private:
+  std::ifstream in_;
+  std::uint64_t pos_ = 0;
+  std::uint64_t size_ = 0;
+  std::vector<unsigned char> buf_;
+};
+
+/// Read-only mapping of the whole file, shared by every pass (stream()
+/// is const and may run concurrently).
+struct trace_reader::mapping {
+  const unsigned char* data = nullptr;
+  std::uint64_t size = 0;
+
+  mapping() = default;
+  mapping(const mapping&) = delete;
+  mapping& operator=(const mapping&) = delete;
+  ~mapping() {
+#ifdef NTOM_TRACE_HAS_MMAP
+    if (data != nullptr) {
+      ::munmap(const_cast<unsigned char*>(data),
+               static_cast<std::size_t>(size));
+    }
+#endif
+  }
+
+  /// nullptr when the platform or the file does not support mapping
+  /// (callers fall back to buffered reads).
+  static std::shared_ptr<const mapping> map(const std::string& path) {
+#ifdef NTOM_TRACE_HAS_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return nullptr;
+    struct stat st {};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode) || st.st_size <= 0) {
+      ::close(fd);
+      return nullptr;
+    }
+    void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (p == MAP_FAILED) return nullptr;
+    auto m = std::make_shared<mapping>();
+    m->data = static_cast<const unsigned char*>(p);
+    m->size = static_cast<std::uint64_t>(st.st_size);
+    return m;
+#else
+    (void)path;
+    return nullptr;
+#endif
+  }
+};
+
+class trace_reader::mapped_cursor final : public trace_reader::cursor {
+ public:
+  explicit mapped_cursor(std::shared_ptr<const mapping> m)
+      : map_(std::move(m)) {}
+
+  const unsigned char* view(std::size_t len, const char* what) override {
+    if (len > map_->size - pos_) {
+      throw trace_error(std::string("trace: unexpected end of file in ") +
+                        what);
+    }
+    const unsigned char* p = map_->data + pos_;
+    pos_ += len;
+    return p;
+  }
+
+  void seek(std::uint64_t off) override {
+    if (off > map_->size) {
+      throw trace_error("trace: seek past the end of the file");
+    }
+    pos_ = off;
+  }
+
+  [[nodiscard]] std::uint64_t pos() const noexcept override { return pos_; }
+  [[nodiscard]] std::uint64_t size() const noexcept override {
+    return map_->size;
+  }
+
+ private:
+  std::shared_ptr<const mapping> map_;
+  std::uint64_t pos_ = 0;
+};
+
+std::unique_ptr<trace_reader::cursor> trace_reader::make_cursor() const {
+  if (mapping_ != nullptr) return std::make_unique<mapped_cursor>(mapping_);
+  return std::make_unique<file_cursor>(path_);
+}
+
+trace_reader::~trace_reader() = default;
+
+trace_reader::trace_reader(std::string path, trace_reader_options options)
+    : path_(std::move(path)) {
+  if (options.io != trace_reader_options::io_mode::buffered) {
+    mapping_ = mapping::map(path_);
+    if (mapping_ == nullptr &&
+        options.io == trace_reader_options::io_mode::mmap) {
+      throw trace_error("trace_reader: cannot mmap " + path_);
+    }
+  }
+  const std::unique_ptr<cursor> cur = make_cursor();
+  size_ = cur->size();
+
+  // Header; every byte read feeds the CRC check at the end.
   crc32_accumulator crc;
-  const auto read_crc = [&](void* data, std::size_t len, const char* what) {
-    read_exact(in, data, len, what);
-    crc.update(data, len);
+  const auto view_crc = [&](std::size_t len, const char* what) {
+    const unsigned char* p = cur->view(len, what);
+    crc.update(p, len);
+    return p;
   };
 
-  unsigned char magic[sizeof(trace_magic)];
-  read_crc(magic, sizeof(magic), "magic");
+  const unsigned char* magic = view_crc(sizeof(trace_magic), "magic");
   if (std::memcmp(magic, trace_magic, sizeof(trace_magic)) != 0) {
     throw trace_error("trace: bad magic (not an ntom trace file): " + path_);
   }
-  unsigned char scalars[4 + 4 + 8 + 8 + 8];
-  read_crc(scalars, sizeof(scalars), "header");
-  const std::uint32_t version = get_u32(scalars);
-  if (version != trace_format_version) {
+  const unsigned char* scalars = view_crc(4 + 4 + 8 + 8 + 8, "header");
+  version_ = get_u32(scalars);
+  if (version_ < trace_format_version_v1 || version_ > trace_format_version) {
     throw trace_error("trace: unsupported format version " +
-                      std::to_string(version));
+                      std::to_string(version_));
   }
   const std::uint32_t flags = get_u32(scalars + 4);
-  if ((flags & ~trace_flag_mask) != 0) {
+  const std::uint32_t flag_mask =
+      version_ >= 2 ? trace_flag_mask_v2 : trace_flag_mask_v1;
+  if ((flags & ~flag_mask) != 0) {
     throw trace_error("trace: unknown header flags (newer writer?)");
   }
   has_truth_ = (flags & trace_flag_has_truth) != 0;
+  has_mask_ = (flags & trace_flag_has_mask) != 0;
   intervals_ = static_cast<std::size_t>(get_u64(scalars + 8));
   const std::uint64_t paths = get_u64(scalars + 16);
   const std::uint64_t links = get_u64(scalars + 24);
 
-  unsigned char len_buf[4];
-  read_crc(len_buf, 4, "provenance length");
-  const std::uint32_t prov_len = get_u32(len_buf);
+  const std::uint32_t prov_len =
+      get_u32(view_crc(4, "provenance length"));
   if (prov_len > max_provenance_bytes) {
     throw trace_error("trace: provenance length is implausible");
   }
-  provenance_.resize(prov_len);
-  if (prov_len > 0) read_crc(provenance_.data(), prov_len, "provenance");
+  if (prov_len > 0) {
+    const unsigned char* p = view_crc(prov_len, "provenance");
+    provenance_.assign(reinterpret_cast<const char*>(p), prov_len);
+  }
 
-  read_crc(len_buf, 4, "topology length");
-  const std::uint32_t topo_len = get_u32(len_buf);
+  const std::uint32_t topo_len = get_u32(view_crc(4, "topology length"));
   if (topo_len > max_topology_bytes) {
     throw trace_error("trace: topology length is implausible");
   }
-  std::string topo_text(topo_len, '\0');
-  if (topo_len > 0) read_crc(topo_text.data(), topo_len, "topology");
+  std::string topo_text;
+  if (topo_len > 0) {
+    const unsigned char* p = view_crc(topo_len, "topology");
+    topo_text.assign(reinterpret_cast<const char*>(p), topo_len);
+  }
 
-  unsigned char crc_buf[4];
-  read_exact(in, crc_buf, 4, "header CRC");
+  const unsigned char* crc_buf = cur->view(4, "header CRC");
   if (get_u32(crc_buf) != crc.value()) {
     throw trace_error("trace: header CRC mismatch (corrupted file)");
   }
@@ -119,133 +269,493 @@ trace_reader::trace_reader(std::string path) : path_(std::move(path)) {
     throw trace_error(
         "trace: header dimensions disagree with the embedded topology");
   }
-  data_offset_ = in.tellg();
+  data_offset_ = cur->pos();
 
   // Trailer check up front: truncation fails at open, not mid-replay.
-  in.seekg(0, std::ios::end);
-  const std::streamoff size = in.tellg();
-  if (size < data_offset_ + static_cast<std::streamoff>(trailer_bytes)) {
+  const std::size_t tb = trailer_bytes_for(version_);
+  if (size_ < data_offset_ + tb) {
     throw trace_error("trace: file too short for a trailer (truncated?)");
   }
-  in.seekg(size - static_cast<std::streamoff>(trailer_bytes));
-  unsigned char trailer[trailer_bytes];
-  read_exact(in, trailer, trailer_bytes, "trailer");
-  check_trailer(trailer, intervals_, &frames_);
+  cur->seek(size_ - tb);
+  const unsigned char* trailer = cur->view(tb, "trailer");
+  if (std::memcmp(trailer, trace_trailer_magic,
+                  sizeof(trace_trailer_magic)) != 0) {
+    throw trace_error("trace: missing trailer (file truncated?)");
+  }
+  const unsigned char* totals = trailer + sizeof(trace_trailer_magic);
+  const std::size_t totals_len = tb - sizeof(trace_trailer_magic) - 4;
+  if (get_u32(totals + totals_len) != crc32(totals, totals_len)) {
+    throw trace_error("trace: trailer CRC mismatch");
+  }
+  frames_ = get_u64(totals);
+  if (get_u64(totals + 8) != intervals_) {
+    throw trace_error("trace: trailer interval count disagrees with header");
+  }
+  if (version_ >= 2) index_offset_ = get_u64(totals + 16);
 
   // Size accounting: a crafted header declaring a huge interval count
   // must fail here, not as an overflowed allocation in a downstream
-  // consumer sized from intervals().
+  // consumer sized from intervals(). v1 payloads are raw, so the bound
+  // is exact; v2 payloads are compressed, so the bound is the decode
+  // expansion cap.
   const std::size_t row_bytes =
       8 * (word_stride(topo_->num_paths()) +
            (has_truth_ ? word_stride(topo_->num_links()) : 0));
-  const auto payload = static_cast<std::uint64_t>(
-      size - data_offset_ - static_cast<std::streamoff>(trailer_bytes));
-  if (frames_ > intervals_ ||
-      (row_bytes != 0 && intervals_ > payload / row_bytes)) {
+  const std::uint64_t payload = size_ - data_offset_ - tb;
+  if (frames_ > intervals_) {
     throw trace_error(
         "trace: header interval count exceeds the file's payload");
+  }
+  if (version_ == 1) {
+    if (row_bytes != 0 && intervals_ > payload / row_bytes) {
+      throw trace_error(
+          "trace: header interval count exceeds the file's payload");
+    }
+  } else {
+    const auto decoded =
+        static_cast<unsigned __int128>(intervals_) * row_bytes;
+    const auto cap = static_cast<unsigned __int128>(payload)
+                     << trace_max_expansion_log2;
+    // Every frame costs at least magic + head + CRC on disk.
+    if (decoded > cap || (frames_ > 0 && frames_ > payload / 24)) {
+      throw trace_error(
+          "trace: header interval count exceeds the file's payload");
+    }
+  }
+
+  // The CIDX index (v2; offset 0 = absent). Strict layout: the index
+  // must exactly fill the span between its offset and the trailer.
+  if (version_ >= 2 && index_offset_ != 0) {
+    if (index_offset_ < data_offset_ || index_offset_ > size_ - tb) {
+      throw trace_error("trace: index offset out of range");
+    }
+    cur->seek(index_offset_);
+    const unsigned char* im = cur->view(4, "index magic");
+    if (std::memcmp(im, trace_index_magic, sizeof(trace_index_magic)) != 0) {
+      throw trace_error("trace: bad index magic (corrupted file)");
+    }
+    crc32_accumulator icrc;
+    const unsigned char* nb = cur->view(8, "index entry count");
+    icrc.update(nb, 8);
+    const std::uint64_t n = get_u64(nb);
+    if (n != frames_) {
+      throw trace_error("trace: index entry count disagrees with the trailer");
+    }
+    const std::uint64_t body = (size_ - tb) - index_offset_;
+    if (body < 16 || (body - 16) / trace_index_entry_bytes < n ||
+        16 + n * trace_index_entry_bytes != body) {
+      throw trace_error("trace: index size disagrees with its entry count");
+    }
+    index_.reserve(static_cast<std::size_t>(n));
+    std::uint64_t running = 0;
+    std::uint64_t prev_offset = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const unsigned char* e = cur->view(trace_index_entry_bytes, "index");
+      icrc.update(e, trace_index_entry_bytes);
+      trace_frame_entry entry;
+      entry.offset = get_u64(e);
+      entry.first_interval = get_u64(e + 8);
+      entry.count = get_u64(e + 16);
+      if (entry.offset < data_offset_ || entry.offset >= index_offset_ ||
+          (i > 0 && entry.offset <= prev_offset)) {
+        throw trace_error("trace: index frame offsets are out of range");
+      }
+      if (entry.first_interval != running || entry.count == 0 ||
+          entry.count > intervals_ - running) {
+        throw trace_error("trace: index intervals are not contiguous");
+      }
+      running += entry.count;
+      prev_offset = entry.offset;
+      index_.push_back(entry);
+    }
+    if (running != intervals_) {
+      throw trace_error("trace: index intervals are not contiguous");
+    }
+    const unsigned char* ic = cur->view(4, "index CRC");
+    if (get_u32(ic) != icrc.value()) {
+      throw trace_error("trace: index CRC mismatch (corrupted file)");
+    }
+    has_index_ = true;
+  }
+}
+
+void trace_reader::parse_frame(cursor& c, std::uint64_t expected_first,
+                               std::uint64_t remaining, decoded_frame* out,
+                               trace_frame_stat* stat) const {
+  const std::uint64_t at = c.pos();
+  const std::size_t paths = topo_->num_paths();
+  const std::size_t links = topo_->num_links();
+  const unsigned char* fm = c.view(sizeof(trace_frame_magic), "frame header");
+  if (std::memcmp(fm, trace_frame_magic, sizeof(trace_frame_magic)) != 0) {
+    throw trace_error("trace: bad frame magic (corrupted file)");
+  }
+  crc32_accumulator crc;
+  const unsigned char* head = c.view(16, "frame header");
+  crc.update(head, 16);
+  const std::uint64_t first = get_u64(head);
+  const std::uint64_t count = get_u64(head + 8);
+  if (count == 0 || first != expected_first || count > remaining) {
+    throw trace_error("trace: frame intervals are not contiguous");
+  }
+  if (stat != nullptr) {
+    *stat = trace_frame_stat{};
+    stat->offset = at;
+    stat->first_interval = first;
+    stat->count = count;
+  }
+  if (out != nullptr) {
+    out->first = first;
+    out->count = count;
+    out->mask = bitvec{};
+  }
+
+  if (version_ == 1) {
+    const std::size_t stride_p = word_stride(paths);
+    const std::size_t stride_l = has_truth_ ? word_stride(links) : 0;
+    const std::size_t row_bytes = 8 * (stride_p + stride_l);
+    const std::size_t payload_len =
+        static_cast<std::size_t>(count) * row_bytes;
+    const unsigned char* payload = c.view(payload_len, "frame payload");
+    crc.update(payload, payload_len);
+    if (out != nullptr) {
+      out->obs = bit_matrix(static_cast<std::size_t>(count), paths);
+      out->truth = bit_matrix(static_cast<std::size_t>(count), links);
+      const std::uint64_t obs_tail = tail_mask(paths);
+      const std::uint64_t truth_tail = tail_mask(links);
+      const unsigned char* row = payload;
+      for (std::uint64_t i = 0; i < count; ++i, row += row_bytes) {
+        std::uint64_t* obs = out->obs.row_words(static_cast<std::size_t>(i));
+        for (std::size_t w = 0; w < stride_p; ++w) {
+          obs[w] = get_u64(row + 8 * w);
+        }
+        if (stride_p > 0) obs[stride_p - 1] &= obs_tail;
+        if (has_truth_) {
+          std::uint64_t* truth =
+              out->truth.row_words(static_cast<std::size_t>(i));
+          const unsigned char* src = row + 8 * stride_p;
+          for (std::size_t w = 0; w < stride_l; ++w) {
+            truth[w] = get_u64(src + 8 * w);
+          }
+          if (stride_l > 0) truth[stride_l - 1] &= truth_tail;
+        }
+      }
+    }
+    if (stat != nullptr) {
+      stat->planes[stat->num_planes++] = {trace_codec::codec_raw,
+                                          count * 8 * stride_p,
+                                          count * 8 * stride_p};
+      if (has_truth_) {
+        stat->planes[stat->num_planes++] = {trace_codec::codec_raw,
+                                            count * 8 * stride_l,
+                                            count * 8 * stride_l};
+      }
+    }
+  } else {
+    // Plane sections: observations, truth (flagged), mask (flagged).
+    const bool present[3] = {true, has_truth_, has_mask_};
+    if (out != nullptr) {
+      // The chunk contract wants a (zeroed) truth matrix even when the
+      // file stores none.
+      if (!has_truth_) {
+        out->truth = bit_matrix(static_cast<std::size_t>(count), links);
+      }
+    }
+    for (int p = 0; p < 3; ++p) {
+      if (!present[p]) continue;
+      const std::size_t rows = (p == 2) ? 1 : static_cast<std::size_t>(count);
+      const std::size_t cols = (p == 1) ? links : paths;
+      const unsigned char* ph = c.view(5, "plane header");
+      crc.update(ph, 5);
+      const std::uint8_t codec = ph[0];
+      const std::uint32_t enc_len = get_u32(ph + 1);
+      if (codec >= trace_codec::codec_count) {
+        throw trace_error("trace: unknown plane codec id " +
+                          std::to_string(codec));
+      }
+      const std::uint64_t decoded_bytes =
+          8 * static_cast<std::uint64_t>(rows) * word_stride(cols);
+      // Expansion cap BEFORE allocating the decode target: a few
+      // hostile payload bytes must not declare a huge plane.
+      const auto cap = static_cast<unsigned __int128>(enc_len + 8)
+                       << trace_max_expansion_log2;
+      if (static_cast<unsigned __int128>(decoded_bytes) > cap) {
+        throw trace_error("trace: plane expands beyond the decode cap");
+      }
+      const unsigned char* payload = c.view(enc_len, "plane payload");
+      crc.update(payload, enc_len);
+      if (stat != nullptr) {
+        stat->planes[stat->num_planes++] = {codec, enc_len, decoded_bytes};
+      }
+      if (out != nullptr) {
+        bit_matrix target(rows, cols);
+        trace_codec::decode(codec, payload, enc_len, target);
+        if (p == 0) {
+          out->obs = std::move(target);
+        } else if (p == 1) {
+          out->truth = std::move(target);
+        } else {
+          // Normalize: an all-ones mask row is the fully-observed
+          // sentinel (empty bitvec) downstream.
+          if (target.count_row(0) == paths) {
+            out->mask = bitvec{};
+          } else {
+            bitvec mask(paths);
+            std::memcpy(mask.word_data(), target.row_words(0),
+                        8 * word_stride(paths));
+            out->mask = std::move(mask);
+          }
+        }
+      }
+    }
+  }
+
+  const unsigned char* crc_buf = c.view(4, "frame CRC");
+  if (get_u32(crc_buf) != crc.value()) {
+    throw trace_error("trace: frame payload CRC mismatch (corrupted file)");
+  }
+  if (stat != nullptr) stat->stored_bytes = c.pos() - at;
+}
+
+std::uint64_t trace_reader::locate_frame(cursor& c,
+                                         std::uint64_t target) const {
+  if (has_index_) {
+    // Last entry with first_interval <= target. Entry 0 starts at
+    // interval 0, so the iterator never lands on begin().
+    auto it = std::upper_bound(
+        index_.begin(), index_.end(), target,
+        [](std::uint64_t t, const trace_frame_entry& e) {
+          return t < e.first_interval;
+        });
+    --it;
+    c.seek(it->offset);
+    return it->first_interval;
+  }
+  // No index: walk frame headers, seeking past payloads unverified
+  // (a later full pass still verifies everything).
+  c.seek(data_offset_);
+  const std::size_t row_bytes =
+      8 * (word_stride(topo_->num_paths()) +
+           (has_truth_ ? word_stride(topo_->num_links()) : 0));
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::uint64_t at = c.pos();
+    const unsigned char* fm =
+        c.view(sizeof(trace_frame_magic), "frame header");
+    if (std::memcmp(fm, trace_frame_magic, sizeof(trace_frame_magic)) != 0) {
+      throw trace_error("trace: bad frame magic (corrupted file)");
+    }
+    const unsigned char* head = c.view(16, "frame header");
+    const std::uint64_t first = get_u64(head);
+    const std::uint64_t count = get_u64(head + 8);
+    if (count == 0 || first != seen || count > intervals_ - seen) {
+      throw trace_error("trace: frame intervals are not contiguous");
+    }
+    if (target < first + count) {
+      c.seek(at);
+      return first;
+    }
+    seen += count;
+    if (version_ == 1) {
+      c.seek(c.pos() + count * row_bytes + 4);
+    } else {
+      const int planes = 1 + (has_truth_ ? 1 : 0) + (has_mask_ ? 1 : 0);
+      for (int p = 0; p < planes; ++p) {
+        const unsigned char* ph = c.view(5, "plane header");
+        c.seek(c.pos() + get_u32(ph + 1));
+      }
+      c.seek(c.pos() + 4);
+    }
+  }
+}
+
+void trace_reader::check_frames_end(const cursor& c) const {
+  const std::uint64_t frames_end =
+      has_index_ ? index_offset_ : size_ - trailer_bytes_for(version_);
+  if (c.pos() != frames_end) {
+    throw trace_error("trace: trailing garbage after the last frame");
   }
 }
 
 void trace_reader::stream(measurement_sink& sink,
                           std::size_t chunk_intervals) const {
+  stream_impl(sink, chunk_intervals, 0, intervals_, /*full_pass=*/true);
+}
+
+void trace_reader::stream_range(measurement_sink& sink,
+                                std::size_t chunk_intervals,
+                                std::uint64_t first,
+                                std::uint64_t count) const {
+  if (first > intervals_ || count > intervals_ - first) {
+    throw trace_error("trace: replay range exceeds the dataset (" +
+                      std::to_string(first) + "+" + std::to_string(count) +
+                      " of " + std::to_string(intervals_) + " intervals)");
+  }
+  stream_impl(sink, chunk_intervals, first, count,
+              first == 0 && count == intervals_);
+}
+
+void trace_reader::stream_impl(measurement_sink& sink,
+                               std::size_t chunk_intervals,
+                               std::uint64_t range_first,
+                               std::uint64_t range_count,
+                               bool full_pass) const {
   if (chunk_intervals == 0) chunk_intervals = default_chunk_intervals;
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) throw trace_error("trace_reader: cannot open " + path_);
-  in.seekg(data_offset_);
+  const std::unique_ptr<cursor> cur = make_cursor();
+  std::uint64_t seen = 0;  // absolute first interval of the next frame
+  if (range_first == 0 || range_count == 0) {
+    cur->seek(data_offset_);
+  } else {
+    seen = locate_frame(*cur, range_first);
+  }
 
-  const std::size_t paths = topo_->num_paths();
-  const std::size_t links = topo_->num_links();
-  const std::size_t stride_p = word_stride(paths);
-  const std::size_t stride_l = word_stride(links);
-  const std::size_t row_bytes = 8 * (stride_p + (has_truth_ ? stride_l : 0));
-  const std::uint64_t obs_tail = tail_mask(paths);
-  const std::uint64_t truth_tail = tail_mask(links);
-  std::vector<unsigned char> row(row_bytes);
+  sink.begin(*topo_, static_cast<std::size_t>(range_count));
 
-  sink.begin(*topo_, intervals_);
-
-  measurement_chunk chunk;
-  std::size_t fill = 0;
-  std::size_t emitted = 0;
-  const auto open_chunk = [&] {
-    const std::size_t count =
-        std::min(chunk_intervals, intervals_ - emitted);
-    chunk.first_interval = emitted;
-    chunk.count = count;
-    chunk.congested_paths = bit_matrix(count, paths);
-    chunk.true_links = bit_matrix(count, links);
-    chunk.invalidate_derived();
-    fill = 0;
-  };
-  const auto flush_chunk = [&] {
-    sink.consume(chunk);
-    emitted += chunk.count;
-  };
-
-  std::size_t seen = 0;
-  if (intervals_ > 0) open_chunk();
-  for (std::uint64_t f = 0; f < frames_; ++f) {
-    unsigned char frame_magic[sizeof(trace_frame_magic)];
-    read_exact(in, frame_magic, sizeof(frame_magic), "frame header");
-    if (std::memcmp(frame_magic, trace_frame_magic, sizeof(frame_magic)) !=
-        0) {
-      throw trace_error("trace: bad frame magic (corrupted file)");
-    }
-    unsigned char head[16];
-    read_exact(in, head, sizeof(head), "frame header");
-    const std::uint64_t first = get_u64(head);
-    const std::uint64_t count = get_u64(head + 8);
-    // Subtraction form: `seen + count` could wrap on a crafted count.
-    if (count == 0 || first != seen ||
-        count > static_cast<std::uint64_t>(intervals_ - seen)) {
-      throw trace_error("trace: frame intervals are not contiguous");
-    }
-    crc32_accumulator crc;
-    crc.update(head, sizeof(head));
-    for (std::uint64_t i = 0; i < count; ++i) {
-      read_exact(in, row.data(), row_bytes, "frame payload");
-      crc.update(row.data(), row_bytes);
-      std::uint64_t* obs = chunk.congested_paths.row_words(fill);
-      for (std::size_t w = 0; w < stride_p; ++w) {
-        obs[w] = get_u64(row.data() + 8 * w);
+  if (has_mask_) {
+    // Masked replay: one chunk per stored frame — the observed-path
+    // mask is per capture chunk, so re-chunking across frame boundaries
+    // would change what downstream counters observe.
+    measurement_chunk chunk;
+    std::uint64_t emitted = 0;
+    while (emitted < range_count) {
+      decoded_frame f;
+      parse_frame(*cur, seen, intervals_ - seen, &f, nullptr);
+      seen = f.first + f.count;
+      const std::uint64_t skip =
+          range_first > f.first ? range_first - f.first : 0;
+      const std::uint64_t take =
+          std::min<std::uint64_t>(f.count - skip, range_count - emitted);
+      chunk.first_interval = static_cast<std::size_t>(emitted);
+      chunk.count = static_cast<std::size_t>(take);
+      if (skip == 0 && take == f.count) {
+        chunk.congested_paths = std::move(f.obs);
+        chunk.true_links = std::move(f.truth);
+      } else {
+        chunk.congested_paths = f.obs.row_slice(
+            static_cast<std::size_t>(skip),
+            static_cast<std::size_t>(skip + take));
+        chunk.true_links = f.truth.row_slice(
+            static_cast<std::size_t>(skip),
+            static_cast<std::size_t>(skip + take));
       }
-      if (stride_p > 0) obs[stride_p - 1] &= obs_tail;
-      if (has_truth_) {
-        std::uint64_t* truth = chunk.true_links.row_words(fill);
-        const unsigned char* src = row.data() + 8 * stride_p;
-        for (std::size_t w = 0; w < stride_l; ++w) {
-          truth[w] = get_u64(src + 8 * w);
+      chunk.observed_paths = std::move(f.mask);
+      chunk.invalidate_derived();
+      sink.consume(chunk);
+      emitted += take;
+    }
+  } else {
+    // Unmasked replay: re-chunk to the requested granularity, splicing
+    // decoded frame rows into the open chunk with stride-aligned block
+    // copies.
+    const std::size_t paths = topo_->num_paths();
+    const std::size_t links = topo_->num_links();
+    const std::size_t stride_p = word_stride(paths);
+    const std::size_t stride_l = word_stride(links);
+    measurement_chunk chunk;
+    std::uint64_t emitted = 0;
+    std::size_t fill = 0;
+    const auto open_chunk = [&] {
+      const std::size_t count = static_cast<std::size_t>(
+          std::min<std::uint64_t>(chunk_intervals, range_count - emitted));
+      chunk.first_interval = static_cast<std::size_t>(emitted);
+      chunk.count = count;
+      chunk.congested_paths = bit_matrix(count, paths);
+      chunk.true_links = bit_matrix(count, links);
+      chunk.invalidate_derived();
+      fill = 0;
+    };
+    if (range_count > 0) open_chunk();
+    std::uint64_t consumed = 0;  // range intervals consumed from frames
+    while (consumed < range_count) {
+      decoded_frame f;
+      parse_frame(*cur, seen, intervals_ - seen, &f, nullptr);
+      seen = f.first + f.count;
+      std::uint64_t src =
+          range_first + consumed > f.first
+              ? range_first + consumed - f.first
+              : 0;
+      std::uint64_t use =
+          std::min<std::uint64_t>(f.count - src, range_count - consumed);
+      while (use > 0) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunk.count - fill, use));
+        std::memcpy(chunk.congested_paths.row_words(fill),
+                    f.obs.row_words(static_cast<std::size_t>(src)),
+                    8 * stride_p * n);
+        if (has_truth_) {
+          std::memcpy(chunk.true_links.row_words(fill),
+                      f.truth.row_words(static_cast<std::size_t>(src)),
+                      8 * stride_l * n);
         }
-        if (stride_l > 0) truth[stride_l - 1] &= truth_tail;
-      }
-      ++fill;
-      ++seen;
-      if (fill == chunk.count) {
-        flush_chunk();
-        if (emitted < intervals_) open_chunk();
+        fill += n;
+        src += n;
+        use -= n;
+        consumed += n;
+        if (fill == chunk.count) {
+          sink.consume(chunk);
+          emitted += chunk.count;
+          if (emitted < range_count) open_chunk();
+        }
       }
     }
-    unsigned char crc_buf[4];
-    read_exact(in, crc_buf, 4, "frame CRC");
-    if (get_u32(crc_buf) != crc.value()) {
-      throw trace_error("trace: frame payload CRC mismatch (corrupted file)");
+  }
+
+  if (full_pass) {
+    if (seen != intervals_) {
+      throw trace_error("trace: fewer intervals than the header declares");
     }
+    check_frames_end(*cur);
+  }
+
+  sink.end();
+}
+
+void trace_reader::stream_frames(
+    const std::function<void(measurement_chunk& chunk)>& fn) const {
+  const std::unique_ptr<cursor> cur = make_cursor();
+  cur->seek(data_offset_);
+  std::uint64_t seen = 0;
+  measurement_chunk chunk;
+  for (std::uint64_t f = 0; f < frames_; ++f) {
+    decoded_frame df;
+    parse_frame(*cur, seen, intervals_ - seen, &df, nullptr);
+    seen += df.count;
+    chunk.first_interval = static_cast<std::size_t>(df.first);
+    chunk.count = static_cast<std::size_t>(df.count);
+    chunk.congested_paths = std::move(df.obs);
+    chunk.true_links = std::move(df.truth);
+    chunk.observed_paths = std::move(df.mask);
+    chunk.invalidate_derived();
+    fn(chunk);
   }
   if (seen != intervals_) {
     throw trace_error("trace: fewer intervals than the header declares");
   }
+  check_frames_end(*cur);
+}
 
-  unsigned char trailer[trailer_bytes];
-  read_exact(in, trailer, trailer_bytes, "trailer");
-  check_trailer(trailer, intervals_, nullptr);
-  char extra = 0;
-  in.read(&extra, 1);
-  if (in.gcount() != 0) {
-    throw trace_error("trace: trailing garbage after the trailer");
+void trace_reader::scan_frames(
+    const std::function<void(const trace_frame_stat& stat)>& fn) const {
+  const std::unique_ptr<cursor> cur = make_cursor();
+  cur->seek(data_offset_);
+  std::uint64_t seen = 0;
+  for (std::uint64_t f = 0; f < frames_; ++f) {
+    trace_frame_stat stat;
+    parse_frame(*cur, seen, intervals_ - seen, nullptr, &stat);
+    if (has_index_) {
+      const trace_frame_entry& e = index_[static_cast<std::size_t>(f)];
+      if (e.offset != stat.offset || e.first_interval != stat.first_interval ||
+          e.count != stat.count) {
+        throw trace_error(
+            "trace: index entry disagrees with the frame it points to");
+      }
+    }
+    seen += stat.count;
+    fn(stat);
   }
-
-  sink.end();
+  if (seen != intervals_) {
+    throw trace_error("trace: fewer intervals than the header declares");
+  }
+  check_frames_end(*cur);
 }
 
 }  // namespace ntom

@@ -1,5 +1,6 @@
 #include "ntom/trace/trace_scenario.hpp"
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -26,6 +27,7 @@ class filtered_source final : public measurement_source {
     return base_->intervals();
   }
   [[nodiscard]] bool has_truth() const override { return base_->has_truth(); }
+  [[nodiscard]] bool has_mask() const override { return base_->has_mask(); }
   [[nodiscard]] std::string provenance() const override {
     return base_->provenance();
   }
@@ -42,6 +44,39 @@ class filtered_source final : public measurement_source {
   imperfection_chain chain_;
 };
 
+/// An interval-range window over a trace file: stream() replays only
+/// [first, first + count), re-based to 0 — the shard unit of a corpus
+/// run. Seeks through the file's CIDX index, so a grid of shard arms
+/// over one big file never re-reads the frames outside each window.
+class range_source final : public measurement_source {
+ public:
+  range_source(std::shared_ptr<const trace_reader> base, std::uint64_t first,
+               std::uint64_t count)
+      : base_(std::move(base)), first_(first), count_(count) {}
+
+  [[nodiscard]] std::shared_ptr<const topology> topology_ptr() const override {
+    return base_->topology_ptr();
+  }
+  [[nodiscard]] std::size_t intervals() const override {
+    return static_cast<std::size_t>(count_);
+  }
+  [[nodiscard]] bool has_truth() const override { return base_->has_truth(); }
+  [[nodiscard]] bool has_mask() const override { return base_->has_mask(); }
+  [[nodiscard]] std::string provenance() const override {
+    return base_->provenance();
+  }
+
+  void stream(measurement_sink& sink,
+              std::size_t chunk_intervals) const override {
+    base_->stream_range(sink, chunk_intervals, first_, count_);
+  }
+
+ private:
+  std::shared_ptr<const trace_reader> base_;
+  std::uint64_t first_;
+  std::uint64_t count_;
+};
+
 }  // namespace
 
 std::shared_ptr<const measurement_source> open_trace_source(const spec& s) {
@@ -49,8 +84,29 @@ std::shared_ptr<const measurement_source> open_trace_source(const spec& s) {
   if (file.empty()) {
     throw spec_error("scenario 'trace': the file=... option is required");
   }
-  std::shared_ptr<const measurement_source> source =
-      std::make_shared<trace_reader>(file);
+  trace_reader_options options;
+  if (s.has("mmap")) {
+    options.io = s.get_bool("mmap", true)
+                     ? trace_reader_options::io_mode::mmap
+                     : trace_reader_options::io_mode::buffered;
+  }
+  auto reader = std::make_shared<trace_reader>(file, options);
+  std::shared_ptr<const measurement_source> source = reader;
+  if (s.has("first") || s.has("count")) {
+    const std::size_t first = s.get_size("first", 0);
+    const std::size_t count =
+        s.get_size("count", reader->intervals() > first
+                                ? reader->intervals() - first
+                                : 0);
+    if (first > reader->intervals() ||
+        count > reader->intervals() - first) {
+      throw spec_error("scenario 'trace': first=" + std::to_string(first) +
+                       ",count=" + std::to_string(count) +
+                       " exceeds the dataset (" +
+                       std::to_string(reader->intervals()) + " intervals)");
+    }
+    source = std::make_shared<range_source>(std::move(reader), first, count);
+  }
   const std::string imperfect = s.get_string("imperfect");
   if (imperfect.empty()) return source;
   return std::make_shared<filtered_source>(std::move(source),
@@ -65,6 +121,13 @@ void register_trace_scenario(registry<scenario_plugin>& reg) {
       "topology spec and seeds are ignored)",
       {"replay"},
       {{"file", "path to the .trc file (single-quote paths with commas)"},
+       {"first", "first interval of a replay window (default 0)"},
+       {"count",
+        "intervals in the replay window (default: through the end); "
+        "first/count shard one file across grid arms via its index"},
+       {"mmap",
+        "true: require mmap zero-copy replay (throw if unsupported); "
+        "false: force buffered reads; unset: auto-detect"},
        {"imperfect",
         "quoted ';'-separated imperfection specs applied on replay "
         "(drop | subsample | blackout)"}},

@@ -9,6 +9,7 @@
 #endif
 
 #include "ntom/io/topology_io.hpp"
+#include "ntom/trace/codec.hpp"
 #include "ntom/trace/wire.hpp"
 #include "ntom/util/crc32.hpp"
 
@@ -70,7 +71,8 @@ void trace_writer::begin(const topology& t, std::size_t intervals) {
 
   append(trace_magic, sizeof(trace_magic));
   append_u32(trace_format_version);
-  append_u32(options_.store_truth ? trace_flag_has_truth : 0);
+  append_u32((options_.store_truth ? trace_flag_has_truth : 0) |
+             (options_.store_mask ? trace_flag_has_mask : 0));
   append_u64(intervals);
   append_u64(paths_);
   append_u64(links_);
@@ -84,9 +86,29 @@ void trace_writer::begin(const topology& t, std::size_t intervals) {
   put_u32(crc_buf, crc32(header.data(), header.size()));
   write_raw(crc_buf, 4);
 
+  // Frame offsets for the CIDX index start right after the header —
+  // computed on the producer side, so the async writer's scheduling
+  // never changes the index.
+  frame_offset_ = bytes_written_.load(std::memory_order_relaxed);
+  if (options_.store_mask) mask_row_ = bit_matrix(1, paths_);
+
   if (options_.async) {
     writer_ = std::thread([this] { writer_loop(); });
   }
+}
+
+void trace_writer::append_plane_section(std::vector<unsigned char>& frame,
+                                        const bit_matrix& plane) {
+  const std::size_t at = frame.size();
+  frame.resize(at + 5);  // u8 codec id + u32 encoded length, patched below
+  const std::uint8_t id =
+      trace_codec::encode_best(plane, frame, options_.compress);
+  const std::size_t encoded = frame.size() - at - 5;
+  if (encoded > 0xFFFFFFFFu) {
+    throw trace_error("trace_writer: plane section exceeds 4 GiB");
+  }
+  frame[at] = id;
+  put_u32(frame.data() + at + 1, static_cast<std::uint32_t>(encoded));
 }
 
 void trace_writer::write_frame(const std::vector<unsigned char>& frame) {
@@ -178,45 +200,47 @@ void trace_writer::consume(const measurement_chunk& chunk) {
       chunk.congested_paths.rows() != chunk.count ||
       chunk.congested_paths.cols() != paths_ ||
       chunk.true_links.rows() != chunk.count ||
-      chunk.true_links.cols() != links_) {
+      chunk.true_links.cols() != links_ ||
+      (!chunk.observed_paths.empty() &&
+       chunk.observed_paths.size() != paths_)) {
     throw trace_error("trace_writer: chunk does not continue the stream");
   }
+  if (!options_.store_mask && !chunk.fully_observed()) {
+    throw trace_error(
+        "trace_writer: partially-observed chunk without a mask plane — "
+        "enable trace_writer_options::store_mask for probe-budget captures");
+  }
 
-  // Pack the whole frame (magic + head + rows) into one contiguous
-  // buffer — the only work the live pass pays for in async mode.
-  const std::size_t stride_p = word_stride(paths_);
-  const std::size_t stride_l = options_.store_truth ? word_stride(links_) : 0;
-  const std::size_t row_bytes = 8 * (stride_p + stride_l);
+  // Pack the whole frame (magic + head + plane sections) into one
+  // contiguous buffer — the only work the live pass pays for in async
+  // mode (codec negotiation included; it is cheap next to simulation).
   std::vector<unsigned char>& frame = packing_;
-  frame.resize(sizeof(trace_frame_magic) + 16 + chunk.count * row_bytes);
+  frame.resize(sizeof(trace_frame_magic) + 16);
   unsigned char* out = frame.data();
   std::memcpy(out, trace_frame_magic, sizeof(trace_frame_magic));
-  out += sizeof(trace_frame_magic);
-  put_u64(out, chunk.first_interval);
-  put_u64(out + 8, chunk.count);
-  out += 16;
-  if (!options_.store_truth) {
-    // Rows are contiguous in the packed store, so the observation-only
-    // frame body is one bulk encode.
-    trace_wire::put_words(out, chunk.congested_paths.row_words(0),
-                          chunk.count * stride_p);
-  } else {
-    // Interleave the two contiguous row planes with single-word stores
-    // (put_word is one mov on LE hosts; a runtime-length put_words here
-    // costs a memcpy library call per row).
-    const std::uint64_t* rp = chunk.congested_paths.row_words(0);
-    const std::uint64_t* rl = chunk.true_links.row_words(0);
-    for (std::size_t i = 0; i < chunk.count; ++i) {
-      for (std::size_t w = 0; w < stride_p; ++w, out += 8) {
-        trace_wire::put_word(out, rp[w]);
+  put_u64(out + 4, chunk.first_interval);
+  put_u64(out + 12, chunk.count);
+  append_plane_section(frame, chunk.congested_paths);
+  if (options_.store_truth) append_plane_section(frame, chunk.true_links);
+  if (options_.store_mask) {
+    const std::size_t stride_p = word_stride(paths_);
+    std::uint64_t* mask = mask_row_.row_words(0);
+    if (chunk.fully_observed()) {
+      // All-ones row (clean tail): "every path observed", stored
+      // explicitly so every frame of a masked file has the plane.
+      for (std::size_t w = 0; w < stride_p; ++w) mask[w] = ~std::uint64_t{0};
+      if (stride_p > 0 && paths_ % 64 != 0) {
+        mask[stride_p - 1] = (std::uint64_t{1} << (paths_ % 64)) - 1;
       }
-      rp += stride_p;
-      for (std::size_t w = 0; w < stride_l; ++w, out += 8) {
-        trace_wire::put_word(out, rl[w]);
-      }
-      rl += stride_l;
+    } else {
+      std::memcpy(mask, chunk.observed_paths.word_data(), 8 * stride_p);
     }
+    append_plane_section(frame, mask_row_);
   }
+
+  // CIDX entry, from the producer-side offset cursor.
+  index_.push_back({frame_offset_, chunk.first_interval, chunk.count});
+  frame_offset_ += frame.size() + 4;  // + frame CRC
 
   if (options_.async) {
     bool latched = false;
@@ -268,12 +292,31 @@ void trace_writer::end() {
                       std::to_string(intervals_written_) + " of " +
                       std::to_string(intervals_declared_) + " intervals)");
   }
-  unsigned char totals[16];
+  // CIDX: entry count + per-frame {offset, first_interval, count},
+  // CRC'd, located by the trailer's index offset field.
+  const std::uint64_t index_offset = frame_offset_;
+  std::vector<unsigned char> index_buf(8 + index_.size() *
+                                               trace_index_entry_bytes);
+  put_u64(index_buf.data(), index_.size());
+  unsigned char* entry = index_buf.data() + 8;
+  for (const index_entry& e : index_) {
+    put_u64(entry, e.offset);
+    put_u64(entry + 8, e.first_interval);
+    put_u64(entry + 16, e.count);
+    entry += trace_index_entry_bytes;
+  }
+  write_raw(trace_index_magic, sizeof(trace_index_magic));
+  write_raw(index_buf.data(), index_buf.size());
+  unsigned char crc_buf[4];
+  put_u32(crc_buf, crc32(index_buf.data(), index_buf.size()));
+  write_raw(crc_buf, 4);
+
+  unsigned char totals[24];
   put_u64(totals, frames_written_);
   put_u64(totals + 8, intervals_written_);
+  put_u64(totals + 16, index_offset);
   write_raw(trace_trailer_magic, sizeof(trace_trailer_magic));
   write_raw(totals, sizeof(totals));
-  unsigned char crc_buf[4];
   put_u32(crc_buf, crc32(totals, sizeof(totals)));
   write_raw(crc_buf, 4);
   if (std::fflush(out_) != 0 || std::ferror(out_) != 0) {

@@ -3,8 +3,12 @@
 // The writer is just another measurement_sink, so capture composes with
 // fanout_sink — one live pass can fit streaming estimators, feed the
 // materialized store, AND record the dataset. Each consumed chunk
-// becomes one frame; the reader re-chunks to any granularity on replay,
-// so the capture chunk size never matters downstream.
+// becomes one v2 frame (plane sections with per-plane codec
+// negotiation — trace/codec.hpp); the reader re-chunks to any
+// granularity on replay, so the capture chunk size never matters
+// downstream (except for masked captures, which replay at capture
+// granularity — the mask is per chunk). Frame offsets are accumulated
+// into the CIDX index that end() appends before the trailer.
 //
 // By default frames are written by a dedicated background thread:
 // consume() only packs the frame into an in-memory buffer and hands it
@@ -36,6 +40,19 @@ struct trace_writer_options {
   /// Persist the ground-truth link plane. Disable to publish a dataset
   /// without revealing truth (replays then score observation-only).
   bool store_truth = true;
+
+  /// Persist the per-chunk observed-path mask plane (trace_flag_has_mask)
+  /// so probe-budget (masked) streams capture and replay bit-identically.
+  /// Without it, consuming a partially-observed chunk throws — a capture
+  /// must never silently drop the mask. Fully-observed chunks store an
+  /// all-ones mask row (which the RLE codec reduces to a few bytes).
+  bool store_mask = false;
+
+  /// Per-plane codec negotiation (trace/codec.hpp): store each plane
+  /// under whichever codec is smallest. Disable to force every plane
+  /// raw — larger files, but every frame becomes eligible for the
+  /// reader's mmap zero-copy path.
+  bool compress = true;
 
   /// Write frames from a background thread (double-buffered hand-off)
   /// so consume() returns without touching the file. Disable to keep
@@ -93,11 +110,26 @@ class trace_writer final : public measurement_sink {
   }
 
  private:
+  /// One CIDX entry, accumulated per frame on the producer side (the
+  /// file offset is computed from cumulative packed sizes, so the async
+  /// writer's timing never affects it).
+  struct index_entry {
+    std::uint64_t offset;
+    std::uint64_t first_interval;
+    std::uint64_t count;
+  };
+
   void write_raw(const void* data, std::size_t len);
 
-  /// CRCs and writes one packed frame (magic + head + rows), then
-  /// verifies the stream state. Runs on the caller's thread in sync
-  /// mode and on the writer thread in async mode.
+  /// Appends one plane section (u8 codec id, u32 encoded length,
+  /// payload) to the frame under construction, negotiating the codec
+  /// when options_.compress is set.
+  void append_plane_section(std::vector<unsigned char>& frame,
+                            const bit_matrix& plane);
+
+  /// CRCs and writes one packed frame (magic + head + plane sections),
+  /// then verifies the stream state. Runs on the caller's thread in
+  /// sync mode and on the writer thread in async mode.
   void write_frame(const std::vector<unsigned char>& frame);
 
   void writer_loop();
@@ -115,6 +147,13 @@ class trace_writer final : public measurement_sink {
   std::uint64_t frames_written_ = 0;
   std::size_t paths_ = 0;
   std::size_t links_ = 0;
+  /// File offset of the NEXT frame (header bytes + cumulative packed
+  /// frame sizes) — the producer-side cursor behind the CIDX entries.
+  std::uint64_t frame_offset_ = 0;
+  std::vector<index_entry> index_;
+  /// Reusable 1 x paths mask-plane row (all-ones for fully-observed
+  /// chunks).
+  bit_matrix mask_row_;
   std::atomic<std::uint64_t> bytes_written_{0};
   bool begun_ = false;
   bool finished_ = false;

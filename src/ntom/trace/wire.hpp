@@ -8,6 +8,7 @@
 #include <cstring>
 #include <istream>
 #include <string>
+#include <vector>
 
 #include "ntom/trace/trace_format.hpp"
 
@@ -61,6 +62,41 @@ inline std::uint64_t get_u64(const unsigned char* in) {
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
   }
+  return v;
+}
+
+/// Appends a LEB128 varint (7 bits per byte, low first, high bit =
+/// continuation). At most 10 bytes for a u64 — the codec layer's run
+/// lengths and sparse deltas are almost always 1-2 bytes.
+inline void put_varint(std::vector<unsigned char>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<unsigned char>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<unsigned char>(v));
+}
+
+/// Decodes a LEB128 varint from [*p, end), advancing *p. Strict: a
+/// truncated or over-long (more than 10 bytes / overflowing) encoding
+/// throws trace_error — hostile payloads fail cleanly.
+inline std::uint64_t get_varint(const unsigned char** p,
+                                const unsigned char* end, const char* what) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  const unsigned char* q = *p;
+  for (;;) {
+    if (q == end) {
+      throw trace_error(std::string("trace: truncated varint in ") + what);
+    }
+    const unsigned char byte = *q++;
+    if (shift >= 64 || (shift == 63 && (byte & 0x7E) != 0)) {
+      throw trace_error(std::string("trace: varint overflows u64 in ") + what);
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *p = q;
   return v;
 }
 

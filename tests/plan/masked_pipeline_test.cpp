@@ -365,14 +365,16 @@ TEST(PolicyPlumbingTest, ReconcileLiftsValidatesAndForcesStreaming) {
   bad.plan.policy = "no_such_policy";
   EXPECT_THROW(bad.reconcile(), spec_error);
 
-  // Capture + policy is rejected: the .trc format has no mask plane.
+  // Capture + policy composes since format v2 grew the observed-path
+  // mask plane: reconcile just forces streamed execution.
   run_config capturing;
   capturing.topo = "toy";
   capturing.scenario = "random_congestion";
   capturing.sim.intervals = 10;
   capturing.plan.policy = "uniform,frac=0.5";
   capturing.capture.path = "masked.trc";
-  EXPECT_THROW(capturing.reconcile(), spec_error);
+  capturing.reconcile();
+  EXPECT_TRUE(capturing.stream.enabled);
 }
 
 TEST(PolicyPlumbingTest, MaterializeSinkRejectsMaskedChunks) {

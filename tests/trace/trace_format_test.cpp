@@ -223,10 +223,11 @@ TEST(TraceFormatTest, RejectsImplausibleIntervalCounts) {
   const std::size_t topo_len_at = 44 + prov_len;
   const std::size_t header_end = topo_len_at + 4 + get_u32(topo_len_at);
   put_u32(header_end, crc32(bytes.data(), header_end));
-  // Matching trailer totals, re-sealed too.
-  const std::size_t totals_at = bytes.size() - 20;
+  // Matching trailer totals, re-sealed too (v2 trailer: magic + 24-byte
+  // totals + CRC).
+  const std::size_t totals_at = bytes.size() - 28;
   put_u64(totals_at + 8, huge);
-  put_u32(bytes.size() - 4, crc32(bytes.data() + totals_at, 16));
+  put_u32(bytes.size() - 4, crc32(bytes.data() + totals_at, 24));
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(reinterpret_cast<const char*>(bytes.data()),
@@ -247,15 +248,13 @@ TEST(TraceFormatTest, RejectsOverflowingFrameCounts) {
                                    std::istreambuf_iterator<char>());
   in.close();
 
+  // The second frame's count field sits 12 bytes into the frame; its
+  // offset comes straight from the file's own CIDX index.
   const trace_reader valid(path);
-  const std::size_t row_bytes =
-      8 * ((valid.topology_ptr()->num_paths() + 63) / 64 +
-           (valid.topology_ptr()->num_links() + 63) / 64);
-  const std::size_t frame1_size = 4 + 16 + 16 * row_bytes + 4;
-  const std::size_t data_size =
-      3 * frame1_size + (4 + 16 + 12 * row_bytes + 4);
+  ASSERT_TRUE(valid.has_index());
+  ASSERT_GE(valid.index().size(), 2u);
   const std::size_t frame2_count_at =
-      bytes.size() - 24 - data_size + frame1_size + 4 + 8;
+      static_cast<std::size_t>(valid.index()[1].offset) + 4 + 8;
   // count = 2^64 - 3: seen(16) + count wraps to a tiny value.
   const std::uint64_t huge = ~std::uint64_t{0} - 2;
   for (int i = 0; i < 8; ++i) {
@@ -311,9 +310,9 @@ TEST(TraceFormatTest, TrailingGarbageFailsTheStream) {
     std::ofstream out(path, std::ios::binary | std::ios::app);
     out << "extra";
   }
-  // The header/trailer scan cannot see mid-file garbage (the trailer
-  // bytes are read relative to the end), so the full-file stream pass
-  // is the gate.
+  // Appended bytes shift the end-relative trailer read (caught at
+  // open); mid-file garbage that survives the trailer scan is caught by
+  // the full-file stream pass's frames-end check.
   EXPECT_THROW(
       {
         const trace_reader reader(path);

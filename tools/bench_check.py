@@ -157,7 +157,15 @@ def check(baseline_path, inputs, tolerance_override):
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="Regenerating the baseline: run the exact bench commands "
+               "from the bench-smoke CI job (flags matter), then\n"
+               "  tools/bench_check.py --write-baseline BENCH_BASELINE.json "
+               "build/BENCH_*.json\n"
+               "Step-by-step instructions live in tools/README.md.",
+    )
     parser.add_argument("inputs", nargs="+", help="BENCH_*.json files")
     parser.add_argument("--baseline", help="baseline to compare against")
     parser.add_argument(

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Check relative markdown links in this repository.
+
+Scans the given markdown files (or, with no arguments, README.md plus
+everything under docs/) and verifies that every relative link target
+exists on disk and that every `#fragment` resolves to a heading in the
+target file, using GitHub's anchor-slug rules.
+
+Skipped, by design:
+  * absolute URLs (anything with a scheme, e.g. https://, mailto:)
+  * links that resolve outside the repository root — GitHub-web-relative
+    idioms like the CI badge's ../../actions/... path
+
+Exit status is 0 when every link resolves, 1 otherwise; each broken
+link is reported as file:line: message.
+
+Usage:
+  tools/check_links.py [FILE.md ...]
+"""
+
+import os
+import re
+import sys
+
+# Inline links [text](target); images are the same with a leading bang.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def github_slug(heading):
+    """GitHub's heading -> anchor id transform (the common subset)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        slugs, seen = set(), {}
+        in_fence = False
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                if FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                m = None if in_fence else HEADING_RE.match(line)
+                if m:
+                    slug = github_slug(m.group(1))
+                    n = seen.get(slug, 0)
+                    seen[slug] = n + 1
+                    slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(md_path, root):
+    errors = []
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if SCHEME_RE.match(target) or target.startswith("//"):
+                    continue
+                path_part, _, fragment = target.partition("#")
+                if not path_part:  # same-file #fragment
+                    dest = md_path
+                else:
+                    dest = os.path.normpath(
+                        os.path.join(os.path.dirname(md_path), path_part))
+                    if not (dest == root or dest.startswith(root + os.sep)):
+                        continue  # GitHub-web-relative (e.g. the CI badge)
+                    if not os.path.exists(dest):
+                        errors.append((lineno, f"broken link: {target}"))
+                        continue
+                if fragment and dest.endswith(".md"):
+                    if fragment.lower() not in anchors_of(dest):
+                        errors.append(
+                            (lineno, f"missing anchor: {target}"))
+    return errors
+
+
+def main(argv):
+    root = repo_root()
+    files = [os.path.abspath(a) for a in argv]
+    if not files:
+        files = [os.path.join(root, "README.md")]
+        for dirpath, _, names in sorted(os.walk(os.path.join(root, "docs"))):
+            files.extend(os.path.join(dirpath, n)
+                         for n in sorted(names) if n.endswith(".md"))
+    broken = 0
+    for path in files:
+        for lineno, msg in check_file(path, root):
+            rel = os.path.relpath(path, root)
+            print(f"{rel}:{lineno}: {msg}")
+            broken += 1
+    checked = len(files)
+    if broken:
+        print(f"FAIL: {broken} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"OK: all relative links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
