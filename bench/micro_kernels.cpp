@@ -81,6 +81,11 @@ std::size_t run_popcount_and3(const std::uint64_t* a, const std::uint64_t* b,
                               std::size_t n) {
   return simd::popcount_and3(a, b, c, n);
 }
+std::size_t run_andnot_count(const std::uint64_t* a, const std::uint64_t* b,
+                             const std::uint64_t*, std::uint64_t*,
+                             std::size_t n) {
+  return simd::andnot_count(a, b, n);
+}
 std::size_t run_or_accumulate(const std::uint64_t* a, const std::uint64_t*,
                               const std::uint64_t*, std::uint64_t* dst,
                               std::size_t n) {
@@ -92,6 +97,7 @@ constexpr kernel_case kernel_cases[] = {
     {"popcount_words", 8, run_popcount_words},
     {"popcount_and2", 16, run_popcount_and2},
     {"popcount_and3", 24, run_popcount_and3},
+    {"andnot_count", 16, run_andnot_count},
     {"or_accumulate", 24, run_or_accumulate},  // read dst+src, write dst
 };
 
@@ -110,6 +116,7 @@ bool identity_sweep() {
     const std::size_t ref_2 = simd::popcount_and2(a.data(), b.data(), n);
     const std::size_t ref_3 =
         simd::popcount_and3(a.data(), b.data(), c.data(), n);
+    const std::size_t ref_an = simd::andnot_count(a.data(), b.data(), n);
     auto ref_or = base;
     simd::or_accumulate(ref_or.data(), a.data(), n);
 
@@ -118,6 +125,7 @@ bool identity_sweep() {
       ok &= simd::popcount_words(a.data(), n) == ref_w;
       ok &= simd::popcount_and2(a.data(), b.data(), n) == ref_2;
       ok &= simd::popcount_and3(a.data(), b.data(), c.data(), n) == ref_3;
+      ok &= simd::andnot_count(a.data(), b.data(), n) == ref_an;
       auto dst = base;
       simd::or_accumulate(dst.data(), a.data(), n);
       ok &= dst == ref_or;

@@ -22,11 +22,15 @@
 //            stream as a .trc dataset, O(chunk) memory at any T.
 //   replay   --file=run.trc [--estimators=SPECS] [--streamed]
 //            [--chunk N] [--imperfect=...] [--policy=SPEC]
+//            [--partition=MODE] [--partition-max-links=N]
 //            Replay a captured dataset through the estimator pipeline:
 //            truth-aware Fig. 3 metrics when the trace carries the
 //            ground-truth plane, observation-only scoring otherwise.
 //            --policy masks the replayed stream with a probe-budget
 //            planner (forces streamed mode; streaming estimators only).
+//            --partition fits every estimator per partition cell
+//            (ntom/part) and merges the estimates at the cut links;
+//            MODE is components, bicomp, or auto (default none).
 //   import   --in=loss.txt --out=run.trc [--topo=FILE] [--threshold F]
 //            Convert an external per-path loss text trace
 //            (TopoConfluence-style ns-3 summaries) into a .trc dataset.
@@ -100,6 +104,8 @@ int usage() {
                "          [--no-truth] [--imperfect=SPECS]\n"
                "  replay  --file=FILE [--estimators=SPECS] [--streamed]\n"
                "          [--chunk N] [--imperfect=SPECS] [--policy=SPEC]\n"
+               "          [--partition=none|components|bicomp|auto]\n"
+               "          [--partition-max-links N]\n"
                "  import  --in=FILE --out=FILE [--topo=FILE] [--threshold F]\n"
                "  corpus  stat FILE|DIR... | merge --out=FILE A B... |\n"
                "          split --parts=N FILE | index DIR\n"
@@ -281,6 +287,11 @@ int cmd_replay(const ntom::flags& opts) {
   config.stream.chunk_intervals = static_cast<std::size_t>(opts.get_int(
       "chunk", static_cast<std::int64_t>(default_chunk_intervals)));
   config.plan.policy = opts.get_string("policy", "");
+  config.part.mode =
+      partition_mode_from_string(opts.get_string("partition", "none"));
+  config.part.max_cell_links = static_cast<std::size_t>(
+      opts.get_int("partition-max-links",
+                   static_cast<std::int64_t>(config.part.max_cell_links)));
 
   // Reconcile before choosing the mode: a probe policy forces streamed
   // execution (the materialized store has no mask plane).

@@ -46,6 +46,18 @@
 //                               estimators. --list=policies shows the
 //                               registered planners.
 //
+// Partitioned hierarchical inference (ntom/part):
+//   --partition=MODE            decompose every run's topology into
+//                               independently solvable cells and fit
+//                               each estimator per cell, merging the
+//                               estimates at the cut links. MODE is
+//                               components, bicomp, or auto (none
+//                               disables, the default); a plan that
+//                               collapses to one cell falls back to the
+//                               monolithic fit automatically
+//   --partition-max-links=N     soft cell-size target for bicomp/auto
+//                               (default 4096 links per cell)
+//
 // --simd=scalar|popcnt|avx2|avx512 forces the bit-kernel dispatch level
 // for the whole sweep (same as NTOM_SIMD; --list=simd shows the host's
 // detected ISA ladder).
@@ -263,6 +275,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Partitioned hierarchical inference: decompose each run's topology
+  // into cells and fit every estimator per cell (ntom/part).
+  const std::string partition = opts.get_string("partition", "none");
+  try {
+    partition_options part;
+    part.mode = partition_mode_from_string(partition);
+    part.max_cell_links = static_cast<std::size_t>(
+        opts.get_int("partition-max-links",
+                     static_cast<std::int64_t>(part.max_cell_links)));
+    exp.with_partitioning(part);
+  } catch (const spec_error& err) {
+    std::fprintf(stderr, "--partition: %s\n", err.what());
+    return 2;
+  }
+
   // Grid-scheduler knobs (observability / A-B only — results never
   // depend on them).
   exp.cache_topologies(!opts.get_bool("no-topo-cache", false));
@@ -292,7 +319,9 @@ int main(int argc, char** argv) {
             << replicas << " replicas), T=" << intervals << ", seed=" << seed
             << ", threads=" << workers
             << (streamed || !policy.empty() ? ", streamed" : ", materialized")
-            << (policy.empty() ? "" : ", policy=" + policy) << "\n\n";
+            << (policy.empty() ? "" : ", policy=" + policy)
+            << (partition == "none" ? "" : ", partition=" + partition)
+            << "\n\n";
 
   batch_params params;
   params.threads = threads;

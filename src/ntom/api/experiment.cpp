@@ -250,6 +250,14 @@ experiment& experiment::with_policy(std::string policy_spec) {
   return *this;
 }
 
+experiment& experiment::with_partitioning(partition_options part) {
+  if (part.mode != partition_mode::none && part.max_cell_links == 0) {
+    throw spec_error("with_partitioning: max_cell_links must be positive");
+  }
+  part_ = part;
+  return *this;
+}
+
 // Deprecated one-knob shims: edit the grouped structs field-wise.
 // (Definitions must not re-trigger the [[deprecated]] diagnostics.)
 #if defined(__GNUC__) || defined(__clang__)
@@ -320,6 +328,7 @@ std::vector<run_spec> experiment::specs() const {
         config.sim = sim_;
         config.stream = stream_;
         config.plan = plan_;
+        config.part = part_;
         const std::string label =
             topology_label(topo) + "/" + scenario_label(scenario);
         if (!capture_.path.empty()) {

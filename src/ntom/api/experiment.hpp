@@ -111,6 +111,16 @@ class experiment {
   /// execution and require streaming-capable estimators. Empty clears.
   experiment& with_policy(std::string policy_spec);
 
+  /// Partitioned hierarchical inference (mirrors run_config::part): the
+  /// evals driver decomposes every run's topology into independently
+  /// solvable cells (ntom/part — connected or biconnected components of
+  /// the link/path structure), fits each estimator per cell, and merges
+  /// the estimates back at the cut links. `mode` none (the default)
+  /// disables; a topology whose plan collapses to one cell falls back
+  /// to the monolithic fit automatically. Validated eagerly (throws
+  /// spec_error on a zero max_cell_links).
+  experiment& with_partitioning(partition_options part);
+
   /// Deprecated shims over with_streaming / with_capture — the former
   /// ad-hoc one-knob setters, kept so existing call sites compile.
   /// They edit the grouped structs in place, so mixing shims and
@@ -167,6 +177,7 @@ class experiment {
   stream_options stream_;
   capture_options capture_;  // capture_.path is the capture DIRECTORY.
   plan_options plan_;
+  partition_options part_;
   std::optional<bool> cache_topologies_;
   std::optional<bool> shard_estimators_;
 };

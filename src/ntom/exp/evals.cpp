@@ -5,12 +5,24 @@
 #include <utility>
 
 #include "ntom/corr/correlation.hpp"
+#include "ntom/part/hier_infer.hpp"
 #include "ntom/sim/monitor.hpp"
 #include "ntom/trace/trace_writer.hpp"
 
 namespace ntom {
 
 namespace {
+
+/// The run's estimator constructor: monolithic by default; behind the
+/// hierarchical adapter when the config carries a non-trivial partition
+/// plan (run_config::part). A trivial plan (<= 1 cell) gains nothing and
+/// would only add the splitting overhead, so it falls back.
+std::unique_ptr<estimator> make_run_estimator(
+    const estimator_spec& s,
+    const std::shared_ptr<const partition_plan>& plan) {
+  if (plan == nullptr || plan->trivial()) return make_estimator(s);
+  return make_partitioned_estimator(s, plan);
+}
 
 /// Shared state of one evaluation: the fitted estimators plus whatever
 /// view of the observations the chosen execution mode produced.
@@ -25,10 +37,11 @@ struct fitted_run {
 /// Fits every estimator on the materialized store (the default mode —
 /// exact pre-streaming behavior).
 fitted_run fit_materialized(const std::vector<estimator_spec>& specs,
-                            const run_artifacts& run) {
+                            const run_artifacts& run,
+                            const std::shared_ptr<const partition_plan>& plan) {
   fitted_run out;
   for (const estimator_spec& s : specs) {
-    out.estimators.push_back(make_estimator(s));
+    out.estimators.push_back(make_run_estimator(s, plan));
     out.estimators.back()->fit(run.topo(), run.data);
   }
   out.always_good_paths = run.data.always_good_paths;
@@ -42,14 +55,15 @@ fitted_run fit_materialized(const std::vector<estimator_spec>& specs,
 /// it. A pathset_counter with an empty family tracks always-good paths
 /// for the link-error metrics either way.
 fitted_run fit_streamed(const std::vector<estimator_spec>& specs,
-                        const run_config& config, const run_artifacts& run) {
+                        const run_config& config, const run_artifacts& run,
+                        const std::shared_ptr<const partition_plan>& plan) {
   fitted_run out;
   std::vector<estimator_fit_sink> fit_sinks;
   fit_sinks.reserve(specs.size());
   fanout_sink fanout;
   bool need_store = false;
   for (const estimator_spec& s : specs) {
-    out.estimators.push_back(make_estimator(s));
+    out.estimators.push_back(make_run_estimator(s, plan));
     estimator& est = *out.estimators.back();
     if (est.caps().streaming) {
       fit_sinks.emplace_back(est);
@@ -121,6 +135,12 @@ struct shared_truth {
   std::once_flag once;
   std::optional<ground_truth> truth;
   bitvec potcong;
+
+  /// The run's partition plan (run_config::part) — a pure function of
+  /// (topology, options), computed by whichever estimator cell needs it
+  /// first and shared by the siblings.
+  std::once_flag plan_once;
+  std::shared_ptr<const partition_plan> plan;
 };
 
 /// Fits and scores an estimator subset on one prepared run — the unit
@@ -137,8 +157,22 @@ std::vector<measurement> eval_estimators(
   const bool streamed =
       config.stream.enabled ||
       (run.source != nullptr && run.source->has_mask());
-  fitted_run fitted = streamed ? fit_streamed(estimators, config, run)
-                               : fit_materialized(estimators, run);
+  std::shared_ptr<const partition_plan> plan;
+  if (config.part.mode != partition_mode::none) {
+    const auto compute_plan = [&] {
+      return std::make_shared<const partition_plan>(
+          make_partition(run.topo(), config.part));
+    };
+    if (shared != nullptr) {
+      std::call_once(shared->plan_once,
+                     [&] { shared->plan = compute_plan(); });
+      plan = shared->plan;
+    } else {
+      plan = compute_plan();
+    }
+  }
+  fitted_run fitted = streamed ? fit_streamed(estimators, config, run, plan)
+                               : fit_materialized(estimators, run, plan);
   // Materialized mode scores from run.data; streamed mode prefers the
   // store when one had to be built anyway, else replays the stream.
   const experiment_data* data =
@@ -280,8 +314,13 @@ std::shared_ptr<void> estimator_cells::make_run_state(
     const run_config& config, const run_artifacts& run) const {
   (void)run;
   // Only materialized multi-cell runs can share; streamed runs are one
-  // cell and compute locally.
-  if (config.stream.enabled || !options_.link_error_metrics) return nullptr;
+  // cell and compute locally. Partitioned runs always share — the plan
+  // is worth computing once per run, not once per estimator shard.
+  if (config.stream.enabled ||
+      (!options_.link_error_metrics &&
+       config.part.mode == partition_mode::none)) {
+    return nullptr;
+  }
   return std::make_shared<shared_truth>();
 }
 

@@ -4,20 +4,20 @@ namespace ntom {
 
 void inference_scorer::add_interval(const bitvec& inferred,
                                     const bitvec& truly_congested) {
+  // Fused kernels: the hit/miss cardinalities come straight off the
+  // packed words — this runs once per interval per estimator, so the
+  // copied intermediates used to dominate the scoring pass.
   const std::size_t truth_count = truly_congested.count();
   if (truth_count > 0) {
-    bitvec hit = inferred;
-    hit &= truly_congested;
-    detection_sum_ +=
-        static_cast<double>(hit.count()) / static_cast<double>(truth_count);
+    detection_sum_ += static_cast<double>(inferred.and_count(truly_congested)) /
+                      static_cast<double>(truth_count);
     ++detection_count_;
   }
   const std::size_t inferred_count = inferred.count();
   if (inferred_count > 0) {
-    bitvec wrong = inferred;
-    wrong.subtract(truly_congested);
-    fp_sum_ += static_cast<double>(wrong.count()) /
-               static_cast<double>(inferred_count);
+    fp_sum_ +=
+        static_cast<double>(inferred.andnot_count(truly_congested)) /
+        static_cast<double>(inferred_count);
     ++fp_count_;
   }
 }

@@ -30,6 +30,9 @@ void run_config::reconcile() {
     (void)make_probe_policy(probe_policy_spec(plan.policy));
     stream.enabled = true;
   }
+  if (part.mode != partition_mode::none && part.max_cell_links == 0) {
+    throw spec_error("run_config: part.max_cell_links must be positive");
+  }
 }
 
 run_artifacts prepare_topology(run_config config,

@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "ntom/exp/metrics.hpp"
+#include "ntom/part/partition.hpp"
 #include "ntom/sim/packet_sim.hpp"
 #include "ntom/sim/scenario.hpp"
 #include "ntom/topogen/registry.hpp"
@@ -95,6 +96,14 @@ struct run_config {
   stream_options stream;
   capture_options capture;
   plan_options plan;
+
+  /// Partitioned-inference knobs (ntom/part), grouped like the other
+  /// mode structs and mirrored by the facade's with_partitioning
+  /// builder. When `part.mode` is not `none`, the evals driver computes
+  /// one partition_plan per run (shared across its estimator cells) and
+  /// fits every estimator per cell through the hierarchical adapter;
+  /// a trivial plan (<= 1 cell) falls back to the monolithic fit.
+  partition_options part;
 
   /// Overlays the scenario spec's options onto scenario_opts and
   /// pre-draws enough phases for sim.intervals. Also lifts a scenario

@@ -1,0 +1,135 @@
+#include "ntom/graph/clusters.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ntom {
+
+std::vector<as_cluster> as_clusters(const topology& t, std::size_t min_group) {
+  std::vector<as_cluster> clusters;
+  for (as_id a = 0; a < t.num_ases(); ++a) {
+    as_cluster c;
+    c.as_number = a;
+    std::unordered_set<router_link_id> seen;
+    bitvec in_as = t.links_in_as(a);
+    in_as &= t.covered_links();
+    in_as.for_each([&](std::size_t le) {
+      const auto e = static_cast<link_id>(le);
+      c.links.push_back(e);
+      for (const router_link_id r : t.link(e).router_links) {
+        if (seen.insert(r).second) c.members.push_back(r);
+      }
+    });
+    if (c.links.size() >= min_group && !c.members.empty()) {
+      clusters.push_back(std::move(c));
+    }
+  }
+  return clusters;
+}
+
+bicomp_result biconnected_components(
+    std::size_t num_vertices,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  // Adjacency with edge ids so parallel edges survive (only the one
+  // tree edge back to the parent is skipped, by id, not by endpoint).
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adj(
+      num_vertices);
+  for (std::uint32_t eid = 0; eid < edges.size(); ++eid) {
+    const auto [u, v] = edges[eid];
+    if (u == v) continue;  // self-loops never bind anything together.
+    adj[u].emplace_back(v, eid);
+    adj[v].emplace_back(u, eid);
+  }
+
+  constexpr std::uint32_t unvisited = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> disc(num_vertices, unvisited);
+  std::vector<std::uint32_t> low(num_vertices, 0);
+  std::uint32_t timer = 0;
+
+  struct frame {
+    std::uint32_t vertex;
+    std::uint32_t next_edge;    ///< index into adj[vertex].
+    std::uint32_t parent_edge;  ///< edge id of the tree edge in, or -1.
+  };
+  std::vector<frame> stack;
+  std::vector<std::uint32_t> edge_stack;  ///< edge ids of the open blocks.
+
+  bicomp_result out;
+  std::vector<char> vertex_mark(num_vertices, 0);
+
+  const auto emit_component = [&](std::size_t edge_stack_floor) {
+    std::vector<std::uint32_t> verts;
+    for (std::size_t i = edge_stack_floor; i < edge_stack.size(); ++i) {
+      const auto [a, b] = edges[edge_stack[i]];
+      if (vertex_mark[a] == 0) {
+        vertex_mark[a] = 1;
+        verts.push_back(a);
+      }
+      if (vertex_mark[b] == 0) {
+        vertex_mark[b] = 1;
+        verts.push_back(b);
+      }
+    }
+    edge_stack.resize(edge_stack_floor);
+    for (const std::uint32_t v : verts) vertex_mark[v] = 0;
+    std::sort(verts.begin(), verts.end());
+    out.components.push_back(std::move(verts));
+  };
+
+  // Floor of the edge stack at the moment each tree edge was pushed —
+  // popping back to the floor pops exactly that child's block.
+  std::vector<std::size_t> frame_floor;
+
+  for (std::uint32_t root = 0; root < num_vertices; ++root) {
+    if (disc[root] != unvisited) continue;
+    if (adj[root].empty()) {
+      disc[root] = timer++;
+      out.components.push_back({root});  // isolated vertex: singleton.
+      continue;
+    }
+    disc[root] = low[root] = timer++;
+    stack.push_back({root, 0, unvisited});
+    frame_floor.push_back(0);
+    while (!stack.empty()) {
+      frame& f = stack.back();
+      const std::uint32_t u = f.vertex;
+      if (f.next_edge < adj[u].size()) {
+        const auto [v, eid] = adj[u][f.next_edge++];
+        if (eid == f.parent_edge) continue;
+        if (disc[v] == unvisited) {
+          const std::size_t floor = edge_stack.size();
+          edge_stack.push_back(eid);
+          disc[v] = low[v] = timer++;
+          stack.push_back({v, 0, eid});
+          frame_floor.push_back(floor);
+        } else if (disc[v] < disc[u]) {
+          edge_stack.push_back(eid);
+          low[u] = std::min(low[u], disc[v]);
+        }
+      } else {
+        const std::size_t floor = frame_floor.back();
+        stack.pop_back();
+        frame_floor.pop_back();
+        if (stack.empty()) continue;
+        const std::uint32_t w = stack.back().vertex;
+        low[w] = std::min(low[w], low[u]);
+        if (low[u] >= disc[w]) emit_component(floor);
+      }
+    }
+  }
+
+  // Articulation vertices and the per-vertex membership index fall out
+  // of the component lists (a vertex in >= 2 blocks is a cut vertex).
+  out.vertex_components.resize(num_vertices);
+  for (std::uint32_t c = 0; c < out.components.size(); ++c) {
+    for (const std::uint32_t v : out.components[c]) {
+      out.vertex_components[v].push_back(c);
+    }
+  }
+  for (std::uint32_t v = 0; v < num_vertices; ++v) {
+    if (out.vertex_components[v].size() >= 2) out.articulation.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace ntom

@@ -1,0 +1,62 @@
+// Structural decompositions of a topology shared by the scenario
+// builders and the partitioner.
+//
+// as_clusters() is the AS-cluster grouping the SRLG scenario has always
+// computed (one candidate risk group per AS with enough covered links);
+// hoisted here so sim/scenario.cpp and part/partition.cpp share one
+// definition. biconnected_components() is the classic Hopcroft–Tarjan
+// block decomposition, iterative so 10^5-vertex imported router graphs
+// cannot overflow the stack; the partitioner cuts the link/path
+// incidence structure at its articulation vertices.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ntom/graph/topology.hpp"
+
+namespace ntom {
+
+/// One AS's cluster: its covered links and the deduplicated union of
+/// their router links (first-appearance order — the SRLG scenario's
+/// risk-group member order).
+struct as_cluster {
+  as_id as_number = 0;
+  std::vector<router_link_id> members;  ///< dedup'd, first-appearance order.
+  std::vector<link_id> links;           ///< ascending.
+};
+
+/// Per-AS clusters over the covered links, ascending by AS id. An AS is
+/// kept when it holds at least `min_group` covered links and those
+/// links ride on at least one router link — exactly the SRLG scenario's
+/// candidate filter, so build_srlg stays bit-identical through this
+/// helper.
+[[nodiscard]] std::vector<as_cluster> as_clusters(const topology& t,
+                                                  std::size_t min_group = 1);
+
+/// Result of a biconnected-component decomposition of an undirected
+/// (multi)graph. Every vertex belongs to at least one component
+/// (isolated vertices form singletons); articulation vertices are the
+/// ones appearing in two or more components.
+struct bicomp_result {
+  /// Vertex sets, ascending within each component; component order is
+  /// deterministic in (vertex order, adjacency order).
+  std::vector<std::vector<std::uint32_t>> components;
+
+  /// Articulation (cut) vertices, ascending.
+  std::vector<std::uint32_t> articulation;
+
+  /// components-index list per vertex (size = num_vertices).
+  std::vector<std::vector<std::uint32_t>> vertex_components;
+};
+
+/// Biconnected components via iterative Hopcroft–Tarjan (explicit DFS
+/// stack + edge stack). Parallel edges and self-loops are tolerated:
+/// a self-loop never creates a component on its own. Edge endpoints
+/// must be < num_vertices.
+[[nodiscard]] bicomp_result biconnected_components(
+    std::size_t num_vertices,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges);
+
+}  // namespace ntom

@@ -54,20 +54,48 @@ void require_line_consumed(std::istringstream& ss, const char* record) {
 }  // namespace
 
 topology load_topology(std::istream& in) {
-  std::string word;
-  int version = 0;
-  if (!(in >> word >> version) || word != magic) {
-    throw std::runtime_error("load_topology: bad magic");
-  }
-  if (version != format_version) {
-    throw std::runtime_error("load_topology: unsupported version");
+  // Real datasets come back from Windows editors with a UTF-8 BOM and
+  // CRLF endings, and hand-maintained files carry '#' comments — all
+  // tolerated (CRLF via the " \t\r" skips below).
+  if (in.peek() == 0xEF) {
+    char bom[3] = {};
+    in.read(bom, 3);
+    if (in.gcount() != 3 || static_cast<unsigned char>(bom[1]) != 0xBB ||
+        static_cast<unsigned char>(bom[2]) != 0xBF) {
+      throw std::runtime_error("load_topology: bad magic");
+    }
   }
   std::string line;
-  std::getline(in, line);  // rest of the magic line must be blank.
-  if (line.find_first_not_of(" \t\r") != std::string::npos) {
-    throw std::runtime_error("load_topology: trailing garbage after version");
+  const auto next_record_line = [&in](std::string& out) -> bool {
+    while (std::getline(in, out)) {
+      const std::size_t first = out.find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;  // blank line.
+      if (out[first] == '#') continue;           // comment line.
+      return true;
+    }
+    return false;
+  };
+
+  std::string word;
+  int version = 0;
+  if (!next_record_line(line)) {
+    throw std::runtime_error("load_topology: bad magic");
   }
-  if (!std::getline(in, line)) {
+  {
+    std::istringstream header(line);
+    if (!(header >> word >> version) || word != magic) {
+      throw std::runtime_error("load_topology: bad magic");
+    }
+    if (version != format_version) {
+      throw std::runtime_error("load_topology: unsupported version");
+    }
+    header.clear();
+    header >> std::ws;
+    if (header.peek() != std::istringstream::traits_type::eof()) {
+      throw std::runtime_error("load_topology: trailing garbage after version");
+    }
+  }
+  if (!next_record_line(line)) {
     throw std::runtime_error("load_topology: missing router_links");
   }
   std::size_t router_links = 0;
@@ -82,8 +110,7 @@ topology load_topology(std::istream& in) {
   topology t(router_links);
   std::size_t paths_added = 0;  // paths stay pending until finalize().
   bool seen_path = false;
-  while (std::getline(in, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+  while (next_record_line(line)) {
     std::istringstream ss(line);
     ss >> word;
     if (word == "link") {

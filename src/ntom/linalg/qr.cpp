@@ -6,11 +6,19 @@
 
 namespace ntom {
 
-qr_decomposition qr_factorize(const matrix& a, double rel_tol) {
+namespace {
+
+/// Core column-pivoted Householder loop. Writes R, perm, rank, and
+/// tolerance into `out`. The explicit Q is accumulated only when
+/// `want_q` is set; when `rhs` is non-null the transposed reflector
+/// sequence is applied to it in place (rhs <- Q^T rhs). Both consumers
+/// see bit-identical R/perm/rank — the reflector arithmetic on R does
+/// not depend on what Q is used for.
+void factorize_core(const matrix& a, double rel_tol, bool want_q,
+                    std::vector<double>* rhs, qr_decomposition& out) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
-  qr_decomposition out;
-  out.q = matrix::identity(m);
+  if (want_q) out.q = matrix::identity(m);
   out.r = a;
   out.perm.resize(n);
   for (std::size_t j = 0; j < n; ++j) out.perm[j] = j;
@@ -55,12 +63,22 @@ qr_decomposition qr_factorize(const matrix& a, double rel_tol) {
       s = 2.0 * s / vnorm2;
       for (std::size_t i = k; i < m; ++i) out.r(i, j) -= s * v[i - k];
     }
-    // ... and accumulate into Q (Q <- Q H, acting on columns k..m of Q).
-    for (std::size_t i = 0; i < m; ++i) {
+    // ... accumulate into Q (Q <- Q H, acting on columns k..m of Q) ...
+    if (want_q) {
+      for (std::size_t i = 0; i < m; ++i) {
+        double s = 0.0;
+        for (std::size_t j = k; j < m; ++j) s += out.q(i, j) * v[j - k];
+        s = 2.0 * s / vnorm2;
+        for (std::size_t j = k; j < m; ++j) out.q(i, j) -= s * v[j - k];
+      }
+    }
+    // ... and to the right-hand side (rhs <- H rhs, so the finished
+    // vector is H_s ... H_1 rhs = Q^T rhs).
+    if (rhs != nullptr) {
       double s = 0.0;
-      for (std::size_t j = k; j < m; ++j) s += out.q(i, j) * v[j - k];
+      for (std::size_t i = k; i < m; ++i) s += v[i - k] * (*rhs)[i];
       s = 2.0 * s / vnorm2;
-      for (std::size_t j = k; j < m; ++j) out.q(i, j) -= s * v[j - k];
+      for (std::size_t i = k; i < m; ++i) (*rhs)[i] -= s * v[i - k];
     }
 
     // Exact zeros below the diagonal and updated trailing norms.
@@ -81,19 +99,33 @@ qr_decomposition qr_factorize(const matrix& a, double rel_tol) {
   for (std::size_t k = 0; k < steps; ++k) {
     if (std::abs(out.r(k, k)) > out.tolerance) ++out.rank;
   }
+}
+
+}  // namespace
+
+qr_decomposition qr_factorize(const matrix& a, double rel_tol) {
+  qr_decomposition out;
+  factorize_core(a, rel_tol, /*want_q=*/true, nullptr, out);
+  return out;
+}
+
+qr_decomposition qr_factorize_apply(const matrix& a, std::vector<double>& rhs,
+                                    double rel_tol) {
+  assert(rhs.size() == a.rows());
+  qr_decomposition out;
+  factorize_core(a, rel_tol, /*want_q=*/false, &rhs, out);
   return out;
 }
 
 std::size_t matrix_rank(const matrix& a, double rel_tol) {
   if (a.empty()) return 0;
-  return qr_factorize(a, rel_tol).rank;
+  qr_decomposition f;
+  factorize_core(a, rel_tol, /*want_q=*/false, nullptr, f);
+  return f.rank;
 }
 
-matrix null_space_basis(const matrix& a, double rel_tol) {
-  const std::size_t n = a.cols();
-  if (a.rows() == 0) return matrix::identity(n);
-
-  const qr_decomposition f = qr_factorize(a, rel_tol);
+matrix null_space_basis(const qr_decomposition& f) {
+  const std::size_t n = f.r.cols();
   const std::size_t r = f.rank;
   const std::size_t k = n - r;
   matrix basis(n, k);
@@ -127,6 +159,14 @@ matrix null_space_basis(const matrix& a, double rel_tol) {
     }
   }
   return basis;
+}
+
+matrix null_space_basis(const matrix& a, double rel_tol) {
+  const std::size_t n = a.cols();
+  if (a.rows() == 0) return matrix::identity(n);
+  qr_decomposition f;
+  factorize_core(a, rel_tol, /*want_q=*/false, nullptr, f);
+  return null_space_basis(f);
 }
 
 }  // namespace ntom

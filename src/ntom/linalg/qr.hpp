@@ -30,6 +30,19 @@ struct qr_decomposition {
 [[nodiscard]] qr_decomposition qr_factorize(const matrix& a,
                                             double rel_tol = 1e-10);
 
+/// Factorizes A without accumulating the explicit Q (the returned `q`
+/// is 0 x 0) and instead applies the transposed reflector sequence to
+/// `rhs` in place: rhs <- Q^T rhs. R, perm, rank, and tolerance are
+/// bit-identical to qr_factorize's. The least-squares solve needs Q
+/// only through Q^T b, and for the tall systems the tomography
+/// estimators stage (up to ~10^4 equations over a few hundred unknowns)
+/// the explicit m x m factor dominates both the arithmetic and the
+/// memory of the whole solve — this path is O(m n) space instead of
+/// O(m^2). `rhs.size()` must equal `a.rows()`.
+[[nodiscard]] qr_decomposition qr_factorize_apply(const matrix& a,
+                                                  std::vector<double>& rhs,
+                                                  double rel_tol = 1e-10);
+
 /// Numerical rank of A (shorthand for qr_factorize(a).rank).
 [[nodiscard]] std::size_t matrix_rank(const matrix& a, double rel_tol = 1e-10);
 
@@ -37,5 +50,11 @@ struct qr_decomposition {
 /// whose columns satisfy A * col ~ 0. k = n - rank(A); k == 0 yields an
 /// n x 0 matrix.
 [[nodiscard]] matrix null_space_basis(const matrix& a, double rel_tol = 1e-10);
+
+/// Same basis from an existing factorization of A (only R, perm, and
+/// rank are read — a Q-free factorization works). Lets one
+/// factorization feed both the minimum-norm solve and the
+/// identifiability analysis instead of factorizing twice.
+[[nodiscard]] matrix null_space_basis(const qr_decomposition& f);
 
 }  // namespace ntom

@@ -34,18 +34,20 @@ lstsq_result solve_least_squares(const matrix& a, const std::vector<double>& b,
     return out;
   }
 
-  const qr_decomposition f = qr_factorize(a, rel_tol);
+  // One Q-free factorization feeds the whole solve: the reflectors are
+  // applied to b as they are formed (c = Q^T b) and the same R/perm/rank
+  // then yield the null-space basis. The explicit m x m Q the naive
+  // route materializes is quadratic in the equation count — hundreds of
+  // megabytes for the pair-equation systems the Independence estimator
+  // stages — while everything the solve needs from it is this one
+  // product.
+  std::vector<double> c = b;
+  const qr_decomposition f = qr_factorize_apply(a, c, rel_tol);
   const std::size_t k = f.rank;
   out.rank = k;
 
-  // c = Q^T b; solve R11 y1 = c1 with free coordinates zero (basic
-  // solution in the pivoted ordering).
-  std::vector<double> c(a.rows(), 0.0);
-  for (std::size_t j = 0; j < a.rows(); ++j) {
-    double s = 0.0;
-    for (std::size_t i = 0; i < a.rows(); ++i) s += f.q(i, j) * b[i];
-    c[j] = s;
-  }
+  // Solve R11 y1 = c1 with free coordinates zero (basic solution in the
+  // pivoted ordering).
   std::vector<double> y(n, 0.0);
   for (std::size_t i = k; i-- > 0;) {
     double s = c[i];
@@ -56,7 +58,7 @@ lstsq_result solve_least_squares(const matrix& a, const std::vector<double>& b,
 
   // Project away any null-space component -> minimum-norm solution, and
   // flag which coordinates the measurements actually determine.
-  const matrix nsp = null_space_basis(a, rel_tol);
+  const matrix nsp = null_space_basis(f);
   if (nsp.cols() > 0) {
     // x <- x - N (N^T x); N has orthonormal columns.
     std::vector<double> coeff(nsp.cols(), 0.0);

@@ -1,0 +1,335 @@
+#include "ntom/part/partition.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "ntom/graph/clusters.hpp"
+#include "ntom/util/spec.hpp"
+
+namespace ntom {
+
+partition_mode partition_mode_from_string(const std::string& text) {
+  if (text == "none" || text.empty()) return partition_mode::none;
+  if (text == "components") return partition_mode::components;
+  if (text == "bicomp" || text == "biconnected") return partition_mode::bicomp;
+  if (text == "auto" || text == "automatic") return partition_mode::automatic;
+  throw spec_error("partition mode '" + text +
+                   "' is not none/components/bicomp/auto");
+}
+
+const char* to_string(partition_mode mode) noexcept {
+  switch (mode) {
+    case partition_mode::none:
+      return "none";
+    case partition_mode::components:
+      return "components";
+    case partition_mode::bicomp:
+      return "bicomp";
+    case partition_mode::automatic:
+      return "auto";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Union-find over link ids (path compression + union by size).
+class link_union {
+ public:
+  explicit link_union(std::size_t n) : parent_(n), size_(n, 1) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+struct atom_graph {
+  /// Atom index per covered link; npos for uncovered links.
+  std::vector<std::uint32_t> link_atom;
+  /// Links per atom, ascending (atoms ordered by smallest link id).
+  std::vector<std::vector<link_id>> atom_links;
+  /// Deduplicated path-adjacency edges between atoms.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+};
+
+/// Fuses inseparable links into atoms and connects them by path
+/// adjacency. Only covered links participate — an uncovered link is
+/// invisible to every estimator and belongs to no cell.
+atom_graph build_atom_graph(const topology& t) {
+  const std::size_t n = t.num_links();
+  const bitvec& covered = t.covered_links();
+  link_union uf(n);
+
+  // Links sharing a router link fire together (one correlation driver).
+  for (router_link_id r = 0; r < t.num_router_links(); ++r) {
+    link_id first = 0;
+    bool have_first = false;
+    for (const link_id e : t.links_on_router_link(r)) {
+      if (!covered.test(e)) continue;
+      if (!have_first) {
+        first = e;
+        have_first = true;
+      } else {
+        uf.unite(first, e);
+      }
+    }
+  }
+  // Links of one AS form one correlation set (the SRLG clustering).
+  for (const as_cluster& c : as_clusters(t, 1)) {
+    for (std::size_t i = 1; i < c.links.size(); ++i) {
+      uf.unite(c.links[0], c.links[i]);
+    }
+  }
+
+  atom_graph g;
+  constexpr std::uint32_t npos = static_cast<std::uint32_t>(-1);
+  g.link_atom.assign(n, npos);
+  std::unordered_map<std::size_t, std::uint32_t> root_atom;
+  covered.for_each([&](std::size_t le) {
+    const auto e = static_cast<link_id>(le);
+    const std::size_t root = uf.find(e);
+    auto [it, fresh] =
+        root_atom.emplace(root, static_cast<std::uint32_t>(g.atom_links.size()));
+    if (fresh) g.atom_links.emplace_back();
+    g.link_atom[e] = it->second;
+    g.atom_links[it->second].push_back(e);  // ascending by construction.
+  });
+
+  std::unordered_set<std::uint64_t> seen_edges;
+  for (const path& p : t.paths()) {
+    const auto& links = p.links();
+    for (std::size_t i = 1; i < links.size(); ++i) {
+      const std::uint32_t a = g.link_atom[links[i - 1]];
+      const std::uint32_t b = g.link_atom[links[i]];
+      if (a == b || a == npos || b == npos) continue;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+      if (seen_edges.insert(key).second) g.edges.emplace_back(a, b);
+    }
+  }
+  return g;
+}
+
+std::size_t links_of_atoms(const atom_graph& g,
+                           const std::vector<std::uint32_t>& atoms) {
+  std::size_t total = 0;
+  for (const std::uint32_t a : atoms) total += g.atom_links[a].size();
+  return total;
+}
+
+/// Cells as atom index sets (deduplicated, unsorted — sorted later).
+using atom_cells = std::vector<std::vector<std::uint32_t>>;
+
+atom_cells cells_by_components(const atom_graph& g) {
+  const std::size_t num_atoms = g.atom_links.size();
+  link_union uf(num_atoms);
+  for (const auto& [a, b] : g.edges) uf.unite(a, b);
+  std::unordered_map<std::size_t, std::uint32_t> root_cell;
+  atom_cells cells;
+  for (std::uint32_t a = 0; a < num_atoms; ++a) {
+    const std::size_t root = uf.find(a);
+    auto [it, fresh] =
+        root_cell.emplace(root, static_cast<std::uint32_t>(cells.size()));
+    if (fresh) cells.emplace_back();
+    cells[it->second].push_back(a);
+  }
+  return cells;
+}
+
+/// Biconnected blocks of the atom graph, greedily merged in emission
+/// order while the union stays within max_cell_links and shares an
+/// articulation atom with the open group.
+atom_cells cells_by_bicomp(const atom_graph& g, std::size_t max_cell_links) {
+  const bicomp_result blocks =
+      biconnected_components(g.atom_links.size(), g.edges);
+  atom_cells cells;
+  std::unordered_set<std::uint32_t> open_atoms;
+  std::size_t open_links = 0;
+  for (const auto& block : blocks.components) {
+    std::size_t fresh_links = 0;
+    bool shares = false;
+    for (const std::uint32_t a : block) {
+      if (open_atoms.count(a) != 0) {
+        shares = true;
+      } else {
+        fresh_links += g.atom_links[a].size();
+      }
+    }
+    if (!cells.empty() && shares && open_links + fresh_links <= max_cell_links) {
+      for (const std::uint32_t a : block) {
+        if (open_atoms.insert(a).second) cells.back().push_back(a);
+      }
+      open_links += fresh_links;
+    } else {
+      cells.emplace_back(block);
+      open_atoms.clear();
+      open_atoms.insert(block.begin(), block.end());
+      open_links = links_of_atoms(g, block);
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+std::string partition_plan::describe() const {
+  std::string out = "cells=" + std::to_string(cells.size()) +
+                    ", cut_links=" + std::to_string(cut_links.size()) +
+                    ", straddling_paths=" + std::to_string(straddling_paths);
+  std::size_t largest = 0;
+  for (const partition_cell& c : cells) {
+    largest = std::max(largest, c.links.size());
+  }
+  out += ", largest_cell_links=" + std::to_string(largest);
+  return out;
+}
+
+partition_plan make_partition(const topology& t,
+                              const partition_options& options) {
+  if (options.mode == partition_mode::none) {
+    throw spec_error("make_partition: mode is none");
+  }
+  if (options.max_cell_links == 0) {
+    throw spec_error("make_partition: max_cell_links must be positive");
+  }
+
+  const atom_graph g = build_atom_graph(t);
+
+  atom_cells raw;
+  if (options.mode == partition_mode::components) {
+    raw = cells_by_components(g);
+  } else if (options.mode == partition_mode::bicomp) {
+    raw = cells_by_bicomp(g, options.max_cell_links);
+  } else {
+    // auto: components when they already bound cell size; only a
+    // component overflowing max_cell_links pays the bicomp refinement's
+    // straddling-path cost. A connected graph that fits in one cell
+    // stays one cell — the trivial plan falls back to the (exact)
+    // monolithic fit.
+    raw = cells_by_components(g);
+    bool oversized = false;
+    for (const auto& cell : raw) {
+      if (links_of_atoms(g, cell) > options.max_cell_links) oversized = true;
+    }
+    if (oversized) raw = cells_by_bicomp(g, options.max_cell_links);
+  }
+
+  partition_plan plan;
+  plan.options = options;
+  plan.num_links = t.num_links();
+  plan.num_paths = t.num_paths();
+  plan.link_cells.resize(t.num_links());
+
+  plan.cells.reserve(raw.size());
+  for (auto& atoms : raw) {
+    partition_cell cell;
+    for (const std::uint32_t a : atoms) {
+      cell.links.insert(cell.links.end(), g.atom_links[a].begin(),
+                        g.atom_links[a].end());
+    }
+    std::sort(cell.links.begin(), cell.links.end());
+    cell.link_mask = bitvec(t.num_links());
+    const auto cell_index = static_cast<std::uint32_t>(plan.cells.size());
+    for (const link_id e : cell.links) {
+      cell.link_mask.set(e);
+      plan.link_cells[e].push_back(cell_index);
+    }
+    plan.cells.push_back(std::move(cell));
+  }
+
+  // Cut links: members of more than one cell.
+  plan.cut_mask = bitvec(t.num_links());
+  for (link_id e = 0; e < t.num_links(); ++e) {
+    if (plan.link_cells[e].size() >= 2) {
+      plan.cut_links.push_back(e);
+      plan.cut_mask.set(e);
+    }
+  }
+
+  // Path assignment: a path belongs to the cell containing ALL its
+  // links; paths spanning cells straddle and are excluded everywhere.
+  plan.path_cell.assign(t.num_paths(), partition_plan::npos);
+  for (path_id p = 0; p < t.num_paths(); ++p) {
+    const auto& links = t.get_path(p).links();
+    if (links.empty()) continue;
+    for (const std::uint32_t c : plan.link_cells[links.front()]) {
+      bool contained = true;
+      for (const link_id e : links) {
+        if (!plan.cells[c].link_mask.test(e)) {
+          contained = false;
+          break;
+        }
+      }
+      if (contained) {
+        plan.path_cell[p] = c;
+        break;  // cell lists are ascending: first match is canonical.
+      }
+    }
+    if (plan.path_cell[p] == partition_plan::npos) ++plan.straddling_paths;
+  }
+
+  // Sub-topologies: dense local link / router-link / AS / path ids.
+  for (std::uint32_t c = 0; c < plan.cells.size(); ++c) {
+    partition_cell& cell = plan.cells[c];
+    cell.path_mask = bitvec(t.num_paths());
+
+    std::unordered_map<router_link_id, router_link_id> router_map;
+    std::unordered_map<as_id, as_id> as_map;
+    for (const link_id e : cell.links) {
+      for (const router_link_id r : t.link(e).router_links) {
+        router_map.emplace(r, static_cast<router_link_id>(router_map.size()));
+      }
+      as_map.emplace(t.link(e).as_number, static_cast<as_id>(as_map.size()));
+    }
+
+    auto sub = std::make_shared<topology>(router_map.size());
+    std::unordered_map<link_id, link_id> link_map;
+    for (const link_id e : cell.links) {
+      const link_info& info = t.link(e);
+      link_info local;
+      local.as_number = as_map.at(info.as_number);
+      local.edge = info.edge;
+      local.router_links.reserve(info.router_links.size());
+      for (const router_link_id r : info.router_links) {
+        local.router_links.push_back(router_map.at(r));
+      }
+      link_map.emplace(e, sub->add_link(std::move(local)));
+    }
+    for (path_id p = 0; p < t.num_paths(); ++p) {
+      if (plan.path_cell[p] != c) continue;
+      cell.paths.push_back(p);
+      cell.path_mask.set(p);
+      const auto& links = t.get_path(p).links();
+      std::vector<link_id> local_links;
+      local_links.reserve(links.size());
+      for (const link_id e : links) local_links.push_back(link_map.at(e));
+      sub->add_path(std::move(local_links));
+    }
+    sub->finalize();
+    cell.topo = std::move(sub);
+  }
+  return plan;
+}
+
+}  // namespace ntom

@@ -1,0 +1,115 @@
+// Partitioned inference, step 1: decompose the link/path incidence
+// structure of a topology into independently-solvable cells.
+//
+// The monolithic estimators hold the full paths x links system; at
+// 10^5-10^6 links that is infeasible. The partitioner cuts the system
+// along its own structure:
+//
+//   1. Links that can never be separated are fused into ATOMS — links
+//      sharing a router link (one correlation driver) and links of the
+//      same AS (one correlation set, the as_clusters grouping the SRLG
+//      scenario uses) must land in the same cell, or the correlation
+//      machinery of the estimators would straddle cells.
+//   2. Atoms are connected by PATH ADJACENCY (consecutive links of a
+//      monitored path), and the atom graph is decomposed: connected
+//      components (always exact — no path crosses components) or
+//      biconnected components cut at articulation atoms, greedily
+//      re-merged up to max_cell_links.
+//   3. Each cell owns its links plus the shared frontier: CUT LINKS are
+//      the links of articulation atoms, members of every adjacent cell.
+//      A path belongs to a cell iff ALL its links are in the cell;
+//      paths spanning several cells are counted as straddling and
+//      excluded from every cell's view (their evidence is sacrificed —
+//      never misattributed).
+//
+// Each cell carries a finalized sub-topology with dense local link /
+// router-link / path ids; part/hier_infer.hpp runs estimators per cell
+// and merges the estimates back at the cut links.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ntom/graph/topology.hpp"
+
+namespace ntom {
+
+enum class partition_mode {
+  none,        ///< partitioning off (the monolithic path).
+  components,  ///< connected components of the link/path structure.
+  bicomp,      ///< biconnected components cut at articulation atoms.
+  automatic,   ///< components when they are small enough, else bicomp.
+};
+
+/// Parses "none" / "components" / "bicomp" / "auto"; throws spec_error
+/// on anything else.
+[[nodiscard]] partition_mode partition_mode_from_string(
+    const std::string& text);
+[[nodiscard]] const char* to_string(partition_mode mode) noexcept;
+
+struct partition_options {
+  partition_mode mode = partition_mode::none;
+
+  /// Soft cell-size target for bicomp/auto: adjacent biconnected blocks
+  /// are greedily merged while their union stays within this many
+  /// links (an atom larger than the limit still forms one cell — atoms
+  /// are indivisible).
+  std::size_t max_cell_links = 4096;
+};
+
+/// One independently-solvable cell.
+struct partition_cell {
+  std::vector<link_id> links;  ///< global link ids, ascending (incl. frontier).
+  std::vector<path_id> paths;  ///< global ids of fully-contained paths, ascending.
+
+  /// The cell's finalized sub-topology: link i is links[i], path j is
+  /// paths[j], router links densely renumbered.
+  std::shared_ptr<const topology> topo;
+
+  /// Column masks over the parent topology (the stream-splitting and
+  /// estimate-lifting currency).
+  bitvec link_mask;  ///< over global links.
+  bitvec path_mask;  ///< over global paths.
+};
+
+/// The full decomposition of one topology.
+struct partition_plan {
+  partition_options options;
+  std::vector<partition_cell> cells;
+
+  /// Links belonging to more than one cell (the frontier where
+  /// hier_infer reconciles estimates), ascending.
+  std::vector<link_id> cut_links;
+  bitvec cut_mask;  ///< over global links.
+
+  /// Cell indices per global link (empty for uncovered links).
+  std::vector<std::vector<std::uint32_t>> link_cells;
+
+  /// Cell index per global path; npos for straddling paths.
+  static constexpr std::uint32_t npos = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> path_cell;
+
+  /// Paths spanning several cells, excluded from every cell's view.
+  std::size_t straddling_paths = 0;
+
+  std::size_t num_links = 0;
+  std::size_t num_paths = 0;
+
+  /// A trivial plan (<= 1 cell) gains nothing over the monolithic path.
+  [[nodiscard]] bool trivial() const noexcept { return cells.size() <= 1; }
+
+  /// "cells=..., cut_links=..., straddling=..." for logs and benches.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Decomposes `t`. The plan holds shared_ptr sub-topologies and is
+/// itself typically shared (shared_ptr) between the per-cell estimator
+/// fits. Deterministic: pure function of (t, options). Throws
+/// spec_error when options.mode is none (callers gate on the mode) or
+/// max_cell_links is zero.
+[[nodiscard]] partition_plan make_partition(const topology& t,
+                                            const partition_options& options);
+
+}  // namespace ntom

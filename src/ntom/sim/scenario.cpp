@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "ntom/graph/clusters.hpp"
 #include "ntom/trace/trace_scenario.hpp"
 #include "ntom/util/log.hpp"
 
@@ -161,27 +162,10 @@ congestion_model build_srlg(const topology& t, const scenario_params& params,
     throw spec_error("scenario 'srlg': min_group must be positive");
   }
 
-  struct candidate {
-    std::vector<router_link_id> members;
-    std::vector<link_id> links;
-  };
-  std::vector<candidate> candidates;
-  for (as_id a = 0; a < t.num_ases(); ++a) {
-    candidate c;
-    std::unordered_set<router_link_id> seen;
-    bitvec in_as = t.links_in_as(a);
-    in_as &= t.covered_links();
-    in_as.for_each([&](std::size_t le) {
-      const auto e = static_cast<link_id>(le);
-      c.links.push_back(e);
-      for (const router_link_id r : t.link(e).router_links) {
-        if (seen.insert(r).second) c.members.push_back(r);
-      }
-    });
-    if (c.links.size() >= min_group && !c.members.empty()) {
-      candidates.push_back(std::move(c));
-    }
-  }
+  // The per-AS clusters (graph/clusters.hpp) are the candidate groups;
+  // the helper applies the identical min_group filter this code always
+  // had, so the drawn groups are bit-identical to the inline version.
+  std::vector<as_cluster> candidates = as_clusters(t, min_group);
   rand.shuffle(candidates);
 
   congestion_model model;
@@ -194,7 +178,7 @@ congestion_model build_srlg(const topology& t, const scenario_params& params,
   model.congestable_links = bitvec(t.num_links());
 
   bitvec marked(t.num_links());
-  for (candidate& c : candidates) {
+  for (as_cluster& c : candidates) {
     if (marked.count() >= std::max(target, min_group)) break;
     for (const link_id e : c.links) marked.set(e);
     risk_group group;

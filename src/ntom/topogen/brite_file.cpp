@@ -1,0 +1,168 @@
+#include "ntom/topogen/brite_file.hpp"
+
+#include <charconv>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ntom/topogen/import_common.hpp"
+#include "ntom/util/spec.hpp"
+
+namespace ntom::topogen {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t offset,
+                       std::string token = "") {
+  throw spec_error("topology 'brite_file': " + what, offset, std::move(token));
+}
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::size_t begin = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > begin) fields.push_back(line.substr(begin, i - begin));
+  }
+  return fields;
+}
+
+std::int64_t parse_int(std::string_view field, const import_line& line,
+                       const char* what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    fail(std::string("malformed ") + what + " '" + std::string(field) + "'",
+         line.offset, std::string(field));
+  }
+  return value;
+}
+
+bool starts_with_word(std::string_view line, std::string_view word) {
+  if (line.size() < word.size()) return false;
+  if (line.compare(0, word.size(), word) != 0) return false;
+  return line.size() == word.size() || line[word.size()] == ':' ||
+         line[word.size()] == ' ' || line[word.size()] == '\t' ||
+         line[word.size()] == '(';
+}
+
+}  // namespace
+
+topology import_brite_file_text(const std::string& text,
+                                const brite_file_params& params) {
+  enum class section { header, nodes, edges };
+  section sec = section::header;
+
+  std::unordered_map<std::int64_t, std::uint32_t> node_index;
+  std::vector<std::int64_t> node_as;  ///< raw ASid column per vertex.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+
+  for (const import_line& line : import_lines(text)) {
+    if (starts_with_word(line.text, "Nodes")) {
+      if (sec != section::header) {
+        fail("duplicate Nodes section", line.offset, "Nodes");
+      }
+      sec = section::nodes;
+      continue;
+    }
+    if (starts_with_word(line.text, "Edges")) {
+      if (sec != section::nodes) {
+        fail(sec == section::header ? "Edges section before Nodes"
+                                    : "duplicate Edges section",
+             line.offset, "Edges");
+      }
+      sec = section::edges;
+      continue;
+    }
+    if (sec == section::header) continue;  // Topology: / Model lines.
+
+    const std::vector<std::string_view> fields = split_fields(line.text);
+    if (sec == section::nodes) {
+      // <id> <x> <y> <indeg> <outdeg> <ASid> [type]
+      if (fields.size() < 6) {
+        fail("node line needs >= 6 columns (id x y indeg outdeg ASid)",
+             line.offset, std::string(line.text.substr(0, 32)));
+      }
+      const std::int64_t id = parse_int(fields[0], line, "node id");
+      const std::int64_t as = parse_int(fields[5], line, "node ASid");
+      const auto vertex = static_cast<std::uint32_t>(node_index.size());
+      if (!node_index.emplace(id, vertex).second) {
+        fail("duplicate node id " + std::to_string(id), line.offset,
+             std::string(fields[0]));
+      }
+      node_as.push_back(as);
+    } else {
+      // <id> <from> <to> [length delay bw ASfrom ASto type ...]
+      if (fields.size() < 3) {
+        fail("edge line needs >= 3 columns (id from to)", line.offset,
+             std::string(line.text.substr(0, 32)));
+      }
+      const std::int64_t from = parse_int(fields[1], line, "edge endpoint");
+      const std::int64_t to = parse_int(fields[2], line, "edge endpoint");
+      const auto u = node_index.find(from);
+      const auto v = node_index.find(to);
+      if (u == node_index.end()) {
+        fail("edge references unknown node " + std::to_string(from),
+             line.offset, std::string(fields[1]));
+      }
+      if (v == node_index.end()) {
+        fail("edge references unknown node " + std::to_string(to),
+             line.offset, std::string(fields[2]));
+      }
+      edges.emplace_back(u->second, v->second);
+    }
+  }
+  if (sec == section::header) fail("no Nodes section", 0);
+  if (node_index.empty()) fail("empty Nodes section", 0);
+  if (sec != section::edges || edges.empty()) fail("no Edges section", 0);
+
+  // AS assignment: keep the generator's ASid column when every node has
+  // one (top-down hierarchical topologies), densely renumbered in node
+  // order; otherwise (flat router-only files mark -1) every router is
+  // its own correlation set.
+  router_network net;
+  const auto n = static_cast<std::uint32_t>(node_as.size());
+  bool has_as = true;
+  for (const std::int64_t as : node_as) {
+    if (as < 0) {
+      has_as = false;
+      break;
+    }
+  }
+  std::unordered_map<std::int64_t, as_id> as_index;
+  for (std::uint32_t vtx = 0; vtx < n; ++vtx) {
+    net.graph.add_vertex();
+    as_id a = vtx;
+    if (has_as) {
+      a = as_index.emplace(node_as[vtx], static_cast<as_id>(as_index.size()))
+              .first->second;
+    }
+    net.router_as.push_back(a);
+    net.is_host.push_back(false);
+  }
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    if (!net.graph.has_edge(u, v)) net.graph.add_bidirectional_edge(u, v);
+  }
+
+  import_path_params pp;
+  pp.num_vantage = params.num_vantage;
+  pp.num_paths = params.num_paths;
+  pp.seed = params.seed;
+  return monitored_topology_from_network(std::move(net), pp, "brite_file");
+}
+
+topology import_brite_file(const brite_file_params& params) {
+  if (params.file.empty()) {
+    throw spec_error("topology 'brite_file': the file option is required "
+                     "(brite_file,file='out.brite')");
+  }
+  return import_brite_file_text(read_import_file(params.file, "brite_file"),
+                                params);
+}
+
+}  // namespace ntom::topogen

@@ -1,0 +1,45 @@
+// BRITE output-file importer: topologies produced by the BRITE
+// generator (its `.brite` text format) as monitored topologies.
+//
+// The format is section-oriented:
+//
+//   Topology: ( 20 Nodes, 37 Edges )
+//   Model ( ... ): ...
+//   Nodes: ( 20 )
+//   <id> <x> <y> <indeg> <outdeg> <ASid> [type]
+//   Edges: ( 37 )
+//   <id> <from> <to> [length delay bw ASfrom ASto type ...]
+//
+// Nodes carry the generator's AS assignment in column 6; top-down
+// hierarchical topologies keep it (two-tier structure, real correlation
+// sets), flat router-level topologies mark it -1 — then every router
+// becomes its own correlation set. Endpoint sampling and path routing
+// mirror the synthetic generators. Registered as `brite_file,file='...'`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ntom/graph/topology.hpp"
+
+namespace ntom::topogen {
+
+struct brite_file_params {
+  std::string file;             ///< .brite file path (required).
+  std::size_t num_vantage = 4;  ///< probing endpoints.
+  std::size_t num_paths = 0;    ///< monitored paths; 0 = 4x node count.
+  std::uint64_t seed = 1;
+};
+
+/// Parses .brite text (already read, BOM-stripped) into a finalized
+/// monitored topology. Throws spec_error with the byte offset of the
+/// offending line on malformed input. Exposed separately from the file
+/// entry point for in-memory tests.
+[[nodiscard]] topology import_brite_file_text(const std::string& text,
+                                              const brite_file_params& params);
+
+/// File entry point: reads params.file and imports it. Deterministic in
+/// params.seed.
+[[nodiscard]] topology import_brite_file(const brite_file_params& params);
+
+}  // namespace ntom::topogen

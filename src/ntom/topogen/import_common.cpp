@@ -1,0 +1,108 @@
+#include "ntom/topogen/import_common.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "ntom/util/rng.hpp"
+#include "ntom/util/spec.hpp"
+
+namespace ntom::topogen {
+
+std::string read_import_file(const std::string& path, const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw spec_error(std::string("topology '") + what + "': cannot open '" +
+                     path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = std::move(buf).str();
+  if (text.size() >= 3 && static_cast<unsigned char>(text[0]) == 0xEF &&
+      static_cast<unsigned char>(text[1]) == 0xBB &&
+      static_cast<unsigned char>(text[2]) == 0xBF) {
+    text.erase(0, 3);
+  }
+  return text;
+}
+
+std::vector<import_line> import_lines(std::string_view text) {
+  std::vector<import_line> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    const std::size_t offset = pos;
+    pos = eol + 1;
+    // Trim a CRLF '\r' and surrounding whitespace.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                             line.back() == '\t')) {
+      line.remove_suffix(1);
+    }
+    std::size_t lead = 0;
+    while (lead < line.size() && (line[lead] == ' ' || line[lead] == '\t')) {
+      ++lead;
+    }
+    line.remove_prefix(lead);
+    if (line.empty() || line.front() == '#') continue;
+    lines.push_back({line, offset + lead});
+  }
+  return lines;
+}
+
+topology monitored_topology_from_network(router_network net,
+                                         const import_path_params& params,
+                                         const char* what) {
+  const std::size_t n = net.graph.vertex_count();
+  if (n < 2 || net.graph.edge_count() == 0) {
+    throw spec_error(std::string("topology '") + what +
+                     "': dataset has no usable graph (need >= 2 nodes and "
+                     ">= 1 edge)");
+  }
+  rng rand(params.seed);
+
+  // Vantage endpoints: distinct random vertices (all of them candidates
+  // — imported datasets carry no host/router distinction). The
+  // endpoints are flagged hosts so their adjacent segments project as
+  // edge links, like the generators' router_endpoints mode.
+  const std::size_t vantage_count =
+      std::min(std::max<std::size_t>(params.num_vantage, 1), n - 1);
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t v = 0; v < n; ++v) order[v] = v;
+  rand.shuffle(order);
+  std::vector<std::uint32_t> vantage(order.begin(),
+                                     order.begin() + vantage_count);
+  std::vector<std::uint32_t> destinations(order.begin() + vantage_count,
+                                          order.end());
+  for (const std::uint32_t v : vantage) net.is_host[v] = true;
+
+  const std::size_t num_paths =
+      params.num_paths > 0 ? params.num_paths : 4 * n;
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(vantage.size() * destinations.size());
+  for (const std::uint32_t src : vantage) {
+    for (const std::uint32_t dst : destinations) pairs.emplace_back(src, dst);
+  }
+  rand.shuffle(pairs);
+
+  std::vector<std::vector<std::uint32_t>> router_paths;
+  for (const auto& [src, dst] : pairs) {
+    if (router_paths.size() >= num_paths) break;
+    auto route = net.graph.shortest_path_random(src, dst, rand);
+    if (route && !route->empty()) {
+      net.is_host[dst] = true;
+      router_paths.push_back(std::move(*route));
+    }
+  }
+  if (router_paths.empty()) {
+    throw spec_error(std::string("topology '") + what +
+                     "': no (vantage, destination) pair is connected");
+  }
+  return project_to_as_level(net, router_paths);
+}
+
+}  // namespace ntom::topogen

@@ -1,0 +1,50 @@
+// Shared machinery of the file-based topology importers (itz,
+// brite_file): text pre-processing tolerant of real-dataset quirks
+// (UTF-8 BOM, CRLF, comment lines) and the common
+// network -> monitored-topology step — endpoint sampling, BFS routing,
+// AS-level projection — that mirrors the synthetic generators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ntom/graph/topology.hpp"
+#include "ntom/topogen/project.hpp"
+
+namespace ntom::topogen {
+
+/// Reads a whole file; throws spec_error naming the importer on
+/// failure. A leading UTF-8 BOM is stripped (offsets reported by the
+/// parsers stay relative to the returned text).
+[[nodiscard]] std::string read_import_file(const std::string& path,
+                                           const char* what);
+
+/// One line of an imported dataset with its byte offset in the text —
+/// the currency of the line-oriented parsers' error reporting.
+struct import_line {
+  std::string_view text;     ///< trimmed of trailing CR and whitespace.
+  std::size_t offset = 0;    ///< byte offset of the line start.
+};
+
+/// Splits text into lines, dropping blank lines and `#` comment lines
+/// (real datasets carry both). Line text is trimmed of a trailing CRLF
+/// '\r' and surrounding whitespace.
+[[nodiscard]] std::vector<import_line> import_lines(std::string_view text);
+
+/// Monitored-path sampling knobs shared by the importers.
+struct import_path_params {
+  std::size_t num_vantage = 4;  ///< probing endpoints.
+  std::size_t num_paths = 0;    ///< 0 = auto (4x the vertex count).
+  std::uint64_t seed = 1;
+};
+
+/// Samples vantage/destination endpoints over the imported router
+/// network, routes monitored paths by randomized BFS (the generators'
+/// ECMP idiom), and projects to the AS level. Deterministic in
+/// `params.seed`. Throws spec_error (tagged with `what`) when the
+/// network is empty or no pair is routable.
+[[nodiscard]] topology monitored_topology_from_network(
+    router_network net, const import_path_params& params, const char* what);
+
+}  // namespace ntom::topogen

@@ -1,0 +1,247 @@
+#include "ntom/topogen/itz.hpp"
+
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ntom/topogen/import_common.hpp"
+#include "ntom/util/spec.hpp"
+
+namespace ntom::topogen {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t offset,
+                       std::string token = "") {
+  throw spec_error("topology 'itz': " + what, offset, std::move(token));
+}
+
+struct xml_attr {
+  std::string_view key;
+  std::string_view value;
+};
+
+/// One scanned start tag: name + attributes. The scanner only models
+/// the GraphML subset the Zoo emits; <?...?>, <!--...-->, <!...> and
+/// closing tags are skipped by the caller.
+struct xml_tag {
+  std::string_view name;
+  std::vector<xml_attr> attrs;
+  std::size_t offset = 0;  ///< byte offset of the '<'.
+  bool closing = false;    ///< </name>
+};
+
+bool is_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == ':' || c == '.';
+}
+
+/// Minimal entity decoding for attribute values (the Zoo's node names
+/// never reach the graph structure, but ids could legally carry them).
+std::string decode_entities(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '&') {
+      out += raw[i];
+      continue;
+    }
+    const std::size_t semi = raw.find(';', i);
+    const std::string_view ent =
+        semi == std::string_view::npos ? raw.substr(i + 1)
+                                       : raw.substr(i + 1, semi - i - 1);
+    if (ent == "amp") {
+      out += '&';
+    } else if (ent == "lt") {
+      out += '<';
+    } else if (ent == "gt") {
+      out += '>';
+    } else if (ent == "quot") {
+      out += '"';
+    } else if (ent == "apos") {
+      out += '\'';
+    } else {
+      out += raw[i];  // unknown entity: keep the literal text.
+      continue;
+    }
+    i = semi == std::string_view::npos ? raw.size() : semi;
+  }
+  return out;
+}
+
+/// Scans the next tag starting at or after `pos`; returns false at end
+/// of text. Skips processing instructions, comments, and declarations.
+bool next_tag(std::string_view text, std::size_t& pos, xml_tag& tag) {
+  while (true) {
+    const std::size_t open = text.find('<', pos);
+    if (open == std::string_view::npos) return false;
+    if (text.compare(open, 4, "<!--") == 0) {
+      const std::size_t end = text.find("-->", open + 4);
+      if (end == std::string_view::npos) fail("unterminated comment", open);
+      pos = end + 3;
+      continue;
+    }
+    if (open + 1 < text.size() &&
+        (text[open + 1] == '?' || text[open + 1] == '!')) {
+      const std::size_t end = text.find('>', open);
+      if (end == std::string_view::npos) {
+        fail("unterminated declaration", open);
+      }
+      pos = end + 1;
+      continue;
+    }
+    std::size_t p = open + 1;
+    tag = xml_tag{};
+    tag.offset = open;
+    if (p < text.size() && text[p] == '/') {
+      tag.closing = true;
+      ++p;
+    }
+    const std::size_t name_begin = p;
+    while (p < text.size() && is_name_char(text[p])) ++p;
+    if (p == name_begin) fail("malformed tag", open, "<");
+    tag.name = text.substr(name_begin, p - name_begin);
+    // Attributes until '>' or '/>'.
+    while (true) {
+      while (p < text.size() && (text[p] == ' ' || text[p] == '\t' ||
+                                 text[p] == '\n' || text[p] == '\r')) {
+        ++p;
+      }
+      if (p >= text.size()) fail("unterminated tag", open, std::string(tag.name));
+      if (text[p] == '>') {
+        pos = p + 1;
+        return true;
+      }
+      if (text[p] == '/') {
+        if (p + 1 >= text.size() || text[p + 1] != '>') {
+          fail("malformed tag end", p);
+        }
+        pos = p + 2;
+        return true;
+      }
+      const std::size_t key_begin = p;
+      while (p < text.size() && is_name_char(text[p])) ++p;
+      if (p == key_begin) {
+        fail("malformed attribute", p, std::string(1, text[p]));
+      }
+      const std::string_view key = text.substr(key_begin, p - key_begin);
+      while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+      if (p >= text.size() || text[p] != '=') {
+        fail("attribute '" + std::string(key) + "' missing '='", key_begin,
+             std::string(key));
+      }
+      ++p;
+      while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+      if (p >= text.size() || (text[p] != '"' && text[p] != '\'')) {
+        fail("attribute '" + std::string(key) + "' missing quoted value",
+             key_begin, std::string(key));
+      }
+      const char quote = text[p];
+      const std::size_t val_begin = ++p;
+      const std::size_t val_end = text.find(quote, val_begin);
+      if (val_end == std::string_view::npos) {
+        fail("unterminated attribute value", val_begin - 1, std::string(key));
+      }
+      tag.attrs.push_back({key, text.substr(val_begin, val_end - val_begin)});
+      p = val_end + 1;
+    }
+  }
+}
+
+std::string_view attr_of(const xml_tag& tag, std::string_view key) {
+  for (const xml_attr& a : tag.attrs) {
+    if (a.key == key) return a.value;
+  }
+  return {};
+}
+
+}  // namespace
+
+topology import_itz_text(const std::string& text, const itz_params& params) {
+  // Pass 1: collect nodes and edges in document order. Node ids are
+  // opaque strings mapped to dense vertex ids.
+  std::unordered_map<std::string, std::uint32_t> node_index;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  struct pending_edge {
+    std::string source;
+    std::string target;
+    std::size_t offset;
+  };
+  std::vector<pending_edge> pending;
+  bool saw_graph = false;
+
+  std::size_t pos = 0;
+  xml_tag tag;
+  while (next_tag(text, pos, tag)) {
+    if (tag.closing) continue;
+    if (tag.name == "graph") {
+      saw_graph = true;
+    } else if (tag.name == "node") {
+      const std::string_view id = attr_of(tag, "id");
+      if (id.empty()) fail("<node> without id attribute", tag.offset, "node");
+      std::string key = decode_entities(id);
+      const auto next_id = static_cast<std::uint32_t>(node_index.size());
+      if (!node_index.emplace(std::move(key), next_id).second) {
+        fail("duplicate node id '" + decode_entities(id) + "'", tag.offset,
+             decode_entities(id));
+      }
+    } else if (tag.name == "edge") {
+      const std::string_view source = attr_of(tag, "source");
+      const std::string_view target = attr_of(tag, "target");
+      if (source.empty() || target.empty()) {
+        fail("<edge> without source/target", tag.offset, "edge");
+      }
+      pending.push_back(
+          {decode_entities(source), decode_entities(target), tag.offset});
+    }
+    // <key>, <data>, <graphml>, ... carry no structure we use.
+  }
+  if (!saw_graph) fail("no <graph> element", 0);
+  if (node_index.empty()) fail("no <node> elements", 0);
+
+  for (const pending_edge& e : pending) {
+    const auto src = node_index.find(e.source);
+    const auto dst = node_index.find(e.target);
+    if (src == node_index.end()) {
+      fail("edge references unknown node '" + e.source + "'", e.offset,
+           e.source);
+    }
+    if (dst == node_index.end()) {
+      fail("edge references unknown node '" + e.target + "'", e.offset,
+           e.target);
+    }
+    edges.emplace_back(src->second, dst->second);
+  }
+
+  // Every PoP is its own correlation set: AS id = vertex id, so each
+  // physical link projects to exactly one AS-level link per direction
+  // traversed.
+  router_network net;
+  const auto n = static_cast<std::uint32_t>(node_index.size());
+  for (std::uint32_t v = 0; v < n; ++v) {
+    net.graph.add_vertex();
+    net.router_as.push_back(v);
+    net.is_host.push_back(false);
+  }
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;  // the Zoo has a handful of self-loops; drop.
+    if (!net.graph.has_edge(u, v)) net.graph.add_bidirectional_edge(u, v);
+  }
+
+  import_path_params pp;
+  pp.num_vantage = params.num_vantage;
+  pp.num_paths = params.num_paths;
+  pp.seed = params.seed;
+  return monitored_topology_from_network(std::move(net), pp, "itz");
+}
+
+topology import_itz(const itz_params& params) {
+  if (params.file.empty()) {
+    throw spec_error("topology 'itz': the file option is required "
+                     "(itz,file='Abilene.graphml')");
+  }
+  return import_itz_text(read_import_file(params.file, "itz"), params);
+}
+
+}  // namespace ntom::topogen

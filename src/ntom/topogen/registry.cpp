@@ -1,6 +1,8 @@
 #include "ntom/topogen/registry.hpp"
 
 #include "ntom/topogen/brite.hpp"
+#include "ntom/topogen/brite_file.hpp"
+#include "ntom/topogen/itz.hpp"
 #include "ntom/topogen/sparse.hpp"
 #include "ntom/topogen/toy.hpp"
 
@@ -79,6 +81,40 @@ void register_builtins(registry<topology_factory>& reg) {
        {"paths", "attempted traceroutes"}},
       [](const spec& s, std::uint64_t seed) {
         return generate_sparse(sparse_from_spec(s, seed));
+      },
+  });
+  reg.add({
+      "itz",
+      "Topology Zoo",
+      "Internet Topology Zoo GraphML import (real operator networks)",
+      {"topology_zoo"},
+      {{"file", "GraphML file path (required)"},
+       {"vantage", "probing endpoints sampled from the nodes (default 4)"},
+       {"paths", "monitored paths (default 4x the node count)"}},
+      [](const spec& s, std::uint64_t seed) {
+        itz_params p;
+        p.file = s.get_string("file");
+        p.num_vantage = s.get_size("vantage", p.num_vantage);
+        p.num_paths = s.get_size("paths", p.num_paths);
+        p.seed = seed;
+        return import_itz(p);
+      },
+  });
+  reg.add({
+      "brite_file",
+      "Brite File",
+      "BRITE generator output (.brite) import",
+      {},
+      {{"file", ".brite file path (required)"},
+       {"vantage", "probing endpoints sampled from the nodes (default 4)"},
+       {"paths", "monitored paths (default 4x the node count)"}},
+      [](const spec& s, std::uint64_t seed) {
+        brite_file_params p;
+        p.file = s.get_string("file");
+        p.num_vantage = s.get_size("vantage", p.num_vantage);
+        p.num_paths = s.get_size("paths", p.num_paths);
+        p.seed = seed;
+        return import_brite_file(p);
       },
   });
   reg.add({

@@ -62,6 +62,16 @@ bool bitvec::operator==(const bitvec& other) const noexcept {
   return size_ == other.size_ && words_ == other.words_;
 }
 
+std::size_t bitvec::and_count(const bitvec& other) const noexcept {
+  return simd::popcount_and2(words_.data(), other.words_.data(),
+                             words_.size());
+}
+
+std::size_t bitvec::andnot_count(const bitvec& other) const noexcept {
+  return simd::andnot_count(words_.data(), other.words_.data(),
+                            words_.size());
+}
+
 bool bitvec::intersects(const bitvec& other) const noexcept {
   const std::size_t n = std::min(words_.size(), other.words_.size());
   for (std::size_t i = 0; i < n; ++i) {

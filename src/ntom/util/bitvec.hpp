@@ -75,6 +75,15 @@ class bitvec {
 
   [[nodiscard]] bool operator==(const bitvec& other) const noexcept;
 
+  /// count() of the intersection with `other` without materializing it
+  /// (fused AND+popcount kernel). Operands must share the universe.
+  [[nodiscard]] std::size_t and_count(const bitvec& other) const noexcept;
+
+  /// count() of the set difference this \ `other` without materializing
+  /// it (dispatched ANDNOT+popcount kernel — replaces the copy +
+  /// subtract + count round trip). Operands must share the universe.
+  [[nodiscard]] std::size_t andnot_count(const bitvec& other) const noexcept;
+
   /// True if this set and `other` share at least one element.
   [[nodiscard]] bool intersects(const bitvec& other) const noexcept;
 

@@ -18,6 +18,8 @@ struct kernel_table {
                                std::size_t);
   std::size_t (*popcount_and3)(const std::uint64_t*, const std::uint64_t*,
                                const std::uint64_t*, std::size_t);
+  std::size_t (*popcount_andnot)(const std::uint64_t*, const std::uint64_t*,
+                                 std::size_t);
   void (*or_accumulate)(std::uint64_t*, const std::uint64_t*, std::size_t);
 };
 

@@ -126,6 +126,17 @@ std::size_t popcount_and3_avx2(const std::uint64_t* a, const std::uint64_t* b,
       [a, b, c](std::size_t w) { return a[w] & b[w] & c[w]; });
 }
 
+std::size_t popcount_andnot_avx2(const std::uint64_t* a,
+                                 const std::uint64_t* b, std::size_t n) {
+  // VPANDN computes ~first & second, so b rides in the first operand.
+  return harley_seal(
+      n,
+      [a, b](std::size_t v) {
+        return _mm256_andnot_si256(loadu(b + 4 * v), loadu(a + 4 * v));
+      },
+      [a, b](std::size_t w) { return a[w] & ~b[w]; });
+}
+
 void or_accumulate_avx2(std::uint64_t* dst, const std::uint64_t* src,
                         std::size_t n) {
   std::size_t w = 0;
@@ -139,7 +150,8 @@ void or_accumulate_avx2(std::uint64_t* dst, const std::uint64_t* src,
 }
 
 constexpr kernel_table table = {popcount_words_avx2, popcount_and2_avx2,
-                                popcount_and3_avx2, or_accumulate_avx2};
+                                popcount_and3_avx2, popcount_andnot_avx2,
+                                or_accumulate_avx2};
 
 }  // namespace
 

@@ -85,6 +85,17 @@ std::size_t popcount_and3_avx512(const std::uint64_t* a,
       [a, b, c](std::size_t w) { return a[w] & b[w] & c[w]; });
 }
 
+std::size_t popcount_andnot_avx512(const std::uint64_t* a,
+                                   const std::uint64_t* b, std::size_t n) {
+  // VPANDNQ computes ~first & second, so b rides in the first operand.
+  return vpopcnt(
+      n,
+      [a, b](std::size_t v) {
+        return _mm512_andnot_si512(loadu(b + 8 * v), loadu(a + 8 * v));
+      },
+      [a, b](std::size_t w) { return a[w] & ~b[w]; });
+}
+
 void or_accumulate_avx512(std::uint64_t* dst, const std::uint64_t* src,
                           std::size_t n) {
   std::size_t w = 0;
@@ -96,7 +107,8 @@ void or_accumulate_avx512(std::uint64_t* dst, const std::uint64_t* src,
 }
 
 constexpr kernel_table table = {popcount_words_avx512, popcount_and2_avx512,
-                                popcount_and3_avx512, or_accumulate_avx512};
+                                popcount_and3_avx512, popcount_andnot_avx512,
+                                or_accumulate_avx512};
 
 }  // namespace
 

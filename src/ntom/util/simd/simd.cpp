@@ -47,6 +47,13 @@ std::size_t scalar_popcount_and3(const std::uint64_t* a,
   return total;
 }
 
+std::size_t scalar_popcount_andnot(const std::uint64_t* a,
+                                   const std::uint64_t* b, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < n; ++w) total += soft_popcount(a[w] & ~b[w]);
+  return total;
+}
+
 void plain_or_accumulate(std::uint64_t* dst, const std::uint64_t* src,
                          std::size_t n) {
   for (std::size_t w = 0; w < n; ++w) dst[w] |= src[w];
@@ -107,6 +114,23 @@ std::size_t hw_popcount_and3(const std::uint64_t* a, const std::uint64_t* b,
   for (; w < n; ++w) {
     total +=
         static_cast<std::size_t>(__builtin_popcountll(a[w] & b[w] & c[w]));
+  }
+  return total;
+}
+
+std::size_t hw_popcount_andnot(const std::uint64_t* a, const std::uint64_t* b,
+                               std::size_t n) {
+  std::size_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
+  std::size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    t0 += static_cast<std::size_t>(__builtin_popcountll(a[w] & ~b[w]));
+    t1 += static_cast<std::size_t>(__builtin_popcountll(a[w + 1] & ~b[w + 1]));
+    t2 += static_cast<std::size_t>(__builtin_popcountll(a[w + 2] & ~b[w + 2]));
+    t3 += static_cast<std::size_t>(__builtin_popcountll(a[w + 3] & ~b[w + 3]));
+  }
+  std::size_t total = t0 + t1 + t2 + t3;
+  for (; w < n; ++w) {
+    total += static_cast<std::size_t>(__builtin_popcountll(a[w] & ~b[w]));
   }
   return total;
 }
@@ -203,13 +227,13 @@ namespace detail {
 const kernel_table& scalar_table() noexcept {
   static constexpr kernel_table table = {
       scalar_popcount_words, scalar_popcount_and2, scalar_popcount_and3,
-      plain_or_accumulate};
+      scalar_popcount_andnot, plain_or_accumulate};
   return table;
 }
 
 const kernel_table& popcnt_table() noexcept {
   static constexpr kernel_table table = {hw_popcount_words, hw_popcount_and2,
-                                         hw_popcount_and3,
+                                         hw_popcount_and3, hw_popcount_andnot,
                                          plain_or_accumulate};
   return table;
 }
@@ -282,6 +306,11 @@ std::size_t popcount_and2(const std::uint64_t* a, const std::uint64_t* b,
 std::size_t popcount_and3(const std::uint64_t* a, const std::uint64_t* b,
                           const std::uint64_t* c, std::size_t n) noexcept {
   return active_table()->popcount_and3(a, b, c, n);
+}
+
+std::size_t andnot_count(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t n) noexcept {
+  return active_table()->popcount_andnot(a, b, n);
 }
 
 void or_accumulate(std::uint64_t* dst, const std::uint64_t* src,

@@ -69,6 +69,13 @@ bool set_level(level l) noexcept;
                                         const std::uint64_t* c,
                                         std::size_t n) noexcept;
 
+/// Set bits of the elementwise a AND NOT b — the fused complement
+/// query (set-difference cardinality without the copy+flip round trip
+/// the scorers used to pay per interval).
+[[nodiscard]] std::size_t andnot_count(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::size_t n) noexcept;
+
 /// dst[i] |= src[i] for i in [0, n) — the OR-reduction kernel.
 void or_accumulate(std::uint64_t* dst, const std::uint64_t* src,
                    std::size_t n) noexcept;

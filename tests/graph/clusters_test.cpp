@@ -1,0 +1,242 @@
+#include "ntom/graph/clusters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "ntom/topogen/brite.hpp"
+#include "ntom/topogen/toy.hpp"
+
+namespace ntom {
+namespace {
+
+using topogen::make_toy;
+using topogen::toy_case;
+using topogen::toy_e1;
+using topogen::toy_e2;
+using topogen::toy_e3;
+using topogen::toy_e4;
+
+TEST(AsClustersTest, ToyClustersAscendingByAs) {
+  // Case 1: AS0 = {e1}, AS1 = {e2, e3}, AS2 = {e4} — all covered.
+  const topology t = make_toy(toy_case::case1);
+  const auto clusters = as_clusters(t, 1);
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_EQ(clusters[0].as_number, 0u);
+  EXPECT_EQ(clusters[0].links, (std::vector<link_id>{toy_e1}));
+  EXPECT_EQ(clusters[1].as_number, 1u);
+  EXPECT_EQ(clusters[1].links, (std::vector<link_id>{toy_e2, toy_e3}));
+  EXPECT_EQ(clusters[2].as_number, 2u);
+  EXPECT_EQ(clusters[2].links, (std::vector<link_id>{toy_e4}));
+}
+
+TEST(AsClustersTest, MinGroupFiltersSingletonAses) {
+  const topology t = make_toy(toy_case::case1);
+  const auto pairs = as_clusters(t, 2);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].as_number, 1u);
+  EXPECT_TRUE(as_clusters(t, 3).empty());
+}
+
+TEST(AsClustersTest, MembersAreDeduplicatedRouterLinks) {
+  // e2 and e3 share router link 4 in Case 1; the AS1 cluster must list
+  // it exactly once, and every member exactly once overall.
+  const topology t = make_toy(toy_case::case1);
+  const auto clusters = as_clusters(t, 1);
+  for (const as_cluster& c : clusters) {
+    std::unordered_set<router_link_id> seen;
+    for (const router_link_id r : c.members) {
+      EXPECT_TRUE(seen.insert(r).second)
+          << "router link " << r << " duplicated in AS " << c.as_number;
+    }
+  }
+  const as_cluster& as1 = clusters[1];
+  EXPECT_EQ(std::count(as1.members.begin(), as1.members.end(),
+                       static_cast<router_link_id>(4)),
+            1);
+}
+
+TEST(AsClustersTest, UncoveredLinksExcluded) {
+  // AS0 holds a covered and an uncovered link; AS1 holds only an
+  // uncovered link. The uncovered links vanish, and AS1 with them.
+  topology t(3);
+  t.add_link({.as_number = 0, .router_links = {0}, .edge = false});
+  t.add_link({.as_number = 0, .router_links = {1}, .edge = false});
+  t.add_link({.as_number = 1, .router_links = {2}, .edge = false});
+  t.add_path({0});
+  t.finalize();
+
+  const auto clusters = as_clusters(t, 1);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].as_number, 0u);
+  EXPECT_EQ(clusters[0].links, (std::vector<link_id>{0}));
+  EXPECT_EQ(clusters[0].members, (std::vector<router_link_id>{0}));
+}
+
+TEST(AsClustersTest, DisconnectedAsesBothReported) {
+  // Two ASes with no shared paths or router links: the clustering is a
+  // per-AS scan, so disconnection changes nothing.
+  topology t(4);
+  t.add_link({.as_number = 0, .router_links = {0}, .edge = false});
+  t.add_link({.as_number = 0, .router_links = {1}, .edge = false});
+  t.add_link({.as_number = 1, .router_links = {2}, .edge = false});
+  t.add_link({.as_number = 1, .router_links = {3}, .edge = false});
+  t.add_path({0, 1});
+  t.add_path({2, 3});
+  t.finalize();
+
+  const auto clusters = as_clusters(t, 2);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].links, (std::vector<link_id>{0, 1}));
+  EXPECT_EQ(clusters[1].links, (std::vector<link_id>{2, 3}));
+}
+
+TEST(AsClustersTest, MatchesInlineSrlgCandidateScan) {
+  // The helper was hoisted out of build_srlg; this is the reference
+  // loop scenario.cpp used to run inline. Equality here is the
+  // bit-identity proof for the SRLG scenario's candidate groups.
+  topogen::brite_params p;
+  p.seed = 11;
+  const topology t = topogen::generate_brite(p);
+  for (const std::size_t min_group : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}}) {
+    std::vector<as_cluster> reference;
+    for (as_id a = 0; a < t.num_ases(); ++a) {
+      as_cluster c;
+      c.as_number = a;
+      std::unordered_set<router_link_id> seen;
+      bitvec in_as = t.links_in_as(a);
+      in_as &= t.covered_links();
+      in_as.for_each([&](std::size_t le) {
+        const auto e = static_cast<link_id>(le);
+        c.links.push_back(e);
+        for (const router_link_id r : t.link(e).router_links) {
+          if (seen.insert(r).second) c.members.push_back(r);
+        }
+      });
+      if (c.links.size() >= min_group && !c.members.empty()) {
+        reference.push_back(std::move(c));
+      }
+    }
+
+    const auto hoisted = as_clusters(t, min_group);
+    ASSERT_EQ(hoisted.size(), reference.size()) << "min_group=" << min_group;
+    for (std::size_t i = 0; i < hoisted.size(); ++i) {
+      EXPECT_EQ(hoisted[i].as_number, reference[i].as_number);
+      EXPECT_EQ(hoisted[i].links, reference[i].links);
+      EXPECT_EQ(hoisted[i].members, reference[i].members);
+    }
+  }
+}
+
+using edge_list = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// Components as a canonical set-of-sets, ignoring emission order.
+std::set<std::vector<std::uint32_t>> component_sets(const bicomp_result& r) {
+  return {r.components.begin(), r.components.end()};
+}
+
+TEST(BicompTest, TriangleWithPendantEdge) {
+  const edge_list edges = {{0, 1}, {0, 2}, {1, 2}, {2, 3}};
+  const bicomp_result r = biconnected_components(4, edges);
+  EXPECT_EQ(component_sets(r),
+            (std::set<std::vector<std::uint32_t>>{{0, 1, 2}, {2, 3}}));
+  EXPECT_EQ(r.articulation, (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(r.vertex_components[2].size(), 2u);
+  EXPECT_EQ(r.vertex_components[0].size(), 1u);
+}
+
+TEST(BicompTest, TwoTrianglesJoinedByBridge) {
+  const edge_list edges = {{0, 1}, {1, 2}, {2, 0},
+                           {3, 4}, {4, 5}, {5, 3}, {2, 3}};
+  const bicomp_result r = biconnected_components(6, edges);
+  EXPECT_EQ(component_sets(r), (std::set<std::vector<std::uint32_t>>{
+                                   {0, 1, 2}, {2, 3}, {3, 4, 5}}));
+  EXPECT_EQ(r.articulation, (std::vector<std::uint32_t>{2, 3}));
+}
+
+TEST(BicompTest, CycleIsOneBlock) {
+  const edge_list edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+  const bicomp_result r = biconnected_components(5, edges);
+  ASSERT_EQ(r.components.size(), 1u);
+  EXPECT_EQ(r.components[0], (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(r.articulation.empty());
+}
+
+TEST(BicompTest, ParallelEdgesFormOneBlock) {
+  // Two parallel edges are a length-2 cycle: biconnected, not a cut.
+  const edge_list edges = {{0, 1}, {0, 1}};
+  const bicomp_result r = biconnected_components(2, edges);
+  ASSERT_EQ(r.components.size(), 1u);
+  EXPECT_EQ(r.components[0], (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_TRUE(r.articulation.empty());
+}
+
+TEST(BicompTest, SelfLoopsIgnored) {
+  const edge_list edges = {{0, 0}, {0, 1}};
+  const bicomp_result r = biconnected_components(2, edges);
+  EXPECT_EQ(component_sets(r),
+            (std::set<std::vector<std::uint32_t>>{{0, 1}}));
+  EXPECT_TRUE(r.articulation.empty());
+}
+
+TEST(BicompTest, IsolatedVertexIsSingleton) {
+  const edge_list edges = {{1, 2}};
+  const bicomp_result r = biconnected_components(3, edges);
+  EXPECT_EQ(component_sets(r),
+            (std::set<std::vector<std::uint32_t>>{{0}, {1, 2}}));
+  EXPECT_TRUE(r.articulation.empty());
+  EXPECT_EQ(r.vertex_components[0].size(), 1u);
+}
+
+TEST(BicompTest, DisconnectedBlocksIndependent) {
+  const edge_list edges = {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}};
+  const bicomp_result r = biconnected_components(6, edges);
+  EXPECT_EQ(component_sets(r), (std::set<std::vector<std::uint32_t>>{
+                                   {0, 1, 2}, {3, 4, 5}}));
+  EXPECT_TRUE(r.articulation.empty());
+}
+
+TEST(BicompTest, VertexComponentsIndexConsistent) {
+  const edge_list edges = {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4},
+                           {4, 5}, {5, 3}, {6, 6}};
+  const bicomp_result r = biconnected_components(7, edges);
+  // Every membership listed by the index appears in the component, and
+  // every component member is indexed.
+  for (std::uint32_t v = 0; v < 7; ++v) {
+    for (const std::uint32_t c : r.vertex_components[v]) {
+      const auto& comp = r.components[c];
+      EXPECT_TRUE(std::find(comp.begin(), comp.end(), v) != comp.end());
+    }
+  }
+  for (std::uint32_t c = 0; c < r.components.size(); ++c) {
+    for (const std::uint32_t v : r.components[c]) {
+      const auto& idx = r.vertex_components[v];
+      EXPECT_TRUE(std::find(idx.begin(), idx.end(), c) != idx.end());
+    }
+  }
+  // Articulation = exactly the vertices in >= 2 blocks.
+  for (std::uint32_t v = 0; v < 7; ++v) {
+    const bool cut = std::find(r.articulation.begin(), r.articulation.end(),
+                               v) != r.articulation.end();
+    EXPECT_EQ(cut, r.vertex_components[v].size() >= 2);
+  }
+}
+
+TEST(BicompTest, LargePathGraphDoesNotOverflow) {
+  // 200k-vertex path: every edge is its own block and every interior
+  // vertex articulates. The iterative DFS must survive it (a recursive
+  // Hopcroft–Tarjan would blow the stack here).
+  constexpr std::uint32_t n = 200000;
+  edge_list edges;
+  edges.reserve(n - 1);
+  for (std::uint32_t v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  const bicomp_result r = biconnected_components(n, edges);
+  EXPECT_EQ(r.components.size(), n - 1);
+  EXPECT_EQ(r.articulation.size(), n - 2);
+}
+
+}  // namespace
+}  // namespace ntom

@@ -118,6 +118,52 @@ TEST(TopologyIoTest, ToleratesTrailingWhitespaceAndCrlf) {
   EXPECT_EQ(t.num_paths(), 1u);
 }
 
+TEST(TopologyIoTest, ToleratesUtf8BomAndCommentLines) {
+  // A UTF-8 BOM before the magic and '#' comments / blank lines between
+  // records: the quirks hand-maintained and Windows-edited dataset
+  // files actually carry.
+  std::stringstream quirky(
+      "\xEF\xBB\xBF"
+      "# exported topology\n"
+      "ntom-topology 1\n"
+      "\n"
+      "router_links 2\n"
+      "# the links\n"
+      "link 0 0 0\n"
+      "link 1 0 1\n"
+      "path 0 1\n");
+  const topology t = load_topology(quirky);
+  EXPECT_EQ(t.num_links(), 2u);
+  EXPECT_EQ(t.num_paths(), 1u);
+  EXPECT_EQ(t.num_router_links(), 2u);
+}
+
+TEST(TopologyIoTest, BomRoundTripMatchesPlainLoad) {
+  // BOM + CRLF + comments change nothing about the parsed structure.
+  const topology original = topogen::make_toy(topogen::toy_case::case1);
+  std::stringstream plain;
+  save_topology(original, plain);
+  std::string text = plain.str();
+  // Re-wrap the canonical bytes in the hostile encodings.
+  std::string quirky = "\xEF\xBB\xBF# header comment\r\n";
+  for (const char c : text) {
+    if (c == '\n') {
+      quirky += "\r\n";
+    } else {
+      quirky += c;
+    }
+  }
+  std::stringstream in(quirky);
+  const topology loaded = load_topology(in);
+  expect_topologies_equal(original, loaded);
+}
+
+TEST(TopologyIoTest, RejectsTruncatedBom) {
+  // A file starting with 0xEF that is not a BOM is not a topology.
+  std::stringstream bad("\xEF\x01\x02ntom-topology 1\nrouter_links 1\n");
+  EXPECT_THROW(load_topology(bad), std::runtime_error);
+}
+
 TEST(TopologyIoTest, RejectsDuplicateAndMisorderedSections) {
   // A second header mid-file (two concatenated topologies).
   std::stringstream dup_header(

@@ -110,6 +110,60 @@ TEST(NullSpaceTest, KnownNullVector) {
   EXPECT_NEAR(std::abs(scale), 1.0 / std::sqrt(3.0), 1e-9);
 }
 
+TEST(QrApplyTest, MatchesExplicitFactorization) {
+  rng r(7);
+  const matrix a = random_matrix(12, 5, r, 0.6);
+  std::vector<double> b(a.rows());
+  for (double& x : b) x = r.uniform(-2, 2);
+
+  const auto full = qr_factorize(a);
+  std::vector<double> c = b;
+  const auto applied = qr_factorize_apply(a, c);
+
+  // R, perm, rank come from the identical reflector arithmetic —
+  // bit-for-bit equal, not merely close.
+  EXPECT_EQ(applied.rank, full.rank);
+  EXPECT_EQ(applied.perm, full.perm);
+  EXPECT_EQ(applied.tolerance, full.tolerance);
+  ASSERT_EQ(applied.r.rows(), full.r.rows());
+  ASSERT_EQ(applied.r.cols(), full.r.cols());
+  for (std::size_t i = 0; i < full.r.rows(); ++i) {
+    for (std::size_t j = 0; j < full.r.cols(); ++j) {
+      EXPECT_EQ(applied.r(i, j), full.r(i, j));
+    }
+  }
+  // The Q factor is skipped entirely...
+  EXPECT_EQ(applied.q.rows(), 0u);
+  // ... and the rhs came back as Q^T b.
+  const matrix qt = full.q.transposed();
+  const std::vector<double> qtb = qt.multiply(b);
+  ASSERT_EQ(c.size(), qtb.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], qtb[i], 1e-9);
+  }
+}
+
+TEST(QrApplyTest, NullSpaceFromFactorizationMatchesDirect) {
+  rng r(11);
+  matrix a(9, 7);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      a(i, j) = r.bernoulli(0.3) ? 1.0 : 0.0;
+    }
+  }
+  std::vector<double> rhs(a.rows(), 1.0);
+  const auto f = qr_factorize_apply(a, rhs);
+  const matrix via_f = null_space_basis(f);
+  const matrix direct = null_space_basis(a);
+  ASSERT_EQ(via_f.rows(), direct.rows());
+  ASSERT_EQ(via_f.cols(), direct.cols());
+  for (std::size_t i = 0; i < direct.rows(); ++i) {
+    for (std::size_t j = 0; j < direct.cols(); ++j) {
+      EXPECT_EQ(via_f(i, j), direct(i, j));
+    }
+  }
+}
+
 // Property sweep over random (possibly rank-deficient) matrices.
 class QrPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 

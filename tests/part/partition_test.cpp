@@ -1,0 +1,282 @@
+#include "ntom/part/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ntom/topogen/toy.hpp"
+#include "ntom/util/spec.hpp"
+
+namespace ntom {
+namespace {
+
+/// Two 2-link islands with no shared paths, router links, or ASes:
+/// the link/path structure splits exactly in two.
+topology two_islands() {
+  topology t(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    t.add_link({.as_number = i, .router_links = {i}, .edge = false});
+  }
+  t.add_path({0, 1});
+  t.add_path({2, 3});
+  t.finalize();
+  return t;
+}
+
+/// Two path-triangles {e0,e1,e2} and {e2,e3,e4} sharing the
+/// articulation link e2, plus one straddling path {e1,e2,e3}. Every
+/// link is its own atom (distinct AS, distinct router link), so the
+/// atom graph is the classic dumbbell the bicomp cut targets.
+topology dumbbell() {
+  topology t(5);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    t.add_link({.as_number = i, .router_links = {i}, .edge = false});
+  }
+  t.add_path({0, 1});
+  t.add_path({1, 2});
+  t.add_path({2, 0});
+  t.add_path({2, 3});
+  t.add_path({3, 4});
+  t.add_path({4, 2});
+  t.add_path({1, 2, 3});
+  t.finalize();
+  return t;
+}
+
+const partition_cell* cell_with_link(const partition_plan& plan, link_id e) {
+  for (const partition_cell& c : plan.cells) {
+    if (c.link_mask.test(e)) return &c;
+  }
+  return nullptr;
+}
+
+TEST(PartitionModeTest, ParsesAllSpellings) {
+  EXPECT_EQ(partition_mode_from_string("none"), partition_mode::none);
+  EXPECT_EQ(partition_mode_from_string(""), partition_mode::none);
+  EXPECT_EQ(partition_mode_from_string("components"),
+            partition_mode::components);
+  EXPECT_EQ(partition_mode_from_string("bicomp"), partition_mode::bicomp);
+  EXPECT_EQ(partition_mode_from_string("biconnected"), partition_mode::bicomp);
+  EXPECT_EQ(partition_mode_from_string("auto"), partition_mode::automatic);
+  EXPECT_EQ(partition_mode_from_string("automatic"),
+            partition_mode::automatic);
+  EXPECT_THROW((void)partition_mode_from_string("blocks"), spec_error);
+}
+
+TEST(PartitionModeTest, ToStringRoundTrips) {
+  for (const partition_mode m :
+       {partition_mode::components, partition_mode::bicomp,
+        partition_mode::automatic}) {
+    EXPECT_EQ(partition_mode_from_string(to_string(m)), m);
+  }
+  EXPECT_STREQ(to_string(partition_mode::none), "none");
+}
+
+TEST(PartitionTest, RejectsNoneModeAndZeroLimit) {
+  const topology t = two_islands();
+  EXPECT_THROW((void)make_partition(t, {.mode = partition_mode::none}),
+               spec_error);
+  EXPECT_THROW((void)make_partition(t, {.mode = partition_mode::components,
+                                        .max_cell_links = 0}),
+               spec_error);
+}
+
+TEST(PartitionTest, ComponentsSplitIslandsExactly) {
+  const topology t = two_islands();
+  const partition_plan plan =
+      make_partition(t, {.mode = partition_mode::components});
+
+  ASSERT_EQ(plan.cells.size(), 2u);
+  EXPECT_FALSE(plan.trivial());
+  EXPECT_TRUE(plan.cut_links.empty());
+  EXPECT_EQ(plan.cut_mask.count(), 0u);
+  EXPECT_EQ(plan.straddling_paths, 0u);
+  EXPECT_EQ(plan.num_links, 4u);
+  EXPECT_EQ(plan.num_paths, 2u);
+
+  const partition_cell* a = cell_with_link(plan, 0);
+  const partition_cell* b = cell_with_link(plan, 2);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a->links, (std::vector<link_id>{0, 1}));
+  EXPECT_EQ(b->links, (std::vector<link_id>{2, 3}));
+  EXPECT_EQ(a->paths, (std::vector<path_id>{0}));
+  EXPECT_EQ(b->paths, (std::vector<path_id>{1}));
+
+  // Masks mirror the id lists.
+  EXPECT_TRUE(a->link_mask.test(0));
+  EXPECT_TRUE(a->link_mask.test(1));
+  EXPECT_FALSE(a->link_mask.test(2));
+  EXPECT_TRUE(a->path_mask.test(0));
+  EXPECT_FALSE(a->path_mask.test(1));
+
+  // Each link belongs to exactly one cell; each path is assigned.
+  for (link_id e = 0; e < 4; ++e) {
+    EXPECT_EQ(plan.link_cells[e].size(), 1u);
+  }
+  EXPECT_NE(plan.path_cell[0], partition_plan::npos);
+  EXPECT_NE(plan.path_cell[1], partition_plan::npos);
+  EXPECT_NE(plan.path_cell[0], plan.path_cell[1]);
+}
+
+TEST(PartitionTest, SubTopologiesAreDenseAndFinalized) {
+  const topology t = two_islands();
+  const partition_plan plan =
+      make_partition(t, {.mode = partition_mode::components});
+  for (const partition_cell& cell : plan.cells) {
+    ASSERT_NE(cell.topo, nullptr);
+    EXPECT_TRUE(cell.topo->finalized());
+    EXPECT_EQ(cell.topo->num_links(), cell.links.size());
+    EXPECT_EQ(cell.topo->num_paths(), cell.paths.size());
+    // Local path j's links map through cell.links back to the global
+    // path's links.
+    for (std::size_t j = 0; j < cell.paths.size(); ++j) {
+      const auto& global = t.get_path(cell.paths[j]).links();
+      const auto& local = cell.topo->get_path(static_cast<path_id>(j)).links();
+      ASSERT_EQ(local.size(), global.size());
+      for (std::size_t k = 0; k < local.size(); ++k) {
+        EXPECT_EQ(cell.links[local[k]], global[k]);
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, ConnectedGraphIsTrivialUnderComponents) {
+  const topology t = topogen::make_toy(topogen::toy_case::case1);
+  const partition_plan plan =
+      make_partition(t, {.mode = partition_mode::components});
+  EXPECT_TRUE(plan.trivial());
+  ASSERT_EQ(plan.cells.size(), 1u);
+  EXPECT_EQ(plan.cells[0].links.size(), t.covered_links().count());
+}
+
+TEST(PartitionTest, SameAsLinksFuseIntoOneAtom) {
+  // Two links of one AS with disjoint paths: the correlation set must
+  // not be split, so they land in one cell despite no path adjacency.
+  topology t(2);
+  t.add_link({.as_number = 0, .router_links = {0}, .edge = false});
+  t.add_link({.as_number = 0, .router_links = {1}, .edge = false});
+  t.add_path({0});
+  t.add_path({1});
+  t.finalize();
+  const partition_plan plan =
+      make_partition(t, {.mode = partition_mode::components});
+  EXPECT_TRUE(plan.trivial());
+  EXPECT_EQ(plan.cells[0].links, (std::vector<link_id>{0, 1}));
+}
+
+TEST(PartitionTest, SharedRouterLinkFusesIntoOneAtom) {
+  // Distinct ASes riding one router link share a congestion driver:
+  // indivisible for the same reason.
+  topology t(1);
+  t.add_link({.as_number = 0, .router_links = {0}, .edge = false});
+  t.add_link({.as_number = 1, .router_links = {0}, .edge = false});
+  t.add_path({0});
+  t.add_path({1});
+  t.finalize();
+  const partition_plan plan =
+      make_partition(t, {.mode = partition_mode::components});
+  EXPECT_TRUE(plan.trivial());
+}
+
+TEST(PartitionTest, BicompCutsDumbbellAtArticulationLink) {
+  const topology t = dumbbell();
+  const partition_plan plan = make_partition(
+      t, {.mode = partition_mode::bicomp, .max_cell_links = 3});
+
+  ASSERT_EQ(plan.cells.size(), 2u);
+  EXPECT_EQ(plan.cut_links, (std::vector<link_id>{2}));
+  EXPECT_TRUE(plan.cut_mask.test(2));
+  EXPECT_EQ(plan.cut_mask.count(), 1u);
+  EXPECT_EQ(plan.link_cells[2].size(), 2u);
+
+  const partition_cell* left = cell_with_link(plan, 0);
+  const partition_cell* right = cell_with_link(plan, 4);
+  ASSERT_NE(left, nullptr);
+  ASSERT_NE(right, nullptr);
+  EXPECT_EQ(left->links, (std::vector<link_id>{0, 1, 2}));
+  EXPECT_EQ(right->links, (std::vector<link_id>{2, 3, 4}));
+
+  // The triangles' paths are fully contained; the {e1,e2,e3} path
+  // spans both cells and is excluded from each.
+  EXPECT_EQ(left->paths, (std::vector<path_id>{0, 1, 2}));
+  EXPECT_EQ(right->paths, (std::vector<path_id>{3, 4, 5}));
+  EXPECT_EQ(plan.straddling_paths, 1u);
+  EXPECT_EQ(plan.path_cell[6], partition_plan::npos);
+
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("cells=2"), std::string::npos);
+  EXPECT_NE(text.find("cut_links=1"), std::string::npos);
+}
+
+TEST(PartitionTest, BicompGreedyMergeRespectsGenerousLimit) {
+  // With room for both blocks, the greedy merge reunifies them through
+  // the shared articulation atom — back to one (trivial) cell, and no
+  // path evidence is sacrificed.
+  const topology t = dumbbell();
+  const partition_plan plan = make_partition(
+      t, {.mode = partition_mode::bicomp, .max_cell_links = 16});
+  EXPECT_TRUE(plan.trivial());
+  EXPECT_EQ(plan.straddling_paths, 0u);
+  EXPECT_TRUE(plan.cut_links.empty());
+}
+
+TEST(PartitionTest, AutoUsesComponentsWhenTheyFit) {
+  // Components already bound the cell size: auto must not pay the
+  // bicomp refinement's straddling-path cost.
+  const topology t = dumbbell();
+  const partition_plan plan = make_partition(
+      t, {.mode = partition_mode::automatic, .max_cell_links = 16});
+  EXPECT_TRUE(plan.trivial());
+  EXPECT_EQ(plan.straddling_paths, 0u);
+}
+
+TEST(PartitionTest, AutoRefinesOversizedComponents) {
+  // The dumbbell is one connected component of 5 links; with a 3-link
+  // budget auto falls through to the bicomp cut.
+  const topology t = dumbbell();
+  const partition_plan plan = make_partition(
+      t, {.mode = partition_mode::automatic, .max_cell_links = 3});
+  const partition_plan bicomp = make_partition(
+      t, {.mode = partition_mode::bicomp, .max_cell_links = 3});
+  ASSERT_EQ(plan.cells.size(), bicomp.cells.size());
+  for (std::size_t c = 0; c < plan.cells.size(); ++c) {
+    EXPECT_EQ(plan.cells[c].links, bicomp.cells[c].links);
+    EXPECT_EQ(plan.cells[c].paths, bicomp.cells[c].paths);
+  }
+  EXPECT_EQ(plan.cut_links, bicomp.cut_links);
+}
+
+TEST(PartitionTest, UncoveredLinkBelongsToNoCell) {
+  topology t(3);
+  t.add_link({.as_number = 0, .router_links = {0}, .edge = false});
+  t.add_link({.as_number = 1, .router_links = {1}, .edge = false});
+  t.add_link({.as_number = 2, .router_links = {2}, .edge = false});
+  t.add_path({0, 1});  // link 2 is never monitored.
+  t.finalize();
+  const partition_plan plan =
+      make_partition(t, {.mode = partition_mode::components});
+  EXPECT_TRUE(plan.link_cells[2].empty());
+  for (const partition_cell& cell : plan.cells) {
+    EXPECT_FALSE(cell.link_mask.test(2));
+  }
+}
+
+TEST(PartitionTest, DeterministicAcrossCalls) {
+  const topology t = dumbbell();
+  const partition_options opts{.mode = partition_mode::bicomp,
+                               .max_cell_links = 3};
+  const partition_plan a = make_partition(t, opts);
+  const partition_plan b = make_partition(t, opts);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    EXPECT_EQ(a.cells[c].links, b.cells[c].links);
+    EXPECT_EQ(a.cells[c].paths, b.cells[c].paths);
+  }
+  EXPECT_EQ(a.cut_links, b.cut_links);
+  EXPECT_EQ(a.path_cell, b.path_cell);
+}
+
+}  // namespace
+}  // namespace ntom

@@ -128,6 +128,30 @@ TEST(SimdKernel, PopcountAnd2And3MatchesReferenceAcrossLevels) {
   }
 }
 
+TEST(SimdKernel, AndnotCountMatchesReferenceAcrossLevels) {
+  level_guard guard;
+  for (const std::size_t n : kWordSizes) {
+    auto a = random_words(n, 7000 + n);
+    auto b = random_words(n, 8000 + n);
+    if (n > 0) {
+      // Edge patterns: a full minuend word against an empty subtrahend
+      // word (everything survives) and the mirror (nothing does).
+      a[0] = ~std::uint64_t{0};
+      b[0] = 0;
+      a[n - 1] = 0x8000000000000001ULL;
+      b[n - 1] = ~std::uint64_t{0};
+    }
+    std::vector<std::uint64_t> diff(n);
+    for (std::size_t w = 0; w < n; ++w) diff[w] = a[w] & ~b[w];
+    const std::size_t expected = naive_popcount(diff.data(), n);
+    for (const simd::level l : simd::available_levels()) {
+      ASSERT_TRUE(simd::set_level(l));
+      EXPECT_EQ(simd::andnot_count(a.data(), b.data(), n), expected)
+          << "level=" << simd::level_name(l) << " n=" << n;
+    }
+  }
+}
+
 TEST(SimdKernel, OrAccumulateMatchesReferenceAcrossLevels) {
   level_guard guard;
   for (const std::size_t n : kWordSizes) {
@@ -213,6 +237,29 @@ TEST(SimdKernel, BitvecCountIdenticalAcrossLevels) {
     for (const simd::level l : simd::available_levels()) {
       ASSERT_TRUE(simd::set_level(l));
       EXPECT_EQ(v.count(), expected)
+          << "level=" << simd::level_name(l) << " bits=" << bits;
+    }
+  }
+}
+
+TEST(SimdKernel, BitvecAndAndnotCountsMatchSetAlgebra) {
+  level_guard guard;
+  for (const std::size_t bits : kBitSizes) {
+    bitvec a(bits), b(bits);
+    rng r(9000 + bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (r.next_u64() & 1u) a.set(i);
+      if (r.next_u64() & 1u) b.set(i);
+    }
+    bitvec inter = a;
+    inter &= b;
+    bitvec diff = a;
+    diff.subtract(b);
+    for (const simd::level l : simd::available_levels()) {
+      ASSERT_TRUE(simd::set_level(l));
+      EXPECT_EQ(a.and_count(b), inter.count())
+          << "level=" << simd::level_name(l) << " bits=" << bits;
+      EXPECT_EQ(a.andnot_count(b), diff.count())
           << "level=" << simd::level_name(l) << " bits=" << bits;
     }
   }
